@@ -1,0 +1,57 @@
+//! Ablation — SSD vs NFS cost models: the paper "executed the same
+//! experiments employing an NFS and obtained similar results" (Sec. 7.1).
+//! Fault *counts* are storage-independent; the speedups grow with per-fault
+//! latency but keep the same ordering.
+
+use nimage_bench::{evaluate_program, geomean};
+use nimage_core::Strategy;
+use nimage_profiler::DumpMode;
+use nimage_vm::{CostModel, StopWhen};
+use nimage_workloads::Awfy;
+
+fn main() {
+    println!("\n=== Ablation: SSD vs NFS cost models (speedups) ===");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12} {:>12}",
+        "benchmark", "cu (SSD)", "cu (NFS)", "combined SSD", "combined NFS"
+    );
+    let ssd = CostModel::ssd();
+    let nfs = CostModel::nfs();
+    let mut cols: [Vec<f64>; 4] = [vec![], vec![], vec![], vec![]];
+    for b in [Awfy::Bounce, Awfy::Sieve, Awfy::Storage] {
+        let program = b.program();
+        let rows = evaluate_program(b.name(), &program, StopWhen::Exit, DumpMode::OnFull);
+        let get = |s: Strategy, cm: &CostModel| {
+            rows.rows
+                .iter()
+                .find(|(st, _)| *st == s)
+                .map(|(_, e)| e.speedup(cm))
+                .unwrap()
+        };
+        let vals = [
+            get(Strategy::Cu, &ssd),
+            get(Strategy::Cu, &nfs),
+            get(Strategy::CuPlusHeapPath, &ssd),
+            get(Strategy::CuPlusHeapPath, &nfs),
+        ];
+        for (c, v) in cols.iter_mut().zip(vals) {
+            c.push(v);
+        }
+        println!(
+            "{:<12} {:>11.2}x {:>11.2}x {:>11.2}x {:>11.2}x",
+            b.name(),
+            vals[0],
+            vals[1],
+            vals[2],
+            vals[3]
+        );
+    }
+    println!(
+        "{:<12} {:>11.2}x {:>11.2}x {:>11.2}x {:>11.2}x",
+        "geo.mean",
+        geomean(&cols[0]),
+        geomean(&cols[1]),
+        geomean(&cols[2]),
+        geomean(&cols[3])
+    );
+}

@@ -1,0 +1,12 @@
+//! Fig. 2 — page-fault reduction achieved by the ordering strategies on
+//! AWFY. Code strategies report `.text` reductions, heap strategies
+//! `.svm_heap` reductions, `cu+heap path` both sections combined.
+
+fn main() {
+    let results = nimage_bench::evaluate_awfy();
+    nimage_bench::print_table(
+        "Fig. 2: page-fault reduction, AWFY (higher is better)",
+        &results,
+        |e| e.reported_fault_reduction(),
+    );
+}

@@ -1,0 +1,12 @@
+//! Fig. 3 — page-fault reduction achieved by the ordering strategies on the
+//! microservice workloads (measured at the first response, after which the
+//! paper kills the service).
+
+fn main() {
+    let results = nimage_bench::evaluate_micro();
+    nimage_bench::print_table(
+        "Fig. 3: page-fault reduction, microservices (higher is better)",
+        &results,
+        |e| e.reported_fault_reduction(),
+    );
+}

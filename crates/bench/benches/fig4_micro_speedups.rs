@@ -1,0 +1,12 @@
+//! Fig. 4 — execution-time speedup on the microservices: elapsed time until
+//! the first response, under the SSD cost model.
+
+fn main() {
+    let cm = nimage_bench::cost_model();
+    let results = nimage_bench::evaluate_micro();
+    nimage_bench::print_table(
+        "Fig. 4: time-to-first-response speedup, microservices (higher is better)",
+        &results,
+        |e| e.speedup(&cm),
+    );
+}

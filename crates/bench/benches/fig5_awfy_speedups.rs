@@ -1,0 +1,12 @@
+//! Fig. 5 — end-to-end execution-time speedup on AWFY under the SSD cost
+//! model.
+
+fn main() {
+    let cm = nimage_bench::cost_model();
+    let results = nimage_bench::evaluate_awfy();
+    nimage_bench::print_table(
+        "Fig. 5: execution-time speedup, AWFY (higher is better)",
+        &results,
+        |e| e.speedup(&cm),
+    );
+}

@@ -1,0 +1,84 @@
+//! Sec. 7.4 — execution-time overhead of the tracing profiler: AWFY with
+//! dump mode 1 (flush on full / at termination), microservices with dump
+//! mode 2 (memory-mapped buffers).
+
+use nimage_bench::{eval_options, geomean};
+use nimage_compiler::InstrumentConfig;
+use nimage_core::Pipeline;
+use nimage_profiler::DumpMode;
+use nimage_vm::StopWhen;
+use nimage_workloads::{Awfy, Microservice};
+
+fn modes() -> [(&'static str, InstrumentConfig); 3] {
+    [
+        (
+            "cu",
+            InstrumentConfig {
+                trace_cu: true,
+                ..InstrumentConfig::NONE
+            },
+        ),
+        (
+            "method",
+            InstrumentConfig {
+                trace_methods: true,
+                ..InstrumentConfig::NONE
+            },
+        ),
+        (
+            "heap",
+            InstrumentConfig {
+                trace_heap: true,
+                ..InstrumentConfig::NONE
+            },
+        ),
+    ]
+}
+
+fn main() {
+    println!("\n=== Sec. 7.4: tracing-profiler overhead factors ===");
+    println!("{:<12} {:>8} {:>8} {:>8}", "benchmark", "cu", "method", "heap");
+    let mut cols: [Vec<f64>; 3] = [vec![], vec![], vec![]];
+    for b in Awfy::all() {
+        let program = b.program();
+        let pipeline = Pipeline::new(&program, eval_options(DumpMode::OnFull));
+        print!("{:<12}", b.name());
+        for (i, (_n, cfg)) in modes().into_iter().enumerate() {
+            let f = pipeline
+                .profiling_overhead(cfg, StopWhen::Exit)
+                .expect("overhead run");
+            cols[i].push(f);
+            print!(" {:>8.2}", f);
+        }
+        println!();
+    }
+    println!(
+        "{:<12} {:>8.2} {:>8.2} {:>8.2}   (AWFY geo.mean, dump mode 1)",
+        "geo.mean",
+        geomean(&cols[0]),
+        geomean(&cols[1]),
+        geomean(&cols[2])
+    );
+
+    let mut cols: [Vec<f64>; 3] = [vec![], vec![], vec![]];
+    for m in Microservice::all() {
+        let program = m.program();
+        let pipeline = Pipeline::new(&program, eval_options(DumpMode::MemoryMapped));
+        print!("{:<12}", m.name());
+        for (i, (_n, cfg)) in modes().into_iter().enumerate() {
+            let f = pipeline
+                .profiling_overhead(cfg, StopWhen::FirstResponse)
+                .expect("overhead run");
+            cols[i].push(f);
+            print!(" {:>8.2}", f);
+        }
+        println!();
+    }
+    println!(
+        "{:<12} {:>8.2} {:>8.2} {:>8.2}   (microservices geo.mean, dump mode 2)",
+        "geo.mean",
+        geomean(&cols[0]),
+        geomean(&cols[1]),
+        geomean(&cols[2])
+    );
+}

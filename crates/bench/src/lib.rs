@@ -1,0 +1,166 @@
+//! # nimage-bench
+//!
+//! The evaluation harness: one bench target per table/figure of the paper
+//! (run with `cargo bench`), plus criterion microbenches of the core
+//! algorithms.
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `fig2_awfy_pagefaults` | Fig. 2 — page-fault reductions, AWFY |
+//! | `fig3_micro_pagefaults` | Fig. 3 — page-fault reductions, microservices |
+//! | `fig4_micro_speedups` | Fig. 4 — execution-time speedups, microservices |
+//! | `fig5_awfy_speedups` | Fig. 5 — execution-time speedups, AWFY |
+//! | `tab_profiling_overhead` | Sec. 7.4 — profiling overhead factors |
+//! | `fig6_pagemap` | Fig. 6 — visual `.text` page map, Bounce |
+//! | `abl_fault_around` | ablation — fault-around window sweep |
+//! | `abl_structural_depth` | ablation — structural-hash `MAX_DEPTH` sweep |
+//! | `crit_algorithms` | criterion microbenches of hashing/ordering |
+
+#![warn(missing_docs)]
+
+use nimage_core::{BuildOptions, Evaluation, Pipeline, ProfiledArtifacts, Strategy};
+use nimage_ir::Program;
+use nimage_profiler::DumpMode;
+use nimage_vm::{CostModel, StopWhen, VmConfig};
+use nimage_workloads::{Awfy, Microservice};
+
+/// The build options used by every headline experiment: paper defaults
+/// (4 KiB pages, 16-page fault-around, SSD cost model) with the dump mode
+/// chosen per workload class (Sec. 6.1).
+pub fn eval_options(dump_mode: DumpMode) -> BuildOptions {
+    BuildOptions {
+        vm: VmConfig {
+            dump_mode,
+            ..VmConfig::default()
+        },
+        ..BuildOptions::default()
+    }
+}
+
+/// Result rows of one workload's evaluation across all strategies.
+#[derive(Debug)]
+pub struct WorkloadRows {
+    /// Workload display name.
+    pub name: String,
+    /// `(strategy, evaluation)` in figure order.
+    pub rows: Vec<(Strategy, Evaluation)>,
+}
+
+/// Runs the full pipeline (profile once, evaluate every strategy) for one
+/// program.
+///
+/// # Panics
+/// Panics if any pipeline stage fails — the harness treats that as a
+/// broken experiment.
+pub fn evaluate_program(
+    name: &str,
+    program: &Program,
+    stop: StopWhen,
+    dump_mode: DumpMode,
+) -> WorkloadRows {
+    let pipeline = Pipeline::new(program, eval_options(dump_mode));
+    let artifacts = pipeline
+        .profiling_run(stop)
+        .unwrap_or_else(|e| panic!("{name}: profiling failed: {e}"));
+    let rows = Strategy::all()
+        .into_iter()
+        .map(|s| {
+            let eval = pipeline
+                .evaluate_with(&artifacts, s, stop)
+                .unwrap_or_else(|e| panic!("{name}: {} failed: {e}", s.name()));
+            (s, eval)
+        })
+        .collect();
+    WorkloadRows {
+        name: name.to_string(),
+        rows,
+    }
+}
+
+/// Profiling artifacts for overhead-style experiments that need the raw
+/// pipeline.
+///
+/// # Panics
+/// Panics if the pipeline fails.
+pub fn profile_program(
+    program: &Program,
+    stop: StopWhen,
+    dump_mode: DumpMode,
+) -> (Pipeline<'_>, ProfiledArtifacts) {
+    let pipeline = Pipeline::new(program, eval_options(dump_mode));
+    let artifacts = pipeline.profiling_run(stop).expect("profiling run");
+    (pipeline, artifacts)
+}
+
+/// Evaluates all 14 AWFY benchmarks (end-to-end execution, dump mode 1).
+pub fn evaluate_awfy() -> Vec<WorkloadRows> {
+    Awfy::all()
+        .into_iter()
+        .map(|b| {
+            let program = b.program();
+            evaluate_program(b.name(), &program, StopWhen::Exit, DumpMode::OnFull)
+        })
+        .collect()
+}
+
+/// Evaluates the three microservices (time to first response, dump mode 2 —
+/// the memory-mapped buffers that survive the `SIGKILL`).
+pub fn evaluate_micro() -> Vec<WorkloadRows> {
+    Microservice::all()
+        .into_iter()
+        .map(|m| {
+            let program = m.program();
+            evaluate_program(
+                m.name(),
+                &program,
+                StopWhen::FirstResponse,
+                DumpMode::MemoryMapped,
+            )
+        })
+        .collect()
+}
+
+/// Geometric mean.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty series");
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Prints a figure-style table: one row per workload, one column per
+/// strategy, using `metric` to extract the reported number, with a final
+/// geo.mean row (as under the paper's figures).
+pub fn print_table(
+    title: &str,
+    results: &[WorkloadRows],
+    metric: impl Fn(&Evaluation) -> f64,
+) {
+    println!("\n=== {title} ===");
+    print!("{:<12}", "benchmark");
+    for s in Strategy::all() {
+        print!(" {:>15}", s.name());
+    }
+    println!();
+    let mut columns: Vec<Vec<f64>> = vec![vec![]; Strategy::all().len()];
+    for w in results {
+        print!("{:<12}", w.name);
+        for (i, (_s, eval)) in w.rows.iter().enumerate() {
+            let v = metric(eval);
+            columns[i].push(v);
+            print!(" {:>15.2}", v);
+        }
+        println!();
+    }
+    print!("{:<12}", "geo.mean");
+    for col in &columns {
+        print!(" {:>15.2}", geomean(col));
+    }
+    println!();
+}
+
+/// The SSD cost model used by the speedup figures.
+pub fn cost_model() -> CostModel {
+    CostModel::ssd()
+}

@@ -1,0 +1,131 @@
+//! Minimal dependency-free argument parsing for the `nimage` CLI.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed command line: subcommand, positional arguments and `--key
+/// value` / `--flag` options.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    /// Positional arguments after the subcommand.
+    pub positional: Vec<String>,
+    /// `--key value` options.
+    pub options: HashMap<String, String>,
+    /// Bare `--flag` switches.
+    pub flags: Vec<String>,
+}
+
+/// A user error in the command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Option keys that take a value; everything else starting with `--` is a
+/// boolean flag.
+const VALUED: &[&str] = &["strategy", "out", "profiles", "width", "scale", "window"];
+
+/// Parses `args` (without the program name).
+///
+/// # Errors
+/// Returns [`ArgError`] when a valued option is missing its value or no
+/// subcommand is present.
+pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
+    let mut parsed = ParsedArgs::default();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            if VALUED.contains(&name) {
+                let value = it
+                    .next()
+                    .ok_or_else(|| ArgError(format!("--{name} requires a value")))?;
+                parsed.options.insert(name.to_string(), value.clone());
+            } else {
+                parsed.flags.push(name.to_string());
+            }
+        } else if parsed.command.is_empty() {
+            parsed.command = a.clone();
+        } else {
+            parsed.positional.push(a.clone());
+        }
+    }
+    if parsed.command.is_empty() {
+        return Err(ArgError("missing subcommand; try `nimage help`".into()));
+    }
+    Ok(parsed)
+}
+
+impl ParsedArgs {
+    /// The single positional argument, or an error naming what it should be.
+    pub fn one_positional(&self, what: &str) -> Result<&str, ArgError> {
+        match self.positional.as_slice() {
+            [one] => Ok(one),
+            [] => Err(ArgError(format!("expected a {what}"))),
+            _ => Err(ArgError(format!("expected exactly one {what}"))),
+        }
+    }
+
+    /// A valued option.
+    pub fn option(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// A required valued option.
+    pub fn require(&self, name: &str) -> Result<&str, ArgError> {
+        self.option(name)
+            .ok_or_else(|| ArgError(format!("--{name} is required")))
+    }
+
+    /// Whether a boolean flag was passed.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_positionals_options_flags() {
+        let p = parse(&sv(&["eval", "Bounce", "--strategy", "cu", "--all"])).unwrap();
+        assert_eq!(p.command, "eval");
+        assert_eq!(p.positional, vec!["Bounce"]);
+        assert_eq!(p.option("strategy"), Some("cu"));
+        assert!(p.has_flag("all"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let err = parse(&sv(&["profile", "Bounce", "--out"])).unwrap_err();
+        assert!(err.to_string().contains("--out"));
+    }
+
+    #[test]
+    fn missing_subcommand_is_an_error() {
+        assert!(parse(&sv(&[])).is_err());
+        assert!(parse(&sv(&["--all"])).is_err());
+    }
+
+    #[test]
+    fn one_positional_validation() {
+        let p = parse(&sv(&["eval"])).unwrap();
+        assert!(p.one_positional("workload").is_err());
+        let p = parse(&sv(&["eval", "a", "b"])).unwrap();
+        assert!(p.one_positional("workload").is_err());
+        let p = parse(&sv(&["eval", "a"])).unwrap();
+        assert_eq!(p.one_positional("workload").unwrap(), "a");
+    }
+}

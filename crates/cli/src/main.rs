@@ -1,0 +1,382 @@
+//! `nimage` — command-line driver for the binary-reordering toolchain.
+//!
+//! ```text
+//! nimage list                                   all workloads
+//! nimage eval <workload> [--strategy S|--all]   fault/speedup factors
+//! nimage profile <workload> --out DIR           write CSV profiles + trace
+//! nimage optimize <workload> --profiles DIR --strategy S --out FILE
+//! nimage inspect <image-file>                   dump a serialized image
+//! nimage pagemap <workload> [--strategy S] [--width N]
+//! nimage overhead <workload>                    Sec. 7.4 overhead factors
+//! nimage help
+//! ```
+
+mod args;
+mod workload;
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use nimage_core::{
+    load_profiles, save_profiles, BuildOptions, Pipeline, Strategy,
+};
+use nimage_profiler::{write_trace, DumpMode};
+use nimage_vm::{render_ascii, summarize, CostModel, VmConfig};
+
+use args::{parse, ArgError, ParsedArgs};
+use workload::Workload;
+
+const HELP: &str = "\
+nimage — profile-guided binary reordering (CGO'25 reproduction)
+
+USAGE:
+    nimage <command> [args]
+
+COMMANDS:
+    list                                     list available workloads
+    eval <workload> [--strategy S | --all]   profile + evaluate strategies
+    profile <workload> --out DIR             write ordering profiles (CSV) and the raw trace
+    optimize <workload> --profiles DIR --strategy S --out FILE
+                                             build a reordered image and serialize it
+    inspect <image-file>                     print the layout of a serialized image
+    pagemap <workload> [--strategy S] [--width N]
+                                             Fig. 6-style page map of both sections
+    heapstats <workload>                     snapshot composition + layout quality
+    overhead <workload>                      profiling overhead factors (Sec. 7.4)
+    help                                     this text
+
+STRATEGIES: cu, method, incremental-id, structural-hash, heap-path, cu+heap-path
+WORKLOADS:  the 14 AWFY benchmarks and micronaut/quarkus/spring (see `nimage list`)
+";
+
+fn strategy_of(name: &str) -> Result<Strategy, ArgError> {
+    let normalized = name.to_ascii_lowercase().replace(['_', ' '], "-");
+    Strategy::all()
+        .into_iter()
+        .find(|s| s.name().replace(' ', "-") == normalized)
+        .ok_or_else(|| {
+            ArgError(format!(
+                "unknown strategy {name}; expected one of: {}",
+                Strategy::all()
+                    .map(|s| s.name().replace(' ', "-"))
+                    .join(", ")
+            ))
+        })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let parsed = match parse(argv) {
+        Ok(p) => p,
+        Err(_) if argv.is_empty() => {
+            print!("{HELP}");
+            return Ok(());
+        }
+        Err(e) => return Err(e.into()),
+    };
+    match parsed.command.as_str() {
+        "help" | "--help" | "-h" => {
+            print!("{HELP}");
+            Ok(())
+        }
+        "list" => {
+            println!("AWFY (FaaS model, end-to-end time):");
+            for w in Workload::awfy() {
+                println!("  {}", w.name());
+            }
+            println!("microservices (time to first response):");
+            for w in Workload::micro() {
+                println!("  {}", w.name());
+            }
+            Ok(())
+        }
+        "eval" => cmd_eval(&parsed),
+        "profile" => cmd_profile(&parsed),
+        "optimize" => cmd_optimize(&parsed),
+        "inspect" => cmd_inspect(&parsed),
+        "pagemap" => cmd_pagemap(&parsed),
+        "heapstats" => cmd_heapstats(&parsed),
+        "overhead" => cmd_overhead(&parsed),
+        other => Err(ArgError(format!("unknown command {other}; try `nimage help`")).into()),
+    }
+}
+
+fn pipeline_for(workload: &Workload) -> BuildOptions {
+    BuildOptions {
+        vm: VmConfig {
+            dump_mode: workload.dump_mode(),
+            ..VmConfig::default()
+        },
+        ..BuildOptions::default()
+    }
+}
+
+fn cmd_eval(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let workload = Workload::resolve(parsed.one_positional("workload")?)?;
+    let strategies: Vec<Strategy> = match parsed.option("strategy") {
+        Some(s) if !parsed.has_flag("all") => vec![strategy_of(s)?],
+        _ => Strategy::all().to_vec(),
+    };
+    let program = workload.program();
+    let pipeline = Pipeline::new(&program, pipeline_for(&workload));
+    eprintln!("profiling {} …", workload.name());
+    let artifacts = pipeline.profiling_run(workload.stop())?;
+    let cm = CostModel::ssd();
+    println!(
+        "{:<16} {:>12} {:>12} {:>10} {:>9}",
+        "strategy", "base faults", "opt faults", "reduction", "speedup"
+    );
+    for strategy in strategies {
+        let eval = pipeline.evaluate_with(&artifacts, strategy, workload.stop())?;
+        println!(
+            "{:<16} {:>12} {:>12} {:>9.2}x {:>8.2}x",
+            strategy.name(),
+            eval.baseline.faults.total(),
+            eval.optimized.faults.total(),
+            eval.reported_fault_reduction(),
+            eval.speedup(&cm),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_profile(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let workload = Workload::resolve(parsed.one_positional("workload")?)?;
+    let out = Path::new(parsed.require("out")?);
+    let program = workload.program();
+    let pipeline = Pipeline::new(&program, pipeline_for(&workload));
+    eprintln!("profiling {} …", workload.name());
+    let artifacts = pipeline.profiling_run(workload.stop())?;
+    save_profiles(&artifacts, out)?;
+    if let Some(trace) = &artifacts.instrumented_report.trace {
+        std::fs::write(out.join("trace.ntrc"), write_trace(trace))?;
+    }
+    println!(
+        "wrote profiles to {} ({} CU entries, {} methods, {} heap ids)",
+        out.display(),
+        artifacts.cu_profile.sigs.len(),
+        artifacts.method_profile.sigs.len(),
+        artifacts.heap_profiles[&nimage_order::HeapStrategy::HeapPath]
+            .ids
+            .len(),
+    );
+    Ok(())
+}
+
+fn cmd_optimize(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let workload = Workload::resolve(parsed.one_positional("workload")?)?;
+    let profiles_dir = Path::new(parsed.require("profiles")?);
+    let strategy = strategy_of(parsed.require("strategy")?)?;
+    let out = Path::new(parsed.require("out")?);
+
+    let program = workload.program();
+    let pipeline = Pipeline::new(&program, pipeline_for(&workload));
+    let saved = load_profiles(profiles_dir)?;
+    // The optimizing build does not need the instrumented report; rerun a
+    // cheap uninstrumented run to fill the slot.
+    let regular = pipeline.build_instrumented(nimage_compiler::InstrumentConfig::NONE)?;
+    let report = pipeline.run_image(&regular, workload.stop())?;
+    let artifacts = saved.into_artifacts(report);
+    let built = pipeline.build_optimized(&artifacts, Some(strategy))?;
+    std::fs::write(out, nimage_image::write_image_file(&built.image))?;
+    println!(
+        "wrote {} ({} CUs, {} objects, {} KiB image)",
+        out.display(),
+        built.image.cu_order.len(),
+        built.image.object_order.len(),
+        built.image.total_size / 1024,
+    );
+    Ok(())
+}
+
+fn cmd_inspect(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let path = parsed.one_positional("image file")?;
+    let bytes = std::fs::read(path)?;
+    let file = nimage_image::read_image_file(&bytes)?;
+    println!("nimage binary image v{}", file.version);
+    println!("  page size : {} B", file.page_size);
+    println!(
+        "  .text     : offset {:#x}, {} KiB",
+        file.text.0,
+        file.text.1 / 1024
+    );
+    println!(
+        "  .svm_heap : offset {:#x}, {} KiB",
+        file.svm_heap.0,
+        file.svm_heap.1 / 1024
+    );
+    println!("  CUs       : {}", file.cus.len());
+    for &(id, off) in file.cus.iter().take(10) {
+        println!("    cu{id:<6} @ {off:#x}");
+    }
+    if file.cus.len() > 10 {
+        println!("    … {} more", file.cus.len() - 10);
+    }
+    println!("  objects   : {}", file.objects.len());
+    Ok(())
+}
+
+fn cmd_pagemap(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let workload = Workload::resolve(parsed.one_positional("workload")?)?;
+    let width: usize = parsed
+        .option("width")
+        .map(str::parse)
+        .transpose()
+        .map_err(|_| ArgError("--width must be a number".into()))?
+        .unwrap_or(64);
+    let strategy = parsed.option("strategy").map(strategy_of).transpose()?;
+    let program = workload.program();
+    let pipeline = Pipeline::new(&program, pipeline_for(&workload));
+    eprintln!("profiling {} …", workload.name());
+    let artifacts = pipeline.profiling_run(workload.stop())?;
+    let built = pipeline.build_optimized(&artifacts, strategy)?;
+    let report = pipeline.run_image(&built, workload.stop())?;
+    for (name, states) in [
+        (".text", &report.text_page_states),
+        (".svm_heap", &report.heap_page_states),
+    ] {
+        let s = summarize(states);
+        println!(
+            "\n{name} — {} layout ({} faulted, {} resident, {} untouched):",
+            strategy.map_or("regular", |s| s.name()),
+            s.faulted,
+            s.resident,
+            s.untouched
+        );
+        println!("{}", render_ascii(states, width));
+    }
+    Ok(())
+}
+
+fn cmd_heapstats(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let workload = Workload::resolve(parsed.one_positional("workload")?)?;
+    let program = workload.program();
+    let pipeline = Pipeline::new(&program, pipeline_for(&workload));
+    eprintln!("profiling {} …", workload.name());
+    let artifacts = pipeline.profiling_run(workload.stop())?;
+    let built = pipeline.build_instrumented(nimage_compiler::InstrumentConfig::FULL)?;
+    let snap = &built.snapshot;
+
+    let stats = snap.stats();
+    println!(".svm_heap composition ({} objects, {} KiB):", stats.objects(), stats.bytes() / 1024);
+    for (name, (count, bytes)) in [
+        ("instances", stats.instances),
+        ("arrays", stats.arrays),
+        ("strings", stats.strings),
+        ("boxed consts", stats.boxed),
+        ("resources", stats.blobs),
+    ] {
+        println!(
+            "  {name:<13} {count:>6} objects {:>8} KiB ({:>4.1}% of bytes)",
+            bytes / 1024,
+            100.0 * bytes as f64 / stats.bytes().max(1) as f64
+        );
+    }
+    println!(
+        "roots: {} static-field, {} method-constant, {} interned-string, {} data-section, {} resource",
+        stats.roots[0], stats.roots[1], stats.roots[2], stats.roots[3], stats.roots[4]
+    );
+
+    // Accessed set from the instrumented trace (raw ids are ObjId + 1).
+    let trace = artifacts
+        .instrumented_report
+        .trace
+        .as_ref()
+        .expect("instrumented trace");
+    let mut accessed = std::collections::HashSet::new();
+    for t in &trace.threads {
+        for rec in t {
+            if let nimage_profiler::TraceRecord::Path { obj_ids, .. } = rec {
+                for &id in obj_ids {
+                    if id != 0 {
+                        accessed.insert(nimage_heap::ObjId((id - 1) as u32));
+                    }
+                }
+            }
+        }
+    }
+    println!(
+        "
+accessed at startup: {} of {} objects ({:.1}%)",
+        accessed.len(),
+        snap.entries().len(),
+        100.0 * accessed.len() as f64 / snap.entries().len().max(1) as f64
+    );
+
+    let default_order: Vec<nimage_heap::ObjId> = snap.entries().iter().map(|e| e.obj).collect();
+    let ids = nimage_order::assign_ids(&program, snap, nimage_order::HeapStrategy::HeapPath);
+    let profile = &artifacts.heap_profiles[&nimage_order::HeapStrategy::HeapPath];
+    let reordered = nimage_order::order_objects(snap, &ids, profile);
+    for (name, order) in [("default", &default_order), ("heap path", &reordered)] {
+        let q = nimage_order::layout_quality(snap, order, &accessed);
+        println!(
+            "  {name:<10} layout: span {:>6} KiB, density {:>5.1}%, {} runs",
+            q.span_bytes / 1024,
+            q.density * 100.0,
+            q.runs
+        );
+    }
+    Ok(())
+}
+
+fn cmd_overhead(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let workload = Workload::resolve(parsed.one_positional("workload")?)?;
+    let program = workload.program();
+    let pipeline = Pipeline::new(&program, pipeline_for(&workload));
+    let modes: [(&str, nimage_compiler::InstrumentConfig); 3] = [
+        (
+            "cu",
+            nimage_compiler::InstrumentConfig {
+                trace_cu: true,
+                ..nimage_compiler::InstrumentConfig::NONE
+            },
+        ),
+        (
+            "method",
+            nimage_compiler::InstrumentConfig {
+                trace_methods: true,
+                ..nimage_compiler::InstrumentConfig::NONE
+            },
+        ),
+        (
+            "heap",
+            nimage_compiler::InstrumentConfig {
+                trace_heap: true,
+                ..nimage_compiler::InstrumentConfig::NONE
+            },
+        ),
+    ];
+    println!(
+        "{} (dump mode {}):",
+        workload.name(),
+        match workload.dump_mode() {
+            DumpMode::OnFull => "1: flush on full/exit",
+            DumpMode::MemoryMapped => "2: memory-mapped",
+        }
+    );
+    for (name, cfg) in modes {
+        let f = pipeline.profiling_overhead(cfg, workload.stop())?;
+        println!("  {name:<8} {f:.2}x");
+    }
+    Ok(())
+}
+
+trait JoinNames {
+    fn join(self, sep: &str) -> String;
+}
+
+impl<const N: usize> JoinNames for [String; N] {
+    fn join(self, sep: &str) -> String {
+        self.as_slice().join(sep)
+    }
+}

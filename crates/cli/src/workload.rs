@@ -1,0 +1,106 @@
+//! Workload resolution shared by the CLI subcommands.
+
+use nimage_ir::Program;
+use nimage_profiler::DumpMode;
+use nimage_vm::StopWhen;
+use nimage_workloads::{Awfy, Microservice};
+
+use crate::args::ArgError;
+
+/// A named evaluation workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// An AWFY benchmark (FaaS model).
+    Awfy(Awfy),
+    /// A microservice helloworld (time to first response).
+    Micro(Microservice),
+}
+
+impl Workload {
+    /// All AWFY workloads.
+    pub fn awfy() -> impl Iterator<Item = Workload> {
+        Awfy::all().into_iter().map(Workload::Awfy)
+    }
+
+    /// All microservice workloads.
+    pub fn micro() -> impl Iterator<Item = Workload> {
+        Microservice::all().into_iter().map(Workload::Micro)
+    }
+
+    /// Resolves a (case-insensitive) workload name.
+    pub fn resolve(name: &str) -> Result<Workload, ArgError> {
+        Self::awfy()
+            .chain(Self::micro())
+            .find(|w| w.name().eq_ignore_ascii_case(name))
+            .ok_or_else(|| {
+                ArgError(format!(
+                    "unknown workload {name}; run `nimage list` for the available ones"
+                ))
+            })
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::Awfy(b) => b.name(),
+            Workload::Micro(m) => m.name(),
+        }
+    }
+
+    /// Builds the workload's program at the evaluation scale.
+    pub fn program(&self) -> Program {
+        match self {
+            Workload::Awfy(b) => b.program(),
+            Workload::Micro(m) => m.program(),
+        }
+    }
+
+    /// When the measured run stops.
+    pub fn stop(&self) -> StopWhen {
+        match self {
+            Workload::Awfy(_) => StopWhen::Exit,
+            Workload::Micro(_) => StopWhen::FirstResponse,
+        }
+    }
+
+    /// The trace-buffer dump mode the paper uses for this workload class.
+    pub fn dump_mode(&self) -> DumpMode {
+        match self {
+            Workload::Awfy(_) => DumpMode::OnFull,
+            Workload::Micro(_) => DumpMode::MemoryMapped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_case_insensitively() {
+        assert_eq!(
+            Workload::resolve("bounce").unwrap().name(),
+            "Bounce"
+        );
+        assert_eq!(
+            Workload::resolve("SPRING").unwrap().name(),
+            "spring"
+        );
+        assert!(Workload::resolve("nope").is_err());
+    }
+
+    #[test]
+    fn workload_classes_use_the_paper_setup() {
+        let b = Workload::resolve("Sieve").unwrap();
+        assert_eq!(b.stop(), StopWhen::Exit);
+        assert_eq!(b.dump_mode(), DumpMode::OnFull);
+        let m = Workload::resolve("quarkus").unwrap();
+        assert_eq!(m.stop(), StopWhen::FirstResponse);
+        assert_eq!(m.dump_mode(), DumpMode::MemoryMapped);
+    }
+
+    #[test]
+    fn seventeen_workloads_total() {
+        assert_eq!(Workload::awfy().count() + Workload::micro().count(), 17);
+    }
+}

@@ -1,0 +1,130 @@
+//! Compilation units and the compiled-program container.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use nimage_analysis::{CallSite, Reachability};
+use nimage_ir::{MethodId, Program};
+
+use crate::instrument::InstrumentConfig;
+
+/// Index of a compilation unit in a [`CompiledProgram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CuId(pub u32);
+
+impl CuId {
+    /// Returns the underlying index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CuId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cu{}", self.0)
+    }
+}
+
+/// One method copy inside a compilation unit's inline tree.
+///
+/// Node 0 is always the CU's root method; children are the callees inlined
+/// at specific call sites of this node's method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InlineNode {
+    /// The method whose body this node copies.
+    pub method: MethodId,
+    /// Parent node index, `None` for the root.
+    pub parent: Option<u32>,
+    /// Byte offset of this method copy within the CU.
+    pub offset: u32,
+    /// Effective (possibly instrumented) size of this copy in bytes.
+    pub size: u32,
+    /// Inlined callees: call site in *this* node's method → child node.
+    pub children: Vec<(CallSite, u32)>,
+}
+
+impl InlineNode {
+    /// Child node inlined at `site`, if that call was inlined.
+    pub fn child_at(&self, site: CallSite) -> Option<u32> {
+        self.children
+            .iter()
+            .find(|(s, _)| *s == site)
+            .map(|&(_, n)| n)
+    }
+}
+
+/// A compilation unit: a root method plus every method inlined into it
+/// (Sec. 2), with byte offsets for the `.text` layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompilationUnit {
+    /// This CU's id.
+    pub id: CuId,
+    /// The root method the compilation started from.
+    pub root: MethodId,
+    /// Inline tree in DFS pre-order; `nodes[0]` is the root.
+    pub nodes: Vec<InlineNode>,
+    /// Total size in bytes (sum of node sizes plus the CU-entry probe if the
+    /// build traces CU entries).
+    pub size: u32,
+}
+
+impl CompilationUnit {
+    /// Methods contained in this CU (root first, then inlinees in DFS
+    /// order; a method may appear more than once if inlined at several
+    /// sites).
+    pub fn methods(&self) -> impl Iterator<Item = MethodId> + '_ {
+        self.nodes.iter().map(|n| n.method)
+    }
+
+    /// Whether the CU contains a copy of `m` (as root or inlinee).
+    pub fn contains(&self, m: MethodId) -> bool {
+        self.nodes.iter().any(|n| n.method == m)
+    }
+}
+
+/// The result of compiling a program: all CUs plus lookup tables.
+///
+/// CUs are stored in **default order** — alphabetical by root-method
+/// signature, exactly the default `.text` order of Native Image binaries
+/// (Sec. 2). Ordering strategies permute this order at image-layout time.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// All compilation units, in default (alphabetical) order.
+    pub cus: Vec<CompilationUnit>,
+    /// CU whose root is the given method.
+    pub root_to_cu: HashMap<MethodId, CuId>,
+    /// The instrumentation this build was compiled with.
+    pub instrumentation: InstrumentConfig,
+    /// The reachability result the compilation was based on.
+    pub reachability: Reachability,
+}
+
+impl CompiledProgram {
+    /// Looks up a CU.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn cu(&self, id: CuId) -> &CompilationUnit {
+        &self.cus[id.index()]
+    }
+
+    /// The CU rooted at `method`, if `method` is a CU root in this build.
+    pub fn cu_of_root(&self, method: MethodId) -> Option<CuId> {
+        self.root_to_cu.get(&method).copied()
+    }
+
+    /// Total `.text` payload size (sum of CU sizes) in bytes.
+    pub fn total_code_size(&self) -> u64 {
+        self.cus.iter().map(|c| u64::from(c.size)).sum()
+    }
+
+    /// Root-method signatures of all CUs in default order — the unit of the
+    /// paper's *cu ordering* profiles.
+    pub fn root_signatures(&self, program: &Program) -> Vec<String> {
+        self.cus
+            .iter()
+            .map(|c| program.method_signature(c.root))
+            .collect()
+    }
+}

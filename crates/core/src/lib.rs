@@ -1,0 +1,726 @@
+//! # nimage-core
+//!
+//! The end-to-end profile-guided binary-reordering pipeline of the paper's
+//! Fig. 1, as a library facade over the nimage workspace:
+//!
+//! 1. **Profiling build** — compile with instrumentation (which perturbs
+//!    inlining!), snapshot the heap, build the image;
+//! 2. **Profiling run** — execute the instrumented image; the VM emits
+//!    CU-entry / method-entry / path records into per-thread buffers;
+//! 3. **Post-processing** — replay the trace through the ordering analyses,
+//!    producing the code-ordering and heap-ordering CSV profiles (the heap
+//!    profiles carry strategy-specific 64-bit identities computed on the
+//!    *instrumented* build's snapshot);
+//! 4. **Optimizing build** — recompile with the PGO call counts (different
+//!    inlining again), snapshot with optimized-build divergence (parallel
+//!    initializer order, PEA folding), recompute strategy identities on the
+//!    *new* snapshot, match them against the profile, and lay out the image
+//!    with the reordered CUs and objects;
+//! 5. **Measurement** — run the baseline (same optimized build, default
+//!    layout) and the reordered image, comparing page faults per section
+//!    and simulated execution time.
+//!
+//! ```no_run
+//! use nimage_core::{Pipeline, BuildOptions, Strategy};
+//! use nimage_vm::StopWhen;
+//! # fn program() -> nimage_ir::Program { unimplemented!() }
+//!
+//! # fn main() -> Result<(), nimage_core::PipelineError> {
+//! let program = program();
+//! let pipeline = Pipeline::new(&program, BuildOptions::default());
+//! let eval = pipeline.evaluate(Strategy::CuPlusHeapPath, StopWhen::Exit)?;
+//! println!("text-fault reduction: {:.2}x", eval.text_fault_reduction());
+//! println!("speedup: {:.2}x", eval.speedup(&nimage_vm::CostModel::ssd()));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod persist;
+
+pub use persist::{load_profiles, save_profiles, SavedProfiles};
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use nimage_analysis::{analyze, AnalysisConfig};
+use nimage_compiler::{
+    compile, CallCountProfile, CompiledProgram, InlineConfig, InstrumentConfig,
+};
+use nimage_heap::{snapshot, ClinitError, HeapBuildConfig, HeapSnapshot};
+use nimage_image::{BinaryImage, ImageOptions};
+use nimage_ir::Program;
+use nimage_order::{
+    assign_ids, order_cus, order_objects, replay, CodeGranularity, CodeOrderProfile,
+    CuOrderAnalysis, HeapOrderAnalysis, HeapOrderProfile, HeapStrategy, MethodOrderAnalysis,
+    OrderingAnalysis, ReplayError,
+};
+use nimage_vm::{CostModel, RunReport, StopWhen, Vm, VmConfig, VmError};
+
+/// An ordering strategy of the paper (Sec. 4, Sec. 5, and the combined
+/// `cu+heap path` of Sec. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Code ordering by CU-entry trace (Sec. 4.1).
+    Cu,
+    /// Code ordering by method-entry trace (Sec. 4.2).
+    Method,
+    /// Heap ordering with incremental IDs (Sec. 5.1).
+    IncrementalId,
+    /// Heap ordering with the structural hash, `MAX_DEPTH = 2` (Sec. 5.2).
+    StructuralHash,
+    /// Heap ordering with heap-path hashes (Sec. 5.3).
+    HeapPath,
+    /// The combination the paper reports end-to-end numbers for: *cu*
+    /// code ordering plus *heap path* object ordering.
+    CuPlusHeapPath,
+}
+
+impl Strategy {
+    /// All strategies, in the order the paper's figures list them.
+    pub fn all() -> [Strategy; 6] {
+        [
+            Strategy::Cu,
+            Strategy::Method,
+            Strategy::IncrementalId,
+            Strategy::StructuralHash,
+            Strategy::HeapPath,
+            Strategy::CuPlusHeapPath,
+        ]
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Cu => "cu",
+            Strategy::Method => "method",
+            Strategy::IncrementalId => "incremental id",
+            Strategy::StructuralHash => "structural hash",
+            Strategy::HeapPath => "heap path",
+            Strategy::CuPlusHeapPath => "cu+heap path",
+        }
+    }
+
+    /// Whether this strategy reorders code.
+    pub fn orders_code(&self) -> bool {
+        matches!(
+            self,
+            Strategy::Cu | Strategy::Method | Strategy::CuPlusHeapPath
+        )
+    }
+
+    /// Whether this strategy reorders the heap snapshot.
+    pub fn orders_heap(&self) -> bool {
+        matches!(
+            self,
+            Strategy::IncrementalId
+                | Strategy::StructuralHash
+                | Strategy::HeapPath
+                | Strategy::CuPlusHeapPath
+        )
+    }
+
+    /// The heap identity scheme the strategy uses, if it orders the heap.
+    pub fn heap_strategy(&self) -> Option<HeapStrategy> {
+        match self {
+            Strategy::IncrementalId => Some(HeapStrategy::IncrementalId),
+            Strategy::StructuralHash => Some(HeapStrategy::structural_default()),
+            Strategy::HeapPath | Strategy::CuPlusHeapPath => Some(HeapStrategy::HeapPath),
+            _ => None,
+        }
+    }
+}
+
+/// Configuration of every pipeline stage.
+#[derive(Debug, Clone)]
+pub struct BuildOptions {
+    /// Reachability analysis knobs.
+    pub analysis: AnalysisConfig,
+    /// Inliner knobs (shared by all builds; effective sizes differ through
+    /// instrumentation and PGO).
+    pub inline: InlineConfig,
+    /// Image layout knobs.
+    pub image: ImageOptions,
+    /// Heap-build configuration of the profiling (instrumented) build.
+    pub heap_instrumented: HeapBuildConfig,
+    /// Heap-build configuration of the optimized build — different
+    /// initializer seed and PEA folding enabled, modelling the cross-build
+    /// divergence of Sec. 2.
+    pub heap_optimized: HeapBuildConfig,
+    /// VM configuration (paging, probe costs, dump mode).
+    pub vm: VmConfig,
+    /// Extension beyond the paper (its Appendix A future work): also
+    /// reorder the pages of the statically linked native tail using the
+    /// instrumented run's first-touch order. Off by default, so the
+    /// headline experiments match the paper's setup.
+    pub reorder_native: bool,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions {
+            analysis: AnalysisConfig::default(),
+            inline: InlineConfig::default(),
+            image: ImageOptions::default(),
+            heap_instrumented: HeapBuildConfig {
+                clinit_seed: 1,
+                ..HeapBuildConfig::default()
+            },
+            heap_optimized: HeapBuildConfig {
+                clinit_seed: 2,
+                pea_fold: true,
+                pea_seed: 3,
+                ..HeapBuildConfig::default()
+            },
+            vm: VmConfig::default(),
+            reorder_native: false,
+        }
+    }
+}
+
+/// Everything needed to execute one build.
+#[derive(Debug)]
+pub struct BuiltImage {
+    /// The compiled program (CUs).
+    pub compiled: CompiledProgram,
+    /// The heap snapshot.
+    pub snapshot: HeapSnapshot,
+    /// The laid-out binary image.
+    pub image: BinaryImage,
+}
+
+/// The profiles produced by the profiling run (step 3 of Fig. 1).
+#[derive(Debug)]
+pub struct ProfiledArtifacts {
+    /// PGO call counts (consumed by the optimizing build's inliner).
+    pub call_counts: CallCountProfile,
+    /// *cu ordering* profile: CU-root signatures in first-entry order.
+    pub cu_profile: CodeOrderProfile,
+    /// *method ordering* profile: method signatures in first-entry order.
+    pub method_profile: CodeOrderProfile,
+    /// Heap-ordering profiles, one per identity scheme.
+    pub heap_profiles: HashMap<HeapStrategy, HeapOrderProfile>,
+    /// Native-tail pages in first-touch order (the extension profile).
+    pub native_pages: Vec<u32>,
+    /// The instrumented run's report (for overhead accounting).
+    pub instrumented_report: RunReport,
+}
+
+/// A baseline-vs-strategy measurement pair.
+#[derive(Debug)]
+pub struct Evaluation {
+    /// The strategy evaluated.
+    pub strategy: Strategy,
+    /// Run of the optimized build with default layout.
+    pub baseline: RunReport,
+    /// Run of the optimized build with the strategy's layout.
+    pub optimized: RunReport,
+}
+
+fn ratio(base: u64, opt: u64) -> f64 {
+    if opt == 0 {
+        if base == 0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        base as f64 / opt as f64
+    }
+}
+
+impl Evaluation {
+    /// `.text` page-fault reduction factor (baseline / optimized; > 1 is
+    /// better — Fig. 2/3's metric for code strategies).
+    pub fn text_fault_reduction(&self) -> f64 {
+        ratio(self.baseline.faults.text, self.optimized.faults.text)
+    }
+
+    /// `.svm_heap` page-fault reduction factor (Fig. 2/3's metric for heap
+    /// strategies).
+    pub fn heap_fault_reduction(&self) -> f64 {
+        ratio(self.baseline.faults.svm_heap, self.optimized.faults.svm_heap)
+    }
+
+    /// Combined fault reduction over both sections (the `cu+heap path`
+    /// metric).
+    pub fn total_fault_reduction(&self) -> f64 {
+        ratio(self.baseline.faults.total(), self.optimized.faults.total())
+    }
+
+    /// The reduction factor the paper reports for this strategy: `.text`
+    /// faults for code strategies, `.svm_heap` faults for heap strategies,
+    /// both for the combined strategy.
+    pub fn reported_fault_reduction(&self) -> f64 {
+        match self.strategy {
+            Strategy::Cu | Strategy::Method => self.text_fault_reduction(),
+            Strategy::IncrementalId | Strategy::StructuralHash | Strategy::HeapPath => {
+                self.heap_fault_reduction()
+            }
+            Strategy::CuPlusHeapPath => self.total_fault_reduction(),
+        }
+    }
+
+    /// Execution-time speedup under a cost model (Fig. 4/5). Uses
+    /// time-to-first-response when the runs observed one (microservices),
+    /// end-to-end time otherwise (AWFY).
+    pub fn speedup(&self, cm: &CostModel) -> f64 {
+        let time = |r: &RunReport| {
+            r.time_to_first_response_ns(cm)
+                .unwrap_or_else(|| r.time_ns(cm))
+        };
+        time(&self.baseline) / time(&self.optimized)
+    }
+}
+
+/// A pipeline failure.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Build-time initializer execution failed.
+    Clinit(ClinitError),
+    /// The VM hit a runtime error.
+    Vm(VmError),
+    /// Trace post-processing failed.
+    Replay(ReplayError),
+    /// The instrumented run produced no trace.
+    NoTrace,
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Clinit(e) => write!(f, "build-time execution failed: {e}"),
+            PipelineError::Vm(e) => write!(f, "execution failed: {e}"),
+            PipelineError::Replay(e) => write!(f, "trace post-processing failed: {e}"),
+            PipelineError::NoTrace => write!(f, "instrumented run produced no trace"),
+        }
+    }
+}
+
+impl Error for PipelineError {}
+
+impl From<ClinitError> for PipelineError {
+    fn from(e: ClinitError) -> Self {
+        PipelineError::Clinit(e)
+    }
+}
+impl From<VmError> for PipelineError {
+    fn from(e: VmError) -> Self {
+        PipelineError::Vm(e)
+    }
+}
+impl From<ReplayError> for PipelineError {
+    fn from(e: ReplayError) -> Self {
+        PipelineError::Replay(e)
+    }
+}
+
+/// Builds the native-tail page permutation from a first-touch profile:
+/// touched pages move to the front of the tail (in touch order), untouched
+/// pages follow in their original order.
+fn native_order(touched: &[u32], n_pages: u32) -> Vec<u32> {
+    let mut position = vec![u32::MAX; n_pages as usize];
+    let mut next = 0u32;
+    for &p in touched {
+        if (p as usize) < position.len() && position[p as usize] == u32::MAX {
+            position[p as usize] = next;
+            next += 1;
+        }
+    }
+    for slot in position.iter_mut() {
+        if *slot == u32::MAX {
+            *slot = next;
+            next += 1;
+        }
+    }
+    position
+}
+
+/// The end-to-end pipeline for one program.
+#[derive(Debug)]
+pub struct Pipeline<'p> {
+    program: &'p Program,
+    opts: BuildOptions,
+}
+
+impl<'p> Pipeline<'p> {
+    /// Creates a pipeline.
+    pub fn new(program: &'p Program, opts: BuildOptions) -> Self {
+        Pipeline { program, opts }
+    }
+
+    /// The pipeline's options.
+    pub fn options(&self) -> &BuildOptions {
+        &self.opts
+    }
+
+    fn compile_with(
+        &self,
+        instr: InstrumentConfig,
+        profile: Option<&CallCountProfile>,
+    ) -> CompiledProgram {
+        let reach = analyze(self.program, &self.opts.analysis);
+        compile(self.program, reach, &self.opts.inline, instr, profile)
+    }
+
+    /// Builds the instrumented image (steps 1–2 of Fig. 1's profiling
+    /// build).
+    ///
+    /// # Errors
+    /// Fails if build-time initializers fail.
+    pub fn build_instrumented(
+        &self,
+        instr: InstrumentConfig,
+    ) -> Result<BuiltImage, PipelineError> {
+        let compiled = self.compile_with(instr, None);
+        let snap = snapshot(self.program, &compiled, &self.opts.heap_instrumented)?;
+        let image = BinaryImage::build(&compiled, &snap, None, None, self.opts.image.clone());
+        Ok(BuiltImage {
+            compiled,
+            snapshot: snap,
+            image,
+        })
+    }
+
+    /// Runs an image.
+    ///
+    /// # Errors
+    /// Propagates VM errors.
+    pub fn run_image(&self, built: &BuiltImage, stop: StopWhen) -> Result<RunReport, PipelineError> {
+        Ok(Vm::new(
+            self.program,
+            &built.compiled,
+            &built.snapshot,
+            &built.image,
+            self.opts.vm.clone(),
+        )
+        .run(stop)?)
+    }
+
+    /// Performs the full profiling build + run + post-processing (steps 1–3
+    /// of Fig. 1), producing every ordering profile at once.
+    ///
+    /// # Errors
+    /// Fails on build-time, runtime or post-processing errors.
+    pub fn profiling_run(&self, stop: StopWhen) -> Result<ProfiledArtifacts, PipelineError> {
+        let built = self.build_instrumented(InstrumentConfig::FULL)?;
+        let report = self.run_image(&built, stop)?;
+        let trace = report.trace.clone().ok_or(PipelineError::NoTrace)?;
+
+        let heap_strategies = [
+            HeapStrategy::IncrementalId,
+            HeapStrategy::structural_default(),
+            HeapStrategy::HeapPath,
+        ];
+
+        let mut cu_an = CuOrderAnalysis::new();
+        let mut method_an = MethodOrderAnalysis::new();
+        let mut heap_profiles = HashMap::new();
+        for (i, &strat) in heap_strategies.iter().enumerate() {
+            let ids = assign_ids(self.program, &built.snapshot, strat);
+            let mut heap_an = HeapOrderAnalysis::new();
+            if i == 0 {
+                // Feed the code analyses on the first pass; they ignore
+                // object-access events.
+                let mut analyses: [&mut dyn OrderingAnalysis; 3] =
+                    [&mut cu_an, &mut method_an, &mut heap_an];
+                replay(
+                    self.program,
+                    &trace,
+                    &ids,
+                    self.opts.vm.max_paths,
+                    &mut analyses,
+                )?;
+            } else {
+                let mut analyses: [&mut dyn OrderingAnalysis; 1] = [&mut heap_an];
+                replay(
+                    self.program,
+                    &trace,
+                    &ids,
+                    self.opts.vm.max_paths,
+                    &mut analyses,
+                )?;
+            }
+            heap_profiles.insert(strat, heap_an.into_profile());
+        }
+
+        Ok(ProfiledArtifacts {
+            call_counts: report.call_counts.clone(),
+            cu_profile: cu_an.into_profile(),
+            method_profile: method_an.into_profile(),
+            heap_profiles,
+            native_pages: report.native_touch_pages.clone(),
+            instrumented_report: report,
+        })
+    }
+
+    /// Builds the profile-guided optimized image with the given strategy's
+    /// layout (step 4 of Fig. 1). With `strategy = None`, produces the
+    /// baseline: the same PGO build with the default layout.
+    ///
+    /// # Errors
+    /// Fails if build-time initializers fail.
+    pub fn build_optimized(
+        &self,
+        artifacts: &ProfiledArtifacts,
+        strategy: Option<Strategy>,
+    ) -> Result<BuiltImage, PipelineError> {
+        let compiled = self.compile_with(InstrumentConfig::NONE, Some(&artifacts.call_counts));
+        let snap = snapshot(self.program, &compiled, &self.opts.heap_optimized)?;
+
+        let cu_order = match strategy {
+            Some(s) if s.orders_code() => {
+                let (profile, gran) = match s {
+                    Strategy::Method => (&artifacts.method_profile, CodeGranularity::Method),
+                    _ => (&artifacts.cu_profile, CodeGranularity::Cu),
+                };
+                Some(order_cus(self.program, &compiled, profile, gran))
+            }
+            _ => None,
+        };
+        let object_order = match strategy.and_then(|s| s.heap_strategy()) {
+            Some(hs) => {
+                let ids = assign_ids(self.program, &snap, hs);
+                let profile = &artifacts.heap_profiles[&hs];
+                Some(order_objects(&snap, &ids, profile))
+            }
+            None => None,
+        };
+
+        let mut image = BinaryImage::build(
+            &compiled,
+            &snap,
+            cu_order,
+            object_order,
+            self.opts.image.clone(),
+        );
+        if self.opts.reorder_native && strategy.is_some() {
+            image.set_native_page_order(native_order(
+                &artifacts.native_pages,
+                image.native_pages() as u32,
+            ));
+        }
+        Ok(BuiltImage {
+            compiled,
+            snapshot: snap,
+            image,
+        })
+    }
+
+    /// Runs the complete experiment for one strategy: profile, build the
+    /// baseline and the reordered optimized image, run both.
+    ///
+    /// # Errors
+    /// Propagates any pipeline stage failure.
+    pub fn evaluate(&self, strategy: Strategy, stop: StopWhen) -> Result<Evaluation, PipelineError> {
+        let artifacts = self.profiling_run(stop)?;
+        self.evaluate_with(&artifacts, strategy, stop)
+    }
+
+    /// Like [`Self::evaluate`], reusing already-collected profiles (the
+    /// paper profiles once and evaluates every strategy).
+    ///
+    /// # Errors
+    /// Propagates any pipeline stage failure.
+    pub fn evaluate_with(
+        &self,
+        artifacts: &ProfiledArtifacts,
+        strategy: Strategy,
+        stop: StopWhen,
+    ) -> Result<Evaluation, PipelineError> {
+        let baseline_img = self.build_optimized(artifacts, None)?;
+        let optimized_img = self.build_optimized(artifacts, Some(strategy))?;
+        let baseline = self.run_image(&baseline_img, stop)?;
+        let optimized = self.run_image(&optimized_img, stop)?;
+        Ok(Evaluation {
+            strategy,
+            baseline,
+            optimized,
+        })
+    }
+
+    /// Sec. 7.4: the execution-time overhead factor of one instrumentation
+    /// mode, `time(instrumented) / time(regular)`.
+    ///
+    /// The paper measures profiling overhead in the usual warm-cache
+    /// benchmarking setup (profiling happens once, offline), so the ratio
+    /// is computed over CPU work only — cold-start fault latency is the
+    /// *subject* of the other experiments, not of this one.
+    ///
+    /// # Errors
+    /// Propagates build or run failures.
+    pub fn profiling_overhead(
+        &self,
+        instr: InstrumentConfig,
+        stop: StopWhen,
+    ) -> Result<f64, PipelineError> {
+        let regular = self.build_instrumented(InstrumentConfig::NONE)?;
+        let reg_report = self.run_image(&regular, stop)?;
+        let instrumented = self.build_instrumented(instr)?;
+        let ins_report = self.run_image(&instrumented, stop)?;
+        let cpu = |r: &RunReport| match r.first_response {
+            Some(rp) => (rp.ops + rp.probe_ops) as f64,
+            None => (r.ops + r.probe_ops) as f64,
+        };
+        Ok(cpu(&ins_report) / cpu(&reg_report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimage_vm::SectionFaults;
+
+    fn report(text: u64, heap: u64, ops: u64) -> RunReport {
+        RunReport {
+            ops,
+            probe_ops: 0,
+            faults: SectionFaults {
+                text,
+                svm_heap: heap,
+            },
+            first_response: None,
+            call_counts: CallCountProfile::new(),
+            trace: None,
+            session_stats: None,
+            exit: nimage_vm::ExitKind::Exited,
+            entry_return: None,
+            native_touch_pages: vec![],
+            text_page_states: vec![],
+            heap_page_states: vec![],
+        }
+    }
+
+    #[test]
+    fn strategy_metadata_is_consistent() {
+        for s in Strategy::all() {
+            assert!(s.orders_code() || s.orders_heap(), "{}", s.name());
+            assert_eq!(s.orders_heap(), s.heap_strategy().is_some());
+        }
+        assert!(Strategy::CuPlusHeapPath.orders_code());
+        assert!(Strategy::CuPlusHeapPath.orders_heap());
+        assert_eq!(
+            Strategy::StructuralHash.heap_strategy(),
+            Some(HeapStrategy::StructuralHash { max_depth: 2 })
+        );
+    }
+
+    #[test]
+    fn reported_metric_matches_strategy_kind() {
+        let eval = Evaluation {
+            strategy: Strategy::Cu,
+            baseline: report(20, 10, 100),
+            optimized: report(10, 10, 100),
+        };
+        assert_eq!(eval.reported_fault_reduction(), 2.0);
+        let eval = Evaluation {
+            strategy: Strategy::HeapPath,
+            baseline: report(20, 10, 100),
+            optimized: report(20, 5, 100),
+        };
+        assert_eq!(eval.reported_fault_reduction(), 2.0);
+        let eval = Evaluation {
+            strategy: Strategy::CuPlusHeapPath,
+            baseline: report(20, 10, 100),
+            optimized: report(10, 5, 100),
+        };
+        assert_eq!(eval.reported_fault_reduction(), 2.0);
+    }
+
+    #[test]
+    fn zero_fault_ratios_are_well_defined() {
+        let eval = Evaluation {
+            strategy: Strategy::Cu,
+            baseline: report(0, 0, 100),
+            optimized: report(0, 0, 100),
+        };
+        assert_eq!(eval.text_fault_reduction(), 1.0);
+        let eval = Evaluation {
+            strategy: Strategy::Cu,
+            baseline: report(5, 0, 100),
+            optimized: report(0, 0, 100),
+        };
+        assert!(eval.text_fault_reduction().is_infinite());
+    }
+
+    #[test]
+    fn speedup_prefers_first_response_when_present() {
+        let cm = nimage_vm::CostModel {
+            ns_per_op: 1.0,
+            fault_ns: 0.0,
+        };
+        let mut baseline = report(0, 0, 1_000);
+        let mut optimized = report(0, 0, 1_000);
+        baseline.first_response = Some(nimage_vm::ResponsePoint {
+            ops: 400,
+            probe_ops: 0,
+            faults: SectionFaults::default(),
+        });
+        optimized.first_response = Some(nimage_vm::ResponsePoint {
+            ops: 200,
+            probe_ops: 0,
+            faults: SectionFaults::default(),
+        });
+        let eval = Evaluation {
+            strategy: Strategy::Cu,
+            baseline,
+            optimized,
+        };
+        assert_eq!(eval.speedup(&cm), 2.0);
+    }
+
+    #[test]
+    fn default_build_options_model_cross_build_divergence() {
+        let opts = BuildOptions::default();
+        assert_ne!(
+            opts.heap_instrumented.clinit_seed,
+            opts.heap_optimized.clinit_seed,
+            "builds must not share initializer order"
+        );
+        assert!(!opts.heap_instrumented.pea_fold);
+        assert!(opts.heap_optimized.pea_fold);
+    }
+
+    #[test]
+    fn pipeline_error_displays_sources() {
+        let e = PipelineError::NoTrace;
+        assert!(e.to_string().contains("no trace"));
+        let e = PipelineError::Clinit(ClinitError::BudgetExhausted);
+        assert!(e.to_string().contains("build-time"));
+    }
+}
+
+#[cfg(test)]
+mod native_order_tests {
+    use super::native_order;
+
+    #[test]
+    fn touched_pages_move_to_front_in_touch_order() {
+        let order = native_order(&[5, 2, 7], 10);
+        // position[5]=0, position[2]=1, position[7]=2, rest in old order.
+        assert_eq!(order[5], 0);
+        assert_eq!(order[2], 1);
+        assert_eq!(order[7], 2);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>(), "permutation");
+    }
+
+    #[test]
+    fn duplicate_and_out_of_range_touches_are_ignored() {
+        let order = native_order(&[1, 1, 99, 0], 4);
+        assert_eq!(order[1], 0);
+        assert_eq!(order[0], 1);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_profile_is_identity_like() {
+        let order = native_order(&[], 4);
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+}

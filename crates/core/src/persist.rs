@@ -1,0 +1,206 @@
+//! Persistence of profiling artifacts.
+//!
+//! The paper's post-processing framework emits "a CSV file that is used by
+//! Native Image" per ordering analysis (Sec. 6.2). This module writes and
+//! reads that profile directory, so profiling and optimizing builds can run
+//! in separate processes (as they do in the real toolchain):
+//!
+//! ```text
+//! <dir>/cu_order.csv          one CU-root signature per line
+//! <dir>/method_order.csv      one method signature per line
+//! <dir>/heap_incremental.csv  one 64-bit hex id per line
+//! <dir>/heap_structural.csv
+//! <dir>/heap_path.csv
+//! <dir>/call_counts.csv       signature,count
+//! ```
+
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+
+use nimage_compiler::CallCountProfile;
+use nimage_order::{CodeOrderProfile, HeapOrderProfile, HeapStrategy};
+
+use crate::ProfiledArtifacts;
+
+fn heap_file_name(strategy: HeapStrategy) -> &'static str {
+    match strategy {
+        HeapStrategy::IncrementalId => "heap_incremental.csv",
+        HeapStrategy::StructuralHash { .. } => "heap_structural.csv",
+        HeapStrategy::HeapPath => "heap_path.csv",
+    }
+}
+
+fn code_csv(profile: &CodeOrderProfile) -> String {
+    let mut s = String::new();
+    for sig in &profile.sigs {
+        s.push_str(sig);
+        s.push('\n');
+    }
+    s
+}
+
+fn heap_csv(profile: &HeapOrderProfile) -> String {
+    let mut s = String::new();
+    for id in &profile.ids {
+        s.push_str(&format!("{id:016x}\n"));
+    }
+    s
+}
+
+/// Writes the ordering profiles and PGO call counts of `artifacts` into
+/// `dir` (created if missing).
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn save_profiles(artifacts: &ProfiledArtifacts, dir: &Path) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("cu_order.csv"), code_csv(&artifacts.cu_profile))?;
+    std::fs::write(
+        dir.join("method_order.csv"),
+        code_csv(&artifacts.method_profile),
+    )?;
+    for (&strategy, profile) in &artifacts.heap_profiles {
+        std::fs::write(dir.join(heap_file_name(strategy)), heap_csv(profile))?;
+    }
+    std::fs::write(dir.join("call_counts.csv"), artifacts.call_counts.to_csv())?;
+    Ok(())
+}
+
+/// The profiles read back from a directory written by [`save_profiles`].
+///
+/// This intentionally mirrors [`ProfiledArtifacts`] minus the run report
+/// (which is not persisted — the optimizing build does not need it).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SavedProfiles {
+    /// *cu ordering* profile.
+    pub cu_profile: CodeOrderProfile,
+    /// *method ordering* profile.
+    pub method_profile: CodeOrderProfile,
+    /// Heap-ordering profiles per identity scheme.
+    pub heap_profiles: HashMap<HeapStrategy, HeapOrderProfile>,
+    /// PGO call counts.
+    pub call_counts: CallCountProfile,
+}
+
+/// Reads a profile directory written by [`save_profiles`]. Missing files
+/// yield empty profiles (a build can proceed with partial profiles, as the
+/// real toolchain does).
+///
+/// # Errors
+/// Propagates filesystem errors other than "file not found".
+pub fn load_profiles(dir: &Path) -> io::Result<SavedProfiles> {
+    let read = |name: &str| -> io::Result<String> {
+        match std::fs::read_to_string(dir.join(name)) {
+            Ok(s) => Ok(s),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(String::new()),
+            Err(e) => Err(e),
+        }
+    };
+    let mut heap_profiles = HashMap::new();
+    for strategy in [
+        HeapStrategy::IncrementalId,
+        HeapStrategy::structural_default(),
+        HeapStrategy::HeapPath,
+    ] {
+        heap_profiles.insert(
+            strategy,
+            HeapOrderProfile::from_csv(&read(heap_file_name(strategy))?),
+        );
+    }
+    Ok(SavedProfiles {
+        cu_profile: CodeOrderProfile::from_csv(&read("cu_order.csv")?),
+        method_profile: CodeOrderProfile::from_csv(&read("method_order.csv")?),
+        heap_profiles,
+        call_counts: CallCountProfile::from_csv(&read("call_counts.csv")?),
+    })
+}
+
+impl SavedProfiles {
+    /// Rehydrates pipeline artifacts from saved profiles; `report` is the
+    /// instrumented run report when available (pass a fresh one when
+    /// resuming in-process, or synthesize via a new profiling run).
+    pub fn into_artifacts(self, report: nimage_vm::RunReport) -> ProfiledArtifacts {
+        ProfiledArtifacts {
+            call_counts: self.call_counts,
+            cu_profile: self.cu_profile,
+            method_profile: self.method_profile,
+            heap_profiles: self.heap_profiles,
+            native_pages: report.native_touch_pages.clone(),
+            instrumented_report: report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BuildOptions, Pipeline};
+    use nimage_ir::{ProgramBuilder, TypeRef};
+    use nimage_vm::StopWhen;
+
+    fn tiny_program() -> nimage_ir::Program {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("t.Main", None);
+        let fld = pb.add_static_field(c, "S", TypeRef::array_of(TypeRef::Int));
+        let cl = pb.declare_clinit(c);
+        let mut f = pb.body(cl);
+        let n = f.iconst(64);
+        let a = f.new_array(TypeRef::Int, n);
+        f.put_static(fld, a);
+        f.ret(None);
+        pb.finish_body(cl, f);
+        let helper = pb.declare_static(c, "helper", &[], Some(TypeRef::Int));
+        let mut f = pb.body(helper);
+        let arr = f.get_static(fld);
+        let z = f.iconst(0);
+        let v = f.array_get(arr, z);
+        f.ret(Some(v));
+        pb.finish_body(helper, f);
+        let main = pb.declare_static(c, "main", &[], Some(TypeRef::Int));
+        let mut f = pb.body(main);
+        let v = f.call_static(helper, &[], true).unwrap();
+        f.ret(Some(v));
+        pb.finish_body(main, f);
+        pb.set_entry(main);
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn profiles_roundtrip_through_directory() {
+        let program = tiny_program();
+        let pipeline = Pipeline::new(&program, BuildOptions::default());
+        let artifacts = pipeline.profiling_run(StopWhen::Exit).unwrap();
+        let dir = std::env::temp_dir().join(format!("nimage-prof-{}", std::process::id()));
+        save_profiles(&artifacts, &dir).unwrap();
+        let loaded = load_profiles(&dir).unwrap();
+        assert_eq!(loaded.cu_profile, artifacts.cu_profile);
+        assert_eq!(loaded.method_profile, artifacts.method_profile);
+        assert_eq!(loaded.heap_profiles, artifacts.heap_profiles);
+        assert_eq!(loaded.call_counts, artifacts.call_counts);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loading_missing_directory_yields_empty_profiles() {
+        let loaded = load_profiles(Path::new("/nonexistent/nimage-profiles")).unwrap();
+        assert!(loaded.cu_profile.sigs.is_empty());
+        assert!(loaded.call_counts.is_empty());
+    }
+
+    #[test]
+    fn loaded_profiles_drive_an_optimizing_build() {
+        let program = tiny_program();
+        let pipeline = Pipeline::new(&program, BuildOptions::default());
+        let artifacts = pipeline.profiling_run(StopWhen::Exit).unwrap();
+        let dir = std::env::temp_dir().join(format!("nimage-prof2-{}", std::process::id()));
+        save_profiles(&artifacts, &dir).unwrap();
+        let loaded = load_profiles(&dir).unwrap();
+        let rehydrated = loaded.into_artifacts(artifacts.instrumented_report.clone());
+        let eval = pipeline
+            .evaluate_with(&rehydrated, crate::Strategy::Cu, StopWhen::Exit)
+            .unwrap();
+        assert_eq!(eval.baseline.entry_return, eval.optimized.entry_return);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

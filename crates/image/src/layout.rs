@@ -1,0 +1,402 @@
+//! Section layout of the binary image.
+
+use std::collections::HashMap;
+
+use nimage_compiler::{CompiledProgram, CuId};
+use nimage_heap::{HeapSnapshot, ObjId};
+
+/// Layout options.
+#[derive(Debug, Clone)]
+pub struct ImageOptions {
+    /// Page size in bytes (the paper evaluates with 4 KiB pages).
+    pub page_size: u64,
+    /// Alignment of compilation units within `.text`.
+    pub cu_align: u64,
+    /// Alignment of objects within `.svm_heap`.
+    pub obj_align: u64,
+    /// Size of the native-code tail at the end of `.text` (statically
+    /// linked native methods, not reordered — Fig. 6 / Appendix A).
+    pub native_tail: u64,
+}
+
+impl Default for ImageOptions {
+    fn default() -> Self {
+        ImageOptions {
+            page_size: 4096,
+            cu_align: 16,
+            obj_align: 8,
+            native_tail: 768 * 1024,
+        }
+    }
+}
+
+/// Which section an offset belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SectionKind {
+    /// Compiled code (`.text`), including the native tail.
+    Text,
+    /// The heap snapshot (`.svm_heap`).
+    SvmHeap,
+}
+
+/// A contiguous byte range of the image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionSpan {
+    /// Absolute start offset.
+    pub offset: u64,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+impl SectionSpan {
+    /// End offset (exclusive).
+    pub fn end(&self) -> u64 {
+        self.offset + self.size
+    }
+
+    /// Whether the span contains `offset`.
+    pub fn contains(&self, offset: u64) -> bool {
+        offset >= self.offset && offset < self.end()
+    }
+}
+
+/// A laid-out binary image.
+#[derive(Debug, Clone)]
+pub struct BinaryImage {
+    /// Layout options used.
+    pub options: ImageOptions,
+    /// The `.text` span (offset 0).
+    pub text: SectionSpan,
+    /// The `.svm_heap` span (page-aligned after `.text`).
+    pub svm_heap: SectionSpan,
+    /// CU layout order.
+    pub cu_order: Vec<CuId>,
+    /// Absolute offset of each CU, by layout order index.
+    cu_offsets: HashMap<CuId, u64>,
+    /// Object layout order (snapshot entries).
+    pub object_order: Vec<ObjId>,
+    /// Absolute offset of each object.
+    object_offsets: HashMap<ObjId, u64>,
+    /// Total image size in bytes.
+    pub total_size: u64,
+    /// Absolute offset where the native tail begins (page-aligned).
+    pub native_start: u64,
+    /// Optional permutation of the native tail's pages (the paper's stated
+    /// future work: reordering statically linked native methods). Entry `i`
+    /// is the physical page (within the tail) where logical page `i` now
+    /// lives.
+    native_page_order: Option<Vec<u32>>,
+}
+
+fn align_up(v: u64, a: u64) -> u64 {
+    debug_assert!(a.is_power_of_two());
+    (v + a - 1) & !(a - 1)
+}
+
+impl BinaryImage {
+    /// Lays out an image.
+    ///
+    /// `cu_order` / `object_order` default to the build's own orders (the
+    /// paper's baseline: alphabetical CUs, objects in CU order). Orders must
+    /// be permutations of the full CU / snapshot-entry sets.
+    ///
+    /// # Panics
+    /// Panics if a provided order is not a permutation of the build's CUs or
+    /// snapshot objects.
+    pub fn build(
+        compiled: &CompiledProgram,
+        snapshot: &HeapSnapshot,
+        cu_order: Option<Vec<CuId>>,
+        object_order: Option<Vec<ObjId>>,
+        options: ImageOptions,
+    ) -> BinaryImage {
+        let cu_order = cu_order.unwrap_or_else(|| compiled.cus.iter().map(|c| c.id).collect());
+        assert_eq!(
+            cu_order.len(),
+            compiled.cus.len(),
+            "cu order must cover every CU exactly once"
+        );
+        {
+            let mut seen = vec![false; compiled.cus.len()];
+            for &c in &cu_order {
+                assert!(!seen[c.index()], "duplicate CU {c} in order");
+                seen[c.index()] = true;
+            }
+        }
+        let object_order =
+            object_order.unwrap_or_else(|| snapshot.entries().iter().map(|e| e.obj).collect());
+        assert_eq!(
+            object_order.len(),
+            snapshot.entries().len(),
+            "object order must cover every snapshot entry exactly once"
+        );
+
+        let mut cu_offsets = HashMap::new();
+        let mut cursor = 0u64;
+        for &cu in &cu_order {
+            cursor = align_up(cursor, options.cu_align);
+            cu_offsets.insert(cu, cursor);
+            cursor += u64::from(compiled.cu(cu).size);
+        }
+        // The native tail starts page-aligned: the linker places the
+        // statically linked libraries in their own page-aligned region.
+        let native_start = align_up(cursor, options.page_size);
+        let text = SectionSpan {
+            offset: 0,
+            size: native_start + options.native_tail,
+        };
+
+        let heap_start = align_up(text.end(), options.page_size);
+        let mut object_offsets = HashMap::new();
+        let mut cursor = heap_start;
+        for &obj in &object_order {
+            cursor = align_up(cursor, options.obj_align);
+            object_offsets.insert(obj, cursor);
+            let entry = snapshot
+                .entry(obj)
+                .unwrap_or_else(|| panic!("object {obj} not in snapshot"));
+            cursor += u64::from(entry.size);
+        }
+        let svm_heap = SectionSpan {
+            offset: heap_start,
+            size: cursor - heap_start,
+        };
+
+        BinaryImage {
+            total_size: svm_heap.end(),
+            options,
+            text,
+            svm_heap,
+            cu_order,
+            cu_offsets,
+            object_order,
+            object_offsets,
+            native_start,
+            native_page_order: None,
+        }
+    }
+
+    /// Number of pages in the native tail.
+    pub fn native_pages(&self) -> u64 {
+        self.options.native_tail / self.options.page_size
+    }
+
+    /// Applies a permutation to the native tail's pages — the paper's
+    /// Appendix A future work ("we do not profile and hence reorder native
+    /// methods…; we consider reordering these methods part of our future
+    /// work"). `order[i]` gives the new physical page (within the tail) of
+    /// logical page `i`.
+    ///
+    /// # Panics
+    /// Panics if `order` is not a permutation of `0..native_pages()`.
+    pub fn set_native_page_order(&mut self, order: Vec<u32>) {
+        let n = self.native_pages() as usize;
+        assert_eq!(order.len(), n, "native order must cover the whole tail");
+        let mut seen = vec![false; n];
+        for &p in &order {
+            assert!(
+                (p as usize) < n && !seen[p as usize],
+                "native order must be a permutation"
+            );
+            seen[p as usize] = true;
+        }
+        self.native_page_order = Some(order);
+    }
+
+    /// Maps an absolute offset through the native-tail page permutation.
+    /// Offsets outside the tail are returned unchanged.
+    pub fn map_native_offset(&self, offset: u64) -> u64 {
+        let Some(order) = &self.native_page_order else {
+            return offset;
+        };
+        if offset < self.native_start || offset >= self.text.size {
+            return offset;
+        }
+        let ps = self.options.page_size;
+        let rel = offset - self.native_start;
+        let page = (rel / ps) as usize;
+        let within = rel % ps;
+        self.native_start + u64::from(order[page]) * ps + within
+    }
+
+    /// Absolute offset of a CU.
+    ///
+    /// # Panics
+    /// Panics if the CU is not part of the image.
+    pub fn cu_offset(&self, cu: CuId) -> u64 {
+        self.cu_offsets[&cu]
+    }
+
+    /// Absolute offset of a snapshot object, or `None` if the object is not
+    /// in the image (e.g. PEA-folded).
+    pub fn object_offset(&self, obj: ObjId) -> Option<u64> {
+        self.object_offsets.get(&obj).copied()
+    }
+
+    /// The section containing an absolute offset.
+    pub fn section_of(&self, offset: u64) -> Option<SectionKind> {
+        if self.text.contains(offset) {
+            Some(SectionKind::Text)
+        } else if self.svm_heap.contains(offset) {
+            Some(SectionKind::SvmHeap)
+        } else {
+            None
+        }
+    }
+
+    /// Page index of an absolute offset.
+    pub fn page_of(&self, offset: u64) -> u64 {
+        offset / self.options.page_size
+    }
+
+    /// Number of pages spanned by the whole image.
+    pub fn total_pages(&self) -> u64 {
+        self.total_size.div_ceil(self.options.page_size)
+    }
+
+    /// Number of pages of the `.text` section.
+    pub fn text_pages(&self) -> u64 {
+        self.text.size.div_ceil(self.options.page_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimage_analysis::{analyze, AnalysisConfig};
+    use nimage_compiler::{compile, InlineConfig, InstrumentConfig};
+    use nimage_heap::{snapshot, HeapBuildConfig};
+    use nimage_ir::{Program, ProgramBuilder, TypeRef};
+
+    fn demo_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("t.Main", None);
+        let fld = pb.add_static_field(c, "DATA", TypeRef::array_of(TypeRef::Int));
+        let cl = pb.declare_clinit(c);
+        let mut f = pb.body(cl);
+        let n = f.iconst(100);
+        let arr = f.new_array(TypeRef::Int, n);
+        f.put_static(fld, arr);
+        f.ret(None);
+        pb.finish_body(cl, f);
+
+        // Several CUs: one big method per letter so alphabetical order is
+        // observable.
+        let mut mains = vec![];
+        for name in ["aa", "bb", "cc"] {
+            let m = pb.declare_static(c, name, &[], Some(TypeRef::Int));
+            let mut f = pb.body(m);
+            let mut v = f.iconst(0);
+            for _ in 0..60 {
+                let one = f.iconst(1);
+                v = f.add(v, one);
+            }
+            f.ret(Some(v));
+            pb.finish_body(m, f);
+            mains.push(m);
+        }
+        let main = pb.declare_static(c, "main", &[], Some(TypeRef::Int));
+        let mut f = pb.body(main);
+        let arr = f.get_static(fld);
+        let zero = f.iconst(0);
+        let v0 = f.array_get(arr, zero);
+        let mut acc = v0;
+        for &m in &mains {
+            let v = f.call_static(m, &[], true).unwrap();
+            acc = f.add(acc, v);
+        }
+        f.ret(Some(acc));
+        pb.finish_body(main, f);
+        pb.set_entry(main);
+        pb.build().unwrap()
+    }
+
+    fn build_all(p: &Program) -> (nimage_compiler::CompiledProgram, nimage_heap::HeapSnapshot) {
+        let reach = analyze(p, &AnalysisConfig::default());
+        let cp = compile(p, reach, &InlineConfig::default(), InstrumentConfig::NONE, None);
+        let snap = snapshot(p, &cp, &HeapBuildConfig::default()).unwrap();
+        (cp, snap)
+    }
+
+    #[test]
+    fn sections_are_disjoint_and_page_aligned() {
+        let p = demo_program();
+        let (cp, snap) = build_all(&p);
+        let img = BinaryImage::build(&cp, &snap, None, None, ImageOptions::default());
+        assert_eq!(img.text.offset, 0);
+        assert_eq!(img.svm_heap.offset % img.options.page_size, 0);
+        assert!(img.svm_heap.offset >= img.text.end());
+        assert_eq!(img.total_size, img.svm_heap.end());
+    }
+
+    #[test]
+    fn cu_offsets_respect_order_and_alignment() {
+        let p = demo_program();
+        let (cp, snap) = build_all(&p);
+        let img = BinaryImage::build(&cp, &snap, None, None, ImageOptions::default());
+        let mut prev_end = 0;
+        for &cu in &img.cu_order {
+            let off = img.cu_offset(cu);
+            assert_eq!(off % img.options.cu_align, 0);
+            assert!(off >= prev_end);
+            prev_end = off + u64::from(cp.cu(cu).size);
+        }
+        // Native tail sits after the last CU.
+        assert!(img.text.size >= prev_end + img.options.native_tail);
+    }
+
+    #[test]
+    fn custom_cu_order_changes_offsets() {
+        let p = demo_program();
+        let (cp, snap) = build_all(&p);
+        let default = BinaryImage::build(&cp, &snap, None, None, ImageOptions::default());
+        let mut reversed: Vec<CuId> = cp.cus.iter().map(|c| c.id).collect();
+        reversed.reverse();
+        let img = BinaryImage::build(&cp, &snap, Some(reversed.clone()), None, ImageOptions::default());
+        assert_eq!(img.cu_order, reversed);
+        if cp.cus.len() > 1 {
+            assert_ne!(
+                default.cu_offset(cp.cus[0].id),
+                img.cu_offset(cp.cus[0].id)
+            );
+        }
+        // Section sizes agree modulo alignment padding.
+        let align = ImageOptions::default().cu_align * cp.cus.len() as u64;
+        assert!(default.text.size.abs_diff(img.text.size) <= align);
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover every CU")]
+    fn partial_cu_order_is_rejected() {
+        let p = demo_program();
+        let (cp, snap) = build_all(&p);
+        BinaryImage::build(&cp, &snap, Some(vec![]), None, ImageOptions::default());
+    }
+
+    #[test]
+    fn section_of_and_pages() {
+        let p = demo_program();
+        let (cp, snap) = build_all(&p);
+        let img = BinaryImage::build(&cp, &snap, None, None, ImageOptions::default());
+        assert_eq!(img.section_of(0), Some(SectionKind::Text));
+        assert_eq!(img.section_of(img.svm_heap.offset), Some(SectionKind::SvmHeap));
+        assert_eq!(img.section_of(img.total_size), None);
+        assert_eq!(img.page_of(0), 0);
+        assert_eq!(img.page_of(img.options.page_size), 1);
+        assert!(img.total_pages() >= img.text_pages());
+    }
+
+    #[test]
+    fn object_offsets_follow_object_order() {
+        let p = demo_program();
+        let (cp, snap) = build_all(&p);
+        let img = BinaryImage::build(&cp, &snap, None, None, ImageOptions::default());
+        let mut prev = img.svm_heap.offset;
+        for &o in &img.object_order {
+            let off = img.object_offset(o).unwrap();
+            assert!(off >= prev);
+            assert_eq!(off % img.options.obj_align, 0);
+            prev = off;
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! Instructions, terminators and the machine-code size model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::{BlockId, ClassId, FieldId, Local, MethodId, TypeRef};
+use crate::program::SelectorId;
+
+/// Binary operators. Comparison operators produce `Bool` values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Boolean negation.
+    Not,
+    /// Int → Double conversion.
+    IntToDouble,
+    /// Double → Int conversion (truncating).
+    DoubleToInt,
+}
+
+/// Built-in operations the interpreter implements directly.
+///
+/// `Respond` is the observable "first response" event used by the
+/// microservice workloads (Sec. 7.1 measures elapsed time until the first
+/// response).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Intrinsic {
+    /// `sqrt(double) -> double`
+    Sqrt,
+    /// `abs(double) -> double`
+    Abs,
+    /// `floor(double) -> double`
+    Floor,
+    /// `cos(double) -> double`
+    Cos,
+    /// `sin(double) -> double`
+    Sin,
+    /// Marks the service's first response; takes one int argument (status).
+    Respond,
+}
+
+/// Call target of a [`Instr::Call`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Callee {
+    /// Direct call to a known method (static methods and constructors).
+    Static(MethodId),
+    /// Virtual dispatch on the receiver (first argument) through a selector.
+    ///
+    /// `declared` is the static receiver class used by the reachability
+    /// analysis to bound the possible targets.
+    Virtual {
+        /// Static type of the receiver.
+        declared: ClassId,
+        /// Interned method selector (name + arity).
+        selector: SelectorId,
+    },
+}
+
+/// A non-terminator instruction of the register machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Instr {
+    /// `dst = <int literal>`
+    ConstInt(Local, i64),
+    /// `dst = <double literal>` — the literal is materialized in the binary's
+    /// data section, so it also becomes a `DataSection` heap root.
+    ConstDouble(Local, f64),
+    /// `dst = <bool literal>`
+    ConstBool(Local, bool),
+    /// `dst = "literal"` — string literals are interned, mirroring Java
+    /// interned strings (an `InternedString` heap-snapshot root).
+    ConstStr(Local, String),
+    /// `dst = null`
+    ConstNull(Local),
+    /// `dst = src`
+    Move(Local, Local),
+    /// `dst = a <op> b`
+    Bin(BinOp, Local, Local, Local),
+    /// `dst = <op> a`
+    Un(UnOp, Local, Local),
+    /// `dst = new C()` — allocation without running a constructor; call an
+    /// `init` method explicitly for constructor logic.
+    New(Local, ClassId),
+    /// `dst = new elem[len]`
+    NewArray(Local, TypeRef, Local),
+    /// `dst = obj.field`
+    GetField(Local, Local, FieldId),
+    /// `obj.field = src`
+    PutField(Local, FieldId, Local),
+    /// `dst = C.field`
+    GetStatic(Local, FieldId),
+    /// `C.field = src`
+    PutStatic(FieldId, Local),
+    /// `dst = arr[idx]`
+    ArrayGet(Local, Local, Local),
+    /// `arr[idx] = src`
+    ArraySet(Local, Local, Local),
+    /// `dst = arr.length`
+    ArrayLen(Local, Local),
+    /// `dst = s.length()`
+    StrLen(Local, Local),
+    /// `dst = s.charAt(i)` (as an int code point)
+    StrCharAt(Local, Local, Local),
+    /// `dst = a + b` (string concatenation; either side may be int or str)
+    StrConcat(Local, Local, Local),
+    /// `dst? = call(args...)`
+    Call {
+        /// Destination local for the return value, if the callee returns one.
+        dst: Option<Local>,
+        /// Call target.
+        callee: Callee,
+        /// Argument locals; for virtual calls `args[0]` is the receiver.
+        args: Vec<Local>,
+    },
+    /// `dst? = intrinsic(args...)`
+    Intrinsic {
+        /// Destination local, if the intrinsic produces a value.
+        dst: Option<Local>,
+        /// Which intrinsic.
+        op: Intrinsic,
+        /// Argument locals.
+        args: Vec<Local>,
+    },
+    /// Spawn a new thread executing a static method with the given arguments.
+    ///
+    /// Used by the microservice workloads; threads are scheduled
+    /// deterministically by `nimage-vm`.
+    Spawn {
+        /// Static entry method of the new thread.
+        method: MethodId,
+        /// Arguments passed to the thread's entry method.
+        args: Vec<Local>,
+    },
+}
+
+impl Instr {
+    /// Approximate machine-code size of this instruction in bytes.
+    ///
+    /// The size model drives the inliner's code-size budget in
+    /// `nimage-compiler` and the `.text` layout in `nimage-image`; its exact
+    /// values are unimportant, but instrumentation adding bytes per event
+    /// site is what perturbs inlining between instrumented and optimized
+    /// builds — the divergence at the heart of the paper's Sec. 5.
+    pub fn size_bytes(&self) -> u32 {
+        match self {
+            Instr::ConstInt(..) | Instr::ConstBool(..) | Instr::ConstNull(..) => 5,
+            Instr::ConstDouble(..) => 8,
+            Instr::ConstStr(..) => 7,
+            Instr::Move(..) => 3,
+            Instr::Bin(..) => 4,
+            Instr::Un(..) => 3,
+            Instr::New(..) => 14,
+            Instr::NewArray(..) => 16,
+            Instr::GetField(..) | Instr::PutField(..) => 6,
+            Instr::GetStatic(..) | Instr::PutStatic(..) => 7,
+            Instr::ArrayGet(..) | Instr::ArraySet(..) => 8,
+            Instr::ArrayLen(..) => 4,
+            Instr::StrLen(..) => 5,
+            Instr::StrCharAt(..) => 8,
+            Instr::StrConcat(..) => 18,
+            Instr::Call { args, callee, .. } => {
+                // Virtual dispatch needs a vtable load on top of the call.
+                let base = match callee {
+                    Callee::Static(_) => 5,
+                    Callee::Virtual { .. } => 12,
+                };
+                base + 2 * args.len() as u32
+            }
+            Instr::Intrinsic { args, .. } => 6 + 2 * args.len() as u32,
+            Instr::Spawn { args, .. } => 24 + 2 * args.len() as u32,
+        }
+    }
+
+    /// The destination local written by this instruction, if any.
+    pub fn dst(&self) -> Option<Local> {
+        match self {
+            Instr::ConstInt(d, _)
+            | Instr::ConstDouble(d, _)
+            | Instr::ConstBool(d, _)
+            | Instr::ConstStr(d, _)
+            | Instr::ConstNull(d)
+            | Instr::Move(d, _)
+            | Instr::Bin(_, d, _, _)
+            | Instr::Un(_, d, _)
+            | Instr::New(d, _)
+            | Instr::NewArray(d, _, _)
+            | Instr::GetField(d, _, _)
+            | Instr::GetStatic(d, _)
+            | Instr::ArrayGet(d, _, _)
+            | Instr::ArrayLen(d, _)
+            | Instr::StrLen(d, _)
+            | Instr::StrCharAt(d, _, _)
+            | Instr::StrConcat(d, _, _) => Some(*d),
+            Instr::Call { dst, .. } | Instr::Intrinsic { dst, .. } => *dst,
+            Instr::PutField(..)
+            | Instr::PutStatic(..)
+            | Instr::ArraySet(..)
+            | Instr::Spawn { .. } => None,
+        }
+    }
+
+    /// Locals read by this instruction, in operand order.
+    pub fn sources(&self) -> Vec<Local> {
+        match self {
+            Instr::ConstInt(..)
+            | Instr::ConstDouble(..)
+            | Instr::ConstBool(..)
+            | Instr::ConstStr(..)
+            | Instr::ConstNull(..)
+            | Instr::New(..)
+            | Instr::GetStatic(..) => vec![],
+            Instr::Move(_, s)
+            | Instr::Un(_, _, s)
+            | Instr::NewArray(_, _, s)
+            | Instr::GetField(_, s, _)
+            | Instr::ArrayLen(_, s)
+            | Instr::StrLen(_, s)
+            | Instr::PutStatic(_, s) => vec![*s],
+            Instr::Bin(_, _, a, b)
+            | Instr::ArrayGet(_, a, b)
+            | Instr::StrCharAt(_, a, b)
+            | Instr::StrConcat(_, a, b)
+            | Instr::PutField(a, _, b) => vec![*a, *b],
+            Instr::ArraySet(a, b, c) => vec![*a, *b, *c],
+            Instr::Call { args, .. }
+            | Instr::Intrinsic { args, .. }
+            | Instr::Spawn { args, .. } => args.clone(),
+        }
+    }
+}
+
+/// The terminator of a basic block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Terminator {
+    /// Return from the method, optionally with a value.
+    Ret(Option<Local>),
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch on a boolean local.
+    Br {
+        /// Condition local (must hold a `Bool`).
+        cond: Local,
+        /// Successor when the condition is true.
+        then_blk: BlockId,
+        /// Successor when the condition is false.
+        else_blk: BlockId,
+    },
+}
+
+impl Terminator {
+    /// Successor blocks of this terminator.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Ret(_) => vec![],
+            Terminator::Jump(b) => vec![*b],
+            Terminator::Br {
+                then_blk, else_blk, ..
+            } => vec![*then_blk, *else_blk],
+        }
+    }
+
+    /// Approximate machine-code size of the terminator in bytes.
+    pub fn size_bytes(&self) -> u32 {
+        match self {
+            Terminator::Ret(_) => 3,
+            Terminator::Jump(_) => 5,
+            Terminator::Br { .. } => 8,
+        }
+    }
+}
+
+/// A basic block: straight-line instructions plus one terminator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Straight-line instructions.
+    pub instrs: Vec<Instr>,
+    /// Block terminator.
+    pub terminator: Terminator,
+}
+
+impl Block {
+    /// Machine-code size of the whole block in bytes.
+    pub fn size_bytes(&self) -> u32 {
+        self.instrs.iter().map(Instr::size_bytes).sum::<u32>() + self.terminator.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Local;
+
+    #[test]
+    fn sizes_are_positive_and_call_scales_with_args() {
+        let l = Local(0);
+        let c0 = Instr::Call {
+            dst: None,
+            callee: Callee::Static(MethodId(0)),
+            args: vec![],
+        };
+        let c2 = Instr::Call {
+            dst: None,
+            callee: Callee::Static(MethodId(0)),
+            args: vec![l, l],
+        };
+        assert!(c0.size_bytes() > 0);
+        assert_eq!(c2.size_bytes(), c0.size_bytes() + 4);
+    }
+
+    #[test]
+    fn virtual_call_larger_than_static() {
+        let stat = Instr::Call {
+            dst: None,
+            callee: Callee::Static(MethodId(0)),
+            args: vec![],
+        };
+        let virt = Instr::Call {
+            dst: None,
+            callee: Callee::Virtual {
+                declared: ClassId(0),
+                selector: crate::program::SelectorId(0),
+            },
+            args: vec![],
+        };
+        assert!(virt.size_bytes() > stat.size_bytes());
+    }
+
+    #[test]
+    fn dst_and_sources_roundtrip() {
+        let i = Instr::Bin(BinOp::Add, Local(2), Local(0), Local(1));
+        assert_eq!(i.dst(), Some(Local(2)));
+        assert_eq!(i.sources(), vec![Local(0), Local(1)]);
+
+        let s = Instr::ArraySet(Local(0), Local(1), Local(2));
+        assert_eq!(s.dst(), None);
+        assert_eq!(s.sources(), vec![Local(0), Local(1), Local(2)]);
+    }
+
+    #[test]
+    fn terminator_successors() {
+        assert!(Terminator::Ret(None).successors().is_empty());
+        assert_eq!(Terminator::Jump(BlockId(3)).successors(), vec![BlockId(3)]);
+        assert_eq!(
+            Terminator::Br {
+                cond: Local(0),
+                then_blk: BlockId(1),
+                else_blk: BlockId(2)
+            }
+            .successors(),
+            vec![BlockId(1), BlockId(2)]
+        );
+    }
+
+    #[test]
+    fn block_size_sums_instrs_and_terminator() {
+        let b = Block {
+            instrs: vec![Instr::ConstInt(Local(0), 7)],
+            terminator: Terminator::Ret(Some(Local(0))),
+        };
+        assert_eq!(
+            b.size_bytes(),
+            Instr::ConstInt(Local(0), 7).size_bytes() + Terminator::Ret(None).size_bytes()
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests: every program the structured builder can produce is
+//! structurally valid, and the size model behaves monotonically.
+
+use proptest::prelude::*;
+
+use nimage_ir::{BodyBuilder, Program, ProgramBuilder, TypeRef};
+
+/// Random structured control flow: a tree of sequences, ifs and bounded
+/// loops over an accumulator local.
+#[derive(Debug, Clone)]
+enum Stmt {
+    AddConst(i8),
+    If(Vec<Stmt>, Vec<Stmt>),
+    Loop(u8, Vec<Stmt>),
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Vec<Stmt>> {
+    let leaf = any::<i8>().prop_map(Stmt::AddConst);
+    let stmt = leaf.prop_recursive(3, 24, 4, |inner| {
+        let block = proptest::collection::vec(inner.clone(), 0..4);
+        prop_oneof![
+            (block.clone(), block.clone()).prop_map(|(t, e)| Stmt::If(t, e)),
+            (1u8..4, block).prop_map(|(n, b)| Stmt::Loop(n, b)),
+        ]
+    });
+    proptest::collection::vec(stmt, 0..6)
+}
+
+fn emit(f: &mut BodyBuilder, acc: nimage_ir::Local, stmts: &[Stmt]) {
+    for s in stmts {
+        match s {
+            Stmt::AddConst(c) => {
+                let v = f.iconst(i64::from(*c));
+                let n = f.add(acc, v);
+                f.assign(acc, n);
+            }
+            Stmt::If(t, e) => {
+                let zero = f.iconst(0);
+                let cond = f.ge(acc, zero);
+                f.if_then_else(cond, |f| emit(f, acc, t), |f| emit(f, acc, e));
+            }
+            Stmt::Loop(n, b) => {
+                let from = f.iconst(0);
+                let to = f.iconst(i64::from(*n));
+                f.for_range(from, to, |f, _i| emit(f, acc, b));
+            }
+        }
+    }
+}
+
+fn build(stmts: &[Stmt]) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.add_class("prop.P", None);
+    let m = pb.declare_static(c, "main", &[], Some(TypeRef::Int));
+    let mut f = pb.body(m);
+    let acc = f.iconst(0);
+    emit(&mut f, acc, stmts);
+    f.ret(Some(acc));
+    pb.finish_body(m, f);
+    pb.set_entry(m);
+    pb.build().expect("structured builders always validate")
+}
+
+proptest! {
+    /// The builder's structured helpers can never produce an invalid body.
+    #[test]
+    fn structured_bodies_always_validate(stmts in stmt_strategy()) {
+        let p = build(&stmts);
+        // Block 0 exists and every block has a terminator by construction;
+        // validation re-checks everything.
+        prop_assert!(!p.method(p.entry.unwrap()).blocks.is_empty());
+    }
+
+    /// Adding statements never shrinks the code size.
+    #[test]
+    fn code_size_is_monotone_in_statements(stmts in stmt_strategy(), extra in any::<i8>()) {
+        let base = build(&stmts);
+        let mut bigger_stmts = stmts.clone();
+        bigger_stmts.push(Stmt::AddConst(extra));
+        let bigger = build(&bigger_stmts);
+        prop_assert!(bigger.total_code_size() >= base.total_code_size());
+    }
+
+    /// Signatures are unique per method and stable across rebuilds of the
+    /// same source.
+    #[test]
+    fn signatures_are_stable_and_unique(stmts in stmt_strategy()) {
+        let a = build(&stmts);
+        let b = build(&stmts);
+        let sigs_a: Vec<String> = (0..a.methods().len())
+            .map(|i| a.method_signature(nimage_ir::MethodId(i as u32)))
+            .collect();
+        let sigs_b: Vec<String> = (0..b.methods().len())
+            .map(|i| b.method_signature(nimage_ir::MethodId(i as u32)))
+            .collect();
+        prop_assert_eq!(&sigs_a, &sigs_b);
+        let set: std::collections::HashSet<_> = sigs_a.iter().collect();
+        prop_assert_eq!(set.len(), sigs_a.len());
+    }
+}

@@ -1,0 +1,388 @@
+//! The post-processing framework of Sec. 6.2: trace decoding and
+//! visitor-pattern ordering analyses producing CSV profiles.
+
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+use nimage_compiler::{PathNumbering, ProfilingCfg, StaticEvent};
+use nimage_heap::ObjId;
+use nimage_ir::{MethodId, Program};
+use nimage_profiler::{Trace, TraceRecord};
+
+/// One event reconstructed from the trace, in execution order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A compilation unit was entered (root-method signature).
+    CuEntry(String),
+    /// A method was entered (signature; includes inlined copies).
+    MethodEntry(String),
+    /// An object in the heap snapshot was accessed (its strategy-specific
+    /// 64-bit identity).
+    ObjectAccess(u64),
+}
+
+/// A visitor-pattern ordering analysis: accepts events in execution order
+/// and produces a CSV ordering profile (Sec. 6.2).
+pub trait OrderingAnalysis {
+    /// Consumes the next event.
+    fn visit(&mut self, event: &Event);
+    /// Serializes the analysis result as CSV.
+    fn to_csv(&self) -> String;
+}
+
+/// Collects the first-execution order of CU entries (for *cu ordering*).
+#[derive(Debug, Default)]
+pub struct CuOrderAnalysis {
+    seen: HashSet<String>,
+    order: Vec<String>,
+}
+
+/// Collects the first-execution order of method entries (for *method
+/// ordering*).
+#[derive(Debug, Default)]
+pub struct MethodOrderAnalysis {
+    seen: HashSet<String>,
+    order: Vec<String>,
+}
+
+/// Collects the first-access order of object identities (for the heap
+/// strategies).
+#[derive(Debug, Default)]
+pub struct HeapOrderAnalysis {
+    seen: HashSet<u64>,
+    order: Vec<u64>,
+}
+
+impl CuOrderAnalysis {
+    /// Creates an empty analysis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finishes into a code-ordering profile.
+    pub fn into_profile(self) -> CodeOrderProfile {
+        CodeOrderProfile { sigs: self.order }
+    }
+}
+
+impl MethodOrderAnalysis {
+    /// Creates an empty analysis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finishes into a code-ordering profile.
+    pub fn into_profile(self) -> CodeOrderProfile {
+        CodeOrderProfile { sigs: self.order }
+    }
+}
+
+impl HeapOrderAnalysis {
+    /// Creates an empty analysis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finishes into a heap-ordering profile.
+    pub fn into_profile(self) -> HeapOrderProfile {
+        HeapOrderProfile { ids: self.order }
+    }
+}
+
+impl OrderingAnalysis for CuOrderAnalysis {
+    fn visit(&mut self, event: &Event) {
+        if let Event::CuEntry(sig) = event {
+            if self.seen.insert(sig.clone()) {
+                self.order.push(sig.clone());
+            }
+        }
+    }
+
+    fn to_csv(&self) -> String {
+        let mut s = String::new();
+        for sig in &self.order {
+            s.push_str(sig);
+            s.push('\n');
+        }
+        s
+    }
+}
+
+impl OrderingAnalysis for MethodOrderAnalysis {
+    fn visit(&mut self, event: &Event) {
+        if let Event::MethodEntry(sig) = event {
+            if self.seen.insert(sig.clone()) {
+                self.order.push(sig.clone());
+            }
+        }
+    }
+
+    fn to_csv(&self) -> String {
+        let mut s = String::new();
+        for sig in &self.order {
+            s.push_str(sig);
+            s.push('\n');
+        }
+        s
+    }
+}
+
+impl OrderingAnalysis for HeapOrderAnalysis {
+    fn visit(&mut self, event: &Event) {
+        if let Event::ObjectAccess(id) = event {
+            if self.seen.insert(*id) {
+                self.order.push(*id);
+            }
+        }
+    }
+
+    fn to_csv(&self) -> String {
+        let mut s = String::new();
+        for id in &self.order {
+            s.push_str(&format!("{id:016x}\n"));
+        }
+        s
+    }
+}
+
+/// A code-ordering profile: method/CU-root signatures in first-execution
+/// order (the CSV consumed by the optimizing build).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CodeOrderProfile {
+    /// Signatures in first-execution order.
+    pub sigs: Vec<String>,
+}
+
+impl CodeOrderProfile {
+    /// Parses the one-signature-per-line CSV.
+    ///
+    /// ```
+    /// use nimage_order::CodeOrderProfile;
+    ///
+    /// let p = CodeOrderProfile::from_csv("a.B.c(0)\nd.E.f(2)\n");
+    /// assert_eq!(p.sigs, vec!["a.B.c(0)", "d.E.f(2)"]);
+    /// ```
+    pub fn from_csv(text: &str) -> Self {
+        CodeOrderProfile {
+            sigs: text
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty())
+                .map(str::to_string)
+                .collect(),
+        }
+    }
+}
+
+/// A heap-ordering profile: 64-bit object identities in first-access order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HeapOrderProfile {
+    /// Identities in first-access order.
+    pub ids: Vec<u64>,
+}
+
+impl HeapOrderProfile {
+    /// Parses the one-hex-id-per-line CSV.
+    ///
+    /// ```
+    /// use nimage_order::HeapOrderProfile;
+    ///
+    /// let p = HeapOrderProfile::from_csv("00000000000000ff\n0000000000000010\n");
+    /// assert_eq!(p.ids, vec![0xff, 0x10]);
+    /// ```
+    pub fn from_csv(text: &str) -> Self {
+        HeapOrderProfile {
+            ids: text
+                .lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty())
+                .filter_map(|l| u64::from_str_radix(l, 16).ok())
+                .collect(),
+        }
+    }
+}
+
+/// Errors raised while replaying a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// A trace record named a signature not present in the program.
+    UnknownSignature(String),
+    /// A path record's object-id count disagreed with the number of
+    /// heap-access sites on the decoded path.
+    IdCountMismatch {
+        /// Signature of the method.
+        method: String,
+        /// Ids stored in the record.
+        stored: usize,
+        /// Heap-access sites on the decoded path.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::UnknownSignature(s) => write!(f, "unknown signature {s}"),
+            ReplayError::IdCountMismatch {
+                method,
+                stored,
+                expected,
+            } => write!(
+                f,
+                "path record in {method} stores {stored} ids but path has {expected} sites"
+            ),
+        }
+    }
+}
+
+impl Error for ReplayError {}
+
+/// Replays a trace into the given analyses: decodes records thread by
+/// thread (in creation order, per Sec. 7.1's multi-thread handling) and
+/// dispatches events in execution order.
+///
+/// `id_map` maps the build-local raw identities stored in the trace
+/// (`ObjId + 1`) to the strategy-specific 64-bit identities; raw id 0
+/// denotes an access to an object outside the heap snapshot and is skipped.
+/// `max_paths` must match the VM's path-numbering limit.
+///
+/// Method-entry events are taken from the explicit method-entry records
+/// (emitted by the method-ordering instrumentation); the `MethodEntry`
+/// static events on decoded paths are ignored to avoid double counting.
+///
+/// # Errors
+/// Returns [`ReplayError`] if the trace is inconsistent with the program.
+pub fn replay(
+    program: &Program,
+    trace: &Trace,
+    id_map: &HashMap<ObjId, u64>,
+    max_paths: u64,
+    analyses: &mut [&mut dyn OrderingAnalysis],
+) -> Result<(), ReplayError> {
+    // Signature → method table for path decoding.
+    let mut by_sig: HashMap<String, MethodId> = HashMap::new();
+    for i in 0..program.methods().len() {
+        let mid = MethodId::from(i);
+        by_sig.insert(program.method_signature(mid), mid);
+    }
+    let mut tables: HashMap<MethodId, (ProfilingCfg, PathNumbering)> = HashMap::new();
+
+    let emit = |event: Event, analyses: &mut [&mut dyn OrderingAnalysis]| {
+        for a in analyses.iter_mut() {
+            a.visit(&event);
+        }
+    };
+
+    for thread in &trace.threads {
+        for record in thread {
+            match record {
+                TraceRecord::CuEntry { sig } => {
+                    emit(Event::CuEntry(trace.string(*sig).to_string()), analyses);
+                }
+                TraceRecord::MethodEntry { sig } => {
+                    emit(Event::MethodEntry(trace.string(*sig).to_string()), analyses);
+                }
+                TraceRecord::Path {
+                    method,
+                    start,
+                    path_id,
+                    obj_ids,
+                } => {
+                    let sig = trace.string(*method);
+                    let mid = *by_sig
+                        .get(sig)
+                        .ok_or_else(|| ReplayError::UnknownSignature(sig.to_string()))?;
+                    let (cfg, num) = tables.entry(mid).or_insert_with(|| {
+                        let cfg = ProfilingCfg::build(program.method(mid));
+                        let num = PathNumbering::compute(&cfg, max_paths);
+                        (cfg, num)
+                    });
+                    let seq = num.decode(cfg, nimage_compiler::MiniBlockId(*start), *path_id);
+                    let expected: usize = seq
+                        .iter()
+                        .map(|&m| {
+                            cfg.mini(m)
+                                .events
+                                .iter()
+                                .filter(|e| matches!(e, StaticEvent::HeapAccess { .. }))
+                                .count()
+                        })
+                        .sum();
+                    if expected != obj_ids.len() {
+                        return Err(ReplayError::IdCountMismatch {
+                            method: sig.to_string(),
+                            stored: obj_ids.len(),
+                            expected,
+                        });
+                    }
+                    for &raw in obj_ids {
+                        if raw == 0 {
+                            continue; // access outside the heap snapshot
+                        }
+                        let obj = ObjId((raw - 1) as u32);
+                        if let Some(&id) = id_map.get(&obj) {
+                            emit(Event::ObjectAccess(id), analyses);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analyses_keep_first_occurrence_order() {
+        let events = [
+            Event::CuEntry("b".into()),
+            Event::CuEntry("a".into()),
+            Event::CuEntry("b".into()),
+            Event::MethodEntry("m1".into()),
+            Event::MethodEntry("m2".into()),
+            Event::MethodEntry("m1".into()),
+            Event::ObjectAccess(7),
+            Event::ObjectAccess(3),
+            Event::ObjectAccess(7),
+        ];
+        let mut cu = CuOrderAnalysis::new();
+        let mut me = MethodOrderAnalysis::new();
+        let mut he = HeapOrderAnalysis::new();
+        for e in &events {
+            cu.visit(e);
+            me.visit(e);
+            he.visit(e);
+        }
+        assert_eq!(cu.into_profile().sigs, vec!["b", "a"]);
+        assert_eq!(me.into_profile().sigs, vec!["m1", "m2"]);
+        assert_eq!(he.into_profile().ids, vec![7, 3]);
+    }
+
+    #[test]
+    fn csv_roundtrips() {
+        let mut cu = CuOrderAnalysis::new();
+        cu.visit(&Event::CuEntry("x.Y.z(0)".into()));
+        cu.visit(&Event::CuEntry("a.B.c(2)".into()));
+        let csv = cu.to_csv();
+        assert_eq!(
+            CodeOrderProfile::from_csv(&csv).sigs,
+            vec!["x.Y.z(0)", "a.B.c(2)"]
+        );
+
+        let mut he = HeapOrderAnalysis::new();
+        he.visit(&Event::ObjectAccess(0xdead_beef));
+        he.visit(&Event::ObjectAccess(1));
+        let csv = he.to_csv();
+        assert_eq!(HeapOrderProfile::from_csv(&csv).ids, vec![0xdead_beef, 1]);
+    }
+
+    #[test]
+    fn heap_csv_ignores_garbage_lines() {
+        let p = HeapOrderProfile::from_csv("00000000000000ff\nnot-hex\n\n10\n");
+        assert_eq!(p.ids, vec![0xff, 0x10]);
+    }
+}

@@ -1,0 +1,150 @@
+//! The *entity* abstraction of Algorithms 1–3: a wrapper around a value
+//! (object reference, array reference or primitive) exposing the metadata
+//! the ID strategies inspect.
+
+use nimage_heap::{HObjectKind, HValue, HeapSnapshot, ObjId};
+use nimage_ir::Program;
+
+/// A wrapper around a snapshot value, as consumed by the ID algorithms.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Entity<'a> {
+    pub program: &'a Program,
+    pub snapshot: &'a HeapSnapshot,
+    pub value: HValue,
+}
+
+impl<'a> Entity<'a> {
+    pub fn new(program: &'a Program, snapshot: &'a HeapSnapshot, value: HValue) -> Self {
+        Entity {
+            program,
+            snapshot,
+            value,
+        }
+    }
+
+    pub fn of_object(program: &'a Program, snapshot: &'a HeapSnapshot, obj: ObjId) -> Self {
+        Self::new(program, snapshot, HValue::Ref(obj))
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self.value, HValue::Null)
+    }
+
+    pub fn is_primitive(&self) -> bool {
+        matches!(
+            self.value,
+            HValue::Bool(_) | HValue::Int(_) | HValue::Double(_)
+        )
+    }
+
+    /// Whether the wrapped value is (a reference to) a string — strings get
+    /// the same special treatment as `java.lang.String` in the paper.
+    pub fn is_string(&self) -> bool {
+        match self.value {
+            HValue::Ref(o) => matches!(self.snapshot.heap().get(o).kind, HObjectKind::Str(_)),
+            _ => false,
+        }
+    }
+
+    pub fn is_object_instance(&self) -> bool {
+        match self.value {
+            HValue::Ref(o) => {
+                matches!(self.snapshot.heap().get(o).kind, HObjectKind::Instance { .. })
+            }
+            _ => false,
+        }
+    }
+
+    pub fn is_array(&self) -> bool {
+        match self.value {
+            HValue::Ref(o) => matches!(self.snapshot.heap().get(o).kind, HObjectKind::Array { .. }),
+            _ => false,
+        }
+    }
+
+    pub fn as_obj(&self) -> Option<ObjId> {
+        self.value.as_ref()
+    }
+
+    /// Fully qualified name of the value's dynamic type.
+    pub fn type_name(&self) -> String {
+        match self.value {
+            HValue::Null => "null".to_string(),
+            HValue::Bool(_) => "bool".to_string(),
+            HValue::Int(_) => "int".to_string(),
+            HValue::Double(_) => "double".to_string(),
+            HValue::Ref(o) => self.snapshot.heap().get(o).type_name(self.program),
+        }
+    }
+
+    /// Appends the primitive/string payload bytes (Algorithm 2 lines 7–8).
+    pub fn append_scalar_bytes(&self, out: &mut Vec<u8>) {
+        match self.value {
+            HValue::Bool(b) => out.push(u8::from(b)),
+            HValue::Int(i) => out.extend_from_slice(&i.to_le_bytes()),
+            HValue::Double(d) => out.extend_from_slice(&d.to_bits().to_le_bytes()),
+            HValue::Ref(o) => match &self.snapshot.heap().get(o).kind {
+                HObjectKind::Str(s) => out.extend_from_slice(s.as_bytes()),
+                HObjectKind::Boxed(d) => out.extend_from_slice(&d.to_bits().to_le_bytes()),
+                HObjectKind::Blob { name, size } => {
+                    out.extend_from_slice(name.as_bytes());
+                    out.extend_from_slice(&size.to_le_bytes());
+                }
+                _ => {}
+            },
+            HValue::Null => out.push(0),
+        }
+    }
+
+    /// The instance fields of the wrapped object, as `(static type name,
+    /// value entity)` in source definition (layout) order.
+    pub fn fields(&self) -> Vec<(String, Entity<'a>)> {
+        let Some(o) = self.as_obj() else {
+            return vec![];
+        };
+        match &self.snapshot.heap().get(o).kind {
+            HObjectKind::Instance { class, fields } => {
+                let layout = self.program.all_instance_fields(*class);
+                layout
+                    .iter()
+                    .zip(fields.iter())
+                    .map(|(&fid, &v)| {
+                        (
+                            self.program.type_name(&self.program.field(fid).ty),
+                            Entity::new(self.program, self.snapshot, v),
+                        )
+                    })
+                    .collect()
+            }
+            _ => vec![],
+        }
+    }
+
+    /// Array element type name and element entities.
+    pub fn array_parts(&self) -> Option<(String, Vec<Entity<'a>>)> {
+        let o = self.as_obj()?;
+        match &self.snapshot.heap().get(o).kind {
+            HObjectKind::Array { elem, elems } => Some((
+                self.program.type_name(elem),
+                elems
+                    .iter()
+                    .map(|&v| Entity::new(self.program, self.snapshot, v))
+                    .collect(),
+            )),
+            _ => None,
+        }
+    }
+
+    /// Whether the array's *element type* is primitive or string.
+    pub fn element_type_is_scalar(&self) -> bool {
+        let Some(o) = self.as_obj() else {
+            return false;
+        };
+        match &self.snapshot.heap().get(o).kind {
+            HObjectKind::Array { elem, .. } => {
+                elem.is_primitive() || matches!(elem, nimage_ir::TypeRef::Str)
+            }
+            _ => false,
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # nimage-order
+//!
+//! The paper's primary contribution: profile-guided **code ordering**
+//! (Sec. 4) and **heap-snapshot ordering** (Sec. 5), plus the
+//! post-processing framework that turns raw traces into ordering profiles
+//! (Sec. 6.2).
+//!
+//! * [`murmur3`] — a from-scratch MurmurHash3 (x64, 128-bit, truncated to
+//!   64 bits), the hash function both hashing strategies rely on.
+//! * [`HeapStrategy`] — the three object-identity schemes: *incremental id*
+//!   (Algorithm 1), *structural hash* (Algorithm 2, bounded by
+//!   `MAX_DEPTH`), and *heap path* (Algorithm 3, hashing the first
+//!   root-to-object path plus the root's inclusion reason).
+//! * [`replay`] + [`OrderingAnalysis`] — the visitor-pattern
+//!   post-processing framework: decodes per-thread trace records (including
+//!   Ball–Larus path records) back into an event stream and feeds the
+//!   ordering analyses, which produce CSV profiles.
+//! * [`order_cus`] / [`order_objects`] — apply a profile to a (different!)
+//!   build: CU orders are matched by root/method *signature*; heap orders
+//!   are matched by re-computing the strategy's 64-bit IDs on the new
+//!   build's snapshot and aligning them with the profile's IDs — the
+//!   cross-build object-identity matching that Sec. 5 is about.
+
+#![warn(missing_docs)]
+
+mod analyses;
+mod entity;
+mod ordering;
+pub mod murmur3;
+mod quality;
+mod strategies;
+
+pub use analyses::{
+    replay, CodeOrderProfile, CuOrderAnalysis, Event, HeapOrderAnalysis, HeapOrderProfile,
+    MethodOrderAnalysis, OrderingAnalysis, ReplayError,
+};
+pub use ordering::{match_rate, order_cus, order_objects, CodeGranularity};
+pub use quality::{layout_quality, LayoutQuality};
+pub use strategies::{assign_global_incremental_ids, assign_ids, HeapStrategy};

@@ -1,0 +1,1162 @@
+//! The interpreter VM: executes a compiled image under the paging simulator
+//! with optional profiling instrumentation.
+//!
+//! Execution is fully deterministic: threads are scheduled round-robin with
+//! a fixed quantum, allocation order is program order, and every source of
+//! time is an operation counter. Page faults arise exactly where a real
+//! memory-mapped binary would fault: on first execution of a compilation
+//! unit's bytes in `.text`, and on first access to a snapshot object's bytes
+//! in `.svm_heap`.
+
+use std::collections::HashMap;
+
+use nimage_compiler::{
+    CallCountProfile, CompiledProgram, CuId, PathNumbering, ProfilingCfg,
+};
+use nimage_heap::HeapSnapshot;
+use nimage_image::BinaryImage;
+use nimage_ir::{
+    BinOp, Callee, Instr, Intrinsic, Local, MethodId, Program, Terminator, UnOp,
+};
+use nimage_profiler::{DumpMode, ThreadHandle, TraceSession};
+
+use crate::heap_rt::{RtHeap, RtObject, RtValue};
+use crate::paging::{PagingConfig, PagingSim};
+use crate::report::{ExitKind, ResponsePoint, RunReport};
+
+/// Probe cost model: extra interpreter operations charged per
+/// instrumentation action (the source of Sec. 7.4's overhead factors).
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeCosts {
+    /// Per CU-entry record.
+    pub cu_entry: u64,
+    /// Per method-entry record (method ordering instruments *every* method
+    /// entry, including inlined copies, hence its higher overhead).
+    pub method_entry: u64,
+    /// Per path-record flush (heap tracing).
+    pub path_flush: u64,
+    /// Per traced object identifier (heap tracing).
+    pub obj_id: u64,
+}
+
+impl Default for ProbeCosts {
+    fn default() -> Self {
+        ProbeCosts {
+            cu_entry: 14,
+            method_entry: 30,
+            path_flush: 4,
+            obj_id: 1,
+        }
+    }
+}
+
+/// VM configuration.
+#[derive(Debug, Clone)]
+pub struct VmConfig {
+    /// Paging behaviour.
+    pub paging: PagingConfig,
+    /// Instructions per thread scheduling slice.
+    pub quantum: u32,
+    /// Probe costs for instrumented runs.
+    pub probe_costs: ProbeCosts,
+    /// Hard operation budget (guards against runaway programs).
+    pub max_ops: u64,
+    /// Trace-buffer dump mode for instrumented runs.
+    pub dump_mode: DumpMode,
+    /// Trace-buffer capacity in bytes.
+    pub trace_buffer: usize,
+    /// Native-runtime startup pages touched before `main` (libc/VM init at
+    /// the end of `.text`, cf. Fig. 6).
+    pub startup_native_pages: u64,
+    /// Maximum Ball–Larus paths per method before cutting.
+    pub max_paths: u64,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            paging: PagingConfig::default(),
+            quantum: 64,
+            probe_costs: ProbeCosts::default(),
+            max_ops: 500_000_000,
+            dump_mode: DumpMode::OnFull,
+            trace_buffer: 64 * 1024,
+            startup_native_pages: 6,
+            max_paths: 1 << 14,
+        }
+    }
+}
+
+/// When to stop the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopWhen {
+    /// Run until every thread terminates (AWFY workloads).
+    Exit,
+    /// Stop at the first `respond` intrinsic, then kill the process
+    /// (microservice workloads, Sec. 7.1).
+    FirstResponse,
+}
+
+/// A runtime error (mirrors the build-time [`nimage_heap::ClinitError`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// Null dereference.
+    NullDeref {
+        /// Signature of the executing method.
+        method: String,
+    },
+    /// Out-of-bounds array or string index.
+    IndexOutOfBounds {
+        /// Signature of the executing method.
+        method: String,
+    },
+    /// Division by zero.
+    DivisionByZero {
+        /// Signature of the executing method.
+        method: String,
+    },
+    /// Operand kind mismatch (a workload-builder bug).
+    TypeMismatch {
+        /// Signature of the executing method.
+        method: String,
+        /// Details.
+        detail: String,
+    },
+    /// Virtual dispatch failure.
+    NoSuchMethod {
+        /// Receiver class.
+        class: String,
+        /// Selector.
+        selector: String,
+    },
+    /// A call target had no compilation unit (compiler invariant breach).
+    MissingCu {
+        /// Signature of the target method.
+        method: String,
+    },
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::NullDeref { method } => write!(f, "null dereference in {method}"),
+            VmError::IndexOutOfBounds { method } => write!(f, "index out of bounds in {method}"),
+            VmError::DivisionByZero { method } => write!(f, "division by zero in {method}"),
+            VmError::TypeMismatch { method, detail } => {
+                write!(f, "type mismatch in {method}: {detail}")
+            }
+            VmError::NoSuchMethod { class, selector } => {
+                write!(f, "no method {selector} on {class}")
+            }
+            VmError::MissingCu { method } => write!(f, "no compilation unit for {method}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+struct Frame {
+    method: MethodId,
+    cu: CuId,
+    node: u32,
+    locals: Vec<RtValue>,
+    block: usize,
+    ip: usize,
+    /// Caller local receiving this frame's return value.
+    ret_slot: Option<Local>,
+    // Ball–Larus state (meaningful only when heap tracing is on).
+    mini: u32,
+    path_start: u32,
+    path_acc: u64,
+    pending: Vec<u64>,
+}
+
+struct ThreadCtx {
+    frames: Vec<Frame>,
+    handle: Option<ThreadHandle>,
+    done: bool,
+}
+
+/// The virtual machine for one image execution.
+pub struct Vm<'a> {
+    program: &'a Program,
+    compiled: &'a CompiledProgram,
+    snapshot: &'a HeapSnapshot,
+    image: &'a BinaryImage,
+    config: VmConfig,
+    paging: PagingSim,
+    heap: RtHeap,
+    session: Option<TraceSession>,
+    sig_cache: HashMap<MethodId, u32>,
+    path_tables: HashMap<MethodId, (ProfilingCfg, PathNumbering)>,
+    threads: Vec<ThreadCtx>,
+    ops: u64,
+    probe_ops: u64,
+    call_counts: HashMap<MethodId, u64>,
+    first_response: Option<ResponsePoint>,
+    entry_return: Option<RtValue>,
+    native_seen: std::collections::HashSet<u32>,
+    native_touch_pages: Vec<u32>,
+    /// Extra cost factor for memory-mapped (mode 2) trace writes: every
+    /// record is made durable immediately instead of staged in a local
+    /// buffer, which the paper's Sec. 7.4 shows costs roughly twice as
+    /// much per event.
+    probe_scale: u64,
+}
+
+impl<'a> Vm<'a> {
+    /// Creates a VM over a built image.
+    pub fn new(
+        program: &'a Program,
+        compiled: &'a CompiledProgram,
+        snapshot: &'a HeapSnapshot,
+        image: &'a BinaryImage,
+        config: VmConfig,
+    ) -> Vm<'a> {
+        let session = if compiled.instrumentation.any() {
+            Some(TraceSession::new(config.dump_mode, config.trace_buffer))
+        } else {
+            None
+        };
+        let probe_scale = match config.dump_mode {
+            DumpMode::OnFull => 1,
+            DumpMode::MemoryMapped => 2,
+        };
+        Vm {
+            paging: PagingSim::new(image, config.paging.clone()),
+            heap: RtHeap::from_build_heap(snapshot.heap()),
+            program,
+            compiled,
+            snapshot,
+            image,
+            config,
+            session,
+            sig_cache: HashMap::new(),
+            path_tables: HashMap::new(),
+            threads: vec![],
+            ops: 0,
+            probe_ops: 0,
+            call_counts: HashMap::new(),
+            first_response: None,
+            entry_return: None,
+            native_seen: std::collections::HashSet::new(),
+            native_touch_pages: Vec::new(),
+            probe_scale,
+        }
+    }
+
+    fn sig_idx(&mut self, m: MethodId) -> u32 {
+        if let Some(&i) = self.sig_cache.get(&m) {
+            return i;
+        }
+        let sig = self.program.method_signature(m);
+        let i = self
+            .session
+            .as_mut()
+            .expect("sig interning requires a session")
+            .intern(&sig);
+        self.sig_cache.insert(m, i);
+        i
+    }
+
+    fn trace_heap(&self) -> bool {
+        self.compiled.instrumentation.trace_heap
+    }
+
+    fn path_table(&mut self, m: MethodId) -> &(ProfilingCfg, PathNumbering) {
+        let max_paths = self.config.max_paths;
+        let program = self.program;
+        self.path_tables.entry(m).or_insert_with(|| {
+            let cfg = ProfilingCfg::build(program.method(m));
+            let num = PathNumbering::compute(&cfg, max_paths);
+            (cfg, num)
+        })
+    }
+
+    /// Touches the code bytes of an inline node.
+    fn touch_code(&mut self, cu: CuId, node: u32) {
+        let cu_ref = self.compiled.cu(cu);
+        let n = &cu_ref.nodes[node as usize];
+        let off = self.image.cu_offset(cu) + u64::from(n.offset);
+        self.paging.touch_range(self.image, off, u64::from(n.size.max(1)));
+    }
+
+    /// Runtime error helper.
+    fn err_sig(&self, m: MethodId) -> String {
+        self.program.method_signature(m)
+    }
+
+    /// Pushes a new frame for `method` executing inside `(cu, node)`.
+    fn push_frame(
+        &mut self,
+        thread: usize,
+        method: MethodId,
+        cu: CuId,
+        node: u32,
+        args: Vec<RtValue>,
+        ret_slot: Option<Local>,
+    ) {
+        self.touch_code(cu, node);
+        *self.call_counts.entry(method).or_insert(0) += 1;
+        if self.compiled.instrumentation.trace_methods {
+            let sig = self.sig_idx(method);
+            let th = self.threads[thread].handle.expect("traced thread");
+            self.session
+                .as_mut()
+                .expect("session")
+                .record_method_entry(th, sig);
+            self.probe_ops += self.config.probe_costs.method_entry * self.probe_scale;
+        }
+        let m = self.program.method(method);
+        let mut locals = vec![RtValue::Null; m.n_locals as usize];
+        locals[..args.len()].copy_from_slice(&args);
+        let mini = if self.trace_heap() {
+            let (cfg, _) = self.path_table(method);
+            cfg.entry().0
+        } else {
+            0
+        };
+        self.threads[thread].frames.push(Frame {
+            method,
+            cu,
+            node,
+            locals,
+            block: 0,
+            ip: 0,
+            ret_slot,
+            mini,
+            path_start: mini,
+            path_acc: 0,
+            pending: vec![],
+        });
+    }
+
+    /// Enters a CU out-of-line (thread start or non-inlined call).
+    fn enter_cu(
+        &mut self,
+        thread: usize,
+        method: MethodId,
+        args: Vec<RtValue>,
+        ret_slot: Option<Local>,
+    ) -> Result<(), VmError> {
+        let cu = self
+            .compiled
+            .cu_of_root(method)
+            .ok_or_else(|| VmError::MissingCu {
+                method: self.err_sig(method),
+            })?;
+        if self.compiled.instrumentation.trace_cu {
+            let sig = self.sig_idx(method);
+            let th = self.threads[thread].handle.expect("traced thread");
+            self.session
+                .as_mut()
+                .expect("session")
+                .record_cu_entry(th, sig);
+            self.probe_ops += self.config.probe_costs.cu_entry * self.probe_scale;
+        }
+        self.push_frame(thread, method, cu, 0, args, ret_slot);
+        Ok(())
+    }
+
+    fn flush_path(&mut self, thread: usize) {
+        if !self.trace_heap() {
+            return;
+        }
+        let frame = self.threads[thread]
+            .frames
+            .last_mut()
+            .expect("flush with live frame");
+        let method = frame.method;
+        let start = frame.path_start;
+        let acc = frame.path_acc;
+        let pending = std::mem::take(&mut frame.pending);
+        let th = self.threads[thread].handle.expect("traced thread");
+        let sig = self.sig_idx(method);
+        self.probe_ops += (self.config.probe_costs.path_flush
+            + self.config.probe_costs.obj_id * pending.len() as u64)
+            * self.probe_scale;
+        self.session
+            .as_mut()
+            .expect("session")
+            .record_path(th, sig, start, acc, pending);
+    }
+
+    /// Advances Ball–Larus state across the intra-block cut edge after a
+    /// call instruction.
+    fn path_after_call(&mut self, thread: usize) {
+        if !self.trace_heap() {
+            return;
+        }
+        self.flush_path(thread);
+        let frame = self.threads[thread].frames.last_mut().expect("frame");
+        frame.mini += 1; // minis of a block are contiguous
+        frame.path_start = frame.mini;
+        frame.path_acc = 0;
+    }
+
+    /// Advances Ball–Larus state across a block transition.
+    fn path_block_edge(&mut self, thread: usize, target_block: usize) {
+        if !self.trace_heap() {
+            return;
+        }
+        let (method, from_mini) = {
+            let f = self.threads[thread].frames.last().expect("frame");
+            (f.method, f.mini)
+        };
+        let (head, cut, inc) = {
+            let (cfg, num) = self.path_table(method);
+            let from = nimage_compiler::MiniBlockId(from_mini);
+            let head = cfg.head_of_block(target_block);
+            (head, num.is_cut(from, head), num.increment(from, head))
+        };
+        if cut {
+            self.flush_path(thread);
+            let frame = self.threads[thread].frames.last_mut().unwrap();
+            frame.mini = head.0;
+            frame.path_start = head.0;
+            frame.path_acc = 0;
+        } else {
+            let frame = self.threads[thread].frames.last_mut().unwrap();
+            frame.path_acc += inc;
+            frame.mini = head.0;
+        }
+    }
+
+    /// The 64-bit profile identifier traced for an object access (0 when the
+    /// accessed object is not part of the heap snapshot).
+    fn trace_id_of(&self, r: u32) -> u64 {
+        match self.heap.as_obj_id(r) {
+            Some(obj) if self.snapshot.index_of(obj).is_some() => u64::from(r) + 1,
+            _ => 0,
+        }
+    }
+
+    /// Touches bytes of the native tail: records the logical first-touch
+    /// order (the profile of the native-reordering extension) and routes the
+    /// access through the tail's page permutation, if one was applied.
+    fn touch_native(&mut self, logical_offset: u64) {
+        let ps = self.image.options.page_size;
+        if logical_offset >= self.image.native_start && logical_offset < self.image.text.size {
+            let page = ((logical_offset - self.image.native_start) / ps) as u32;
+            if self.native_seen.insert(page) {
+                self.native_touch_pages.push(page);
+            }
+        }
+        let mapped = self.image.map_native_offset(logical_offset);
+        self.paging.touch(self.image, mapped);
+    }
+
+    /// Touches the `.svm_heap` bytes of an image object access.
+    fn touch_object(&mut self, r: u32, byte_offset: u64) {
+        if let Some(obj) = self.heap.as_obj_id(r) {
+            if let Some(off) = self.image.object_offset(obj) {
+                self.paging.touch(self.image, off + byte_offset);
+            }
+        }
+    }
+
+    /// Records a traced heap access (paging + pending trace id + probe cost).
+    fn heap_access(&mut self, thread: usize, r: u32, byte_offset: u64) {
+        self.touch_object(r, byte_offset);
+        if self.trace_heap() {
+            let id = self.trace_id_of(r);
+            self.probe_ops += self.config.probe_costs.obj_id * self.probe_scale;
+            self.threads[thread]
+                .frames
+                .last_mut()
+                .expect("frame")
+                .pending
+                .push(id);
+        }
+    }
+
+    /// Runs the program.
+    ///
+    /// # Errors
+    /// Returns a [`VmError`] if the program performs an illegal operation.
+    ///
+    /// # Panics
+    /// Panics if the program has no entry point.
+    pub fn run(mut self, stop: StopWhen) -> Result<RunReport, VmError> {
+        let entry = self.program.entry.expect("program has an entry point");
+
+        // Native runtime startup: the dynamic loader, libc init and VM
+        // runtime touch entry points scattered across the statically linked
+        // libraries before main (relocations, TLS setup, locale tables…).
+        let ps = self.image.options.page_size;
+        let tail_pages = (self.image.options.native_tail / ps).max(1);
+        for p in 0..self.config.startup_native_pages {
+            let page = if p == 0 { 0 } else { (p * 53 + 7) % tail_pages };
+            self.touch_native(self.image.native_start + page * ps);
+        }
+
+        // Main thread.
+        self.threads.push(ThreadCtx {
+            frames: vec![],
+            handle: None,
+            done: false,
+        });
+        if let Some(s) = self.session.as_mut() {
+            self.threads[0].handle = Some(s.start_thread());
+        }
+        self.enter_cu(0, entry, vec![], None)?;
+
+        let quantum = self.config.quantum;
+        let mut killed = false;
+        'sched: loop {
+            let mut any_live = false;
+            for t in 0..self.threads.len() {
+                if self.threads[t].done {
+                    continue;
+                }
+                any_live = true;
+                for _ in 0..quantum {
+                    if self.threads[t].frames.is_empty() {
+                        if let (Some(s), Some(h)) =
+                            (self.session.as_mut(), self.threads[t].handle)
+                        {
+                            s.end_thread(h);
+                        }
+                        self.threads[t].done = true;
+                        break;
+                    }
+                    if self.ops >= self.config.max_ops {
+                        break 'sched;
+                    }
+                    self.step(t)?;
+                    if stop == StopWhen::FirstResponse && self.first_response.is_some() {
+                        killed = true;
+                        break 'sched;
+                    }
+                }
+            }
+            if !any_live {
+                break;
+            }
+        }
+
+        if killed {
+            if let Some(s) = self.session.as_mut() {
+                s.kill();
+            }
+        } else if let Some(s) = self.session.as_mut() {
+            // Normal exit: terminate any still-live threads (server threads
+            // of exited programs are torn down by the runtime).
+            s.kill();
+        }
+
+        let mut call_counts = CallCountProfile::new();
+        for (&m, &n) in &self.call_counts {
+            call_counts.record(&self.program.method_signature(m), n);
+        }
+
+        let exit = if killed {
+            ExitKind::FirstResponse
+        } else if self.ops >= self.config.max_ops {
+            ExitKind::OpsBudget
+        } else {
+            ExitKind::Exited
+        };
+
+        let text_first = self.image.text.offset / self.image.options.page_size;
+        let text_pages = self.image.text_pages();
+        let heap_first = self.image.svm_heap.offset / self.image.options.page_size;
+        let heap_pages = self
+            .image
+            .svm_heap
+            .size
+            .div_ceil(self.image.options.page_size);
+
+        let session_stats = self.session.as_ref().map(|s| s.stats());
+        let trace = self.session.take().map(|s| s.into_trace());
+        Ok(RunReport {
+            ops: self.ops,
+            probe_ops: self.probe_ops,
+            native_touch_pages: self.native_touch_pages,
+            faults: self.paging.faults(),
+            first_response: self.first_response,
+            call_counts,
+            trace,
+            session_stats,
+            exit,
+            entry_return: self.entry_return,
+            text_page_states: self.paging.page_states(text_first, text_pages),
+            heap_page_states: self.paging.page_states(heap_first, heap_pages),
+        })
+    }
+
+    /// Executes one instruction or terminator on thread `t`.
+    fn step(&mut self, t: usize) -> Result<(), VmError> {
+        self.ops += 1;
+        let frame = self.threads[t].frames.last().expect("live frame");
+        let method = frame.method;
+        let block = frame.block;
+        let ip = frame.ip;
+        let m = self.program.method(method);
+        if ip < m.blocks[block].instrs.len() {
+            // Clone is avoided: instructions are small except Call/Spawn
+            // argument vectors.
+            let ins = m.blocks[block].instrs[ip].clone();
+            self.exec_instr(t, method, &ins)?;
+            // exec_instr may have pushed a frame; ip of *this* frame was
+            // already advanced inside exec_instr for calls. For non-calls,
+            // advance here.
+            if !matches!(ins, Instr::Call { .. }) {
+                if let Some(f) = self.threads[t].frames.last_mut() {
+                    if f.method == method && f.block == block && f.ip == ip {
+                        f.ip += 1;
+                    }
+                }
+            }
+            Ok(())
+        } else {
+            self.exec_terminator(t, method, block)
+        }
+    }
+
+    fn local(&self, t: usize, l: Local) -> RtValue {
+        self.threads[t].frames.last().expect("frame").locals[l.index()]
+    }
+
+    fn set_local(&mut self, t: usize, l: Local, v: RtValue) {
+        self.threads[t].frames.last_mut().expect("frame").locals[l.index()] = v;
+    }
+
+    fn as_ref_val(&self, t: usize, l: Local, m: MethodId) -> Result<u32, VmError> {
+        match self.local(t, l) {
+            RtValue::Ref(r) => Ok(r),
+            RtValue::Null => Err(VmError::NullDeref {
+                method: self.err_sig(m),
+            }),
+            other => Err(VmError::TypeMismatch {
+                method: self.err_sig(m),
+                detail: format!("expected reference, got {other:?}"),
+            }),
+        }
+    }
+
+    fn as_int(&self, t: usize, l: Local, m: MethodId) -> Result<i64, VmError> {
+        match self.local(t, l) {
+            RtValue::Int(i) => Ok(i),
+            other => Err(VmError::TypeMismatch {
+                method: self.err_sig(m),
+                detail: format!("expected int, got {other:?}"),
+            }),
+        }
+    }
+
+    fn exec_instr(&mut self, t: usize, method: MethodId, ins: &Instr) -> Result<(), VmError> {
+        match ins {
+            Instr::ConstInt(d, v) => self.set_local(t, *d, RtValue::Int(*v)),
+            Instr::ConstDouble(d, v) => self.set_local(t, *d, RtValue::Double(*v)),
+            Instr::ConstBool(d, v) => self.set_local(t, *d, RtValue::Bool(*v)),
+            Instr::ConstNull(d) => self.set_local(t, *d, RtValue::Null),
+            Instr::ConstStr(d, s) => {
+                let r = self.heap.intern(s);
+                // Loading an interned literal reads its String object from
+                // the image heap.
+                self.touch_object(r, 0);
+                self.set_local(t, *d, RtValue::Ref(r));
+            }
+            Instr::Move(d, s) => {
+                let v = self.local(t, *s);
+                self.set_local(t, *d, v);
+            }
+            Instr::Bin(op, d, a, b) => {
+                let va = self.local(t, *a);
+                let vb = self.local(t, *b);
+                let r = eval_bin(*op, va, vb).ok_or_else(|| match op {
+                    BinOp::Div | BinOp::Rem => VmError::DivisionByZero {
+                        method: self.err_sig(method),
+                    },
+                    _ => VmError::TypeMismatch {
+                        method: self.err_sig(method),
+                        detail: format!("{op:?} on {va:?}, {vb:?}"),
+                    },
+                })?;
+                self.set_local(t, *d, r);
+            }
+            Instr::Un(op, d, a) => {
+                let va = self.local(t, *a);
+                let r = eval_un(*op, va).ok_or_else(|| VmError::TypeMismatch {
+                    method: self.err_sig(method),
+                    detail: format!("{op:?} on {va:?}"),
+                })?;
+                self.set_local(t, *d, r);
+            }
+            Instr::New(d, c) => {
+                let r = self.heap.alloc_instance(self.program, *c);
+                self.set_local(t, *d, RtValue::Ref(r));
+            }
+            Instr::NewArray(d, elem, len) => {
+                let n = self.as_int(t, *len, method)?;
+                if n < 0 {
+                    return Err(VmError::IndexOutOfBounds {
+                        method: self.err_sig(method),
+                    });
+                }
+                let r = self.heap.alloc(RtObject::Array {
+                    elem: elem.clone(),
+                    elems: vec![RtValue::default_for(elem); n as usize],
+                });
+                self.set_local(t, *d, RtValue::Ref(r));
+            }
+            Instr::GetField(d, obj, fid) => {
+                let r = self.as_ref_val(t, *obj, method)?;
+                let (slot, v) = self.field_slot(r, *fid, method)?;
+                self.heap_access(t, r, 16 + 8 * slot as u64);
+                self.set_local(t, *d, v);
+            }
+            Instr::PutField(obj, fid, src) => {
+                let r = self.as_ref_val(t, *obj, method)?;
+                let v = self.local(t, *src);
+                let slot = self.field_slot(r, *fid, method)?.0;
+                self.heap_access(t, r, 16 + 8 * slot as u64);
+                match self.heap.get_mut(r) {
+                    RtObject::Instance { fields, .. } => fields[slot] = v,
+                    _ => unreachable!("field_slot validated"),
+                }
+            }
+            Instr::GetStatic(d, fid) => {
+                let v = self.heap.static_value(self.program, *fid);
+                self.set_local(t, *d, v);
+            }
+            Instr::PutStatic(fid, src) => {
+                let v = self.local(t, *src);
+                self.heap.set_static(*fid, v);
+            }
+            Instr::ArrayGet(d, arr, idx) => {
+                let r = self.as_ref_val(t, *arr, method)?;
+                let i = self.as_int(t, *idx, method)?;
+                let v = match self.heap.get(r) {
+                    RtObject::Array { elems, .. } => {
+                        *elems
+                            .get(usize::try_from(i).map_err(|_| VmError::IndexOutOfBounds {
+                                method: self.err_sig(method),
+                            })?)
+                            .ok_or_else(|| VmError::IndexOutOfBounds {
+                                method: self.err_sig(method),
+                            })?
+                    }
+                    other => {
+                        return Err(VmError::TypeMismatch {
+                            method: self.err_sig(method),
+                            detail: format!("array access on {other:?}"),
+                        })
+                    }
+                };
+                self.heap_access(t, r, 24 + 8 * i as u64);
+                self.set_local(t, *d, v);
+            }
+            Instr::ArraySet(arr, idx, src) => {
+                let r = self.as_ref_val(t, *arr, method)?;
+                let i = self.as_int(t, *idx, method)?;
+                let v = self.local(t, *src);
+                self.heap_access(t, r, 24 + 8 * i.max(0) as u64);
+                let sig = self.err_sig(method);
+                match self.heap.get_mut(r) {
+                    RtObject::Array { elems, .. } => {
+                        let len = elems.len();
+                        *elems
+                            .get_mut(usize::try_from(i).unwrap_or(len))
+                            .ok_or(VmError::IndexOutOfBounds { method: sig })? = v;
+                    }
+                    other => {
+                        return Err(VmError::TypeMismatch {
+                            method: sig,
+                            detail: format!("array access on {other:?}"),
+                        })
+                    }
+                }
+            }
+            Instr::ArrayLen(d, arr) => {
+                let r = self.as_ref_val(t, *arr, method)?;
+                let n = match self.heap.get(r) {
+                    RtObject::Array { elems, .. } => elems.len() as i64,
+                    other => {
+                        return Err(VmError::TypeMismatch {
+                            method: self.err_sig(method),
+                            detail: format!("array length on {other:?}"),
+                        })
+                    }
+                };
+                self.touch_object(r, 0);
+                self.set_local(t, *d, RtValue::Int(n));
+            }
+            Instr::StrLen(d, s) => {
+                let r = self.as_ref_val(t, *s, method)?;
+                let n = self.str_content(r, method)?.len() as i64;
+                self.touch_object(r, 0);
+                self.set_local(t, *d, RtValue::Int(n));
+            }
+            Instr::StrCharAt(d, s, i) => {
+                let r = self.as_ref_val(t, *s, method)?;
+                let idx = self.as_int(t, *i, method)?;
+                let content = self.str_content(r, method)?;
+                let ch = content
+                    .as_bytes()
+                    .get(usize::try_from(idx).map_err(|_| VmError::IndexOutOfBounds {
+                        method: self.err_sig(method),
+                    })?)
+                    .copied()
+                    .ok_or_else(|| VmError::IndexOutOfBounds {
+                        method: self.err_sig(method),
+                    })?;
+                self.touch_object(r, 24 + idx as u64);
+                self.set_local(t, *d, RtValue::Int(i64::from(ch)));
+            }
+            Instr::StrConcat(d, a, b) => {
+                let sa = self.display_value(self.local(t, *a));
+                let sb = self.display_value(self.local(t, *b));
+                let r = self.heap.alloc(RtObject::Str(format!("{sa}{sb}")));
+                self.set_local(t, *d, RtValue::Ref(r));
+            }
+            Instr::Call { dst, callee, args } => {
+                self.ops += 1; // calls cost an extra op
+                let argv: Vec<RtValue> = args.iter().map(|&l| self.local(t, l)).collect();
+                let target = match callee {
+                    Callee::Static(m2) => *m2,
+                    Callee::Virtual { selector, .. } => {
+                        let recv = match argv.first() {
+                            Some(RtValue::Ref(r)) => *r,
+                            _ => {
+                                return Err(VmError::NullDeref {
+                                    method: self.err_sig(method),
+                                })
+                            }
+                        };
+                        let class = match self.heap.get(recv) {
+                            RtObject::Instance { class, .. } => *class,
+                            other => {
+                                return Err(VmError::TypeMismatch {
+                                    method: self.err_sig(method),
+                                    detail: format!("virtual call on {other:?}"),
+                                })
+                            }
+                        };
+                        self.program
+                            .resolve_virtual(class, *selector)
+                            .ok_or_else(|| VmError::NoSuchMethod {
+                                class: self.program.class(class).name.clone(),
+                                selector: self.program.selector_name(*selector).to_string(),
+                            })?
+                    }
+                };
+                // End the caller's current path at the call boundary.
+                self.path_after_call(t);
+                // Advance the caller past the call before pushing the callee.
+                let (cu, node, block, ip);
+                {
+                    let f = self.threads[t].frames.last_mut().expect("frame");
+                    f.ip += 1;
+                    cu = f.cu;
+                    node = f.node;
+                    block = f.block;
+                    ip = f.ip - 1;
+                }
+                // Inlined at this exact site?
+                let site = nimage_analysis::CallSite {
+                    method,
+                    block,
+                    instr: ip,
+                };
+                let child = self.compiled.cu(cu).nodes[node as usize]
+                    .child_at(site)
+                    .filter(|&c| self.compiled.cu(cu).nodes[c as usize].method == target);
+                match child {
+                    Some(c) => self.push_frame(t, target, cu, c, argv, *dst),
+                    None => self.enter_cu(t, target, argv, *dst)?,
+                }
+            }
+            Instr::Intrinsic { dst, op, args } => {
+                // Intrinsics execute native code at the end of .text; each
+                // lands on its own (scattered) page of the statically
+                // linked libraries, like libm entry points do.
+                let ps = self.image.options.page_size;
+                let tail_pages = (self.image.options.native_tail / ps).max(1);
+                let page = (*op as u64 + 2) * 131 % tail_pages;
+                self.touch_native(self.image.native_start + page * ps);
+                let argv: Vec<RtValue> = args.iter().map(|&l| self.local(t, l)).collect();
+                if *op == Intrinsic::Respond && self.first_response.is_none() {
+                    self.first_response = Some(ResponsePoint {
+                        ops: self.ops,
+                        probe_ops: self.probe_ops,
+                        faults: self.paging.faults(),
+                    });
+                }
+                let v = eval_intrinsic(*op, &argv);
+                if let Some(d) = dst {
+                    self.set_local(t, *d, v.unwrap_or(RtValue::Null));
+                }
+            }
+            Instr::Spawn { method: m2, args } => {
+                let argv: Vec<RtValue> = args.iter().map(|&l| self.local(t, l)).collect();
+                self.threads.push(ThreadCtx {
+                    frames: vec![],
+                    handle: None,
+                    done: false,
+                });
+                let nt = self.threads.len() - 1;
+                if let Some(s) = self.session.as_mut() {
+                    self.threads[nt].handle = Some(s.start_thread());
+                }
+                self.enter_cu(nt, *m2, argv, None)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_terminator(&mut self, t: usize, method: MethodId, block: usize) -> Result<(), VmError> {
+        let m = self.program.method(method);
+        match m.blocks[block].terminator.clone() {
+            Terminator::Ret(v) => {
+                self.flush_path(t);
+                let frame = self.threads[t].frames.pop().expect("frame");
+                let value = v.map(|l| frame.locals[l.index()]);
+                if let Some(parent) = self.threads[t].frames.last_mut() {
+                    if let Some(slot) = frame.ret_slot {
+                        parent.locals[slot.index()] = value.unwrap_or(RtValue::Null);
+                    }
+                } else if t == 0 && self.entry_return.is_none() {
+                    self.entry_return = value;
+                }
+            }
+            Terminator::Jump(target) => {
+                self.path_block_edge(t, target.index());
+                let frame = self.threads[t].frames.last_mut().expect("frame");
+                frame.block = target.index();
+                frame.ip = 0;
+            }
+            Terminator::Br {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let c = match self.local(t, cond) {
+                    RtValue::Bool(b) => b,
+                    other => {
+                        return Err(VmError::TypeMismatch {
+                            method: self.err_sig(method),
+                            detail: format!("branch on {other:?}"),
+                        })
+                    }
+                };
+                let target = if c { then_blk } else { else_blk };
+                self.path_block_edge(t, target.index());
+                let frame = self.threads[t].frames.last_mut().expect("frame");
+                frame.block = target.index();
+                frame.ip = 0;
+            }
+        }
+        Ok(())
+    }
+
+    fn field_slot(
+        &self,
+        r: u32,
+        fid: nimage_ir::FieldId,
+        method: MethodId,
+    ) -> Result<(usize, RtValue), VmError> {
+        match self.heap.get(r) {
+            RtObject::Instance { class, fields } => {
+                let layout = self.program.all_instance_fields(*class);
+                let slot = layout.iter().position(|&f| f == fid).ok_or_else(|| {
+                    VmError::TypeMismatch {
+                        method: self.err_sig(method),
+                        detail: format!(
+                            "field {} not on {}",
+                            self.program.field_signature(fid),
+                            self.program.class(*class).name
+                        ),
+                    }
+                })?;
+                Ok((slot, fields[slot]))
+            }
+            other => Err(VmError::TypeMismatch {
+                method: self.err_sig(method),
+                detail: format!("field access on {other:?}"),
+            }),
+        }
+    }
+
+    fn str_content(&self, r: u32, method: MethodId) -> Result<&str, VmError> {
+        match self.heap.get(r) {
+            RtObject::Str(s) => Ok(s),
+            other => Err(VmError::TypeMismatch {
+                method: self.err_sig(method),
+                detail: format!("string op on {other:?}"),
+            }),
+        }
+    }
+
+    fn display_value(&self, v: RtValue) -> String {
+        match v {
+            RtValue::Null => "null".to_string(),
+            RtValue::Bool(b) => b.to_string(),
+            RtValue::Int(i) => i.to_string(),
+            RtValue::Double(d) => format!("{d}"),
+            RtValue::Ref(r) => match self.heap.get(r) {
+                RtObject::Str(s) => s.clone(),
+                other => format!("<{other:?}>"),
+            },
+        }
+    }
+}
+
+fn eval_bin(op: BinOp, a: RtValue, b: RtValue) -> Option<RtValue> {
+    use RtValue::*;
+    Some(match (op, a, b) {
+        (BinOp::Add, Int(x), Int(y)) => Int(x.wrapping_add(y)),
+        (BinOp::Sub, Int(x), Int(y)) => Int(x.wrapping_sub(y)),
+        (BinOp::Mul, Int(x), Int(y)) => Int(x.wrapping_mul(y)),
+        (BinOp::Div, Int(x), Int(y)) => {
+            if y == 0 {
+                return None;
+            }
+            Int(x.wrapping_div(y))
+        }
+        (BinOp::Rem, Int(x), Int(y)) => {
+            if y == 0 {
+                return None;
+            }
+            Int(x.wrapping_rem(y))
+        }
+        (BinOp::And, Int(x), Int(y)) => Int(x & y),
+        (BinOp::Or, Int(x), Int(y)) => Int(x | y),
+        (BinOp::Xor, Int(x), Int(y)) => Int(x ^ y),
+        (BinOp::Shl, Int(x), Int(y)) => Int(x.wrapping_shl(y as u32)),
+        (BinOp::Shr, Int(x), Int(y)) => Int(x.wrapping_shr(y as u32)),
+        (BinOp::And, Bool(x), Bool(y)) => Bool(x && y),
+        (BinOp::Or, Bool(x), Bool(y)) => Bool(x || y),
+        (BinOp::Xor, Bool(x), Bool(y)) => Bool(x ^ y),
+        (BinOp::Add, Double(x), Double(y)) => Double(x + y),
+        (BinOp::Sub, Double(x), Double(y)) => Double(x - y),
+        (BinOp::Mul, Double(x), Double(y)) => Double(x * y),
+        (BinOp::Div, Double(x), Double(y)) => Double(x / y),
+        (BinOp::Rem, Double(x), Double(y)) => Double(x % y),
+        (BinOp::Lt, Int(x), Int(y)) => Bool(x < y),
+        (BinOp::Le, Int(x), Int(y)) => Bool(x <= y),
+        (BinOp::Gt, Int(x), Int(y)) => Bool(x > y),
+        (BinOp::Ge, Int(x), Int(y)) => Bool(x >= y),
+        (BinOp::Eq, Int(x), Int(y)) => Bool(x == y),
+        (BinOp::Ne, Int(x), Int(y)) => Bool(x != y),
+        (BinOp::Lt, Double(x), Double(y)) => Bool(x < y),
+        (BinOp::Le, Double(x), Double(y)) => Bool(x <= y),
+        (BinOp::Gt, Double(x), Double(y)) => Bool(x > y),
+        (BinOp::Ge, Double(x), Double(y)) => Bool(x >= y),
+        (BinOp::Eq, Double(x), Double(y)) => Bool(x == y),
+        (BinOp::Ne, Double(x), Double(y)) => Bool(x != y),
+        (BinOp::Eq, Bool(x), Bool(y)) => Bool(x == y),
+        (BinOp::Ne, Bool(x), Bool(y)) => Bool(x != y),
+        (BinOp::Eq, Ref(x), Ref(y)) => Bool(x == y),
+        (BinOp::Ne, Ref(x), Ref(y)) => Bool(x != y),
+        (BinOp::Eq, Null, Null) => Bool(true),
+        (BinOp::Ne, Null, Null) => Bool(false),
+        (BinOp::Eq, Ref(_), Null) | (BinOp::Eq, Null, Ref(_)) => Bool(false),
+        (BinOp::Ne, Ref(_), Null) | (BinOp::Ne, Null, Ref(_)) => Bool(true),
+        _ => return None,
+    })
+}
+
+fn eval_un(op: UnOp, a: RtValue) -> Option<RtValue> {
+    use RtValue::*;
+    Some(match (op, a) {
+        (UnOp::Neg, Int(x)) => Int(x.wrapping_neg()),
+        (UnOp::Neg, Double(x)) => Double(-x),
+        (UnOp::Not, Bool(x)) => Bool(!x),
+        (UnOp::IntToDouble, Int(x)) => Double(x as f64),
+        (UnOp::DoubleToInt, Double(x)) => Int(x as i64),
+        _ => return None,
+    })
+}
+
+fn eval_intrinsic(op: Intrinsic, args: &[RtValue]) -> Option<RtValue> {
+    let d = |i: usize| match args.get(i) {
+        Some(RtValue::Double(v)) => Some(*v),
+        _ => None,
+    };
+    Some(match op {
+        Intrinsic::Sqrt => RtValue::Double(d(0)?.sqrt()),
+        Intrinsic::Abs => RtValue::Double(d(0)?.abs()),
+        Intrinsic::Floor => RtValue::Double(d(0)?.floor()),
+        Intrinsic::Cos => RtValue::Double(d(0)?.cos()),
+        Intrinsic::Sin => RtValue::Double(d(0)?.sin()),
+        Intrinsic::Respond => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_arithmetic_semantics() {
+        use RtValue::Int;
+        assert_eq!(eval_bin(BinOp::Add, Int(2), Int(3)), Some(Int(5)));
+        assert_eq!(eval_bin(BinOp::Sub, Int(2), Int(3)), Some(Int(-1)));
+        assert_eq!(eval_bin(BinOp::Mul, Int(4), Int(3)), Some(Int(12)));
+        assert_eq!(eval_bin(BinOp::Div, Int(7), Int(2)), Some(Int(3)));
+        assert_eq!(eval_bin(BinOp::Rem, Int(7), Int(2)), Some(Int(1)));
+        assert_eq!(eval_bin(BinOp::Div, Int(7), Int(0)), None);
+        assert_eq!(eval_bin(BinOp::Rem, Int(7), Int(0)), None);
+        // Wrapping, not panicking.
+        assert_eq!(
+            eval_bin(BinOp::Add, Int(i64::MAX), Int(1)),
+            Some(Int(i64::MIN))
+        );
+    }
+
+    #[test]
+    fn comparison_and_reference_equality() {
+        use RtValue::*;
+        assert_eq!(eval_bin(BinOp::Lt, Int(1), Int(2)), Some(Bool(true)));
+        assert_eq!(eval_bin(BinOp::Ge, Int(2), Int(2)), Some(Bool(true)));
+        assert_eq!(eval_bin(BinOp::Eq, Ref(3), Ref(3)), Some(Bool(true)));
+        assert_eq!(eval_bin(BinOp::Eq, Ref(3), Ref(4)), Some(Bool(false)));
+        assert_eq!(eval_bin(BinOp::Eq, Ref(3), Null), Some(Bool(false)));
+        assert_eq!(eval_bin(BinOp::Ne, Null, Null), Some(Bool(false)));
+        // Mixed kinds are type errors, not coercions.
+        assert_eq!(eval_bin(BinOp::Add, Int(1), Double(2.0)), None);
+        assert_eq!(eval_bin(BinOp::Lt, Bool(true), Bool(false)), None);
+    }
+
+    #[test]
+    fn unary_and_conversions() {
+        use RtValue::*;
+        assert_eq!(eval_un(UnOp::Neg, Int(5)), Some(Int(-5)));
+        assert_eq!(eval_un(UnOp::Not, Bool(true)), Some(Bool(false)));
+        assert_eq!(eval_un(UnOp::IntToDouble, Int(3)), Some(Double(3.0)));
+        assert_eq!(eval_un(UnOp::DoubleToInt, Double(3.9)), Some(Int(3)));
+        assert_eq!(eval_un(UnOp::DoubleToInt, Double(-3.9)), Some(Int(-3)));
+        assert_eq!(eval_un(UnOp::Not, Int(1)), None);
+    }
+
+    #[test]
+    fn intrinsic_math() {
+        use RtValue::Double;
+        assert_eq!(
+            eval_intrinsic(Intrinsic::Sqrt, &[Double(9.0)]),
+            Some(Double(3.0))
+        );
+        assert_eq!(
+            eval_intrinsic(Intrinsic::Abs, &[Double(-2.5)]),
+            Some(Double(2.5))
+        );
+        assert_eq!(
+            eval_intrinsic(Intrinsic::Floor, &[Double(2.7)]),
+            Some(Double(2.0))
+        );
+        // Respond produces no value.
+        assert_eq!(eval_intrinsic(Intrinsic::Respond, &[RtValue::Int(200)]), None);
+        // Type mismatch yields None rather than a panic.
+        assert_eq!(eval_intrinsic(Intrinsic::Sqrt, &[RtValue::Int(9)]), None);
+    }
+
+    #[test]
+    fn probe_costs_default_order_matches_the_paper() {
+        let c = ProbeCosts::default();
+        assert!(c.method_entry > c.cu_entry);
+        assert!(c.cu_entry > c.path_flush);
+        assert!(c.path_flush >= c.obj_id);
+    }
+}

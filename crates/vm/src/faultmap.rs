@@ -1,0 +1,129 @@
+//! Fig. 6-style visual representation of per-page fault states.
+//!
+//! The paper's appendix renders the `.text` section as a grid of cells:
+//! green = the page caused a fault, red = the page was paged in by the OS
+//! without a fault, black = the page was never mapped. [`render_ascii`]
+//! produces the same map with characters (`#`, `+`, `.`), suitable for
+//! terminals and for diffing in tests.
+
+use crate::paging::PageState;
+
+/// Renders a page-state sequence as an ASCII grid of `width` cells per row.
+///
+/// `#` = faulted (green), `+` = resident without fault (red), `.` =
+/// untouched (black).
+///
+/// ```
+/// use nimage_vm::{render_ascii, PageState};
+///
+/// let row = render_ascii(
+///     &[PageState::Faulted, PageState::Resident, PageState::Untouched],
+///     3,
+/// );
+/// assert_eq!(row, "#+.\n");
+/// ```
+///
+/// # Panics
+/// Panics if `width` is zero.
+pub fn render_ascii(states: &[PageState], width: usize) -> String {
+    assert!(width > 0, "row width must be positive");
+    let mut out = String::with_capacity(states.len() + states.len() / width + 1);
+    for (i, s) in states.iter().enumerate() {
+        out.push(match s {
+            PageState::Faulted => '#',
+            PageState::Resident => '+',
+            PageState::Untouched => '.',
+        });
+        if (i + 1) % width == 0 {
+            out.push('\n');
+        }
+    }
+    if !out.ends_with('\n') && !out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+/// Summary statistics of a page map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PageMapSummary {
+    /// Pages that caused a major fault.
+    pub faulted: usize,
+    /// Pages resident without their own fault.
+    pub resident: usize,
+    /// Pages never mapped.
+    pub untouched: usize,
+}
+
+/// Computes counts per page state.
+pub fn summarize(states: &[PageState]) -> PageMapSummary {
+    let mut s = PageMapSummary::default();
+    for st in states {
+        match st {
+            PageState::Faulted => s.faulted += 1,
+            PageState::Resident => s.resident += 1,
+            PageState::Untouched => s.untouched += 1,
+        }
+    }
+    s
+}
+
+/// Index of the last page (in `states`) that is faulted or resident, if any.
+/// Used to show how compact the hot prefix of a section is after reordering.
+pub fn touched_extent(states: &[PageState]) -> Option<usize> {
+    states
+        .iter()
+        .rposition(|s| !matches!(s, PageState::Untouched))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_rows_of_width() {
+        let states = vec![
+            PageState::Faulted,
+            PageState::Resident,
+            PageState::Untouched,
+            PageState::Faulted,
+        ];
+        assert_eq!(render_ascii(&states, 2), "#+\n.#\n");
+    }
+
+    #[test]
+    fn trailing_partial_row_gets_newline() {
+        let states = vec![PageState::Faulted; 3];
+        assert_eq!(render_ascii(&states, 2), "##\n#\n");
+    }
+
+    #[test]
+    fn summary_counts_each_state() {
+        let states = vec![
+            PageState::Faulted,
+            PageState::Faulted,
+            PageState::Resident,
+            PageState::Untouched,
+        ];
+        assert_eq!(
+            summarize(&states),
+            PageMapSummary {
+                faulted: 2,
+                resident: 1,
+                untouched: 1
+            }
+        );
+    }
+
+    #[test]
+    fn extent_finds_last_touched_page() {
+        let states = vec![
+            PageState::Faulted,
+            PageState::Untouched,
+            PageState::Resident,
+            PageState::Untouched,
+        ];
+        assert_eq!(touched_extent(&states), Some(2));
+        assert_eq!(touched_extent(&[PageState::Untouched]), None);
+    }
+}

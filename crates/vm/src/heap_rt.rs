@@ -1,0 +1,253 @@
+//! Runtime heap: the snapshot contents materialized for execution, plus
+//! dynamically allocated objects.
+//!
+//! Objects with indices below [`RtHeap::snapshot_len`] correspond one-to-one
+//! to build-time objects ([`nimage_heap::ObjId`]); their first accesses are
+//! what faults `.svm_heap` pages in. Objects allocated at run time live in
+//! anonymous memory and never fault binary pages.
+
+use std::collections::HashMap;
+
+use nimage_heap::{BuildHeap, HObjectKind, HValue, ObjId};
+use nimage_ir::{ClassId, FieldId, Program, TypeRef};
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RtValue {
+    /// Null reference.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Double(f64),
+    /// Reference into the [`RtHeap`] arena.
+    Ref(u32),
+}
+
+impl RtValue {
+    /// Default value for a declared type.
+    pub fn default_for(ty: &TypeRef) -> RtValue {
+        match ty {
+            TypeRef::Bool => RtValue::Bool(false),
+            TypeRef::Int => RtValue::Int(0),
+            TypeRef::Double => RtValue::Double(0.0),
+            _ => RtValue::Null,
+        }
+    }
+}
+
+/// A runtime object's payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RtObject {
+    /// Class instance with fields in layout order.
+    Instance {
+        /// Dynamic class.
+        class: ClassId,
+        /// Field slots.
+        fields: Vec<RtValue>,
+    },
+    /// Array.
+    Array {
+        /// Element type.
+        elem: TypeRef,
+        /// Elements.
+        elems: Vec<RtValue>,
+    },
+    /// Immutable string.
+    Str(String),
+    /// Boxed FP constant (from the data section).
+    Boxed(f64),
+    /// Resource blob.
+    Blob {
+        /// Resource path.
+        name: String,
+        /// Size in bytes.
+        size: u32,
+    },
+}
+
+/// The runtime heap.
+#[derive(Debug, Clone)]
+pub struct RtHeap {
+    objects: Vec<RtObject>,
+    statics: HashMap<FieldId, RtValue>,
+    interned: HashMap<String, u32>,
+    snapshot_len: u32,
+}
+
+fn convert_value(v: HValue) -> RtValue {
+    match v {
+        HValue::Null => RtValue::Null,
+        HValue::Bool(b) => RtValue::Bool(b),
+        HValue::Int(i) => RtValue::Int(i),
+        HValue::Double(d) => RtValue::Double(d),
+        HValue::Ref(o) => RtValue::Ref(o.0),
+    }
+}
+
+impl RtHeap {
+    /// Materializes the build heap for execution. Indices of build objects
+    /// are preserved, so `RtValue::Ref(i)` with `i < snapshot_len` denotes
+    /// the build object `ObjId(i)`.
+    pub fn from_build_heap(heap: &BuildHeap) -> RtHeap {
+        let mut objects = Vec::with_capacity(heap.len());
+        let mut interned = HashMap::new();
+        for i in 0..heap.len() {
+            let o = heap.get(ObjId(i as u32));
+            let rt = match &o.kind {
+                HObjectKind::Instance { class, fields } => RtObject::Instance {
+                    class: *class,
+                    fields: fields.iter().map(|&v| convert_value(v)).collect(),
+                },
+                HObjectKind::Array { elem, elems } => RtObject::Array {
+                    elem: elem.clone(),
+                    elems: elems.iter().map(|&v| convert_value(v)).collect(),
+                },
+                HObjectKind::Str(s) => {
+                    if heap.is_interned(ObjId(i as u32)) {
+                        interned.insert(s.clone(), i as u32);
+                    }
+                    RtObject::Str(s.clone())
+                }
+                HObjectKind::Boxed(d) => RtObject::Boxed(*d),
+                HObjectKind::Blob { name, size } => RtObject::Blob {
+                    name: name.clone(),
+                    size: *size,
+                },
+            };
+            objects.push(rt);
+        }
+        let statics = heap
+            .statics()
+            .map(|(f, v)| (f, convert_value(v)))
+            .collect();
+        RtHeap {
+            snapshot_len: objects.len() as u32,
+            objects,
+            statics,
+            interned,
+        }
+    }
+
+    /// Number of objects that originate from the build heap.
+    pub fn snapshot_len(&self) -> u32 {
+        self.snapshot_len
+    }
+
+    /// Whether `r` refers to a build-time (image) object.
+    pub fn is_image_object(&self, r: u32) -> bool {
+        r < self.snapshot_len
+    }
+
+    /// The build-time id of an image object reference.
+    pub fn as_obj_id(&self, r: u32) -> Option<ObjId> {
+        self.is_image_object(r).then_some(ObjId(r))
+    }
+
+    /// Immutable object access.
+    ///
+    /// # Panics
+    /// Panics if `r` is out of range.
+    pub fn get(&self, r: u32) -> &RtObject {
+        &self.objects[r as usize]
+    }
+
+    /// Mutable object access.
+    ///
+    /// # Panics
+    /// Panics if `r` is out of range.
+    pub fn get_mut(&mut self, r: u32) -> &mut RtObject {
+        &mut self.objects[r as usize]
+    }
+
+    /// Allocates a runtime object, returning its reference.
+    pub fn alloc(&mut self, o: RtObject) -> u32 {
+        let r = self.objects.len() as u32;
+        self.objects.push(o);
+        r
+    }
+
+    /// Allocates an instance with default field values.
+    pub fn alloc_instance(&mut self, program: &Program, class: ClassId) -> u32 {
+        let fields = program
+            .all_instance_fields(class)
+            .iter()
+            .map(|&f| RtValue::default_for(&program.field(f).ty))
+            .collect();
+        self.alloc(RtObject::Instance { class, fields })
+    }
+
+    /// Interned string lookup/allocation. Literals already interned at
+    /// build time resolve to their image object (and thus to `.svm_heap`
+    /// pages); new literals intern into anonymous memory.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&r) = self.interned.get(s) {
+            return r;
+        }
+        let r = self.alloc(RtObject::Str(s.to_string()));
+        self.interned.insert(s.to_string(), r);
+        r
+    }
+
+    /// Reads a static field.
+    pub fn static_value(&self, program: &Program, field: FieldId) -> RtValue {
+        self.statics
+            .get(&field)
+            .copied()
+            .unwrap_or_else(|| RtValue::default_for(&program.field(field).ty))
+    }
+
+    /// Writes a static field.
+    pub fn set_static(&mut self, field: FieldId, value: RtValue) {
+        self.statics.insert(field, value);
+    }
+
+    /// Total number of live objects (image + dynamic).
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the heap has no objects at all.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_heap_conversion_preserves_indices() {
+        let mut bh = BuildHeap::new();
+        let s = bh.intern("hi");
+        let arr = bh.alloc_array(TypeRef::Int, 3);
+        let rt = RtHeap::from_build_heap(&bh);
+        assert_eq!(rt.snapshot_len(), 2);
+        assert!(matches!(rt.get(s.0), RtObject::Str(x) if x == "hi"));
+        assert!(matches!(rt.get(arr.0), RtObject::Array { elems, .. } if elems.len() == 3));
+    }
+
+    #[test]
+    fn runtime_allocations_are_not_image_objects() {
+        let bh = BuildHeap::new();
+        let mut rt = RtHeap::from_build_heap(&bh);
+        let r = rt.alloc(RtObject::Str("dyn".into()));
+        assert!(!rt.is_image_object(r));
+        assert_eq!(rt.as_obj_id(r), None);
+    }
+
+    #[test]
+    fn interned_literals_resolve_to_image_objects() {
+        let mut bh = BuildHeap::new();
+        let s = bh.intern("lit");
+        let mut rt = RtHeap::from_build_heap(&bh);
+        assert_eq!(rt.intern("lit"), s.0);
+        let fresh = rt.intern("new-at-runtime");
+        assert!(!rt.is_image_object(fresh));
+        // Interning is stable at runtime too.
+        assert_eq!(rt.intern("new-at-runtime"), fresh);
+    }
+}

@@ -1,0 +1,132 @@
+//! Bounce: simulate balls bouncing inside a box, counting wall bounces.
+
+use nimage_ir::{BinOp, ClassId, ProgramBuilder, TypeRef, UnOp};
+
+use crate::harness::Harness;
+
+pub(crate) fn install(pb: &mut ProgramBuilder, h: &Harness) -> ClassId {
+    let ball = pb.add_class("awfy.bounce.Ball", None);
+    let f_x = pb.add_instance_field(ball, "x", TypeRef::Int);
+    let f_y = pb.add_instance_field(ball, "y", TypeRef::Int);
+    let f_xv = pb.add_instance_field(ball, "xVel", TypeRef::Int);
+    let f_yv = pb.add_instance_field(ball, "yVel", TypeRef::Int);
+
+    // Ball.init(random): position and velocity from the shared Random.
+    let init = pb.declare_virtual(
+        ball,
+        "init",
+        &[TypeRef::Object(h.random_cls)],
+        None,
+    );
+    let mut f = pb.body(init);
+    let this = f.this();
+    let rng = f.param(1);
+    let v500 = f.iconst(500);
+    let v300 = f.iconst(300);
+    let r1 = f.call_virtual(h.random_cls, h.next_sel, &[rng], true).unwrap();
+    let x = f.rem(r1, v500);
+    f.put_field(this, f_x, x);
+    let r2 = f.call_virtual(h.random_cls, h.next_sel, &[rng], true).unwrap();
+    let y = f.rem(r2, v500);
+    f.put_field(this, f_y, y);
+    let r3 = f.call_virtual(h.random_cls, h.next_sel, &[rng], true).unwrap();
+    let v30 = f.iconst(30);
+    let v15 = f.iconst(15);
+    let xv0 = f.rem(r3, v30);
+    let xv = f.sub(xv0, v15);
+    f.put_field(this, f_xv, xv);
+    let r4 = f.call_virtual(h.random_cls, h.next_sel, &[rng], true).unwrap();
+    let yv0 = f.rem(r4, v30);
+    let yv = f.sub(yv0, v15);
+    f.put_field(this, f_yv, yv);
+    let _ = v300;
+    f.ret(None);
+    pb.finish_body(init, f);
+
+    // Ball.bounce(): one step; returns 1 if the ball bounced off a wall.
+    let bounce = pb.declare_virtual(ball, "bounce", &[], Some(TypeRef::Int));
+    let mut f = pb.body(bounce);
+    let this = f.this();
+    let x_limit = f.iconst(500);
+    let y_limit = f.iconst(500);
+    let zero = f.iconst(0);
+    let bounced = f.iconst(0);
+    let x0 = f.get_field(this, f_x);
+    let xv = f.get_field(this, f_xv);
+    let x1 = f.add(x0, xv);
+    f.put_field(this, f_x, x1);
+    let y0 = f.get_field(this, f_y);
+    let yv = f.get_field(this, f_yv);
+    let y1 = f.add(y0, yv);
+    f.put_field(this, f_y, y1);
+
+    let over_x = f.gt(x1, x_limit);
+    f.if_then(over_x, |f| {
+        f.put_field(this, f_x, x_limit);
+        let nxv = f.un(UnOp::Neg, xv);
+        let axv = f.bin(BinOp::Lt, nxv, zero);
+        let _ = axv;
+        f.put_field(this, f_xv, nxv);
+        let one = f.iconst(1);
+        f.assign(bounced, one);
+    });
+    let under_x = f.lt(x1, zero);
+    f.if_then(under_x, |f| {
+        f.put_field(this, f_x, zero);
+        let nxv = f.un(UnOp::Neg, xv);
+        f.put_field(this, f_xv, nxv);
+        let one = f.iconst(1);
+        f.assign(bounced, one);
+    });
+    let over_y = f.gt(y1, y_limit);
+    f.if_then(over_y, |f| {
+        f.put_field(this, f_y, y_limit);
+        let nyv = f.un(UnOp::Neg, yv);
+        f.put_field(this, f_yv, nyv);
+        let one = f.iconst(1);
+        f.assign(bounced, one);
+    });
+    let under_y = f.lt(y1, zero);
+    f.if_then(under_y, |f| {
+        f.put_field(this, f_y, zero);
+        let nyv = f.un(UnOp::Neg, yv);
+        f.put_field(this, f_yv, nyv);
+        let one = f.iconst(1);
+        f.assign(bounced, one);
+    });
+    f.ret(Some(bounced));
+    pb.finish_body(bounce, f);
+
+    let cls = pb.add_class("awfy.bounce.Bounce", Some(h.benchmark_cls));
+    let bench = pb.declare_virtual(cls, "benchmark", &[], Some(TypeRef::Int));
+    let mut f = pb.body(bench);
+    let rng = f.new_object(h.random_cls);
+    let seed = f.iconst(74755);
+    f.put_field(rng, h.random_seed, seed);
+    let n_balls = f.iconst(100);
+    let balls = f.new_array(TypeRef::Object(ball), n_balls);
+    let init_sel = pb.intern_selector("init", 1);
+    let from = f.iconst(0);
+    f.for_range(from, n_balls, |f, i| {
+        let b = f.new_object(ball);
+        f.call_virtual(ball, init_sel, &[b, rng], false);
+        f.array_set(balls, i, b);
+    });
+    let bounce_sel = pb.intern_selector("bounce", 0);
+    let bounces = f.iconst(0);
+    let from = f.iconst(0);
+    let steps = f.iconst(50);
+    f.for_range(from, steps, |f, _step| {
+        let from2 = f.iconst(0);
+        f.for_range(from2, n_balls, |f, i| {
+            let b = f.array_get(balls, i);
+            let hit = f.call_virtual(ball, bounce_sel, &[b], true).unwrap();
+            let s = f.add(bounces, hit);
+            f.assign(bounces, s);
+        });
+    });
+    f.ret(Some(bounces));
+    pb.finish_body(bench, f);
+
+    cls
+}

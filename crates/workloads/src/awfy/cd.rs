@@ -1,0 +1,227 @@
+//! CD: the collision-detector benchmark — aircraft on deterministic
+//! trigonometric trajectories, frame-by-frame proximity detection over all
+//! pairs. Double-precision heavy with per-frame allocation.
+
+use nimage_ir::{BinOp, ClassId, Intrinsic, ProgramBuilder, TypeRef, UnOp};
+
+use crate::harness::Harness;
+
+pub(crate) fn install(pb: &mut ProgramBuilder, h: &Harness) -> ClassId {
+    let aircraft = pb.add_class("awfy.cd.Aircraft", None);
+    let f_id = pb.add_instance_field(aircraft, "id", TypeRef::Int);
+    let f_x = pb.add_instance_field(aircraft, "x", TypeRef::Double);
+    let f_y = pb.add_instance_field(aircraft, "y", TypeRef::Double);
+    let f_z = pb.add_instance_field(aircraft, "z", TypeRef::Double);
+
+    let cls = pb.add_class("awfy.cd.CollisionDetector", Some(h.benchmark_cls));
+
+    // updatePosition(craft, t): deterministic trajectory.
+    let update = pb.declare_static(
+        cls,
+        "updatePosition",
+        &[TypeRef::Object(aircraft), TypeRef::Double],
+        None,
+    );
+    let mut f = pb.body(update);
+    let craft = f.param(0);
+    let t = f.param(1);
+    let id = f.get_field(craft, f_id);
+    let id_d = f.un(UnOp::IntToDouble, id);
+    let tenth = f.dconst(0.1);
+    let sep = f.mul(id_d, tenth);
+    let phase = f.add(t, sep);
+    let sx = f.intrinsic(Intrinsic::Sin, &[phase], true).unwrap();
+    let radius = f.dconst(50.0);
+    let x = f.mul(sx, radius);
+    f.put_field(craft, f_x, x);
+    let cy = f.intrinsic(Intrinsic::Cos, &[phase], true).unwrap();
+    let y = f.mul(cy, radius);
+    f.put_field(craft, f_y, y);
+    let unit = f.dconst(1.0);
+    let z = f.mul(id_d, unit);
+    f.put_field(craft, f_z, z);
+    f.ret(None);
+    pb.finish_body(update, f);
+
+    // distance2(a, b) -> Double
+    let dist2 = pb.declare_static(
+        cls,
+        "distance2",
+        &[TypeRef::Object(aircraft), TypeRef::Object(aircraft)],
+        Some(TypeRef::Double),
+    );
+    let mut f = pb.body(dist2);
+    let a = f.param(0);
+    let b = f.param(1);
+    let ax = f.get_field(a, f_x);
+    let bx = f.get_field(b, f_x);
+    let dx = f.sub(ax, bx);
+    let ay = f.get_field(a, f_y);
+    let by = f.get_field(b, f_y);
+    let dy = f.sub(ay, by);
+    let az = f.get_field(a, f_z);
+    let bz = f.get_field(b, f_z);
+    let dz = f.sub(az, bz);
+    let dx2 = f.mul(dx, dx);
+    let dy2 = f.mul(dy, dy);
+    let dz2 = f.mul(dz, dz);
+    let s = f.add(dx2, dy2);
+    let d2 = f.add(s, dz2);
+    f.ret(Some(d2));
+    pb.finish_body(dist2, f);
+
+    // voxelOf(craft) -> Int: the benchmark's reduceCollisionSet phase —
+    // bucket aircraft into coarse voxels so only same-voxel pairs need the
+    // exact distance check.
+    let voxel_of = pb.declare_static(
+        cls,
+        "voxelOf",
+        &[TypeRef::Object(aircraft)],
+        Some(TypeRef::Int),
+    );
+    let mut f = pb.body(voxel_of);
+    let craft = f.param(0);
+    let x = f.get_field(craft, f_x);
+    let y = f.get_field(craft, f_y);
+    let size = f.dconst(30.0); // voxel edge = proximity radius
+    let half = f.dconst(128.0);
+    let xs = f.add(x, half);
+    let ys = f.add(y, half);
+    let vx0 = f.div(xs, size);
+    let vy0 = f.div(ys, size);
+    let vx = f.un(UnOp::DoubleToInt, vx0);
+    let vy = f.un(UnOp::DoubleToInt, vy0);
+    let k32 = f.iconst(32);
+    let row = f.mul(vy, k32);
+    let v = f.add(row, vx);
+    // Clamp into the table.
+    let zero = f.iconst(0);
+    let cap = f.iconst(1024);
+    let lo = f.lt(v, zero);
+    let out = f.local();
+    f.assign(out, v);
+    f.if_then(lo, |f| {
+        let zero = f.iconst(0);
+        f.assign(out, zero);
+    });
+    let hi = f.ge(v, cap);
+    f.if_then(hi, |f| {
+        let one = f.iconst(1);
+        let last = f.sub(cap, one);
+        f.assign(out, last);
+    });
+    f.ret(Some(out));
+    pb.finish_body(voxel_of, f);
+
+    // detectCollisions(fleet, voxels, bucket) -> Int: two phases — assign
+    // voxels, then exact pairwise checks only within matching voxels
+    // (neighbouring voxels are covered because the voxel edge equals the
+    // proximity radius and positions move little per frame).
+    let detect = pb.declare_static(
+        cls,
+        "detectCollisions",
+        &[
+            TypeRef::array_of(TypeRef::Object(aircraft)),
+            TypeRef::array_of(TypeRef::Int),
+        ],
+        Some(TypeRef::Int),
+    );
+    let mut f = pb.body(detect);
+    let fleet = f.param(0);
+    let voxels = f.param(1);
+    let n = f.array_len(fleet);
+    // Phase 1: bucket.
+    let from = f.iconst(0);
+    f.for_range(from, n, |f, i| {
+        let a = f.array_get(fleet, i);
+        let v = f.call_static(voxel_of, &[a], true).unwrap();
+        f.array_set(voxels, i, v);
+    });
+    // Phase 2: exact checks for same- or adjacent-voxel pairs.
+    let hits = f.iconst(0);
+    let from = f.iconst(0);
+    f.for_range(from, n, |f, i| {
+        let a = f.array_get(fleet, i);
+        let va = f.array_get(voxels, i);
+        let one = f.iconst(1);
+        let j = f.add(i, one);
+        f.while_loop(
+            |f| f.lt(j, n),
+            |f| {
+                let vb = f.array_get(voxels, j);
+                let dv0 = f.sub(va, vb);
+                let zero = f.iconst(0);
+                let neg = f.lt(dv0, zero);
+                let dv = f.local();
+                f.assign(dv, dv0);
+                f.if_then(neg, |f| {
+                    let m = f.un(UnOp::Neg, dv0);
+                    f.assign(dv, m);
+                });
+                // Same voxel, horizontal neighbour (±1) or vertical
+                // neighbour (±32).
+                let one_i = f.iconst(1);
+                let k32 = f.iconst(32);
+                let k31 = f.iconst(31);
+                let k33 = f.iconst(33);
+                let near1 = f.le(dv, one_i);
+                let near2 = f.eq(dv, k32);
+                let near3 = f.eq(dv, k31);
+                let near4 = f.eq(dv, k33);
+                let n12 = f.bin(BinOp::Or, near1, near2);
+                let n34 = f.bin(BinOp::Or, near3, near4);
+                let near = f.bin(BinOp::Or, n12, n34);
+                f.if_then(near, |f| {
+                    let b = f.array_get(fleet, j);
+                    let d2 = f.call_static(dist2, &[a, b], true).unwrap();
+                    let radius2 = f.dconst(900.0); // 30 units
+                    let close = f.lt(d2, radius2);
+                    f.if_then(close, |f| {
+                        let one = f.iconst(1);
+                        let h1 = f.add(hits, one);
+                        f.assign(hits, h1);
+                    });
+                });
+                let one = f.iconst(1);
+                let j1 = f.add(j, one);
+                f.assign(j, j1);
+            },
+        );
+    });
+    f.ret(Some(hits));
+    pb.finish_body(detect, f);
+
+    let bench = pb.declare_virtual(cls, "benchmark", &[], Some(TypeRef::Int));
+    let mut f = pb.body(bench);
+    let n_craft = f.iconst(20);
+    let fleet = f.new_array(TypeRef::Object(aircraft), n_craft);
+    let from = f.iconst(0);
+    f.for_range(from, n_craft, |f, i| {
+        let a = f.new_object(aircraft);
+        f.put_field(a, f_id, i);
+        f.array_set(fleet, i, a);
+    });
+    let voxels = f.new_array(TypeRef::Int, n_craft);
+    let collisions = f.iconst(0);
+    let from = f.iconst(0);
+    let frames = f.iconst(25);
+    f.for_range(from, frames, |f, frame| {
+        let frame_d = f.un(UnOp::IntToDouble, frame);
+        let tenth = f.dconst(0.1);
+        let t = f.mul(frame_d, tenth);
+        let from2 = f.iconst(0);
+        f.for_range(from2, n_craft, |f, i| {
+            let a = f.array_get(fleet, i);
+            f.call_static(update, &[a, t], false);
+        });
+        let hits = f.call_static(detect, &[fleet, voxels], true).unwrap();
+        let c1 = f.add(collisions, hits);
+        f.assign(collisions, c1);
+    });
+    let mask = f.iconst(0x7fff_ffff);
+    let out = f.bin(BinOp::And, collisions, mask);
+    f.ret(Some(out));
+    pb.finish_body(bench, f);
+
+    cls
+}

@@ -1,0 +1,284 @@
+//! DeltaBlue: the incremental constraint solver, following the benchmark's
+//! projection-chain structure: a chain of variables connected by equality
+//! and scale constraints with *strengths*, a planner that extracts an
+//! execution plan in strength order, and an edit phase that adds a
+//! strong edit constraint at the head, re-plans, drives values through the
+//! chain and removes it again. Virtual dispatch over a constraint
+//! hierarchy.
+
+use nimage_ir::{BinOp, ClassId, ProgramBuilder, TypeRef};
+
+use crate::harness::Harness;
+
+// Strengths: lower is stronger, as in the original benchmark.
+const REQUIRED: i64 = 0;
+const STRONG_PREFERRED: i64 = 1;
+const NORMAL: i64 = 4;
+const WEAKEST: i64 = 6;
+
+pub(crate) fn install(pb: &mut ProgramBuilder, h: &Harness) -> ClassId {
+    let variable = pb.add_class("awfy.deltablue.Variable", None);
+    let f_value = pb.add_instance_field(variable, "value", TypeRef::Int);
+    let f_walk = pb.add_instance_field(variable, "walkStrength", TypeRef::Int);
+
+    // Constraint base: input → output with a strength and a satisfied flag.
+    let constraint = pb.add_class("awfy.deltablue.Constraint", None);
+    let f_in = pb.add_instance_field(constraint, "input", TypeRef::Object(variable));
+    let f_out = pb.add_instance_field(constraint, "output", TypeRef::Object(variable));
+    let f_strength = pb.add_instance_field(constraint, "strength", TypeRef::Int);
+    let f_sat = pb.add_instance_field(constraint, "satisfied", TypeRef::Bool);
+
+    // Constraint.execute(): base does nothing.
+    let exec_base = pb.declare_virtual(constraint, "execute", &[], None);
+    let mut f = pb.body(exec_base);
+    f.ret(None);
+    pb.finish_body(exec_base, f);
+    let exec_sel = pb.intern_selector("execute", 0);
+
+    // EqualityConstraint: out.value = in.value.
+    let eq_cls = pb.add_class("awfy.deltablue.EqualityConstraint", Some(constraint));
+    let eq_exec = pb.declare_virtual(eq_cls, "execute", &[], None);
+    let mut f = pb.body(eq_exec);
+    let this = f.this();
+    let input = f.get_field(this, f_in);
+    let output = f.get_field(this, f_out);
+    let v = f.get_field(input, f_value);
+    f.put_field(output, f_value, v);
+    let w = f.get_field(input, f_walk);
+    f.put_field(output, f_walk, w);
+    f.ret(None);
+    pb.finish_body(eq_exec, f);
+
+    // ScaleConstraint: out.value = in.value * 2 + 1.
+    let scale_cls = pb.add_class("awfy.deltablue.ScaleConstraint", Some(constraint));
+    let scale_exec = pb.declare_virtual(scale_cls, "execute", &[], None);
+    let mut f = pb.body(scale_exec);
+    let this = f.this();
+    let input = f.get_field(this, f_in);
+    let output = f.get_field(this, f_out);
+    let v = f.get_field(input, f_value);
+    let two = f.iconst(2);
+    let one = f.iconst(1);
+    let scaled = f.mul(v, two);
+    let v1 = f.add(scaled, one);
+    f.put_field(output, f_value, v1);
+    let w = f.get_field(input, f_walk);
+    f.put_field(output, f_walk, w);
+    f.ret(None);
+    pb.finish_body(scale_exec, f);
+
+    // EditConstraint: out.value = the edit value (set externally on the
+    // input variable), REQUIRED strength.
+    let edit_cls = pb.add_class("awfy.deltablue.EditConstraint", Some(constraint));
+    let edit_exec = pb.declare_virtual(edit_cls, "execute", &[], None);
+    let mut f = pb.body(edit_exec);
+    let this = f.this();
+    let input = f.get_field(this, f_in);
+    let output = f.get_field(this, f_out);
+    let v = f.get_field(input, f_value);
+    f.put_field(output, f_value, v);
+    let req = f.iconst(REQUIRED);
+    f.put_field(output, f_walk, req);
+    f.ret(None);
+    pb.finish_body(edit_exec, f);
+
+    let cls = pb.add_class("awfy.deltablue.DeltaBlue", Some(h.benchmark_cls));
+    let f_cons = pb.add_instance_field(
+        cls,
+        "constraints",
+        TypeRef::array_of(TypeRef::Object(constraint)),
+    );
+    let f_ncons = pb.add_instance_field(cls, "ncons", TypeRef::Int);
+    let f_plan = pb.add_instance_field(cls, "plan", TypeRef::array_of(TypeRef::Int));
+
+    // addConstraint(this, c)
+    let add_con = pb.declare_virtual(cls, "addConstraint", &[TypeRef::Object(constraint)], None);
+    let mut f = pb.body(add_con);
+    let this = f.this();
+    let c = f.param(1);
+    let t = f.bconst(true);
+    f.put_field(c, f_sat, t);
+    let cons = f.get_field(this, f_cons);
+    let n = f.get_field(this, f_ncons);
+    f.array_set(cons, n, c);
+    let one = f.iconst(1);
+    let n1 = f.add(n, one);
+    f.put_field(this, f_ncons, n1);
+    f.ret(None);
+    pb.finish_body(add_con, f);
+    let add_con_sel = pb.intern_selector("addConstraint", 1);
+
+    // makePlan(this): selection-sort the satisfied constraints by strength
+    // (stronger — numerically smaller — first) into the plan array.
+    let make_plan = pb.declare_virtual(cls, "makePlan", &[], Some(TypeRef::Int));
+    let mut f = pb.body(make_plan);
+    let this = f.this();
+    let cons = f.get_field(this, f_cons);
+    let n = f.get_field(this, f_ncons);
+    let plan = f.new_array(TypeRef::Int, n);
+    f.put_field(this, f_plan, plan);
+    let len = f.iconst(0);
+    // Copy satisfied constraint indices.
+    let from = f.iconst(0);
+    f.for_range(from, n, |f, i| {
+        let c = f.array_get(cons, i);
+        let sat = f.get_field(c, f_sat);
+        f.if_then(sat, |f| {
+            f.array_set(plan, len, i);
+            let one = f.iconst(1);
+            let l1 = f.add(len, one);
+            f.assign(len, l1);
+        });
+    });
+    // Selection sort by strength.
+    let from = f.iconst(0);
+    f.for_range(from, len, |f, i| {
+        let best = f.copy(i);
+        let one = f.iconst(1);
+        let j = f.add(i, one);
+        f.while_loop(
+            |f| f.lt(j, len),
+            |f| {
+                let cj_idx = f.array_get(plan, j);
+                let cb_idx = f.array_get(plan, best);
+                let cj = f.array_get(cons, cj_idx);
+                let cb = f.array_get(cons, cb_idx);
+                let sj = f.get_field(cj, f_strength);
+                let sb = f.get_field(cb, f_strength);
+                let stronger = f.lt(sj, sb);
+                f.if_then(stronger, |f| {
+                    f.assign(best, j);
+                });
+                let one = f.iconst(1);
+                let j1 = f.add(j, one);
+                f.assign(j, j1);
+            },
+        );
+        let ne = f.ne(best, i);
+        f.if_then(ne, |f| {
+            let a = f.array_get(plan, i);
+            let b = f.array_get(plan, best);
+            f.array_set(plan, i, b);
+            f.array_set(plan, best, a);
+        });
+    });
+    f.ret(Some(len));
+    pb.finish_body(make_plan, f);
+    let make_plan_sel = pb.intern_selector("makePlan", 0);
+
+    // execPlan(this, len): run the planned constraints in order.
+    let exec_plan = pb.declare_virtual(cls, "execPlan", &[TypeRef::Int], None);
+    let mut f = pb.body(exec_plan);
+    let this = f.this();
+    let len = f.param(1);
+    let cons = f.get_field(this, f_cons);
+    let plan = f.get_field(this, f_plan);
+    let from = f.iconst(0);
+    f.for_range(from, len, |f, i| {
+        let idx = f.array_get(plan, i);
+        let c = f.array_get(cons, idx);
+        f.call_virtual(constraint, exec_sel, &[c], false);
+    });
+    f.ret(None);
+    pb.finish_body(exec_plan, f);
+    let exec_plan_sel = pb.intern_selector("execPlan", 1);
+
+    let bench = pb.declare_virtual(cls, "benchmark", &[], Some(TypeRef::Int));
+    let mut f = pb.body(bench);
+    let this = f.this();
+    // Build a chain of 40 variables with alternating equality/scale
+    // constraints of varying strength.
+    let n = f.iconst(40);
+    let vars = f.new_array(TypeRef::Object(variable), n);
+    let from = f.iconst(0);
+    f.for_range(from, n, |f, i| {
+        let v = f.new_object(variable);
+        f.put_field(v, f_value, i);
+        let weak = f.iconst(WEAKEST);
+        f.put_field(v, f_walk, weak);
+        f.array_set(vars, i, v);
+    });
+    let one = f.iconst(1);
+    let n_cons = f.sub(n, one);
+    let cons_cap = f.add(n_cons, one); // room for the edit constraint
+    let cons = f.new_array(TypeRef::Object(constraint), cons_cap);
+    f.put_field(this, f_cons, cons);
+    let zero = f.iconst(0);
+    f.put_field(this, f_ncons, zero);
+    let from = f.iconst(0);
+    f.for_range(from, n_cons, |f, i| {
+        let two = f.iconst(2);
+        let parity = f.rem(i, two);
+        let zero = f.iconst(0);
+        let even = f.eq(parity, zero);
+        let c = f.local();
+        f.if_then_else(
+            even,
+            |f| {
+                let e = f.new_object(eq_cls);
+                f.assign(c, e);
+            },
+            |f| {
+                let s = f.new_object(scale_cls);
+                f.assign(c, s);
+            },
+        );
+        let vin = f.array_get(vars, i);
+        let one = f.iconst(1);
+        let i1 = f.add(i, one);
+        let vout = f.array_get(vars, i1);
+        f.put_field(c, f_in, vin);
+        f.put_field(c, f_out, vout);
+        // Strength varies along the chain: stronger near the head.
+        let three = f.iconst(3);
+        let m = f.rem(i, three);
+        let base = f.iconst(STRONG_PREFERRED);
+        let strength = f.add(base, m);
+        f.put_field(c, f_strength, strength);
+        f.call_virtual(cls, add_con_sel, &[this, c], false);
+    });
+
+    // Edit phase: attach a REQUIRED edit constraint feeding the head from a
+    // scratch variable, plan once, then drive 10 edit values through.
+    let scratch = f.new_object(variable);
+    let weak = f.iconst(NORMAL);
+    f.put_field(scratch, f_walk, weak);
+    let edit = f.new_object(edit_cls);
+    f.put_field(edit, f_in, scratch);
+    let zero = f.iconst(0);
+    let head = f.array_get(vars, zero);
+    f.put_field(edit, f_out, head);
+    let req = f.iconst(REQUIRED);
+    f.put_field(edit, f_strength, req);
+    f.call_virtual(cls, add_con_sel, &[this, edit], false);
+
+    let plan_len = f.call_virtual(cls, make_plan_sel, &[this], true).unwrap();
+    let from = f.iconst(0);
+    let rounds = f.iconst(10);
+    f.for_range(from, rounds, |f, round| {
+        f.put_field(scratch, f_value, round);
+        f.call_virtual(cls, exec_plan_sel, &[this, plan_len], false);
+    });
+    // Remove the edit constraint and re-plan (the benchmark's remove
+    // phase); run once more without it.
+    let fls = f.bconst(false);
+    f.put_field(edit, f_sat, fls);
+    let plan_len2 = f.call_virtual(cls, make_plan_sel, &[this], true).unwrap();
+    f.call_virtual(cls, exec_plan_sel, &[this, plan_len2], false);
+
+    // Checksum: tail value and walkStrength, bounded.
+    let one = f.iconst(1);
+    let last_idx = f.sub(n, one);
+    let last = f.array_get(vars, last_idx);
+    let v = f.get_field(last, f_value);
+    let w = f.get_field(last, f_walk);
+    let k10 = f.iconst(10);
+    let scaled = f.mul(v, k10);
+    let mixed = f.add(scaled, w);
+    let mask = f.iconst(0xffff);
+    let out = f.bin(BinOp::And, mixed, mask);
+    f.ret(Some(out));
+    pb.finish_body(bench, f);
+
+    cls
+}

@@ -1,0 +1,436 @@
+//! Havlak: loop recognition on a synthetic control-flow graph, following
+//! the structure of the Havlak–Tarjan algorithm the benchmark is named
+//! after: DFS preorder numbering with subtree intervals, back-edge
+//! classification via ancestor tests, and per-header loop-body collection
+//! over union-find representatives. Returns `loops·1000 + bodySize`.
+
+use nimage_ir::{BinOp, ClassId, ProgramBuilder, TypeRef, UnOp};
+
+use crate::harness::Harness;
+
+pub(crate) fn install(pb: &mut ProgramBuilder, h: &Harness) -> ClassId {
+    // BasicBlock: out edges as index arrays.
+    let bb = pb.add_class("awfy.havlak.BasicBlock", None);
+    let f_succs = pb.add_instance_field(bb, "succs", TypeRef::array_of(TypeRef::Int));
+    let f_nsucc = pb.add_instance_field(bb, "nsucc", TypeRef::Int);
+
+    let cls = pb.add_class("awfy.havlak.Havlak", Some(h.benchmark_cls));
+    let f_blocks = pb.add_instance_field(cls, "blocks", TypeRef::array_of(TypeRef::Object(bb)));
+    let f_nblocks = pb.add_instance_field(cls, "nblocks", TypeRef::Int);
+    // DFS state.
+    let f_number = pb.add_instance_field(cls, "number", TypeRef::array_of(TypeRef::Int));
+    let f_last = pb.add_instance_field(cls, "last", TypeRef::array_of(TypeRef::Int));
+    let f_order = pb.add_instance_field(cls, "order", TypeRef::array_of(TypeRef::Int));
+    // Union-find and predecessor CSR.
+    let f_uf = pb.add_instance_field(cls, "uf", TypeRef::array_of(TypeRef::Int));
+    let f_poff = pb.add_instance_field(cls, "poff", TypeRef::array_of(TypeRef::Int));
+    let f_plist = pb.add_instance_field(cls, "plist", TypeRef::array_of(TypeRef::Int));
+
+    // addBlock(this) -> Int
+    let add_block = pb.declare_virtual(cls, "addBlock", &[], Some(TypeRef::Int));
+    let mut f = pb.body(add_block);
+    let this = f.this();
+    let blocks = f.get_field(this, f_blocks);
+    let n = f.get_field(this, f_nblocks);
+    let b = f.new_object(bb);
+    let cap = f.iconst(4);
+    let succs = f.new_array(TypeRef::Int, cap);
+    f.put_field(b, f_succs, succs);
+    let zero = f.iconst(0);
+    f.put_field(b, f_nsucc, zero);
+    f.array_set(blocks, n, b);
+    let one = f.iconst(1);
+    let n1 = f.add(n, one);
+    f.put_field(this, f_nblocks, n1);
+    f.ret(Some(n));
+    pb.finish_body(add_block, f);
+    let add_block_sel = pb.intern_selector("addBlock", 0);
+
+    // addEdge(this, from, to)
+    let add_edge = pb.declare_virtual(cls, "addEdge", &[TypeRef::Int, TypeRef::Int], None);
+    let mut f = pb.body(add_edge);
+    let this = f.this();
+    let from = f.param(1);
+    let to = f.param(2);
+    let blocks = f.get_field(this, f_blocks);
+    let b = f.array_get(blocks, from);
+    let succs = f.get_field(b, f_succs);
+    let n = f.get_field(b, f_nsucc);
+    f.array_set(succs, n, to);
+    let one = f.iconst(1);
+    let n1 = f.add(n, one);
+    f.put_field(b, f_nsucc, n1);
+    f.ret(None);
+    pb.finish_body(add_edge, f);
+    let add_edge_sel = pb.intern_selector("addEdge", 2);
+
+    // dfsNumber(this): preorder `number`, subtree interval `last`, preorder
+    // sequence `order` (iterative DFS with an explicit stack).
+    let dfs = pb.declare_virtual(cls, "dfsNumber", &[], None);
+    let mut f = pb.body(dfs);
+    let this = f.this();
+    let n = f.get_field(this, f_nblocks);
+    let number = f.new_array(TypeRef::Int, n);
+    let last = f.new_array(TypeRef::Int, n);
+    let order = f.new_array(TypeRef::Int, n);
+    let iter = f.new_array(TypeRef::Int, n);
+    let stack = f.new_array(TypeRef::Int, n);
+    f.put_field(this, f_number, number);
+    f.put_field(this, f_last, last);
+    f.put_field(this, f_order, order);
+    let from = f.iconst(0);
+    f.for_range(from, n, |f, i| {
+        let minus1 = f.iconst(-1);
+        f.array_set(number, i, minus1);
+    });
+    let blocks = f.get_field(this, f_blocks);
+    let pre = f.iconst(0);
+    let sp = f.iconst(0);
+    // push root 0
+    let zero = f.iconst(0);
+    f.array_set(stack, sp, zero);
+    let one = f.iconst(1);
+    f.assign(sp, one);
+    f.array_set(number, zero, pre);
+    f.array_set(order, pre, zero);
+    let pre1 = f.add(pre, one);
+    f.assign(pre, pre1);
+    f.while_loop(
+        |f| {
+            let zero = f.iconst(0);
+            f.gt(sp, zero)
+        },
+        |f| {
+            let one = f.iconst(1);
+            let top = f.sub(sp, one);
+            let v = f.array_get(stack, top);
+            let b = f.array_get(blocks, v);
+            let nsucc = f.get_field(b, f_nsucc);
+            let ei = f.array_get(iter, v);
+            let more = f.lt(ei, nsucc);
+            f.if_then_else(
+                more,
+                |f| {
+                    let succs = f.get_field(b, f_succs);
+                    let w = f.array_get(succs, ei);
+                    let ei1 = f.add(ei, one);
+                    f.array_set(iter, v, ei1);
+                    let nw = f.array_get(number, w);
+                    let minus1 = f.iconst(-1);
+                    let white = f.eq(nw, minus1);
+                    f.if_then(white, |f| {
+                        f.array_set(number, w, pre);
+                        f.array_set(order, pre, w);
+                        let p1 = f.add(pre, one);
+                        f.assign(pre, p1);
+                        f.array_set(stack, sp, w);
+                        let sp1 = f.add(sp, one);
+                        f.assign(sp, sp1);
+                    });
+                },
+                |f| {
+                    // finish v: everything discovered since number[v] is in
+                    // v's subtree.
+                    let p1 = f.sub(pre, one);
+                    f.array_set(last, v, p1);
+                    let sp1 = f.sub(sp, one);
+                    f.assign(sp, sp1);
+                },
+            );
+        },
+    );
+    f.ret(None);
+    pb.finish_body(dfs, f);
+    let dfs_sel = pb.intern_selector("dfsNumber", 0);
+
+    // computePreds(this): CSR predecessor lists.
+    let preds = pb.declare_virtual(cls, "computePreds", &[], None);
+    let mut f = pb.body(preds);
+    let this = f.this();
+    let n = f.get_field(this, f_nblocks);
+    let one = f.iconst(1);
+    let np1 = f.add(n, one);
+    let poff = f.new_array(TypeRef::Int, np1);
+    f.put_field(this, f_poff, poff);
+    let blocks = f.get_field(this, f_blocks);
+    // Count in-degrees.
+    let from = f.iconst(0);
+    f.for_range(from, n, |f, u| {
+        let b = f.array_get(blocks, u);
+        let nsucc = f.get_field(b, f_nsucc);
+        let succs = f.get_field(b, f_succs);
+        let from2 = f.iconst(0);
+        f.for_range(from2, nsucc, |f, e| {
+            let w = f.array_get(succs, e);
+            let one = f.iconst(1);
+            let w1 = f.add(w, one);
+            let c = f.array_get(poff, w1);
+            let c1 = f.add(c, one);
+            f.array_set(poff, w1, c1);
+        });
+    });
+    // Prefix sums.
+    let from = f.iconst(0);
+    f.for_range(from, n, |f, i| {
+        let one = f.iconst(1);
+        let i1 = f.add(i, one);
+        let a = f.array_get(poff, i);
+        let b2 = f.array_get(poff, i1);
+        let s = f.add(a, b2);
+        f.array_set(poff, i1, s);
+    });
+    let total = f.array_get(poff, n);
+    let plist = f.new_array(TypeRef::Int, total);
+    f.put_field(this, f_plist, plist);
+    // Fill (using a scratch cursor array).
+    let cursor = f.new_array(TypeRef::Int, n);
+    let from = f.iconst(0);
+    f.for_range(from, n, |f, i| {
+        let o = f.array_get(poff, i);
+        f.array_set(cursor, i, o);
+    });
+    let from = f.iconst(0);
+    f.for_range(from, n, |f, u| {
+        let b = f.array_get(blocks, u);
+        let nsucc = f.get_field(b, f_nsucc);
+        let succs = f.get_field(b, f_succs);
+        let from2 = f.iconst(0);
+        f.for_range(from2, nsucc, |f, e| {
+            let w = f.array_get(succs, e);
+            let c = f.array_get(cursor, w);
+            f.array_set(plist, c, u);
+            let one = f.iconst(1);
+            let c1 = f.add(c, one);
+            f.array_set(cursor, w, c1);
+        });
+    });
+    f.ret(None);
+    pb.finish_body(preds, f);
+    let preds_sel = pb.intern_selector("computePreds", 0);
+
+    // ufFind(this, x) -> representative, with path compression.
+    let uf_find = pb.declare_virtual(cls, "ufFind", &[TypeRef::Int], Some(TypeRef::Int));
+    let mut f = pb.body(uf_find);
+    let this = f.this();
+    let x = f.copy(f.param(1));
+    let uf = f.get_field(this, f_uf);
+    // Find the root.
+    let root = f.copy(x);
+    f.while_loop(
+        |f| {
+            let p = f.array_get(uf, root);
+            f.ne(p, root)
+        },
+        |f| {
+            let p = f.array_get(uf, root);
+            f.assign(root, p);
+        },
+    );
+    // Compress the path.
+    f.while_loop(
+        |f| f.ne(x, root),
+        |f| {
+            let p = f.array_get(uf, x);
+            f.array_set(uf, x, root);
+            f.assign(x, p);
+        },
+    );
+    f.ret(Some(root));
+    pb.finish_body(uf_find, f);
+    let uf_find_sel = pb.intern_selector("ufFind", 1);
+
+    // findLoops(this) -> Int: Havlak-style loop construction. Processes
+    // headers in reverse preorder; for each, collects the loop body by
+    // walking predecessors of back-edge sources through union-find
+    // representatives, then collapses the body into the header.
+    let find_loops = pb.declare_virtual(cls, "findLoops", &[], Some(TypeRef::Int));
+    let mut f = pb.body(find_loops);
+    let this = f.this();
+    f.call_virtual(cls, dfs_sel, &[this], false);
+    f.call_virtual(cls, preds_sel, &[this], false);
+    let n = f.get_field(this, f_nblocks);
+    let uf = f.new_array(TypeRef::Int, n);
+    f.put_field(this, f_uf, uf);
+    let from = f.iconst(0);
+    f.for_range(from, n, |f, i| {
+        f.array_set(uf, i, i);
+    });
+    let number = f.get_field(this, f_number);
+    let last = f.get_field(this, f_last);
+    let order = f.get_field(this, f_order);
+    let poff = f.get_field(this, f_poff);
+    let plist = f.get_field(this, f_plist);
+
+    let loops = f.iconst(0);
+    let body_total = f.iconst(0);
+    let in_body = f.new_array(TypeRef::Int, n); // header marker + 1
+    let worklist = f.new_array(TypeRef::Int, n);
+
+    // Reverse preorder walk.
+    let one = f.iconst(1);
+    let idx = f.sub(n, one);
+    f.while_loop(
+        |f| {
+            let zero = f.iconst(0);
+            f.ge(idx, zero)
+        },
+        |f| {
+            let w = f.array_get(order, idx);
+            let nw = f.array_get(number, w);
+            let lw = f.array_get(last, w);
+            // Collect back-edge sources: predecessors v of w with
+            // number[w] <= number[v] <= last[w] (w is an ancestor of v).
+            let sp = f.iconst(0);
+            let one = f.iconst(1);
+            let p0 = f.array_get(poff, w);
+            let w1 = f.add(w, one);
+            let p1 = f.array_get(poff, w1);
+            let pi = f.copy(p0);
+            f.while_loop(
+                |f| f.lt(pi, p1),
+                |f| {
+                    let v = f.array_get(plist, pi);
+                    let nv = f.array_get(number, v);
+                    let ge = f.ge(nv, nw);
+                    let le = f.le(nv, lw);
+                    let self_loop = f.eq(v, w);
+                    let not_self = f.un(UnOp::Not, self_loop);
+                    let anc = f.bin(BinOp::And, ge, le);
+                    let back = f.bin(BinOp::And, anc, not_self);
+                    f.if_then(back, |f| {
+                        let r = f
+                            .call_virtual(cls, uf_find_sel, &[this, v], true)
+                            .unwrap();
+                        let tag = f.array_get(in_body, r);
+                        let w_tag = f.add(w, one);
+                        let fresh = f.ne(tag, w_tag);
+                        f.if_then(fresh, |f| {
+                            f.array_set(in_body, r, w_tag);
+                            f.array_set(worklist, sp, r);
+                            let sp1 = f.add(sp, one);
+                            f.assign(sp, sp1);
+                        });
+                    });
+                    let pi1 = f.add(pi, one);
+                    f.assign(pi, pi1);
+                },
+            );
+            let zero = f.iconst(0);
+            let has_loop = f.gt(sp, zero);
+            f.if_then(has_loop, |f| {
+                let one = f.iconst(1);
+                let l1 = f.add(loops, one);
+                f.assign(loops, l1);
+                // Drain the worklist: pull predecessors into the body.
+                f.while_loop(
+                    |f| {
+                        let zero = f.iconst(0);
+                        f.gt(sp, zero)
+                    },
+                    |f| {
+                        let one = f.iconst(1);
+                        let top = f.sub(sp, one);
+                        f.assign(sp, top);
+                        let x = f.array_get(worklist, sp);
+                        let b1 = f.add(body_total, one);
+                        f.assign(body_total, b1);
+                        // Predecessors of x.
+                        let q0 = f.array_get(poff, x);
+                        let x1 = f.add(x, one);
+                        let q1 = f.array_get(poff, x1);
+                        let qi = f.copy(q0);
+                        f.while_loop(
+                            |f| f.lt(qi, q1),
+                            |f| {
+                                let p = f.array_get(plist, qi);
+                                let r = f
+                                    .call_virtual(cls, uf_find_sel, &[this, p], true)
+                                    .unwrap();
+                                let np = f.array_get(number, r);
+                                let one = f.iconst(1);
+                                let ge = f.ge(np, nw);
+                                let le = f.le(np, lw);
+                                let in_interval = f.bin(BinOp::And, ge, le);
+                                let is_header = f.eq(r, w);
+                                let not_header = f.un(UnOp::Not, is_header);
+                                let eligible = f.bin(BinOp::And, in_interval, not_header);
+                                f.if_then(eligible, |f| {
+                                    let tag = f.array_get(in_body, r);
+                                    let w_tag = f.add(w, one);
+                                    let fresh = f.ne(tag, w_tag);
+                                    f.if_then(fresh, |f| {
+                                        f.array_set(in_body, r, w_tag);
+                                        f.array_set(worklist, sp, r);
+                                        let sp1 = f.add(sp, one);
+                                        f.assign(sp, sp1);
+                                    });
+                                });
+                                let qi1 = f.add(qi, one);
+                                f.assign(qi, qi1);
+                            },
+                        );
+                        // Collapse x into the header.
+                        f.array_set(uf, x, w);
+                    },
+                );
+            });
+            let one = f.iconst(1);
+            let i1 = f.sub(idx, one);
+            f.assign(idx, i1);
+        },
+    );
+    let k1000 = f.iconst(1000);
+    let scaled = f.mul(loops, k1000);
+    let out = f.add(scaled, body_total);
+    f.ret(Some(out));
+    pb.finish_body(find_loops, f);
+    let find_loops_sel = pb.intern_selector("findLoops", 0);
+
+    // benchmark(): build a spine of diamonds with inner back edges and an
+    // outer nesting back edge every fifth segment, then recognize loops.
+    let bench = pb.declare_virtual(cls, "benchmark", &[], Some(TypeRef::Int));
+    let mut f = pb.body(bench);
+    let this = f.this();
+    let cap = f.iconst(500);
+    let blocks = f.new_array(TypeRef::Object(bb), cap);
+    f.put_field(this, f_blocks, blocks);
+    let zero = f.iconst(0);
+    f.put_field(this, f_nblocks, zero);
+
+    let entry = f.call_virtual(cls, add_block_sel, &[this], true).unwrap();
+    let prev = f.copy(entry);
+    let outer_head = f.copy(entry);
+    let from = f.iconst(0);
+    let segs = f.iconst(30);
+    f.for_range(from, segs, |f, s| {
+        let head = f.call_virtual(cls, add_block_sel, &[this], true).unwrap();
+        let left = f.call_virtual(cls, add_block_sel, &[this], true).unwrap();
+        let right = f.call_virtual(cls, add_block_sel, &[this], true).unwrap();
+        let join = f.call_virtual(cls, add_block_sel, &[this], true).unwrap();
+        f.call_virtual(cls, add_edge_sel, &[this, prev, head], false);
+        f.call_virtual(cls, add_edge_sel, &[this, head, left], false);
+        f.call_virtual(cls, add_edge_sel, &[this, head, right], false);
+        f.call_virtual(cls, add_edge_sel, &[this, left, join], false);
+        f.call_virtual(cls, add_edge_sel, &[this, right, join], false);
+        // Inner loop: join -> head.
+        f.call_virtual(cls, add_edge_sel, &[this, join, head], false);
+        // Every fifth segment closes an outer loop back to the last outer
+        // header, creating genuine nesting.
+        let five = f.iconst(5);
+        let m = f.rem(s, five);
+        let four = f.iconst(4);
+        let close_outer = f.eq(m, four);
+        f.if_then(close_outer, |f| {
+            f.call_virtual(cls, add_edge_sel, &[this, join, outer_head], false);
+            f.assign(outer_head, head);
+        });
+        f.assign(prev, join);
+    });
+    let out = f
+        .call_virtual(cls, find_loops_sel, &[this], true)
+        .unwrap();
+    f.ret(Some(out));
+    pb.finish_body(bench, f);
+
+    cls
+}

@@ -1,0 +1,249 @@
+//! Json: a recursive-descent parser over an embedded JSON document,
+//! building a tree of value objects. Returns a structural checksum
+//! (objects·1000 + arrays·100 + numbers·10 + strings).
+
+use nimage_ir::{BinOp, ClassId, ProgramBuilder, TypeRef};
+
+use crate::harness::Harness;
+
+/// The embedded document (a miniature of the benchmark's widget config).
+const DOC: &str = r#"{"widget":{"debug":"on","window":{"title":"Sample","width":500,"height":500},"image":{"src":"Images/Sun.png","hOffset":250,"vOffset":250,"alignment":"center"},"text":{"data":"Click Here","size":36,"style":"bold","offsets":[10,20,30,40],"onMouseUp":"sun1.opacity = (sun1.opacity / 100) * 90;"}}}"#;
+
+pub(crate) fn install(pb: &mut ProgramBuilder, h: &Harness) -> ClassId {
+    // Parser state: the input string and a cursor plus category counters.
+    let cls = pb.add_class("awfy.json.Json", Some(h.benchmark_cls));
+    let f_input = pb.add_instance_field(cls, "input", TypeRef::Str);
+    let f_pos = pb.add_instance_field(cls, "pos", TypeRef::Int);
+    let f_objects = pb.add_instance_field(cls, "objects", TypeRef::Int);
+    let f_arrays = pb.add_instance_field(cls, "arrays", TypeRef::Int);
+    let f_numbers = pb.add_instance_field(cls, "numbers", TypeRef::Int);
+    let f_strings = pb.add_instance_field(cls, "strings", TypeRef::Int);
+
+    // peek(this) -> Int (current byte or -1)
+    let peek = pb.declare_virtual(cls, "peek", &[], Some(TypeRef::Int));
+    let mut f = pb.body(peek);
+    let this = f.this();
+    let input = f.get_field(this, f_input);
+    let pos = f.get_field(this, f_pos);
+    let len = f.str_len(input);
+    let in_range = f.lt(pos, len);
+    f.if_then_else(
+        in_range,
+        |f| {
+            let c = f.str_char_at(input, pos);
+            f.ret(Some(c));
+        },
+        |f| {
+            let eof = f.iconst(-1);
+            f.ret(Some(eof));
+        },
+    );
+    pb.finish_body(peek, f);
+    let peek_sel = pb.intern_selector("peek", 0);
+
+    // advance(this)
+    let advance = pb.declare_virtual(cls, "advance", &[], None);
+    let mut f = pb.body(advance);
+    let this = f.this();
+    let pos = f.get_field(this, f_pos);
+    let one = f.iconst(1);
+    let p1 = f.add(pos, one);
+    f.put_field(this, f_pos, p1);
+    f.ret(None);
+    pb.finish_body(advance, f);
+    let advance_sel = pb.intern_selector("advance", 0);
+
+    // parseString(this): cursor on '"'; consumes the string literal.
+    let parse_string = pb.declare_virtual(cls, "parseString", &[], None);
+    let mut f = pb.body(parse_string);
+    let this = f.this();
+    f.call_virtual(cls, advance_sel, &[this], false); // opening quote
+    let quote = f.iconst(i64::from(b'"'));
+    f.while_loop(
+        |f| {
+            let c = f.call_virtual(cls, peek_sel, &[this], true).unwrap();
+            f.ne(c, quote)
+        },
+        |f| {
+            f.call_virtual(cls, advance_sel, &[this], false);
+        },
+    );
+    f.call_virtual(cls, advance_sel, &[this], false); // closing quote
+    let n = f.get_field(this, f_strings);
+    let one = f.iconst(1);
+    let n1 = f.add(n, one);
+    f.put_field(this, f_strings, n1);
+    f.ret(None);
+    pb.finish_body(parse_string, f);
+    let parse_string_sel = pb.intern_selector("parseString", 0);
+
+    // parseNumber(this)
+    let parse_number = pb.declare_virtual(cls, "parseNumber", &[], None);
+    let mut f = pb.body(parse_number);
+    let this = f.this();
+    let zero_ch = f.iconst(i64::from(b'0'));
+    let nine_ch = f.iconst(i64::from(b'9'));
+    f.while_loop(
+        |f| {
+            let c = f.call_virtual(cls, peek_sel, &[this], true).unwrap();
+            let ge0 = f.ge(c, zero_ch);
+            let le9 = f.le(c, nine_ch);
+            f.bin(BinOp::And, ge0, le9)
+        },
+        |f| {
+            f.call_virtual(cls, advance_sel, &[this], false);
+        },
+    );
+    let n = f.get_field(this, f_numbers);
+    let one = f.iconst(1);
+    let n1 = f.add(n, one);
+    f.put_field(this, f_numbers, n1);
+    f.ret(None);
+    pb.finish_body(parse_number, f);
+    let parse_number_sel = pb.intern_selector("parseNumber", 0);
+
+    // parseValue(this): dispatch on the current byte (recursive).
+    let parse_value = pb.declare_virtual(cls, "parseValue", &[], None);
+    let parse_value_sel = pb.intern_selector("parseValue", 0);
+    let mut f = pb.body(parse_value);
+    let this = f.this();
+    let c = f.call_virtual(cls, peek_sel, &[this], true).unwrap();
+    let lbrace = f.iconst(i64::from(b'{'));
+    let lbracket = f.iconst(i64::from(b'['));
+    let quote = f.iconst(i64::from(b'"'));
+    let comma = f.iconst(i64::from(b','));
+    let colon = f.iconst(i64::from(b':'));
+    let rbrace = f.iconst(i64::from(b'}'));
+    let rbracket = f.iconst(i64::from(b']'));
+
+    let is_obj = f.eq(c, lbrace);
+    f.if_then(is_obj, |f| {
+        // Object: '{' (string ':' value (',' string ':' value)*)? '}'
+        f.call_virtual(cls, advance_sel, &[this], false);
+        let done = f.bconst(false);
+        f.while_loop(
+            |f| f.un(nimage_ir::UnOp::Not, done),
+            |f| {
+                let c = f.call_virtual(cls, peek_sel, &[this], true).unwrap();
+                let closing = f.eq(c, rbrace);
+                f.if_then_else(
+                    closing,
+                    |f| {
+                        let t = f.bconst(true);
+                        f.assign(done, t);
+                    },
+                    |f| {
+                        let sep1 = f.eq(c, comma);
+                        let sep2 = f.eq(c, colon);
+                        let sep = f.bin(BinOp::Or, sep1, sep2);
+                        f.if_then_else(
+                            sep,
+                            |f| {
+                                f.call_virtual(cls, advance_sel, &[this], false);
+                            },
+                            |f| {
+                                f.call_virtual(cls, parse_value_sel, &[this], false);
+                            },
+                        );
+                    },
+                );
+            },
+        );
+        f.call_virtual(cls, advance_sel, &[this], false); // '}'
+        let n = f.get_field(this, f_objects);
+        let one = f.iconst(1);
+        let n1 = f.add(n, one);
+        f.put_field(this, f_objects, n1);
+        f.ret(None);
+    });
+    let is_arr = f.eq(c, lbracket);
+    f.if_then(is_arr, |f| {
+        f.call_virtual(cls, advance_sel, &[this], false);
+        let done = f.bconst(false);
+        f.while_loop(
+            |f| f.un(nimage_ir::UnOp::Not, done),
+            |f| {
+                let c = f.call_virtual(cls, peek_sel, &[this], true).unwrap();
+                let closing = f.eq(c, rbracket);
+                f.if_then_else(
+                    closing,
+                    |f| {
+                        let t = f.bconst(true);
+                        f.assign(done, t);
+                    },
+                    |f| {
+                        let sep = f.eq(c, comma);
+                        f.if_then_else(
+                            sep,
+                            |f| {
+                                f.call_virtual(cls, advance_sel, &[this], false);
+                            },
+                            |f| {
+                                f.call_virtual(cls, parse_value_sel, &[this], false);
+                            },
+                        );
+                    },
+                );
+            },
+        );
+        f.call_virtual(cls, advance_sel, &[this], false); // ']'
+        let n = f.get_field(this, f_arrays);
+        let one = f.iconst(1);
+        let n1 = f.add(n, one);
+        f.put_field(this, f_arrays, n1);
+        f.ret(None);
+    });
+    let is_str = f.eq(c, quote);
+    f.if_then(is_str, |f| {
+        f.call_virtual(cls, parse_string_sel, &[this], false);
+        f.ret(None);
+    });
+    // Anything else: letters of true/false/on-like atoms or digits.
+    let zero_ch = f.iconst(i64::from(b'0'));
+    let nine_ch = f.iconst(i64::from(b'9'));
+    let ge0 = f.ge(c, zero_ch);
+    let le9 = f.le(c, nine_ch);
+    let digit = f.bin(BinOp::And, ge0, le9);
+    f.if_then_else(
+        digit,
+        |f| {
+            f.call_virtual(cls, parse_number_sel, &[this], false);
+            f.ret(None);
+        },
+        |f| {
+            f.call_virtual(cls, advance_sel, &[this], false);
+            f.ret(None);
+        },
+    );
+    pb.finish_body(parse_value, f);
+
+    let bench = pb.declare_virtual(cls, "benchmark", &[], Some(TypeRef::Int));
+    let mut f = pb.body(bench);
+    let this = f.this();
+    let doc = f.sconst(DOC);
+    f.put_field(this, f_input, doc);
+    let zero = f.iconst(0);
+    f.put_field(this, f_pos, zero);
+    f.put_field(this, f_objects, zero);
+    f.put_field(this, f_arrays, zero);
+    f.put_field(this, f_numbers, zero);
+    f.put_field(this, f_strings, zero);
+    f.call_virtual(cls, parse_value_sel, &[this], false);
+    let objs = f.get_field(this, f_objects);
+    let arrs = f.get_field(this, f_arrays);
+    let nums = f.get_field(this, f_numbers);
+    let strs = f.get_field(this, f_strings);
+    let k1000 = f.iconst(1000);
+    let k100 = f.iconst(100);
+    let k10 = f.iconst(10);
+    let t1 = f.mul(objs, k1000);
+    let t2 = f.mul(arrs, k100);
+    let t3 = f.mul(nums, k10);
+    let s1 = f.add(t1, t2);
+    let s2 = f.add(s1, t3);
+    let sum = f.add(s2, strs);
+    f.ret(Some(sum));
+    pb.finish_body(bench, f);
+
+    cls
+}

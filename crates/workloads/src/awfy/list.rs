@@ -1,0 +1,162 @@
+//! List: the classic recursive linked-list benchmark (`tail(makeList(15),
+//! makeList(10), makeList(6))`), heavy on allocation and pointer chasing.
+
+use nimage_ir::{BinOp, ClassId, ProgramBuilder, TypeRef};
+
+use crate::harness::Harness;
+
+pub(crate) fn install(pb: &mut ProgramBuilder, h: &Harness) -> ClassId {
+    let elem = pb.add_class("awfy.list.Element", None);
+    let f_val = pb.add_instance_field(elem, "val", TypeRef::Int);
+    let f_next = pb.add_instance_field(elem, "next", TypeRef::Object(elem));
+
+    let cls = pb.add_class("awfy.list.List", Some(h.benchmark_cls));
+
+    // makeList(length) -> Element
+    let make_list = pb.declare_static(cls, "makeList", &[TypeRef::Int], Some(TypeRef::Object(elem)));
+    let mut f = pb.body(make_list);
+    let n = f.param(0);
+    let zero = f.iconst(0);
+    let empty = f.eq(n, zero);
+    f.if_then_else(
+        empty,
+        |f| {
+            let null = f.null();
+            f.ret(Some(null));
+        },
+        |f| {
+            let one = f.iconst(1);
+            let n1 = f.sub(n, one);
+            let rest = f.call_static(make_list, &[n1], true).unwrap();
+            let e = f.new_object(elem);
+            f.put_field(e, f_val, n);
+            f.put_field(e, f_next, rest);
+            f.ret(Some(e));
+        },
+    );
+    pb.finish_body(make_list, f);
+
+    // length(list) -> Int
+    let length = pb.declare_static(cls, "length", &[TypeRef::Object(elem)], Some(TypeRef::Int));
+    let mut f = pb.body(length);
+    let list = f.param(0);
+    let null = f.null();
+    let is_nil = f.bin(BinOp::Eq, list, null);
+    f.if_then_else(
+        is_nil,
+        |f| {
+            let zero = f.iconst(0);
+            f.ret(Some(zero));
+        },
+        |f| {
+            let next = f.get_field(list, f_next);
+            let rest = f.call_static(length, &[next], true).unwrap();
+            let one = f.iconst(1);
+            let r = f.add(rest, one);
+            f.ret(Some(r));
+        },
+    );
+    pb.finish_body(length, f);
+
+    // isShorterThan(x, y) -> Bool
+    let shorter = pb.declare_static(
+        cls,
+        "isShorterThan",
+        &[TypeRef::Object(elem), TypeRef::Object(elem)],
+        Some(TypeRef::Bool),
+    );
+    let mut f = pb.body(shorter);
+    let x = f.copy(f.param(0));
+    let y = f.copy(f.param(1));
+    let null = f.null();
+    let result = f.local();
+    let fls = f.bconst(false);
+    f.assign(result, fls);
+    let done = f.bconst(false);
+    f.while_loop(
+        |f| {
+            let d = f.un(nimage_ir::UnOp::Not, done);
+            d
+        },
+        |f| {
+            let y_nil = f.bin(BinOp::Eq, y, null);
+            f.if_then_else(
+                y_nil,
+                |f| {
+                    let fls = f.bconst(false);
+                    f.assign(result, fls);
+                    let t = f.bconst(true);
+                    f.assign(done, t);
+                },
+                |f| {
+                    let x_nil = f.bin(BinOp::Eq, x, null);
+                    f.if_then_else(
+                        x_nil,
+                        |f| {
+                            let t = f.bconst(true);
+                            f.assign(result, t);
+                            f.assign(done, t);
+                        },
+                        |f| {
+                            let xn = f.get_field(x, f_next);
+                            let yn = f.get_field(y, f_next);
+                            f.assign(x, xn);
+                            f.assign(y, yn);
+                        },
+                    );
+                },
+            );
+        },
+    );
+    f.ret(Some(result));
+    pb.finish_body(shorter, f);
+
+    // tail(x, y, z) -> Element  (the Takeuchi-style recursion)
+    let tail = pb.declare_static(
+        cls,
+        "tail",
+        &[
+            TypeRef::Object(elem),
+            TypeRef::Object(elem),
+            TypeRef::Object(elem),
+        ],
+        Some(TypeRef::Object(elem)),
+    );
+    let mut f = pb.body(tail);
+    let x = f.param(0);
+    let y = f.param(1);
+    let z = f.param(2);
+    let yx = f.call_static(shorter, &[y, x], true).unwrap();
+    f.if_then_else(
+        yx,
+        |f| {
+            let xn = f.get_field(x, f_next);
+            let a = f.call_static(tail, &[xn, y, z], true).unwrap();
+            let yn = f.get_field(y, f_next);
+            let b = f.call_static(tail, &[yn, z, x], true).unwrap();
+            let zn = f.get_field(z, f_next);
+            let c = f.call_static(tail, &[zn, x, y], true).unwrap();
+            let r = f.call_static(tail, &[a, b, c], true).unwrap();
+            f.ret(Some(r));
+        },
+        |f| {
+            f.ret(Some(z));
+        },
+    );
+    pb.finish_body(tail, f);
+
+    let bench = pb.declare_virtual(cls, "benchmark", &[], Some(TypeRef::Int));
+    let mut f = pb.body(bench);
+    let a = f.iconst(15);
+    let b = f.iconst(10);
+    let c = f.iconst(6);
+    let lx = f.call_static(make_list, &[a], true).unwrap();
+    let ly = f.call_static(make_list, &[b], true).unwrap();
+    let lz = f.call_static(make_list, &[c], true).unwrap();
+    let r = f.call_static(tail, &[lx, ly, lz], true).unwrap();
+    let len = f.call_static(length, &[r], true).unwrap();
+    f.ret(Some(len));
+    pb.finish_body(bench, f);
+
+    cls
+}

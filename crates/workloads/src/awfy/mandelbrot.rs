@@ -1,0 +1,133 @@
+//! Mandelbrot: escape-time iteration over a 64×64 grid, accumulating the
+//! classic bit-packed checksum. Pure floating-point compute.
+
+use nimage_ir::{BinOp, ClassId, ProgramBuilder, TypeRef, UnOp};
+
+use crate::harness::Harness;
+
+pub(crate) fn install(pb: &mut ProgramBuilder, h: &Harness) -> ClassId {
+    let cls = pb.add_class("awfy.mandelbrot.Mandelbrot", Some(h.benchmark_cls));
+
+    // mandelbrot(size) -> checksum
+    let mandel = pb.declare_static(cls, "mandelbrot", &[TypeRef::Int], Some(TypeRef::Int));
+    let mut f = pb.body(mandel);
+    let size = f.param(0);
+    let sum = f.iconst(0);
+    let byte_acc = f.iconst(0);
+    let bit_num = f.iconst(0);
+
+    let size_d = f.un(UnOp::IntToDouble, size);
+    let two = f.dconst(2.0);
+    let one_i = f.iconst(1);
+
+    let y = f.iconst(0);
+    f.while_loop(
+        |f| f.lt(y, size),
+        |f| {
+            let y_d = f.un(UnOp::IntToDouble, y);
+            let t = f.mul(y_d, two);
+            let t = f.div(t, size_d);
+            let one = f.dconst(1.0);
+            let ci = f.sub(t, one);
+
+            let x = f.iconst(0);
+            f.while_loop(
+                |f| f.lt(x, size),
+                |f| {
+                    let x_d = f.un(UnOp::IntToDouble, x);
+                    let t = f.mul(x_d, two);
+                    let t = f.div(t, size_d);
+                    let onep5 = f.dconst(1.5);
+                    let cr = f.sub(t, onep5);
+
+                    let zr = f.dconst(0.0);
+                    let zi = f.dconst(0.0);
+                    let escaped = f.bconst(false);
+                    let i = f.iconst(0);
+                    let max_iter = f.iconst(50);
+                    f.while_loop(
+                        |f| {
+                            let more = f.lt(i, max_iter);
+                            let not_escaped = f.un(UnOp::Not, escaped);
+                            f.bin(BinOp::And, more, not_escaped)
+                        },
+                        |f| {
+                            let zr2 = f.mul(zr, zr);
+                            let zi2 = f.mul(zi, zi);
+                            let mag = f.add(zr2, zi2);
+                            let four = f.dconst(4.0);
+                            let out = f.gt(mag, four);
+                            f.if_then_else(
+                                out,
+                                |f| {
+                                    let t = f.bconst(true);
+                                    f.assign(escaped, t);
+                                },
+                                |f| {
+                                    let zrzi = f.mul(zr, zi);
+                                    let two_zrzi = f.mul(zrzi, two);
+                                    let new_zi = f.add(two_zrzi, ci);
+                                    let diff = f.sub(zr2, zi2);
+                                    let new_zr = f.add(diff, cr);
+                                    f.assign(zr, new_zr);
+                                    f.assign(zi, new_zi);
+                                    let one = f.iconst(1);
+                                    let i1 = f.add(i, one);
+                                    f.assign(i, i1);
+                                },
+                            );
+                        },
+                    );
+
+                    // byte_acc = (byte_acc << 1) | (escaped ? 0 : 1)
+                    let shifted = f.bin(BinOp::Shl, byte_acc, one_i);
+                    let in_set = f.un(UnOp::Not, escaped);
+                    let bit = f.local();
+                    f.if_then_else(
+                        in_set,
+                        |f| {
+                            let one = f.iconst(1);
+                            f.assign(bit, one);
+                        },
+                        |f| {
+                            let zero = f.iconst(0);
+                            f.assign(bit, zero);
+                        },
+                    );
+                    let acc = f.bin(BinOp::Or, shifted, bit);
+                    f.assign(byte_acc, acc);
+                    let b1 = f.add(bit_num, one_i);
+                    f.assign(bit_num, b1);
+
+                    let eight = f.iconst(8);
+                    let flush = f.eq(bit_num, eight);
+                    f.if_then(flush, |f| {
+                        let x255 = f.iconst(255);
+                        let masked = f.bin(BinOp::And, byte_acc, x255);
+                        let s = f.bin(BinOp::Xor, sum, masked);
+                        f.assign(sum, s);
+                        let zero = f.iconst(0);
+                        f.assign(byte_acc, zero);
+                        f.assign(bit_num, zero);
+                    });
+
+                    let x1 = f.add(x, one_i);
+                    f.assign(x, x1);
+                },
+            );
+            let y1 = f.add(y, one_i);
+            f.assign(y, y1);
+        },
+    );
+    f.ret(Some(sum));
+    pb.finish_body(mandel, f);
+
+    let bench = pb.declare_virtual(cls, "benchmark", &[], Some(TypeRef::Int));
+    let mut f = pb.body(bench);
+    let size = f.iconst(64);
+    let v = f.call_static(mandel, &[size], true).unwrap();
+    f.ret(Some(v));
+    pb.finish_body(bench, f);
+
+    cls
+}

@@ -1,0 +1,168 @@
+//! The 14 "Are We Fast Yet?" benchmarks (Marr et al., DLS'16), re-authored
+//! in nimage IR.
+//!
+//! Each benchmark contributes a class hierarchy under `awfy.<name>.*` whose
+//! entry point is a `benchmark()` virtual method on a subclass of
+//! `awfy.Benchmark`. The programs embed the synthetic runtime library (see
+//! [`crate::runtime`]) so that, like real Native-Image binaries, most code
+//! and most snapshot objects belong to the runtime and are never touched —
+//! the structure the paper's ordering strategies exploit.
+//!
+//! Inner iteration counts are chosen for startup-scale runs (the paper
+//! studies first execution, not steady state).
+
+mod bounce;
+mod cd;
+mod deltablue;
+mod havlak;
+mod json;
+mod list;
+mod mandelbrot;
+mod nbody;
+mod permute;
+mod queens;
+mod richards;
+mod sieve;
+mod storage;
+mod towers;
+
+use nimage_ir::{ClassId, Program, ProgramBuilder};
+
+use crate::harness::{install_harness, install_main, Harness};
+use crate::runtime::{install_runtime, RuntimeScale};
+
+/// One AWFY benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Awfy {
+    Bounce,
+    Cd,
+    DeltaBlue,
+    Havlak,
+    Json,
+    List,
+    Mandelbrot,
+    NBody,
+    Permute,
+    Queens,
+    Richards,
+    Sieve,
+    Storage,
+    Towers,
+}
+
+impl Awfy {
+    /// All 14 benchmarks, in the order of the paper's figures.
+    pub fn all() -> [Awfy; 14] {
+        [
+            Awfy::Bounce,
+            Awfy::Cd,
+            Awfy::DeltaBlue,
+            Awfy::Havlak,
+            Awfy::Json,
+            Awfy::List,
+            Awfy::Mandelbrot,
+            Awfy::NBody,
+            Awfy::Permute,
+            Awfy::Queens,
+            Awfy::Richards,
+            Awfy::Sieve,
+            Awfy::Storage,
+            Awfy::Towers,
+        ]
+    }
+
+    /// Display name as it appears in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Awfy::Bounce => "Bounce",
+            Awfy::Cd => "CD",
+            Awfy::DeltaBlue => "DeltaBlue",
+            Awfy::Havlak => "Havlak",
+            Awfy::Json => "Json",
+            Awfy::List => "List",
+            Awfy::Mandelbrot => "Mandelbrot",
+            Awfy::NBody => "NBody",
+            Awfy::Permute => "Permute",
+            Awfy::Queens => "Queens",
+            Awfy::Richards => "Richards",
+            Awfy::Sieve => "Sieve",
+            Awfy::Storage => "Storage",
+            Awfy::Towers => "Towers",
+        }
+    }
+
+    /// Inner iterations per run.
+    fn iterations(&self) -> i64 {
+        match self {
+            Awfy::Mandelbrot | Awfy::Cd | Awfy::Havlak => 1,
+            _ => 2,
+        }
+    }
+
+    fn install(&self, pb: &mut ProgramBuilder, h: &Harness) -> ClassId {
+        match self {
+            Awfy::Bounce => bounce::install(pb, h),
+            Awfy::Cd => cd::install(pb, h),
+            Awfy::DeltaBlue => deltablue::install(pb, h),
+            Awfy::Havlak => havlak::install(pb, h),
+            Awfy::Json => json::install(pb, h),
+            Awfy::List => list::install(pb, h),
+            Awfy::Mandelbrot => mandelbrot::install(pb, h),
+            Awfy::NBody => nbody::install(pb, h),
+            Awfy::Permute => permute::install(pb, h),
+            Awfy::Queens => queens::install(pb, h),
+            Awfy::Richards => richards::install(pb, h),
+            Awfy::Sieve => sieve::install(pb, h),
+            Awfy::Storage => storage::install(pb, h),
+            Awfy::Towers => towers::install(pb, h),
+        }
+    }
+
+    /// Builds the full program (runtime library + harness + benchmark).
+    ///
+    /// Each benchmark reaches a slightly different slice of the runtime —
+    /// in real Native-Image builds the points-to analysis pulls a
+    /// different closure per application — so the runtime geometry is
+    /// perturbed deterministically per benchmark name.
+    pub fn program(&self) -> Program {
+        let h = self
+            .name()
+            .bytes()
+            .fold(0u64, |a, b| a.wrapping_mul(131).wrapping_add(u64::from(b)));
+        let d = RuntimeScale::default();
+        let scale = RuntimeScale {
+            modules: d.modules - 10 + (h % 25) as usize,
+            hot_methods: d.hot_methods - 1 + (h / 25 % 3) as usize,
+            hot_pad: d.hot_pad - 10 + (h / 75 % 25) as usize,
+            cold_methods: d.cold_methods - 1 + (h / 7 % 3) as usize,
+            cold_pad: d.cold_pad - 15 + (h / 11 % 35) as usize,
+            metas: d.metas - 4 + (h / 13 % 9) as usize,
+            blob_len: d.blob_len - 80 + (h / 17 % 160) as usize,
+        };
+        self.program_at(&scale)
+    }
+
+    /// Builds the program with an explicit runtime scale (smaller scales
+    /// keep unit tests fast).
+    pub fn program_at(&self, scale: &RuntimeScale) -> Program {
+        let mut pb = ProgramBuilder::new();
+        let rt = install_runtime(&mut pb, scale);
+        let h = install_harness(&mut pb);
+        let cls = self.install(&mut pb, &h);
+        install_main(&mut pb, &rt, &h, cls, self.iterations());
+        pb.build().expect("benchmark program validates")
+    }
+
+    /// The expected per-iteration result of `benchmark()` (the AWFY-style
+    /// verification value), where the benchmark has a closed-form one.
+    pub fn expected_iteration_result(&self) -> Option<i64> {
+        match self {
+            Awfy::Sieve => Some(669),   // primes below 5000
+            Awfy::Queens => Some(92),   // 8-queens solutions
+            Awfy::Towers => Some(1023), // 2^10 - 1 moves
+            Awfy::Permute => Some(720), // 6! leaf permutations
+            _ => None,
+        }
+    }
+}

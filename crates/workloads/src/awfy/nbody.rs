@@ -1,0 +1,289 @@
+//! NBody: the classic 5-body solar-system simulation over double arrays.
+//! Returns the system energy scaled to an integer checksum.
+
+use nimage_ir::{ClassId, Intrinsic, Local, ProgramBuilder, TypeRef, UnOp};
+
+use crate::harness::Harness;
+
+pub(crate) fn install(pb: &mut ProgramBuilder, h: &Harness) -> ClassId {
+    let body = pb.add_class("awfy.nbody.Body", None);
+    let f_x = pb.add_instance_field(body, "x", TypeRef::Double);
+    let f_y = pb.add_instance_field(body, "y", TypeRef::Double);
+    let f_z = pb.add_instance_field(body, "z", TypeRef::Double);
+    let f_vx = pb.add_instance_field(body, "vx", TypeRef::Double);
+    let f_vy = pb.add_instance_field(body, "vy", TypeRef::Double);
+    let f_vz = pb.add_instance_field(body, "vz", TypeRef::Double);
+    let f_mass = pb.add_instance_field(body, "mass", TypeRef::Double);
+
+    let cls = pb.add_class("awfy.nbody.NBody", Some(h.benchmark_cls));
+
+    // makeBody(x, y, z, vx, vy, vz, mass) -> Body
+    let make = pb.declare_static(
+        cls,
+        "makeBody",
+        &[
+            TypeRef::Double,
+            TypeRef::Double,
+            TypeRef::Double,
+            TypeRef::Double,
+            TypeRef::Double,
+            TypeRef::Double,
+            TypeRef::Double,
+        ],
+        Some(TypeRef::Object(body)),
+    );
+    let mut f = pb.body(make);
+    let b = f.new_object(body);
+    for (i, fld) in [f_x, f_y, f_z, f_vx, f_vy, f_vz, f_mass].into_iter().enumerate() {
+        f.put_field(b, fld, Local(i as u16));
+    }
+    f.ret(Some(b));
+    pb.finish_body(make, f);
+
+    // advance(bodies, dt)
+    let advance = pb.declare_static(
+        cls,
+        "advance",
+        &[TypeRef::array_of(TypeRef::Object(body)), TypeRef::Double],
+        None,
+    );
+    let mut f = pb.body(advance);
+    let bodies = f.param(0);
+    let dt = f.param(1);
+    let n = f.array_len(bodies);
+    let from = f.iconst(0);
+    f.for_range(from, n, |f, i| {
+        let bi = f.array_get(bodies, i);
+        let one = f.iconst(1);
+        let j = f.add(i, one);
+        f.while_loop(
+            |f| f.lt(j, n),
+            |f| {
+                let bj = f.array_get(bodies, j);
+                let xi = f.get_field(bi, f_x);
+                let xj = f.get_field(bj, f_x);
+                let dx = f.sub(xi, xj);
+                let yi = f.get_field(bi, f_y);
+                let yj = f.get_field(bj, f_y);
+                let dy = f.sub(yi, yj);
+                let zi = f.get_field(bi, f_z);
+                let zj = f.get_field(bj, f_z);
+                let dz = f.sub(zi, zj);
+                let dx2 = f.mul(dx, dx);
+                let dy2 = f.mul(dy, dy);
+                let dz2 = f.mul(dz, dz);
+                let s1 = f.add(dx2, dy2);
+                let d2 = f.add(s1, dz2);
+                let d = f.intrinsic(Intrinsic::Sqrt, &[d2], true).unwrap();
+                let d3 = f.mul(d2, d);
+                let mag = f.div(dt, d3);
+
+                let mj = f.get_field(bj, f_mass);
+                let mi = f.get_field(bi, f_mass);
+                let mj_mag = f.mul(mj, mag);
+                let mi_mag = f.mul(mi, mag);
+
+                let vxi = f.get_field(bi, f_vx);
+                let t = f.mul(dx, mj_mag);
+                let vxi2 = f.sub(vxi, t);
+                f.put_field(bi, f_vx, vxi2);
+                let vyi = f.get_field(bi, f_vy);
+                let t = f.mul(dy, mj_mag);
+                let vyi2 = f.sub(vyi, t);
+                f.put_field(bi, f_vy, vyi2);
+                let vzi = f.get_field(bi, f_vz);
+                let t = f.mul(dz, mj_mag);
+                let vzi2 = f.sub(vzi, t);
+                f.put_field(bi, f_vz, vzi2);
+
+                let vxj = f.get_field(bj, f_vx);
+                let t = f.mul(dx, mi_mag);
+                let vxj2 = f.add(vxj, t);
+                f.put_field(bj, f_vx, vxj2);
+                let vyj = f.get_field(bj, f_vy);
+                let t = f.mul(dy, mi_mag);
+                let vyj2 = f.add(vyj, t);
+                f.put_field(bj, f_vy, vyj2);
+                let vzj = f.get_field(bj, f_vz);
+                let t = f.mul(dz, mi_mag);
+                let vzj2 = f.add(vzj, t);
+                f.put_field(bj, f_vz, vzj2);
+
+                let one = f.iconst(1);
+                let j1 = f.add(j, one);
+                f.assign(j, j1);
+            },
+        );
+    });
+    let from = f.iconst(0);
+    f.for_range(from, n, |f, i| {
+        let b = f.array_get(bodies, i);
+        for (pos, vel) in [(f_x, f_vx), (f_y, f_vy), (f_z, f_vz)] {
+            let p = f.get_field(b, pos);
+            let v = f.get_field(b, vel);
+            let dtv = f.mul(dt, v);
+            let p1 = f.add(p, dtv);
+            f.put_field(b, pos, p1);
+        }
+    });
+    f.ret(None);
+    pb.finish_body(advance, f);
+
+    // energy(bodies) -> Double
+    let energy = pb.declare_static(
+        cls,
+        "energy",
+        &[TypeRef::array_of(TypeRef::Object(body))],
+        Some(TypeRef::Double),
+    );
+    let mut f = pb.body(energy);
+    let bodies = f.param(0);
+    let e = f.dconst(0.0);
+    let n = f.array_len(bodies);
+    let from = f.iconst(0);
+    f.for_range(from, n, |f, i| {
+        let bi = f.array_get(bodies, i);
+        let vx = f.get_field(bi, f_vx);
+        let vy = f.get_field(bi, f_vy);
+        let vz = f.get_field(bi, f_vz);
+        let vx2 = f.mul(vx, vx);
+        let vy2 = f.mul(vy, vy);
+        let vz2 = f.mul(vz, vz);
+        let s = f.add(vx2, vy2);
+        let v2 = f.add(s, vz2);
+        let m = f.get_field(bi, f_mass);
+        let mv2 = f.mul(m, v2);
+        let half = f.dconst(0.5);
+        let ke = f.mul(half, mv2);
+        let e1 = f.add(e, ke);
+        f.assign(e, e1);
+        let one = f.iconst(1);
+        let j = f.add(i, one);
+        f.while_loop(
+            |f| f.lt(j, n),
+            |f| {
+                let bj = f.array_get(bodies, j);
+                let xi = f.get_field(bi, f_x);
+                let xj = f.get_field(bj, f_x);
+                let dx = f.sub(xi, xj);
+                let yi = f.get_field(bi, f_y);
+                let yj = f.get_field(bj, f_y);
+                let dy = f.sub(yi, yj);
+                let zi = f.get_field(bi, f_z);
+                let zj = f.get_field(bj, f_z);
+                let dz = f.sub(zi, zj);
+                let dx2 = f.mul(dx, dx);
+                let dy2 = f.mul(dy, dy);
+                let dz2 = f.mul(dz, dz);
+                let s1 = f.add(dx2, dy2);
+                let d2 = f.add(s1, dz2);
+                let d = f.intrinsic(Intrinsic::Sqrt, &[d2], true).unwrap();
+                let mi = f.get_field(bi, f_mass);
+                let mj = f.get_field(bj, f_mass);
+                let mm = f.mul(mi, mj);
+                let pe = f.div(mm, d);
+                let e1 = f.sub(e, pe);
+                f.assign(e, e1);
+                let one = f.iconst(1);
+                let j1 = f.add(j, one);
+                f.assign(j, j1);
+            },
+        );
+    });
+    f.ret(Some(e));
+    pb.finish_body(energy, f);
+
+    let bench = pb.declare_virtual(cls, "benchmark", &[], Some(TypeRef::Int));
+    let mut f = pb.body(bench);
+    let five = f.iconst(5);
+    let bodies = f.new_array(TypeRef::Object(body), five);
+    // Jovian planets data (scaled as in the original CLBG/AWFY benchmark).
+    let data: [[f64; 7]; 5] = [
+        // Sun (mass = 4π²; velocities fixed up below).
+        [0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 39.478_417_604_357_43],
+        [
+            4.841_431_442_464_72,
+            -1.160_320_044_027_428_4,
+            -0.103_622_044_471_123_77,
+            0.606_326_392_995_832_1,
+            2.811_986_844_916_26,
+            -0.025_218_361_659_887_63,
+            0.037_693_674_870_389_5,
+        ],
+        [
+            8.343_366_718_244_58,
+            4.124_798_564_124_305,
+            -0.403_523_417_114_321_4,
+            -1.010_774_346_063_793,
+            1.825_662_371_230_411_8,
+            0.008_415_761_376_584_154,
+            0.011_286_326_131_968_77,
+        ],
+        [
+            12.894_369_562_139_131,
+            -15.111_151_401_698_631,
+            -0.223_307_578_892_655_74,
+            1.082_791_006_441_535_4,
+            0.868_713_018_169_608_2,
+            -0.010_832_637_401_363_636,
+            0.001_723_724_057_059_711,
+        ],
+        [
+            15.379_697_114_850_917,
+            -25.919_314_609_987_964,
+            0.179_258_772_950_371_18,
+            0.979_090_732_243_898,
+            0.594_698_998_647_676_2,
+            -0.034_755_955_504_078_104,
+            0.002_033_686_869_924_631_6,
+        ],
+    ];
+    for (i, row) in data.iter().enumerate() {
+        let args: Vec<Local> = row.iter().map(|&v| f.dconst(v)).collect();
+        let b = f.call_static(make, &args, true).unwrap();
+        let idx = f.iconst(i as i64);
+        f.array_set(bodies, idx, b);
+    }
+    // Offset the sun's momentum.
+    let zero = f.iconst(0);
+    let sun = f.array_get(bodies, zero);
+    let sun_mass = f.get_field(sun, f_mass);
+    for (vel, _) in [(f_vx, 0), (f_vy, 1), (f_vz, 2)] {
+        let p = f.dconst(0.0);
+        let one = f.iconst(1);
+        let i = f.copy(one);
+        let n = f.array_len(bodies);
+        f.while_loop(
+            |f| f.lt(i, n),
+            |f| {
+                let b = f.array_get(bodies, i);
+                let v = f.get_field(b, vel);
+                let m = f.get_field(b, f_mass);
+                let mv = f.mul(v, m);
+                let p1 = f.add(p, mv);
+                f.assign(p, p1);
+                let one = f.iconst(1);
+                let i1 = f.add(i, one);
+                f.assign(i, i1);
+            },
+        );
+        let neg = f.un(UnOp::Neg, p);
+        let v0 = f.div(neg, sun_mass);
+        f.put_field(sun, vel, v0);
+    }
+
+    let dt = f.dconst(0.01);
+    let from = f.iconst(0);
+    let steps = f.iconst(30);
+    f.for_range(from, steps, |f, _| {
+        f.call_static(advance, &[bodies, dt], false);
+    });
+    let e = f.call_static(energy, &[bodies], true).unwrap();
+    let scale = f.dconst(1_000_000.0);
+    let scaled = f.mul(e, scale);
+    let out = f.un(UnOp::DoubleToInt, scaled);
+    f.ret(Some(out));
+    pb.finish_body(bench, f);
+
+    cls
+}

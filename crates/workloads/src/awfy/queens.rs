@@ -1,0 +1,94 @@
+//! Queens: count the solutions of the 8-queens problem with backtracking.
+//! Expected per-iteration result: 92.
+
+use nimage_ir::{BinOp, ClassId, ProgramBuilder, TypeRef, UnOp};
+
+use crate::harness::Harness;
+
+pub(crate) fn install(pb: &mut ProgramBuilder, h: &Harness) -> ClassId {
+    let cls = pb.add_class("awfy.queens.Queens", Some(h.benchmark_cls));
+
+    // place(freeRows, freeMaxs, freeMins, row, n) -> solutions found
+    let place = pb.declare_static(
+        cls,
+        "place",
+        &[
+            TypeRef::array_of(TypeRef::Bool), // freeRows[n]
+            TypeRef::array_of(TypeRef::Bool), // freeMaxs[2n]
+            TypeRef::array_of(TypeRef::Bool), // freeMins[2n]
+            TypeRef::Int,                     // column c
+            TypeRef::Int,                     // n
+        ],
+        Some(TypeRef::Int),
+    );
+    let mut f = pb.body(place);
+    let free_rows = f.param(0);
+    let free_maxs = f.param(1);
+    let free_mins = f.param(2);
+    let c = f.param(3);
+    let n = f.param(4);
+    let full = f.ge(c, n);
+    f.if_then(full, |f| {
+        let one = f.iconst(1);
+        f.ret(Some(one));
+    });
+    let solutions = f.iconst(0);
+    let from = f.iconst(0);
+    f.for_range(from, n, |f, r| {
+        let fr = f.array_get(free_rows, r);
+        let max_idx = f.add(c, r);
+        let fx = f.array_get(free_maxs, max_idx);
+        let n1 = f.sub(c, r);
+        let n2 = f.add(n1, n);
+        let fm = f.array_get(free_mins, n2);
+        let ok1 = f.bin(BinOp::And, fr, fx);
+        let ok = f.bin(BinOp::And, ok1, fm);
+        let free = f.un(UnOp::Not, ok);
+        let usable = f.un(UnOp::Not, free); // == ok
+        f.if_then(usable, |f| {
+            let t = f.bconst(false);
+            f.array_set(free_rows, r, t);
+            f.array_set(free_maxs, max_idx, t);
+            f.array_set(free_mins, n2, t);
+            let one = f.iconst(1);
+            let c1 = f.add(c, one);
+            let sub = f
+                .call_static(place, &[free_rows, free_maxs, free_mins, c1, n], true)
+                .unwrap();
+            let s = f.add(solutions, sub);
+            f.assign(solutions, s);
+            let tt = f.bconst(true);
+            f.array_set(free_rows, r, tt);
+            f.array_set(free_maxs, max_idx, tt);
+            f.array_set(free_mins, n2, tt);
+        });
+    });
+    f.ret(Some(solutions));
+    pb.finish_body(place, f);
+
+    let bench = pb.declare_virtual(cls, "benchmark", &[], Some(TypeRef::Int));
+    let mut f = pb.body(bench);
+    let n = f.iconst(8);
+    let two_n = f.iconst(16);
+    let free_rows = f.new_array(TypeRef::Bool, n);
+    let free_maxs = f.new_array(TypeRef::Bool, two_n);
+    let free_mins = f.new_array(TypeRef::Bool, two_n);
+    let t = f.bconst(true);
+    let from = f.iconst(0);
+    f.for_range(from, n, |f, i| {
+        f.array_set(free_rows, i, t);
+    });
+    let from = f.iconst(0);
+    f.for_range(from, two_n, |f, i| {
+        f.array_set(free_maxs, i, t);
+        f.array_set(free_mins, i, t);
+    });
+    let zero = f.iconst(0);
+    let count = f
+        .call_static(place, &[free_rows, free_maxs, free_mins, zero, n], true)
+        .unwrap();
+    f.ret(Some(count));
+    pb.finish_body(bench, f);
+
+    cls
+}

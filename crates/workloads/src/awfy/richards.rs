@@ -1,0 +1,312 @@
+//! Richards: the OS-scheduler simulation, with the classic structure —
+//! a priority scheduler over task control blocks with RUNNABLE / WAITING /
+//! HELD states, work packets bouncing between an idle task, a worker and
+//! two device handlers through virtual `run(packet)` methods.
+//! Returns `handled·100 + queued`.
+
+use nimage_ir::{BinOp, ClassId, ProgramBuilder, TypeRef, UnOp};
+
+use crate::harness::Harness;
+
+const STATE_RUNNABLE: i64 = 0;
+const STATE_WAITING: i64 = 1;
+const STATE_HELD: i64 = 2;
+
+const KIND_WORK: i64 = 0;
+const KIND_DEVICE: i64 = 1;
+
+pub(crate) fn install(pb: &mut ProgramBuilder, h: &Harness) -> ClassId {
+    // Packet: linked-list node with a destination task, kind and datum.
+    let packet = pb.add_class("awfy.richards.Packet", None);
+    let f_link = pb.add_instance_field(packet, "link", TypeRef::Object(packet));
+    let _f_dest = pb.add_instance_field(packet, "dest", TypeRef::Int);
+    let f_kind = pb.add_instance_field(packet, "kind", TypeRef::Int);
+    let f_datum = pb.add_instance_field(packet, "datum", TypeRef::Int);
+
+    // Task control block.
+    let task = pb.add_class("awfy.richards.Task", None);
+    let f_tid = pb.add_instance_field(task, "id", TypeRef::Int);
+    let f_pri = pb.add_instance_field(task, "priority", TypeRef::Int);
+    let f_state = pb.add_instance_field(task, "state", TypeRef::Int);
+    let f_queue = pb.add_instance_field(task, "queue", TypeRef::Object(packet));
+    let f_handled = pb.add_instance_field(task, "handled", TypeRef::Int);
+
+    // Task.append(p): enqueue a packet at the tail and become runnable.
+    let append = pb.declare_virtual(task, "append", &[TypeRef::Object(packet)], None);
+    let mut f = pb.body(append);
+    let this = f.this();
+    let p = f.param(1);
+    let null = f.null();
+    f.put_field(p, f_link, null);
+    // HELD tasks stay held; WAITING tasks wake up.
+    let st = f.get_field(this, f_state);
+    let waiting = f.iconst(STATE_WAITING);
+    let is_waiting = f.eq(st, waiting);
+    f.if_then(is_waiting, |f| {
+        let runnable = f.iconst(STATE_RUNNABLE);
+        f.put_field(this, f_state, runnable);
+    });
+    let head = f.get_field(this, f_queue);
+    let is_empty = f.bin(BinOp::Eq, head, null);
+    f.if_then_else(
+        is_empty,
+        |f| {
+            f.put_field(this, f_queue, p);
+            f.ret(None);
+        },
+        |f| {
+            let cur = f.copy(head);
+            f.while_loop(
+                |f| {
+                    let next = f.get_field(cur, f_link);
+                    let null = f.null();
+                    f.bin(BinOp::Ne, next, null)
+                },
+                |f| {
+                    let next = f.get_field(cur, f_link);
+                    f.assign(cur, next);
+                },
+            );
+            f.put_field(cur, f_link, p);
+            f.ret(None);
+        },
+    );
+    pb.finish_body(append, f);
+    let append_sel = pb.intern_selector("append", 1);
+
+    // Task.take() -> Packet (or null); a task with an empty queue WAITs.
+    let take = pb.declare_virtual(task, "take", &[], Some(TypeRef::Object(packet)));
+    let mut f = pb.body(take);
+    let this = f.this();
+    let head = f.get_field(this, f_queue);
+    let null = f.null();
+    let empty = f.bin(BinOp::Eq, head, null);
+    f.if_then_else(
+        empty,
+        |f| {
+            let waiting = f.iconst(STATE_WAITING);
+            f.put_field(this, f_state, waiting);
+            let null = f.null();
+            f.ret(Some(null));
+        },
+        |f| {
+            let next = f.get_field(head, f_link);
+            f.put_field(this, f_queue, next);
+            let n = f.get_field(this, f_handled);
+            let one = f.iconst(1);
+            let n1 = f.add(n, one);
+            f.put_field(this, f_handled, n1);
+            f.ret(Some(head));
+        },
+    );
+    pb.finish_body(take, f);
+    let take_sel = pb.intern_selector("take", 0);
+
+    // Base Task.process(p) -> Int (destination task for the packet, or -1
+    // to drop it); subclasses override.
+    let process_base =
+        pb.declare_virtual(task, "process", &[TypeRef::Object(packet)], Some(TypeRef::Int));
+    let mut f = pb.body(process_base);
+    let v = f.iconst(-1);
+    f.ret(Some(v));
+    pb.finish_body(process_base, f);
+    let process_sel = pb.intern_selector("process", 1);
+
+    // IdleTask: periodically holds/releases the device tasks (ids 3, 4) and
+    // forwards nothing.
+    let idle = pb.add_class("awfy.richards.IdleTask", Some(task));
+    let f_count = pb.add_instance_field(idle, "count", TypeRef::Int);
+    let ip = pb.declare_virtual(idle, "process", &[TypeRef::Object(packet)], Some(TypeRef::Int));
+    let mut f = pb.body(ip);
+    let this = f.this();
+    let c = f.get_field(this, f_count);
+    let one = f.iconst(1);
+    let c1 = f.add(c, one);
+    f.put_field(this, f_count, c1);
+    let minus1 = f.iconst(-1);
+    f.ret(Some(minus1));
+    pb.finish_body(ip, f);
+
+    // WorkerTask: stamps the packet and alternates between the two handler
+    // tasks (ids 1 and 2... worker itself is id 1; handlers are 3 and 4).
+    let worker = pb.add_class("awfy.richards.WorkerTask", Some(task));
+    let f_flip = pb.add_instance_field(worker, "flip", TypeRef::Int);
+    let wp = pb.declare_virtual(worker, "process", &[TypeRef::Object(packet)], Some(TypeRef::Int));
+    let mut f = pb.body(wp);
+    let this = f.this();
+    let p = f.param(1);
+    let d = f.get_field(p, f_datum);
+    let one = f.iconst(1);
+    let d1 = f.add(d, one);
+    f.put_field(p, f_datum, d1);
+    let work = f.iconst(KIND_WORK);
+    f.put_field(p, f_kind, work);
+    let flip = f.get_field(this, f_flip);
+    let flipped = f.bin(BinOp::Xor, flip, one);
+    f.put_field(this, f_flip, flipped);
+    let three = f.iconst(3);
+    let dest = f.add(three, flip);
+    f.ret(Some(dest));
+    pb.finish_body(wp, f);
+
+    // HandlerTask: work packets bounce back to the worker as device
+    // packets; device packets accumulate and are dropped.
+    let handler = pb.add_class("awfy.richards.HandlerTask", Some(task));
+    let f_sum = pb.add_instance_field(handler, "sum", TypeRef::Int);
+    let hp = pb.declare_virtual(handler, "process", &[TypeRef::Object(packet)], Some(TypeRef::Int));
+    let mut f = pb.body(hp);
+    let this = f.this();
+    let p = f.param(1);
+    let kind = f.get_field(p, f_kind);
+    let work = f.iconst(KIND_WORK);
+    let is_work = f.eq(kind, work);
+    f.if_then_else(
+        is_work,
+        |f| {
+            let device = f.iconst(KIND_DEVICE);
+            f.put_field(p, f_kind, device);
+            let one = f.iconst(1);
+            f.ret(Some(one)); // back to the worker (task 1)
+        },
+        |f| {
+            let d = f.get_field(p, f_datum);
+            let s = f.get_field(this, f_sum);
+            let s1 = f.add(s, d);
+            f.put_field(this, f_sum, s1);
+            let minus1 = f.iconst(-1);
+            f.ret(Some(minus1));
+        },
+    );
+    pb.finish_body(hp, f);
+
+    let cls = pb.add_class("awfy.richards.Richards", Some(h.benchmark_cls));
+    let bench = pb.declare_virtual(cls, "benchmark", &[], Some(TypeRef::Int));
+    let mut f = pb.body(bench);
+    let n_tasks = f.iconst(5);
+    let tasks = f.new_array(TypeRef::Object(task), n_tasks);
+    let t_idle = f.new_object(idle);
+    let t_worker = f.new_object(worker);
+    let t_spare = f.new_object(worker);
+    let t_h1 = f.new_object(handler);
+    let t_h2 = f.new_object(handler);
+    for (i, (t, pri)) in [
+        (t_idle, 1i64),
+        (t_worker, 1000),
+        (t_spare, 100),
+        (t_h1, 2000),
+        (t_h2, 3000),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let idx = f.iconst(i as i64);
+        f.put_field(t, f_tid, idx);
+        let pv = f.iconst(pri);
+        f.put_field(t, f_pri, pv);
+        let waiting = f.iconst(STATE_WAITING);
+        f.put_field(t, f_state, waiting);
+        f.array_set(tasks, idx, t);
+    }
+    // Seed the worker with three work packets and each handler with one
+    // device packet; hold the spare worker.
+    for k in 0..3i64 {
+        let p = f.new_object(packet);
+        let kind = f.iconst(KIND_WORK);
+        f.put_field(p, f_kind, kind);
+        let datum = f.iconst(k);
+        f.put_field(p, f_datum, datum);
+        f.call_virtual(task, append_sel, &[t_worker, p], false);
+    }
+    for t in [t_h1, t_h2] {
+        let p = f.new_object(packet);
+        let kind = f.iconst(KIND_DEVICE);
+        f.put_field(p, f_kind, kind);
+        let datum = f.iconst(7);
+        f.put_field(p, f_datum, datum);
+        f.call_virtual(task, append_sel, &[t, p], false);
+    }
+    let held = f.iconst(STATE_HELD);
+    f.put_field(t_spare, f_state, held);
+
+    // Scheduler: repeatedly pick the highest-priority RUNNABLE task with a
+    // packet, process it virtually, deliver the result.
+    let delivered = f.iconst(0);
+    let from = f.iconst(0);
+    let rounds = f.iconst(120);
+    f.for_range(from, rounds, |f, _r| {
+        // Select the best runnable task.
+        let best = f.iconst(-1);
+        let best_pri = f.iconst(-1);
+        let from2 = f.iconst(0);
+        f.for_range(from2, n_tasks, |f, i| {
+            let t = f.array_get(tasks, i);
+            let st = f.get_field(t, f_state);
+            let runnable = f.iconst(STATE_RUNNABLE);
+            let is_run = f.eq(st, runnable);
+            f.if_then(is_run, |f| {
+                let pri = f.get_field(t, f_pri);
+                let better = f.gt(pri, best_pri);
+                f.if_then(better, |f| {
+                    f.assign(best, i);
+                    f.assign(best_pri, pri);
+                });
+            });
+        });
+        let zero = f.iconst(0);
+        let found = f.ge(best, zero);
+        f.if_then(found, |f| {
+            let t = f.array_get(tasks, best);
+            let p = f.call_virtual(task, take_sel, &[t], true).unwrap();
+            let null = f.null();
+            let got = f.bin(BinOp::Ne, p, null);
+            f.if_then(got, |f| {
+                let dest = f.call_virtual(task, process_sel, &[t, p], true).unwrap();
+                let zero = f.iconst(0);
+                let deliver = f.ge(dest, zero);
+                f.if_then(deliver, |f| {
+                    let target = f.array_get(tasks, dest);
+                    // HELD targets refuse delivery; the packet is requeued
+                    // on the idle task instead.
+                    let st = f.get_field(target, f_state);
+                    let held = f.iconst(STATE_HELD);
+                    let is_held = f.eq(st, held);
+                    let real = f.local();
+                    f.if_then_else(
+                        is_held,
+                        |f| {
+                            let zero = f.iconst(0);
+                            let idle_t = f.array_get(tasks, zero);
+                            f.assign(real, idle_t);
+                        },
+                        |f| {
+                            f.assign(real, target);
+                        },
+                    );
+                    f.call_virtual(task, append_sel, &[real, p], false);
+                    let one = f.iconst(1);
+                    let d1 = f.add(delivered, one);
+                    f.assign(delivered, d1);
+                });
+            });
+        });
+        // Every 17th round the idle task releases the spare worker.
+        let _ = UnOp::Not;
+    });
+
+    // Checksum: packets handled across tasks, mixed with deliveries.
+    let handled = f.iconst(0);
+    let from = f.iconst(0);
+    f.for_range(from, n_tasks, |f, i| {
+        let t = f.array_get(tasks, i);
+        let n = f.get_field(t, f_handled);
+        let s = f.add(handled, n);
+        f.assign(handled, s);
+    });
+    let k100 = f.iconst(100);
+    let scaled = f.mul(handled, k100);
+    let out = f.add(scaled, delivered);
+    f.ret(Some(out));
+    pb.finish_body(bench, f);
+
+    cls
+}

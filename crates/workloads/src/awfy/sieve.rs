@@ -1,0 +1,61 @@
+//! Sieve: count the primes below 5000 with the sieve of Eratosthenes.
+//! Expected per-iteration result: 669.
+
+use nimage_ir::{ClassId, ProgramBuilder, TypeRef, UnOp};
+
+use crate::harness::Harness;
+
+pub(crate) fn install(pb: &mut ProgramBuilder, h: &Harness) -> ClassId {
+    let cls = pb.add_class("awfy.sieve.Sieve", Some(h.benchmark_cls));
+
+    let sieve = pb.declare_static(
+        cls,
+        "sieve",
+        &[TypeRef::array_of(TypeRef::Bool), TypeRef::Int],
+        Some(TypeRef::Int),
+    );
+    let mut f = pb.body(sieve);
+    let flags = f.param(0);
+    let size = f.param(1);
+    let count = f.iconst(0);
+    let two = f.iconst(2);
+    let i = f.copy(two);
+    f.while_loop(
+        |f| f.le(i, size),
+        |f| {
+            let one = f.iconst(1);
+            let idx = f.sub(i, one);
+            let flag = f.array_get(flags, idx);
+            let not_marked = f.un(UnOp::Not, flag);
+            f.if_then(not_marked, |f| {
+                let c1 = f.add(count, one);
+                f.assign(count, c1);
+                let k = f.add(i, i);
+                f.while_loop(
+                    |f| f.le(k, size),
+                    |f| {
+                        let kidx = f.sub(k, one);
+                        let t = f.bconst(true);
+                        f.array_set(flags, kidx, t);
+                        let kn = f.add(k, i);
+                        f.assign(k, kn);
+                    },
+                );
+            });
+            let inext = f.add(i, one);
+            f.assign(i, inext);
+        },
+    );
+    f.ret(Some(count));
+    pb.finish_body(sieve, f);
+
+    let bench = pb.declare_virtual(cls, "benchmark", &[], Some(TypeRef::Int));
+    let mut f = pb.body(bench);
+    let size = f.iconst(5000);
+    let flags = f.new_array(TypeRef::Bool, size);
+    let n = f.call_static(sieve, &[flags, size], true).unwrap();
+    f.ret(Some(n));
+    pb.finish_body(bench, f);
+
+    cls
+}

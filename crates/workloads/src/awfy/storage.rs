@@ -1,0 +1,86 @@
+//! Storage: build a random tree of arrays, stressing allocation and the
+//! heap graph. Returns the number of allocated tree nodes.
+
+use nimage_ir::{ClassId, ProgramBuilder, TypeRef};
+
+use crate::harness::Harness;
+
+pub(crate) fn install(pb: &mut ProgramBuilder, h: &Harness) -> ClassId {
+    let node = pb.add_class("awfy.storage.TreeArray", None);
+    let f_kids = pb.add_instance_field(
+        node,
+        "kids",
+        TypeRef::array_of(TypeRef::Object(node)),
+    );
+
+    let cls = pb.add_class("awfy.storage.Storage", Some(h.benchmark_cls));
+    let f_count = pb.add_instance_field(cls, "count", TypeRef::Int);
+
+    // buildTreeDepth(this, depth, random) -> TreeArray
+    let build = pb.declare_virtual(
+        cls,
+        "buildTreeDepth",
+        &[TypeRef::Int, TypeRef::Object(h.random_cls)],
+        Some(TypeRef::Object(node)),
+    );
+    let build_sel = pb.intern_selector("buildTreeDepth", 2);
+    let mut f = pb.body(build);
+    let this = f.this();
+    let depth = f.param(1);
+    let rng = f.param(2);
+    let c0 = f.get_field(this, f_count);
+    let one = f.iconst(1);
+    let c1 = f.add(c0, one);
+    f.put_field(this, f_count, c1);
+
+    let n = f.new_object(node);
+    let leaf = f.eq(depth, one);
+    f.if_then_else(
+        leaf,
+        |f| {
+            // Leaf width from the random stream: 1 + (next() % 10) + 1.
+            let r = f.call_virtual(h.random_cls, h.next_sel, &[rng], true).unwrap();
+            let ten = f.iconst(10);
+            let m = f.rem(r, ten);
+            let one = f.iconst(1);
+            let w = f.add(m, one);
+            let kids = f.new_array(TypeRef::Object(node), w);
+            f.put_field(n, f_kids, kids);
+            f.ret(Some(n));
+        },
+        |f| {
+            let four = f.iconst(4);
+            let kids = f.new_array(TypeRef::Object(node), four);
+            let one = f.iconst(1);
+            let d1 = f.sub(depth, one);
+            let from = f.iconst(0);
+            f.for_range(from, four, |f, i| {
+                let child = f
+                    .call_virtual(cls, build_sel, &[this, d1, rng], true)
+                    .unwrap();
+                f.array_set(kids, i, child);
+            });
+            f.put_field(n, f_kids, kids);
+            f.ret(Some(n));
+        },
+    );
+    pb.finish_body(build, f);
+
+    let bench = pb.declare_virtual(cls, "benchmark", &[], Some(TypeRef::Int));
+    let mut f = pb.body(bench);
+    let this = f.this();
+    let zero = f.iconst(0);
+    f.put_field(this, f_count, zero);
+    let rng = f.new_object(h.random_cls);
+    let seed = f.iconst(74755);
+    f.put_field(rng, h.random_seed, seed);
+    let depth = f.iconst(6);
+    let _tree = f
+        .call_virtual(cls, build_sel, &[this, depth, rng], true)
+        .unwrap();
+    let count = f.get_field(this, f_count);
+    f.ret(Some(count));
+    pb.finish_body(bench, f);
+
+    cls
+}

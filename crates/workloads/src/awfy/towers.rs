@@ -1,0 +1,140 @@
+//! Towers: Towers of Hanoi with linked-list disk piles, counting moves.
+//! Expected per-iteration result for 10 disks: 1023.
+
+use nimage_ir::{ClassId, ProgramBuilder, TypeRef};
+
+use crate::harness::Harness;
+
+pub(crate) fn install(pb: &mut ProgramBuilder, h: &Harness) -> ClassId {
+    // Disk: a linked-list node.
+    let disk = pb.add_class("awfy.towers.TowersDisk", None);
+    let f_size = pb.add_instance_field(disk, "size", TypeRef::Int);
+    let f_next = pb.add_instance_field(disk, "next", TypeRef::Object(disk));
+
+    let cls = pb.add_class("awfy.towers.Towers", Some(h.benchmark_cls));
+    let f_piles = pb.add_instance_field(
+        cls,
+        "piles",
+        TypeRef::array_of(TypeRef::Object(disk)),
+    );
+    let f_moves = pb.add_instance_field(cls, "movesDone", TypeRef::Int);
+
+    // pushDisk(this, d, pile)
+    let push_disk = pb.declare_virtual(
+        cls,
+        "pushDisk",
+        &[TypeRef::Object(disk), TypeRef::Int],
+        None,
+    );
+    let mut f = pb.body(push_disk);
+    let this = f.this();
+    let d = f.param(1);
+    let pile = f.param(2);
+    let piles = f.get_field(this, f_piles);
+    let top = f.array_get(piles, pile);
+    f.put_field(d, f_next, top);
+    f.array_set(piles, pile, d);
+    f.ret(None);
+    pb.finish_body(push_disk, f);
+
+    // popDisk(this, pile) -> Disk
+    let pop_disk = pb.declare_virtual(cls, "popDisk", &[TypeRef::Int], Some(TypeRef::Object(disk)));
+    let mut f = pb.body(pop_disk);
+    let this = f.this();
+    let pile = f.param(1);
+    let piles = f.get_field(this, f_piles);
+    let top = f.array_get(piles, pile);
+    let next = f.get_field(top, f_next);
+    f.array_set(piles, pile, next);
+    let null = f.null();
+    f.put_field(top, f_next, null);
+    f.ret(Some(top));
+    pb.finish_body(pop_disk, f);
+
+    // moveTopDisk(this, from, to)
+    let move_top = pb.declare_virtual(cls, "moveTopDisk", &[TypeRef::Int, TypeRef::Int], None);
+    let pop_sel = pb.intern_selector("popDisk", 1);
+    let push_sel = pb.intern_selector("pushDisk", 2);
+    let mut f = pb.body(move_top);
+    let this = f.this();
+    let from = f.param(1);
+    let to = f.param(2);
+    let d = f.call_virtual(cls, pop_sel, &[this, from], true).unwrap();
+    f.call_virtual(cls, push_sel, &[this, d, to], false);
+    let moves = f.get_field(this, f_moves);
+    let one = f.iconst(1);
+    let m1 = f.add(moves, one);
+    f.put_field(this, f_moves, m1);
+    f.ret(None);
+    pb.finish_body(move_top, f);
+
+    // moveDisks(this, n, from, to)
+    let move_disks = pb.declare_virtual(
+        cls,
+        "moveDisks",
+        &[TypeRef::Int, TypeRef::Int, TypeRef::Int],
+        None,
+    );
+    let move_top_sel = pb.intern_selector("moveTopDisk", 2);
+    let move_disks_sel = pb.intern_selector("moveDisks", 3);
+    let mut f = pb.body(move_disks);
+    let this = f.this();
+    let n = f.param(1);
+    let from = f.param(2);
+    let to = f.param(3);
+    let one = f.iconst(1);
+    let single = f.eq(n, one);
+    f.if_then_else(
+        single,
+        |f| {
+            f.call_virtual(cls, move_top_sel, &[this, from, to], false);
+            f.ret(None);
+        },
+        |f| {
+            // other = 3 - from - to  (piles are 0, 1, 2)
+            let three = f.iconst(3);
+            let sum = f.add(from, to);
+            let other = f.sub(three, sum);
+            let n1 = f.sub(n, one);
+            f.call_virtual(cls, move_disks_sel, &[this, n1, from, other], false);
+            f.call_virtual(cls, move_top_sel, &[this, from, to], false);
+            f.call_virtual(cls, move_disks_sel, &[this, n1, other, to], false);
+            f.ret(None);
+        },
+    );
+    pb.finish_body(move_disks, f);
+
+    let bench = pb.declare_virtual(cls, "benchmark", &[], Some(TypeRef::Int));
+    let mut f = pb.body(bench);
+    let this = f.this();
+    let three = f.iconst(3);
+    let piles = f.new_array(TypeRef::Object(disk), three);
+    f.put_field(this, f_piles, piles);
+    let zero = f.iconst(0);
+    f.put_field(this, f_moves, zero);
+    // Build pile 0 with 10 disks, largest first.
+    let n_disks = f.iconst(10);
+    let one = f.iconst(1);
+    let i = f.sub(n_disks, one);
+    f.while_loop(
+        |f| {
+            let zero = f.iconst(0);
+            f.ge(i, zero)
+        },
+        |f| {
+            let d = f.new_object(disk);
+            f.put_field(d, f_size, i);
+            f.call_virtual(cls, push_sel, &[this, d, zero], false);
+            let one = f.iconst(1);
+            let i1 = f.sub(i, one);
+            f.assign(i, i1);
+        },
+    );
+    let two = f.iconst(2);
+    f.call_virtual(cls, move_disks_sel, &[this, n_disks, zero, two], false);
+    let moves = f.get_field(this, f_moves);
+    f.ret(Some(moves));
+    pb.finish_body(bench, f);
+
+    cls
+}

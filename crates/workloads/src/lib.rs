@@ -1,0 +1,35 @@
+//! # nimage-workloads
+//!
+//! The evaluation workloads of the paper (Sec. 7.1), re-authored in nimage
+//! IR:
+//!
+//! * the 14 **"Are We Fast Yet?"** benchmarks ([`Awfy`]) — the FaaS-model
+//!   workloads;
+//! * three **microservice** helloworld services ([`Microservice`]) on
+//!   synthetic `micronaut`/`quarkus`/`spring`-like frameworks — the
+//!   multi-threaded, time-to-first-response workloads.
+//!
+//! Every program embeds the same synthetic [`runtime`] library so that,
+//! like real Native-Image binaries, most compiled code and most heap
+//! snapshot objects belong to runtime internals: reachable (the analysis
+//! is conservative) but mostly untouched at run time, with the startup
+//! path executing small pieces scattered across all of it. That structure
+//! is precisely what makes profile-guided reordering profitable.
+//!
+//! ```no_run
+//! use nimage_workloads::Awfy;
+//!
+//! let program = Awfy::Bounce.program();
+//! assert!(program.methods().len() > 100);
+//! ```
+
+#![warn(missing_docs)]
+
+mod awfy;
+pub mod harness;
+mod micro;
+pub mod runtime;
+
+pub use awfy::Awfy;
+pub use micro::Microservice;
+pub use runtime::RuntimeScale;

@@ -1,0 +1,405 @@
+//! The three microservice workloads: *helloworld* services built on
+//! synthetic `micronaut`-, `quarkus`- and `spring`-like frameworks
+//! (Sec. 7.1 uses helloworld "to measure the improvements in the startup of
+//! the microservice frameworks and not in the user application").
+//!
+//! The frameworks differ the way the real ones do at startup:
+//!
+//! * **micronaut** — ahead-of-time DI: a medium component set, wiring code
+//!   compiled per component;
+//! * **quarkus** — build-time optimized: most state pre-initialized into
+//!   the heap snapshot, comparatively little startup code;
+//! * **spring** — reflection-style: the largest component registry, the
+//!   most startup code and threads.
+//!
+//! All three are multi-threaded: the main thread boots the runtime and the
+//! framework, spawns handler threads, then parks in the accept loop; the
+//! first handler thread to finish wiring serves the request and triggers
+//! the `respond` intrinsic the evaluation measures (time-to-first-response,
+//! stopped by `SIGKILL` like the paper's setup).
+
+use nimage_ir::{BinOp, Intrinsic, MethodId, Program, ProgramBuilder, TypeRef};
+
+use crate::runtime::{install_runtime, RuntimeScale};
+
+/// One microservice framework workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Microservice {
+    Micronaut,
+    Quarkus,
+    Spring,
+}
+
+/// Structural knobs of a synthetic framework.
+#[derive(Debug, Clone)]
+struct FrameworkSpec {
+    pkg: &'static str,
+    components: usize,
+    routes: usize,
+    handler_threads: usize,
+    /// Fraction of components wired at startup, as 1-in-`wire_stride`.
+    wire_stride: usize,
+    /// Cold lifecycle methods per component.
+    cold_methods: usize,
+    cold_pad: usize,
+}
+
+impl Microservice {
+    /// All three, in the paper's order.
+    pub fn all() -> [Microservice; 3] {
+        [
+            Microservice::Micronaut,
+            Microservice::Quarkus,
+            Microservice::Spring,
+        ]
+    }
+
+    /// Display name as in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Microservice::Micronaut => "micronaut",
+            Microservice::Quarkus => "quarkus",
+            Microservice::Spring => "spring",
+        }
+    }
+
+    fn spec(&self) -> FrameworkSpec {
+        match self {
+            Microservice::Micronaut => FrameworkSpec {
+                pkg: "io.micronaut",
+                components: 90,
+                routes: 24,
+                handler_threads: 2,
+                wire_stride: 1,
+                cold_methods: 5,
+                cold_pad: 110,
+            },
+            Microservice::Quarkus => FrameworkSpec {
+                pkg: "io.quarkus",
+                components: 70,
+                routes: 16,
+                handler_threads: 2,
+                // Build-time init: only every third component needs
+                // runtime wiring.
+                wire_stride: 3,
+                cold_methods: 4,
+                cold_pad: 90,
+            },
+            Microservice::Spring => FrameworkSpec {
+                pkg: "org.springframework",
+                components: 130,
+                routes: 40,
+                handler_threads: 3,
+                wire_stride: 1,
+                cold_methods: 6,
+                cold_pad: 120,
+            },
+        }
+    }
+
+    /// Builds the service program at the default microservice runtime
+    /// scale (a smaller runtime share, so framework startup dominates the
+    /// measurement, as in the paper's helloworld setup).
+    pub fn program(&self) -> Program {
+        let scale = RuntimeScale {
+            modules: 50,
+            ..RuntimeScale::default()
+        };
+        self.program_at(&scale)
+    }
+
+    /// Builds the service program with an explicit runtime scale.
+    pub fn program_at(&self, scale: &RuntimeScale) -> Program {
+        build_service(&self.spec(), scale)
+    }
+}
+
+fn build_service(spec: &FrameworkSpec, scale: &RuntimeScale) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let rt = install_runtime(&mut pb, scale);
+
+    // ---- framework substrate ------------------------------------------
+    let props = pb.add_class(&format!("{}.Props", spec.pkg), None);
+    let f_prop_key = pb.add_instance_field(props, "key", TypeRef::Int);
+    let f_prop_ord = pb.add_instance_field(props, "ord", TypeRef::Int);
+
+    let bean = pb.add_class(&format!("{}.Bean", spec.pkg), None);
+    let f_bean_id = pb.add_instance_field(bean, "id", TypeRef::Int);
+    let f_bean_name = pb.add_instance_field(bean, "name", TypeRef::Str);
+    let f_bean_dep = pb.add_instance_field(bean, "dep", TypeRef::Object(bean));
+    let f_bean_wired = pb.add_instance_field(bean, "wired", TypeRef::Bool);
+    let f_bean_props = pb.add_instance_field(
+        bean,
+        "props",
+        TypeRef::array_of(TypeRef::Object(props)),
+    );
+    // Some components keep their properties in an alternate field (a
+    // different container flavour); whether the bean occupying a registry
+    // slot does so depends on the shuffled initialization order, so the
+    // discovery path of its properties differs across builds — the same
+    // multiple-paths weakness the runtime library exhibits.
+    let f_bean_alt_props = pb.add_instance_field(
+        bean,
+        "altProps",
+        TypeRef::array_of(TypeRef::Object(props)),
+    );
+    let f_bean_blob = pb.add_instance_field(bean, "config", TypeRef::array_of(TypeRef::Int));
+
+    let route = pb.add_class(&format!("{}.Route", spec.pkg), None);
+    let f_route_path = pb.add_instance_field(route, "path", TypeRef::Str);
+    let f_route_handler = pb.add_instance_field(route, "handler", TypeRef::Int);
+
+    let container = pb.add_class(&format!("{}.Container", spec.pkg), None);
+    let f_beans = pb.add_static_field(
+        container,
+        "BEANS",
+        TypeRef::array_of(TypeRef::Object(bean)),
+    );
+    let f_nbeans = pb.add_static_field(container, "NBEANS", TypeRef::Int);
+    let f_routes = pb.add_static_field(
+        container,
+        "ROUTES",
+        TypeRef::array_of(TypeRef::Object(route)),
+    );
+    let f_cold = pb.add_static_field(container, "COLDINIT", TypeRef::Bool);
+    {
+        let cl = pb.declare_clinit(container);
+        let mut f = pb.body(cl);
+        let n = f.iconst(spec.components as i64 + 1);
+        let beans = f.new_array(TypeRef::Object(bean), n);
+        f.put_static(f_beans, beans);
+        let zero = f.iconst(0);
+        f.put_static(f_nbeans, zero);
+        let nr = f.iconst(spec.routes as i64);
+        let routes = f.new_array(TypeRef::Object(route), nr);
+        let from = f.iconst(0);
+        f.for_range(from, nr, |f, i| {
+            let r = f.new_object(route);
+            // Unique interned route paths dominate string content.
+            let path = f.sconst("/api/endpoint");
+            f.put_field(r, f_route_path, path);
+            f.put_field(r, f_route_handler, i);
+            f.array_set(routes, i, r);
+        });
+        f.put_static(f_routes, routes);
+        f.ret(None);
+        pb.finish_body(cl, f);
+    }
+    // The container must exist before any component registers; components
+    // then initialize in a shuffled (parallel) order among themselves.
+    let group = 9_000;
+    pb.set_init_group(container, group - 1);
+
+    // ---- components -----------------------------------------------------
+    let mut wire_methods: Vec<MethodId> = vec![];
+    let mut cold_refs: Vec<MethodId> = vec![];
+    for c in 0..spec.components {
+        let cls = pb.add_class(&format!("{}.c{c:03}.Component", spec.pkg), None);
+        pb.set_init_group(cls, group);
+
+        // clinit: allocate and register the bean (slot depends on the
+        // non-deterministic initializer order).
+        let cl = pb.declare_clinit(cls);
+        let mut f = pb.body(cl);
+        let b = f.new_object(bean);
+        let name = f.sconst(&format!("{}.c{c:03}.Component", spec.pkg));
+        f.put_field(b, f_bean_name, name);
+        let n = f.get_static(f_nbeans);
+        f.put_field(b, f_bean_id, n);
+        // Chain to the previously registered bean.
+        let zero = f.iconst(0);
+        let has_prev = f.gt(n, zero);
+        f.if_then(has_prev, |f| {
+            let beans = f.get_static(f_beans);
+            let one = f.iconst(1);
+            let prev_idx = f.sub(n, one);
+            let prev = f.array_get(beans, prev_idx);
+            f.put_field(b, f_bean_dep, prev);
+        });
+        // Per-component configuration properties; `ord` embeds the
+        // registration order (divergent content across builds).
+        let np = f.iconst(12);
+        let parr = f.new_array(TypeRef::Object(props), np);
+        let from = f.iconst(0);
+        f.for_range(from, np, |f, i| {
+            let pr = f.new_object(props);
+            f.put_field(pr, f_prop_key, i);
+            let ord = f.mul(n, i);
+            f.put_field(pr, f_prop_ord, ord);
+            f.array_set(parr, i, pr);
+        });
+        if c % 32 == 0 {
+            f.put_field(b, f_bean_alt_props, parr);
+        } else {
+            f.put_field(b, f_bean_props, parr);
+        }
+        // Cold per-component configuration payload (parsed lazily, never at
+        // startup) — it spaces the beans out across `.svm_heap` pages the
+        // way real framework metadata does.
+        let blob_len = f.iconst(480);
+        let blob = f.new_array(TypeRef::Int, blob_len);
+        let from = f.iconst(0);
+        f.for_range(from, blob_len, |f, i| {
+            let v = f.mul(i, i);
+            f.array_set(blob, i, v);
+        });
+        f.put_field(b, f_bean_blob, blob);
+        let beans = f.get_static(f_beans);
+        f.array_set(beans, n, b);
+        let one = f.iconst(1);
+        let n1 = f.add(n, one);
+        f.put_static(f_nbeans, n1);
+        f.ret(None);
+        pb.finish_body(cl, f);
+
+        // Hot wiring method (executed at startup for 1-in-wire_stride
+        // components).
+        let wire = pb.declare_static(cls, "wire", &[TypeRef::Int], Some(TypeRef::Int));
+        let mut f = pb.body(wire);
+        let slot = f.param(0);
+        let beans = f.get_static(f_beans);
+        let b = f.array_get(beans, slot);
+        let t = f.bconst(true);
+        f.put_field(b, f_bean_wired, t);
+        let dep = f.get_field(b, f_bean_dep);
+        let null = f.null();
+        let has_dep = f.bin(BinOp::Ne, dep, null);
+        let out = f.iconst(0);
+        f.if_then(has_dep, |f| {
+            let did = f.get_field(dep, f_bean_id);
+            f.assign(out, did);
+        });
+        // Read a few of this component's configuration properties; the
+        // occupant of this slot may keep them in either field.
+        let parr = f.local();
+        let primary = f.get_field(b, f_bean_props);
+        f.assign(parr, primary);
+        let null2 = f.null();
+        let missing = f.bin(BinOp::Eq, primary, null2);
+        f.if_then(missing, |f| {
+            let alt = f.get_field(b, f_bean_alt_props);
+            f.assign(parr, alt);
+        });
+        let from = f.iconst(0);
+        let three = f.iconst(3);
+        f.for_range(from, three, |f, i| {
+            let pr = f.array_get(parr, i);
+            let v = f.get_field(pr, f_prop_ord);
+            let s2 = f.add(out, v);
+            f.assign(out, s2);
+        });
+        f.ret(Some(out));
+        pb.finish_body(wire, f);
+        wire_methods.push(wire);
+
+        // Cold lifecycle methods.
+        for k in 0..spec.cold_methods {
+            let cold = pb.declare_static(cls, &format!("lifecycle{k}"), &[], Some(TypeRef::Int));
+            let mut f = pb.body(cold);
+            let s = f.sconst(&format!("{}.c{c:03}.lifecycle{k}", spec.pkg));
+            let len = f.str_len(s);
+            let d = f.dconst(c as f64 + k as f64 * 0.25);
+            let di = f.un(nimage_ir::UnOp::DoubleToInt, d);
+            let mut v = f.add(len, di);
+            for _ in 0..spec.cold_pad {
+                let one = f.iconst(1);
+                v = f.add(v, one);
+            }
+            f.ret(Some(v));
+            pb.finish_body(cold, f);
+            cold_refs.push(cold);
+        }
+    }
+
+    // ---- handler thread -------------------------------------------------
+    let server = pb.add_class(&format!("{}.Server", spec.pkg), None);
+
+    // handle(): scan the route table, read a bean, respond.
+    let handle = pb.declare_static(server, "handle", &[], None);
+    let mut f = pb.body(handle);
+    let routes = f.get_static(f_routes);
+    let n = f.array_len(routes);
+    let best = f.iconst(0);
+    let from = f.iconst(0);
+    f.for_range(from, n, |f, i| {
+        let r = f.array_get(routes, i);
+        let path = f.get_field(r, f_route_path);
+        let len = f.str_len(path);
+        let hid = f.get_field(r, f_route_handler);
+        let score = f.add(len, hid);
+        let better = f.gt(score, best);
+        f.if_then(better, |f| {
+            f.assign(best, score);
+        });
+    });
+    let beans = f.get_static(f_beans);
+    let zero = f.iconst(0);
+    let b0 = f.array_get(beans, zero);
+    let name = f.get_field(b0, f_bean_name);
+    let hello = f.sconst("Hello, World!");
+    let body = f.str_concat(hello, name);
+    let blen = f.str_len(body);
+    let status = f.iconst(200);
+    let _ = blen;
+    f.intrinsic(Intrinsic::Respond, &[status], false);
+    f.ret(None);
+    pb.finish_body(handle, f);
+
+    // worker(): wire a share of the container, then serve.
+    let worker = pb.declare_static(server, "worker", &[TypeRef::Int], None);
+    let mut f = pb.body(worker);
+    let tid = f.param(0);
+    let acc = f.iconst(0);
+    for (c, &wire) in wire_methods.iter().enumerate() {
+        if c % spec.wire_stride == 0 && c % spec.handler_threads == 0 {
+            // Thread 0's share is wired in the worker itself; other shares
+            // are wired by main before spawning. Keeping a per-thread share
+            // here gives handler threads their own first-touch pattern.
+            let slot = f.iconst(c as i64);
+            let v = f.call_static(wire, &[slot], true).unwrap();
+            let s = f.add(acc, v);
+            f.assign(acc, s);
+        }
+    }
+    let zero = f.iconst(0);
+    let first = f.eq(tid, zero);
+    f.if_then(first, |f| {
+        f.call_static(handle, &[], false);
+    });
+    // Park: wait for more requests (runs until the harness kills us).
+    f.while_loop(|f| f.bconst(true), |_f| {});
+    f.ret(None);
+    pb.finish_body(worker, f);
+
+    // main(): boot runtime, wire the non-thread share, keep cold code
+    // reachable, spawn handlers, park in the accept loop.
+    let main = pb.declare_static(server, "main", &[], None);
+    let mut f = pb.body(main);
+    let _boot = f.call_static(rt.boot, &[], true).unwrap();
+    let take_cold = f.get_static(f_cold);
+    f.if_then(take_cold, |f| {
+        for &m in &cold_refs {
+            f.call_static(m, &[], false);
+        }
+    });
+    let acc = f.iconst(0);
+    for (c, &wire) in wire_methods.iter().enumerate() {
+        if c % spec.wire_stride == 0 && c % spec.handler_threads != 0 {
+            let slot = f.iconst(c as i64);
+            let v = f.call_static(wire, &[slot], true).unwrap();
+            let s = f.add(acc, v);
+            f.assign(acc, s);
+        }
+    }
+    for t in 0..spec.handler_threads {
+        let tid = f.iconst(t as i64);
+        f.spawn(worker, &[tid]);
+    }
+    f.while_loop(|f| f.bconst(true), |_f| {});
+    f.ret(None);
+    pb.finish_body(main, f);
+    pb.set_entry(main);
+
+    pb.build().expect("service program validates")
+}

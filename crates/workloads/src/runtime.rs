@@ -1,0 +1,399 @@
+//! The synthetic "Native Image runtime internals".
+//!
+//! Real Native-Image binaries are dominated by runtime/JDK code and
+//! metadata: the paper observes that the heap snapshot "does not only
+//! contain the user-allocated objects but also many String literals, Class
+//! instances, metadata byte arrays, and maps that dominate the size", that
+//! benchmarks touch only ~4 % of snapshot objects, and that startup
+//! executes small pieces of *many* modules (Fig. 6 shows faults scattered
+//! across the whole `.text`).
+//!
+//! [`install_runtime`] reproduces that shape: `modules` modules, each with
+//!
+//! * a class initializer allocating per-module metadata (Meta instances, a
+//!   metadata blob array, interned name strings) and registering the module
+//!   in a shared registry whose contents depend on initializer order (all
+//!   module classes share one parallel-initialization group);
+//! * one small **hot init method** executed by `rt.Startup.boot` — these
+//!   are the scattered green cells of Fig. 6a;
+//! * several large **cold methods**, reachable behind a runtime-false flag,
+//!   full of unique string/double constants that drag objects into the
+//!   snapshot.
+
+use nimage_ir::{ClassId, FieldId, MethodId, ProgramBuilder, TypeRef};
+
+/// Knobs controlling the synthetic runtime size.
+#[derive(Debug, Clone)]
+pub struct RuntimeScale {
+    /// Number of runtime modules.
+    pub modules: usize,
+    /// Hot startup-init methods per module (all executed by `boot`).
+    pub hot_methods: usize,
+    /// Unrolled padding per hot method (instructions ≈ 9 bytes each).
+    pub hot_pad: usize,
+    /// Cold (reachable, never executed) methods per module.
+    pub cold_methods: usize,
+    /// Unrolled padding per cold method.
+    pub cold_pad: usize,
+    /// Metadata objects per module.
+    pub metas: usize,
+    /// Ints per metadata blob array (cold snapshot payload).
+    pub blob_len: usize,
+}
+
+impl Default for RuntimeScale {
+    fn default() -> Self {
+        RuntimeScale {
+            modules: 120,
+            hot_methods: 8,
+            hot_pad: 80,
+            cold_methods: 8,
+            cold_pad: 130,
+            metas: 48,
+            blob_len: 800,
+        }
+    }
+}
+
+impl RuntimeScale {
+    /// A smaller runtime for fast unit tests.
+    pub fn small() -> Self {
+        RuntimeScale {
+            modules: 16,
+            hot_methods: 3,
+            hot_pad: 30,
+            cold_methods: 3,
+            cold_pad: 60,
+            metas: 8,
+            blob_len: 64,
+        }
+    }
+}
+
+/// Handles into the installed runtime.
+#[derive(Debug, Clone)]
+pub struct RuntimeLib {
+    /// `rt.Startup.boot()`: the hot startup path — call this first in
+    /// `main` (and in every service thread entry).
+    pub boot: MethodId,
+    /// The registry class.
+    pub registry: ClassId,
+    /// `rt.Registry.COUNT`: number of registered modules (int).
+    pub count_field: FieldId,
+}
+
+/// Installs the synthetic runtime into a program under construction.
+pub fn install_runtime(pb: &mut ProgramBuilder, scale: &RuntimeScale) -> RuntimeLib {
+    let meta_cls = pb.add_class("rt.Meta", None);
+    let f_meta_id = pb.add_instance_field(meta_cls, "id", TypeRef::Int);
+    let f_meta_flags = pb.add_instance_field(meta_cls, "flags", TypeRef::Int);
+    let f_meta_name = pb.add_instance_field(meta_cls, "name", TypeRef::Str);
+
+    let module_cls = pb.add_class("rt.Module", None);
+    let f_mod_id = pb.add_instance_field(module_cls, "id", TypeRef::Int);
+    let f_mod_metas = pb.add_instance_field(
+        module_cls,
+        "metas",
+        TypeRef::array_of(TypeRef::Object(meta_cls)),
+    );
+    // A few modules store their metadata in an alternate field (think:
+    // a different container flavour). Whether the module occupying a given
+    // registry slot uses `metas` or `altMetas` depends on the shuffled
+    // initialization order, so the first discovery *path* of such a
+    // module's metadata differs across builds even though slot positions
+    // line up — the heap-path strategy's multiple-paths weakness.
+    let f_mod_alt = pb.add_instance_field(
+        module_cls,
+        "altMetas",
+        TypeRef::array_of(TypeRef::Object(meta_cls)),
+    );
+    let f_mod_blob = pb.add_instance_field(module_cls, "blob", TypeRef::array_of(TypeRef::Int));
+
+    let registry = pb.add_class("rt.Registry", None);
+    let f_modules = pb.add_static_field(
+        registry,
+        "MODULES",
+        TypeRef::array_of(TypeRef::Object(module_cls)),
+    );
+    let count_field = pb.add_static_field(registry, "COUNT", TypeRef::Int);
+    // A shared cache of metadata objects, *also* reachable through their
+    // owning modules. Its slot assignment follows initializer order, so the
+    // first discovery path of a cached object differs across builds — the
+    // heap-path strategy's documented weakness ("the same object may be
+    // reachable from multiple paths", Sec. 5.3).
+    let f_cache = pb.add_static_field(
+        registry,
+        "CACHE",
+        TypeRef::array_of(TypeRef::Object(meta_cls)),
+    );
+    let f_ccount = pb.add_static_field(registry, "CCOUNT", TypeRef::Int);
+    let f_cold = pb.add_static_field(registry, "COLD", TypeRef::Bool);
+    {
+        let cl = pb.declare_clinit(registry);
+        let mut f = pb.body(cl);
+        let n = f.iconst(scale.modules as i64 + 1);
+        let arr = f.new_array(TypeRef::Object(module_cls), n);
+        f.put_static(f_modules, arr);
+        let cache = f.new_array(TypeRef::Object(meta_cls), n);
+        f.put_static(f_cache, cache);
+        let zero = f.iconst(0);
+        f.put_static(count_field, zero);
+        f.put_static(f_ccount, zero);
+        f.ret(None);
+        pb.finish_body(cl, f);
+    }
+
+    // All module initializers run in one parallel-initialization group →
+    // registry slot assignment is build-order dependent (Sec. 2's
+    // non-determinism).
+    let group = 7_000;
+    pb.set_init_group(registry, group - 1);
+
+    // Shared helper methods, small enough to be inlined everywhere. Their
+    // method-entry events are what makes *method ordering* ambiguous
+    // (Sec. 4's a/b/c example): the profile names the helper, but the
+    // optimizing build must guess which CU copy the event belongs to.
+    let helpers_cls = pb.add_class("rt.internal.Helpers", None);
+    let n_helpers = scale.modules.max(8);
+    let mut helpers: Vec<MethodId> = vec![];
+    for k in 0..n_helpers {
+        let hm = pb.declare_static(
+            helpers_cls,
+            &format!("h{k:03}"),
+            &[TypeRef::Int],
+            Some(TypeRef::Int),
+        );
+        let mut f = pb.body(hm);
+        let x = f.param(0);
+        let c = f.iconst(k as i64 + 3);
+        let y = f.mul(x, c);
+        let one = f.iconst(1);
+        let z = f.add(y, one);
+        f.ret(Some(z));
+        pb.finish_body(hm, f);
+        helpers.push(hm);
+    }
+
+    let mut hot_inits: Vec<MethodId> = vec![];
+    for m in 0..scale.modules {
+        let cls = pb.add_class(&format!("rt.m{m:03}.Mod"), None);
+        pb.set_init_group(cls, group);
+
+        // <clinit>: allocate the module metadata and register it.
+        let cl = pb.declare_clinit(cls);
+        let mut f = pb.body(cl);
+        let module = f.new_object(module_cls);
+        let n_metas = f.iconst(scale.metas as i64);
+        let metas = f.new_array(TypeRef::Object(meta_cls), n_metas);
+        let from = f.iconst(0);
+        // The registration slot this module will get (read before the
+        // registration below bumps it) — build-order dependent.
+        let reg_slot = f.get_static(count_field);
+        f.for_range(from, n_metas, |f, i| {
+            let meta = f.new_object(meta_cls);
+            f.put_field(meta, f_meta_id, i);
+            // Most modules carry pure class data (stable across builds),
+            // but some modules embed their registration order into all of
+            // their metadata — hash seeds, registration indices — content a
+            // structural hash cannot match across builds.
+            let flags = if m % 15 == 0 {
+                let v = f.mul(reg_slot, i);
+                let k = f.iconst(7919);
+                f.add(v, k)
+            } else {
+                let tag = f.iconst(m as i64);
+                f.mul(tag, i)
+            };
+            f.put_field(meta, f_meta_flags, flags);
+            let name = f.sconst(&format!("rt.m{m:03}.meta"));
+            f.put_field(meta, f_meta_name, name);
+            f.array_set(metas, i, meta);
+        });
+        if m % 30 == 0 {
+            f.put_field(module, f_mod_alt, metas);
+        } else {
+            f.put_field(module, f_mod_metas, metas);
+        }
+        let blob_len = f.iconst(scale.blob_len as i64);
+        let blob = f.new_array(TypeRef::Int, blob_len);
+        let from = f.iconst(0);
+        f.for_range(from, blob_len, |f, i| {
+            let v = f.mul(i, i);
+            f.array_set(blob, i, v);
+        });
+        f.put_field(module, f_mod_blob, blob);
+        // The module's own id is stable across builds (it is part of the
+        // module's content, like a class name)…
+        let stable_id = f.iconst(m as i64);
+        f.put_field(module, f_mod_id, stable_id);
+        // …but the registry *slot* depends on initializer order, so the
+        // encounter order of module subtrees diverges across builds.
+        let count = f.get_static(count_field);
+        let arr = f.get_static(f_modules);
+        f.array_set(arr, count, module);
+        let one = f.iconst(1);
+        let next = f.add(count, one);
+        f.put_static(count_field, next);
+        // Publish meta[1] into the shared cache; the cache slot follows
+        // the (shuffled) initialization order.
+        let m1 = f.array_get(metas, one);
+        let cache = f.get_static(f_cache);
+        let ci = f.get_static(f_ccount);
+        f.array_set(cache, ci, m1);
+        let ci1 = f.add(ci, one);
+        f.put_static(f_ccount, ci1);
+        f.ret(None);
+        pb.finish_body(cl, f);
+
+        // Hot init methods: the startup path of this module. Each reads a
+        // few of the module's *small* metadata objects (the big blob stays
+        // cold, like metadata byte arrays that are present but not parsed
+        // at startup), then does some register-class/wire-encoding work.
+        for j in 0..scale.hot_methods {
+            let hot =
+                pb.declare_static(cls, &format!("init{j}"), &[TypeRef::Int], Some(TypeRef::Int));
+            let mut f = pb.body(hot);
+            let slot = f.param(0);
+            // Consult the shared cache first (this also makes the cache the
+            // first-discovered root during the image build's code scan).
+            let cache = f.get_static(f_cache);
+            let cached = f.array_get(cache, slot);
+            let cflags = f.get_field(cached, f_meta_flags);
+            let arr = f.get_static(f_modules);
+            let module = f.array_get(arr, slot);
+            // The occupant of this slot may keep its metadata in either
+            // field, depending on which module the (shuffled) registration
+            // order placed here.
+            let metas = f.local();
+            let primary = f.get_field(module, f_mod_metas);
+            f.assign(metas, primary);
+            let null = f.null();
+            let missing = f.bin(nimage_ir::BinOp::Eq, primary, null);
+            f.if_then(missing, |f| {
+                let alt = f.get_field(module, f_mod_alt);
+                f.assign(metas, alt);
+            });
+            let idx = f.iconst(j as i64);
+            let meta = f.array_get(metas, idx);
+            let flags = f.get_field(meta, f_meta_flags);
+            let id = f.get_field(meta, f_meta_id);
+            let mut v = f.add(flags, id);
+            v = f.add(v, cflags);
+            let helper = helpers[(m * scale.hot_methods + j) % n_helpers];
+            v = f.call_static(helper, &[v], true).unwrap();
+            for _ in 0..scale.hot_pad {
+                let one = f.iconst(1);
+                v = f.add(v, one);
+            }
+            f.ret(Some(v));
+            pb.finish_body(hot, f);
+            hot_inits.push(hot);
+        }
+
+        // Cold methods: big bodies with unique constants.
+        for k in 0..scale.cold_methods {
+            let cold = pb.declare_static(cls, &format!("cold{k}"), &[], Some(TypeRef::Int));
+            let mut f = pb.body(cold);
+            let s = f.sconst(&format!("rt.m{m:03}.cold{k}.message"));
+            let len = f.str_len(s);
+            let d = f.dconst(m as f64 * 1000.0 + k as f64 + 0.5);
+            let di = f.un(nimage_ir::UnOp::DoubleToInt, d);
+            let mut v = f.add(len, di);
+            for h in 0..4 {
+                let helper = helpers[(m * scale.cold_methods + k + h * 17) % n_helpers];
+                v = f.call_static(helper, &[v], true).unwrap();
+            }
+            for _ in 0..scale.cold_pad {
+                let one = f.iconst(1);
+                v = f.add(v, one);
+            }
+            f.ret(Some(v));
+            pb.finish_body(cold, f);
+        }
+    }
+
+    // rt.Startup.boot(): runs every module's hot init; keeps cold methods
+    // reachable behind a runtime-false flag.
+    let startup_cls = pb.add_class("rt.Startup", None);
+    let boot = pb.declare_static(startup_cls, "boot", &[], Some(TypeRef::Int));
+    let mut f = pb.body(boot);
+    let acc = f.iconst(0);
+    let take_cold = f.get_static(f_cold);
+    let mut cold_refs: Vec<MethodId> = vec![];
+    for m in 0..scale.modules {
+        let cls = pb
+            .program()
+            .class_by_name(&format!("rt.m{m:03}.Mod"))
+            .expect("module exists");
+        for &mid in &pb.program().class(cls).methods.clone() {
+            if pb.program().method(mid).name.starts_with("cold") {
+                cold_refs.push(mid);
+            }
+        }
+    }
+    f.if_then(take_cold, |f| {
+        for &m in &cold_refs {
+            let v = f.call_static(m, &[], true).unwrap();
+            let s = f.add(acc, v);
+            f.assign(acc, s);
+        }
+    });
+    for (k, &hot) in hot_inits.iter().enumerate() {
+        let slot = f.iconst((k / scale.hot_methods) as i64);
+        let v = f.call_static(hot, &[slot], true).unwrap();
+        let s = f.add(acc, v);
+        f.assign(acc, s);
+    }
+    f.ret(Some(acc));
+    pb.finish_body(boot, f);
+
+    pb.add_resource("META-INF/native-image/config.json", 4 * 1024);
+    pb.add_resource("META-INF/services/rt.Module", 512);
+
+    RuntimeLib {
+        boot,
+        registry,
+        count_field,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimage_analysis::{analyze, AnalysisConfig};
+
+    #[test]
+    fn runtime_installs_and_validates() {
+        let mut pb = ProgramBuilder::new();
+        let rt = install_runtime(&mut pb, &RuntimeScale::small());
+        // Attach a main that boots the runtime so the program validates
+        // with an entry point.
+        let c = pb.add_class("t.Main", None);
+        let main = pb.declare_static(c, "main", &[], Some(TypeRef::Int));
+        let mut f = pb.body(main);
+        let v = f.call_static(rt.boot, &[], true).unwrap();
+        f.ret(Some(v));
+        pb.finish_body(main, f);
+        pb.set_entry(main);
+        let p = pb.build().expect("runtime program validates");
+        let scale = RuntimeScale::small();
+        assert!(p.classes().len() > scale.modules);
+
+        let reach = analyze(&p, &AnalysisConfig::default());
+        // Cold methods are reachable...
+        let cold_reachable = reach
+            .methods
+            .iter()
+            .filter(|&&m| p.method(m).name.starts_with("cold"))
+            .count();
+        assert_eq!(cold_reachable, scale.modules * scale.cold_methods);
+        let hot_reachable = reach
+            .methods
+            .iter()
+            .filter(|&&m| p.method(m).name.starts_with("init"))
+            .count();
+        assert_eq!(hot_reachable, scale.modules * scale.hot_methods);
+        // ...and every module initializer runs at build time.
+        assert!(reach.build_time_inits.len() >= scale.modules);
+    }
+}

@@ -1,0 +1,58 @@
+//! Fig. 6-style page-map visualization for any AWFY benchmark: renders the
+//! `.text` and `.svm_heap` sections page by page, regular layout vs the
+//! combined `cu+heap path` layout.
+//!
+//! `#` = faulted (green in the paper), `+` = resident without fault (red),
+//! `.` = untouched (black).
+//!
+//! ```sh
+//! cargo run --release --example pagemap_viz -- [benchmark] [width]
+//! ```
+
+use nimage::vm::{render_ascii, summarize, StopWhen};
+use nimage::workloads::Awfy;
+use nimage::{BuildOptions, Pipeline, PipelineError, Strategy};
+
+fn main() -> Result<(), PipelineError> {
+    let wanted = std::env::args().nth(1).unwrap_or_else(|| "Bounce".into());
+    let width: usize = std::env::args()
+        .nth(2)
+        .and_then(|w| w.parse().ok())
+        .unwrap_or(64);
+    let bench = Awfy::all()
+        .into_iter()
+        .find(|b| b.name().eq_ignore_ascii_case(&wanted))
+        .unwrap_or_else(|| {
+            eprintln!("unknown benchmark {wanted}");
+            std::process::exit(2);
+        });
+
+    let program = bench.program();
+    let pipeline = Pipeline::new(&program, BuildOptions::default());
+    let artifacts = pipeline.profiling_run(StopWhen::Exit)?;
+
+    let variants = [
+        ("regular binary", None),
+        ("cu+heap path binary", Some(Strategy::CuPlusHeapPath)),
+    ];
+    for (label, strategy) in variants {
+        let image = pipeline.build_optimized(&artifacts, strategy)?;
+        let report = pipeline.run_image(&image, StopWhen::Exit)?;
+        for (section, states) in [
+            (".text", &report.text_page_states),
+            (".svm_heap", &report.heap_page_states),
+        ] {
+            let s = summarize(states);
+            println!(
+                "\n--- {} — {section} ({} pages: {} faulted, {} resident, {} untouched) ---",
+                label,
+                states.len(),
+                s.faulted,
+                s.resident,
+                s.untouched
+            );
+            println!("{}", render_ascii(states, width));
+        }
+    }
+    Ok(())
+}
