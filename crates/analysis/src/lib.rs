@@ -166,10 +166,8 @@ pub fn analyze(program: &Program, config: &AnalysisConfig) -> Reachability {
         for (bi, block) in method.blocks.iter().enumerate() {
             for (ii, instr) in block.instrs.iter().enumerate() {
                 match instr {
-                    Instr::New(_, c) => {
-                        if st.mark_instantiated(program, *c) {
-                            newly_instantiated.push(*c);
-                        }
+                    Instr::New(_, c) if st.mark_instantiated(program, *c) => {
+                        newly_instantiated.push(*c);
                     }
                     Instr::GetStatic(_, f) | Instr::PutStatic(f, _) => {
                         if st.sfield_seen.insert(*f) {

@@ -13,7 +13,9 @@ fn main() {
     let (pipeline, artifacts) = profile_program(&program, StopWhen::Exit, DumpMode::OnFull);
     let _ = eval_options(DumpMode::OnFull);
 
-    let baseline_img = pipeline.build_optimized(&artifacts, None).expect("baseline");
+    let baseline_img = pipeline
+        .build_optimized(&artifacts, None)
+        .expect("baseline");
     let baseline = pipeline
         .run_image(&baseline_img, StopWhen::Exit)
         .expect("baseline run");

@@ -37,7 +37,10 @@ fn modes() -> [(&'static str, InstrumentConfig); 3] {
 
 fn main() {
     println!("\n=== Sec. 7.4: tracing-profiler overhead factors ===");
-    println!("{:<12} {:>8} {:>8} {:>8}", "benchmark", "cu", "method", "heap");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8}",
+        "benchmark", "cu", "method", "heap"
+    );
     let mut cols: [Vec<f64>; 3] = [vec![], vec![], vec![]];
     for b in Awfy::all() {
         let program = b.program();

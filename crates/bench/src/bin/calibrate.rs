@@ -15,25 +15,54 @@ fn main() {
         print!("{:12}", b.name());
         for s in Strategy::all() {
             let e = pipe.evaluate_with(&artifacts, s, StopWhen::Exit).unwrap();
-            print!(" {}={:.2}/{:.2}", s.name(), e.reported_fault_reduction(), e.speedup(&cm));
+            print!(
+                " {}={:.2}/{:.2}",
+                s.name(),
+                e.reported_fault_reduction(),
+                e.speedup(&cm)
+            );
         }
-        println!("  [{:?} base faults t={} h={} ops={}] {:.1?}",
-            (), pipe.evaluate_with(&artifacts, Strategy::Cu, StopWhen::Exit).unwrap().baseline.faults.text,
-            pipe.evaluate_with(&artifacts, Strategy::Cu, StopWhen::Exit).unwrap().baseline.faults.svm_heap,
-            pipe.evaluate_with(&artifacts, Strategy::Cu, StopWhen::Exit).unwrap().baseline.ops,
-            t0.elapsed());
+        println!(
+            "  [{:?} base faults t={} h={} ops={}] {:.1?}",
+            (),
+            pipe.evaluate_with(&artifacts, Strategy::Cu, StopWhen::Exit)
+                .unwrap()
+                .baseline
+                .faults
+                .text,
+            pipe.evaluate_with(&artifacts, Strategy::Cu, StopWhen::Exit)
+                .unwrap()
+                .baseline
+                .faults
+                .svm_heap,
+            pipe.evaluate_with(&artifacts, Strategy::Cu, StopWhen::Exit)
+                .unwrap()
+                .baseline
+                .ops,
+            t0.elapsed()
+        );
     }
     for m in Microservice::all() {
         let p = m.program();
         let mut opts = BuildOptions::default();
-        opts.vm = VmConfig { dump_mode: DumpMode::MemoryMapped, ..VmConfig::default() };
+        opts.vm = VmConfig {
+            dump_mode: DumpMode::MemoryMapped,
+            ..VmConfig::default()
+        };
         let pipe = Pipeline::new(&p, opts);
         let t0 = std::time::Instant::now();
         let artifacts = pipe.profiling_run(StopWhen::FirstResponse).unwrap();
         print!("{:12}", m.name());
         for s in Strategy::all() {
-            let e = pipe.evaluate_with(&artifacts, s, StopWhen::FirstResponse).unwrap();
-            print!(" {}={:.2}/{:.2}", s.name(), e.reported_fault_reduction(), e.speedup(&cm));
+            let e = pipe
+                .evaluate_with(&artifacts, s, StopWhen::FirstResponse)
+                .unwrap();
+            print!(
+                " {}={:.2}/{:.2}",
+                s.name(),
+                e.reported_fault_reduction(),
+                e.speedup(&cm)
+            );
         }
         println!(" {:.1?}", t0.elapsed());
     }

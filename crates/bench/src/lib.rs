@@ -132,11 +132,7 @@ pub fn geomean(values: &[f64]) -> f64 {
 /// Prints a figure-style table: one row per workload, one column per
 /// strategy, using `metric` to extract the reported number, with a final
 /// geo.mean row (as under the paper's figures).
-pub fn print_table(
-    title: &str,
-    results: &[WorkloadRows],
-    metric: impl Fn(&Evaluation) -> f64,
-) {
+pub fn print_table(title: &str, results: &[WorkloadRows], metric: impl Fn(&Evaluation) -> f64) {
     println!("\n=== {title} ===");
     print!("{:<12}", "benchmark");
     for s in Strategy::all() {

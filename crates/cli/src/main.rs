@@ -8,18 +8,18 @@
 //! nimage inspect <image-file>                   dump a serialized image
 //! nimage pagemap <workload> [--strategy S] [--width N]
 //! nimage overhead <workload>                    Sec. 7.4 overhead factors
+//! nimage lint <workload> [--strategy S] [--report]
 //! nimage help
 //! ```
 
 mod args;
+mod quickstart;
 mod workload;
 
 use std::path::Path;
 use std::process::ExitCode;
 
-use nimage_core::{
-    load_profiles, save_profiles, BuildOptions, Pipeline, Strategy,
-};
+use nimage_core::{load_profiles, save_profiles, BuildOptions, Pipeline, Strategy};
 use nimage_profiler::{write_trace, DumpMode};
 use nimage_vm::{render_ascii, summarize, CostModel, VmConfig};
 
@@ -43,10 +43,14 @@ COMMANDS:
                                              Fig. 6-style page map of both sections
     heapstats <workload>                     snapshot composition + layout quality
     overhead <workload>                      profiling overhead factors (Sec. 7.4)
+    lint <workload> [--strategy S] [--report]
+                                             run the nimage-verify checkers over the whole
+                                             pipeline; non-zero exit on any error finding;
+                                             --report also prints layout-quality metrics
     help                                     this text
 
 STRATEGIES: cu, method, incremental-id, structural-hash, heap-path, cu+heap-path
-WORKLOADS:  the 14 AWFY benchmarks and micronaut/quarkus/spring (see `nimage list`)
+WORKLOADS:  the 14 AWFY benchmarks, micronaut/quarkus/spring, and `quickstart`
 ";
 
 fn strategy_of(name: &str) -> Result<Strategy, ArgError> {
@@ -107,6 +111,7 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "pagemap" => cmd_pagemap(&parsed),
         "heapstats" => cmd_heapstats(&parsed),
         "overhead" => cmd_overhead(&parsed),
+        "lint" => cmd_lint(&parsed),
         other => Err(ArgError(format!("unknown command {other}; try `nimage help`")).into()),
     }
 }
@@ -268,7 +273,11 @@ fn cmd_heapstats(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> 
     let snap = &built.snapshot;
 
     let stats = snap.stats();
-    println!(".svm_heap composition ({} objects, {} KiB):", stats.objects(), stats.bytes() / 1024);
+    println!(
+        ".svm_heap composition ({} objects, {} KiB):",
+        stats.objects(),
+        stats.bytes() / 1024
+    );
     for (name, (count, bytes)) in [
         ("instances", stats.instances),
         ("arrays", stats.arrays),
@@ -287,24 +296,12 @@ fn cmd_heapstats(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> 
         stats.roots[0], stats.roots[1], stats.roots[2], stats.roots[3], stats.roots[4]
     );
 
-    // Accessed set from the instrumented trace (raw ids are ObjId + 1).
     let trace = artifacts
         .instrumented_report
         .trace
         .as_ref()
         .expect("instrumented trace");
-    let mut accessed = std::collections::HashSet::new();
-    for t in &trace.threads {
-        for rec in t {
-            if let nimage_profiler::TraceRecord::Path { obj_ids, .. } = rec {
-                for &id in obj_ids {
-                    if id != 0 {
-                        accessed.insert(nimage_heap::ObjId((id - 1) as u32));
-                    }
-                }
-            }
-        }
-    }
+    let accessed = accessed_objects(trace);
     println!(
         "
 accessed at startup: {} of {} objects ({:.1}%)",
@@ -317,14 +314,192 @@ accessed at startup: {} of {} objects ({:.1}%)",
     let ids = nimage_order::assign_ids(&program, snap, nimage_order::HeapStrategy::HeapPath);
     let profile = &artifacts.heap_profiles[&nimage_order::HeapStrategy::HeapPath];
     let reordered = nimage_order::order_objects(snap, &ids, profile);
-    for (name, order) in [("default", &default_order), ("heap path", &reordered)] {
-        let q = nimage_order::layout_quality(snap, order, &accessed);
-        println!(
-            "  {name:<10} layout: span {:>6} KiB, density {:>5.1}%, {} runs",
+    print!(
+        "{}",
+        quality_report(
+            snap,
+            &[("default", &default_order), ("heap path", &reordered)],
+            &accessed,
+        )
+    );
+    Ok(())
+}
+
+/// Accessed-object set from an instrumented trace (raw ids are ObjId + 1;
+/// 0 marks accesses to objects outside the snapshot).
+fn accessed_objects(
+    trace: &nimage_profiler::Trace,
+) -> std::collections::HashSet<nimage_heap::ObjId> {
+    let mut accessed = std::collections::HashSet::new();
+    for t in &trace.threads {
+        for rec in t {
+            if let nimage_profiler::TraceRecord::Path { obj_ids, .. } = rec {
+                for &id in obj_ids {
+                    if id != 0 {
+                        accessed.insert(nimage_heap::ObjId((id - 1) as u32));
+                    }
+                }
+            }
+        }
+    }
+    accessed
+}
+
+/// Renders one `layout_quality` line per named object order.
+fn quality_report(
+    snap: &nimage_heap::HeapSnapshot,
+    orders: &[(&str, &[nimage_heap::ObjId])],
+    accessed: &std::collections::HashSet<nimage_heap::ObjId>,
+) -> String {
+    let mut out = String::new();
+    for (name, order) in orders {
+        let q = nimage_order::layout_quality(snap, order, accessed);
+        out.push_str(&format!(
+            "  {name:<12} layout: span {:>6} KiB, density {:>5.1}%, {} runs\n",
             q.span_bytes / 1024,
             q.density * 100.0,
             q.runs
+        ));
+    }
+    out
+}
+
+fn cmd_lint(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
+    use nimage_verify::{determinism::DeterminismInputs, irlint, pipeline as checks, Severity};
+
+    let workload = Workload::resolve(parsed.one_positional("workload")?)?;
+    let strategy = match parsed.option("strategy") {
+        Some(s) => strategy_of(s)?,
+        None => Strategy::CuPlusHeapPath,
+    };
+    let program = workload.program();
+    let pipeline = Pipeline::new(&program, pipeline_for(&workload));
+    let mut diags = vec![];
+
+    // Family 1: IR dataflow lints, then vtable soundness against the
+    // instrumented build's devirtualization.
+    diags.extend(irlint::lint_program(&program));
+    let built = pipeline.build_instrumented(nimage_compiler::InstrumentConfig::FULL)?;
+    diags.extend(irlint::lint_virtual_targets(
+        &program,
+        &built.compiled.reachability,
+    ));
+    diags.extend(checks::check_layout(&checks::LayoutView::from_image(
+        &program,
+        &built.compiled,
+        &built.snapshot,
+        &built.image,
+    )));
+
+    // Family 2: profiling-run invariants — trace well-formedness, identity
+    // collision audits, profile coverage, layout + matching contract of the
+    // optimized build.
+    eprintln!("profiling {} …", workload.name());
+    let artifacts = pipeline.profiling_run(workload.stop())?;
+    let trace = artifacts
+        .instrumented_report
+        .trace
+        .as_ref()
+        .ok_or("instrumented run produced no trace")?;
+    diags.extend(checks::check_trace(trace));
+
+    let coverage = checks::profile_coverage(&program, &built.compiled, &artifacts.cu_profile);
+    println!(
+        "profile coverage   : {}/{} profile signatures resolve, {}/{} CUs covered",
+        coverage.matched, coverage.profile_entries, coverage.covered, coverage.cus
+    );
+    diags.extend(checks::coverage_diagnostics(&coverage));
+
+    let mut heap_profiles: Vec<_> = artifacts.heap_profiles.iter().collect();
+    heap_profiles.sort_by_key(|(hs, _)| hs.name());
+    for (hs, profile) in heap_profiles {
+        let audit = checks::audit_ids(profile.ids.iter().copied());
+        println!(
+            "id audit ({:<15}): {} ids, {} distinct, worst multiplicity {}",
+            hs.name(),
+            audit.total,
+            audit.distinct,
+            audit.max_multiplicity
         );
+        diags.extend(checks::id_collision_diagnostics(
+            &audit,
+            &format!("heap profile ({})", hs.name()),
+        ));
+    }
+
+    let opt = pipeline.build_optimized(&artifacts, Some(strategy))?;
+    diags.extend(checks::check_layout(&checks::LayoutView::from_image(
+        &program,
+        &opt.compiled,
+        &opt.snapshot,
+        &opt.image,
+    )));
+    if let Some(hs) = strategy.heap_strategy() {
+        let ids = nimage_order::assign_ids(&program, &opt.snapshot, hs);
+        diags.extend(checks::id_collision_diagnostics(
+            &checks::audit_ids(ids.values().copied()),
+            &format!("optimized-build ids ({})", hs.name()),
+        ));
+        diags.extend(checks::check_matching(
+            &opt.snapshot,
+            &ids,
+            &artifacts.heap_profiles[&hs],
+            &opt.image.object_order,
+        ));
+    }
+
+    // Family 3: determinism audit over the back half of the pipeline.
+    let det = nimage_verify::audit_determinism(
+        &program,
+        &DeterminismInputs {
+            cu_profile: Some(&artifacts.cu_profile),
+            heap_profile: strategy
+                .heap_strategy()
+                .map(|hs| &artifacts.heap_profiles[&hs]),
+            heap_strategy: strategy.heap_strategy(),
+        },
+    );
+    let verdict = |ok: bool| if ok { "identical" } else { "DIFFERS" };
+    println!(
+        "determinism audit  : image {}, cu order {}, object order {}",
+        verdict(det.image_identical),
+        verdict(det.cu_order_identical),
+        verdict(det.object_order_identical)
+    );
+    diags.extend(det.diagnostics);
+
+    if parsed.has_flag("report") {
+        let accessed = accessed_objects(trace);
+        let default_order: Vec<nimage_heap::ObjId> =
+            opt.snapshot.entries().iter().map(|e| e.obj).collect();
+        print!(
+            "{}",
+            quality_report(
+                &opt.snapshot,
+                &[
+                    ("default", &default_order),
+                    (strategy.name(), &opt.image.object_order),
+                ],
+                &accessed,
+            )
+        );
+    }
+
+    for d in &diags {
+        println!("{d}");
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    println!(
+        "lint {}: {} error(s), {} warning(s)",
+        workload.name(),
+        errors,
+        diags.len() - errors
+    );
+    if errors > 0 {
+        return Err(format!("{errors} verification error(s)").into());
     }
     Ok(())
 }
@@ -378,5 +553,36 @@ trait JoinNames {
 impl<const N: usize> JoinNames for [String; N] {
     fn join(self, sep: &str) -> String {
         self.as_slice().join(sep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_report_smoke() {
+        let program = quickstart::program();
+        let pipeline = Pipeline::new(&program, BuildOptions::default());
+        let artifacts = pipeline
+            .profiling_run(nimage_vm::StopWhen::Exit)
+            .expect("quickstart profiles");
+        let built = pipeline
+            .build_instrumented(nimage_compiler::InstrumentConfig::FULL)
+            .expect("quickstart builds");
+        let trace = artifacts
+            .instrumented_report
+            .trace
+            .as_ref()
+            .expect("instrumented trace");
+        let accessed = accessed_objects(trace);
+        assert!(!accessed.is_empty(), "startup touches snapshot objects");
+
+        let default_order: Vec<nimage_heap::ObjId> =
+            built.snapshot.entries().iter().map(|e| e.obj).collect();
+        let report = quality_report(&built.snapshot, &[("default", &default_order)], &accessed);
+        assert!(report.contains("default"));
+        assert!(report.contains("density"));
+        assert!(report.contains("runs"));
     }
 }

@@ -1,0 +1,105 @@
+//! The quickstart demo program as a named CLI workload.
+//!
+//! Mirrors `examples/quickstart.rs`: a cold-but-reachable half, a hot
+//! half, and a heap snapshot built by a class initializer — the minimal
+//! shape on which binary reordering pays off. Exposed as the `quickstart`
+//! workload so `nimage lint quickstart` can exercise every verifier in CI
+//! without depending on the example binary.
+
+use nimage_ir::{Program, ProgramBuilder, TypeRef};
+
+/// Builds the quickstart demo program.
+pub fn program() -> Program {
+    let mut pb = ProgramBuilder::new();
+
+    let cell = pb.add_class("demo.Cell", None);
+    let cell_val = pb.add_instance_field(cell, "val", TypeRef::Int);
+    let data = pb.add_class("demo.Data", None);
+    let table = pb.add_static_field(data, "TABLE", TypeRef::array_of(TypeRef::Object(cell)));
+    let clinit = pb.declare_clinit(data);
+    let mut f = pb.body(clinit);
+    let n = f.iconst(8_000);
+    let arr = f.new_array(TypeRef::Object(cell), n);
+    let from = f.iconst(0);
+    f.for_range(from, n, |f, i| {
+        let c = f.new_object(cell);
+        let sq = f.mul(i, i);
+        f.put_field(c, cell_val, sq);
+        f.array_set(arr, i, c);
+    });
+    f.put_static(table, arr);
+    f.ret(None);
+    pb.finish_body(clinit, f);
+
+    let app = pb.add_class("demo.Main", None);
+    let cold_flag = pb.add_static_field(app, "COLD", TypeRef::Bool);
+    let mut workers = vec![];
+    for i in 0..60 {
+        let m = pb.declare_static(app, &format!("step{i:02}"), &[], Some(TypeRef::Int));
+        let mut f = pb.body(m);
+        let mut v = f.iconst(i);
+        for _ in 0..300 {
+            let one = f.iconst(1);
+            v = f.add(v, one);
+        }
+        f.ret(Some(v));
+        pb.finish_body(m, f);
+        workers.push(m);
+    }
+
+    let main = pb.declare_static(app, "main", &[], Some(TypeRef::Int));
+    let mut f = pb.body(main);
+    let acc = f.iconst(0);
+    // Keep everything reachable; execute only every fifth step.
+    let take_cold = f.get_static(cold_flag);
+    let cold: Vec<_> = workers
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 5 != 0)
+        .map(|(_, &m)| m)
+        .collect();
+    f.if_then(take_cold, |f| {
+        for &m in &cold {
+            let v = f.call_static(m, &[], true).unwrap();
+            let s = f.add(acc, v);
+            f.assign(acc, s);
+        }
+    });
+    for (i, &m) in workers.iter().enumerate() {
+        if i % 5 == 0 {
+            let v = f.call_static(m, &[], true).unwrap();
+            let s = f.add(acc, v);
+            f.assign(acc, s);
+        }
+    }
+    // Read a sparse sample of the snapshot.
+    let arr = f.get_static(table);
+    let len = f.array_len(arr);
+    let stride = f.iconst(400);
+    let i = f.iconst(0);
+    f.while_loop(
+        |f| f.lt(i, len),
+        |f| {
+            let c = f.array_get(arr, i);
+            let v = f.get_field(c, cell_val);
+            let s = f.add(acc, v);
+            f.assign(acc, s);
+            let next = f.add(i, stride);
+            f.assign(i, next);
+        },
+    );
+    f.ret(Some(acc));
+    pb.finish_body(main, f);
+    pb.set_entry(main);
+    pb.build().expect("quickstart program validates")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quickstart_program_builds() {
+        let p = super::program();
+        assert!(p.entry.is_some());
+        assert!(p.methods().len() > 60);
+    }
+}

@@ -14,6 +14,8 @@ pub enum Workload {
     Awfy(Awfy),
     /// A microservice helloworld (time to first response).
     Micro(Microservice),
+    /// The quickstart demo program (small; used by `nimage lint` in CI).
+    Quickstart,
 }
 
 impl Workload {
@@ -31,6 +33,7 @@ impl Workload {
     pub fn resolve(name: &str) -> Result<Workload, ArgError> {
         Self::awfy()
             .chain(Self::micro())
+            .chain(std::iter::once(Workload::Quickstart))
             .find(|w| w.name().eq_ignore_ascii_case(name))
             .ok_or_else(|| {
                 ArgError(format!(
@@ -44,6 +47,7 @@ impl Workload {
         match self {
             Workload::Awfy(b) => b.name(),
             Workload::Micro(m) => m.name(),
+            Workload::Quickstart => "quickstart",
         }
     }
 
@@ -52,13 +56,14 @@ impl Workload {
         match self {
             Workload::Awfy(b) => b.program(),
             Workload::Micro(m) => m.program(),
+            Workload::Quickstart => crate::quickstart::program(),
         }
     }
 
     /// When the measured run stops.
     pub fn stop(&self) -> StopWhen {
         match self {
-            Workload::Awfy(_) => StopWhen::Exit,
+            Workload::Awfy(_) | Workload::Quickstart => StopWhen::Exit,
             Workload::Micro(_) => StopWhen::FirstResponse,
         }
     }
@@ -66,7 +71,7 @@ impl Workload {
     /// The trace-buffer dump mode the paper uses for this workload class.
     pub fn dump_mode(&self) -> DumpMode {
         match self {
-            Workload::Awfy(_) => DumpMode::OnFull,
+            Workload::Awfy(_) | Workload::Quickstart => DumpMode::OnFull,
             Workload::Micro(_) => DumpMode::MemoryMapped,
         }
     }
@@ -78,14 +83,8 @@ mod tests {
 
     #[test]
     fn resolves_case_insensitively() {
-        assert_eq!(
-            Workload::resolve("bounce").unwrap().name(),
-            "Bounce"
-        );
-        assert_eq!(
-            Workload::resolve("SPRING").unwrap().name(),
-            "spring"
-        );
+        assert_eq!(Workload::resolve("bounce").unwrap().name(), "Bounce");
+        assert_eq!(Workload::resolve("SPRING").unwrap().name(), "spring");
         assert!(Workload::resolve("nope").is_err());
     }
 
@@ -102,5 +101,13 @@ mod tests {
     #[test]
     fn seventeen_workloads_total() {
         assert_eq!(Workload::awfy().count() + Workload::micro().count(), 17);
+    }
+
+    #[test]
+    fn quickstart_resolves() {
+        assert_eq!(
+            Workload::resolve("quickstart").unwrap().name(),
+            "quickstart"
+        );
     }
 }

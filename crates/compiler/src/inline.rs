@@ -131,11 +131,7 @@ pub fn compile(
 
 /// The single analysis-time target of a call site, if the call is direct
 /// (static) or monomorphic.
-fn direct_target(
-    reach: &Reachability,
-    callee: &Callee,
-    site: CallSite,
-) -> Option<MethodId> {
+fn direct_target(reach: &Reachability, callee: &Callee, site: CallSite) -> Option<MethodId> {
     match callee {
         Callee::Static(m) => Some(*m),
         Callee::Virtual { .. } => match reach.virtual_targets.get(&site) {
@@ -233,10 +229,8 @@ fn build_cu(
             }
             let recursive = w.path.contains(&target) || target == w.method;
             let fits_budget = cu_size.saturating_add(callee_size) <= cfg.cu_budget;
-            let inline = !recursive
-                && w.depth < cfg.max_depth
-                && callee_size <= threshold
-                && fits_budget;
+            let inline =
+                !recursive && w.depth < cfg.max_depth && callee_size <= threshold && fits_budget;
             if inline {
                 let mut path = w.path.clone();
                 path.push(w.method);
@@ -326,12 +320,20 @@ mod tests {
         assert_eq!(main_cu.nodes.len(), 3);
         // big gets its own CU.
         let big = p.class_by_name("t.Main").unwrap();
-        let big_m = p.class(big).methods.iter().copied()
+        let big_m = p
+            .class(big)
+            .methods
+            .iter()
+            .copied()
             .find(|&m| p.method(m).name == "big")
             .unwrap();
         assert!(cp.cu_of_root(big_m).is_some());
         // helper and leaf do NOT get own CUs (inlined everywhere).
-        let helper_m = p.class(big).methods.iter().copied()
+        let helper_m = p
+            .class(big)
+            .methods
+            .iter()
+            .copied()
             .find(|&m| p.method(m).name == "helper")
             .unwrap();
         assert!(cp.cu_of_root(helper_m).is_none());
@@ -348,13 +350,7 @@ mod tests {
             inline_threshold: 40,
             ..InlineConfig::default()
         };
-        let instrumented = compile(
-            &p,
-            reach,
-            &tight,
-            InstrumentConfig::FULL,
-            None,
-        );
+        let instrumented = compile(&p, reach, &tight, InstrumentConfig::FULL, None);
         // The instrumented build must not produce the identical CU set.
         let sigs = |cp: &CompiledProgram| cp.root_signatures(&p);
         assert_ne!(sigs(&regular), sigs(&instrumented));
@@ -413,10 +409,7 @@ mod tests {
         let rec_cu = cp.cu(cp.cu_of_root(rec).unwrap());
         // rec inlined into main once at most; within its own CU, rec must
         // not contain another copy of itself.
-        assert_eq!(
-            rec_cu.nodes.iter().filter(|n| n.method == rec).count(),
-            1
-        );
+        assert_eq!(rec_cu.nodes.iter().filter(|n| n.method == rec).count(), 1);
     }
 
     #[test]
@@ -434,8 +427,11 @@ mod tests {
         let p = chain_program(100);
         let cp = compile_default(&p, InstrumentConfig::FULL);
         for cu in &cp.cus {
-            let mut spans: Vec<(u32, u32)> =
-                cu.nodes.iter().map(|n| (n.offset, n.offset + n.size)).collect();
+            let mut spans: Vec<(u32, u32)> = cu
+                .nodes
+                .iter()
+                .map(|n| (n.offset, n.offset + n.size))
+                .collect();
             spans.sort();
             for w in spans.windows(2) {
                 assert!(w[0].1 <= w[1].0, "overlapping inline-node spans");

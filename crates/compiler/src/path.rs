@@ -273,7 +273,7 @@ impl PathNumbering {
                         continue;
                     }
                     let w = num_paths[s.index()];
-                    if best.map_or(true, |(_, bw)| w > bw) {
+                    if best.is_none_or(|(_, bw)| w > bw) {
                         best = Some((e, w));
                     }
                 }
@@ -338,7 +338,7 @@ impl PathNumbering {
                     continue;
                 }
                 let inc = self.increment(cur, s);
-                if inc <= rem && next.map_or(true, |(_, bi)| inc >= bi) {
+                if inc <= rem && next.is_none_or(|(_, bi)| inc >= bi) {
                     next = Some((s, inc));
                 }
             }
@@ -493,11 +493,11 @@ mod tests {
         // The body→header edge must be cut; without cuts, a cyclic graph
         // could not be numbered at all.
         assert!(num.max_num_paths() >= 1);
-        let has_cut = cfg
-            .minis()
-            .iter()
-            .enumerate()
-            .any(|(i, mb)| mb.succs.iter().any(|&s| num.is_cut(MiniBlockId(i as u32), s)));
+        let has_cut = cfg.minis().iter().enumerate().any(|(i, mb)| {
+            mb.succs
+                .iter()
+                .any(|&s| num.is_cut(MiniBlockId(i as u32), s))
+        });
         assert!(has_cut);
     }
 
@@ -548,8 +548,14 @@ mod tests {
         let events = &cfg.mini(cfg.entry()).events;
         assert_eq!(events.len(), 3); // MethodEntry + 2 accesses
         assert_eq!(events[0], StaticEvent::MethodEntry);
-        assert!(matches!(events[1], StaticEvent::HeapAccess { instr: 0, .. }));
-        assert!(matches!(events[2], StaticEvent::HeapAccess { instr: 1, .. }));
+        assert!(matches!(
+            events[1],
+            StaticEvent::HeapAccess { instr: 0, .. }
+        ));
+        assert!(matches!(
+            events[2],
+            StaticEvent::HeapAccess { instr: 1, .. }
+        ));
     }
 
     /// A chain of k diamonds has 2^k paths; the limit must force cuts.

@@ -114,7 +114,7 @@ mod tests {
     }
 
     #[test]
-    fn malformed_csv_lines_are_ignored(){
+    fn malformed_csv_lines_are_ignored() {
         let prof = CallCountProfile::from_csv("garbage\nno comma here\nok.Sig(0),3\n");
         assert_eq!(prof.len(), 1);
     }

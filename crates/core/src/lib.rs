@@ -46,9 +46,7 @@ use std::error::Error;
 use std::fmt;
 
 use nimage_analysis::{analyze, AnalysisConfig};
-use nimage_compiler::{
-    compile, CallCountProfile, CompiledProgram, InlineConfig, InstrumentConfig,
-};
+use nimage_compiler::{compile, CallCountProfile, CompiledProgram, InlineConfig, InstrumentConfig};
 use nimage_heap::{snapshot, ClinitError, HeapBuildConfig, HeapSnapshot};
 use nimage_image::{BinaryImage, ImageOptions};
 use nimage_ir::Program;
@@ -57,6 +55,7 @@ use nimage_order::{
     CuOrderAnalysis, HeapOrderAnalysis, HeapOrderProfile, HeapStrategy, MethodOrderAnalysis,
     OrderingAnalysis, ReplayError,
 };
+use nimage_verify::{errors_of, irlint, pipeline as checks, Diagnostic};
 use nimage_vm::{CostModel, RunReport, StopWhen, Vm, VmConfig, VmError};
 
 /// An ordering strategy of the paper (Sec. 4, Sec. 5, and the combined
@@ -156,6 +155,12 @@ pub struct BuildOptions {
     /// instrumented run's first-touch order. Off by default, so the
     /// headline experiments match the paper's setup.
     pub reorder_native: bool,
+    /// Run the `nimage-verify` checkers on every build stage: IR lints and
+    /// vtable soundness before building, layout invariants on every built
+    /// image, trace well-formedness on every profiling run. Any
+    /// error-severity finding aborts the pipeline with
+    /// [`PipelineError::Verify`].
+    pub verify: bool,
 }
 
 impl Default for BuildOptions {
@@ -176,6 +181,7 @@ impl Default for BuildOptions {
             },
             vm: VmConfig::default(),
             reorder_native: false,
+            verify: false,
         }
     }
 }
@@ -241,7 +247,10 @@ impl Evaluation {
     /// `.svm_heap` page-fault reduction factor (Fig. 2/3's metric for heap
     /// strategies).
     pub fn heap_fault_reduction(&self) -> f64 {
-        ratio(self.baseline.faults.svm_heap, self.optimized.faults.svm_heap)
+        ratio(
+            self.baseline.faults.svm_heap,
+            self.optimized.faults.svm_heap,
+        )
     }
 
     /// Combined fault reduction over both sections (the `cu+heap path`
@@ -286,6 +295,9 @@ pub enum PipelineError {
     Replay(ReplayError),
     /// The instrumented run produced no trace.
     NoTrace,
+    /// A `nimage-verify` checker found broken invariants (only raised when
+    /// [`BuildOptions::verify`] is set).
+    Verify(Vec<Diagnostic>),
 }
 
 impl fmt::Display for PipelineError {
@@ -295,6 +307,13 @@ impl fmt::Display for PipelineError {
             PipelineError::Vm(e) => write!(f, "execution failed: {e}"),
             PipelineError::Replay(e) => write!(f, "trace post-processing failed: {e}"),
             PipelineError::NoTrace => write!(f, "instrumented run produced no trace"),
+            PipelineError::Verify(diags) => {
+                write!(f, "verification failed with {} finding(s):", diags.len())?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -370,13 +389,11 @@ impl<'p> Pipeline<'p> {
     ///
     /// # Errors
     /// Fails if build-time initializers fail.
-    pub fn build_instrumented(
-        &self,
-        instr: InstrumentConfig,
-    ) -> Result<BuiltImage, PipelineError> {
+    pub fn build_instrumented(&self, instr: InstrumentConfig) -> Result<BuiltImage, PipelineError> {
         let compiled = self.compile_with(instr, None);
         let snap = snapshot(self.program, &compiled, &self.opts.heap_instrumented)?;
         let image = BinaryImage::build(&compiled, &snap, None, None, self.opts.image.clone());
+        self.verify_built(&compiled, &snap, &image)?;
         Ok(BuiltImage {
             compiled,
             snapshot: snap,
@@ -388,7 +405,11 @@ impl<'p> Pipeline<'p> {
     ///
     /// # Errors
     /// Propagates VM errors.
-    pub fn run_image(&self, built: &BuiltImage, stop: StopWhen) -> Result<RunReport, PipelineError> {
+    pub fn run_image(
+        &self,
+        built: &BuiltImage,
+        stop: StopWhen,
+    ) -> Result<RunReport, PipelineError> {
         Ok(Vm::new(
             self.program,
             &built.compiled,
@@ -408,6 +429,12 @@ impl<'p> Pipeline<'p> {
         let built = self.build_instrumented(InstrumentConfig::FULL)?;
         let report = self.run_image(&built, stop)?;
         let trace = report.trace.clone().ok_or(PipelineError::NoTrace)?;
+        if self.opts.verify {
+            let errors = errors_of(&checks::check_trace(&trace));
+            if !errors.is_empty() {
+                return Err(PipelineError::Verify(errors));
+            }
+        }
 
         let heap_strategies = [
             HeapStrategy::IncrementalId,
@@ -502,6 +529,7 @@ impl<'p> Pipeline<'p> {
                 image.native_pages() as u32,
             ));
         }
+        self.verify_built(&compiled, &snap, &image)?;
         Ok(BuiltImage {
             compiled,
             snapshot: snap,
@@ -509,12 +537,47 @@ impl<'p> Pipeline<'p> {
         })
     }
 
+    /// When [`BuildOptions::verify`] is set, runs the `nimage-verify`
+    /// build-stage checkers (IR lints, vtable soundness, layout invariants)
+    /// and fails on any error-severity finding.
+    fn verify_built(
+        &self,
+        compiled: &CompiledProgram,
+        snap: &HeapSnapshot,
+        image: &BinaryImage,
+    ) -> Result<(), PipelineError> {
+        if !self.opts.verify {
+            return Ok(());
+        }
+        let mut diags = irlint::lint_program(self.program);
+        diags.extend(irlint::lint_virtual_targets(
+            self.program,
+            &compiled.reachability,
+        ));
+        diags.extend(checks::check_layout(&checks::LayoutView::from_image(
+            self.program,
+            compiled,
+            snap,
+            image,
+        )));
+        let errors = errors_of(&diags);
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(PipelineError::Verify(errors))
+        }
+    }
+
     /// Runs the complete experiment for one strategy: profile, build the
     /// baseline and the reordered optimized image, run both.
     ///
     /// # Errors
     /// Propagates any pipeline stage failure.
-    pub fn evaluate(&self, strategy: Strategy, stop: StopWhen) -> Result<Evaluation, PipelineError> {
+    pub fn evaluate(
+        &self,
+        strategy: Strategy,
+        stop: StopWhen,
+    ) -> Result<Evaluation, PipelineError> {
         let artifacts = self.profiling_run(stop)?;
         self.evaluate_with(&artifacts, strategy, stop)
     }
@@ -675,8 +738,7 @@ mod tests {
     fn default_build_options_model_cross_build_divergence() {
         let opts = BuildOptions::default();
         assert_ne!(
-            opts.heap_instrumented.clinit_seed,
-            opts.heap_optimized.clinit_seed,
+            opts.heap_instrumented.clinit_seed, opts.heap_optimized.clinit_seed,
             "builds must not share initializer order"
         );
         assert!(!opts.heap_instrumented.pea_fold);

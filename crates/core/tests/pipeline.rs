@@ -3,11 +3,11 @@
 //! large mostly-untouched heap snapshot, and a hot path that touches a
 //! scattered subset of both.
 
+use nimage_compiler::InlineConfig;
 use nimage_compiler::InstrumentConfig;
 use nimage_core::{BuildOptions, Pipeline, Strategy};
 use nimage_ir::{Program, ProgramBuilder, TypeRef};
 use nimage_vm::{CostModel, PagingConfig, StopWhen, VmConfig};
-use nimage_compiler::InlineConfig;
 
 /// Builds the synthetic workload:
 /// * `lib.Registry.<clinit>` allocates 2000 small objects into an array
@@ -166,7 +166,8 @@ fn every_strategy_preserves_semantics_and_reduces_its_fault_metric() {
             .evaluate_with(&artifacts, strategy, StopWhen::Exit)
             .unwrap();
         assert_eq!(
-            eval.baseline.entry_return, eval.optimized.entry_return,
+            eval.baseline.entry_return,
+            eval.optimized.entry_return,
             "{}: reordering must not change results",
             strategy.name()
         );

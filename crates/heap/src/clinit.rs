@@ -15,9 +15,7 @@
 use std::error::Error;
 use std::fmt;
 
-use nimage_ir::{
-    BinOp, Callee, Instr, Intrinsic, MethodId, Program, Terminator, UnOp,
-};
+use nimage_ir::{BinOp, Callee, Instr, Intrinsic, MethodId, Program, Terminator, UnOp};
 
 use crate::object::{BuildHeap, HObjectKind, HValue, ObjId};
 
@@ -169,7 +167,11 @@ pub fn exec_method(
                         })
                     }
                 };
-                block = if c { then_blk.index() } else { else_blk.index() };
+                block = if c {
+                    then_blk.index()
+                } else {
+                    else_blk.index()
+                };
             }
         }
     }
@@ -200,8 +202,8 @@ fn exec_instr(
         Instr::ConstNull(d) => locals[d.index()] = HValue::Null,
         Instr::Move(d, s) => locals[d.index()] = locals[s.index()],
         Instr::Bin(op, d, a, b) => {
-            locals[d.index()] = eval_bin(*op, locals[a.index()], locals[b.index()])
-                .ok_or_else(|| match op {
+            locals[d.index()] =
+                eval_bin(*op, locals[a.index()], locals[b.index()]).ok_or_else(|| match op {
                     BinOp::Div | BinOp::Rem => ClinitError::DivisionByZero { method: sig() },
                     _ => type_err(format!("{op:?} on incompatible operands")),
                 })?;
@@ -353,7 +355,8 @@ fn as_int(v: HValue) -> Option<i64> {
 }
 
 fn deref(v: HValue, sig: &dyn Fn() -> String) -> Result<ObjId, ClinitError> {
-    v.as_ref().ok_or_else(|| ClinitError::NullDeref { method: sig() })
+    v.as_ref()
+        .ok_or_else(|| ClinitError::NullDeref { method: sig() })
 }
 
 fn field_slot(
@@ -536,7 +539,11 @@ mod tests {
         let c = pb.add_class("t.C", None);
         build(&mut pb, c);
         let p = pb.build().unwrap();
-        let inits: Vec<MethodId> = p.class(p.class_by_name("t.C").unwrap()).clinit.into_iter().collect();
+        let inits: Vec<MethodId> = p
+            .class(p.class_by_name("t.C").unwrap())
+            .clinit
+            .into_iter()
+            .collect();
         let heap = run_initializers(&p, &inits, StepBudget::default()).unwrap();
         (p, heap)
     }
@@ -673,9 +680,8 @@ mod tests {
             f.ret(None);
             pb.finish_body(cl, f);
         });
-        let has_a7 = (0..heap.len()).any(|i| {
-            matches!(&heap.get(ObjId(i as u32)).kind, HObjectKind::Str(s) if s == "a7")
-        });
+        let has_a7 = (0..heap.len())
+            .any(|i| matches!(&heap.get(ObjId(i as u32)).kind, HObjectKind::Str(s) if s == "a7"));
         assert!(has_a7);
     }
 }

@@ -40,6 +40,5 @@ mod snapshot;
 pub use clinit::{exec_method, run_initializers, ClinitError, StepBudget};
 pub use object::{BuildHeap, HObject, HObjectKind, HValue, ObjId};
 pub use snapshot::{
-    snapshot, HeapBuildConfig, HeapSnapshot, InclusionReason, ParentLink, SnapEntry,
-    SnapshotStats,
+    snapshot, HeapBuildConfig, HeapSnapshot, InclusionReason, ParentLink, SnapEntry, SnapshotStats,
 };

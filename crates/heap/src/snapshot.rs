@@ -275,19 +275,19 @@ pub fn snapshot(
             for block in &method.blocks {
                 for ins in &block.instrs {
                     match ins {
-                        Instr::GetStatic(_, f) | Instr::PutStatic(f, _) => {
-                            if rooted_fields.insert(*f) {
-                                if let Some(o) = heap.static_value(program, *f).as_ref() {
-                                    include(
-                                        &heap,
-                                        program,
-                                        &mut entries,
-                                        &mut index_of,
-                                        o,
-                                        InclusionReason::StaticField(program.field_signature(*f)),
-                                        Some(cu.id),
-                                    );
-                                }
+                        Instr::GetStatic(_, f) | Instr::PutStatic(f, _)
+                            if rooted_fields.insert(*f) =>
+                        {
+                            if let Some(o) = heap.static_value(program, *f).as_ref() {
+                                include(
+                                    &heap,
+                                    program,
+                                    &mut entries,
+                                    &mut index_of,
+                                    o,
+                                    InclusionReason::StaticField(program.field_signature(*f)),
+                                    Some(cu.id),
+                                );
                             }
                         }
                         Instr::ConstStr(_, s) => {
@@ -421,8 +421,12 @@ fn apply_pea_folding(
         };
         // Build-dependent fold decision: the hash mixes the seed with the
         // entry's *position*, which itself differs across builds.
-        let h = fnv_mix(cfg.pea_seed, i as u64, snap.heap.get(e.obj).size_bytes() as u64);
-        if h % divisor == 0 {
+        let h = fnv_mix(
+            cfg.pea_seed,
+            i as u64,
+            snap.heap.get(e.obj).size_bytes() as u64,
+        );
+        if h.is_multiple_of(divisor) {
             folded.insert(e.obj);
         }
     }
@@ -519,7 +523,13 @@ mod tests {
 
     fn build(p: &Program, cfg: &HeapBuildConfig) -> HeapSnapshot {
         let reach = analyze(p, &AnalysisConfig::default());
-        let cp = compile(p, reach, &InlineConfig::default(), InstrumentConfig::NONE, None);
+        let cp = compile(
+            p,
+            reach,
+            &InlineConfig::default(),
+            InstrumentConfig::NONE,
+            None,
+        );
         snapshot(p, &cp, cfg).unwrap()
     }
 
@@ -644,10 +654,10 @@ mod tests {
         assert!(folded.entries().len() < base.entries().len());
         assert!(!folded.folded().is_empty());
         // Some child of a folded object must have been re-rooted.
-        assert!(folded.entries().iter().any(|e| matches!(
-            e.root,
-            Some(InclusionReason::MethodConstant(_))
-        )));
+        assert!(folded
+            .entries()
+            .iter()
+            .any(|e| matches!(e.root, Some(InclusionReason::MethodConstant(_)))));
         // No entry's parent refers to a folded object.
         for e in folded.entries() {
             if let Some((parent, _)) = e.parent {
@@ -809,7 +819,13 @@ mod stats_tests {
         pb.add_resource("cfg", 64);
         let p = pb.build().unwrap();
         let reach = analyze(&p, &AnalysisConfig::default());
-        let cp = compile(&p, reach, &InlineConfig::default(), InstrumentConfig::NONE, None);
+        let cp = compile(
+            &p,
+            reach,
+            &InlineConfig::default(),
+            InstrumentConfig::NONE,
+            None,
+        );
         let snap = snapshot(&p, &cp, &HeapBuildConfig::default()).unwrap();
 
         let stats = snap.stats();

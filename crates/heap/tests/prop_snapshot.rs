@@ -17,11 +17,7 @@ fn registry_program(chains: usize, depth: usize, blobs: usize) -> Program {
     let f_next = pb.add_instance_field(node, "next", TypeRef::Object(node));
     let f_val = pb.add_instance_field(node, "val", TypeRef::Int);
     let holder = pb.add_class("p.Holder", None);
-    let f_heads = pb.add_static_field(
-        holder,
-        "HEADS",
-        TypeRef::array_of(TypeRef::Object(node)),
-    );
+    let f_heads = pb.add_static_field(holder, "HEADS", TypeRef::array_of(TypeRef::Object(node)));
     let f_blob = pb.add_static_field(holder, "BLOB", TypeRef::array_of(TypeRef::Int));
     let cl = pb.declare_clinit(holder);
     let mut f = pb.body(cl);

@@ -1,6 +1,6 @@
 //! Section layout of the binary image.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use nimage_compiler::{CompiledProgram, CuId};
 use nimage_heap::{HeapSnapshot, ObjId};
@@ -71,12 +71,13 @@ pub struct BinaryImage {
     pub svm_heap: SectionSpan,
     /// CU layout order.
     pub cu_order: Vec<CuId>,
-    /// Absolute offset of each CU, by layout order index.
-    cu_offsets: HashMap<CuId, u64>,
+    /// Absolute offset of each CU, by layout order index. A `BTreeMap` so
+    /// that iterating offsets can never depend on hasher state.
+    cu_offsets: BTreeMap<CuId, u64>,
     /// Object layout order (snapshot entries).
     pub object_order: Vec<ObjId>,
     /// Absolute offset of each object.
-    object_offsets: HashMap<ObjId, u64>,
+    object_offsets: BTreeMap<ObjId, u64>,
     /// Total image size in bytes.
     pub total_size: u64,
     /// Absolute offset where the native tail begins (page-aligned).
@@ -131,7 +132,7 @@ impl BinaryImage {
             "object order must cover every snapshot entry exactly once"
         );
 
-        let mut cu_offsets = HashMap::new();
+        let mut cu_offsets = BTreeMap::new();
         let mut cursor = 0u64;
         for &cu in &cu_order {
             cursor = align_up(cursor, options.cu_align);
@@ -147,7 +148,7 @@ impl BinaryImage {
         };
 
         let heap_start = align_up(text.end(), options.page_size);
-        let mut object_offsets = HashMap::new();
+        let mut object_offsets = BTreeMap::new();
         let mut cursor = heap_start;
         for &obj in &object_order {
             cursor = align_up(cursor, options.obj_align);
@@ -161,6 +162,24 @@ impl BinaryImage {
             offset: heap_start,
             size: cursor - heap_start,
         };
+
+        // Construction-site mirror of the invariants nimage-verify's layout
+        // checker enforces on the finished image.
+        debug_assert_eq!(native_start % options.page_size, 0);
+        debug_assert_eq!(svm_heap.offset % options.page_size, 0);
+        debug_assert!(svm_heap.offset >= text.end(), "sections overlap");
+        debug_assert!(
+            cu_order
+                .iter()
+                .all(|&cu| cu_offsets[&cu] + u64::from(compiled.cu(cu).size) <= native_start),
+            "a CU placement reaches into the native tail"
+        );
+        debug_assert!(
+            object_order
+                .iter()
+                .all(|&o| object_offsets[&o] >= heap_start),
+            "an object placement falls outside the heap section"
+        );
 
         BinaryImage {
             total_size: svm_heap.end(),
@@ -313,7 +332,13 @@ mod tests {
 
     fn build_all(p: &Program) -> (nimage_compiler::CompiledProgram, nimage_heap::HeapSnapshot) {
         let reach = analyze(p, &AnalysisConfig::default());
-        let cp = compile(p, reach, &InlineConfig::default(), InstrumentConfig::NONE, None);
+        let cp = compile(
+            p,
+            reach,
+            &InlineConfig::default(),
+            InstrumentConfig::NONE,
+            None,
+        );
         let snap = snapshot(p, &cp, &HeapBuildConfig::default()).unwrap();
         (cp, snap)
     }
@@ -352,13 +377,16 @@ mod tests {
         let default = BinaryImage::build(&cp, &snap, None, None, ImageOptions::default());
         let mut reversed: Vec<CuId> = cp.cus.iter().map(|c| c.id).collect();
         reversed.reverse();
-        let img = BinaryImage::build(&cp, &snap, Some(reversed.clone()), None, ImageOptions::default());
+        let img = BinaryImage::build(
+            &cp,
+            &snap,
+            Some(reversed.clone()),
+            None,
+            ImageOptions::default(),
+        );
         assert_eq!(img.cu_order, reversed);
         if cp.cus.len() > 1 {
-            assert_ne!(
-                default.cu_offset(cp.cus[0].id),
-                img.cu_offset(cp.cus[0].id)
-            );
+            assert_ne!(default.cu_offset(cp.cus[0].id), img.cu_offset(cp.cus[0].id));
         }
         // Section sizes agree modulo alignment padding.
         let align = ImageOptions::default().cu_align * cp.cus.len() as u64;
@@ -379,7 +407,10 @@ mod tests {
         let (cp, snap) = build_all(&p);
         let img = BinaryImage::build(&cp, &snap, None, None, ImageOptions::default());
         assert_eq!(img.section_of(0), Some(SectionKind::Text));
-        assert_eq!(img.section_of(img.svm_heap.offset), Some(SectionKind::SvmHeap));
+        assert_eq!(
+            img.section_of(img.svm_heap.offset),
+            Some(SectionKind::SvmHeap)
+        );
         assert_eq!(img.section_of(img.total_size), None);
         assert_eq!(img.page_of(0), 0);
         assert_eq!(img.page_of(img.options.page_size), 1);

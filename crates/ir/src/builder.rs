@@ -426,7 +426,12 @@ impl BodyBuilder {
     /// Direct call to a static method or constructor-like helper.
     ///
     /// Returns the destination local if the callee returns a value.
-    pub fn call_static(&mut self, method: MethodId, args: &[Local], has_ret: bool) -> Option<Local> {
+    pub fn call_static(
+        &mut self,
+        method: MethodId,
+        args: &[Local],
+        has_ret: bool,
+    ) -> Option<Local> {
         let dst = if has_ret { Some(self.local()) } else { None };
         self.emit(Instr::Call {
             dst,
@@ -596,12 +601,7 @@ impl BodyBuilder {
     /// `for (i = from; i < to; i++) { body(i) }`
     ///
     /// `from` and `to` are evaluated once, before the loop.
-    pub fn for_range(
-        &mut self,
-        from: Local,
-        to: Local,
-        body: impl FnOnce(&mut Self, Local),
-    ) {
+    pub fn for_range(&mut self, from: Local, to: Local, body: impl FnOnce(&mut Self, Local)) {
         let i = self.local();
         self.assign(i, from);
         let bound = self.copy(to);

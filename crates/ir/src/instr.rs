@@ -1,12 +1,10 @@
 //! Instructions, terminators and the machine-code size model.
 
-use serde::{Deserialize, Serialize};
-
-use crate::types::{BlockId, ClassId, FieldId, Local, MethodId, TypeRef};
 use crate::program::SelectorId;
+use crate::types::{BlockId, ClassId, FieldId, Local, MethodId, TypeRef};
 
 /// Binary operators. Comparison operators produce `Bool` values.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum BinOp {
     Add,
@@ -28,7 +26,7 @@ pub enum BinOp {
 }
 
 /// Unary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnOp {
     /// Arithmetic negation.
     Neg,
@@ -45,7 +43,7 @@ pub enum UnOp {
 /// `Respond` is the observable "first response" event used by the
 /// microservice workloads (Sec. 7.1 measures elapsed time until the first
 /// response).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Intrinsic {
     /// `sqrt(double) -> double`
     Sqrt,
@@ -62,7 +60,7 @@ pub enum Intrinsic {
 }
 
 /// Call target of a [`Instr::Call`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Callee {
     /// Direct call to a known method (static methods and constructors).
     Static(MethodId),
@@ -79,7 +77,7 @@ pub enum Callee {
 }
 
 /// A non-terminator instruction of the register machine.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Instr {
     /// `dst = <int literal>`
     ConstInt(Local, i64),
@@ -251,7 +249,7 @@ impl Instr {
 }
 
 /// The terminator of a basic block.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Terminator {
     /// Return from the method, optionally with a value.
     Ret(Option<Local>),
@@ -291,7 +289,7 @@ impl Terminator {
 }
 
 /// A basic block: straight-line instructions plus one terminator.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Block {
     /// Straight-line instructions.
     pub instrs: Vec<Instr>,

@@ -4,14 +4,12 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::instr::Block;
 use crate::types::{ClassId, FieldId, MethodId, TypeRef};
 
 /// An interned method selector (method name + arity), the unit of virtual
 /// dispatch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SelectorId(pub u32);
 
 impl SelectorId {
@@ -23,7 +21,7 @@ impl SelectorId {
 }
 
 /// How a method may be invoked.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MethodKind {
     /// Static method; parameters start at local 0.
     Static,
@@ -34,7 +32,7 @@ pub enum MethodKind {
 }
 
 /// A field declaration (static or instance).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Field {
     /// Simple field name, unique within the declaring class.
     pub name: String,
@@ -47,7 +45,7 @@ pub struct Field {
 }
 
 /// A class declaration.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Class {
     /// Fully qualified name, e.g. `"awfy.bounce.Ball"`. Unique per program,
     /// which is what makes types identifiable across builds (Sec. 5.1).
@@ -69,7 +67,7 @@ pub struct Class {
 }
 
 /// A method definition.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Method {
     /// Simple method name.
     pub name: String,
@@ -93,7 +91,11 @@ impl Method {
     /// Number of locals occupied by parameters (including `this` for virtual
     /// methods).
     pub fn param_locals(&self) -> u16 {
-        let this = if self.kind == MethodKind::Virtual { 1 } else { 0 };
+        let this = if self.kind == MethodKind::Virtual {
+            1
+        } else {
+            0
+        };
         this + self.params.len() as u16
     }
 
@@ -106,7 +108,7 @@ impl Method {
 
 /// A build-time resource embedded in the image (becomes a `Resource` heap
 /// root, Sec. 5.3).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Resource {
     /// Resource path, e.g. `"META-INF/services/demo"`.
     pub name: String,
@@ -115,7 +117,7 @@ pub struct Resource {
 }
 
 /// A complete program: the unit compiled into a native image.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Program {
     pub(crate) classes: Vec<Class>,
     pub(crate) fields: Vec<Field>,

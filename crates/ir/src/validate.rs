@@ -155,23 +155,20 @@ pub fn validate(p: &Program) -> Result<(), ValidateError> {
                     check_local(s)?;
                 }
                 match ins {
-                    Instr::Call { callee, .. } => {
-                        if let Callee::Static(c) = callee {
-                            if c.index() >= p.methods().len() {
-                                return Err(ValidateError::BadMethodRef {
-                                    method: sig.clone(),
-                                    callee: *c,
-                                });
-                            }
-                        }
+                    Instr::Call {
+                        callee: Callee::Static(c),
+                        ..
+                    } if c.index() >= p.methods().len() => {
+                        return Err(ValidateError::BadMethodRef {
+                            method: sig.clone(),
+                            callee: *c,
+                        });
                     }
-                    Instr::Spawn { method, .. } => {
-                        if method.index() >= p.methods().len() {
-                            return Err(ValidateError::BadMethodRef {
-                                method: sig.clone(),
-                                callee: *method,
-                            });
-                        }
+                    Instr::Spawn { method, .. } if method.index() >= p.methods().len() => {
+                        return Err(ValidateError::BadMethodRef {
+                            method: sig.clone(),
+                            callee: *method,
+                        });
                     }
                     Instr::GetField(_, _, fid) | Instr::PutField(_, fid, _) => {
                         check_field(p, &sig, *fid, false)?;

@@ -49,7 +49,10 @@ impl<'a> Entity<'a> {
     pub fn is_object_instance(&self) -> bool {
         match self.value {
             HValue::Ref(o) => {
-                matches!(self.snapshot.heap().get(o).kind, HObjectKind::Instance { .. })
+                matches!(
+                    self.snapshot.heap().get(o).kind,
+                    HObjectKind::Instance { .. }
+                )
             }
             _ => false,
         }

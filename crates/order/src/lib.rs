@@ -25,8 +25,8 @@
 
 mod analyses;
 mod entity;
-mod ordering;
 pub mod murmur3;
+mod ordering;
 mod quality;
 mod strategies;
 

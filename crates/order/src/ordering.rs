@@ -1,7 +1,7 @@
 //! Applying ordering profiles to a (possibly different) build: the
 //! cross-build matching of Sec. 4 and Sec. 5.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use nimage_compiler::{CompiledProgram, CuId};
 use nimage_heap::{HeapSnapshot, ObjId};
@@ -36,8 +36,9 @@ pub fn order_cus(
     profile: &CodeOrderProfile,
     granularity: CodeGranularity,
 ) -> Vec<CuId> {
-    // Signature → CU to place for that signature.
-    let mut sig_to_cu: HashMap<String, CuId> = HashMap::new();
+    // Signature → CU to place for that signature. A `BTreeMap` keeps this
+    // ordering-sensitive path independent of hasher state.
+    let mut sig_to_cu: BTreeMap<String, CuId> = BTreeMap::new();
     match granularity {
         CodeGranularity::Cu => {
             for cu in &compiled.cus {
@@ -71,6 +72,11 @@ pub fn order_cus(
             order.push(cu.id);
         }
     }
+    debug_assert_eq!(
+        order.len(),
+        compiled.cus.len(),
+        "CU order must be a permutation of the compiled CUs"
+    );
     order
 }
 
@@ -87,7 +93,7 @@ pub fn order_objects(
     ids: &HashMap<ObjId, u64>,
     profile: &HeapOrderProfile,
 ) -> Vec<ObjId> {
-    let mut rank: HashMap<u64, usize> = HashMap::new();
+    let mut rank: BTreeMap<u64, usize> = BTreeMap::new();
     for (i, &id) in profile.ids.iter().enumerate() {
         rank.entry(id).or_insert(i);
     }
@@ -100,11 +106,17 @@ pub fn order_objects(
         }
     }
     matched.sort_by_key(|&(r, _)| r); // stable: ties keep default order
-    matched
+    let order: Vec<ObjId> = matched
         .into_iter()
         .map(|(_, o)| o)
         .chain(unmatched)
-        .collect()
+        .collect();
+    debug_assert_eq!(
+        order.len(),
+        snapshot.entries().len(),
+        "object order must be a permutation of the snapshot"
+    );
+    order
 }
 
 /// Fraction of profile identities that resolve to an object of this build's
@@ -211,10 +223,7 @@ mod tests {
             sigs: vec!["ghost.Klass.gone(0)".into(), "t.Many.beta(0)".into()],
         };
         let order = order_cus(&p, &cp, &profile, CodeGranularity::Cu);
-        assert_eq!(
-            p.method_signature(cp.cu(order[0]).root),
-            "t.Many.beta(0)"
-        );
+        assert_eq!(p.method_signature(cp.cu(order[0]).root), "t.Many.beta(0)");
         assert_eq!(order.len(), cp.cus.len());
     }
 
@@ -237,7 +246,13 @@ mod tests {
         pb.set_entry(main);
         let p = pb.build().unwrap();
         let reach = analyze(&p, &AnalysisConfig::default());
-        let cp = compile(&p, reach, &InlineConfig::default(), InstrumentConfig::NONE, None);
+        let cp = compile(
+            &p,
+            reach,
+            &InlineConfig::default(),
+            InstrumentConfig::NONE,
+            None,
+        );
         // helper has no own CU.
         assert!(cp.cu_of_root(helper).is_none());
         let profile = CodeOrderProfile {
@@ -259,11 +274,8 @@ mod tests {
         let node = pb.add_class("t.Node", None);
         let f_val = pb.add_instance_field(node, "val", TypeRef::Int);
         let holder = pb.add_class("t.Holder", None);
-        let f_reg = pb.add_static_field(
-            holder,
-            "REGISTRY",
-            TypeRef::array_of(TypeRef::Object(node)),
-        );
+        let f_reg =
+            pb.add_static_field(holder, "REGISTRY", TypeRef::array_of(TypeRef::Object(node)));
         let cl = pb.declare_clinit(holder);
         let mut f = pb.body(cl);
         let n = f.iconst(40);

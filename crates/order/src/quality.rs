@@ -114,7 +114,13 @@ mod tests {
         pb.set_entry(main);
         let p = pb.build().unwrap();
         let reach = analyze(&p, &AnalysisConfig::default());
-        let cp = compile(&p, reach, &InlineConfig::default(), InstrumentConfig::NONE, None);
+        let cp = compile(
+            &p,
+            reach,
+            &InlineConfig::default(),
+            InstrumentConfig::NONE,
+            None,
+        );
         let snap = snapshot(&p, &cp, &HeapBuildConfig::default()).unwrap();
         (p, snap)
     }

@@ -180,13 +180,9 @@ pub(crate) fn heap_path_hash(program: &Program, snapshot: &HeapSnapshot, obj: Ob
                         ParentLink::Index(i) => bytes.extend_from_slice(&i.to_le_bytes()),
                         ParentLink::Field(fid) => {
                             // Field descriptor: signature plus declared type.
+                            bytes.extend_from_slice(program.field_signature(fid).as_bytes());
                             bytes.extend_from_slice(
-                                program.field_signature(fid).as_bytes(),
-                            );
-                            bytes.extend_from_slice(
-                                program
-                                    .type_name(&program.field(fid).ty)
-                                    .as_bytes(),
+                                program.type_name(&program.field(fid).ty).as_bytes(),
                             );
                         }
                     }
@@ -244,7 +240,13 @@ mod tests {
         pb.set_entry(main);
         let p = pb.build().unwrap();
         let reach = analyze(&p, &AnalysisConfig::default());
-        let cp = compile(&p, reach, &InlineConfig::default(), InstrumentConfig::NONE, None);
+        let cp = compile(
+            &p,
+            reach,
+            &InlineConfig::default(),
+            InstrumentConfig::NONE,
+            None,
+        );
         let snap = snapshot(&p, &cp, &HeapBuildConfig::default()).unwrap();
         (p, snap)
     }
@@ -254,7 +256,10 @@ mod tests {
         let (p, snap) = sample();
         let ids = assign_global_incremental_ids(&p, &snap);
         let mut values: Vec<u64> = snap.entries().iter().map(|e| ids[&e.obj]).collect();
-        assert_eq!(values, (1..=snap.entries().len() as u64).collect::<Vec<_>>());
+        assert_eq!(
+            values,
+            (1..=snap.entries().len() as u64).collect::<Vec<_>>()
+        );
         values.sort_unstable();
         values.dedup();
         assert_eq!(values.len(), snap.entries().len());

@@ -42,7 +42,13 @@ fn cells_snapshot(n: i64) -> (Program, HeapSnapshot) {
     pb.set_entry(main);
     let p = pb.build().unwrap();
     let reach = analyze(&p, &AnalysisConfig::default());
-    let cp = compile(&p, reach, &InlineConfig::default(), InstrumentConfig::NONE, None);
+    let cp = compile(
+        &p,
+        reach,
+        &InlineConfig::default(),
+        InstrumentConfig::NONE,
+        None,
+    );
     let snap = snapshot(&p, &cp, &HeapBuildConfig::default()).unwrap();
     (p, snap)
 }

@@ -1,0 +1,435 @@
+//! IR dataflow lints.
+//!
+//! These go beyond the structural checks of `ir::validate`: they reason
+//! about the control-flow graph of each method body. Severity policy:
+//! use-before-def, call/field/return inconsistencies and vtable
+//! unsoundness are errors; unreachable blocks and dead stores are
+//! warnings, because the program builder legitimately emits both (e.g.
+//! the join block after an `if` whose branches both return, or a
+//! `get_static` whose result feeds only a discarded binding).
+
+use std::collections::BTreeSet;
+
+use nimage_analysis::Reachability;
+use nimage_ir::{Callee, Instr, Local, Method, MethodId, MethodKind, Program, Terminator};
+
+use crate::Diagnostic;
+
+/// A dense bitset over the locals of one method body.
+#[derive(Clone, PartialEq, Eq)]
+struct LocalSet {
+    words: Vec<u64>,
+}
+
+impl LocalSet {
+    fn empty(n: usize) -> Self {
+        LocalSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    fn full(n: usize) -> Self {
+        let mut s = LocalSet::empty(n);
+        for i in 0..n {
+            s.insert(i);
+        }
+        s
+    }
+
+    fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    fn intersect_with(&mut self, other: &LocalSet) {
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+    }
+}
+
+/// Blocks reachable from the entry block via terminator successors.
+fn reachable_blocks(m: &Method) -> Vec<bool> {
+    let mut reachable = vec![false; m.blocks.len()];
+    if m.blocks.is_empty() {
+        return reachable;
+    }
+    let mut stack = vec![0usize];
+    reachable[0] = true;
+    while let Some(b) = stack.pop() {
+        for s in m.blocks[b].terminator.successors() {
+            if !reachable[s.index()] {
+                reachable[s.index()] = true;
+                stack.push(s.index());
+            }
+        }
+    }
+    reachable
+}
+
+/// Locals read by a terminator.
+fn terminator_uses(t: &Terminator) -> Option<Local> {
+    match t {
+        Terminator::Ret(l) => *l,
+        Terminator::Jump(_) => None,
+        Terminator::Br { cond, .. } => Some(*cond),
+    }
+}
+
+/// Lints every method body of `program`.
+///
+/// Emitted codes: `ir::use-before-def`, `ir::unreachable-block`,
+/// `ir::dead-store` plus the per-instruction consistency codes of
+/// [`lint_method`].
+pub fn lint_program(program: &Program) -> Vec<Diagnostic> {
+    let mut out = vec![];
+    for (i, m) in program.methods().iter().enumerate() {
+        lint_method(program, MethodId(i as u32), m, &mut out);
+    }
+    out
+}
+
+/// Lints one method body, appending findings to `out`.
+pub fn lint_method(program: &Program, id: MethodId, m: &Method, out: &mut Vec<Diagnostic>) {
+    if m.blocks.is_empty() {
+        return; // bodyless declaration; ir::validate owns that check
+    }
+    let sig = program.method_signature(id);
+    let reachable = reachable_blocks(m);
+
+    for (b, r) in reachable.iter().enumerate() {
+        if !r {
+            out.push(Diagnostic::warning(
+                "ir::unreachable-block",
+                &sig,
+                format!("block b{b} is unreachable from entry"),
+            ));
+        }
+    }
+
+    lint_use_before_def(&sig, m, &reachable, out);
+    lint_dead_stores(&sig, m, &reachable, out);
+
+    for (b, block) in m.blocks.iter().enumerate() {
+        if !reachable[b] {
+            continue;
+        }
+        for (i, instr) in block.instrs.iter().enumerate() {
+            lint_instr_consistency(program, &sig, b, i, instr, out);
+        }
+        if let Terminator::Ret(val) = &block.terminator {
+            if val.is_some() != m.ret.is_some() {
+                out.push(Diagnostic::error(
+                    "ir::ret-mismatch",
+                    &sig,
+                    format!(
+                        "block b{b} returns {} but the method signature declares {}",
+                        if val.is_some() { "a value" } else { "nothing" },
+                        if m.ret.is_some() { "a value" } else { "void" },
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Forward "definitely assigned" dataflow (set intersection over
+/// predecessors); a read of a local outside the in-set is an error.
+fn lint_use_before_def(sig: &str, m: &Method, reachable: &[bool], out: &mut Vec<Diagnostic>) {
+    let n = m.n_locals as usize;
+    let nblocks = m.blocks.len();
+
+    let mut preds: Vec<Vec<usize>> = vec![vec![]; nblocks];
+    for (b, block) in m.blocks.iter().enumerate() {
+        if reachable[b] {
+            for s in block.terminator.successors() {
+                preds[s.index()].push(b);
+            }
+        }
+    }
+
+    let entry_in = {
+        let mut s = LocalSet::empty(n);
+        for p in 0..m.param_locals() as usize {
+            s.insert(p);
+        }
+        s
+    };
+    let transfer = |block: usize, input: &LocalSet| {
+        let mut s = input.clone();
+        for instr in &m.blocks[block].instrs {
+            if let Some(d) = instr.dst() {
+                s.insert(d.index());
+            }
+        }
+        s
+    };
+
+    // Fixpoint: out-sets start at ⊤ (None), so back-edge predecessors are
+    // optimistic until computed; intersection only shrinks, so this
+    // terminates at the greatest fixpoint.
+    let mut outs: Vec<Option<LocalSet>> = vec![None; nblocks];
+    let mut worklist = vec![0usize];
+    while let Some(b) = worklist.pop() {
+        let input = if b == 0 {
+            entry_in.clone()
+        } else {
+            let mut acc = LocalSet::full(n);
+            for &p in &preds[b] {
+                if let Some(o) = &outs[p] {
+                    acc.intersect_with(o);
+                }
+            }
+            acc
+        };
+        let new_out = transfer(b, &input);
+        if outs[b].as_ref() != Some(&new_out) {
+            outs[b] = Some(new_out);
+            for s in m.blocks[b].terminator.successors() {
+                if reachable[s.index()] {
+                    worklist.push(s.index());
+                }
+            }
+        }
+    }
+
+    // Reporting pass over the stabilized in-sets, one finding per local.
+    let mut reported: BTreeSet<u16> = BTreeSet::new();
+    for (b, block) in m.blocks.iter().enumerate() {
+        if !reachable[b] {
+            continue;
+        }
+        let mut defined = if b == 0 {
+            entry_in.clone()
+        } else {
+            let mut acc = LocalSet::full(n);
+            for &p in &preds[b] {
+                if let Some(o) = &outs[p] {
+                    acc.intersect_with(o);
+                }
+            }
+            acc
+        };
+        let mut check = |l: Local, at: String, defined: &LocalSet| {
+            if !defined.contains(l.index()) && reported.insert(l.0) {
+                out.push(Diagnostic::error(
+                    "ir::use-before-def",
+                    sig,
+                    format!("local {l} read at {at} before any assignment on some path"),
+                ));
+            }
+        };
+        for (i, instr) in block.instrs.iter().enumerate() {
+            for src in instr.sources() {
+                check(src, format!("b{b}[{i}]"), &defined);
+            }
+            if let Some(d) = instr.dst() {
+                defined.insert(d.index());
+            }
+        }
+        if let Some(l) = terminator_uses(&block.terminator) {
+            check(l, format!("b{b}[term]"), &defined);
+        }
+    }
+}
+
+/// Non-parameter locals that are written but never read anywhere in the
+/// reachable body.
+fn lint_dead_stores(sig: &str, m: &Method, reachable: &[bool], out: &mut Vec<Diagnostic>) {
+    let n = m.n_locals as usize;
+    let mut read = LocalSet::empty(n);
+    let mut written: Vec<Option<(usize, usize)>> = vec![None; n];
+    for (b, block) in m.blocks.iter().enumerate() {
+        if !reachable[b] {
+            continue;
+        }
+        for (i, instr) in block.instrs.iter().enumerate() {
+            for src in instr.sources() {
+                read.insert(src.index());
+            }
+            if let Some(d) = instr.dst() {
+                written[d.index()].get_or_insert((b, i));
+            }
+        }
+        if let Some(l) = terminator_uses(&block.terminator) {
+            read.insert(l.index());
+        }
+    }
+    for (l, site) in written.iter().enumerate() {
+        if let Some((b, i)) = site {
+            if l >= m.param_locals() as usize && !read.contains(l) {
+                out.push(Diagnostic::warning(
+                    "ir::dead-store",
+                    sig,
+                    format!("local l{l} is assigned at b{b}[{i}] but never read"),
+                ));
+            }
+        }
+    }
+}
+
+/// Per-instruction consistency: call arity and result use, field
+/// static/instance polarity.
+fn lint_instr_consistency(
+    program: &Program,
+    sig: &str,
+    b: usize,
+    i: usize,
+    instr: &Instr,
+    out: &mut Vec<Diagnostic>,
+) {
+    let at = format!("b{b}[{i}]");
+    match instr {
+        Instr::Call { dst, callee, args } => {
+            let target = match callee {
+                Callee::Static(m) => Some(*m),
+                Callee::Virtual { declared, selector } => {
+                    let resolved = program.resolve_virtual(*declared, *selector);
+                    if resolved.is_none() {
+                        out.push(Diagnostic::error(
+                            "ir::call-unresolved",
+                            sig,
+                            format!(
+                                "virtual call at {at} on {} has no target for selector {}",
+                                program.class(*declared).name,
+                                program.selector_name(*selector),
+                            ),
+                        ));
+                    }
+                    resolved
+                }
+            };
+            if let Some(t) = target {
+                let callee_m = program.method(t);
+                let expected = callee_m.param_locals() as usize;
+                if args.len() != expected {
+                    out.push(Diagnostic::error(
+                        "ir::call-arity",
+                        sig,
+                        format!(
+                            "call at {at} to {} passes {} argument(s), callee takes {expected}",
+                            program.method_signature(t),
+                            args.len(),
+                        ),
+                    ));
+                }
+                if dst.is_some() && callee_m.ret.is_none() {
+                    out.push(Diagnostic::error(
+                        "ir::call-ret",
+                        sig,
+                        format!(
+                            "call at {at} stores the result of void method {}",
+                            program.method_signature(t),
+                        ),
+                    ));
+                }
+            }
+        }
+        Instr::GetField(_, _, f) | Instr::PutField(_, f, _) if program.field(*f).is_static => {
+            out.push(Diagnostic::error(
+                "ir::field-kind",
+                sig,
+                format!(
+                    "instance access at {at} targets static field {}",
+                    program.field_signature(*f),
+                ),
+            ));
+        }
+        Instr::GetStatic(_, f) | Instr::PutStatic(f, _) if !program.field(*f).is_static => {
+            out.push(Diagnostic::error(
+                "ir::field-kind",
+                sig,
+                format!(
+                    "static access at {at} targets instance field {}",
+                    program.field_signature(*f),
+                ),
+            ));
+        }
+        _ => {}
+    }
+}
+
+/// Checks the devirtualization targets computed by `nimage-analysis`
+/// against the class hierarchy: every recorded target of a virtual call
+/// site must be a virtual method with the site's selector, declared on a
+/// class related to the static receiver type, and arity-compatible.
+pub fn lint_virtual_targets(program: &Program, reach: &Reachability) -> Vec<Diagnostic> {
+    let mut out = vec![];
+    let mut sites: Vec<_> = reach.virtual_targets.iter().collect();
+    sites.sort_by_key(|(site, _)| **site);
+    for (site, targets) in sites {
+        let caller_sig = program.method_signature(site.method);
+        let at = format!("b{}[{}]", site.block, site.instr);
+        let caller = program.method(site.method);
+        let instr = caller
+            .blocks
+            .get(site.block)
+            .and_then(|blk| blk.instrs.get(site.instr));
+        let Some(Instr::Call {
+            callee: Callee::Virtual { declared, selector },
+            args,
+            ..
+        }) = instr
+        else {
+            out.push(Diagnostic::error(
+                "ir::vtable",
+                &caller_sig,
+                format!("recorded virtual call site {at} is not a virtual call"),
+            ));
+            continue;
+        };
+        for &t in targets {
+            let tm = program.method(t);
+            let tsig = program.method_signature(t);
+            if tm.kind != MethodKind::Virtual {
+                out.push(Diagnostic::error(
+                    "ir::vtable",
+                    &caller_sig,
+                    format!("site {at}: devirtualized target {tsig} is not a virtual method"),
+                ));
+                continue;
+            }
+            if tm.selector != *selector {
+                out.push(Diagnostic::error(
+                    "ir::vtable",
+                    &caller_sig,
+                    format!(
+                        "site {at}: target {tsig} answers selector {}, site dispatches {}",
+                        program.selector_name(tm.selector),
+                        program.selector_name(*selector),
+                    ),
+                ));
+            }
+            // An override lives below the declared receiver class; an
+            // inherited implementation lives above it.
+            if !program.is_subclass(tm.owner, *declared)
+                && !program.is_subclass(*declared, tm.owner)
+            {
+                out.push(Diagnostic::error(
+                    "ir::vtable",
+                    &caller_sig,
+                    format!(
+                        "site {at}: target {tsig} owner {} is unrelated to receiver type {}",
+                        program.class(tm.owner).name,
+                        program.class(*declared).name,
+                    ),
+                ));
+            }
+            if args.len() != tm.param_locals() as usize {
+                out.push(Diagnostic::error(
+                    "ir::vtable",
+                    &caller_sig,
+                    format!(
+                        "site {at}: target {tsig} takes {} locals, site passes {}",
+                        tm.param_locals(),
+                        args.len(),
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}

@@ -10,14 +10,10 @@
 
 use std::collections::HashMap;
 
-use nimage_compiler::{
-    CallCountProfile, CompiledProgram, CuId, PathNumbering, ProfilingCfg,
-};
+use nimage_compiler::{CallCountProfile, CompiledProgram, CuId, PathNumbering, ProfilingCfg};
 use nimage_heap::HeapSnapshot;
 use nimage_image::BinaryImage;
-use nimage_ir::{
-    BinOp, Callee, Instr, Intrinsic, Local, MethodId, Program, Terminator, UnOp,
-};
+use nimage_ir::{BinOp, Callee, Instr, Intrinsic, Local, MethodId, Program, Terminator, UnOp};
 use nimage_profiler::{DumpMode, ThreadHandle, TraceSession};
 
 use crate::heap_rt::{RtHeap, RtObject, RtValue};
@@ -278,7 +274,8 @@ impl<'a> Vm<'a> {
         let cu_ref = self.compiled.cu(cu);
         let n = &cu_ref.nodes[node as usize];
         let off = self.image.cu_offset(cu) + u64::from(n.offset);
-        self.paging.touch_range(self.image, off, u64::from(n.size.max(1)));
+        self.paging
+            .touch_range(self.image, off, u64::from(n.size.max(1)));
     }
 
     /// Runtime error helper.
@@ -512,8 +509,7 @@ impl<'a> Vm<'a> {
                 any_live = true;
                 for _ in 0..quantum {
                     if self.threads[t].frames.is_empty() {
-                        if let (Some(s), Some(h)) =
-                            (self.session.as_mut(), self.threads[t].handle)
+                        if let (Some(s), Some(h)) = (self.session.as_mut(), self.threads[t].handle)
                         {
                             s.end_thread(h);
                         }
@@ -729,15 +725,13 @@ impl<'a> Vm<'a> {
                 let r = self.as_ref_val(t, *arr, method)?;
                 let i = self.as_int(t, *idx, method)?;
                 let v = match self.heap.get(r) {
-                    RtObject::Array { elems, .. } => {
-                        *elems
-                            .get(usize::try_from(i).map_err(|_| VmError::IndexOutOfBounds {
-                                method: self.err_sig(method),
-                            })?)
-                            .ok_or_else(|| VmError::IndexOutOfBounds {
-                                method: self.err_sig(method),
-                            })?
-                    }
+                    RtObject::Array { elems, .. } => *elems
+                        .get(usize::try_from(i).map_err(|_| VmError::IndexOutOfBounds {
+                            method: self.err_sig(method),
+                        })?)
+                        .ok_or_else(|| VmError::IndexOutOfBounds {
+                            method: self.err_sig(method),
+                        })?,
                     other => {
                         return Err(VmError::TypeMismatch {
                             method: self.err_sig(method),
@@ -960,16 +954,18 @@ impl<'a> Vm<'a> {
         match self.heap.get(r) {
             RtObject::Instance { class, fields } => {
                 let layout = self.program.all_instance_fields(*class);
-                let slot = layout.iter().position(|&f| f == fid).ok_or_else(|| {
-                    VmError::TypeMismatch {
-                        method: self.err_sig(method),
-                        detail: format!(
-                            "field {} not on {}",
-                            self.program.field_signature(fid),
-                            self.program.class(*class).name
-                        ),
-                    }
-                })?;
+                let slot =
+                    layout
+                        .iter()
+                        .position(|&f| f == fid)
+                        .ok_or_else(|| VmError::TypeMismatch {
+                            method: self.err_sig(method),
+                            detail: format!(
+                                "field {} not on {}",
+                                self.program.field_signature(fid),
+                                self.program.class(*class).name
+                            ),
+                        })?;
                 Ok((slot, fields[slot]))
             }
             other => Err(VmError::TypeMismatch {
@@ -1147,7 +1143,10 @@ mod tests {
             Some(Double(2.0))
         );
         // Respond produces no value.
-        assert_eq!(eval_intrinsic(Intrinsic::Respond, &[RtValue::Int(200)]), None);
+        assert_eq!(
+            eval_intrinsic(Intrinsic::Respond, &[RtValue::Int(200)]),
+            None
+        );
         // Type mismatch yields None rather than a panic.
         assert_eq!(eval_intrinsic(Intrinsic::Sqrt, &[RtValue::Int(9)]), None);
     }

@@ -119,10 +119,7 @@ impl RtHeap {
             };
             objects.push(rt);
         }
-        let statics = heap
-            .statics()
-            .map(|(f, v)| (f, convert_value(v)))
-            .collect();
+        let statics = heap.statics().map(|(f, v)| (f, convert_value(v))).collect();
         RtHeap {
             snapshot_len: objects.len() as u32,
             objects,

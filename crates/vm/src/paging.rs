@@ -195,7 +195,13 @@ mod tests {
         pb.set_entry(main);
         let p = pb.build().unwrap();
         let reach = analyze(&p, &AnalysisConfig::default());
-        let cp = compile(&p, reach, &InlineConfig::default(), InstrumentConfig::NONE, None);
+        let cp = compile(
+            &p,
+            reach,
+            &InlineConfig::default(),
+            InstrumentConfig::NONE,
+            None,
+        );
         let snap = snapshot(&p, &cp, &HeapBuildConfig::default()).unwrap();
         BinaryImage::build(&cp, &snap, None, None, ImageOptions::default())
     }
@@ -212,7 +218,12 @@ mod tests {
     #[test]
     fn fault_around_maps_neighbours_without_faults() {
         let img = tiny_image();
-        let mut sim = PagingSim::new(&img, PagingConfig { fault_around_pages: 16 });
+        let mut sim = PagingSim::new(
+            &img,
+            PagingConfig {
+                fault_around_pages: 16,
+            },
+        );
         sim.touch(&img, 0);
         // Pages 1..16 are resident without their own fault.
         assert!(!sim.touch(&img, img.options.page_size * 5));
@@ -225,7 +236,12 @@ mod tests {
     #[test]
     fn window_is_aligned_not_centered() {
         let img = tiny_image();
-        let mut sim = PagingSim::new(&img, PagingConfig { fault_around_pages: 16 });
+        let mut sim = PagingSim::new(
+            &img,
+            PagingConfig {
+                fault_around_pages: 16,
+            },
+        );
         // Fault at page 17 → window [16, 32).
         sim.touch(&img, img.options.page_size * 17);
         let states = sim.page_states(0, 32);
@@ -238,7 +254,12 @@ mod tests {
     #[test]
     fn faults_attributed_to_sections() {
         let img = tiny_image();
-        let mut sim = PagingSim::new(&img, PagingConfig { fault_around_pages: 1 });
+        let mut sim = PagingSim::new(
+            &img,
+            PagingConfig {
+                fault_around_pages: 1,
+            },
+        );
         sim.touch(&img, img.text.offset);
         sim.touch(&img, img.svm_heap.offset);
         let f = sim.faults();
@@ -252,12 +273,22 @@ mod tests {
         let img = tiny_image();
         let ps = img.options.page_size;
         // Dense: 32 consecutive pages.
-        let mut dense = PagingSim::new(&img, PagingConfig { fault_around_pages: 16 });
+        let mut dense = PagingSim::new(
+            &img,
+            PagingConfig {
+                fault_around_pages: 16,
+            },
+        );
         for p in 0..32 {
             dense.touch(&img, p * ps);
         }
         // Scattered: 32 pages spread with a stride of 16 pages.
-        let mut scattered = PagingSim::new(&img, PagingConfig { fault_around_pages: 16 });
+        let mut scattered = PagingSim::new(
+            &img,
+            PagingConfig {
+                fault_around_pages: 16,
+            },
+        );
         let span = img.total_pages();
         for i in 0..32u64 {
             scattered.touch(&img, ((i * 16) % span) * ps);
@@ -269,7 +300,12 @@ mod tests {
     fn touch_range_covers_every_page() {
         let img = tiny_image();
         let ps = img.options.page_size;
-        let mut sim = PagingSim::new(&img, PagingConfig { fault_around_pages: 1 });
+        let mut sim = PagingSim::new(
+            &img,
+            PagingConfig {
+                fault_around_pages: 1,
+            },
+        );
         sim.touch_range(&img, ps / 2, 3 * ps);
         // Range spans pages 0..=3.
         let states = sim.page_states(0, 4);

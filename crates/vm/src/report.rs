@@ -103,8 +103,7 @@ impl CostModel {
 impl RunReport {
     /// End-to-end execution time under a cost model (AWFY metric).
     pub fn time_ns(&self, cm: &CostModel) -> f64 {
-        (self.ops + self.probe_ops) as f64 * cm.ns_per_op
-            + self.faults.total() as f64 * cm.fault_ns
+        (self.ops + self.probe_ops) as f64 * cm.ns_per_op + self.faults.total() as f64 * cm.fault_ns
     }
 
     /// Elapsed time until the first response (microservice metric), if a

@@ -9,7 +9,10 @@ use nimage_ir::{Program, ProgramBuilder, TypeRef};
 use nimage_profiler::TraceRecord;
 use nimage_vm::{ExitKind, RtValue, StopWhen, Vm, VmConfig};
 
-fn build(program: &Program, instr: InstrumentConfig) -> (CompiledProgram, HeapSnapshot, BinaryImage) {
+fn build(
+    program: &Program,
+    instr: InstrumentConfig,
+) -> (CompiledProgram, HeapSnapshot, BinaryImage) {
     let reach = analyze(program, &AnalysisConfig::default());
     let cp = compile(program, reach, &InlineConfig::default(), instr, None);
     let snap = snapshot(program, &cp, &HeapBuildConfig::default()).unwrap();
@@ -17,11 +20,7 @@ fn build(program: &Program, instr: InstrumentConfig) -> (CompiledProgram, HeapSn
     (cp, snap, img)
 }
 
-fn run(
-    program: &Program,
-    instr: InstrumentConfig,
-    stop: StopWhen,
-) -> nimage_vm::RunReport {
+fn run(program: &Program, instr: InstrumentConfig, stop: StopWhen) -> nimage_vm::RunReport {
     let (cp, snap, img) = build(program, instr);
     Vm::new(program, &cp, &snap, &img, VmConfig::default())
         .run(stop)
@@ -162,7 +161,9 @@ fn service_without_stop_hits_ops_budget() {
         max_ops: 50_000,
         ..VmConfig::default()
     };
-    let r = Vm::new(&p, &cp, &snap, &img, cfg).run(StopWhen::Exit).unwrap();
+    let r = Vm::new(&p, &cp, &snap, &img, cfg)
+        .run(StopWhen::Exit)
+        .unwrap();
     assert_eq!(r.exit, ExitKind::OpsBudget);
 }
 
@@ -223,7 +224,10 @@ fn runtime_allocations_do_not_fault_heap_pages() {
     pb.set_entry(main);
     let p = pb.build().unwrap();
     let r = run(&p, InstrumentConfig::NONE, StopWhen::Exit);
-    assert_eq!(r.faults.svm_heap, 0, "anonymous memory never faults the image");
+    assert_eq!(
+        r.faults.svm_heap, 0,
+        "anonymous memory never faults the image"
+    );
 }
 
 #[test]
@@ -426,9 +430,7 @@ fn path_records_carry_one_id_per_heap_access() {
     let nonzero: usize = trace.threads[0]
         .iter()
         .filter_map(|r| match r {
-            TraceRecord::Path { obj_ids, .. } => {
-                Some(obj_ids.iter().filter(|&&i| i != 0).count())
-            }
+            TraceRecord::Path { obj_ids, .. } => Some(obj_ids.iter().filter(|&&i| i != 0).count()),
             _ => None,
         })
         .sum();

@@ -12,30 +12,33 @@ pub(crate) fn install(pb: &mut ProgramBuilder, h: &Harness) -> ClassId {
     let f_yv = pb.add_instance_field(ball, "yVel", TypeRef::Int);
 
     // Ball.init(random): position and velocity from the shared Random.
-    let init = pb.declare_virtual(
-        ball,
-        "init",
-        &[TypeRef::Object(h.random_cls)],
-        None,
-    );
+    let init = pb.declare_virtual(ball, "init", &[TypeRef::Object(h.random_cls)], None);
     let mut f = pb.body(init);
     let this = f.this();
     let rng = f.param(1);
     let v500 = f.iconst(500);
     let v300 = f.iconst(300);
-    let r1 = f.call_virtual(h.random_cls, h.next_sel, &[rng], true).unwrap();
+    let r1 = f
+        .call_virtual(h.random_cls, h.next_sel, &[rng], true)
+        .unwrap();
     let x = f.rem(r1, v500);
     f.put_field(this, f_x, x);
-    let r2 = f.call_virtual(h.random_cls, h.next_sel, &[rng], true).unwrap();
+    let r2 = f
+        .call_virtual(h.random_cls, h.next_sel, &[rng], true)
+        .unwrap();
     let y = f.rem(r2, v500);
     f.put_field(this, f_y, y);
-    let r3 = f.call_virtual(h.random_cls, h.next_sel, &[rng], true).unwrap();
+    let r3 = f
+        .call_virtual(h.random_cls, h.next_sel, &[rng], true)
+        .unwrap();
     let v30 = f.iconst(30);
     let v15 = f.iconst(15);
     let xv0 = f.rem(r3, v30);
     let xv = f.sub(xv0, v15);
     f.put_field(this, f_xv, xv);
-    let r4 = f.call_virtual(h.random_cls, h.next_sel, &[rng], true).unwrap();
+    let r4 = f
+        .call_virtual(h.random_cls, h.next_sel, &[rng], true)
+        .unwrap();
     let yv0 = f.rem(r4, v30);
     let yv = f.sub(yv0, v15);
     f.put_field(this, f_yv, yv);

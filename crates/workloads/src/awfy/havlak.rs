@@ -298,9 +298,7 @@ pub(crate) fn install(pb: &mut ProgramBuilder, h: &Harness) -> ClassId {
                     let anc = f.bin(BinOp::And, ge, le);
                     let back = f.bin(BinOp::And, anc, not_self);
                     f.if_then(back, |f| {
-                        let r = f
-                            .call_virtual(cls, uf_find_sel, &[this, v], true)
-                            .unwrap();
+                        let r = f.call_virtual(cls, uf_find_sel, &[this, v], true).unwrap();
                         let tag = f.array_get(in_body, r);
                         let w_tag = f.add(w, one);
                         let fresh = f.ne(tag, w_tag);
@@ -343,9 +341,7 @@ pub(crate) fn install(pb: &mut ProgramBuilder, h: &Harness) -> ClassId {
                             |f| f.lt(qi, q1),
                             |f| {
                                 let p = f.array_get(plist, qi);
-                                let r = f
-                                    .call_virtual(cls, uf_find_sel, &[this, p], true)
-                                    .unwrap();
+                                let r = f.call_virtual(cls, uf_find_sel, &[this, p], true).unwrap();
                                 let np = f.array_get(number, r);
                                 let one = f.iconst(1);
                                 let ge = f.ge(np, nw);
@@ -426,9 +422,7 @@ pub(crate) fn install(pb: &mut ProgramBuilder, h: &Harness) -> ClassId {
         });
         f.assign(prev, join);
     });
-    let out = f
-        .call_virtual(cls, find_loops_sel, &[this], true)
-        .unwrap();
+    let out = f.call_virtual(cls, find_loops_sel, &[this], true).unwrap();
     f.ret(Some(out));
     pb.finish_body(bench, f);
 

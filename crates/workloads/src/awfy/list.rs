@@ -13,7 +13,12 @@ pub(crate) fn install(pb: &mut ProgramBuilder, h: &Harness) -> ClassId {
     let cls = pb.add_class("awfy.list.List", Some(h.benchmark_cls));
 
     // makeList(length) -> Element
-    let make_list = pb.declare_static(cls, "makeList", &[TypeRef::Int], Some(TypeRef::Object(elem)));
+    let make_list = pb.declare_static(
+        cls,
+        "makeList",
+        &[TypeRef::Int],
+        Some(TypeRef::Object(elem)),
+    );
     let mut f = pb.body(make_list);
     let n = f.param(0);
     let zero = f.iconst(0);
@@ -74,10 +79,7 @@ pub(crate) fn install(pb: &mut ProgramBuilder, h: &Harness) -> ClassId {
     f.assign(result, fls);
     let done = f.bconst(false);
     f.while_loop(
-        |f| {
-            let d = f.un(nimage_ir::UnOp::Not, done);
-            d
-        },
+        |f| f.un(nimage_ir::UnOp::Not, done),
         |f| {
             let y_nil = f.bin(BinOp::Eq, y, null);
             f.if_then_else(

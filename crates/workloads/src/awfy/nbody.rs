@@ -34,7 +34,10 @@ pub(crate) fn install(pb: &mut ProgramBuilder, h: &Harness) -> ClassId {
     );
     let mut f = pb.body(make);
     let b = f.new_object(body);
-    for (i, fld) in [f_x, f_y, f_z, f_vx, f_vy, f_vz, f_mass].into_iter().enumerate() {
+    for (i, fld) in [f_x, f_y, f_z, f_vx, f_vy, f_vz, f_mass]
+        .into_iter()
+        .enumerate()
+    {
         f.put_field(b, fld, Local(i as u16));
     }
     f.ret(Some(b));

@@ -104,8 +104,12 @@ pub(crate) fn install(pb: &mut ProgramBuilder, h: &Harness) -> ClassId {
 
     // Base Task.process(p) -> Int (destination task for the packet, or -1
     // to drop it); subclasses override.
-    let process_base =
-        pb.declare_virtual(task, "process", &[TypeRef::Object(packet)], Some(TypeRef::Int));
+    let process_base = pb.declare_virtual(
+        task,
+        "process",
+        &[TypeRef::Object(packet)],
+        Some(TypeRef::Int),
+    );
     let mut f = pb.body(process_base);
     let v = f.iconst(-1);
     f.ret(Some(v));
@@ -116,7 +120,12 @@ pub(crate) fn install(pb: &mut ProgramBuilder, h: &Harness) -> ClassId {
     // forwards nothing.
     let idle = pb.add_class("awfy.richards.IdleTask", Some(task));
     let f_count = pb.add_instance_field(idle, "count", TypeRef::Int);
-    let ip = pb.declare_virtual(idle, "process", &[TypeRef::Object(packet)], Some(TypeRef::Int));
+    let ip = pb.declare_virtual(
+        idle,
+        "process",
+        &[TypeRef::Object(packet)],
+        Some(TypeRef::Int),
+    );
     let mut f = pb.body(ip);
     let this = f.this();
     let c = f.get_field(this, f_count);
@@ -131,7 +140,12 @@ pub(crate) fn install(pb: &mut ProgramBuilder, h: &Harness) -> ClassId {
     // tasks (ids 1 and 2... worker itself is id 1; handlers are 3 and 4).
     let worker = pb.add_class("awfy.richards.WorkerTask", Some(task));
     let f_flip = pb.add_instance_field(worker, "flip", TypeRef::Int);
-    let wp = pb.declare_virtual(worker, "process", &[TypeRef::Object(packet)], Some(TypeRef::Int));
+    let wp = pb.declare_virtual(
+        worker,
+        "process",
+        &[TypeRef::Object(packet)],
+        Some(TypeRef::Int),
+    );
     let mut f = pb.body(wp);
     let this = f.this();
     let p = f.param(1);
@@ -153,7 +167,12 @@ pub(crate) fn install(pb: &mut ProgramBuilder, h: &Harness) -> ClassId {
     // packets; device packets accumulate and are dropped.
     let handler = pb.add_class("awfy.richards.HandlerTask", Some(task));
     let f_sum = pb.add_instance_field(handler, "sum", TypeRef::Int);
-    let hp = pb.declare_virtual(handler, "process", &[TypeRef::Object(packet)], Some(TypeRef::Int));
+    let hp = pb.declare_virtual(
+        handler,
+        "process",
+        &[TypeRef::Object(packet)],
+        Some(TypeRef::Int),
+    );
     let mut f = pb.body(hp);
     let this = f.this();
     let p = f.param(1);

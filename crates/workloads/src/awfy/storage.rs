@@ -7,11 +7,7 @@ use crate::harness::Harness;
 
 pub(crate) fn install(pb: &mut ProgramBuilder, h: &Harness) -> ClassId {
     let node = pb.add_class("awfy.storage.TreeArray", None);
-    let f_kids = pb.add_instance_field(
-        node,
-        "kids",
-        TypeRef::array_of(TypeRef::Object(node)),
-    );
+    let f_kids = pb.add_instance_field(node, "kids", TypeRef::array_of(TypeRef::Object(node)));
 
     let cls = pb.add_class("awfy.storage.Storage", Some(h.benchmark_cls));
     let f_count = pb.add_instance_field(cls, "count", TypeRef::Int);
@@ -39,7 +35,9 @@ pub(crate) fn install(pb: &mut ProgramBuilder, h: &Harness) -> ClassId {
         leaf,
         |f| {
             // Leaf width from the random stream: 1 + (next() % 10) + 1.
-            let r = f.call_virtual(h.random_cls, h.next_sel, &[rng], true).unwrap();
+            let r = f
+                .call_virtual(h.random_cls, h.next_sel, &[rng], true)
+                .unwrap();
             let ten = f.iconst(10);
             let m = f.rem(r, ten);
             let one = f.iconst(1);

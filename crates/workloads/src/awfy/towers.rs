@@ -12,11 +12,7 @@ pub(crate) fn install(pb: &mut ProgramBuilder, h: &Harness) -> ClassId {
     let f_next = pb.add_instance_field(disk, "next", TypeRef::Object(disk));
 
     let cls = pb.add_class("awfy.towers.Towers", Some(h.benchmark_cls));
-    let f_piles = pb.add_instance_field(
-        cls,
-        "piles",
-        TypeRef::array_of(TypeRef::Object(disk)),
-    );
+    let f_piles = pb.add_instance_field(cls, "piles", TypeRef::array_of(TypeRef::Object(disk)));
     let f_moves = pb.add_instance_field(cls, "movesDone", TypeRef::Int);
 
     // pushDisk(this, d, pile)

@@ -121,7 +121,13 @@ mod tests {
         let p = pb.build().unwrap();
 
         let reach = analyze(&p, &AnalysisConfig::default());
-        let cp = compile(&p, reach, &InlineConfig::default(), InstrumentConfig::NONE, None);
+        let cp = compile(
+            &p,
+            reach,
+            &InlineConfig::default(),
+            InstrumentConfig::NONE,
+            None,
+        );
         let snap = snapshot(&p, &cp, &HeapBuildConfig::default()).unwrap();
         let img = BinaryImage::build(&cp, &snap, None, None, ImageOptions::default());
         let r = Vm::new(&p, &cp, &snap, &img, VmConfig::default())
@@ -142,9 +148,15 @@ mod tests {
         let r = f.new_object(h.random_cls);
         let seed = f.iconst(74755);
         f.put_field(r, h.random_seed, seed);
-        let v1 = f.call_virtual(h.random_cls, h.next_sel, &[r], true).unwrap();
-        let v2 = f.call_virtual(h.random_cls, h.next_sel, &[r], true).unwrap();
-        let v3 = f.call_virtual(h.random_cls, h.next_sel, &[r], true).unwrap();
+        let v1 = f
+            .call_virtual(h.random_cls, h.next_sel, &[r], true)
+            .unwrap();
+        let v2 = f
+            .call_virtual(h.random_cls, h.next_sel, &[r], true)
+            .unwrap();
+        let v3 = f
+            .call_virtual(h.random_cls, h.next_sel, &[r], true)
+            .unwrap();
         let t = f.add(v1, v2);
         let t = f.add(t, v3);
         f.ret(Some(t));
@@ -152,7 +164,13 @@ mod tests {
         install_main(&mut pb, &rt, &h, cls, 1);
         let p = pb.build().unwrap();
         let reach = analyze(&p, &AnalysisConfig::default());
-        let cp = compile(&p, reach, &InlineConfig::default(), InstrumentConfig::NONE, None);
+        let cp = compile(
+            &p,
+            reach,
+            &InlineConfig::default(),
+            InstrumentConfig::NONE,
+            None,
+        );
         let snap = snapshot(&p, &cp, &HeapBuildConfig::default()).unwrap();
         let img = BinaryImage::build(&cp, &snap, None, None, ImageOptions::default());
         let r = Vm::new(&p, &cp, &snap, &img, VmConfig::default())

@@ -129,21 +129,15 @@ fn build_service(spec: &FrameworkSpec, scale: &RuntimeScale) -> Program {
     let f_bean_name = pb.add_instance_field(bean, "name", TypeRef::Str);
     let f_bean_dep = pb.add_instance_field(bean, "dep", TypeRef::Object(bean));
     let f_bean_wired = pb.add_instance_field(bean, "wired", TypeRef::Bool);
-    let f_bean_props = pb.add_instance_field(
-        bean,
-        "props",
-        TypeRef::array_of(TypeRef::Object(props)),
-    );
+    let f_bean_props =
+        pb.add_instance_field(bean, "props", TypeRef::array_of(TypeRef::Object(props)));
     // Some components keep their properties in an alternate field (a
     // different container flavour); whether the bean occupying a registry
     // slot does so depends on the shuffled initialization order, so the
     // discovery path of its properties differs across builds — the same
     // multiple-paths weakness the runtime library exhibits.
-    let f_bean_alt_props = pb.add_instance_field(
-        bean,
-        "altProps",
-        TypeRef::array_of(TypeRef::Object(props)),
-    );
+    let f_bean_alt_props =
+        pb.add_instance_field(bean, "altProps", TypeRef::array_of(TypeRef::Object(props)));
     let f_bean_blob = pb.add_instance_field(bean, "config", TypeRef::array_of(TypeRef::Int));
 
     let route = pb.add_class(&format!("{}.Route", spec.pkg), None);
@@ -151,11 +145,7 @@ fn build_service(spec: &FrameworkSpec, scale: &RuntimeScale) -> Program {
     let f_route_handler = pb.add_instance_field(route, "handler", TypeRef::Int);
 
     let container = pb.add_class(&format!("{}.Container", spec.pkg), None);
-    let f_beans = pb.add_static_field(
-        container,
-        "BEANS",
-        TypeRef::array_of(TypeRef::Object(bean)),
-    );
+    let f_beans = pb.add_static_field(container, "BEANS", TypeRef::array_of(TypeRef::Object(bean)));
     let f_nbeans = pb.add_static_field(container, "NBEANS", TypeRef::Int);
     let f_routes = pb.add_static_field(
         container,

@@ -250,8 +250,12 @@ pub fn install_runtime(pb: &mut ProgramBuilder, scale: &RuntimeScale) -> Runtime
         // cold, like metadata byte arrays that are present but not parsed
         // at startup), then does some register-class/wire-encoding work.
         for j in 0..scale.hot_methods {
-            let hot =
-                pb.declare_static(cls, &format!("init{j}"), &[TypeRef::Int], Some(TypeRef::Int));
+            let hot = pb.declare_static(
+                cls,
+                &format!("init{j}"),
+                &[TypeRef::Int],
+                Some(TypeRef::Int),
+            );
             let mut f = pb.body(hot);
             let slot = f.param(0);
             // Consult the shared cache first (this also makes the cache the

@@ -113,7 +113,10 @@ fn main() -> Result<(), PipelineError> {
         eval.text_fault_reduction(),
         eval.heap_fault_reduction()
     );
-    println!("startup speedup     : {:.2}x (SSD cost model)", eval.speedup(&cm));
+    println!(
+        "startup speedup     : {:.2}x (SSD cost model)",
+        eval.speedup(&cm)
+    );
     assert_eq!(
         eval.baseline.entry_return, eval.optimized.entry_return,
         "reordering never changes program results"

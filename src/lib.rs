@@ -80,3 +80,8 @@ pub mod order {
 pub mod workloads {
     pub use nimage_workloads::*;
 }
+
+/// Cross-layer static analysis and pipeline invariant verification.
+pub mod verify {
+    pub use nimage_verify::*;
+}

@@ -1,0 +1,38 @@
+//! Acceptance: the determinism audit passes on a full AWFY pipeline.
+//!
+//! Two builds of the same program — with the allocator deliberately perturbed
+//! between them — must produce byte-identical images and identical ordering
+//! CSVs, both with and without ordering profiles from a real profiling run.
+
+use nimage::verify::{audit_determinism, DeterminismInputs};
+use nimage::vm::StopWhen;
+use nimage::workloads::{Awfy, RuntimeScale};
+use nimage::{BuildOptions, Pipeline, Strategy};
+
+#[test]
+fn unprofiled_awfy_pipeline_is_deterministic() {
+    let program = Awfy::Bounce.program_at(&RuntimeScale::small());
+    let report = audit_determinism(&program, &DeterminismInputs::default());
+    assert!(report.is_deterministic(), "{:?}", report.diagnostics);
+    assert!(report.image_identical);
+    assert!(report.cu_order_identical);
+    assert!(report.object_order_identical);
+}
+
+#[test]
+fn profiled_awfy_pipeline_is_deterministic() {
+    let program = Awfy::Sieve.program_at(&RuntimeScale::small());
+    let pipeline = Pipeline::new(&program, BuildOptions::default());
+    let prof = pipeline
+        .profiling_run(StopWhen::Exit)
+        .expect("profiling run succeeds");
+    let strategy = Strategy::CuPlusHeapPath;
+    let heap_strategy = strategy.heap_strategy().expect("strategy orders the heap");
+    let inputs = DeterminismInputs {
+        cu_profile: Some(&prof.cu_profile),
+        heap_profile: Some(&prof.heap_profiles[&heap_strategy]),
+        heap_strategy: Some(heap_strategy),
+    };
+    let report = audit_determinism(&program, &inputs);
+    assert!(report.is_deterministic(), "{:?}", report.diagnostics);
+}

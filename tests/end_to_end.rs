@@ -7,7 +7,6 @@ use nimage::vm::{CostModel, StopWhen, VmConfig};
 use nimage::workloads::{Awfy, Microservice, RuntimeScale};
 use nimage::{BuildOptions, Pipeline, Strategy};
 
-
 fn options(dump: DumpMode) -> BuildOptions {
     BuildOptions {
         vm: VmConfig {
@@ -59,13 +58,19 @@ fn microservice_pipeline_small_scale() {
         let program = service.program_at(&scale);
         let pipeline = Pipeline::new(&program, options(DumpMode::MemoryMapped));
         let artifacts = pipeline.profiling_run(StopWhen::FirstResponse).unwrap();
-        let stats = artifacts
-            .instrumented_report
-            .session_stats
-            .expect("stats");
-        assert_eq!(stats.lost_records, 0, "{}: mmap mode loses nothing", service.name());
+        let stats = artifacts.instrumented_report.session_stats.expect("stats");
+        assert_eq!(
+            stats.lost_records,
+            0,
+            "{}: mmap mode loses nothing",
+            service.name()
+        );
         let eval = pipeline
-            .evaluate_with(&artifacts, Strategy::CuPlusHeapPath, StopWhen::FirstResponse)
+            .evaluate_with(
+                &artifacts,
+                Strategy::CuPlusHeapPath,
+                StopWhen::FirstResponse,
+            )
             .unwrap();
         let cm = CostModel::ssd();
         assert!(
@@ -83,12 +88,8 @@ fn microservice_pipeline_small_scale() {
 fn on_full_mode_loses_records_on_kill() {
     let program = Microservice::Micronaut.program_at(&RuntimeScale::small());
     let pipeline = Pipeline::new(&program, options(DumpMode::OnFull));
-    let built = pipeline
-        .build_instrumented(InstrumentConfig::FULL)
-        .unwrap();
-    let report = pipeline
-        .run_image(&built, StopWhen::FirstResponse)
-        .unwrap();
+    let built = pipeline.build_instrumented(InstrumentConfig::FULL).unwrap();
+    let report = pipeline.run_image(&built, StopWhen::FirstResponse).unwrap();
     assert!(
         report.session_stats.unwrap().lost_records > 0,
         "the kill must catch staged records"
@@ -100,9 +101,7 @@ fn on_full_mode_loses_records_on_kill() {
 fn trace_file_roundtrip_through_disk_format() {
     let program = Awfy::Sieve.program_at(&RuntimeScale::small());
     let pipeline = Pipeline::new(&program, options(DumpMode::OnFull));
-    let built = pipeline
-        .build_instrumented(InstrumentConfig::FULL)
-        .unwrap();
+    let built = pipeline.build_instrumented(InstrumentConfig::FULL).unwrap();
     let report = pipeline.run_image(&built, StopWhen::Exit).unwrap();
     let trace = report.trace.unwrap();
     let bytes = write_trace(&trace);
@@ -191,7 +190,10 @@ fn full_scale_shape_bounce() {
     assert!(cu > 1.3, "cu = {cu:.2}");
     assert!(cu >= method, "cu {cu:.2} vs method {method:.2}");
     assert!(path >= incr, "heap path {path:.2} vs incremental {incr:.2}");
-    assert!(hash >= incr, "structural {hash:.2} vs incremental {incr:.2}");
+    assert!(
+        hash >= incr,
+        "structural {hash:.2} vs incremental {incr:.2}"
+    );
     assert!(both > 1.3, "combined = {both:.2}");
 }
 

@@ -6,9 +6,7 @@
 use proptest::prelude::*;
 
 use nimage::analysis::{analyze, AnalysisConfig};
-use nimage::compiler::{
-    compile, InlineConfig, InstrumentConfig, PathNumbering, ProfilingCfg,
-};
+use nimage::compiler::{compile, InlineConfig, InstrumentConfig, PathNumbering, ProfilingCfg};
 use nimage::heap::{snapshot, HeapBuildConfig, StepBudget};
 use nimage::image::{BinaryImage, ImageOptions};
 use nimage::ir::{BinOp, BodyBuilder, Program, ProgramBuilder, TypeRef};
@@ -53,14 +51,14 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
     let leaf = (-100i32..100).prop_map(Expr::Const);
     leaf.prop_recursive(4, 32, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), inner)
-                .prop_map(|(c, a, b)| Expr::If(Box::new(c), Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| Expr::If(
+                Box::new(c),
+                Box::new(a),
+                Box::new(b)
+            )),
         ]
     })
 }

@@ -1,0 +1,73 @@
+//! Minimal, API-compatible subset of the `criterion` crate.
+//!
+//! Offers just enough surface for the workspace's microbenches to compile
+//! and run: each registered benchmark executes its body a few times and
+//! reports wall-clock time per iteration. No statistics, plots, or CLI.
+
+use std::time::Instant;
+
+/// Number of timed iterations per benchmark (keep runs fast).
+const ITERATIONS: u32 = 10;
+
+/// Passed to each benchmark closure; runs the measured body.
+pub struct Bencher {
+    elapsed_ns: u128,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times `body` over a fixed number of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        let start = Instant::now();
+        for _ in 0..ITERATIONS {
+            std::hint::black_box(body());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+        self.iters = ITERATIONS;
+    }
+}
+
+/// Benchmark registry and runner.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one benchmark immediately and prints its mean iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            elapsed_ns: 0,
+            iters: 1,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed_ns / u128::from(b.iters.max(1));
+        println!("bench {id}: {per_iter} ns/iter");
+        self
+    }
+}
+
+/// Opaque-to-the-optimizer identity, re-exported for convenience.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        #[allow(dead_code)]
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

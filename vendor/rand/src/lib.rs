@@ -1,0 +1,106 @@
+//! Minimal, API-compatible subset of the `rand` crate.
+//!
+//! Provides exactly what the workspace uses: a seedable [`rngs::SmallRng`]
+//! and [`seq::SliceRandom::shuffle`]. The generator is a SplitMix64-seeded
+//! xorshift64* — statistically fine for test perturbation, not for crypto.
+
+/// A source of random 64-bit values.
+pub trait RngCore {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32-bit value.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from an integer seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Small, fast, non-cryptographic generator (xorshift64*).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 scrambles low-entropy seeds (0, 1, 2, ...).
+            let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            SmallRng {
+                state: z | 1, // xorshift state must be non-zero
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::RngCore;
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{RngCore, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_seed_sensitive() {
+        let base: Vec<u32> = (0..64).collect();
+        let mut x = base.clone();
+        let mut y = base.clone();
+        x.shuffle(&mut SmallRng::seed_from_u64(1));
+        y.shuffle(&mut SmallRng::seed_from_u64(2));
+        let mut xs = x.clone();
+        xs.sort_unstable();
+        assert_eq!(xs, base);
+        assert_ne!(x, y, "different seeds should permute differently");
+    }
+}
