@@ -27,8 +27,11 @@ fn main() {
         };
         let pipeline = Pipeline::new(&program, opts);
         let artifacts = pipeline.profiling_run(StopWhen::Exit).expect("profile");
+        let base = pipeline
+            .baseline(&artifacts, StopWhen::Exit)
+            .expect("baseline");
         let eval = pipeline
-            .evaluate_with(&artifacts, Strategy::CuPlusHeapPath, StopWhen::Exit)
+            .evaluate_with(&artifacts, &base, Strategy::CuPlusHeapPath, StopWhen::Exit)
             .expect("eval");
         println!(
             "{:>8} {:>12} {:>12} {:>10.2}",

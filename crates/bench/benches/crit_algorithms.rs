@@ -1,5 +1,6 @@
 //! Criterion microbenches of the core algorithms: MurmurHash3, the three
-//! identity strategies, Ball–Larus numbering and the layout computation.
+//! identity strategies, Ball–Larus numbering, the layout computation and
+//! the IR dataflow lints.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nimage_analysis::{analyze, AnalysisConfig};
@@ -64,11 +65,21 @@ fn bench_compile(c: &mut Criterion) {
     });
 }
 
+fn bench_irlint(c: &mut Criterion) {
+    // Havlak has the branchiest method bodies — the use-before-def
+    // fixpoint (interleaved bitvector arena) dominates this lint.
+    let program = Awfy::Havlak.program_at(&RuntimeScale::small());
+    c.bench_function("irlint_program", |b| {
+        b.iter(|| nimage_verify::irlint::lint_program(std::hint::black_box(&program)))
+    });
+}
+
 criterion_group!(
     benches,
     bench_murmur,
     bench_strategies,
     bench_path_numbering,
-    bench_compile
+    bench_compile,
+    bench_irlint
 );
 criterion_main!(benches);

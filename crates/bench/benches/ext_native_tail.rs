@@ -28,8 +28,11 @@ fn main() {
             };
             let pipeline = Pipeline::new(&program, opts);
             let artifacts = pipeline.profiling_run(StopWhen::Exit).expect("profile");
+            let base = pipeline
+                .baseline(&artifacts, StopWhen::Exit)
+                .expect("baseline");
             let eval = pipeline
-                .evaluate_with(&artifacts, Strategy::CuPlusHeapPath, StopWhen::Exit)
+                .evaluate_with(&artifacts, &base, Strategy::CuPlusHeapPath, StopWhen::Exit)
                 .expect("eval");
             results.push(eval.optimized.faults.total());
         }

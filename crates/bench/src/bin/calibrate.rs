@@ -12,9 +12,12 @@ fn main() {
         let pipe = Pipeline::new(&p, BuildOptions::default());
         let t0 = std::time::Instant::now();
         let artifacts = pipe.profiling_run(StopWhen::Exit).unwrap();
+        let base = pipe.baseline(&artifacts, StopWhen::Exit).unwrap();
         print!("{:12}", b.name());
         for s in Strategy::all() {
-            let e = pipe.evaluate_with(&artifacts, s, StopWhen::Exit).unwrap();
+            let e = pipe
+                .evaluate_with(&artifacts, &base, s, StopWhen::Exit)
+                .unwrap();
             print!(
                 " {}={:.2}/{:.2}",
                 s.name(),
@@ -25,20 +28,9 @@ fn main() {
         println!(
             "  [{:?} base faults t={} h={} ops={}] {:.1?}",
             (),
-            pipe.evaluate_with(&artifacts, Strategy::Cu, StopWhen::Exit)
-                .unwrap()
-                .baseline
-                .faults
-                .text,
-            pipe.evaluate_with(&artifacts, Strategy::Cu, StopWhen::Exit)
-                .unwrap()
-                .baseline
-                .faults
-                .svm_heap,
-            pipe.evaluate_with(&artifacts, Strategy::Cu, StopWhen::Exit)
-                .unwrap()
-                .baseline
-                .ops,
+            base.report.faults.text,
+            base.report.faults.svm_heap,
+            base.report.ops,
             t0.elapsed()
         );
     }
@@ -52,10 +44,11 @@ fn main() {
         let pipe = Pipeline::new(&p, opts);
         let t0 = std::time::Instant::now();
         let artifacts = pipe.profiling_run(StopWhen::FirstResponse).unwrap();
+        let base = pipe.baseline(&artifacts, StopWhen::FirstResponse).unwrap();
         print!("{:12}", m.name());
         for s in Strategy::all() {
             let e = pipe
-                .evaluate_with(&artifacts, s, StopWhen::FirstResponse)
+                .evaluate_with(&artifacts, &base, s, StopWhen::FirstResponse)
                 .unwrap();
             print!(
                 " {}={:.2}/{:.2}",

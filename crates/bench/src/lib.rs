@@ -18,7 +18,10 @@
 
 #![warn(missing_docs)]
 
-use nimage_core::{BuildOptions, Evaluation, Pipeline, ProfiledArtifacts, Strategy};
+use nimage_core::{
+    BuildOptions, Engine, Evaluation, MatrixCell, Pipeline, ProfiledArtifacts, Strategy,
+    WorkloadSpec,
+};
 use nimage_ir::Program;
 use nimage_profiler::DumpMode;
 use nimage_vm::{CostModel, StopWhen, VmConfig};
@@ -47,7 +50,7 @@ pub struct WorkloadRows {
 }
 
 /// Runs the full pipeline (profile once, evaluate every strategy) for one
-/// program.
+/// program on a transient [`Engine`].
 ///
 /// # Panics
 /// Panics if any pipeline stage fails — the harness treats that as a
@@ -58,23 +61,47 @@ pub fn evaluate_program(
     stop: StopWhen,
     dump_mode: DumpMode,
 ) -> WorkloadRows {
-    let pipeline = Pipeline::new(program, eval_options(dump_mode));
-    let artifacts = pipeline
-        .profiling_run(stop)
-        .unwrap_or_else(|e| panic!("{name}: profiling failed: {e}"));
-    let rows = Strategy::all()
-        .into_iter()
-        .map(|s| {
-            let eval = pipeline
-                .evaluate_with(&artifacts, s, stop)
-                .unwrap_or_else(|e| panic!("{name}: {} failed: {e}", s.name()));
-            (s, eval)
-        })
-        .collect();
+    evaluate_program_with(&Engine::default(), name, program, stop, dump_mode)
+}
+
+/// [`evaluate_program`] on a caller-provided [`Engine`], sharing its
+/// artifact cache (and worker pool) across calls.
+///
+/// # Panics
+/// Panics if any pipeline stage fails.
+pub fn evaluate_program_with(
+    engine: &Engine,
+    name: &str,
+    program: &Program,
+    stop: StopWhen,
+    dump_mode: DumpMode,
+) -> WorkloadRows {
+    let spec = WorkloadSpec::new(name, program, eval_options(dump_mode), stop);
+    let rows = engine
+        .evaluate_workload(&spec, &Strategy::all())
+        .unwrap_or_else(|e| panic!("{name}: evaluation failed: {e}"));
     WorkloadRows {
         name: name.to_string(),
         rows,
     }
+}
+
+/// Regroups row-major matrix cells into per-workload rows.
+fn rows_from_cells(cells: Vec<MatrixCell>) -> Vec<WorkloadRows> {
+    let mut out: Vec<WorkloadRows> = Vec::new();
+    for cell in cells {
+        if out.last().is_none_or(|w| w.name != cell.workload) {
+            out.push(WorkloadRows {
+                name: cell.workload.clone(),
+                rows: Vec::with_capacity(Strategy::all().len()),
+            });
+        }
+        out.last_mut()
+            .unwrap()
+            .rows
+            .push((cell.strategy, cell.eval));
+    }
+    out
 }
 
 /// Profiling artifacts for overhead-style experiments that need the raw
@@ -92,32 +119,70 @@ pub fn profile_program(
     (pipeline, artifacts)
 }
 
-/// Evaluates all 14 AWFY benchmarks (end-to-end execution, dump mode 1).
+/// Evaluates all 14 AWFY benchmarks (end-to-end execution, dump mode 1) on
+/// a transient [`Engine`].
 pub fn evaluate_awfy() -> Vec<WorkloadRows> {
-    Awfy::all()
+    evaluate_awfy_with(&Engine::default())
+}
+
+/// [`evaluate_awfy`] on a caller-provided [`Engine`]: all
+/// `14 workloads × 6 strategies` cells go through one matrix evaluation.
+///
+/// # Panics
+/// Panics if any pipeline stage fails.
+pub fn evaluate_awfy_with(engine: &Engine) -> Vec<WorkloadRows> {
+    let programs: Vec<_> = Awfy::all()
         .into_iter()
-        .map(|b| {
-            let program = b.program();
-            evaluate_program(b.name(), &program, StopWhen::Exit, DumpMode::OnFull)
+        .map(|b| (b.name(), b.program()))
+        .collect();
+    let specs: Vec<WorkloadSpec<'_>> = programs
+        .iter()
+        .map(|(name, program)| {
+            WorkloadSpec::new(
+                *name,
+                program,
+                eval_options(DumpMode::OnFull),
+                StopWhen::Exit,
+            )
         })
-        .collect()
+        .collect();
+    let cells = engine
+        .evaluate_matrix(&specs, &Strategy::all())
+        .unwrap_or_else(|e| panic!("awfy evaluation failed: {e}"));
+    rows_from_cells(cells)
 }
 
 /// Evaluates the three microservices (time to first response, dump mode 2 —
-/// the memory-mapped buffers that survive the `SIGKILL`).
+/// the memory-mapped buffers that survive the `SIGKILL`) on a transient
+/// [`Engine`].
 pub fn evaluate_micro() -> Vec<WorkloadRows> {
-    Microservice::all()
+    evaluate_micro_with(&Engine::default())
+}
+
+/// [`evaluate_micro`] on a caller-provided [`Engine`].
+///
+/// # Panics
+/// Panics if any pipeline stage fails.
+pub fn evaluate_micro_with(engine: &Engine) -> Vec<WorkloadRows> {
+    let programs: Vec<_> = Microservice::all()
         .into_iter()
-        .map(|m| {
-            let program = m.program();
-            evaluate_program(
-                m.name(),
-                &program,
+        .map(|m| (m.name(), m.program()))
+        .collect();
+    let specs: Vec<WorkloadSpec<'_>> = programs
+        .iter()
+        .map(|(name, program)| {
+            WorkloadSpec::new(
+                *name,
+                program,
+                eval_options(DumpMode::MemoryMapped),
                 StopWhen::FirstResponse,
-                DumpMode::MemoryMapped,
             )
         })
-        .collect()
+        .collect();
+    let cells = engine
+        .evaluate_matrix(&specs, &Strategy::all())
+        .unwrap_or_else(|e| panic!("microservice evaluation failed: {e}"));
+    rows_from_cells(cells)
 }
 
 /// Geometric mean.

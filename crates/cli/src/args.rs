@@ -31,7 +31,9 @@ impl std::error::Error for ArgError {}
 
 /// Option keys that take a value; everything else starting with `--` is a
 /// boolean flag.
-const VALUED: &[&str] = &["strategy", "out", "profiles", "width", "scale", "window"];
+const VALUED: &[&str] = &[
+    "strategy", "out", "profiles", "width", "scale", "window", "json", "threads",
+];
 
 /// Parses `args` (without the program name).
 ///

@@ -3,12 +3,14 @@
 //! ```text
 //! nimage list                                   all workloads
 //! nimage eval <workload> [--strategy S|--all]   fault/speedup factors
+//! nimage run <workload> [--strategy S]          build one image and run it
+//! nimage bench [workload] [--json FILE]         engine vs serial wall-clock
 //! nimage profile <workload> --out DIR           write CSV profiles + trace
 //! nimage optimize <workload> --profiles DIR --strategy S --out FILE
 //! nimage inspect <image-file>                   dump a serialized image
 //! nimage pagemap <workload> [--strategy S] [--width N]
 //! nimage overhead <workload>                    Sec. 7.4 overhead factors
-//! nimage lint <workload> [--strategy S] [--report]
+//! nimage lint <workload>|--all [--strategy S] [--report]
 //! nimage help
 //! ```
 
@@ -18,8 +20,12 @@ mod workload;
 
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Instant;
 
-use nimage_core::{load_profiles, save_profiles, BuildOptions, Pipeline, Strategy};
+use nimage_core::{
+    load_profiles, save_profiles, BuildOptions, Engine, EngineOptions, Evaluation, Pipeline,
+    Strategy, WorkloadSpec,
+};
 use nimage_profiler::{write_trace, DumpMode};
 use nimage_vm::{render_ascii, summarize, CostModel, VmConfig};
 
@@ -34,7 +40,15 @@ USAGE:
 
 COMMANDS:
     list                                     list available workloads
-    eval <workload> [--strategy S | --all]   profile + evaluate strategies
+    eval <workload> [--strategy S | --all] [--threads N]
+                                             profile + evaluate strategies on the evaluation
+                                             engine (shared artifact cache, worker threads)
+    run <workload> [--strategy S]            build one image (reordered when --strategy is
+                                             given) and run it, printing the measured report
+    bench [workload] [--json FILE] [--threads N]
+                                             time the engine (cached, parallel) against the
+                                             serial uncached loop over all six strategies and
+                                             report per-stage wall-clock + cache hit counts
     profile <workload> --out DIR             write ordering profiles (CSV) and the raw trace
     optimize <workload> --profiles DIR --strategy S --out FILE
                                              build a reordered image and serialize it
@@ -43,14 +57,18 @@ COMMANDS:
                                              Fig. 6-style page map of both sections
     heapstats <workload>                     snapshot composition + layout quality
     overhead <workload>                      profiling overhead factors (Sec. 7.4)
-    lint <workload> [--strategy S] [--report]
+    lint <workload>|--all [--strategy S] [--report]
                                              run the nimage-verify checkers over the whole
-                                             pipeline; non-zero exit on any error finding;
-                                             --report also prints layout-quality metrics
+                                             pipeline (--all: every workload); non-zero exit
+                                             on any error finding; --report also prints
+                                             layout-quality metrics
     help                                     this text
 
 STRATEGIES: cu, method, incremental-id, structural-hash, heap-path, cu+heap-path
 WORKLOADS:  the 14 AWFY benchmarks, micronaut/quarkus/spring, and `quickstart`
+
+`run` and `eval` accept --verify / --no-verify to toggle the nimage-verify
+checkers inside the pipeline (default: on in debug builds, off in release).
 ";
 
 fn strategy_of(name: &str) -> Result<Strategy, ArgError> {
@@ -105,6 +123,8 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             Ok(())
         }
         "eval" => cmd_eval(&parsed),
+        "run" => cmd_run(&parsed),
+        "bench" => cmd_bench(&parsed),
         "profile" => cmd_profile(&parsed),
         "optimize" => cmd_optimize(&parsed),
         "inspect" => cmd_inspect(&parsed),
@@ -126,6 +146,29 @@ fn pipeline_for(workload: &Workload) -> BuildOptions {
     }
 }
 
+/// Resolves `--verify` / `--no-verify`: an explicit flag wins; otherwise
+/// the nimage-verify checkers default on in debug builds and off in
+/// release builds (they roughly double pipeline cost).
+fn verify_flag(parsed: &ParsedArgs) -> bool {
+    if parsed.has_flag("no-verify") {
+        false
+    } else if parsed.has_flag("verify") {
+        true
+    } else {
+        cfg!(debug_assertions)
+    }
+}
+
+/// Parses `--threads N` (0 = auto).
+fn threads_of(parsed: &ParsedArgs) -> Result<usize, ArgError> {
+    parsed
+        .option("threads")
+        .map(str::parse)
+        .transpose()
+        .map_err(|_| ArgError("--threads must be a number".into()))
+        .map(|t| t.unwrap_or(0))
+}
+
 fn cmd_eval(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     let workload = Workload::resolve(parsed.one_positional("workload")?)?;
     let strategies: Vec<Strategy> = match parsed.option("strategy") {
@@ -133,16 +176,20 @@ fn cmd_eval(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
         _ => Strategy::all().to_vec(),
     };
     let program = workload.program();
-    let pipeline = Pipeline::new(&program, pipeline_for(&workload));
+    let mut opts = pipeline_for(&workload);
+    opts.verify = verify_flag(parsed);
+    let engine = Engine::new(EngineOptions {
+        n_threads: threads_of(parsed)?,
+    });
     eprintln!("profiling {} …", workload.name());
-    let artifacts = pipeline.profiling_run(workload.stop())?;
+    let spec = WorkloadSpec::new(workload.name(), &program, opts, workload.stop());
+    let rows = engine.evaluate_workload(&spec, &strategies)?;
     let cm = CostModel::ssd();
     println!(
         "{:<16} {:>12} {:>12} {:>10} {:>9}",
         "strategy", "base faults", "opt faults", "reduction", "speedup"
     );
-    for strategy in strategies {
-        let eval = pipeline.evaluate_with(&artifacts, strategy, workload.stop())?;
+    for (strategy, eval) in rows {
         println!(
             "{:<16} {:>12} {:>12} {:>9.2}x {:>8.2}x",
             strategy.name(),
@@ -152,7 +199,189 @@ fn cmd_eval(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
             eval.speedup(&cm),
         );
     }
+    let stats = engine.stats();
+    eprintln!(
+        "cache: {} hits, {} misses",
+        stats.cache_hits(),
+        stats.cache_misses()
+    );
     Ok(())
+}
+
+fn cmd_run(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let workload = Workload::resolve(parsed.one_positional("workload")?)?;
+    let strategy = parsed.option("strategy").map(strategy_of).transpose()?;
+    let program = workload.program();
+    let mut opts = pipeline_for(&workload);
+    opts.verify = verify_flag(parsed);
+    let pipeline = Pipeline::new(&program, opts);
+    let built = match strategy {
+        Some(_) => {
+            eprintln!("profiling {} …", workload.name());
+            let artifacts = pipeline.profiling_run(workload.stop())?;
+            pipeline.build_optimized(&artifacts, strategy)?
+        }
+        None => pipeline.build_instrumented(nimage_compiler::InstrumentConfig::NONE)?,
+    };
+    let report = pipeline.run_image(&built, workload.stop())?;
+    let cm = CostModel::ssd();
+    println!(
+        "{} ({} layout):",
+        workload.name(),
+        strategy.map_or("regular", |s| s.name())
+    );
+    println!("  exit          : {:?}", report.exit);
+    println!("  entry return  : {:?}", report.entry_return);
+    println!("  ops           : {}", report.ops);
+    println!(
+        "  faults        : {} .text + {} .svm_heap = {}",
+        report.faults.text,
+        report.faults.svm_heap,
+        report.faults.total()
+    );
+    println!(
+        "  startup (ssd) : {:.3} ms",
+        report.time_ns(&cm) / 1_000_000.0
+    );
+    if let Some(t) = report.time_to_first_response_ns(&cm) {
+        println!("  first response: {:.3} ms", t / 1_000_000.0);
+    }
+    Ok(())
+}
+
+fn cmd_bench(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let workload = match parsed.positional.as_slice() {
+        [] => Workload::resolve("Bounce")?,
+        [one] => Workload::resolve(one)?,
+        _ => return Err(ArgError("expected at most one workload".into()).into()),
+    };
+    let strategies = Strategy::all();
+    let program = workload.program();
+    // Verification stays off unless asked for — this command measures the
+    // evaluation path itself.
+    let mut opts = pipeline_for(&workload);
+    opts.verify = parsed.has_flag("verify");
+    let stop = workload.stop();
+
+    // Reference: the serial uncached loop — profile once, then every
+    // strategy end to end on one thread, each rebuilding and re-measuring
+    // the baseline (what per-strategy evaluation costs without the shared
+    // artifact cache).
+    eprintln!("benchmarking {} (serial uncached) …", workload.name());
+    let t0 = Instant::now();
+    let pipeline = Pipeline::new(&program, opts.clone());
+    let artifacts = pipeline.profiling_run(stop)?;
+    let mut serial: Vec<(Strategy, Evaluation)> = Vec::new();
+    for s in strategies {
+        let base = pipeline.baseline(&artifacts, stop)?;
+        serial.push((s, pipeline.evaluate_with(&artifacts, &base, s, stop)?));
+    }
+    let serial_ns = t0.elapsed().as_nanos() as u64;
+
+    // The engine: shared artifact cache + worker threads.
+    eprintln!("benchmarking {} (engine) …", workload.name());
+    let engine = Engine::new(EngineOptions {
+        n_threads: threads_of(parsed)?,
+    });
+    let t1 = Instant::now();
+    let spec = WorkloadSpec::new(workload.name(), &program, opts, stop);
+    let rows = engine.evaluate_workload(&spec, &strategies)?;
+    let engine_ns = t1.elapsed().as_nanos() as u64;
+
+    let results_match = serial.len() == rows.len()
+        && serial.iter().zip(&rows).all(|((s1, e1), (s2, e2))| {
+            s1 == s2
+                && e1.baseline.faults == e2.baseline.faults
+                && e1.optimized.faults == e2.optimized.faults
+                && e1.baseline.ops == e2.baseline.ops
+                && e1.optimized.ops == e2.optimized.ops
+                && e1.optimized.entry_return == e2.optimized.entry_return
+        });
+    let stats = engine.stats();
+    let speedup = serial_ns as f64 / engine_ns.max(1) as f64;
+
+    println!("{} × {} strategies:", workload.name(), strategies.len());
+    println!("  serial uncached : {:>10.1} ms", serial_ns as f64 / 1e6);
+    println!(
+        "  engine          : {:>10.1} ms  ({speedup:.2}x)",
+        engine_ns as f64 / 1e6
+    );
+    println!(
+        "  cache           : {} hits, {} misses",
+        stats.cache_hits(),
+        stats.cache_misses()
+    );
+    for (name, ns) in stats.stages.iter() {
+        println!("    {name:<9} {:>10.1} ms", ns as f64 / 1e6);
+    }
+    println!(
+        "  results         : {}",
+        if results_match { "identical" } else { "DIFFER" }
+    );
+
+    if let Some(path) = parsed.option("json") {
+        let json = bench_json(
+            workload.name(),
+            strategies.len(),
+            engine.stats(),
+            serial_ns,
+            engine_ns,
+            results_match,
+        );
+        std::fs::write(path, json)?;
+        println!("wrote {path}");
+    }
+    if results_match {
+        Ok(())
+    } else {
+        Err("engine results differ from the serial loop".into())
+    }
+}
+
+/// Renders the `nimage bench` report as JSON (no serde in the workspace —
+/// the schema is flat and hand-written).
+fn bench_json(
+    workload: &str,
+    n_strategies: usize,
+    stats: nimage_core::EngineStats,
+    serial_ns: u64,
+    engine_ns: u64,
+    results_match: bool,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"workload\": \"{workload}\",\n"));
+    out.push_str(&format!("  \"strategies\": {n_strategies},\n"));
+    out.push_str(&format!("  \"serial_uncached_ns\": {serial_ns},\n"));
+    out.push_str(&format!("  \"engine_ns\": {engine_ns},\n"));
+    out.push_str(&format!(
+        "  \"speedup\": {:.4},\n",
+        serial_ns as f64 / engine_ns.max(1) as f64
+    ));
+    out.push_str(&format!("  \"results_match\": {results_match},\n"));
+    out.push_str("  \"stages_ns\": {\n");
+    let stages: Vec<String> = stats
+        .stages
+        .iter()
+        .map(|(name, ns)| format!("    \"{name}\": {ns}"))
+        .collect();
+    out.push_str(&stages.join(",\n"));
+    out.push_str("\n  },\n");
+    out.push_str(&format!("  \"cache_hits\": {},\n", stats.cache_hits()));
+    out.push_str(&format!("  \"cache_misses\": {},\n", stats.cache_misses()));
+    out.push_str("  \"cache\": [\n");
+    let memos: Vec<String> = stats
+        .cache
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\"stage\": \"{}\", \"hits\": {}, \"misses\": {}}}",
+                m.name, m.hits, m.misses
+            )
+        })
+        .collect();
+    out.push_str(&memos.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
 }
 
 fn cmd_profile(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
@@ -365,13 +594,45 @@ fn quality_report(
 }
 
 fn cmd_lint(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
-    use nimage_verify::{determinism::DeterminismInputs, irlint, pipeline as checks, Severity};
-
-    let workload = Workload::resolve(parsed.one_positional("workload")?)?;
     let strategy = match parsed.option("strategy") {
         Some(s) => strategy_of(s)?,
         None => Strategy::CuPlusHeapPath,
     };
+    let report = parsed.has_flag("report");
+    let workloads: Vec<Workload> = if parsed.has_flag("all") {
+        Workload::awfy()
+            .chain(Workload::micro())
+            .chain(std::iter::once(Workload::Quickstart))
+            .collect()
+    } else {
+        vec![Workload::resolve(parsed.one_positional("workload")?)?]
+    };
+    let mut total_errors = 0;
+    for workload in &workloads {
+        total_errors += lint_workload(workload, strategy, report)?;
+    }
+    if workloads.len() > 1 {
+        println!(
+            "\nlint --all: {} workload(s), {} error(s)",
+            workloads.len(),
+            total_errors
+        );
+    }
+    if total_errors > 0 {
+        return Err(format!("{total_errors} verification error(s)").into());
+    }
+    Ok(())
+}
+
+/// Lints one workload end to end, printing every diagnostic; returns the
+/// number of error-severity findings.
+fn lint_workload(
+    workload: &Workload,
+    strategy: Strategy,
+    report: bool,
+) -> Result<usize, Box<dyn std::error::Error>> {
+    use nimage_verify::{determinism::DeterminismInputs, irlint, pipeline as checks, Severity};
+
     let program = workload.program();
     let pipeline = Pipeline::new(&program, pipeline_for(&workload));
     let mut diags = vec![];
@@ -468,7 +729,7 @@ fn cmd_lint(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     );
     diags.extend(det.diagnostics);
 
-    if parsed.has_flag("report") {
+    if report {
         let accessed = accessed_objects(trace);
         let default_order: Vec<nimage_heap::ObjId> =
             opt.snapshot.entries().iter().map(|e| e.obj).collect();
@@ -498,10 +759,7 @@ fn cmd_lint(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
         errors,
         diags.len() - errors
     );
-    if errors > 0 {
-        return Err(format!("{errors} verification error(s)").into());
-    }
-    Ok(())
+    Ok(errors)
 }
 
 fn cmd_overhead(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {

@@ -1,0 +1,589 @@
+//! The parallel evaluation engine: strategy × workload matrices over the
+//! shared [`ArtifactCache`].
+//!
+//! The paper's experiments measure six ordering strategies over 17
+//! workloads. Evaluated naively, every strategy rebuilds the optimized
+//! *baseline* image and re-runs the baseline measurement — identical work
+//! repeated six times — and everything runs serially. The engine instead:
+//!
+//! 1. **profiles once per workload** (instrumented build + run + replay),
+//! 2. **caches every shared artifact** content-keyed in an
+//!    [`ArtifactCache`] — reachability, both compiles, both snapshots,
+//!    strategy ID maps, the materialized snapshot heap, the baseline
+//!    layout and the baseline measurement are each computed exactly once
+//!    per workload and shared by all strategies,
+//! 3. **fans the independent cells out** over a scoped thread pool with a
+//!    work-stealing job queue, returning results in deterministic
+//!    row-major (workload-major) order regardless of scheduling.
+//!
+//! Per-stage wall-clock and cache hit counts are recorded in
+//! [`EngineStats`] (surfaced by `nimage bench --json`), establishing the
+//! repo's performance trajectory for the evaluation path.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use nimage_analysis::Reachability;
+use nimage_compiler::{CompiledProgram, InstrumentConfig};
+use nimage_heap::{HeapSnapshot, ObjId};
+use nimage_image::BinaryImage;
+use nimage_ir::Program;
+use nimage_order::HeapStrategy;
+use nimage_vm::{HeapTemplate, RunReport, StopWhen};
+
+use crate::cache::{ArtifactCache, CacheKey, MemoStats};
+use crate::{BuildOptions, Evaluation, Pipeline, PipelineError, ProfiledArtifacts, Strategy};
+
+/// Pipeline stages the engine attributes wall-clock to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    Analyze = 0,
+    Compile,
+    Snapshot,
+    Replay,
+    Order,
+    Layout,
+    Run,
+}
+
+/// Cumulative wall-clock spent *computing* each pipeline stage (cache hits
+/// cost nothing and add nothing). With several worker threads, stage times
+/// can sum to more than elapsed wall-clock — they measure work, not span.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimes {
+    /// Nanoseconds per stage, parallel to [`StageTimes::NAMES`].
+    pub ns: [u64; 7],
+}
+
+impl StageTimes {
+    /// Stage names, parallel to [`StageTimes::ns`].
+    pub const NAMES: [&'static str; 7] = [
+        "analyze", "compile", "snapshot", "replay", "order", "layout", "run",
+    ];
+
+    /// `(name, nanoseconds)` pairs in pipeline order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        Self::NAMES.into_iter().zip(self.ns)
+    }
+
+    /// Total nanoseconds across all stages.
+    pub fn total_ns(&self) -> u64 {
+        self.ns.iter().sum()
+    }
+}
+
+#[derive(Debug, Default)]
+struct StageClock {
+    ns: [AtomicU64; 7],
+}
+
+impl StageClock {
+    fn time<T>(&self, stage: Stage, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let v = f();
+        self.ns[stage as usize].fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        v
+    }
+
+    fn snapshot(&self) -> StageTimes {
+        let mut out = StageTimes::default();
+        for (slot, counter) in out.ns.iter_mut().zip(&self.ns) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+/// Engine construction knobs.
+#[derive(Debug, Clone, Default)]
+pub struct EngineOptions {
+    /// Worker threads for [`Engine::evaluate_matrix`]; `0` uses the
+    /// machine's available parallelism.
+    pub n_threads: usize,
+}
+
+/// One workload of an evaluation matrix.
+#[derive(Debug)]
+pub struct WorkloadSpec<'p> {
+    /// Display name (also the row label of the result).
+    pub name: String,
+    /// The program under evaluation.
+    pub program: &'p Program,
+    /// Pipeline configuration.
+    pub opts: BuildOptions,
+    /// When measured runs stop.
+    pub stop: StopWhen,
+}
+
+impl<'p> WorkloadSpec<'p> {
+    /// Creates a workload spec.
+    pub fn new(
+        name: impl Into<String>,
+        program: &'p Program,
+        opts: BuildOptions,
+        stop: StopWhen,
+    ) -> WorkloadSpec<'p> {
+        WorkloadSpec {
+            name: name.into(),
+            program,
+            opts,
+            stop,
+        }
+    }
+}
+
+/// One cell of an evaluated matrix.
+#[derive(Debug)]
+pub struct MatrixCell {
+    /// Workload name of the cell's row.
+    pub workload: String,
+    /// Strategy of the cell's column.
+    pub strategy: Strategy,
+    /// The baseline-vs-strategy measurement.
+    pub eval: Evaluation,
+}
+
+/// Counters of one engine: per-stage wall-clock and per-memo cache
+/// hit/miss counts.
+#[derive(Debug, Clone)]
+pub struct EngineStats {
+    /// Wall-clock spent computing each stage.
+    pub stages: StageTimes,
+    /// Hit/miss counters per cached stage.
+    pub cache: Vec<MemoStats>,
+}
+
+impl EngineStats {
+    /// Total cache hits across all stages.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache.iter().map(|s| s.hits).sum()
+    }
+
+    /// Total cache misses across all stages.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache.iter().map(|s| s.misses).sum()
+    }
+}
+
+/// Per-workload context: the spec plus its content fingerprint, computed
+/// once up front.
+struct Ctx<'p, 's> {
+    spec: &'s WorkloadSpec<'p>,
+    base: CacheKey,
+}
+
+impl<'p, 's> Ctx<'p, 's> {
+    fn new(spec: &'s WorkloadSpec<'p>) -> Ctx<'p, 's> {
+        let parts = [
+            CacheKey::of_debug("program", spec.program),
+            CacheKey::of_debug("options", &spec.opts),
+            CacheKey::of_debug("stop", &spec.stop),
+        ];
+        Ctx {
+            spec,
+            base: CacheKey::for_stage("workload", &parts),
+        }
+    }
+
+    fn key(&self, stage: &str) -> CacheKey {
+        CacheKey::for_stage(stage, &[self.base])
+    }
+
+    fn pipeline(&self) -> Pipeline<'p> {
+        Pipeline::new(self.spec.program, self.spec.opts.clone())
+    }
+}
+
+/// The baseline half of one workload's evaluation, every part shared
+/// behind the cache.
+struct BaselineParts {
+    compiled: Arc<CompiledProgram>,
+    snapshot: Arc<HeapSnapshot>,
+    template: Arc<HeapTemplate>,
+    run: Arc<RunReport>,
+}
+
+/// A work-stealing job queue: each worker owns a deque seeded with its
+/// share of the jobs, pops locally from the front and steals from other
+/// workers' backs when its own runs dry.
+struct StealQueue {
+    deques: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl StealQueue {
+    fn new(n_workers: usize) -> StealQueue {
+        StealQueue {
+            deques: (0..n_workers)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+        }
+    }
+
+    fn seed(&self, worker: usize, job: usize) {
+        self.deques[worker]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push_back(job);
+    }
+
+    fn pop(&self, worker: usize) -> Option<usize> {
+        if let Some(j) = self.deques[worker]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop_front()
+        {
+            return Some(j);
+        }
+        let n = self.deques.len();
+        for victim in (worker + 1..n).chain(0..worker) {
+            if let Some(j) = self.deques[victim]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop_back()
+            {
+                return Some(j);
+            }
+        }
+        None
+    }
+}
+
+/// The parallel evaluation engine. See the module docs.
+#[derive(Debug)]
+pub struct Engine {
+    cache: ArtifactCache,
+    clock: StageClock,
+    opts: EngineOptions,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new(EngineOptions::default())
+    }
+}
+
+impl Engine {
+    /// Creates an engine with an empty artifact cache.
+    pub fn new(opts: EngineOptions) -> Engine {
+        Engine {
+            cache: ArtifactCache::new(),
+            clock: StageClock::default(),
+            opts,
+        }
+    }
+
+    /// The engine's artifact cache.
+    pub fn cache(&self) -> &ArtifactCache {
+        &self.cache
+    }
+
+    /// Per-stage wall-clock and cache counters accumulated so far.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            stages: self.clock.snapshot(),
+            cache: self.cache.stats(),
+        }
+    }
+
+    fn worker_count(&self, jobs: usize) -> usize {
+        let n = if self.opts.n_threads > 0 {
+            self.opts.n_threads
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        };
+        n.clamp(1, jobs.max(1))
+    }
+
+    /// Evaluates every `(workload, strategy)` cell of the matrix, sharing
+    /// cached artifacts within and across rows and fanning independent
+    /// cells out over worker threads. Results come back in deterministic
+    /// row-major order — `specs[0] × strategies[0..]`, then `specs[1]`, … —
+    /// and are bit-identical to the serial uncached loop's.
+    ///
+    /// # Errors
+    /// Returns the first failing cell's error (in row-major order).
+    pub fn evaluate_matrix<'p>(
+        &self,
+        specs: &[WorkloadSpec<'p>],
+        strategies: &[Strategy],
+    ) -> Result<Vec<MatrixCell>, PipelineError> {
+        let ctxs: Vec<Ctx<'p, '_>> = specs.iter().map(Ctx::new).collect();
+        let jobs: Vec<(usize, usize)> = (0..specs.len())
+            .flat_map(|wi| (0..strategies.len()).map(move |si| (wi, si)))
+            .collect();
+        let results: Vec<OnceLock<Result<Evaluation, PipelineError>>> =
+            jobs.iter().map(|_| OnceLock::new()).collect();
+
+        let n_workers = self.worker_count(jobs.len());
+        if n_workers <= 1 {
+            for (slot, &(wi, si)) in results.iter().zip(&jobs) {
+                let _ = slot.set(self.run_job(&ctxs[wi], strategies[si]));
+            }
+        } else {
+            // Seed worker deques workload-major so workers start on
+            // different rows (the shared per-row stages serialize behind
+            // the cache slots); stealing rebalances the strategy cells.
+            let queue = StealQueue::new(n_workers);
+            for (j, &(wi, _)) in jobs.iter().enumerate() {
+                queue.seed(wi % n_workers, j);
+            }
+            let queue = &queue;
+            let results = &results;
+            let ctxs = &ctxs;
+            let jobs = &jobs;
+            std::thread::scope(|scope| {
+                for w in 0..n_workers {
+                    scope.spawn(move || {
+                        while let Some(j) = queue.pop(w) {
+                            let (wi, si) = jobs[j];
+                            let _ = results[j].set(self.run_job(&ctxs[wi], strategies[si]));
+                        }
+                    });
+                }
+            });
+        }
+
+        let mut out = Vec::with_capacity(jobs.len());
+        for (slot, &(wi, si)) in results.into_iter().zip(&jobs) {
+            let eval = slot
+                .into_inner()
+                .expect("every seeded job ran to completion")?;
+            out.push(MatrixCell {
+                workload: specs[wi].name.clone(),
+                strategy: strategies[si],
+                eval,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Evaluates all `strategies` for one workload, returning
+    /// `(strategy, evaluation)` pairs in input order.
+    ///
+    /// # Errors
+    /// Returns the first failing strategy's error.
+    pub fn evaluate_workload<'p>(
+        &self,
+        spec: &WorkloadSpec<'p>,
+        strategies: &[Strategy],
+    ) -> Result<Vec<(Strategy, Evaluation)>, PipelineError> {
+        let cells = self.evaluate_matrix(std::slice::from_ref(spec), strategies)?;
+        Ok(cells.into_iter().map(|c| (c.strategy, c.eval)).collect())
+    }
+
+    fn run_job(&self, ctx: &Ctx<'_, '_>, strategy: Strategy) -> Result<Evaluation, PipelineError> {
+        let artifacts = self.profiled(ctx)?;
+        let parts = self.baseline_parts(ctx, &artifacts)?;
+        self.evaluate_cell(ctx, &artifacts, &parts, strategy)
+    }
+
+    fn reach(&self, ctx: &Ctx<'_, '_>, p: &Pipeline<'_>) -> Arc<Reachability> {
+        self.cache.reach.get_or(ctx.key("analyze"), || {
+            self.clock.time(Stage::Analyze, || p.analyze_stage())
+        })
+    }
+
+    fn heap_ids(
+        &self,
+        ctx: &Ctx<'_, '_>,
+        snap_key: CacheKey,
+        snap: &HeapSnapshot,
+        hs: HeapStrategy,
+    ) -> Arc<HashMap<ObjId, u64>> {
+        let key = CacheKey::for_stage(
+            "assign-ids",
+            &[snap_key, CacheKey::of_debug("strategy", &hs)],
+        );
+        self.cache.heap_ids.get_or(key, || {
+            self.clock.time(Stage::Order, || {
+                nimage_order::assign_ids(ctx.spec.program, snap, hs)
+            })
+        })
+    }
+
+    /// The profiling half (steps 1–3 of Fig. 1), computed once per
+    /// workload.
+    fn profiled(&self, ctx: &Ctx<'_, '_>) -> Result<Arc<ProfiledArtifacts>, PipelineError> {
+        self.cache.profiles.get_or_try(ctx.key("profile"), || {
+            let p = ctx.pipeline();
+            let reach = self.reach(ctx, &p);
+            let compiled = self
+                .cache
+                .compiled
+                .get_or(ctx.key("compile:instrumented"), || {
+                    self.clock.time(Stage::Compile, || {
+                        p.compile_stage((*reach).clone(), InstrumentConfig::FULL, None)
+                    })
+                });
+            let snap_key = ctx.key("snapshot:instrumented");
+            let snap = self.cache.snapshots.get_or_try(snap_key, || {
+                self.clock.time(Stage::Snapshot, || {
+                    p.snapshot_stage(&compiled, &ctx.spec.opts.heap_instrumented)
+                })
+            })?;
+            let image = self.clock.time(Stage::Layout, || {
+                p.layout_stage(&compiled, &snap, None, None, None)
+            })?;
+            let template =
+                self.cache
+                    .heap_templates
+                    .get_or(ctx.key("heap-template:instrumented"), || {
+                        self.clock.time(Stage::Snapshot, || {
+                            HeapTemplate::from_build_heap(snap.heap())
+                        })
+                    });
+            let report = self.clock.time(Stage::Run, || {
+                p.run_parts(&compiled, &snap, &image, Some(template), ctx.spec.stop)
+            })?;
+            self.clock.time(Stage::Replay, || {
+                p.post_process(report, &mut |hs| self.heap_ids(ctx, snap_key, &snap, hs))
+            })
+        })
+    }
+
+    /// The strategy-independent optimized-build artifacts, each computed
+    /// once per workload and shared by every strategy cell.
+    fn baseline_parts(
+        &self,
+        ctx: &Ctx<'_, '_>,
+        artifacts: &ProfiledArtifacts,
+    ) -> Result<BaselineParts, PipelineError> {
+        let p = ctx.pipeline();
+        let reach = self.reach(ctx, &p);
+        let compiled = self
+            .cache
+            .compiled
+            .get_or(ctx.key("compile:optimized"), || {
+                self.clock.time(Stage::Compile, || {
+                    p.compile_stage(
+                        (*reach).clone(),
+                        InstrumentConfig::NONE,
+                        Some(&artifacts.call_counts),
+                    )
+                })
+            });
+        let snapshot = self
+            .cache
+            .snapshots
+            .get_or_try(ctx.key("snapshot:optimized"), || {
+                self.clock.time(Stage::Snapshot, || {
+                    p.snapshot_stage(&compiled, &ctx.spec.opts.heap_optimized)
+                })
+            })?;
+        let template = self
+            .cache
+            .heap_templates
+            .get_or(ctx.key("heap-template:optimized"), || {
+                self.clock.time(Stage::Snapshot, || {
+                    HeapTemplate::from_build_heap(snapshot.heap())
+                })
+            });
+        let image: Arc<BinaryImage> =
+            self.cache
+                .images
+                .get_or_try(ctx.key("layout:baseline"), || {
+                    self.clock.time(Stage::Layout, || {
+                        p.layout_stage(&compiled, &snapshot, None, None, None)
+                    })
+                })?;
+        let run = self.cache.runs.get_or_try(ctx.key("run:baseline"), || {
+            self.clock.time(Stage::Run, || {
+                p.run_parts(
+                    &compiled,
+                    &snapshot,
+                    &image,
+                    Some(template.clone()),
+                    ctx.spec.stop,
+                )
+            })
+        })?;
+        Ok(BaselineParts {
+            compiled,
+            snapshot,
+            template,
+            run,
+        })
+    }
+
+    /// One strategy cell: order + layout + run against the shared
+    /// baseline.
+    fn evaluate_cell(
+        &self,
+        ctx: &Ctx<'_, '_>,
+        artifacts: &ProfiledArtifacts,
+        parts: &BaselineParts,
+        strategy: Strategy,
+    ) -> Result<Evaluation, PipelineError> {
+        let p = ctx.pipeline();
+        let ids = strategy
+            .heap_strategy()
+            .map(|hs| self.heap_ids(ctx, ctx.key("snapshot:optimized"), &parts.snapshot, hs));
+        let (cu_order, object_order) = self.clock.time(Stage::Order, || {
+            p.order_stage(
+                artifacts,
+                &parts.compiled,
+                &parts.snapshot,
+                Some(strategy),
+                ids.as_deref(),
+            )
+        });
+        let image = self.clock.time(Stage::Layout, || {
+            p.layout_stage(
+                &parts.compiled,
+                &parts.snapshot,
+                cu_order,
+                object_order,
+                Some(artifacts.native_pages.as_slice()),
+            )
+        })?;
+        let optimized = self.clock.time(Stage::Run, || {
+            p.run_parts(
+                &parts.compiled,
+                &parts.snapshot,
+                &image,
+                Some(parts.template.clone()),
+                ctx.spec.stop,
+            )
+        })?;
+        Ok(Evaluation {
+            strategy,
+            baseline: (*parts.run).clone(),
+            optimized,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_times_report_in_pipeline_order() {
+        let clock = StageClock::default();
+        clock.time(Stage::Run, || {
+            std::thread::sleep(std::time::Duration::from_millis(1))
+        });
+        let t = clock.snapshot();
+        assert!(t.ns[Stage::Run as usize] > 0);
+        assert_eq!(t.total_ns(), t.ns.iter().sum::<u64>());
+        let names: Vec<_> = t.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, StageTimes::NAMES);
+    }
+
+    #[test]
+    fn steal_queue_drains_own_then_steals() {
+        let q = StealQueue::new(2);
+        q.seed(0, 10);
+        q.seed(0, 11);
+        q.seed(1, 20);
+        assert_eq!(q.pop(0), Some(10), "own deque pops front");
+        assert_eq!(q.pop(1), Some(20));
+        assert_eq!(q.pop(1), Some(11), "steals from the other worker's back");
+        assert_eq!(q.pop(0), None);
+        assert_eq!(q.pop(1), None);
+    }
+}

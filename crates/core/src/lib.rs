@@ -37,17 +37,24 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
+pub mod engine;
 mod persist;
 
+pub use cache::{ArtifactCache, CacheKey, Memo, MemoStats};
+pub use engine::{Engine, EngineOptions, EngineStats, MatrixCell, StageTimes, WorkloadSpec};
 pub use persist::{load_profiles, save_profiles, SavedProfiles};
 
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
-use nimage_analysis::{analyze, AnalysisConfig};
-use nimage_compiler::{compile, CallCountProfile, CompiledProgram, InlineConfig, InstrumentConfig};
-use nimage_heap::{snapshot, ClinitError, HeapBuildConfig, HeapSnapshot};
+use nimage_analysis::{analyze, AnalysisConfig, Reachability};
+use nimage_compiler::{
+    compile, CallCountProfile, CompiledProgram, CuId, InlineConfig, InstrumentConfig,
+};
+use nimage_heap::{snapshot, ClinitError, HeapBuildConfig, HeapSnapshot, ObjId};
 use nimage_image::{BinaryImage, ImageOptions};
 use nimage_ir::Program;
 use nimage_order::{
@@ -56,7 +63,7 @@ use nimage_order::{
     OrderingAnalysis, ReplayError,
 };
 use nimage_verify::{errors_of, irlint, pipeline as checks, Diagnostic};
-use nimage_vm::{CostModel, RunReport, StopWhen, Vm, VmConfig, VmError};
+use nimage_vm::{CostModel, HeapTemplate, RunReport, StopWhen, Vm, VmConfig, VmError};
 
 /// An ordering strategy of the paper (Sec. 4, Sec. 5, and the combined
 /// `cu+heap path` of Sec. 7).
@@ -284,6 +291,21 @@ impl Evaluation {
     }
 }
 
+/// The strategy-independent half of an evaluation: the PGO-optimized build
+/// with the default layout, and its measured run.
+///
+/// Every strategy of one workload compares against the same baseline, so
+/// callers compute it once (via [`Pipeline::baseline`]) and lend it to each
+/// [`Pipeline::evaluate_with`] call instead of paying the optimized build
+/// and baseline measurement once per strategy.
+#[derive(Debug)]
+pub struct Baseline {
+    /// The optimized build with default layout.
+    pub built: BuiltImage,
+    /// Its measured run.
+    pub report: RunReport,
+}
+
 /// A pipeline failure.
 #[derive(Debug)]
 pub enum PipelineError {
@@ -380,8 +402,37 @@ impl<'p> Pipeline<'p> {
         instr: InstrumentConfig,
         profile: Option<&CallCountProfile>,
     ) -> CompiledProgram {
-        let reach = analyze(self.program, &self.opts.analysis);
+        self.compile_stage(self.analyze_stage(), instr, profile)
+    }
+
+    /// Stage: reachability analysis. Deterministic in the program and
+    /// [`AnalysisConfig`], and independent of instrumentation — every build
+    /// of the pipeline shares one result.
+    pub fn analyze_stage(&self) -> Reachability {
+        analyze(self.program, &self.opts.analysis)
+    }
+
+    /// Stage: compilation (inlining, instrumentation, PGO).
+    pub fn compile_stage(
+        &self,
+        reach: Reachability,
+        instr: InstrumentConfig,
+        profile: Option<&CallCountProfile>,
+    ) -> CompiledProgram {
         compile(self.program, reach, &self.opts.inline, instr, profile)
+    }
+
+    /// Stage: build-time initializer execution + heap snapshot under the
+    /// given heap-build configuration.
+    ///
+    /// # Errors
+    /// Fails if build-time initializers fail.
+    pub fn snapshot_stage(
+        &self,
+        compiled: &CompiledProgram,
+        cfg: &HeapBuildConfig,
+    ) -> Result<HeapSnapshot, PipelineError> {
+        Ok(snapshot(self.program, compiled, cfg)?)
     }
 
     /// Builds the instrumented image (steps 1–2 of Fig. 1's profiling
@@ -391,9 +442,8 @@ impl<'p> Pipeline<'p> {
     /// Fails if build-time initializers fail.
     pub fn build_instrumented(&self, instr: InstrumentConfig) -> Result<BuiltImage, PipelineError> {
         let compiled = self.compile_with(instr, None);
-        let snap = snapshot(self.program, &compiled, &self.opts.heap_instrumented)?;
-        let image = BinaryImage::build(&compiled, &snap, None, None, self.opts.image.clone());
-        self.verify_built(&compiled, &snap, &image)?;
+        let snap = self.snapshot_stage(&compiled, &self.opts.heap_instrumented)?;
+        let image = self.layout_stage(&compiled, &snap, None, None, None)?;
         Ok(BuiltImage {
             compiled,
             snapshot: snap,
@@ -410,14 +460,42 @@ impl<'p> Pipeline<'p> {
         built: &BuiltImage,
         stop: StopWhen,
     ) -> Result<RunReport, PipelineError> {
-        Ok(Vm::new(
-            self.program,
-            &built.compiled,
-            &built.snapshot,
-            &built.image,
-            self.opts.vm.clone(),
-        )
-        .run(stop)?)
+        self.run_parts(&built.compiled, &built.snapshot, &built.image, None, stop)
+    }
+
+    /// Runs an image given its parts. With `heap = Some(template)`, the VM
+    /// references the pre-materialized snapshot heap copy-on-write instead
+    /// of converting the whole snapshot again — the evaluation engine
+    /// materializes once per snapshot and shares it across every run.
+    ///
+    /// # Errors
+    /// Propagates VM errors.
+    pub fn run_parts(
+        &self,
+        compiled: &CompiledProgram,
+        snapshot: &HeapSnapshot,
+        image: &BinaryImage,
+        heap: Option<Arc<HeapTemplate>>,
+        stop: StopWhen,
+    ) -> Result<RunReport, PipelineError> {
+        let vm = match heap {
+            Some(t) => Vm::with_heap_template(
+                self.program,
+                compiled,
+                snapshot,
+                image,
+                self.opts.vm.clone(),
+                t,
+            ),
+            None => Vm::new(
+                self.program,
+                compiled,
+                snapshot,
+                image,
+                self.opts.vm.clone(),
+            ),
+        };
+        Ok(vm.run(stop)?)
     }
 
     /// Performs the full profiling build + run + post-processing (steps 1–3
@@ -428,6 +506,25 @@ impl<'p> Pipeline<'p> {
     pub fn profiling_run(&self, stop: StopWhen) -> Result<ProfiledArtifacts, PipelineError> {
         let built = self.build_instrumented(InstrumentConfig::FULL)?;
         let report = self.run_image(&built, stop)?;
+        self.post_process(report, &mut |hs| {
+            Arc::new(assign_ids(self.program, &built.snapshot, hs))
+        })
+    }
+
+    /// Stage: trace post-processing (step 3 of Fig. 1) — replays the
+    /// instrumented run's trace through the ordering analyses, producing
+    /// every ordering profile at once. `ids_for` supplies the strategy
+    /// identity maps of the *instrumented* snapshot; the serial path
+    /// computes them inline, the evaluation engine passes a cached lookup.
+    ///
+    /// # Errors
+    /// Fails when the report carries no trace, on replay errors, and on
+    /// trace-verification findings when [`BuildOptions::verify`] is set.
+    pub fn post_process(
+        &self,
+        report: RunReport,
+        ids_for: &mut dyn FnMut(HeapStrategy) -> Arc<HashMap<ObjId, u64>>,
+    ) -> Result<ProfiledArtifacts, PipelineError> {
         let trace = report.trace.clone().ok_or(PipelineError::NoTrace)?;
         if self.opts.verify {
             let errors = errors_of(&checks::check_trace(&trace));
@@ -446,7 +543,7 @@ impl<'p> Pipeline<'p> {
         let mut method_an = MethodOrderAnalysis::new();
         let mut heap_profiles = HashMap::new();
         for (i, &strat) in heap_strategies.iter().enumerate() {
-            let ids = assign_ids(self.program, &built.snapshot, strat);
+            let ids = ids_for(strat);
             let mut heap_an = HeapOrderAnalysis::new();
             if i == 0 {
                 // Feed the code analyses on the first pass; they ignore
@@ -495,46 +592,84 @@ impl<'p> Pipeline<'p> {
         strategy: Option<Strategy>,
     ) -> Result<BuiltImage, PipelineError> {
         let compiled = self.compile_with(InstrumentConfig::NONE, Some(&artifacts.call_counts));
-        let snap = snapshot(self.program, &compiled, &self.opts.heap_optimized)?;
+        let snap = self.snapshot_stage(&compiled, &self.opts.heap_optimized)?;
+        let (cu_order, object_order) =
+            self.order_stage(artifacts, &compiled, &snap, strategy, None);
+        let native = strategy
+            .is_some()
+            .then_some(artifacts.native_pages.as_slice());
+        let image = self.layout_stage(&compiled, &snap, cu_order, object_order, native)?;
+        Ok(BuiltImage {
+            compiled,
+            snapshot: snap,
+            image,
+        })
+    }
 
+    /// Stage: ordering — computes a strategy's CU and object orders from
+    /// the profiles. `heap_ids` optionally supplies precomputed strategy
+    /// identities of `snap` (the evaluation engine caches them per
+    /// snapshot × strategy); `None` computes them inline.
+    pub fn order_stage(
+        &self,
+        artifacts: &ProfiledArtifacts,
+        compiled: &CompiledProgram,
+        snap: &HeapSnapshot,
+        strategy: Option<Strategy>,
+        heap_ids: Option<&HashMap<ObjId, u64>>,
+    ) -> (Option<Vec<CuId>>, Option<Vec<ObjId>>) {
         let cu_order = match strategy {
             Some(s) if s.orders_code() => {
                 let (profile, gran) = match s {
                     Strategy::Method => (&artifacts.method_profile, CodeGranularity::Method),
                     _ => (&artifacts.cu_profile, CodeGranularity::Cu),
                 };
-                Some(order_cus(self.program, &compiled, profile, gran))
+                Some(order_cus(self.program, compiled, profile, gran))
             }
             _ => None,
         };
         let object_order = match strategy.and_then(|s| s.heap_strategy()) {
             Some(hs) => {
-                let ids = assign_ids(self.program, &snap, hs);
                 let profile = &artifacts.heap_profiles[&hs];
-                Some(order_objects(&snap, &ids, profile))
+                Some(match heap_ids {
+                    Some(ids) => order_objects(snap, ids, profile),
+                    None => order_objects(snap, &assign_ids(self.program, snap, hs), profile),
+                })
             }
             None => None,
         };
+        (cu_order, object_order)
+    }
 
+    /// Stage: layout — places the CUs and objects, reorders the native tail
+    /// from a first-touch profile when [`BuildOptions::reorder_native`] is
+    /// set and a profile is given, and runs the build-stage verifiers.
+    ///
+    /// # Errors
+    /// Fails on error-severity verification findings (only when
+    /// [`BuildOptions::verify`] is set).
+    pub fn layout_stage(
+        &self,
+        compiled: &CompiledProgram,
+        snap: &HeapSnapshot,
+        cu_order: Option<Vec<CuId>>,
+        object_order: Option<Vec<ObjId>>,
+        native_profile: Option<&[u32]>,
+    ) -> Result<BinaryImage, PipelineError> {
         let mut image = BinaryImage::build(
-            &compiled,
-            &snap,
+            compiled,
+            snap,
             cu_order,
             object_order,
             self.opts.image.clone(),
         );
-        if self.opts.reorder_native && strategy.is_some() {
-            image.set_native_page_order(native_order(
-                &artifacts.native_pages,
-                image.native_pages() as u32,
-            ));
+        if self.opts.reorder_native {
+            if let Some(pages) = native_profile {
+                image.set_native_page_order(native_order(pages, image.native_pages() as u32));
+            }
         }
-        self.verify_built(&compiled, &snap, &image)?;
-        Ok(BuiltImage {
-            compiled,
-            snapshot: snap,
-            image,
-        })
+        self.verify_built(compiled, snap, &image)?;
+        Ok(image)
     }
 
     /// When [`BuildOptions::verify`] is set, runs the `nimage-verify`
@@ -579,27 +714,44 @@ impl<'p> Pipeline<'p> {
         stop: StopWhen,
     ) -> Result<Evaluation, PipelineError> {
         let artifacts = self.profiling_run(stop)?;
-        self.evaluate_with(&artifacts, strategy, stop)
+        let baseline = self.baseline(&artifacts, stop)?;
+        self.evaluate_with(&artifacts, &baseline, strategy, stop)
     }
 
-    /// Like [`Self::evaluate`], reusing already-collected profiles (the
-    /// paper profiles once and evaluates every strategy).
+    /// Builds and measures the strategy-independent [`Baseline`] (the PGO
+    /// build with default layout) exactly once, for sharing across every
+    /// strategy of the workload via [`Self::evaluate_with`].
+    ///
+    /// # Errors
+    /// Propagates any pipeline stage failure.
+    pub fn baseline(
+        &self,
+        artifacts: &ProfiledArtifacts,
+        stop: StopWhen,
+    ) -> Result<Baseline, PipelineError> {
+        let built = self.build_optimized(artifacts, None)?;
+        let report = self.run_image(&built, stop)?;
+        Ok(Baseline { built, report })
+    }
+
+    /// Evaluates one strategy against an already-measured [`Baseline`],
+    /// reusing already-collected profiles (the paper profiles once and
+    /// evaluates every strategy against one baseline).
     ///
     /// # Errors
     /// Propagates any pipeline stage failure.
     pub fn evaluate_with(
         &self,
         artifacts: &ProfiledArtifacts,
+        baseline: &Baseline,
         strategy: Strategy,
         stop: StopWhen,
     ) -> Result<Evaluation, PipelineError> {
-        let baseline_img = self.build_optimized(artifacts, None)?;
         let optimized_img = self.build_optimized(artifacts, Some(strategy))?;
-        let baseline = self.run_image(&baseline_img, stop)?;
         let optimized = self.run_image(&optimized_img, stop)?;
         Ok(Evaluation {
             strategy,
-            baseline,
+            baseline: baseline.report.clone(),
             optimized,
         })
     }

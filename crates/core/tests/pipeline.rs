@@ -161,9 +161,10 @@ fn every_strategy_preserves_semantics_and_reduces_its_fault_metric() {
     let p = workload();
     let pipeline = Pipeline::new(&p, options());
     let artifacts = pipeline.profiling_run(StopWhen::Exit).unwrap();
+    let base = pipeline.baseline(&artifacts, StopWhen::Exit).unwrap();
     for strategy in Strategy::all() {
         let eval = pipeline
-            .evaluate_with(&artifacts, strategy, StopWhen::Exit)
+            .evaluate_with(&artifacts, &base, strategy, StopWhen::Exit)
             .unwrap();
         assert_eq!(
             eval.baseline.entry_return,
@@ -187,8 +188,9 @@ fn code_strategies_beat_the_baseline_clearly() {
     let p = workload();
     let pipeline = Pipeline::new(&p, options());
     let artifacts = pipeline.profiling_run(StopWhen::Exit).unwrap();
+    let base = pipeline.baseline(&artifacts, StopWhen::Exit).unwrap();
     let cu = pipeline
-        .evaluate_with(&artifacts, Strategy::Cu, StopWhen::Exit)
+        .evaluate_with(&artifacts, &base, Strategy::Cu, StopWhen::Exit)
         .unwrap();
     assert!(
         cu.text_fault_reduction() > 1.2,
@@ -196,7 +198,7 @@ fn code_strategies_beat_the_baseline_clearly() {
         cu.text_fault_reduction()
     );
     let method = pipeline
-        .evaluate_with(&artifacts, Strategy::Method, StopWhen::Exit)
+        .evaluate_with(&artifacts, &base, Strategy::Method, StopWhen::Exit)
         .unwrap();
     assert!(method.text_fault_reduction() > 1.0);
 }
@@ -206,8 +208,9 @@ fn heap_path_beats_the_baseline_clearly() {
     let p = workload();
     let pipeline = Pipeline::new(&p, options());
     let artifacts = pipeline.profiling_run(StopWhen::Exit).unwrap();
+    let base = pipeline.baseline(&artifacts, StopWhen::Exit).unwrap();
     let hp = pipeline
-        .evaluate_with(&artifacts, Strategy::HeapPath, StopWhen::Exit)
+        .evaluate_with(&artifacts, &base, Strategy::HeapPath, StopWhen::Exit)
         .unwrap();
     assert!(
         hp.heap_fault_reduction() > 1.2,
@@ -221,8 +224,9 @@ fn combined_strategy_reduces_both_sections() {
     let p = workload();
     let pipeline = Pipeline::new(&p, options());
     let artifacts = pipeline.profiling_run(StopWhen::Exit).unwrap();
+    let base = pipeline.baseline(&artifacts, StopWhen::Exit).unwrap();
     let both = pipeline
-        .evaluate_with(&artifacts, Strategy::CuPlusHeapPath, StopWhen::Exit)
+        .evaluate_with(&artifacts, &base, Strategy::CuPlusHeapPath, StopWhen::Exit)
         .unwrap();
     assert!(both.text_fault_reduction() > 1.0);
     assert!(both.heap_fault_reduction() > 1.0);
@@ -275,11 +279,13 @@ fn evaluation_is_deterministic() {
     let a2 = pipeline.profiling_run(StopWhen::Exit).unwrap();
     assert_eq!(a1.cu_profile, a2.cu_profile);
     assert_eq!(a1.method_profile, a2.method_profile);
+    let b1 = pipeline.baseline(&a1, StopWhen::Exit).unwrap();
+    let b2 = pipeline.baseline(&a2, StopWhen::Exit).unwrap();
     let e1 = pipeline
-        .evaluate_with(&a1, Strategy::Cu, StopWhen::Exit)
+        .evaluate_with(&a1, &b1, Strategy::Cu, StopWhen::Exit)
         .unwrap();
     let e2 = pipeline
-        .evaluate_with(&a2, Strategy::Cu, StopWhen::Exit)
+        .evaluate_with(&a2, &b2, Strategy::Cu, StopWhen::Exit)
         .unwrap();
     assert_eq!(e1.baseline.faults, e2.baseline.faults);
     assert_eq!(e1.optimized.faults, e2.optimized.faults);

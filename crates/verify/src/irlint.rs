@@ -28,14 +28,6 @@ impl LocalSet {
         }
     }
 
-    fn full(n: usize) -> Self {
-        let mut s = LocalSet::empty(n);
-        for i in 0..n {
-            s.insert(i);
-        }
-        s
-    }
-
     fn insert(&mut self, i: usize) {
         self.words[i / 64] |= 1 << (i % 64);
     }
@@ -43,11 +35,67 @@ impl LocalSet {
     fn contains(&self, i: usize) -> bool {
         self.words[i / 64] >> (i % 64) & 1 == 1
     }
+}
 
-    fn intersect_with(&mut self, other: &LocalSet) {
-        for (w, o) in self.words.iter_mut().zip(&other.words) {
-            *w &= o;
+/// An interleaved arena of equally-sized bitsets: all the dataflow state
+/// of one method (every block's out-set plus the working sets) lives in a
+/// single allocation, indexed by set number — instead of one heap
+/// allocation per block per fixpoint iteration.
+struct BitArena {
+    words: Vec<u64>,
+    stride: usize,
+    /// Valid bits of the last word of each set; ⊤-fills are masked with it
+    /// so set equality stays exact.
+    last_mask: u64,
+}
+
+impl BitArena {
+    fn new(sets: usize, bits: usize) -> Self {
+        BitArena {
+            words: vec![0; sets * bits.div_ceil(64)],
+            stride: bits.div_ceil(64),
+            last_mask: if bits.is_multiple_of(64) {
+                !0
+            } else {
+                (1u64 << (bits % 64)) - 1
+            },
         }
+    }
+
+    fn range(&self, set: usize) -> std::ops::Range<usize> {
+        set * self.stride..(set + 1) * self.stride
+    }
+
+    fn insert(&mut self, set: usize, bit: usize) {
+        self.words[set * self.stride + bit / 64] |= 1 << (bit % 64);
+    }
+
+    fn contains(&self, set: usize, bit: usize) -> bool {
+        self.words[set * self.stride + bit / 64] >> (bit % 64) & 1 == 1
+    }
+
+    /// Sets every bit of `set` (the lattice ⊤).
+    fn fill(&mut self, set: usize) {
+        let r = self.range(set);
+        self.words[r.clone()].fill(!0);
+        if let Some(last) = self.words[r].last_mut() {
+            *last &= self.last_mask;
+        }
+    }
+
+    fn copy(&mut self, dst: usize, src: usize) {
+        let r = self.range(src);
+        self.words.copy_within(r, dst * self.stride);
+    }
+
+    fn intersect(&mut self, dst: usize, src: usize) {
+        for k in 0..self.stride {
+            self.words[dst * self.stride + k] &= self.words[src * self.stride + k];
+        }
+    }
+
+    fn equals(&self, a: usize, b: usize) -> bool {
+        self.words[self.range(a)] == self.words[self.range(b)]
     }
 }
 
@@ -151,43 +199,45 @@ fn lint_use_before_def(sig: &str, m: &Method, reachable: &[bool], out: &mut Vec<
         }
     }
 
-    let entry_in = {
-        let mut s = LocalSet::empty(n);
-        for p in 0..m.param_locals() as usize {
-            s.insert(p);
-        }
-        s
-    };
-    let transfer = |block: usize, input: &LocalSet| {
-        let mut s = input.clone();
-        for instr in &m.blocks[block].instrs {
-            if let Some(d) = instr.dst() {
-                s.insert(d.index());
-            }
-        }
-        s
-    };
+    // Set `b` of the arena is block b's out-set; two extra sets hold the
+    // current in-set being built and the constant entry in-set.
+    let scratch = nblocks;
+    let entry = nblocks + 1;
+    let mut sets = BitArena::new(nblocks + 2, n);
+    for p in 0..m.param_locals() as usize {
+        sets.insert(entry, p);
+    }
+    let mut computed = vec![false; nblocks];
 
-    // Fixpoint: out-sets start at ⊤ (None), so back-edge predecessors are
-    // optimistic until computed; intersection only shrinks, so this
-    // terminates at the greatest fixpoint.
-    let mut outs: Vec<Option<LocalSet>> = vec![None; nblocks];
-    let mut worklist = vec![0usize];
-    while let Some(b) = worklist.pop() {
-        let input = if b == 0 {
-            entry_in.clone()
+    // Builds block `b`'s in-set into `scratch`: the entry set for b0,
+    // otherwise the intersection over computed predecessors (uncomputed
+    // back-edge predecessors are optimistically ⊤).
+    let in_set_of = |sets: &mut BitArena, computed: &[bool], b: usize| {
+        if b == 0 {
+            sets.copy(scratch, entry);
         } else {
-            let mut acc = LocalSet::full(n);
+            sets.fill(scratch);
             for &p in &preds[b] {
-                if let Some(o) = &outs[p] {
-                    acc.intersect_with(o);
+                if computed[p] {
+                    sets.intersect(scratch, p);
                 }
             }
-            acc
-        };
-        let new_out = transfer(b, &input);
-        if outs[b].as_ref() != Some(&new_out) {
-            outs[b] = Some(new_out);
+        }
+    };
+
+    // Fixpoint: out-sets start at ⊤ (uncomputed); intersection only
+    // shrinks, so this terminates at the greatest fixpoint.
+    let mut worklist = vec![0usize];
+    while let Some(b) = worklist.pop() {
+        in_set_of(&mut sets, &computed, b);
+        for instr in &m.blocks[b].instrs {
+            if let Some(d) = instr.dst() {
+                sets.insert(scratch, d.index());
+            }
+        }
+        if !computed[b] || !sets.equals(scratch, b) {
+            sets.copy(b, scratch);
+            computed[b] = true;
             for s in m.blocks[b].terminator.successors() {
                 if reachable[s.index()] {
                     worklist.push(s.index());
@@ -202,19 +252,9 @@ fn lint_use_before_def(sig: &str, m: &Method, reachable: &[bool], out: &mut Vec<
         if !reachable[b] {
             continue;
         }
-        let mut defined = if b == 0 {
-            entry_in.clone()
-        } else {
-            let mut acc = LocalSet::full(n);
-            for &p in &preds[b] {
-                if let Some(o) = &outs[p] {
-                    acc.intersect_with(o);
-                }
-            }
-            acc
-        };
-        let mut check = |l: Local, at: String, defined: &LocalSet| {
-            if !defined.contains(l.index()) && reported.insert(l.0) {
+        in_set_of(&mut sets, &computed, b);
+        let mut check = |sets: &BitArena, l: Local, at: String, out: &mut Vec<Diagnostic>| {
+            if !sets.contains(scratch, l.index()) && reported.insert(l.0) {
                 out.push(Diagnostic::error(
                     "ir::use-before-def",
                     sig,
@@ -224,14 +264,14 @@ fn lint_use_before_def(sig: &str, m: &Method, reachable: &[bool], out: &mut Vec<
         };
         for (i, instr) in block.instrs.iter().enumerate() {
             for src in instr.sources() {
-                check(src, format!("b{b}[{i}]"), &defined);
+                check(&sets, src, format!("b{b}[{i}]"), out);
             }
             if let Some(d) = instr.dst() {
-                defined.insert(d.index());
+                sets.insert(scratch, d.index());
             }
         }
         if let Some(l) = terminator_uses(&block.terminator) {
-            check(l, format!("b{b}[term]"), &defined);
+            check(&sets, l, format!("b{b}[term]"), out);
         }
     }
 }

@@ -201,13 +201,43 @@ pub struct Vm<'a> {
 }
 
 impl<'a> Vm<'a> {
-    /// Creates a VM over a built image.
+    /// Creates a VM over a built image, materializing a private copy of the
+    /// snapshot heap.
     pub fn new(
         program: &'a Program,
         compiled: &'a CompiledProgram,
         snapshot: &'a HeapSnapshot,
         image: &'a BinaryImage,
         config: VmConfig,
+    ) -> Vm<'a> {
+        let heap = RtHeap::from_build_heap(snapshot.heap());
+        Vm::with_heap(program, compiled, snapshot, image, config, heap)
+    }
+
+    /// Creates a VM over a built image whose snapshot was materialized once
+    /// into a shared [`crate::HeapTemplate`]. Repeated runs of the same
+    /// image (the evaluation engine runs one baseline per strategy matrix)
+    /// reference the template copy-on-write instead of re-converting the
+    /// whole snapshot per run.
+    pub fn with_heap_template(
+        program: &'a Program,
+        compiled: &'a CompiledProgram,
+        snapshot: &'a HeapSnapshot,
+        image: &'a BinaryImage,
+        config: VmConfig,
+        template: std::sync::Arc<crate::HeapTemplate>,
+    ) -> Vm<'a> {
+        let heap = RtHeap::from_template(template);
+        Vm::with_heap(program, compiled, snapshot, image, config, heap)
+    }
+
+    fn with_heap(
+        program: &'a Program,
+        compiled: &'a CompiledProgram,
+        snapshot: &'a HeapSnapshot,
+        image: &'a BinaryImage,
+        config: VmConfig,
+        heap: RtHeap,
     ) -> Vm<'a> {
         let session = if compiled.instrumentation.any() {
             Some(TraceSession::new(config.dump_mode, config.trace_buffer))
@@ -220,7 +250,7 @@ impl<'a> Vm<'a> {
         };
         Vm {
             paging: PagingSim::new(image, config.paging.clone()),
-            heap: RtHeap::from_build_heap(snapshot.heap()),
+            heap,
             program,
             compiled,
             snapshot,

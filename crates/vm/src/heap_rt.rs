@@ -5,8 +5,16 @@
 //! to build-time objects ([`nimage_heap::ObjId`]); their first accesses are
 //! what faults `.svm_heap` pages in. Objects allocated at run time live in
 //! anonymous memory and never fault binary pages.
+//!
+//! The materialization is split in two so one image can be executed many
+//! times (the evaluation engine measures the same baseline build once per
+//! strategy-matrix row): a [`HeapTemplate`] holds the immutable converted
+//! snapshot and is shared between runs behind an `Arc`, while [`RtHeap`]
+//! keeps only the per-run mutable state — a copy-on-write overlay for
+//! mutated snapshot objects and the dynamically allocated tail.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use nimage_heap::{BuildHeap, HObjectKind, HValue, ObjId};
 use nimage_ir::{ClassId, FieldId, Program, TypeRef};
@@ -68,15 +76,6 @@ pub enum RtObject {
     },
 }
 
-/// The runtime heap.
-#[derive(Debug, Clone)]
-pub struct RtHeap {
-    objects: Vec<RtObject>,
-    statics: HashMap<FieldId, RtValue>,
-    interned: HashMap<String, u32>,
-    snapshot_len: u32,
-}
-
 fn convert_value(v: HValue) -> RtValue {
     match v {
         HValue::Null => RtValue::Null,
@@ -87,11 +86,23 @@ fn convert_value(v: HValue) -> RtValue {
     }
 }
 
-impl RtHeap {
-    /// Materializes the build heap for execution. Indices of build objects
-    /// are preserved, so `RtValue::Ref(i)` with `i < snapshot_len` denotes
-    /// the build object `ObjId(i)`.
-    pub fn from_build_heap(heap: &BuildHeap) -> RtHeap {
+/// The immutable materialization of a build-heap snapshot: every snapshot
+/// object converted to its runtime representation, plus the build-time
+/// static-field values and interned-string table.
+///
+/// A template is built once per snapshot and shared (via `Arc`) by every
+/// [`RtHeap`] — and therefore every VM run — over that snapshot.
+#[derive(Debug)]
+pub struct HeapTemplate {
+    objects: Vec<RtObject>,
+    statics: HashMap<FieldId, RtValue>,
+    interned: HashMap<String, u32>,
+}
+
+impl HeapTemplate {
+    /// Converts a build heap. Indices of build objects are preserved, so
+    /// `RtValue::Ref(i)` with `i < len` denotes the build object `ObjId(i)`.
+    pub fn from_build_heap(heap: &BuildHeap) -> HeapTemplate {
         let mut objects = Vec::with_capacity(heap.len());
         let mut interned = HashMap::new();
         for i in 0..heap.len() {
@@ -120,11 +131,58 @@ impl RtHeap {
             objects.push(rt);
         }
         let statics = heap.statics().map(|(f, v)| (f, convert_value(v))).collect();
-        RtHeap {
-            snapshot_len: objects.len() as u32,
+        HeapTemplate {
             objects,
             statics,
             interned,
+        }
+    }
+
+    /// Number of snapshot objects in the template.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the snapshot had no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+/// The runtime heap: an immutable shared [`HeapTemplate`] plus this run's
+/// private state — copy-on-write copies of mutated snapshot objects,
+/// runtime allocations, static-field writes and runtime-interned strings.
+#[derive(Debug, Clone)]
+pub struct RtHeap {
+    base: Arc<HeapTemplate>,
+    /// Copy-on-write overlay for mutated snapshot objects.
+    overlay: HashMap<u32, RtObject>,
+    /// Objects allocated at run time; reference `snapshot_len + i`.
+    dynamic: Vec<RtObject>,
+    /// Static-field writes of this run; reads fall back to the template.
+    statics: HashMap<FieldId, RtValue>,
+    /// Strings interned at run time (build-time literals live in the
+    /// template and resolve to image objects).
+    interned: HashMap<String, u32>,
+    snapshot_len: u32,
+}
+
+impl RtHeap {
+    /// Materializes the build heap for execution (private template).
+    pub fn from_build_heap(heap: &BuildHeap) -> RtHeap {
+        RtHeap::from_template(Arc::new(HeapTemplate::from_build_heap(heap)))
+    }
+
+    /// Creates a run-private heap over a shared snapshot template without
+    /// copying any object.
+    pub fn from_template(base: Arc<HeapTemplate>) -> RtHeap {
+        RtHeap {
+            snapshot_len: base.objects.len() as u32,
+            base,
+            overlay: HashMap::new(),
+            dynamic: Vec::new(),
+            statics: HashMap::new(),
+            interned: HashMap::new(),
         }
     }
 
@@ -148,21 +206,34 @@ impl RtHeap {
     /// # Panics
     /// Panics if `r` is out of range.
     pub fn get(&self, r: u32) -> &RtObject {
-        &self.objects[r as usize]
+        if r < self.snapshot_len {
+            self.overlay
+                .get(&r)
+                .unwrap_or(&self.base.objects[r as usize])
+        } else {
+            &self.dynamic[(r - self.snapshot_len) as usize]
+        }
     }
 
-    /// Mutable object access.
+    /// Mutable object access. The first mutation of a snapshot object
+    /// copies it out of the shared template into this run's overlay.
     ///
     /// # Panics
     /// Panics if `r` is out of range.
     pub fn get_mut(&mut self, r: u32) -> &mut RtObject {
-        &mut self.objects[r as usize]
+        if r < self.snapshot_len {
+            self.overlay
+                .entry(r)
+                .or_insert_with(|| self.base.objects[r as usize].clone())
+        } else {
+            &mut self.dynamic[(r - self.snapshot_len) as usize]
+        }
     }
 
     /// Allocates a runtime object, returning its reference.
     pub fn alloc(&mut self, o: RtObject) -> u32 {
-        let r = self.objects.len() as u32;
-        self.objects.push(o);
+        let r = self.snapshot_len + self.dynamic.len() as u32;
+        self.dynamic.push(o);
         r
     }
 
@@ -180,6 +251,9 @@ impl RtHeap {
     /// build time resolve to their image object (and thus to `.svm_heap`
     /// pages); new literals intern into anonymous memory.
     pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&r) = self.base.interned.get(s) {
+            return r;
+        }
         if let Some(&r) = self.interned.get(s) {
             return r;
         }
@@ -192,6 +266,7 @@ impl RtHeap {
     pub fn static_value(&self, program: &Program, field: FieldId) -> RtValue {
         self.statics
             .get(&field)
+            .or_else(|| self.base.statics.get(&field))
             .copied()
             .unwrap_or_else(|| RtValue::default_for(&program.field(field).ty))
     }
@@ -203,12 +278,12 @@ impl RtHeap {
 
     /// Total number of live objects (image + dynamic).
     pub fn len(&self) -> usize {
-        self.objects.len()
+        self.snapshot_len as usize + self.dynamic.len()
     }
 
     /// Whether the heap has no objects at all.
     pub fn is_empty(&self) -> bool {
-        self.objects.is_empty()
+        self.len() == 0
     }
 }
 
@@ -246,5 +321,40 @@ mod tests {
         assert!(!rt.is_image_object(fresh));
         // Interning is stable at runtime too.
         assert_eq!(rt.intern("new-at-runtime"), fresh);
+    }
+
+    #[test]
+    fn shared_template_is_not_mutated_by_a_run() {
+        let mut bh = BuildHeap::new();
+        let arr = bh.alloc_array(TypeRef::Int, 2);
+        let template = Arc::new(HeapTemplate::from_build_heap(&bh));
+
+        let mut first = RtHeap::from_template(template.clone());
+        if let RtObject::Array { elems, .. } = first.get_mut(arr.0) {
+            elems[0] = RtValue::Int(42);
+        }
+        assert!(matches!(
+            first.get(arr.0),
+            RtObject::Array { elems, .. } if elems[0] == RtValue::Int(42)
+        ));
+
+        // A second run over the same template sees the pristine snapshot.
+        let second = RtHeap::from_template(template);
+        assert!(matches!(
+            second.get(arr.0),
+            RtObject::Array { elems, .. } if elems[0] == RtValue::Int(0)
+        ));
+    }
+
+    #[test]
+    fn static_writes_shadow_template_values() {
+        let bh = BuildHeap::new();
+        let template = Arc::new(HeapTemplate::from_build_heap(&bh));
+        let mut rt = RtHeap::from_template(template);
+        let program = Program::default();
+        rt.set_static(FieldId(0), RtValue::Int(7));
+        // The overlay value wins without consulting the program's field
+        // table (the empty program has no field f0 to fall back to).
+        assert_eq!(rt.static_value(&program, FieldId(0)), RtValue::Int(7));
     }
 }

@@ -28,6 +28,6 @@ mod report;
 
 pub use exec::{ProbeCosts, StopWhen, Vm, VmConfig, VmError};
 pub use faultmap::{render_ascii, summarize, touched_extent, PageMapSummary};
-pub use heap_rt::{RtHeap, RtObject, RtValue};
+pub use heap_rt::{HeapTemplate, RtHeap, RtObject, RtValue};
 pub use paging::{PageState, PagingConfig, PagingSim, SectionFaults};
 pub use report::{CostModel, ExitKind, ResponsePoint, RunReport};

@@ -51,8 +51,9 @@ fn main() -> Result<(), PipelineError> {
         "\n{:<16} {:>12} {:>12} {:>10} {:>9}",
         "strategy", "base faults", "opt faults", "reduction", "speedup"
     );
+    let base = pipeline.baseline(&artifacts, StopWhen::Exit)?;
     for strategy in Strategy::all() {
-        let eval = pipeline.evaluate_with(&artifacts, strategy, StopWhen::Exit)?;
+        let eval = pipeline.evaluate_with(&artifacts, &base, strategy, StopWhen::Exit)?;
         println!(
             "{:<16} {:>12} {:>12} {:>9.2}x {:>8.2}x",
             strategy.name(),

@@ -65,8 +65,9 @@ fn main() -> Result<(), PipelineError> {
 
     let cm = CostModel::ssd();
     println!("{} helloworld, time to first response:", service.name());
+    let base = pipeline.baseline(&artifacts, StopWhen::FirstResponse)?;
     for strategy in [Strategy::Cu, Strategy::HeapPath, Strategy::CuPlusHeapPath] {
-        let eval = pipeline.evaluate_with(&artifacts, strategy, StopWhen::FirstResponse)?;
+        let eval = pipeline.evaluate_with(&artifacts, &base, strategy, StopWhen::FirstResponse)?;
         let base = eval
             .baseline
             .time_to_first_response_ns(&cm)

@@ -41,7 +41,9 @@
 #![warn(missing_docs)]
 
 pub use nimage_core::{
-    BuildOptions, BuiltImage, Evaluation, Pipeline, PipelineError, ProfiledArtifacts, Strategy,
+    ArtifactCache, Baseline, BuildOptions, BuiltImage, CacheKey, Engine, EngineOptions,
+    EngineStats, Evaluation, MatrixCell, Memo, MemoStats, Pipeline, PipelineError,
+    ProfiledArtifacts, StageTimes, Strategy, WorkloadSpec,
 };
 
 /// The miniature object-language IR.

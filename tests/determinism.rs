@@ -7,7 +7,7 @@
 use nimage::verify::{audit_determinism, DeterminismInputs};
 use nimage::vm::StopWhen;
 use nimage::workloads::{Awfy, RuntimeScale};
-use nimage::{BuildOptions, Pipeline, Strategy};
+use nimage::{BuildOptions, Engine, EngineOptions, Pipeline, Strategy, WorkloadSpec};
 
 #[test]
 fn unprofiled_awfy_pipeline_is_deterministic() {
@@ -35,4 +35,64 @@ fn profiled_awfy_pipeline_is_deterministic() {
     };
     let report = audit_determinism(&program, &inputs);
     assert!(report.is_deterministic(), "{:?}", report.diagnostics);
+}
+
+/// Shifts allocator and hasher state the way the verify-crate audit does:
+/// interleaved heap allocations plus a few `HashMap`s, kept live with
+/// `black_box`, so later allocations land at different addresses and later
+/// `RandomState` seeds differ.
+fn perturb_allocator(n: usize) {
+    let mut keep: Vec<Vec<u8>> = Vec::with_capacity(n);
+    for i in 0..n {
+        keep.push(vec![0u8; 17 + 31 * i]);
+    }
+    let mut maps: Vec<std::collections::HashMap<usize, usize>> = vec![];
+    for _ in 0..4 {
+        let mut m = std::collections::HashMap::new();
+        for i in 0..n {
+            m.insert(i, i.wrapping_mul(0x9e37_79b9));
+        }
+        maps.push(m);
+    }
+    std::hint::black_box(&keep);
+    std::hint::black_box(&maps);
+}
+
+/// The engine's content-keyed cache and worker threads must not leak
+/// allocator or hash-seed state into results: a fresh engine after a
+/// deliberate allocator perturbation reproduces every cell verbatim.
+#[test]
+fn cached_engine_evaluation_is_allocator_independent() {
+    let program = Awfy::Sieve.program_at(&RuntimeScale::small());
+    let evaluate = || {
+        let engine = Engine::new(EngineOptions { n_threads: 2 });
+        let spec = WorkloadSpec::new("Sieve", &program, BuildOptions::default(), StopWhen::Exit);
+        let rows = engine
+            .evaluate_workload(&spec, &Strategy::all())
+            .expect("evaluation succeeds");
+        let report = |r: &nimage::vm::RunReport| {
+            let mut counts: Vec<(&str, u64)> = r.call_counts.iter().collect();
+            counts.sort_unstable();
+            format!(
+                "ops={} faults={:?} exit={:?} ret={:?} text={:?} heap={:?} counts={counts:?}",
+                r.ops, r.faults, r.exit, r.entry_return, r.text_page_states, r.heap_page_states,
+            )
+        };
+        rows.iter()
+            .map(|(s, e)| {
+                format!(
+                    "{s:?} base[{}] opt[{}]",
+                    report(&e.baseline),
+                    report(&e.optimized)
+                )
+            })
+            .collect::<Vec<String>>()
+    };
+    let first = evaluate();
+    perturb_allocator(0x35);
+    let second = evaluate();
+    assert_eq!(
+        first, second,
+        "perturbed allocator must not change cached evaluation results"
+    );
 }

@@ -26,9 +26,10 @@ fn awfy_pipeline_small_scale() {
         let program = bench.program_at(&scale);
         let pipeline = Pipeline::new(&program, options(DumpMode::OnFull));
         let artifacts = pipeline.profiling_run(StopWhen::Exit).unwrap();
+        let base = pipeline.baseline(&artifacts, StopWhen::Exit).unwrap();
         for strategy in Strategy::all() {
             let eval = pipeline
-                .evaluate_with(&artifacts, strategy, StopWhen::Exit)
+                .evaluate_with(&artifacts, &base, strategy, StopWhen::Exit)
                 .unwrap();
             assert_eq!(
                 eval.baseline.entry_return,
@@ -65,9 +66,13 @@ fn microservice_pipeline_small_scale() {
             "{}: mmap mode loses nothing",
             service.name()
         );
+        let base = pipeline
+            .baseline(&artifacts, StopWhen::FirstResponse)
+            .unwrap();
         let eval = pipeline
             .evaluate_with(
                 &artifacts,
+                &base,
                 Strategy::CuPlusHeapPath,
                 StopWhen::FirstResponse,
             )
@@ -171,9 +176,10 @@ fn full_scale_shape_bounce() {
     let program = Awfy::Bounce.program();
     let pipeline = Pipeline::new(&program, options(DumpMode::OnFull));
     let artifacts = pipeline.profiling_run(StopWhen::Exit).unwrap();
+    let base = pipeline.baseline(&artifacts, StopWhen::Exit).unwrap();
     let get = |s: Strategy| {
         pipeline
-            .evaluate_with(&artifacts, s, StopWhen::Exit)
+            .evaluate_with(&artifacts, &base, s, StopWhen::Exit)
             .unwrap()
             .reported_fault_reduction()
     };
@@ -211,11 +217,27 @@ fn native_tail_extension_is_safe_and_effective() {
     let ext_pipeline = Pipeline::new(&program, ext_opts);
     let base_artifacts = base_pipeline.profiling_run(StopWhen::Exit).unwrap();
     let ext_artifacts = ext_pipeline.profiling_run(StopWhen::Exit).unwrap();
+    let base_baseline = base_pipeline
+        .baseline(&base_artifacts, StopWhen::Exit)
+        .unwrap();
+    let ext_baseline = ext_pipeline
+        .baseline(&ext_artifacts, StopWhen::Exit)
+        .unwrap();
     let base = base_pipeline
-        .evaluate_with(&base_artifacts, Strategy::CuPlusHeapPath, StopWhen::Exit)
+        .evaluate_with(
+            &base_artifacts,
+            &base_baseline,
+            Strategy::CuPlusHeapPath,
+            StopWhen::Exit,
+        )
         .unwrap();
     let ext = ext_pipeline
-        .evaluate_with(&ext_artifacts, Strategy::CuPlusHeapPath, StopWhen::Exit)
+        .evaluate_with(
+            &ext_artifacts,
+            &ext_baseline,
+            Strategy::CuPlusHeapPath,
+            StopWhen::Exit,
+        )
         .unwrap();
     assert_eq!(base.optimized.entry_return, ext.optimized.entry_return);
     assert!(

@@ -1,0 +1,134 @@
+//! Acceptance for the evaluation engine: the parallel, cached matrix
+//! evaluation must be indistinguishable — cell for cell, field for field —
+//! from the serial uncached loop it replaced, and the cache must actually
+//! share the per-workload artifacts across strategies.
+
+use nimage::vm::StopWhen;
+use nimage::workloads::{Awfy, RuntimeScale};
+use nimage::{BuildOptions, Engine, EngineOptions, Pipeline, Strategy, WorkloadSpec};
+
+/// Every observable field of an evaluation, rendered deterministically for
+/// comparison: plain Debug for the value-like fields, and the call-count
+/// profile in sorted order (its backing `HashMap` iterates in seed order).
+fn render(strategy: Strategy, eval: &nimage::Evaluation) -> String {
+    let report = |r: &nimage::vm::RunReport| {
+        let mut counts: Vec<(&str, u64)> = r.call_counts.iter().collect();
+        counts.sort_unstable();
+        format!(
+            "ops={} probe_ops={} faults={:?} first_response={:?} exit={:?} ret={:?} \
+             native={:?} text={:?} heap={:?} stats={:?} counts={counts:?}",
+            r.ops,
+            r.probe_ops,
+            r.faults,
+            r.first_response,
+            r.exit,
+            r.entry_return,
+            r.native_touch_pages,
+            r.text_page_states,
+            r.heap_page_states,
+            r.session_stats,
+        )
+    };
+    format!(
+        "{strategy:?} base[{}] opt[{}]",
+        report(&eval.baseline),
+        report(&eval.optimized)
+    )
+}
+
+#[test]
+fn parallel_matrix_matches_serial_loop_row_for_row() {
+    let scale = RuntimeScale::small();
+    let programs = [
+        ("Sieve", Awfy::Sieve.program_at(&scale)),
+        ("Towers", Awfy::Towers.program_at(&scale)),
+    ];
+    let strategies = Strategy::all();
+
+    // The reference: the plain serial loop over uncached Pipeline calls.
+    let mut expected: Vec<(String, String)> = Vec::new();
+    for (name, program) in &programs {
+        let pipeline = Pipeline::new(program, BuildOptions::default());
+        let artifacts = pipeline.profiling_run(StopWhen::Exit).unwrap();
+        let base = pipeline.baseline(&artifacts, StopWhen::Exit).unwrap();
+        for s in strategies {
+            let eval = pipeline
+                .evaluate_with(&artifacts, &base, s, StopWhen::Exit)
+                .unwrap();
+            expected.push((name.to_string(), render(s, &eval)));
+        }
+    }
+
+    // The engine, forced onto several worker threads.
+    let engine = Engine::new(EngineOptions { n_threads: 4 });
+    let specs: Vec<WorkloadSpec<'_>> = programs
+        .iter()
+        .map(|(name, program)| {
+            WorkloadSpec::new(*name, program, BuildOptions::default(), StopWhen::Exit)
+        })
+        .collect();
+    let cells = engine.evaluate_matrix(&specs, &strategies).unwrap();
+
+    assert_eq!(cells.len(), expected.len(), "row-major cell count");
+    for (cell, (name, rendered)) in cells.iter().zip(&expected) {
+        assert_eq!(&cell.workload, name, "deterministic row order");
+        assert_eq!(
+            &render(cell.strategy, &cell.eval),
+            rendered,
+            "{name}/{}: parallel cell must equal the serial loop's",
+            cell.strategy.name()
+        );
+    }
+}
+
+#[test]
+fn engine_computes_shared_artifacts_once_per_workload() {
+    let program = Awfy::Sieve.program_at(&RuntimeScale::small());
+    let engine = Engine::new(EngineOptions { n_threads: 2 });
+    let spec = WorkloadSpec::new("Sieve", &program, BuildOptions::default(), StopWhen::Exit);
+    let strategies = Strategy::all();
+    engine.evaluate_workload(&spec, &strategies).unwrap();
+
+    let by_name = |name: &str| {
+        engine
+            .stats()
+            .cache
+            .iter()
+            .find(|m| m.name == name)
+            .copied()
+            .unwrap_or_else(|| panic!("no memo named {name}"))
+    };
+    // One workload: the profiling run, the baseline layout and the baseline
+    // measurement each miss exactly once; the other five strategies hit.
+    assert_eq!(by_name("profile").misses, 1);
+    assert_eq!(by_name("baseline-layout").misses, 1);
+    assert_eq!(by_name("baseline-run").misses, 1);
+    assert_eq!(by_name("profile").hits as usize, strategies.len() - 1);
+    // Instrumented + optimized compile and snapshot: two misses each.
+    assert_eq!(by_name("compile").misses, 2);
+    assert_eq!(by_name("snapshot").misses, 2);
+
+    // A second pass over the same workload is answered from the cache:
+    // no stage misses again.
+    let misses_before: u64 = engine.stats().cache_misses();
+    engine.evaluate_workload(&spec, &strategies).unwrap();
+    assert_eq!(
+        engine.stats().cache_misses(),
+        misses_before,
+        "fully warm cache must not recompute anything"
+    );
+}
+
+#[test]
+fn engine_reports_stage_times_for_computed_work() {
+    let program = Awfy::Sieve.program_at(&RuntimeScale::small());
+    let engine = Engine::default();
+    let spec = WorkloadSpec::new("Sieve", &program, BuildOptions::default(), StopWhen::Exit);
+    engine.evaluate_workload(&spec, &Strategy::all()).unwrap();
+    let stages = engine.stats().stages;
+    assert!(stages.total_ns() > 0);
+    for required in ["analyze", "compile", "snapshot", "order", "layout", "run"] {
+        let (_, ns) = stages.iter().find(|(n, _)| *n == required).unwrap();
+        assert!(ns > 0, "stage {required} must have recorded wall-clock");
+    }
+}
