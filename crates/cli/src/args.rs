@@ -32,7 +32,15 @@ impl std::error::Error for ArgError {}
 /// Option keys that take a value; everything else starting with `--` is a
 /// boolean flag.
 const VALUED: &[&str] = &[
-    "strategy", "out", "profiles", "width", "scale", "window", "json", "threads",
+    "strategy",
+    "out",
+    "profiles",
+    "width",
+    "scale",
+    "window",
+    "json",
+    "threads",
+    "cache-dir",
 ];
 
 /// Parses `args` (without the program name).

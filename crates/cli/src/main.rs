@@ -11,6 +11,7 @@
 //! nimage pagemap <workload> [--strategy S] [--width N]
 //! nimage overhead <workload>                    Sec. 7.4 overhead factors
 //! nimage lint <workload>|--all [--strategy S] [--report]
+//! nimage cache stats|clear [--cache-dir DIR]    disk artifact cache
 //! nimage help
 //! ```
 
@@ -23,8 +24,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use nimage_core::{
-    load_profiles, save_profiles, BuildOptions, Engine, EngineOptions, Evaluation, Pipeline,
-    Strategy, WorkloadSpec,
+    load_profiles, save_profiles, BuildOptions, DiskCacheOptions, DiskStore, Engine, EngineOptions,
+    Evaluation, Parallelism, Pipeline, Strategy, WorkloadSpec, DISK_FORMAT_VERSION,
 };
 use nimage_profiler::{write_trace, DumpMode};
 use nimage_vm::{render_ascii, summarize, CostModel, VmConfig};
@@ -62,6 +63,7 @@ COMMANDS:
                                              pipeline (--all: every workload); non-zero exit
                                              on any error finding; --report also prints
                                              layout-quality metrics
+    cache stats|clear [--cache-dir DIR]      inspect or wipe the disk artifact cache
     help                                     this text
 
 STRATEGIES: cu, method, incremental-id, structural-hash, heap-path, cu+heap-path
@@ -69,6 +71,11 @@ WORKLOADS:  the 14 AWFY benchmarks, micronaut/quarkus/spring, and `quickstart`
 
 `run` and `eval` accept --verify / --no-verify to toggle the nimage-verify
 checkers inside the pipeline (default: on in debug builds, off in release).
+`eval` and `bench` persist expensive artifacts under $XDG_CACHE_HOME/nimage
+(else ~/.cache/nimage); --cache-dir DIR relocates it, --no-disk-cache
+disables it. --threads N sets the worker count (0 = auto); `run` uses it
+for intra-stage parallelism. --salted-heap-ids enables per-type salting of
+heap-path identities (`run`/`eval`).
 ";
 
 fn strategy_of(name: &str) -> Result<Strategy, ArgError> {
@@ -132,6 +139,7 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "heapstats" => cmd_heapstats(&parsed),
         "overhead" => cmd_overhead(&parsed),
         "lint" => cmd_lint(&parsed),
+        "cache" => cmd_cache(&parsed),
         other => Err(ArgError(format!("unknown command {other}; try `nimage help`")).into()),
     }
 }
@@ -169,6 +177,19 @@ fn threads_of(parsed: &ParsedArgs) -> Result<usize, ArgError> {
         .map(|t| t.unwrap_or(0))
 }
 
+/// Resolves the disk-cache tier: `--no-disk-cache` disables it,
+/// `--cache-dir DIR` relocates it, otherwise the per-user default
+/// (`$XDG_CACHE_HOME/nimage`, else `~/.cache/nimage`) is used.
+fn disk_of(parsed: &ParsedArgs) -> Option<DiskCacheOptions> {
+    if parsed.has_flag("no-disk-cache") {
+        return None;
+    }
+    match parsed.option("cache-dir") {
+        Some(dir) => Some(DiskCacheOptions::at(dir)),
+        None => DiskCacheOptions::default_dir().map(DiskCacheOptions::at),
+    }
+}
+
 fn cmd_eval(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     let workload = Workload::resolve(parsed.one_positional("workload")?)?;
     let strategies: Vec<Strategy> = match parsed.option("strategy") {
@@ -178,8 +199,10 @@ fn cmd_eval(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     let program = workload.program();
     let mut opts = pipeline_for(&workload);
     opts.verify = verify_flag(parsed);
+    opts.salted_heap_ids = parsed.has_flag("salted-heap-ids");
     let engine = Engine::new(EngineOptions {
         n_threads: threads_of(parsed)?,
+        disk: disk_of(parsed),
     });
     eprintln!("profiling {} …", workload.name());
     let spec = WorkloadSpec::new(workload.name(), &program, opts, workload.stop());
@@ -205,6 +228,12 @@ fn cmd_eval(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
         stats.cache_hits(),
         stats.cache_misses()
     );
+    if let Some(disk) = &stats.disk {
+        eprintln!(
+            "disk cache: {} hits, {} misses, {} stores, {} rejected",
+            disk.hits, disk.misses, disk.stores, disk.rejected
+        );
+    }
     Ok(())
 }
 
@@ -214,6 +243,8 @@ fn cmd_run(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     let program = workload.program();
     let mut opts = pipeline_for(&workload);
     opts.verify = verify_flag(parsed);
+    opts.salted_heap_ids = parsed.has_flag("salted-heap-ids");
+    opts.threads = Parallelism::threads(threads_of(parsed)?);
     let pipeline = Pipeline::new(&program, opts);
     let built = match strategy {
         Some(_) => {
@@ -278,10 +309,11 @@ fn cmd_bench(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     }
     let serial_ns = t0.elapsed().as_nanos() as u64;
 
-    // The engine: shared artifact cache + worker threads.
+    // The engine: shared artifact cache + worker threads + disk tier.
     eprintln!("benchmarking {} (engine) …", workload.name());
     let engine = Engine::new(EngineOptions {
         n_threads: threads_of(parsed)?,
+        disk: disk_of(parsed),
     });
     let t1 = Instant::now();
     let spec = WorkloadSpec::new(workload.name(), &program, opts, stop);
@@ -300,6 +332,17 @@ fn cmd_bench(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     let stats = engine.stats();
     let speedup = serial_ns as f64 / engine_ns.max(1) as f64;
 
+    // Tentpole measurement: each parallel stage timed on one thread vs
+    // the requested worker count, with bit-identity checked on the merged
+    // artifacts.
+    let n_workers = Parallelism::threads(threads_of(parsed)?).effective();
+    eprintln!(
+        "benchmarking {} (per-stage, 1 vs {n_workers} threads) …",
+        workload.name()
+    );
+    let stages = stage_speedups(&program, &workload, stop, n_workers)?;
+    let stages_identical = stages.iter().all(|s| s.identical);
+
     println!("{} × {} strategies:", workload.name(), strategies.len());
     println!("  serial uncached : {:>10.1} ms", serial_ns as f64 / 1e6);
     println!(
@@ -311,12 +354,33 @@ fn cmd_bench(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
         stats.cache_hits(),
         stats.cache_misses()
     );
+    if let Some(disk) = &stats.disk {
+        println!(
+            "  disk cache      : {} hits, {} misses, {} stores, {} rejected",
+            disk.hits, disk.misses, disk.stores, disk.rejected
+        );
+    }
     for (name, ns) in stats.stages.iter() {
         println!("    {name:<9} {:>10.1} ms", ns as f64 / 1e6);
     }
+    println!("  stage speedups (1 → {n_workers} threads):");
+    for s in &stages {
+        println!(
+            "    {:<9} {:>8.1} ms → {:>8.1} ms  ({:.2}x, {})",
+            s.name,
+            s.serial_ns as f64 / 1e6,
+            s.parallel_ns as f64 / 1e6,
+            s.speedup(),
+            if s.identical { "identical" } else { "DIFFER" }
+        );
+    }
     println!(
         "  results         : {}",
-        if results_match { "identical" } else { "DIFFER" }
+        if results_match && stages_identical {
+            "identical"
+        } else {
+            "DIFFER"
+        }
     );
 
     if let Some(path) = parsed.option("json") {
@@ -327,19 +391,111 @@ fn cmd_bench(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
             serial_ns,
             engine_ns,
             results_match,
+            n_workers,
+            &stages,
         );
         std::fs::write(path, json)?;
         println!("wrote {path}");
     }
-    if results_match {
-        Ok(())
-    } else {
-        Err("engine results differ from the serial loop".into())
+    if !results_match {
+        return Err("engine results differ from the serial loop".into());
     }
+    if !stages_identical {
+        return Err("a parallel stage differs from its serial run".into());
+    }
+    Ok(())
+}
+
+/// One row of the per-stage serial-vs-parallel comparison.
+struct StageBench {
+    name: &'static str,
+    serial_ns: u64,
+    parallel_ns: u64,
+    /// Whether the parallel artifact is bit-identical to the serial one.
+    identical: bool,
+}
+
+impl StageBench {
+    fn speedup(&self) -> f64 {
+        self.serial_ns as f64 / self.parallel_ns.max(1) as f64
+    }
+}
+
+/// Times `compile_stage`, `snapshot_stage` and `post_process` (trace
+/// replay) on one thread and on `n_workers` threads, asserting the merged
+/// results are identical.
+fn stage_speedups(
+    program: &nimage_ir::Program,
+    workload: &Workload,
+    stop: nimage_vm::StopWhen,
+    n_workers: usize,
+) -> Result<Vec<StageBench>, Box<dyn std::error::Error>> {
+    use std::sync::Arc;
+
+    let mut serial_opts = pipeline_for(workload);
+    serial_opts.verify = false;
+    let mut par_opts = serial_opts.clone();
+    par_opts.threads = Parallelism::threads(n_workers);
+    let ps = Pipeline::new(program, serial_opts.clone());
+    let pp = Pipeline::new(program, par_opts);
+    let instr = nimage_compiler::InstrumentConfig::FULL;
+    let mut out = Vec::new();
+
+    let reach = ps.analyze_stage();
+    let t = Instant::now();
+    let cs = ps.compile_stage(reach.clone(), instr, None);
+    let compile_serial = t.elapsed().as_nanos() as u64;
+    let t = Instant::now();
+    let cp = pp.compile_stage(reach, instr, None);
+    let compile_parallel = t.elapsed().as_nanos() as u64;
+    out.push(StageBench {
+        name: "compile",
+        serial_ns: compile_serial,
+        parallel_ns: compile_parallel,
+        identical: format!("{:?}", cs.cus) == format!("{:?}", cp.cus),
+    });
+
+    let t = Instant::now();
+    let ss = ps.snapshot_stage(&cs, &serial_opts.heap_instrumented)?;
+    let snap_serial = t.elapsed().as_nanos() as u64;
+    let t = Instant::now();
+    let sp = pp.snapshot_stage(&cs, &serial_opts.heap_instrumented)?;
+    let snap_parallel = t.elapsed().as_nanos() as u64;
+    out.push(StageBench {
+        name: "snapshot",
+        serial_ns: snap_serial,
+        parallel_ns: snap_parallel,
+        identical: format!("{:?}", ss.entries()) == format!("{:?}", sp.entries()),
+    });
+
+    // Replay needs a trace: build and run the instrumented image once,
+    // then post-process the same report serially and in parallel.
+    let image = ps.layout_stage(&cs, &ss, None, None, None)?;
+    let report = ps.run_parts(&cs, &ss, &image, None, stop)?;
+    let t = Instant::now();
+    let a = ps.post_process(report.clone(), &mut |hs| {
+        Arc::new(nimage_order::assign_ids(program, &ss, hs))
+    })?;
+    let replay_serial = t.elapsed().as_nanos() as u64;
+    let t = Instant::now();
+    let b = pp.post_process(report, &mut |hs| {
+        Arc::new(nimage_order::assign_ids(program, &ss, hs))
+    })?;
+    let replay_parallel = t.elapsed().as_nanos() as u64;
+    out.push(StageBench {
+        name: "replay",
+        serial_ns: replay_serial,
+        parallel_ns: replay_parallel,
+        identical: a.cu_profile == b.cu_profile
+            && a.method_profile == b.method_profile
+            && a.heap_profiles == b.heap_profiles,
+    });
+    Ok(out)
 }
 
 /// Renders the `nimage bench` report as JSON (no serde in the workspace —
 /// the schema is flat and hand-written).
+#[allow(clippy::too_many_arguments)]
 fn bench_json(
     workload: &str,
     n_strategies: usize,
@@ -347,10 +503,13 @@ fn bench_json(
     serial_ns: u64,
     engine_ns: u64,
     results_match: bool,
+    n_workers: usize,
+    stage_benches: &[StageBench],
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"workload\": \"{workload}\",\n"));
     out.push_str(&format!("  \"strategies\": {n_strategies},\n"));
+    out.push_str(&format!("  \"threads\": {n_workers},\n"));
     out.push_str(&format!("  \"serial_uncached_ns\": {serial_ns},\n"));
     out.push_str(&format!("  \"engine_ns\": {engine_ns},\n"));
     out.push_str(&format!(
@@ -358,6 +517,29 @@ fn bench_json(
         serial_ns as f64 / engine_ns.max(1) as f64
     ));
     out.push_str(&format!("  \"results_match\": {results_match},\n"));
+    out.push_str("  \"stage_speedups\": {\n");
+    let rows: Vec<String> = stage_benches
+        .iter()
+        .map(|s| {
+            format!(
+                "    \"{}\": {{\"serial_ns\": {}, \"parallel_ns\": {}, \"speedup\": {:.4}, \"identical\": {}}}",
+                s.name,
+                s.serial_ns,
+                s.parallel_ns,
+                s.speedup(),
+                s.identical
+            )
+        })
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  },\n");
+    match &stats.disk {
+        Some(d) => out.push_str(&format!(
+            "  \"disk_cache\": {{\"hits\": {}, \"misses\": {}, \"stores\": {}, \"rejected\": {}}},\n",
+            d.hits, d.misses, d.stores, d.rejected
+        )),
+        None => out.push_str("  \"disk_cache\": null,\n"),
+    }
     out.push_str("  \"stages_ns\": {\n");
     let stages: Vec<String> = stats
         .stages
@@ -634,7 +816,8 @@ fn lint_workload(
     use nimage_verify::{determinism::DeterminismInputs, irlint, pipeline as checks, Severity};
 
     let program = workload.program();
-    let pipeline = Pipeline::new(&program, pipeline_for(&workload));
+    let opts = pipeline_for(workload);
+    let pipeline = Pipeline::new(&program, opts.clone());
     let mut diags = vec![];
 
     // Family 1: IR dataflow lints, then vtable soundness against the
@@ -695,7 +878,7 @@ fn lint_workload(
         &opt.snapshot,
         &opt.image,
     )));
-    if let Some(hs) = strategy.heap_strategy() {
+    if let Some(hs) = opts.heap_strategy_for(strategy) {
         let ids = nimage_order::assign_ids(&program, &opt.snapshot, hs);
         diags.extend(checks::id_collision_diagnostics(
             &checks::audit_ids(ids.values().copied()),
@@ -709,15 +892,16 @@ fn lint_workload(
         ));
     }
 
-    // Family 3: determinism audit over the back half of the pipeline.
+    // Family 3: determinism audits — the back half of the pipeline, then
+    // the profiling build (instrumented compile + trace replay).
     let det = nimage_verify::audit_determinism(
         &program,
         &DeterminismInputs {
             cu_profile: Some(&artifacts.cu_profile),
-            heap_profile: strategy
-                .heap_strategy()
+            heap_profile: opts
+                .heap_strategy_for(strategy)
                 .map(|hs| &artifacts.heap_profiles[&hs]),
-            heap_strategy: strategy.heap_strategy(),
+            heap_strategy: opts.heap_strategy_for(strategy),
         },
     );
     let verdict = |ok: bool| if ok { "identical" } else { "DIFFERS" };
@@ -728,6 +912,16 @@ fn lint_workload(
         verdict(det.object_order_identical)
     );
     diags.extend(det.diagnostics);
+
+    let audit_program = workload.audit_program();
+    let prof_det = nimage_verify::audit_profiling_determinism(&audit_program, workload.stop());
+    println!(
+        "profiling audit    : trace {}, profiles {}, parallel replay {}",
+        verdict(prof_det.trace_identical),
+        verdict(prof_det.profiles_identical),
+        verdict(prof_det.parallel_replay_identical)
+    );
+    diags.extend(prof_det.diagnostics);
 
     if report {
         let accessed = accessed_objects(trace);
@@ -800,6 +994,40 @@ fn cmd_overhead(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     for (name, cfg) in modes {
         let f = pipeline.profiling_overhead(cfg, workload.stop())?;
         println!("  {name:<8} {f:.2}x");
+    }
+    Ok(())
+}
+
+fn cmd_cache(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
+    let action = parsed.one_positional("cache action (stats or clear)")?;
+    let opts = match parsed.option("cache-dir") {
+        Some(dir) => DiskCacheOptions::at(dir),
+        None => DiskCacheOptions::default_dir()
+            .map(DiskCacheOptions::at)
+            .ok_or("no default cache directory (set --cache-dir, $XDG_CACHE_HOME or $HOME)")?,
+    };
+    match action {
+        "stats" => {
+            let store = DiskStore::open(&opts);
+            let (entries, bytes) = store.size_on_disk();
+            println!("cache dir : {}", opts.dir.display());
+            println!(
+                "format    : v{DISK_FORMAT_VERSION} (under {})",
+                store.root().display()
+            );
+            println!("entries   : {entries}");
+            println!("size      : {:.1} KiB", bytes as f64 / 1024.0);
+        }
+        "clear" => {
+            DiskStore::clear(&opts.dir)?;
+            println!("cleared {}", opts.dir.display());
+        }
+        other => {
+            return Err(ArgError(format!(
+                "unknown cache action {other}; expected stats or clear"
+            ))
+            .into())
+        }
     }
     Ok(())
 }

@@ -3,7 +3,7 @@
 use nimage_ir::Program;
 use nimage_profiler::DumpMode;
 use nimage_vm::StopWhen;
-use nimage_workloads::{Awfy, Microservice};
+use nimage_workloads::{Awfy, Microservice, RuntimeScale};
 
 use crate::args::ArgError;
 
@@ -56,6 +56,19 @@ impl Workload {
         match self {
             Workload::Awfy(b) => b.program(),
             Workload::Micro(m) => m.program(),
+            Workload::Quickstart => crate::quickstart::program(),
+        }
+    }
+
+    /// Builds the workload's program at a reduced scale for the
+    /// determinism audits: bit-identity is a structural property, so the
+    /// audit's two full instrumented runs don't need evaluation-scale
+    /// iteration counts (which would dominate `lint --all`).
+    pub fn audit_program(&self) -> Program {
+        let scale = RuntimeScale::small();
+        match self {
+            Workload::Awfy(b) => b.program_at(&scale),
+            Workload::Micro(m) => m.program_at(&scale),
             Workload::Quickstart => crate::quickstart::program(),
         }
     }

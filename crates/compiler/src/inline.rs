@@ -16,10 +16,11 @@
 //!   analysis-time target are inlined (devirtualization), so saturation in
 //!   `nimage-analysis` indirectly shapes CUs too.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet};
 
 use nimage_analysis::{CallSite, Reachability};
 use nimage_ir::{Callee, Instr, MethodId, Program};
+use nimage_par::parallel_map;
 
 use crate::cu::{CompilationUnit, CompiledProgram, CuId, InlineNode};
 use crate::instrument::{instrumented_method_size, InstrumentConfig, CU_PROBE_BYTES};
@@ -64,12 +65,32 @@ pub fn compile(
     instr_cfg: InstrumentConfig,
     profile: Option<&CallCountProfile>,
 ) -> CompiledProgram {
-    let mut roots: VecDeque<MethodId> = VecDeque::new();
+    compile_with_threads(program, reachability, inline_cfg, instr_cfg, profile, 1)
+}
+
+/// [`compile`] with intra-stage parallelism: compilation units are built
+/// concurrently, wave by wave over the root worklist.
+///
+/// CUs are independently compilable — [`build_cu`] is a pure function of
+/// the program, analysis results and its root — so the root closure is
+/// the same set no matter which order roots are processed in, and the
+/// final signature-ordered merge (the paper's alphabetical default
+/// `.text` order) renumbers CUs into a total order that does not depend
+/// on scheduling. The output is bit-identical to `n_threads == 1`.
+pub fn compile_with_threads(
+    program: &Program,
+    reachability: Reachability,
+    inline_cfg: &InlineConfig,
+    instr_cfg: InstrumentConfig,
+    profile: Option<&CallCountProfile>,
+    n_threads: usize,
+) -> CompiledProgram {
+    let mut frontier: Vec<MethodId> = vec![];
     let mut root_seen: HashSet<MethodId> = HashSet::new();
 
-    let push_root = |m: MethodId, roots: &mut VecDeque<MethodId>, seen: &mut HashSet<MethodId>| {
+    let push_root = |m: MethodId, frontier: &mut Vec<MethodId>, seen: &mut HashSet<MethodId>| {
         if seen.insert(m) {
-            roots.push_back(m);
+            frontier.push(m);
         }
     };
 
@@ -77,13 +98,13 @@ pub fn compile(
     // polymorphic virtual call (those are reached through the vtable and can
     // never be fully inlined away).
     if let Some(e) = program.entry {
-        push_root(e, &mut roots, &mut root_seen);
+        push_root(e, &mut frontier, &mut root_seen);
     }
     for &m in &reachability.methods {
         for b in &program.method(m).blocks {
             for i in &b.instrs {
                 if let Instr::Spawn { method, .. } = i {
-                    push_root(*method, &mut roots, &mut root_seen);
+                    push_root(*method, &mut frontier, &mut root_seen);
                 }
             }
         }
@@ -91,30 +112,40 @@ pub fn compile(
     for targets in reachability.virtual_targets.values() {
         if targets.len() != 1 {
             for &t in targets {
-                push_root(t, &mut roots, &mut root_seen);
+                push_root(t, &mut frontier, &mut root_seen);
             }
         }
     }
 
-    // Build CUs; every call that is not inlined makes its target a root.
+    // Build CUs wave by wave; every call that is not inlined makes its
+    // target a root of the next wave. Within a wave the CUs are
+    // independent and fan out over the worker pool.
     let mut built: Vec<CompilationUnit> = vec![];
-    while let Some(root) = roots.pop_front() {
-        let (cu, not_inlined) = build_cu(
-            program,
-            &reachability,
-            inline_cfg,
-            &instr_cfg,
-            profile,
-            root,
-        );
-        for m in not_inlined {
-            push_root(m, &mut roots, &mut root_seen);
+    while !frontier.is_empty() {
+        let wave = parallel_map(n_threads, frontier.len(), |i| {
+            build_cu(
+                program,
+                &reachability,
+                inline_cfg,
+                &instr_cfg,
+                profile,
+                frontier[i],
+            )
+        });
+        let mut next: Vec<MethodId> = vec![];
+        for (cu, not_inlined) in wave {
+            for m in not_inlined {
+                push_root(m, &mut next, &mut root_seen);
+            }
+            built.push(cu);
         }
-        built.push(cu);
+        frontier = next;
     }
 
-    // Default .text order: alphabetical by root signature (Sec. 2).
-    built.sort_by_key(|cu| program.method_signature(cu.root));
+    // Default .text order: alphabetical by root signature (Sec. 2). The
+    // root id tiebreak makes the order total, so serial and parallel
+    // builds agree even if two roots shared a signature.
+    built.sort_by_key(|cu| (program.method_signature(cu.root), cu.root));
     let mut root_to_cu = HashMap::new();
     for (i, cu) in built.iter_mut().enumerate() {
         cu.id = CuId(i as u32);

@@ -1,0 +1,686 @@
+//! Disk-persistent tier of the artifact cache.
+//!
+//! The in-memory [`crate::ArtifactCache`] shares artifacts within one
+//! process; this module persists the expensive, serializable stages across
+//! processes so a second `nimage bench` (or CI run) starts warm. Layout:
+//!
+//! ```text
+//! <root>/v<FORMAT>/<stage>/<key-hex>.bin
+//! ```
+//!
+//! where `<root>` defaults to `$XDG_CACHE_HOME/nimage` (falling back to
+//! `$HOME/.cache/nimage`) and `<FORMAT>` is [`DISK_FORMAT_VERSION`] —
+//! bumping the version orphans every old entry without any migration
+//! logic, because lookups only ever touch the current version directory.
+//!
+//! Every entry is self-validating: a fixed header (magic, format version,
+//! payload length, MurmurHash3 checksum of the payload) followed by the
+//! payload. Loads treat *any* malformed entry — truncated file, wrong
+//! magic or version, checksum mismatch, payload that does not decode — as
+//! a cache miss, never an error: a corrupt cache can cost recomputation
+//! but can never take down a build or poison its output.
+//!
+//! Writes are atomic: the payload goes to a unique temporary file in the
+//! destination directory first and is then `rename`d into place, so
+//! concurrent writers race benignly (one complete entry wins; readers
+//! never observe a partial file) and a crash mid-write leaves at most a
+//! stray `.tmp` file, never a truncated entry.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use nimage_compiler::CallCountProfile;
+use nimage_heap::ObjId;
+use nimage_order::{murmur3, CodeOrderProfile, HeapOrderProfile, HeapStrategy};
+use nimage_profiler::{read_trace, write_trace, SessionStats, Trace};
+use nimage_vm::{ExitKind, PageState, ResponsePoint, RtValue, RunReport, SectionFaults};
+
+use crate::cache::CacheKey;
+use crate::ProfiledArtifacts;
+
+/// Version of the on-disk entry format. Bump whenever the header layout,
+/// any codec, or the semantics of a persisted stage change; old entries
+/// are invisible to the new version (they live under the old `v<N>`
+/// directory) and get removed by `nimage cache clear`.
+pub const DISK_FORMAT_VERSION: u32 = 1;
+
+const MAGIC: &[u8; 4] = b"NIMC";
+const HEADER_LEN: usize = 4 + 4 + 8 + 8;
+const CHECKSUM_SEED: u64 = 0x6469_736b; // "disk"
+
+/// Where (and whether) the disk tier lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiskCacheOptions {
+    /// Cache root directory (version directories are created beneath it).
+    pub dir: PathBuf,
+}
+
+impl DiskCacheOptions {
+    /// A disk cache rooted at `dir`.
+    pub fn at(dir: impl Into<PathBuf>) -> DiskCacheOptions {
+        DiskCacheOptions { dir: dir.into() }
+    }
+
+    /// The conventional per-user cache root: `$XDG_CACHE_HOME/nimage`,
+    /// falling back to `$HOME/.cache/nimage`. `None` when neither
+    /// environment variable is set (no disk tier rather than guessing).
+    pub fn default_dir() -> Option<PathBuf> {
+        if let Some(xdg) = std::env::var_os("XDG_CACHE_HOME") {
+            if !xdg.is_empty() {
+                return Some(PathBuf::from(xdg).join("nimage"));
+            }
+        }
+        std::env::var_os("HOME")
+            .filter(|h| !h.is_empty())
+            .map(|h| PathBuf::from(h).join(".cache").join("nimage"))
+    }
+}
+
+/// Counters of one [`DiskStore`], snapshot by [`DiskStore::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskCacheStats {
+    /// Loads answered from disk.
+    pub hits: u64,
+    /// Loads that found no (valid) entry.
+    pub misses: u64,
+    /// Entries written.
+    pub stores: u64,
+    /// Entries found on disk but rejected (corrupt header, checksum
+    /// mismatch, undecodable payload). Each rejection is also a miss.
+    pub rejected: u64,
+}
+
+/// The disk-persistent store: version-scoped, checksummed, atomic.
+pub struct DiskStore {
+    root: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    rejected: AtomicU64,
+    tmp_counter: AtomicU64,
+}
+
+impl fmt::Debug for DiskStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.stats();
+        write!(
+            f,
+            "DiskStore({}: {} hits, {} misses, {} stores, {} rejected)",
+            self.root.display(),
+            s.hits,
+            s.misses,
+            s.stores,
+            s.rejected
+        )
+    }
+}
+
+impl DiskStore {
+    /// Opens (lazily — directories are created on first write) the store
+    /// for the current [`DISK_FORMAT_VERSION`] under `opts.dir`.
+    pub fn open(opts: &DiskCacheOptions) -> DiskStore {
+        DiskStore {
+            root: opts.dir.join(format!("v{DISK_FORMAT_VERSION}")),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            tmp_counter: AtomicU64::new(0),
+        }
+    }
+
+    /// The version-scoped directory entries live under.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn entry_path(&self, stage: &str, key: CacheKey) -> PathBuf {
+        self.root
+            .join(stage)
+            .join(format!("{:016x}{:016x}.bin", key.0, key.1))
+    }
+
+    /// Loads and validates the raw payload for `(stage, key)`. Anything
+    /// short of a fully valid entry is a miss.
+    pub fn load(&self, stage: &str, key: CacheKey) -> Option<Vec<u8>> {
+        let path = self.entry_path(stage, key);
+        let data = match std::fs::read(&path) {
+            Ok(d) => d,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match validate_entry(&data) {
+            Some(payload) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(payload.to_vec())
+            }
+            None => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Persists `payload` for `(stage, key)` via a unique temporary file
+    /// and an atomic rename. Best-effort: I/O failures (read-only cache
+    /// dir, disk full) are swallowed — the build result is already in
+    /// memory and must not depend on the cache being writable.
+    pub fn store(&self, stage: &str, key: CacheKey, payload: &[u8]) {
+        let path = self.entry_path(stage, key);
+        let Some(dir) = path.parent() else { return };
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let tmp = dir.join(format!(
+            ".tmp.{}.{}",
+            std::process::id(),
+            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut data = Vec::with_capacity(HEADER_LEN + payload.len());
+        data.extend_from_slice(MAGIC);
+        data.extend_from_slice(&DISK_FORMAT_VERSION.to_le_bytes());
+        data.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        data.extend_from_slice(&murmur3::hash128(payload, CHECKSUM_SEED).0.to_le_bytes());
+        data.extend_from_slice(payload);
+        if std::fs::write(&tmp, &data).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            return;
+        }
+        if std::fs::rename(&tmp, &path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            return;
+        }
+        self.stores.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Typed load: a valid entry whose payload decodes as `T`. An entry
+    /// that decodes partially (or with trailing garbage) is rejected.
+    pub fn get<T: DiskCodec>(&self, stage: &str, key: CacheKey) -> Option<T> {
+        let payload = self.load(stage, key)?;
+        let mut r = Reader::new(&payload);
+        match T::decode(&mut r) {
+            Some(v) if r.is_empty() => Some(v),
+            _ => {
+                // The header validated but the payload didn't decode:
+                // reclassify the hit as a rejection.
+                self.hits.fetch_sub(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Typed store.
+    pub fn put<T: DiskCodec>(&self, stage: &str, key: CacheKey, value: &T) {
+        let mut payload = Vec::with_capacity(256);
+        value.encode(&mut payload);
+        self.store(stage, key, &payload);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> DiskCacheStats {
+        DiskCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// `(entries, bytes)` currently on disk for this version.
+    pub fn size_on_disk(&self) -> (u64, u64) {
+        fn walk(dir: &Path, entries: &mut u64, bytes: &mut u64) {
+            let Ok(rd) = std::fs::read_dir(dir) else {
+                return;
+            };
+            for e in rd.flatten() {
+                let path = e.path();
+                if path.is_dir() {
+                    walk(&path, entries, bytes);
+                } else if path.extension().is_some_and(|x| x == "bin") {
+                    *entries += 1;
+                    *bytes += e.metadata().map(|m| m.len()).unwrap_or(0);
+                }
+            }
+        }
+        let (mut entries, mut bytes) = (0, 0);
+        walk(&self.root, &mut entries, &mut bytes);
+        (entries, bytes)
+    }
+
+    /// Removes the whole cache root (every format version) at `dir`.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors other than "not found".
+    pub fn clear(dir: &Path) -> io::Result<()> {
+        match std::fs::remove_dir_all(dir) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Checks magic, version, length and checksum; returns the payload slice
+/// of a valid entry.
+fn validate_entry(data: &[u8]) -> Option<&[u8]> {
+    if data.len() < HEADER_LEN || &data[..4] != MAGIC {
+        return None;
+    }
+    let version = u32::from_le_bytes(data[4..8].try_into().ok()?);
+    if version != DISK_FORMAT_VERSION {
+        return None;
+    }
+    let len = u64::from_le_bytes(data[8..16].try_into().ok()?) as usize;
+    let checksum = u64::from_le_bytes(data[16..24].try_into().ok()?);
+    let payload = &data[HEADER_LEN..];
+    if payload.len() != len {
+        return None;
+    }
+    if murmur3::hash128(payload, CHECKSUM_SEED).0 != checksum {
+        return None;
+    }
+    Some(payload)
+}
+
+/// A bounds-checked little-endian cursor: every read returns `None` past
+/// the end instead of panicking, so arbitrary on-disk bytes can never
+/// crash a decode.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Takes the next `n` bytes.
+    pub fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn i64(&mut self) -> Option<i64> {
+        self.u64().map(|v| v as i64)
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    pub fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    /// Reads a `u32` length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes).ok().map(str::to_owned)
+    }
+
+    /// Reads a `u32` length-prefixed byte slice.
+    pub fn bytes(&mut self) -> Option<&'a [u8]> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+/// A value that can round-trip through a disk-cache entry payload. Decodes
+/// are total functions over arbitrary bytes: they may return `None`, never
+/// panic.
+pub trait DiskCodec: Sized {
+    /// Appends the encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decodes a value, or `None` if the bytes are not a valid encoding.
+    fn decode(r: &mut Reader<'_>) -> Option<Self>;
+}
+
+impl DiskCodec for HashMap<ObjId, u64> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        // Sorted for a canonical (diffable) encoding; decode accepts any
+        // order.
+        let mut pairs: Vec<(&ObjId, &u64)> = self.iter().collect();
+        pairs.sort_unstable_by_key(|(o, _)| o.0);
+        out.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+        for (obj, id) in pairs {
+            out.extend_from_slice(&obj.0.to_le_bytes());
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        let n = r.u32()? as usize;
+        let mut map = HashMap::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let obj = ObjId(r.u32()?);
+            let id = r.u64()?;
+            map.insert(obj, id);
+        }
+        Some(map)
+    }
+}
+
+impl DiskCodec for SectionFaults {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.text.to_le_bytes());
+        out.extend_from_slice(&self.svm_heap.to_le_bytes());
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        Some(SectionFaults {
+            text: r.u64()?,
+            svm_heap: r.u64()?,
+        })
+    }
+}
+
+fn encode_option<T>(out: &mut Vec<u8>, v: &Option<T>, f: impl FnOnce(&T, &mut Vec<u8>)) {
+    match v {
+        Some(v) => {
+            out.push(1);
+            f(v, out);
+        }
+        None => out.push(0),
+    }
+}
+
+fn decode_option<T>(
+    r: &mut Reader<'_>,
+    f: impl FnOnce(&mut Reader<'_>) -> Option<T>,
+) -> Option<Option<T>> {
+    match r.u8()? {
+        0 => Some(None),
+        1 => f(r).map(Some),
+        _ => None,
+    }
+}
+
+fn encode_page_states(out: &mut Vec<u8>, states: &[PageState]) {
+    out.extend_from_slice(&(states.len() as u32).to_le_bytes());
+    for s in states {
+        out.push(match s {
+            PageState::Untouched => 0,
+            PageState::Resident => 1,
+            PageState::Faulted => 2,
+        });
+    }
+}
+
+fn decode_page_states(r: &mut Reader<'_>) -> Option<Vec<PageState>> {
+    let n = r.u32()? as usize;
+    let bytes = r.take(n)?;
+    bytes
+        .iter()
+        .map(|b| match b {
+            0 => Some(PageState::Untouched),
+            1 => Some(PageState::Resident),
+            2 => Some(PageState::Faulted),
+            _ => None,
+        })
+        .collect()
+}
+
+impl DiskCodec for RunReport {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.ops.to_le_bytes());
+        out.extend_from_slice(&self.probe_ops.to_le_bytes());
+        self.faults.encode(out);
+        encode_option(out, &self.first_response, |rp, out| {
+            out.extend_from_slice(&rp.ops.to_le_bytes());
+            out.extend_from_slice(&rp.probe_ops.to_le_bytes());
+            rp.faults.encode(out);
+        });
+        put_string(out, &self.call_counts.to_csv());
+        encode_option(out, &self.trace, |t: &Trace, out| {
+            put_bytes(out, &write_trace(t));
+        });
+        encode_option(out, &self.session_stats, |s, out| {
+            for v in [
+                s.cu_records,
+                s.method_records,
+                s.path_records,
+                s.obj_ids,
+                s.flushes,
+                s.remaps,
+                s.lost_records,
+            ] {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        });
+        out.push(match self.exit {
+            ExitKind::Exited => 0,
+            ExitKind::FirstResponse => 1,
+            ExitKind::OpsBudget => 2,
+        });
+        encode_option(out, &self.entry_return, |v, out| match v {
+            RtValue::Null => out.push(0),
+            RtValue::Bool(b) => {
+                out.push(1);
+                out.push(u8::from(*b));
+            }
+            RtValue::Int(i) => {
+                out.push(2);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            RtValue::Double(d) => {
+                out.push(3);
+                out.extend_from_slice(&d.to_bits().to_le_bytes());
+            }
+            RtValue::Ref(x) => {
+                out.push(4);
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        });
+        out.extend_from_slice(&(self.native_touch_pages.len() as u32).to_le_bytes());
+        for p in &self.native_touch_pages {
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+        encode_page_states(out, &self.text_page_states);
+        encode_page_states(out, &self.heap_page_states);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        let ops = r.u64()?;
+        let probe_ops = r.u64()?;
+        let faults = SectionFaults::decode(r)?;
+        let first_response = decode_option(r, |r| {
+            Some(ResponsePoint {
+                ops: r.u64()?,
+                probe_ops: r.u64()?,
+                faults: SectionFaults::decode(r)?,
+            })
+        })?;
+        let call_counts = CallCountProfile::from_csv(&r.string()?);
+        let trace = decode_option(r, |r| read_trace(r.bytes()?).ok())?;
+        let session_stats = decode_option(r, |r| {
+            Some(SessionStats {
+                cu_records: r.u64()?,
+                method_records: r.u64()?,
+                path_records: r.u64()?,
+                obj_ids: r.u64()?,
+                flushes: r.u64()?,
+                remaps: r.u64()?,
+                lost_records: r.u64()?,
+            })
+        })?;
+        let exit = match r.u8()? {
+            0 => ExitKind::Exited,
+            1 => ExitKind::FirstResponse,
+            2 => ExitKind::OpsBudget,
+            _ => return None,
+        };
+        let entry_return = decode_option(r, |r| match r.u8()? {
+            0 => Some(RtValue::Null),
+            1 => match r.u8()? {
+                0 => Some(RtValue::Bool(false)),
+                1 => Some(RtValue::Bool(true)),
+                _ => None,
+            },
+            2 => Some(RtValue::Int(r.i64()?)),
+            3 => Some(RtValue::Double(r.f64()?)),
+            4 => Some(RtValue::Ref(r.u32()?)),
+            _ => None,
+        })?;
+        let n = r.u32()? as usize;
+        let mut native_touch_pages = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            native_touch_pages.push(r.u32()?);
+        }
+        let text_page_states = decode_page_states(r)?;
+        let heap_page_states = decode_page_states(r)?;
+        Some(RunReport {
+            ops,
+            probe_ops,
+            faults,
+            first_response,
+            call_counts,
+            trace,
+            session_stats,
+            exit,
+            entry_return,
+            native_touch_pages,
+            text_page_states,
+            heap_page_states,
+        })
+    }
+}
+
+fn heap_strategy_tag(hs: HeapStrategy) -> (u8, u32) {
+    match hs {
+        HeapStrategy::IncrementalId => (0, 0),
+        HeapStrategy::StructuralHash { max_depth } => (1, max_depth),
+        HeapStrategy::HeapPath => (2, 0),
+        HeapStrategy::HeapPathSalted => (3, 0),
+    }
+}
+
+fn heap_strategy_from_tag(tag: u8, arg: u32) -> Option<HeapStrategy> {
+    match tag {
+        0 => Some(HeapStrategy::IncrementalId),
+        1 => Some(HeapStrategy::StructuralHash { max_depth: arg }),
+        2 => Some(HeapStrategy::HeapPath),
+        3 => Some(HeapStrategy::HeapPathSalted),
+        _ => None,
+    }
+}
+
+fn encode_sigs(out: &mut Vec<u8>, profile: &CodeOrderProfile) {
+    out.extend_from_slice(&(profile.sigs.len() as u32).to_le_bytes());
+    for s in &profile.sigs {
+        put_string(out, s);
+    }
+}
+
+fn decode_sigs(r: &mut Reader<'_>) -> Option<CodeOrderProfile> {
+    let n = r.u32()? as usize;
+    let mut sigs = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        sigs.push(r.string()?);
+    }
+    Some(CodeOrderProfile { sigs })
+}
+
+impl DiskCodec for ProfiledArtifacts {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_string(out, &self.call_counts.to_csv());
+        encode_sigs(out, &self.cu_profile);
+        encode_sigs(out, &self.method_profile);
+        let mut profiles: Vec<(&HeapStrategy, &HeapOrderProfile)> =
+            self.heap_profiles.iter().collect();
+        profiles.sort_unstable_by_key(|(hs, _)| heap_strategy_tag(**hs));
+        out.extend_from_slice(&(profiles.len() as u32).to_le_bytes());
+        for (hs, profile) in profiles {
+            let (tag, arg) = heap_strategy_tag(*hs);
+            out.push(tag);
+            out.extend_from_slice(&arg.to_le_bytes());
+            out.extend_from_slice(&(profile.ids.len() as u32).to_le_bytes());
+            for id in &profile.ids {
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&(self.native_pages.len() as u32).to_le_bytes());
+        for p in &self.native_pages {
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+        self.instrumented_report.encode(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        let call_counts = CallCountProfile::from_csv(&r.string()?);
+        let cu_profile = decode_sigs(r)?;
+        let method_profile = decode_sigs(r)?;
+        let n_profiles = r.u32()? as usize;
+        let mut heap_profiles = HashMap::with_capacity(n_profiles.min(64));
+        for _ in 0..n_profiles {
+            let tag = r.u8()?;
+            let arg = r.u32()?;
+            let hs = heap_strategy_from_tag(tag, arg)?;
+            let n_ids = r.u32()? as usize;
+            let mut ids = Vec::with_capacity(n_ids.min(1 << 20));
+            for _ in 0..n_ids {
+                ids.push(r.u64()?);
+            }
+            heap_profiles.insert(hs, HeapOrderProfile { ids });
+        }
+        let n = r.u32()? as usize;
+        let mut native_pages = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            native_pages.push(r.u32()?);
+        }
+        let instrumented_report = RunReport::decode(r)?;
+        Some(ProfiledArtifacts {
+            call_counts,
+            cu_profile,
+            method_profile,
+            heap_profiles,
+            native_pages,
+            instrumented_report,
+        })
+    }
+}

@@ -20,9 +20,9 @@
 //! [`EngineStats`] (surfaced by `nimage bench --json`), establishing the
 //! repo's performance trajectory for the evaluation path.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 use nimage_analysis::Reachability;
@@ -31,9 +31,11 @@ use nimage_heap::{HeapSnapshot, ObjId};
 use nimage_image::BinaryImage;
 use nimage_ir::Program;
 use nimage_order::HeapStrategy;
+use nimage_par::StealQueue;
 use nimage_vm::{HeapTemplate, RunReport, StopWhen};
 
-use crate::cache::{ArtifactCache, CacheKey, MemoStats};
+use crate::cache::{ArtifactCache, CacheKey, Memo, MemoStats};
+use crate::diskcache::{DiskCacheOptions, DiskCacheStats, DiskCodec, DiskStore};
 use crate::{BuildOptions, Evaluation, Pipeline, PipelineError, ProfiledArtifacts, Strategy};
 
 /// Pipeline stages the engine attributes wall-clock to.
@@ -102,6 +104,11 @@ pub struct EngineOptions {
     /// Worker threads for [`Engine::evaluate_matrix`]; `0` uses the
     /// machine's available parallelism.
     pub n_threads: usize,
+    /// Disk-persistent cache tier. `None` (the default) keeps the cache
+    /// purely in-memory; `Some` persists the serializable stages (strategy
+    /// id maps, baseline measurements, profiling artifacts) under the
+    /// given root so later processes start warm.
+    pub disk: Option<DiskCacheOptions>,
 }
 
 /// One workload of an evaluation matrix.
@@ -153,6 +160,8 @@ pub struct EngineStats {
     pub stages: StageTimes,
     /// Hit/miss counters per cached stage.
     pub cache: Vec<MemoStats>,
+    /// Disk-tier counters, when a disk cache is configured.
+    pub disk: Option<DiskCacheStats>,
 }
 
 impl EngineStats {
@@ -205,55 +214,11 @@ struct BaselineParts {
     run: Arc<RunReport>,
 }
 
-/// A work-stealing job queue: each worker owns a deque seeded with its
-/// share of the jobs, pops locally from the front and steals from other
-/// workers' backs when its own runs dry.
-struct StealQueue {
-    deques: Vec<Mutex<VecDeque<usize>>>,
-}
-
-impl StealQueue {
-    fn new(n_workers: usize) -> StealQueue {
-        StealQueue {
-            deques: (0..n_workers)
-                .map(|_| Mutex::new(VecDeque::new()))
-                .collect(),
-        }
-    }
-
-    fn seed(&self, worker: usize, job: usize) {
-        self.deques[worker]
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .push_back(job);
-    }
-
-    fn pop(&self, worker: usize) -> Option<usize> {
-        if let Some(j) = self.deques[worker]
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .pop_front()
-        {
-            return Some(j);
-        }
-        let n = self.deques.len();
-        for victim in (worker + 1..n).chain(0..worker) {
-            if let Some(j) = self.deques[victim]
-                .lock()
-                .unwrap_or_else(|e| e.into_inner())
-                .pop_back()
-            {
-                return Some(j);
-            }
-        }
-        None
-    }
-}
-
 /// The parallel evaluation engine. See the module docs.
 #[derive(Debug)]
 pub struct Engine {
     cache: ArtifactCache,
+    disk: Option<DiskStore>,
     clock: StageClock,
     opts: EngineOptions,
 }
@@ -265,10 +230,12 @@ impl Default for Engine {
 }
 
 impl Engine {
-    /// Creates an engine with an empty artifact cache.
+    /// Creates an engine with an empty artifact cache (and the disk tier
+    /// of [`EngineOptions::disk`], when configured).
     pub fn new(opts: EngineOptions) -> Engine {
         Engine {
             cache: ArtifactCache::new(),
+            disk: opts.disk.as_ref().map(DiskStore::open),
             clock: StageClock::default(),
             opts,
         }
@@ -279,12 +246,46 @@ impl Engine {
         &self.cache
     }
 
+    /// The engine's disk tier, when configured.
+    pub fn disk(&self) -> Option<&DiskStore> {
+        self.disk.as_ref()
+    }
+
     /// Per-stage wall-clock and cache counters accumulated so far.
     pub fn stats(&self) -> EngineStats {
         EngineStats {
             stages: self.clock.snapshot(),
             cache: self.cache.stats(),
+            disk: self.disk.as_ref().map(DiskStore::stats),
         }
+    }
+
+    /// Memo lookup with a disk tier behind it: an in-memory miss first
+    /// consults the disk store (a valid entry short-circuits the compute),
+    /// and a genuine compute is written back. The in-memory slot mutex
+    /// serializes both, preserving exactly-once semantics per process.
+    fn disk_backed<T, E>(
+        &self,
+        memo: &Memo<T>,
+        stage: &'static str,
+        key: CacheKey,
+        f: impl FnOnce() -> Result<T, E>,
+    ) -> Result<Arc<T>, E>
+    where
+        T: DiskCodec,
+    {
+        memo.get_or_try(key, || {
+            if let Some(d) = &self.disk {
+                if let Some(v) = d.get::<T>(stage, key) {
+                    return Ok(v);
+                }
+            }
+            let v = f()?;
+            if let Some(d) = &self.disk {
+                d.put(stage, key, &v);
+            }
+            Ok(v)
+        })
     }
 
     fn worker_count(&self, jobs: usize) -> usize {
@@ -398,17 +399,24 @@ impl Engine {
             "assign-ids",
             &[snap_key, CacheKey::of_debug("strategy", &hs)],
         );
-        self.cache.heap_ids.get_or(key, || {
-            self.clock.time(Stage::Order, || {
-                nimage_order::assign_ids(ctx.spec.program, snap, hs)
-            })
-        })
+        match self.disk_backed::<_, std::convert::Infallible>(
+            &self.cache.heap_ids,
+            "assign-ids",
+            key,
+            || {
+                Ok(self.clock.time(Stage::Order, || {
+                    nimage_order::assign_ids(ctx.spec.program, snap, hs)
+                }))
+            },
+        ) {
+            Ok(v) => v,
+        }
     }
 
     /// The profiling half (steps 1–3 of Fig. 1), computed once per
     /// workload.
     fn profiled(&self, ctx: &Ctx<'_, '_>) -> Result<Arc<ProfiledArtifacts>, PipelineError> {
-        self.cache.profiles.get_or_try(ctx.key("profile"), || {
+        self.disk_backed(&self.cache.profiles, "profile", ctx.key("profile"), || {
             let p = ctx.pipeline();
             let reach = self.reach(ctx, &p);
             let compiled = self
@@ -490,17 +498,22 @@ impl Engine {
                         p.layout_stage(&compiled, &snapshot, None, None, None)
                     })
                 })?;
-        let run = self.cache.runs.get_or_try(ctx.key("run:baseline"), || {
-            self.clock.time(Stage::Run, || {
-                p.run_parts(
-                    &compiled,
-                    &snapshot,
-                    &image,
-                    Some(template.clone()),
-                    ctx.spec.stop,
-                )
-            })
-        })?;
+        let run = self.disk_backed(
+            &self.cache.runs,
+            "baseline-run",
+            ctx.key("run:baseline"),
+            || {
+                self.clock.time(Stage::Run, || {
+                    p.run_parts(
+                        &compiled,
+                        &snapshot,
+                        &image,
+                        Some(template.clone()),
+                        ctx.spec.stop,
+                    )
+                })
+            },
+        )?;
         Ok(BaselineParts {
             compiled,
             snapshot,
@@ -519,8 +532,10 @@ impl Engine {
         strategy: Strategy,
     ) -> Result<Evaluation, PipelineError> {
         let p = ctx.pipeline();
-        let ids = strategy
-            .heap_strategy()
+        let ids = ctx
+            .spec
+            .opts
+            .heap_strategy_for(strategy)
             .map(|hs| self.heap_ids(ctx, ctx.key("snapshot:optimized"), &parts.snapshot, hs));
         let (cu_order, object_order) = self.clock.time(Stage::Order, || {
             p.order_stage(
@@ -572,18 +587,5 @@ mod tests {
         assert_eq!(t.total_ns(), t.ns.iter().sum::<u64>());
         let names: Vec<_> = t.iter().map(|(n, _)| n).collect();
         assert_eq!(names, StageTimes::NAMES);
-    }
-
-    #[test]
-    fn steal_queue_drains_own_then_steals() {
-        let q = StealQueue::new(2);
-        q.seed(0, 10);
-        q.seed(0, 11);
-        q.seed(1, 20);
-        assert_eq!(q.pop(0), Some(10), "own deque pops front");
-        assert_eq!(q.pop(1), Some(20));
-        assert_eq!(q.pop(1), Some(11), "steals from the other worker's back");
-        assert_eq!(q.pop(0), None);
-        assert_eq!(q.pop(1), None);
     }
 }

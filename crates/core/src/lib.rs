@@ -38,10 +38,12 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod diskcache;
 pub mod engine;
 mod persist;
 
 pub use cache::{ArtifactCache, CacheKey, Memo, MemoStats};
+pub use diskcache::{DiskCacheOptions, DiskCacheStats, DiskCodec, DiskStore, DISK_FORMAT_VERSION};
 pub use engine::{Engine, EngineOptions, EngineStats, MatrixCell, StageTimes, WorkloadSpec};
 pub use persist::{load_profiles, save_profiles, SavedProfiles};
 
@@ -52,16 +54,16 @@ use std::sync::Arc;
 
 use nimage_analysis::{analyze, AnalysisConfig, Reachability};
 use nimage_compiler::{
-    compile, CallCountProfile, CompiledProgram, CuId, InlineConfig, InstrumentConfig,
+    compile_with_threads, CallCountProfile, CompiledProgram, CuId, InlineConfig, InstrumentConfig,
 };
-use nimage_heap::{snapshot, ClinitError, HeapBuildConfig, HeapSnapshot, ObjId};
+use nimage_heap::{snapshot_with_threads, ClinitError, HeapBuildConfig, HeapSnapshot, ObjId};
 use nimage_image::{BinaryImage, ImageOptions};
 use nimage_ir::Program;
 use nimage_order::{
-    assign_ids, order_cus, order_objects, replay, CodeGranularity, CodeOrderProfile,
-    CuOrderAnalysis, HeapOrderAnalysis, HeapOrderProfile, HeapStrategy, MethodOrderAnalysis,
-    OrderingAnalysis, ReplayError,
+    assign_ids, order_cus, order_objects, replay_first_access, CodeGranularity, CodeOrderProfile,
+    HeapOrderProfile, HeapStrategy, ReplayError,
 };
+pub use nimage_par::Parallelism;
 use nimage_verify::{errors_of, irlint, pipeline as checks, Diagnostic};
 use nimage_vm::{CostModel, HeapTemplate, RunReport, StopWhen, Vm, VmConfig, VmError};
 
@@ -168,6 +170,19 @@ pub struct BuildOptions {
     /// error-severity finding aborts the pipeline with
     /// [`PipelineError::Verify`].
     pub verify: bool,
+    /// Intra-stage worker-thread count for the parallel stages (compile,
+    /// heap traversal, trace post-processing). Every parallel path merges
+    /// in a thread-count-independent order, so the produced artifacts are
+    /// bit-identical to the serial ones — and [`Parallelism`]'s `Debug`
+    /// rendering is constant, so the thread count never enters cache
+    /// fingerprints.
+    pub threads: Parallelism,
+    /// Upgrade the *heap path* identity scheme to its per-type salted
+    /// variant ([`HeapStrategy::HeapPathSalted`]), which disambiguates
+    /// colliding root-to-object paths with per-`(type, path)` occurrence
+    /// counters. Off by default so headline numbers match the paper's
+    /// Algorithm 3.
+    pub salted_heap_ids: bool,
 }
 
 impl Default for BuildOptions {
@@ -189,7 +204,35 @@ impl Default for BuildOptions {
             vm: VmConfig::default(),
             reorder_native: false,
             verify: false,
+            threads: Parallelism::serial(),
+            salted_heap_ids: false,
         }
+    }
+}
+
+impl BuildOptions {
+    /// The heap identity scheme `strategy` uses under these options:
+    /// [`Strategy::heap_strategy`], with *heap path* upgraded to the salted
+    /// variant when [`BuildOptions::salted_heap_ids`] is set.
+    pub fn heap_strategy_for(&self, strategy: Strategy) -> Option<HeapStrategy> {
+        strategy.heap_strategy().map(|hs| match hs {
+            HeapStrategy::HeapPath if self.salted_heap_ids => HeapStrategy::HeapPathSalted,
+            other => other,
+        })
+    }
+
+    /// The heap identity schemes post-processing produces profiles for
+    /// under these options, in the paper's order.
+    pub fn heap_strategies(&self) -> [HeapStrategy; 3] {
+        [
+            HeapStrategy::IncrementalId,
+            HeapStrategy::structural_default(),
+            if self.salted_heap_ids {
+                HeapStrategy::HeapPathSalted
+            } else {
+                HeapStrategy::HeapPath
+            },
+        ]
     }
 }
 
@@ -412,14 +455,24 @@ impl<'p> Pipeline<'p> {
         analyze(self.program, &self.opts.analysis)
     }
 
-    /// Stage: compilation (inlining, instrumentation, PGO).
+    /// Stage: compilation (inlining, instrumentation, PGO). Builds CUs in
+    /// parallel waves under [`BuildOptions::threads`]; the merged result is
+    /// bit-identical to the serial build (CUs are renumbered in signature
+    /// order regardless of completion order).
     pub fn compile_stage(
         &self,
         reach: Reachability,
         instr: InstrumentConfig,
         profile: Option<&CallCountProfile>,
     ) -> CompiledProgram {
-        compile(self.program, reach, &self.opts.inline, instr, profile)
+        compile_with_threads(
+            self.program,
+            reach,
+            &self.opts.inline,
+            instr,
+            profile,
+            self.opts.threads.effective(),
+        )
     }
 
     /// Stage: build-time initializer execution + heap snapshot under the
@@ -432,7 +485,12 @@ impl<'p> Pipeline<'p> {
         compiled: &CompiledProgram,
         cfg: &HeapBuildConfig,
     ) -> Result<HeapSnapshot, PipelineError> {
-        Ok(snapshot(self.program, compiled, cfg)?)
+        Ok(snapshot_with_threads(
+            self.program,
+            compiled,
+            cfg,
+            self.opts.threads.effective(),
+        )?)
     }
 
     /// Builds the instrumented image (steps 1–2 of Fig. 1's profiling
@@ -533,47 +591,36 @@ impl<'p> Pipeline<'p> {
             }
         }
 
-        let heap_strategies = [
-            HeapStrategy::IncrementalId,
-            HeapStrategy::structural_default(),
-            HeapStrategy::HeapPath,
-        ];
+        let heap_strategies = self.opts.heap_strategies();
 
-        let mut cu_an = CuOrderAnalysis::new();
-        let mut method_an = MethodOrderAnalysis::new();
+        // One replay of the trace (chunk-parallel under
+        // [`BuildOptions::threads`]) yields the raw first-access orders;
+        // every strategy's heap profile is then derived by mapping the raw
+        // object order through that strategy's identity map. All strategies
+        // assign ids to exactly the snapshot's objects, so any strategy's
+        // map serves as the membership filter.
+        let first_ids = ids_for(heap_strategies[0]);
+        let summary = replay_first_access(
+            self.program,
+            &trace,
+            &first_ids,
+            self.opts.vm.max_paths,
+            self.opts.threads.effective(),
+        )?;
         let mut heap_profiles = HashMap::new();
-        for (i, &strat) in heap_strategies.iter().enumerate() {
+        for &strat in &heap_strategies {
             let ids = ids_for(strat);
-            let mut heap_an = HeapOrderAnalysis::new();
-            if i == 0 {
-                // Feed the code analyses on the first pass; they ignore
-                // object-access events.
-                let mut analyses: [&mut dyn OrderingAnalysis; 3] =
-                    [&mut cu_an, &mut method_an, &mut heap_an];
-                replay(
-                    self.program,
-                    &trace,
-                    &ids,
-                    self.opts.vm.max_paths,
-                    &mut analyses,
-                )?;
-            } else {
-                let mut analyses: [&mut dyn OrderingAnalysis; 1] = [&mut heap_an];
-                replay(
-                    self.program,
-                    &trace,
-                    &ids,
-                    self.opts.vm.max_paths,
-                    &mut analyses,
-                )?;
-            }
-            heap_profiles.insert(strat, heap_an.into_profile());
+            heap_profiles.insert(strat, summary.heap_profile(&ids));
         }
 
         Ok(ProfiledArtifacts {
             call_counts: report.call_counts.clone(),
-            cu_profile: cu_an.into_profile(),
-            method_profile: method_an.into_profile(),
+            cu_profile: CodeOrderProfile {
+                sigs: summary.cu_order,
+            },
+            method_profile: CodeOrderProfile {
+                sigs: summary.method_order,
+            },
             heap_profiles,
             native_pages: report.native_touch_pages.clone(),
             instrumented_report: report,
@@ -628,7 +675,7 @@ impl<'p> Pipeline<'p> {
             }
             _ => None,
         };
-        let object_order = match strategy.and_then(|s| s.heap_strategy()) {
+        let object_order = match strategy.and_then(|s| self.opts.heap_strategy_for(s)) {
             Some(hs) => {
                 let profile = &artifacts.heap_profiles[&hs];
                 Some(match heap_ids {

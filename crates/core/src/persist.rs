@@ -10,7 +10,7 @@
 //! <dir>/method_order.csv      one method signature per line
 //! <dir>/heap_incremental.csv  one 64-bit hex id per line
 //! <dir>/heap_structural.csv
-//! <dir>/heap_path.csv
+//! <dir>/heap_path.csv         (heap_path_salted.csv with salted ids)
 //! <dir>/call_counts.csv       signature,count
 //! ```
 
@@ -28,6 +28,7 @@ fn heap_file_name(strategy: HeapStrategy) -> &'static str {
         HeapStrategy::IncrementalId => "heap_incremental.csv",
         HeapStrategy::StructuralHash { .. } => "heap_structural.csv",
         HeapStrategy::HeapPath => "heap_path.csv",
+        HeapStrategy::HeapPathSalted => "heap_path_salted.csv",
     }
 }
 
@@ -97,16 +98,35 @@ pub fn load_profiles(dir: &Path) -> io::Result<SavedProfiles> {
             Err(e) => Err(e),
         }
     };
+    let read_opt = |name: &str| -> io::Result<Option<String>> {
+        match std::fs::read_to_string(dir.join(name)) {
+            Ok(s) => Ok(Some(s)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    };
     let mut heap_profiles = HashMap::new();
     for strategy in [
         HeapStrategy::IncrementalId,
         HeapStrategy::structural_default(),
-        HeapStrategy::HeapPath,
     ] {
         heap_profiles.insert(
             strategy,
             HeapOrderProfile::from_csv(&read(heap_file_name(strategy))?),
         );
+    }
+    // The path-based profile was written under whichever variant the
+    // profiling build used (plain or salted); load whichever file exists
+    // so the round-trip reproduces the saved map exactly.
+    let mut any_path_file = false;
+    for strategy in [HeapStrategy::HeapPath, HeapStrategy::HeapPathSalted] {
+        if let Some(s) = read_opt(heap_file_name(strategy))? {
+            heap_profiles.insert(strategy, HeapOrderProfile::from_csv(&s));
+            any_path_file = true;
+        }
+    }
+    if !any_path_file {
+        heap_profiles.insert(HeapStrategy::HeapPath, HeapOrderProfile::default());
     }
     Ok(SavedProfiles {
         cu_profile: CodeOrderProfile::from_csv(&read("cu_order.csv")?),

@@ -1,0 +1,136 @@
+//! Thread-count invariance: every parallel stage must produce artifacts
+//! bit-identical to its serial run, at any worker count. Parallelism may
+//! change only how fast things are computed, never what — the artifact
+//! cache (memory and disk) shares entries across thread counts on that
+//! guarantee.
+
+use std::sync::Arc;
+
+use nimage_compiler::InstrumentConfig;
+use nimage_core::{BuildOptions, Parallelism, Pipeline, Strategy};
+use nimage_order::assign_ids;
+use nimage_vm::StopWhen;
+use nimage_workloads::{Awfy, RuntimeScale};
+
+fn program() -> nimage_ir::Program {
+    Awfy::Bounce.program_at(&RuntimeScale::small())
+}
+
+fn opts(threads: usize) -> BuildOptions {
+    BuildOptions {
+        threads: Parallelism::threads(threads),
+        ..BuildOptions::default()
+    }
+}
+
+#[test]
+fn compile_stage_is_thread_count_invariant() {
+    let p = program();
+    let serial = Pipeline::new(&p, opts(1));
+    let reach = serial.analyze_stage();
+    let base = serial.compile_stage(reach.clone(), InstrumentConfig::FULL, None);
+    for n in [2, 4, 8] {
+        let par = Pipeline::new(&p, opts(n));
+        let c = par.compile_stage(reach.clone(), InstrumentConfig::FULL, None);
+        assert_eq!(
+            format!("{:?}", base.cus),
+            format!("{:?}", c.cus),
+            "compile differs at {n} threads"
+        );
+    }
+}
+
+#[test]
+fn snapshot_stage_is_thread_count_invariant() {
+    let p = program();
+    let o = opts(1);
+    let serial = Pipeline::new(&p, o.clone());
+    let reach = serial.analyze_stage();
+    let compiled = serial.compile_stage(reach, InstrumentConfig::FULL, None);
+    let base = serial
+        .snapshot_stage(&compiled, &o.heap_instrumented)
+        .unwrap();
+    for n in [2, 4, 8] {
+        let par = Pipeline::new(&p, opts(n));
+        let s = par.snapshot_stage(&compiled, &o.heap_instrumented).unwrap();
+        assert_eq!(
+            format!("{:?}", base.entries()),
+            format!("{:?}", s.entries()),
+            "snapshot differs at {n} threads"
+        );
+    }
+}
+
+#[test]
+fn trace_replay_is_thread_count_invariant() {
+    let p = program();
+    let o = opts(1);
+    let serial = Pipeline::new(&p, o.clone());
+    let reach = serial.analyze_stage();
+    let compiled = serial.compile_stage(reach, InstrumentConfig::FULL, None);
+    let snap = serial
+        .snapshot_stage(&compiled, &o.heap_instrumented)
+        .unwrap();
+    let image = serial
+        .layout_stage(&compiled, &snap, None, None, None)
+        .unwrap();
+    let report = serial
+        .run_parts(&compiled, &snap, &image, None, StopWhen::Exit)
+        .unwrap();
+
+    let base = serial
+        .post_process(report.clone(), &mut |hs| {
+            Arc::new(assign_ids(&p, &snap, hs))
+        })
+        .unwrap();
+    for n in [2, 4, 8] {
+        let par = Pipeline::new(&p, opts(n));
+        let a = par
+            .post_process(report.clone(), &mut |hs| {
+                Arc::new(assign_ids(&p, &snap, hs))
+            })
+            .unwrap();
+        assert_eq!(
+            base.cu_profile, a.cu_profile,
+            "cu order differs at {n} threads"
+        );
+        assert_eq!(
+            base.method_profile, a.method_profile,
+            "method order differs at {n} threads"
+        );
+        assert_eq!(
+            base.heap_profiles, a.heap_profiles,
+            "heap profiles differ at {n} threads"
+        );
+        assert_eq!(base.call_counts, a.call_counts);
+    }
+}
+
+#[test]
+fn full_pipeline_is_thread_count_invariant() {
+    let p = program();
+    let serial = Pipeline::new(&p, opts(1));
+    let parallel = Pipeline::new(&p, opts(4));
+
+    let a1 = serial.profiling_run(StopWhen::Exit).unwrap();
+    let a4 = parallel.profiling_run(StopWhen::Exit).unwrap();
+    assert_eq!(a1.cu_profile, a4.cu_profile);
+    assert_eq!(a1.method_profile, a4.method_profile);
+    assert_eq!(a1.heap_profiles, a4.heap_profiles);
+
+    let b1 = serial.baseline(&a1, StopWhen::Exit).unwrap();
+    let b4 = parallel.baseline(&a4, StopWhen::Exit).unwrap();
+    for s in [Strategy::Cu, Strategy::CuPlusHeapPath] {
+        let e1 = serial.evaluate_with(&a1, &b1, s, StopWhen::Exit).unwrap();
+        let e4 = parallel.evaluate_with(&a4, &b4, s, StopWhen::Exit).unwrap();
+        assert_eq!(e1.baseline.faults, e4.baseline.faults, "{}", s.name());
+        assert_eq!(e1.optimized.faults, e4.optimized.faults, "{}", s.name());
+        assert_eq!(e1.optimized.ops, e4.optimized.ops, "{}", s.name());
+        assert_eq!(
+            e1.optimized.entry_return,
+            e4.optimized.entry_return,
+            "{}",
+            s.name()
+        );
+    }
+}

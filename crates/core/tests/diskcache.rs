@@ -1,0 +1,289 @@
+//! Disk-cache tier tests: entry validation (corruption, truncation,
+//! version mismatch), atomic concurrent writes, codec round-trips, and
+//! warm-cache reuse across engine instances.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use nimage_core::{
+    BuildOptions, CacheKey, DiskCacheOptions, DiskCodec, DiskStore, Engine, EngineOptions,
+    Pipeline, Strategy, WorkloadSpec,
+};
+use nimage_heap::ObjId;
+use nimage_ir::{Program, ProgramBuilder, TypeRef};
+use nimage_vm::StopWhen;
+
+/// A fresh per-test cache root under the system temp dir.
+fn cache_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nimage-dctest-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sample_map() -> HashMap<ObjId, u64> {
+    (0..64u32).map(|i| (ObjId(i), u64::from(i) * 977)).collect()
+}
+
+/// The single `.bin` entry under `root` (fails the test if there isn't
+/// exactly one).
+fn only_entry(root: &Path) -> PathBuf {
+    fn walk(dir: &Path, found: &mut Vec<PathBuf>) {
+        let Ok(rd) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for e in rd.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                walk(&p, found);
+            } else if p.extension().is_some_and(|x| x == "bin") {
+                found.push(p);
+            }
+        }
+    }
+    let mut found = vec![];
+    walk(root, &mut found);
+    assert_eq!(found.len(), 1, "expected exactly one entry: {found:?}");
+    found.pop().unwrap()
+}
+
+#[test]
+fn typed_roundtrip_hits_on_second_load() {
+    let dir = cache_root("roundtrip");
+    let store = DiskStore::open(&DiskCacheOptions::at(&dir));
+    let key = CacheKey::of_debug("test", &"roundtrip");
+    let map = sample_map();
+
+    assert_eq!(store.get::<HashMap<ObjId, u64>>("assign-ids", key), None);
+    store.put("assign-ids", key, &map);
+    assert_eq!(
+        store.get::<HashMap<ObjId, u64>>("assign-ids", key),
+        Some(map)
+    );
+    let s = store.stats();
+    assert_eq!((s.hits, s.misses, s.stores, s.rejected), (1, 1, 1, 0));
+    let (entries, bytes) = store.size_on_disk();
+    assert_eq!(entries, 1);
+    assert!(bytes > 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncated_and_corrupt_entries_are_misses_never_errors() {
+    let dir = cache_root("corrupt");
+    let store = DiskStore::open(&DiskCacheOptions::at(&dir));
+    let key = CacheKey::of_debug("test", &"corrupt");
+    store.put("assign-ids", key, &sample_map());
+    let path = only_entry(store.root());
+    let pristine = std::fs::read(&path).unwrap();
+
+    // Truncated file (header survives, payload cut short).
+    std::fs::write(&path, &pristine[..pristine.len() / 2]).unwrap();
+    assert_eq!(store.get::<HashMap<ObjId, u64>>("assign-ids", key), None);
+
+    // Flipped payload byte: checksum mismatch.
+    let mut flipped = pristine.clone();
+    *flipped.last_mut().unwrap() ^= 0xff;
+    std::fs::write(&path, &flipped).unwrap();
+    assert_eq!(store.get::<HashMap<ObjId, u64>>("assign-ids", key), None);
+
+    // Wrong magic.
+    let mut bad_magic = pristine.clone();
+    bad_magic[0] = b'X';
+    std::fs::write(&path, &bad_magic).unwrap();
+    assert_eq!(store.get::<HashMap<ObjId, u64>>("assign-ids", key), None);
+
+    // A valid header over an undecodable payload (three stray bytes).
+    store.store("assign-ids", key, &[0xff, 0xff, 0xff]);
+    assert_eq!(store.get::<HashMap<ObjId, u64>>("assign-ids", key), None);
+
+    // A valid encoding followed by trailing garbage must not half-decode.
+    let mut payload = Vec::new();
+    sample_map().encode(&mut payload);
+    payload.push(0);
+    store.store("assign-ids", key, &payload);
+    assert_eq!(store.get::<HashMap<ObjId, u64>>("assign-ids", key), None);
+
+    let s = store.stats();
+    assert_eq!(s.hits, 0);
+    assert_eq!(s.rejected, 5);
+    assert_eq!(s.misses, 5);
+
+    // The pristine bytes still load: nothing above poisoned the store.
+    std::fs::write(&path, &pristine).unwrap();
+    assert_eq!(
+        store.get::<HashMap<ObjId, u64>>("assign-ids", key),
+        Some(sample_map())
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn version_mismatch_invalidates() {
+    let dir = cache_root("version");
+    let store = DiskStore::open(&DiskCacheOptions::at(&dir));
+    let key = CacheKey::of_debug("test", &"version");
+    store.put("assign-ids", key, &sample_map());
+    let path = only_entry(store.root());
+
+    // Entries live under a version-scoped directory, so a format bump
+    // switches directories and orphans everything old wholesale …
+    assert!(store
+        .root()
+        .file_name()
+        .is_some_and(|n| n.to_string_lossy().starts_with('v')));
+
+    // … and the header version is checked too (defense in depth against a
+    // copied-over entry): patch it and the entry becomes a miss.
+    let mut data = std::fs::read(&path).unwrap();
+    data[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+    std::fs::write(&path, &data).unwrap();
+    assert_eq!(store.get::<HashMap<ObjId, u64>>("assign-ids", key), None);
+    assert_eq!(store.stats().rejected, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn concurrent_writers_race_benignly() {
+    let dir = cache_root("race");
+    let store = DiskStore::open(&DiskCacheOptions::at(&dir));
+    let key = CacheKey::of_debug("test", &"race");
+    let maps: Vec<HashMap<ObjId, u64>> = (0..8u64)
+        .map(|t| (0..256u32).map(|i| (ObjId(i), u64::from(i) + t)).collect())
+        .collect();
+
+    std::thread::scope(|scope| {
+        for map in &maps {
+            scope.spawn(|| store.put("assign-ids", key, map));
+        }
+    });
+
+    // One complete entry won; readers never see a partial file, and no
+    // temporary files leak.
+    let winner = store
+        .get::<HashMap<ObjId, u64>>("assign-ids", key)
+        .expect("a complete entry must win the race");
+    assert!(maps.contains(&winner));
+    let entry_dir = only_entry(store.root()).parent().unwrap().to_path_buf();
+    let stray_tmp = std::fs::read_dir(entry_dir)
+        .unwrap()
+        .flatten()
+        .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+        .count();
+    assert_eq!(stray_tmp, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The synthetic workload used by the engine-level tests: a clinit-built
+/// array plus a couple of methods, enough for a full profile/evaluate
+/// cycle.
+fn program() -> Program {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.add_class("t.Main", None);
+    let fld = pb.add_static_field(c, "S", TypeRef::array_of(TypeRef::Int));
+    let cl = pb.declare_clinit(c);
+    let mut f = pb.body(cl);
+    let n = f.iconst(256);
+    let arr = f.new_array(TypeRef::Int, n);
+    let from = f.iconst(0);
+    f.for_range(from, n, |f, i| {
+        f.array_set(arr, i, i);
+    });
+    f.put_static(fld, arr);
+    f.ret(None);
+    pb.finish_body(cl, f);
+    let helper = pb.declare_static(c, "helper", &[TypeRef::Int], Some(TypeRef::Int));
+    let mut f = pb.body(helper);
+    let arr = f.get_static(fld);
+    let v = f.array_get(arr, f.param(0));
+    f.ret(Some(v));
+    pb.finish_body(helper, f);
+    let main = pb.declare_static(c, "main", &[], Some(TypeRef::Int));
+    let mut f = pb.body(main);
+    let k = f.iconst(7);
+    let v = f.call_static(helper, &[k], true).unwrap();
+    f.ret(Some(v));
+    pb.finish_body(main, f);
+    pb.set_entry(main);
+    pb.build().unwrap()
+}
+
+#[test]
+fn profiled_artifacts_codec_roundtrips_through_bytes() {
+    let program = program();
+    let pipeline = Pipeline::new(&program, BuildOptions::default());
+    let artifacts = pipeline.profiling_run(StopWhen::Exit).unwrap();
+
+    let mut payload = Vec::new();
+    artifacts.encode(&mut payload);
+    let mut r = nimage_core::diskcache::Reader::new(&payload);
+    let decoded = nimage_core::ProfiledArtifacts::decode(&mut r).expect("decodes");
+    assert!(r.is_empty(), "decode must consume the whole payload");
+
+    assert_eq!(decoded.cu_profile, artifacts.cu_profile);
+    assert_eq!(decoded.method_profile, artifacts.method_profile);
+    assert_eq!(decoded.heap_profiles, artifacts.heap_profiles);
+    assert_eq!(decoded.call_counts, artifacts.call_counts);
+    assert_eq!(decoded.native_pages, artifacts.native_pages);
+    let (a, b) = (&decoded.instrumented_report, &artifacts.instrumented_report);
+    assert_eq!(a.ops, b.ops);
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.entry_return, b.entry_return);
+    assert_eq!(
+        a.trace.as_ref().map(|t| nimage_profiler::write_trace(t)),
+        b.trace.as_ref().map(|t| nimage_profiler::write_trace(t)),
+    );
+}
+
+#[test]
+fn engine_without_disk_options_never_touches_disk() {
+    let program = program();
+    let engine = Engine::new(EngineOptions {
+        n_threads: 1,
+        disk: None,
+    });
+    let spec = WorkloadSpec::new("t", &program, BuildOptions::default(), StopWhen::Exit);
+    engine
+        .evaluate_workload(&spec, &[Strategy::Cu])
+        .expect("evaluation succeeds");
+    assert!(engine.stats().disk.is_none());
+}
+
+#[test]
+fn second_engine_starts_warm_with_identical_results() {
+    let dir = cache_root("warm");
+    let program = program();
+    let strategies = [Strategy::Cu, Strategy::HeapPath];
+
+    let cold = Engine::new(EngineOptions {
+        n_threads: 2,
+        disk: Some(DiskCacheOptions::at(&dir)),
+    });
+    let spec = WorkloadSpec::new("t", &program, BuildOptions::default(), StopWhen::Exit);
+    let rows_cold = cold.evaluate_workload(&spec, &strategies).unwrap();
+    let cold_stats = cold.stats().disk.unwrap();
+    assert_eq!(cold_stats.hits, 0, "first run finds an empty cache");
+    assert!(cold_stats.stores > 0, "first run persists artifacts");
+
+    // A fresh engine (fresh memory cache) in the same process stands in
+    // for the second process of a warm CI run.
+    let warm = Engine::new(EngineOptions {
+        n_threads: 2,
+        disk: Some(DiskCacheOptions::at(&dir)),
+    });
+    let spec = WorkloadSpec::new("t", &program, BuildOptions::default(), StopWhen::Exit);
+    let rows_warm = warm.evaluate_workload(&spec, &strategies).unwrap();
+    let warm_stats = warm.stats().disk.unwrap();
+    assert!(warm_stats.hits > 0, "second run reads persisted artifacts");
+    assert_eq!(warm_stats.stores, 0, "nothing new to persist");
+
+    assert_eq!(rows_cold.len(), rows_warm.len());
+    for ((s1, e1), (s2, e2)) in rows_cold.iter().zip(&rows_warm) {
+        assert_eq!(s1, s2);
+        assert_eq!(e1.baseline.faults, e2.baseline.faults);
+        assert_eq!(e1.optimized.faults, e2.optimized.faults);
+        assert_eq!(e1.baseline.ops, e2.baseline.ops);
+        assert_eq!(e1.optimized.ops, e2.optimized.ops);
+        assert_eq!(e1.optimized.entry_return, e2.optimized.entry_return);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -40,5 +40,6 @@ mod snapshot;
 pub use clinit::{exec_method, run_initializers, ClinitError, StepBudget};
 pub use object::{BuildHeap, HObject, HObjectKind, HValue, ObjId};
 pub use snapshot::{
-    snapshot, HeapBuildConfig, HeapSnapshot, InclusionReason, ParentLink, SnapEntry, SnapshotStats,
+    snapshot, snapshot_with_threads, HeapBuildConfig, HeapSnapshot, InclusionReason, ParentLink,
+    SnapEntry, SnapshotStats,
 };

@@ -1,7 +1,7 @@
 //! Program, class, field and method definitions plus virtual-dispatch
 //! resolution.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::instr::Block;
@@ -123,8 +123,11 @@ pub struct Program {
     pub(crate) fields: Vec<Field>,
     pub(crate) methods: Vec<Method>,
     pub(crate) selectors: Vec<String>,
-    pub(crate) selector_map: HashMap<String, SelectorId>,
-    pub(crate) class_map: HashMap<String, ClassId>,
+    // BTreeMaps, not HashMaps: the derived `Debug` rendering doubles as the
+    // program's content fingerprint for the (disk-persisted) artifact cache,
+    // so its iteration order must be stable across processes.
+    pub(crate) selector_map: BTreeMap<String, SelectorId>,
+    pub(crate) class_map: BTreeMap<String, ClassId>,
     /// Program entry point (a static method), if set.
     pub entry: Option<MethodId>,
     /// Embedded resources.

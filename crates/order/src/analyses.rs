@@ -8,6 +8,7 @@ use std::fmt;
 use nimage_compiler::{PathNumbering, ProfilingCfg, StaticEvent};
 use nimage_heap::ObjId;
 use nimage_ir::{MethodId, Program};
+use nimage_par::parallel_map;
 use nimage_profiler::{Trace, TraceRecord};
 
 /// One event reconstructed from the trace, in execution order.
@@ -330,6 +331,211 @@ pub fn replay(
         }
     }
     Ok(())
+}
+
+/// The strategy-independent first-occurrence summary of one trace:
+/// CU-entry and method-entry signatures in first-execution order, and
+/// snapshot objects (raw build-local identities) in first-access order.
+///
+/// Per-strategy heap profiles derive from `object_order` by mapping each
+/// object through the strategy's identity map and deduplicating: the
+/// first access of a strategy identity is the first access of some raw
+/// object mapping to it, and that access is the raw object's own first
+/// occurrence, so mapping the raw first-occurrence list preserves every
+/// identity's first-access position.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplaySummary {
+    /// CU-root signatures in first-execution order.
+    pub cu_order: Vec<String>,
+    /// Method signatures in first-execution order.
+    pub method_order: Vec<String>,
+    /// Snapshot objects in first-access order.
+    pub object_order: Vec<ObjId>,
+}
+
+impl ReplaySummary {
+    /// Maps `object_order` through a strategy identity map into the
+    /// strategy's first-access heap profile.
+    pub fn heap_profile(&self, id_map: &HashMap<ObjId, u64>) -> HeapOrderProfile {
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut ids: Vec<u64> = vec![];
+        for obj in &self.object_order {
+            if let Some(&id) = id_map.get(obj) {
+                if seen.insert(id) {
+                    ids.push(id);
+                }
+            }
+        }
+        HeapOrderProfile { ids }
+    }
+}
+
+/// First-occurrence collectors of one trace chunk, merged in chunk order.
+#[derive(Debug, Default)]
+struct ChunkSummary {
+    cu: Vec<String>,
+    methods: Vec<String>,
+    objects: Vec<ObjId>,
+}
+
+/// Decodes one contiguous run of records from a single trace thread,
+/// collecting chunk-local first occurrences.
+fn decode_chunk(
+    program: &Program,
+    trace: &Trace,
+    by_sig: &HashMap<String, MethodId>,
+    in_snapshot: &HashMap<ObjId, u64>,
+    max_paths: u64,
+    records: &[TraceRecord],
+) -> Result<ChunkSummary, ReplayError> {
+    let mut out = ChunkSummary::default();
+    let mut cu_seen: HashSet<u32> = HashSet::new();
+    let mut method_seen: HashSet<u32> = HashSet::new();
+    let mut obj_seen: HashSet<ObjId> = HashSet::new();
+    let mut tables: HashMap<MethodId, (ProfilingCfg, PathNumbering)> = HashMap::new();
+    for record in records {
+        match record {
+            TraceRecord::CuEntry { sig } => {
+                if cu_seen.insert(*sig) {
+                    out.cu.push(trace.string(*sig).to_string());
+                }
+            }
+            TraceRecord::MethodEntry { sig } => {
+                if method_seen.insert(*sig) {
+                    out.methods.push(trace.string(*sig).to_string());
+                }
+            }
+            TraceRecord::Path {
+                method,
+                start,
+                path_id,
+                obj_ids,
+            } => {
+                let sig = trace.string(*method);
+                let mid = *by_sig
+                    .get(sig)
+                    .ok_or_else(|| ReplayError::UnknownSignature(sig.to_string()))?;
+                let (cfg, num) = tables.entry(mid).or_insert_with(|| {
+                    let cfg = ProfilingCfg::build(program.method(mid));
+                    let num = PathNumbering::compute(&cfg, max_paths);
+                    (cfg, num)
+                });
+                let seq = num.decode(cfg, nimage_compiler::MiniBlockId(*start), *path_id);
+                let expected: usize = seq
+                    .iter()
+                    .map(|&m| {
+                        cfg.mini(m)
+                            .events
+                            .iter()
+                            .filter(|e| matches!(e, StaticEvent::HeapAccess { .. }))
+                            .count()
+                    })
+                    .sum();
+                if expected != obj_ids.len() {
+                    return Err(ReplayError::IdCountMismatch {
+                        method: sig.to_string(),
+                        stored: obj_ids.len(),
+                        expected,
+                    });
+                }
+                for &raw in obj_ids {
+                    if raw == 0 {
+                        continue; // access outside the heap snapshot
+                    }
+                    let obj = ObjId((raw - 1) as u32);
+                    if in_snapshot.contains_key(&obj) && obj_seen.insert(obj) {
+                        out.objects.push(obj);
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Replays a trace into a [`ReplaySummary`], decoding disjoint contiguous
+/// chunks of the record stream in parallel and merging the chunk-local
+/// first-occurrence lists in chunk order.
+///
+/// The merge `A ++ (B \ A)` is associative and reproduces the serial
+/// first-occurrence order exactly: an element's global first occurrence
+/// lies in the earliest chunk containing it, at that chunk's local first
+/// occurrence. Chunk boundaries therefore do not affect the result, so
+/// any thread count (including 1) produces bit-identical output. Errors
+/// keep serial semantics too: the earliest erroring chunk's first error
+/// *is* the stream's first error, because chunks partition the stream in
+/// order.
+///
+/// `in_snapshot` gates object accesses exactly like `replay`'s `id_map`:
+/// only its keys matter, and every strategy's identity map shares the
+/// same key set (the snapshot's objects).
+///
+/// # Errors
+/// Returns [`ReplayError`] if the trace is inconsistent with the program.
+pub fn replay_first_access(
+    program: &Program,
+    trace: &Trace,
+    in_snapshot: &HashMap<ObjId, u64>,
+    max_paths: u64,
+    n_threads: usize,
+) -> Result<ReplaySummary, ReplayError> {
+    let mut by_sig: HashMap<String, MethodId> = HashMap::new();
+    for i in 0..program.methods().len() {
+        let mid = MethodId::from(i);
+        by_sig.insert(program.method_signature(mid), mid);
+    }
+
+    // Chunk descriptors: contiguous runs within one thread's records, in
+    // stream order (thread creation order, then record order). A floor on
+    // the chunk size keeps the per-chunk decode-table overhead small.
+    let total: usize = trace.threads.iter().map(Vec::len).sum();
+    let workers = n_threads.max(1);
+    let chunk_len = total.div_ceil(workers * 4).max(256);
+    let mut chunks: Vec<(usize, usize, usize)> = vec![];
+    for (ti, t) in trace.threads.iter().enumerate() {
+        let mut start = 0;
+        while start < t.len() {
+            let end = (start + chunk_len).min(t.len());
+            chunks.push((ti, start, end));
+            start = end;
+        }
+    }
+
+    let outs = parallel_map(n_threads, chunks.len(), |ci| {
+        let (ti, start, end) = chunks[ci];
+        decode_chunk(
+            program,
+            trace,
+            &by_sig,
+            in_snapshot,
+            max_paths,
+            &trace.threads[ti][start..end],
+        )
+    });
+
+    let mut summary = ReplaySummary::default();
+    let mut cu_seen: HashSet<String> = HashSet::new();
+    let mut method_seen: HashSet<String> = HashSet::new();
+    let mut obj_seen: HashSet<ObjId> = HashSet::new();
+    for out in outs {
+        let chunk = out?;
+        for sig in chunk.cu {
+            if cu_seen.insert(sig.clone()) {
+                summary.cu_order.push(sig);
+            }
+        }
+        for sig in chunk.methods {
+            if method_seen.insert(sig.clone()) {
+                summary.method_order.push(sig);
+            }
+        }
+        for obj in chunk.objects {
+            if obj_seen.insert(obj) {
+                summary.object_order.push(obj);
+            }
+        }
+    }
+    Ok(summary)
 }
 
 #[cfg(test)]

@@ -31,8 +31,8 @@ mod quality;
 mod strategies;
 
 pub use analyses::{
-    replay, CodeOrderProfile, CuOrderAnalysis, Event, HeapOrderAnalysis, HeapOrderProfile,
-    MethodOrderAnalysis, OrderingAnalysis, ReplayError,
+    replay, replay_first_access, CodeOrderProfile, CuOrderAnalysis, Event, HeapOrderAnalysis,
+    HeapOrderProfile, MethodOrderAnalysis, OrderingAnalysis, ReplayError, ReplaySummary,
 };
 pub use ordering::{match_rate, order_cus, order_objects, CodeGranularity};
 pub use quality::{layout_quality, LayoutQuality};

@@ -23,6 +23,15 @@ pub enum HeapStrategy {
     /// Algorithm 3: MurmurHash3 over the first root-to-object path and the
     /// root's heap-inclusion reason.
     HeapPath,
+    /// [`HeapStrategy::HeapPath`] with per-type collision salting: objects
+    /// sharing a `(type, path)` hash — e.g. same-type siblings re-rooted
+    /// under one `MethodConstant` reason by PEA folding, the source of the
+    /// `profile::id-collision` multiplicities flagged on Bounce — get an
+    /// occurrence counter (encounter order, per colliding group) mixed
+    /// into the hash. Unique paths keep the plain heap-path identity, and
+    /// like Algorithm 1's per-type counters, an extra or missing object
+    /// only perturbs later members of its own colliding group.
+    HeapPathSalted,
 }
 
 impl HeapStrategy {
@@ -38,6 +47,7 @@ impl HeapStrategy {
             HeapStrategy::IncrementalId => "incremental id",
             HeapStrategy::StructuralHash { .. } => "structural hash",
             HeapStrategy::HeapPath => "heap path",
+            HeapStrategy::HeapPathSalted => "heap path salted",
         }
     }
 }
@@ -66,7 +76,37 @@ pub fn assign_ids(
             .iter()
             .map(|e| (e.obj, heap_path_hash(program, snapshot, e.obj)))
             .collect(),
+        HeapStrategy::HeapPathSalted => salted_heap_path_ids(program, snapshot),
     }
+}
+
+/// The salted variant of Algorithm 3: disambiguates heap-path collisions
+/// with a per-`(type, path)` occurrence counter in snapshot encounter
+/// order. The first object of each group keeps the plain heap-path hash
+/// (unique paths are unaffected); later members mix the type name and
+/// their occurrence index into the hash, so the k-th member of a group
+/// in the profiling build matches the k-th member in the optimized build.
+fn salted_heap_path_ids(program: &Program, snapshot: &HeapSnapshot) -> HashMap<ObjId, u64> {
+    let mut occurrence: HashMap<(u64, u64), u32> = HashMap::new();
+    let mut ids = HashMap::new();
+    for e in snapshot.entries() {
+        let base = heap_path_hash(program, snapshot, e.obj);
+        let type_name = snapshot.heap().get(e.obj).type_name(program);
+        let type_id = murmur3::hash64(type_name.as_bytes());
+        let n = occurrence.entry((type_id, base)).or_insert(0);
+        *n += 1;
+        let id = if *n == 1 {
+            base
+        } else {
+            let mut bytes = Vec::with_capacity(12 + type_name.len());
+            bytes.extend_from_slice(&base.to_le_bytes());
+            bytes.extend_from_slice(type_name.as_bytes());
+            bytes.extend_from_slice(&n.to_le_bytes());
+            murmur3::hash64(&bytes)
+        };
+        ids.insert(e.obj, id);
+    }
+    ids
 }
 
 /// Algorithm 1: incremental IDs. "The most-significant 32 bits store a
@@ -344,6 +384,7 @@ mod tests {
             HeapStrategy::IncrementalId,
             HeapStrategy::structural_default(),
             HeapStrategy::HeapPath,
+            HeapStrategy::HeapPathSalted,
         ] {
             let a = assign_ids(&p, &snap_a, strat);
             let b = assign_ids(&p, &snap_b, strat);
@@ -359,9 +400,108 @@ mod tests {
             HeapStrategy::IncrementalId,
             HeapStrategy::structural_default(),
             HeapStrategy::HeapPath,
+            HeapStrategy::HeapPathSalted,
         ] {
             let ids = assign_ids(&p, &snap, strat);
             assert_eq!(ids.len(), snap.entries().len(), "{}", strat.name());
         }
+    }
+
+    /// Profiling-shaped and optimized-shaped Bounce snapshots: same
+    /// compiled program, different clinit seeds, PEA folding only in the
+    /// optimized build — the divergence the pipeline actually faces.
+    fn bounce_snapshots() -> (Program, HeapSnapshot, HeapSnapshot) {
+        let p = nimage_workloads::Awfy::Bounce.program();
+        let reach = analyze(&p, &AnalysisConfig::default());
+        let cp = compile(
+            &p,
+            reach,
+            &InlineConfig::default(),
+            InstrumentConfig::NONE,
+            None,
+        );
+        let snap_prof = snapshot(
+            &p,
+            &cp,
+            &HeapBuildConfig {
+                clinit_seed: 1,
+                ..HeapBuildConfig::default()
+            },
+        )
+        .unwrap();
+        let snap_opt = snapshot(
+            &p,
+            &cp,
+            &HeapBuildConfig {
+                clinit_seed: 2,
+                pea_fold: true,
+                pea_seed: 3,
+                ..HeapBuildConfig::default()
+            },
+        )
+        .unwrap();
+        (p, snap_prof, snap_opt)
+    }
+
+    fn id_multiset(ids: &HashMap<ObjId, u64>) -> HashMap<u64, usize> {
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for v in ids.values() {
+            *counts.entry(*v).or_default() += 1;
+        }
+        counts
+    }
+
+    /// The `profile::id-collision` finding on Bounce: heap-path hashes
+    /// collide (objects whose first discovery path is structurally
+    /// identical — e.g. data-section constants sharing a root reason, or
+    /// PEA-rerooted same-type siblings). Salting must fully disambiguate
+    /// within a snapshot.
+    #[test]
+    fn salting_removes_heap_path_collisions_on_bounce() {
+        let (p, _, snap_opt) = bounce_snapshots();
+        let plain = id_multiset(&assign_ids(&p, &snap_opt, HeapStrategy::HeapPath));
+        let salted = id_multiset(&assign_ids(&p, &snap_opt, HeapStrategy::HeapPathSalted));
+        let plain_max = plain.values().copied().max().unwrap_or(0);
+        let salted_max = salted.values().copied().max().unwrap_or(0);
+        assert!(
+            plain_max > 1,
+            "expected heap-path collisions on Bounce, max multiplicity was {plain_max}"
+        );
+        assert_eq!(
+            salted_max, 1,
+            "salted ids must be collision-free within a snapshot"
+        );
+    }
+
+    /// An object is *matchable* only if its id is unambiguous in both
+    /// builds: unique within its own snapshot and unique within the other
+    /// build's snapshot. Colliding groups are unusable for cross-build
+    /// ordering; salting recovers them (the k-th member of a group matches
+    /// the k-th member on the other side), so the matched-object ratio
+    /// must strictly improve.
+    #[test]
+    fn salting_improves_matched_object_ratio_on_bounce() {
+        let (p, snap_prof, snap_opt) = bounce_snapshots();
+        let matched_ratio = |strategy: HeapStrategy| -> f64 {
+            let ids_prof = assign_ids(&p, &snap_prof, strategy);
+            let ids_opt = assign_ids(&p, &snap_opt, strategy);
+            let prof_counts = id_multiset(&ids_prof);
+            let opt_counts = id_multiset(&ids_opt);
+            let matched = snap_opt
+                .entries()
+                .iter()
+                .filter(|e| {
+                    let v = ids_opt[&e.obj];
+                    opt_counts[&v] == 1 && prof_counts.get(&v) == Some(&1)
+                })
+                .count();
+            matched as f64 / snap_opt.entries().len() as f64
+        };
+        let plain = matched_ratio(HeapStrategy::HeapPath);
+        let salted = matched_ratio(HeapStrategy::HeapPathSalted);
+        assert!(
+            salted > plain,
+            "salted matched ratio ({salted:.3}) must beat plain heap path ({plain:.3})"
+        );
     }
 }

@@ -1,0 +1,220 @@
+//! Intra-stage parallelism primitives shared by the pipeline stages and
+//! the evaluation engine.
+//!
+//! Every parallel stage in the pipeline follows the same discipline:
+//! **fan out over independent jobs, then merge in a deterministic order
+//! that does not depend on execution interleaving**. This crate provides
+//! the two building blocks:
+//!
+//! - [`StealQueue`] — the work-stealing deque machinery (each worker owns
+//!   a deque seeded with its share of the jobs, pops locally from the
+//!   front and steals from other workers' backs when its own runs dry).
+//! - [`parallel_map`] — an index-ordered parallel map on top of it:
+//!   results come back in job-index order regardless of which worker ran
+//!   which job, so callers get scheduling-independent output for free.
+//!
+//! [`Parallelism`] carries the thread-count knob through configuration
+//! structs whose derived `Debug` rendering doubles as a cache
+//! fingerprint: its `Debug` output is a constant, because the thread
+//! count must never change *what* is computed, only *how fast*.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Mutex;
+
+/// A thread-count knob for intra-stage parallelism.
+///
+/// `0` means "auto": use the machine's available parallelism. The
+/// `Debug` rendering is intentionally a constant so that embedding a
+/// `Parallelism` in a fingerprinted options struct (for example
+/// `nimage_core::BuildOptions`, whose `Debug` output feeds the content
+/// keys of the artifact cache) does not perturb cache keys: artifacts
+/// built with different thread counts are bit-identical and must share
+/// cache entries — in memory and on disk.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism(usize);
+
+impl Parallelism {
+    /// Single-threaded execution (the default).
+    pub const fn serial() -> Parallelism {
+        Parallelism(1)
+    }
+
+    /// Use the machine's available parallelism.
+    pub const fn auto() -> Parallelism {
+        Parallelism(0)
+    }
+
+    /// An explicit thread count; `0` behaves like [`Parallelism::auto`].
+    pub const fn threads(n: usize) -> Parallelism {
+        Parallelism(n)
+    }
+
+    /// The raw knob value (`0` = auto).
+    pub const fn raw(self) -> usize {
+        self.0
+    }
+
+    /// Resolves the knob to a concrete worker count (at least 1).
+    pub fn effective(self) -> usize {
+        if self.0 > 0 {
+            self.0
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        }
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Parallelism {
+        Parallelism::serial()
+    }
+}
+
+impl fmt::Debug for Parallelism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Constant on purpose — see the type docs. Do NOT include
+        // `self.0` here: it would split cache keys by thread count.
+        f.write_str("Parallelism(..)")
+    }
+}
+
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A work-stealing job queue: each worker owns a deque seeded with its
+/// share of the jobs, pops locally from the front and steals from other
+/// workers' backs when its own runs dry.
+pub struct StealQueue {
+    deques: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl StealQueue {
+    /// Creates a queue with one deque per worker.
+    pub fn new(n_workers: usize) -> StealQueue {
+        StealQueue {
+            deques: (0..n_workers)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+        }
+    }
+
+    /// Appends a job to `worker`'s own deque.
+    pub fn seed(&self, worker: usize, job: usize) {
+        lock_unpoisoned(&self.deques[worker]).push_back(job);
+    }
+
+    /// Takes the next job for `worker`: its own front, else a steal from
+    /// another worker's back, else `None` (all deques dry).
+    pub fn pop(&self, worker: usize) -> Option<usize> {
+        if let Some(j) = lock_unpoisoned(&self.deques[worker]).pop_front() {
+            return Some(j);
+        }
+        let n = self.deques.len();
+        for victim in (worker + 1..n).chain(0..worker) {
+            if let Some(j) = lock_unpoisoned(&self.deques[victim]).pop_back() {
+                return Some(j);
+            }
+        }
+        None
+    }
+}
+
+/// Runs `f(0..n_jobs)` across up to `threads` workers and returns the
+/// results in job-index order. With `threads <= 1` (or fewer than two
+/// jobs) this degenerates to a plain serial loop, so the serial and
+/// parallel paths share one code path and trivially agree.
+///
+/// The output order — and therefore everything a caller derives from it —
+/// is independent of scheduling; determinism of a parallel stage reduces
+/// to the purity of `f`.
+pub fn parallel_map<T, F>(threads: usize, n_jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let n_workers = threads.clamp(1, n_jobs.max(1));
+    if n_workers <= 1 {
+        return (0..n_jobs).map(f).collect();
+    }
+    let queue = StealQueue::new(n_workers);
+    for j in 0..n_jobs {
+        queue.seed(j % n_workers, j);
+    }
+    // Mutex-of-Option slots rather than OnceLock: they only need `T: Send`,
+    // and each slot is written exactly once (its job runs on one worker).
+    let slots: Vec<Mutex<Option<T>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
+    let (queue, slots_ref, f) = (&queue, &slots, &f);
+    std::thread::scope(|scope| {
+        for w in 0..n_workers {
+            scope.spawn(move || {
+                while let Some(j) = queue.pop(w) {
+                    *lock_unpoisoned(&slots_ref[j]) = Some(f(j));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| lock_unpoisoned(&s).take().expect("every seeded job ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn parallelism_debug_is_thread_count_invariant() {
+        assert_eq!(
+            format!("{:?}", Parallelism::serial()),
+            format!("{:?}", Parallelism::threads(8)),
+            "Debug doubles as a cache fingerprint and must not leak the knob"
+        );
+        assert_eq!(Parallelism::serial().effective(), 1);
+        assert_eq!(Parallelism::threads(3).effective(), 3);
+        assert!(Parallelism::auto().effective() >= 1);
+    }
+
+    #[test]
+    fn steal_queue_drains_own_then_steals() {
+        let q = StealQueue::new(2);
+        q.seed(0, 10);
+        q.seed(0, 11);
+        q.seed(1, 20);
+        assert_eq!(q.pop(0), Some(10), "own deque pops front");
+        assert_eq!(q.pop(1), Some(20));
+        assert_eq!(q.pop(1), Some(11), "steals from the other worker's back");
+        assert_eq!(q.pop(0), None);
+        assert_eq!(q.pop(1), None);
+    }
+
+    #[test]
+    fn parallel_map_preserves_index_order() {
+        for threads in [1, 2, 8] {
+            let out = parallel_map(threads, 100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn parallel_map_runs_every_job_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out = parallel_map(4, 64, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 64);
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_single() {
+        assert_eq!(parallel_map(8, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(8, 1, |i| i + 1), vec![1]);
+    }
+}

@@ -8,6 +8,13 @@
 //! — with deliberately different intervening heap activity, so allocator
 //! state and hasher seeds differ between runs — and requires byte-identical
 //! image files plus identical ordering CSVs.
+//!
+//! [`audit_profiling_determinism`] extends the same discipline to the
+//! *profiling* build (steps 1–3 of the paper's Fig. 1): instrumented
+//! compile, VM run, and trace replay each execute twice around allocator
+//! perturbation, requiring byte-identical trace files and identical
+//! ordering profiles — and the replay additionally runs chunk-parallel,
+//! which must merge to the serial result.
 
 use std::collections::HashMap;
 
@@ -17,9 +24,11 @@ use nimage_heap::{snapshot, HeapBuildConfig};
 use nimage_image::{write_image_file, BinaryImage, ImageOptions};
 use nimage_ir::Program;
 use nimage_order::{
-    assign_ids, order_cus, order_objects, CodeGranularity, CodeOrderProfile, HeapOrderProfile,
-    HeapStrategy,
+    assign_ids, order_cus, order_objects, replay_first_access, CodeGranularity, CodeOrderProfile,
+    HeapOrderProfile, HeapStrategy,
 };
+use nimage_profiler::write_trace;
+use nimage_vm::{StopWhen, Vm, VmConfig};
 
 use crate::Diagnostic;
 
@@ -178,6 +187,160 @@ fn run_once(program: &Program, inputs: &DeterminismInputs<'_>) -> Result<RunArti
         image_bytes,
         cu_csv,
         object_csv,
+    })
+}
+
+/// Outcome of [`audit_profiling_determinism`].
+#[derive(Debug, Clone)]
+pub struct ProfilingDeterminismReport {
+    /// Serialized trace files of both instrumented runs are byte-identical.
+    pub trace_identical: bool,
+    /// Replayed ordering profiles (CU, method, heap) are identical.
+    pub profiles_identical: bool,
+    /// The chunk-parallel replay merged to the serial replay's profiles
+    /// (checked within each run).
+    pub parallel_replay_identical: bool,
+    /// One error per differing artifact; empty when deterministic.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl ProfilingDeterminismReport {
+    /// Whether both instrumented runs agreed on everything.
+    pub fn is_deterministic(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Profiling-run artifacts the audit compares.
+struct ProfilingArtifacts {
+    trace_bytes: Vec<u8>,
+    /// `cu_order.csv` ++ `method_order.csv` ++ heap ids, one artifact per
+    /// line, exactly what the post-processing framework would persist.
+    profile_csv: String,
+    parallel_matches_serial: bool,
+}
+
+/// Runs the profiling build (instrumented compile → VM run → trace
+/// replay) twice under allocator perturbation and diffs trace bytes and
+/// ordering profiles. The replay runs both serially and chunk-parallel
+/// on four workers; a merge that depends on chunk interleaving fails the
+/// audit even if it is stable across the two runs.
+///
+/// `stop` must match the workload class: server-style programs park in
+/// an accept loop and never exit, so auditing them under
+/// [`StopWhen::Exit`] would spin forever — pass the same stop condition
+/// the measured profiling run uses (e.g. `StopWhen::FirstResponse`).
+pub fn audit_profiling_determinism(
+    program: &Program,
+    stop: StopWhen,
+) -> ProfilingDeterminismReport {
+    let first = profiling_run_once(program, stop);
+    perturb_allocator(0x2b);
+    let second = profiling_run_once(program, stop);
+
+    let (a, b) = match (first, second) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            return ProfilingDeterminismReport {
+                trace_identical: false,
+                profiles_identical: false,
+                parallel_replay_identical: false,
+                diagnostics: vec![Diagnostic::error(
+                    "determinism::run-failed",
+                    "profiling build",
+                    format!("audit run failed: {e}"),
+                )],
+            }
+        }
+    };
+
+    let mut diagnostics = vec![];
+    let trace_identical = a.trace_bytes == b.trace_bytes;
+    if !trace_identical {
+        diagnostics.push(Diagnostic::error(
+            "determinism::trace",
+            "trace file",
+            format!(
+                "serialized traces differ between identical profiling runs ({} vs {} bytes, \
+                 first difference at byte {})",
+                a.trace_bytes.len(),
+                b.trace_bytes.len(),
+                first_difference(&a.trace_bytes, &b.trace_bytes),
+            ),
+        ));
+    }
+    let profiles_identical = a.profile_csv == b.profile_csv;
+    if !profiles_identical {
+        diagnostics.push(Diagnostic::error(
+            "determinism::profiles",
+            "ordering profiles",
+            format!(
+                "replayed profiles differ between identical profiling runs; first differing \
+                 line: {}",
+                first_differing_line(&a.profile_csv, &b.profile_csv),
+            ),
+        ));
+    }
+    let parallel_replay_identical = a.parallel_matches_serial && b.parallel_matches_serial;
+    if !parallel_replay_identical {
+        diagnostics.push(Diagnostic::error(
+            "determinism::parallel-replay",
+            "trace replay",
+            "chunk-parallel replay does not merge to the serial replay's profiles".to_string(),
+        ));
+    }
+    ProfilingDeterminismReport {
+        trace_identical,
+        profiles_identical,
+        parallel_replay_identical,
+        diagnostics,
+    }
+}
+
+fn profiling_run_once(program: &Program, stop: StopWhen) -> Result<ProfilingArtifacts, String> {
+    let reach = analyze(program, &AnalysisConfig::default());
+    let compiled = compile(
+        program,
+        reach,
+        &InlineConfig::default(),
+        InstrumentConfig::FULL,
+        None,
+    );
+    let snap = snapshot(program, &compiled, &HeapBuildConfig::default())
+        .map_err(|e| format!("heap snapshot failed: {e:?}"))?;
+    let image = BinaryImage::build(&compiled, &snap, None, None, ImageOptions::default());
+
+    let cfg = VmConfig::default();
+    let vm = Vm::new(program, &compiled, &snap, &image, cfg.clone());
+    let report = vm
+        .run(stop)
+        .map_err(|e| format!("instrumented run failed: {e:?}"))?;
+    let trace = report.trace.ok_or("instrumented run produced no trace")?;
+    let trace_bytes = write_trace(&trace).to_vec();
+
+    let ids = assign_ids(program, &snap, HeapStrategy::HeapPath);
+    let serial = replay_first_access(program, &trace, &ids, cfg.max_paths, 1)
+        .map_err(|e| format!("serial replay failed: {e:?}"))?;
+    let parallel = replay_first_access(program, &trace, &ids, cfg.max_paths, 4)
+        .map_err(|e| format!("parallel replay failed: {e:?}"))?;
+    let parallel_matches_serial = serial.cu_order == parallel.cu_order
+        && serial.method_order == parallel.method_order
+        && serial.object_order == parallel.object_order;
+
+    let mut profile_csv = String::from("artifact,value\n");
+    for sig in &serial.cu_order {
+        profile_csv.push_str(&format!("cu,{sig}\n"));
+    }
+    for sig in &serial.method_order {
+        profile_csv.push_str(&format!("method,{sig}\n"));
+    }
+    for id in &serial.heap_profile(&ids).ids {
+        profile_csv.push_str(&format!("heap,{id:016x}\n"));
+    }
+    Ok(ProfilingArtifacts {
+        trace_bytes,
+        profile_csv,
+        parallel_matches_serial,
     })
 }
 

@@ -24,7 +24,10 @@ pub mod determinism;
 pub mod irlint;
 pub mod pipeline;
 
-pub use determinism::{audit_determinism, DeterminismInputs, DeterminismReport};
+pub use determinism::{
+    audit_determinism, audit_profiling_determinism, DeterminismInputs, DeterminismReport,
+    ProfilingDeterminismReport,
+};
 
 /// How severe a diagnostic is.
 ///

@@ -10,7 +10,7 @@ use nimage_heap::{snapshot, HeapBuildConfig};
 use nimage_ir::{Instr, Local, MethodId, Program, ProgramBuilder, TypeRef};
 use nimage_order::{assign_ids, order_objects, HeapOrderProfile, HeapStrategy};
 use nimage_verify::{
-    audit_determinism,
+    audit_determinism, audit_profiling_determinism,
     determinism::DeterminismInputs,
     has_errors, irlint,
     pipeline::{
@@ -136,6 +136,25 @@ fn dead_store_warns_without_error() {
     let diags = irlint::lint_program(&program);
     assert!(codes(&diags).contains(&"ir::dead-store"), "{diags:?}");
     assert!(!has_errors(&diags));
+}
+
+/// Pins the dead-store warning count on Bounce at evaluation scale: the
+/// 125 warnings that used to come from builder-generated class
+/// initializers are suppressed (the lint is scoped to hand-reachable
+/// code), leaving only the genuine discarded-binding sites.
+#[test]
+fn dead_store_lint_skips_generated_clinits_on_bounce() {
+    let program = Awfy::Bounce.program();
+    let diags = irlint::lint_program(&program);
+    let dead: Vec<_> = diags
+        .iter()
+        .filter(|d| d.code == "ir::dead-store")
+        .collect();
+    assert!(
+        dead.iter().all(|d| !d.entity.contains("<clinit>")),
+        "clinit dead stores must be suppressed: {dead:?}"
+    );
+    assert_eq!(dead.len(), 3, "{dead:?}");
 }
 
 #[test]
@@ -437,6 +456,19 @@ fn determinism_audit_passes_on_builder_program() {
     assert!(
         report.is_deterministic(),
         "default pipeline must be deterministic: {:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn profiling_determinism_audit_passes_on_builder_program() {
+    let program = Awfy::Sieve.program_at(&RuntimeScale::small());
+    let report = audit_profiling_determinism(&program, nimage_vm::StopWhen::Exit);
+    assert!(report.trace_identical);
+    assert!(report.parallel_replay_identical);
+    assert!(
+        report.is_deterministic(),
+        "profiling build must be deterministic: {:?}",
         report.diagnostics
     );
 }

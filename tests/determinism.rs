@@ -65,7 +65,10 @@ fn perturb_allocator(n: usize) {
 fn cached_engine_evaluation_is_allocator_independent() {
     let program = Awfy::Sieve.program_at(&RuntimeScale::small());
     let evaluate = || {
-        let engine = Engine::new(EngineOptions { n_threads: 2 });
+        let engine = Engine::new(EngineOptions {
+            n_threads: 2,
+            disk: None,
+        });
         let spec = WorkloadSpec::new("Sieve", &program, BuildOptions::default(), StopWhen::Exit);
         let rows = engine
             .evaluate_workload(&spec, &Strategy::all())

@@ -60,7 +60,10 @@ fn parallel_matrix_matches_serial_loop_row_for_row() {
     }
 
     // The engine, forced onto several worker threads.
-    let engine = Engine::new(EngineOptions { n_threads: 4 });
+    let engine = Engine::new(EngineOptions {
+        n_threads: 4,
+        disk: None,
+    });
     let specs: Vec<WorkloadSpec<'_>> = programs
         .iter()
         .map(|(name, program)| {
@@ -84,7 +87,10 @@ fn parallel_matrix_matches_serial_loop_row_for_row() {
 #[test]
 fn engine_computes_shared_artifacts_once_per_workload() {
     let program = Awfy::Sieve.program_at(&RuntimeScale::small());
-    let engine = Engine::new(EngineOptions { n_threads: 2 });
+    let engine = Engine::new(EngineOptions {
+        n_threads: 2,
+        disk: None,
+    });
     let spec = WorkloadSpec::new("Sieve", &program, BuildOptions::default(), StopWhen::Exit);
     let strategies = Strategy::all();
     engine.evaluate_workload(&spec, &strategies).unwrap();
