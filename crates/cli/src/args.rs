@@ -41,6 +41,8 @@ const VALUED: &[&str] = &[
     "json",
     "threads",
     "cache-dir",
+    "max-bytes",
+    "max-entries",
 ];
 
 /// Parses `args` (without the program name).

@@ -11,7 +11,7 @@
 //! nimage pagemap <workload> [--strategy S] [--width N]
 //! nimage overhead <workload>                    Sec. 7.4 overhead factors
 //! nimage lint <workload>|--all [--strategy S] [--report]
-//! nimage cache stats|clear [--cache-dir DIR]    disk artifact cache
+//! nimage cache stats|gc|clear [--cache-dir DIR] disk artifact cache
 //! nimage help
 //! ```
 
@@ -63,7 +63,11 @@ COMMANDS:
                                              pipeline (--all: every workload); non-zero exit
                                              on any error finding; --report also prints
                                              layout-quality metrics
-    cache stats|clear [--cache-dir DIR]      inspect or wipe the disk artifact cache
+    cache stats [--cache-dir DIR]            inspect the disk artifact cache
+    cache gc [--cache-dir DIR] [--max-bytes N] [--max-entries N]
+                                             sweep stale temp files and evict the
+                                             oldest-accessed entries until under the caps
+    cache clear [--cache-dir DIR]            wipe the disk artifact cache
     help                                     this text
 
 STRATEGIES: cu, method, incremental-id, structural-hash, heap-path, cu+heap-path
@@ -71,11 +75,13 @@ WORKLOADS:  the 14 AWFY benchmarks, micronaut/quarkus/spring, and `quickstart`
 
 `run` and `eval` accept --verify / --no-verify to toggle the nimage-verify
 checkers inside the pipeline (default: on in debug builds, off in release).
-`eval` and `bench` persist expensive artifacts under $XDG_CACHE_HOME/nimage
-(else ~/.cache/nimage); --cache-dir DIR relocates it, --no-disk-cache
-disables it. --threads N sets the worker count (0 = auto); `run` uses it
-for intra-stage parallelism. --salted-heap-ids enables per-type salting of
-heap-path identities (`run`/`eval`).
+`eval`, `bench` and `lint` persist expensive artifacts under
+$XDG_CACHE_HOME/nimage (else ~/.cache/nimage); --cache-dir DIR relocates
+it, --no-disk-cache disables it. --max-bytes N / --max-entries N cap the
+cache: the engine sweeps it opportunistically after storing new entries,
+and `cache gc` sweeps on demand. --threads N sets the worker count
+(0 = auto); `run` uses it for intra-stage parallelism. --salted-heap-ids
+enables per-type salting of heap-path identities (`run`/`eval`).
 ";
 
 fn strategy_of(name: &str) -> Result<Strategy, ArgError> {
@@ -177,17 +183,36 @@ fn threads_of(parsed: &ParsedArgs) -> Result<usize, ArgError> {
         .map(|t| t.unwrap_or(0))
 }
 
+/// Parses an optional non-negative integer option such as `--max-bytes`.
+fn parse_u64(parsed: &ParsedArgs, name: &str) -> Result<Option<u64>, ArgError> {
+    parsed
+        .option(name)
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| ArgError(format!("--{name} must be a non-negative integer")))
+        })
+        .transpose()
+}
+
 /// Resolves the disk-cache tier: `--no-disk-cache` disables it,
 /// `--cache-dir DIR` relocates it, otherwise the per-user default
 /// (`$XDG_CACHE_HOME/nimage`, else `~/.cache/nimage`) is used.
-fn disk_of(parsed: &ParsedArgs) -> Option<DiskCacheOptions> {
+/// `--max-bytes` / `--max-entries` cap it (the engine sweeps the cache
+/// after runs that stored new entries).
+fn disk_of(parsed: &ParsedArgs) -> Result<Option<DiskCacheOptions>, ArgError> {
     if parsed.has_flag("no-disk-cache") {
-        return None;
+        return Ok(None);
     }
-    match parsed.option("cache-dir") {
+    let opts = match parsed.option("cache-dir") {
         Some(dir) => Some(DiskCacheOptions::at(dir)),
         None => DiskCacheOptions::default_dir().map(DiskCacheOptions::at),
-    }
+    };
+    let Some(mut opts) = opts else {
+        return Ok(None);
+    };
+    opts.max_bytes = parse_u64(parsed, "max-bytes")?;
+    opts.max_entries = parse_u64(parsed, "max-entries")?;
+    Ok(Some(opts))
 }
 
 fn cmd_eval(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
@@ -202,7 +227,7 @@ fn cmd_eval(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     opts.salted_heap_ids = parsed.has_flag("salted-heap-ids");
     let engine = Engine::new(EngineOptions {
         n_threads: threads_of(parsed)?,
-        disk: disk_of(parsed),
+        disk: disk_of(parsed)?,
     });
     eprintln!("profiling {} …", workload.name());
     let spec = WorkloadSpec::new(workload.name(), &program, opts, workload.stop());
@@ -233,8 +258,22 @@ fn cmd_eval(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
             "disk cache: {} hits, {} misses, {} stores, {} rejected",
             disk.hits, disk.misses, disk.stores, disk.rejected
         );
+        print_disk_stages(&stats);
     }
     Ok(())
+}
+
+/// Prints the per-stage disk-cache breakdown (stderr, one line per stage).
+fn print_disk_stages(stats: &nimage_core::EngineStats) {
+    let Some(stages) = &stats.disk_stages else {
+        return;
+    };
+    for (name, s) in stages {
+        eprintln!(
+            "  disk {:<10}: {} hits, {} misses, {} stores, {} rejected",
+            name, s.hits, s.misses, s.stores, s.rejected
+        );
+    }
 }
 
 fn cmd_run(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
@@ -313,7 +352,7 @@ fn cmd_bench(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     eprintln!("benchmarking {} (engine) …", workload.name());
     let engine = Engine::new(EngineOptions {
         n_threads: threads_of(parsed)?,
-        disk: disk_of(parsed),
+        disk: disk_of(parsed)?,
     });
     let t1 = Instant::now();
     let spec = WorkloadSpec::new(workload.name(), &program, opts, stop);
@@ -359,6 +398,14 @@ fn cmd_bench(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
             "  disk cache      : {} hits, {} misses, {} stores, {} rejected",
             disk.hits, disk.misses, disk.stores, disk.rejected
         );
+        if let Some(stages) = &stats.disk_stages {
+            for (name, s) in stages {
+                println!(
+                    "    disk {:<9}: {} hits, {} misses, {} stores, {} rejected",
+                    name, s.hits, s.misses, s.stores, s.rejected
+                );
+            }
+        }
     }
     for (name, ns) in stats.stages.iter() {
         println!("    {name:<9} {:>10.1} ms", ns as f64 / 1e6);
@@ -540,6 +587,23 @@ fn bench_json(
         )),
         None => out.push_str("  \"disk_cache\": null,\n"),
     }
+    match &stats.disk_stages {
+        Some(stages) if !stages.is_empty() => {
+            out.push_str("  \"disk_stages\": {\n");
+            let rows: Vec<String> = stages
+                .iter()
+                .map(|(name, s)| {
+                    format!(
+                        "    \"{name}\": {{\"hits\": {}, \"misses\": {}, \"stores\": {}, \"rejected\": {}}}",
+                        s.hits, s.misses, s.stores, s.rejected
+                    )
+                })
+                .collect();
+            out.push_str(&rows.join(",\n"));
+            out.push_str("\n  },\n");
+        }
+        _ => out.push_str("  \"disk_stages\": null,\n"),
+    }
     out.push_str("  \"stages_ns\": {\n");
     let stages: Vec<String> = stats
         .stages
@@ -711,7 +775,7 @@ fn cmd_heapstats(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> 
         .instrumented_report
         .trace
         .as_ref()
-        .expect("instrumented trace");
+        .ok_or("instrumented run produced no trace")?;
     let accessed = accessed_objects(trace);
     println!(
         "
@@ -789,9 +853,27 @@ fn cmd_lint(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     } else {
         vec![Workload::resolve(parsed.one_positional("workload")?)?]
     };
+    // Lint shares the eval engine so expensive stages (compile, snapshot,
+    // profile) persist to the disk tier: a second `nimage lint` run loads
+    // them back instead of rebuilding.
+    let engine = Engine::new(EngineOptions {
+        n_threads: threads_of(parsed)?,
+        disk: disk_of(parsed)?,
+    });
+    // Unlike run/eval, the in-pipeline checkers default off here — lint
+    // already runs the same checkers itself; `--verify` opts in.
+    let verify = parsed.has_flag("verify") && !parsed.has_flag("no-verify");
     let mut total_errors = 0;
     for workload in &workloads {
-        total_errors += lint_workload(workload, strategy, report)?;
+        total_errors += lint_workload(workload, strategy, report, verify, &engine)?;
+    }
+    let stats = engine.stats();
+    if let Some(disk) = &stats.disk {
+        eprintln!(
+            "disk cache: {} hits, {} misses, {} stores, {} rejected",
+            disk.hits, disk.misses, disk.stores, disk.rejected
+        );
+        print_disk_stages(&stats);
     }
     if workloads.len() > 1 {
         println!(
@@ -807,23 +889,27 @@ fn cmd_lint(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 /// Lints one workload end to end, printing every diagnostic; returns the
-/// number of error-severity findings.
+/// number of error-severity findings. Builds go through `engine` so the
+/// compile/snapshot/profile stages hit the shared (and disk) caches.
 fn lint_workload(
     workload: &Workload,
     strategy: Strategy,
     report: bool,
+    verify: bool,
+    engine: &Engine,
 ) -> Result<usize, Box<dyn std::error::Error>> {
     use nimage_verify::{determinism::DeterminismInputs, irlint, pipeline as checks, Severity};
 
     let program = workload.program();
-    let opts = pipeline_for(workload);
-    let pipeline = Pipeline::new(&program, opts.clone());
+    let mut opts = pipeline_for(workload);
+    opts.verify = verify;
+    let spec = WorkloadSpec::new(workload.name(), &program, opts.clone(), workload.stop());
     let mut diags = vec![];
 
     // Family 1: IR dataflow lints, then vtable soundness against the
     // instrumented build's devirtualization.
     diags.extend(irlint::lint_program(&program));
-    let built = pipeline.build_instrumented(nimage_compiler::InstrumentConfig::FULL)?;
+    let built = engine.instrumented_parts(&spec)?;
     diags.extend(irlint::lint_virtual_targets(
         &program,
         &built.compiled.reachability,
@@ -839,7 +925,7 @@ fn lint_workload(
     // collision audits, profile coverage, layout + matching contract of the
     // optimized build.
     eprintln!("profiling {} …", workload.name());
-    let artifacts = pipeline.profiling_run(workload.stop())?;
+    let artifacts = engine.profile_workload(&spec)?;
     let trace = artifacts
         .instrumented_report
         .trace
@@ -871,7 +957,7 @@ fn lint_workload(
         ));
     }
 
-    let opt = pipeline.build_optimized(&artifacts, Some(strategy))?;
+    let opt = engine.optimized_parts(&spec, &artifacts, Some(strategy))?;
     diags.extend(checks::check_layout(&checks::LayoutView::from_image(
         &program,
         &opt.compiled,
@@ -999,7 +1085,7 @@ fn cmd_overhead(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_cache(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
-    let action = parsed.one_positional("cache action (stats or clear)")?;
+    let action = parsed.one_positional("cache action (stats, gc or clear)")?;
     let opts = match parsed.option("cache-dir") {
         Some(dir) => DiskCacheOptions::at(dir),
         None => DiskCacheOptions::default_dir()
@@ -1009,14 +1095,39 @@ fn cmd_cache(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     match action {
         "stats" => {
             let store = DiskStore::open(&opts);
-            let (entries, bytes) = store.size_on_disk();
+            let u = store.usage();
             println!("cache dir : {}", opts.dir.display());
             println!(
                 "format    : v{DISK_FORMAT_VERSION} (under {})",
                 store.root().display()
             );
-            println!("entries   : {entries}");
-            println!("size      : {:.1} KiB", bytes as f64 / 1024.0);
+            println!("entries   : {}", u.entries);
+            println!("size      : {:.1} KiB", u.bytes as f64 / 1024.0);
+            if u.tmp_files > 0 {
+                println!(
+                    "tmp files : {} leftover ({:.1} KiB; `nimage cache gc` removes stale ones)",
+                    u.tmp_files,
+                    u.tmp_bytes as f64 / 1024.0
+                );
+            }
+        }
+        "gc" => {
+            let store = DiskStore::open(&opts);
+            let max_bytes = parse_u64(parsed, "max-bytes")?;
+            let max_entries = parse_u64(parsed, "max-entries")?;
+            let r = store.gc(max_bytes, max_entries);
+            println!("cache dir : {}", opts.dir.display());
+            println!(
+                "evicted   : {} entries ({:.1} KiB)",
+                r.evicted_entries,
+                r.evicted_bytes as f64 / 1024.0
+            );
+            println!("stale tmp : {} removed", r.removed_tmp);
+            println!(
+                "surviving : {} entries ({:.1} KiB)",
+                r.surviving_entries,
+                r.surviving_bytes as f64 / 1024.0
+            );
         }
         "clear" => {
             DiskStore::clear(&opts.dir)?;
@@ -1024,7 +1135,7 @@ fn cmd_cache(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
         }
         other => {
             return Err(ArgError(format!(
-                "unknown cache action {other}; expected stats or clear"
+                "unknown cache action {other}; expected stats, gc or clear"
             ))
             .into())
         }
@@ -1047,20 +1158,16 @@ mod tests {
     use super::*;
 
     #[test]
-    fn quality_report_smoke() {
+    fn quality_report_smoke() -> Result<(), Box<dyn std::error::Error>> {
         let program = quickstart::program();
         let pipeline = Pipeline::new(&program, BuildOptions::default());
-        let artifacts = pipeline
-            .profiling_run(nimage_vm::StopWhen::Exit)
-            .expect("quickstart profiles");
-        let built = pipeline
-            .build_instrumented(nimage_compiler::InstrumentConfig::FULL)
-            .expect("quickstart builds");
+        let artifacts = pipeline.profiling_run(nimage_vm::StopWhen::Exit)?;
+        let built = pipeline.build_instrumented(nimage_compiler::InstrumentConfig::FULL)?;
         let trace = artifacts
             .instrumented_report
             .trace
             .as_ref()
-            .expect("instrumented trace");
+            .ok_or("instrumented run produced no trace")?;
         let accessed = accessed_objects(trace);
         assert!(!accessed.is_empty(), "startup touches snapshot objects");
 
@@ -1070,5 +1177,6 @@ mod tests {
         assert!(report.contains("default"));
         assert!(report.contains("density"));
         assert!(report.contains("runs"));
+        Ok(())
     }
 }

@@ -172,8 +172,9 @@ pub struct ArtifactCache {
     /// Strategy identity maps (`assign_ids` output), keyed by snapshot key
     /// + heap strategy.
     pub heap_ids: Memo<HashMap<ObjId, u64>>,
-    /// Laid-out images (the shared *baseline* layouts; strategy layouts
-    /// are unique per cell and not cached).
+    /// Laid-out images shared across cells: the instrumented and the
+    /// baseline layouts (strategy layouts are unique per evaluation cell
+    /// and computed inline there).
     pub images: Memo<BinaryImage>,
     /// Measured runs (the shared baseline measurements).
     pub runs: Memo<RunReport>,
@@ -192,7 +193,7 @@ impl ArtifactCache {
             compiled: Memo::new("compile"),
             snapshots: Memo::new("snapshot"),
             heap_ids: Memo::new("assign-ids"),
-            images: Memo::new("baseline-layout"),
+            images: Memo::new("layout"),
             runs: Memo::new("baseline-run"),
             heap_templates: Memo::new("heap-template"),
             profiles: Memo::new("profile"),

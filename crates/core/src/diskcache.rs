@@ -26,11 +26,13 @@
 //! never observe a partial file) and a crash mid-write leaves at most a
 //! stray `.tmp` file, never a truncated entry.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, SystemTime};
 
 use nimage_compiler::CallCountProfile;
 use nimage_heap::ObjId;
@@ -51,25 +53,55 @@ const MAGIC: &[u8; 4] = b"NIMC";
 const HEADER_LEN: usize = 4 + 4 + 8 + 8;
 const CHECKSUM_SEED: u64 = 0x6469_736b; // "disk"
 
-/// Where (and whether) the disk tier lives.
+/// Where (and whether) the disk tier lives, and how large it may grow.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DiskCacheOptions {
     /// Cache root directory (version directories are created beneath it).
     pub dir: PathBuf,
+    /// Evict least-recently-accessed entries until the version directory
+    /// holds at most this many payload bytes. `None` means unbounded.
+    pub max_bytes: Option<u64>,
+    /// Evict least-recently-accessed entries until at most this many
+    /// entries remain. `None` means unbounded.
+    pub max_entries: Option<u64>,
 }
 
 impl DiskCacheOptions {
-    /// A disk cache rooted at `dir`.
+    /// An unbounded disk cache rooted at `dir`.
     pub fn at(dir: impl Into<PathBuf>) -> DiskCacheOptions {
-        DiskCacheOptions { dir: dir.into() }
+        DiskCacheOptions {
+            dir: dir.into(),
+            max_bytes: None,
+            max_entries: None,
+        }
+    }
+
+    /// Caps the cache at `max_bytes` payload bytes (LRU eviction).
+    pub fn with_max_bytes(mut self, max_bytes: u64) -> DiskCacheOptions {
+        self.max_bytes = Some(max_bytes);
+        self
+    }
+
+    /// Caps the cache at `max_entries` entries (LRU eviction).
+    pub fn with_max_entries(mut self, max_entries: u64) -> DiskCacheOptions {
+        self.max_entries = Some(max_entries);
+        self
+    }
+
+    /// Whether either size cap is configured.
+    pub fn capped(&self) -> bool {
+        self.max_bytes.is_some() || self.max_entries.is_some()
     }
 
     /// The conventional per-user cache root: `$XDG_CACHE_HOME/nimage`,
-    /// falling back to `$HOME/.cache/nimage`. `None` when neither
-    /// environment variable is set (no disk tier rather than guessing).
+    /// falling back to `$HOME/.cache/nimage`. A *relative*
+    /// `$XDG_CACHE_HOME` is ignored per the XDG base-directory spec
+    /// ("All paths … must be absolute … act as if [the variable] were
+    /// unset"). `None` when no usable variable is set (no disk tier
+    /// rather than guessing).
     pub fn default_dir() -> Option<PathBuf> {
         if let Some(xdg) = std::env::var_os("XDG_CACHE_HOME") {
-            if !xdg.is_empty() {
+            if !xdg.is_empty() && Path::new(&xdg).is_absolute() {
                 return Some(PathBuf::from(xdg).join("nimage"));
             }
         }
@@ -93,6 +125,41 @@ pub struct DiskCacheStats {
     pub rejected: u64,
 }
 
+/// What is on disk for one store's format version, with interrupted-write
+/// leftovers accounted separately from real entries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskUsage {
+    /// Complete cache entries (`*.bin` files).
+    pub entries: u64,
+    /// Bytes held by complete entries.
+    pub bytes: u64,
+    /// Leftover `.tmp.*` files from interrupted atomic writes. These are
+    /// not entries — they never validate — and are swept by [`DiskStore::gc`].
+    pub tmp_files: u64,
+    /// Bytes held by leftover temporary files.
+    pub tmp_bytes: u64,
+}
+
+/// The outcome of one [`DiskStore::gc`] sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Entries evicted (oldest-accessed first) to get under the caps.
+    pub evicted_entries: u64,
+    /// Bytes reclaimed from evicted entries.
+    pub evicted_bytes: u64,
+    /// Stale temporary files deleted.
+    pub removed_tmp: u64,
+    /// Entries surviving the sweep.
+    pub surviving_entries: u64,
+    /// Bytes surviving the sweep.
+    pub surviving_bytes: u64,
+}
+
+/// A temporary file older than this is considered orphaned by a crashed
+/// or interrupted writer and is deleted by [`DiskStore::gc`]; younger
+/// temps may belong to an in-flight atomic write and are left alone.
+const STALE_TMP_AGE: Duration = Duration::from_secs(15 * 60);
+
 /// The disk-persistent store: version-scoped, checksummed, atomic.
 pub struct DiskStore {
     root: PathBuf,
@@ -101,6 +168,15 @@ pub struct DiskStore {
     stores: AtomicU64,
     rejected: AtomicU64,
     tmp_counter: AtomicU64,
+    by_stage: Mutex<BTreeMap<String, DiskCacheStats>>,
+}
+
+/// How one lookup resolved, for counter classification.
+enum Lookup {
+    Hit,
+    Miss,
+    Rejected,
+    Store,
 }
 
 impl fmt::Debug for DiskStore {
@@ -129,6 +205,7 @@ impl DiskStore {
             stores: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             tmp_counter: AtomicU64::new(0),
+            by_stage: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -143,25 +220,74 @@ impl DiskStore {
             .join(format!("{:016x}{:016x}.bin", key.0, key.1))
     }
 
-    /// Loads and validates the raw payload for `(stage, key)`. Anything
-    /// short of a fully valid entry is a miss.
-    pub fn load(&self, stage: &str, key: CacheKey) -> Option<Vec<u8>> {
-        let path = self.entry_path(stage, key);
-        let data = match std::fs::read(&path) {
-            Ok(d) => d,
-            Err(_) => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                return None;
-            }
-        };
-        match validate_entry(&data) {
-            Some(payload) => {
+    /// Records one lookup outcome in both the aggregate counters and the
+    /// per-stage breakdown. A rejection is also a miss.
+    fn record(&self, stage: &str, outcome: Lookup) {
+        let mut stages = self.by_stage.lock().unwrap_or_else(|e| e.into_inner());
+        let s = stages.entry(stage.to_string()).or_default();
+        match outcome {
+            Lookup::Hit => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(payload.to_vec())
+                s.hits += 1;
             }
-            None => {
+            Lookup::Miss => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                s.misses += 1;
+            }
+            Lookup::Rejected => {
                 self.rejected.fetch_add(1, Ordering::Relaxed);
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                s.rejected += 1;
+                s.misses += 1;
+            }
+            Lookup::Store => {
+                self.stores.fetch_add(1, Ordering::Relaxed);
+                s.stores += 1;
+            }
+        }
+    }
+
+    /// Reads and validates the entry file, without touching any counter.
+    /// `Ok(None)` is "no file", `Err(())` is "a file that does not
+    /// validate".
+    fn read_entry(&self, path: &Path) -> Result<Option<Vec<u8>>, ()> {
+        let data = match std::fs::read(path) {
+            Ok(d) => d,
+            Err(_) => return Ok(None),
+        };
+        match validate_entry(&data) {
+            Some(payload) => Ok(Some(payload.to_vec())),
+            None => Err(()),
+        }
+    }
+
+    /// Marks `path` as just-accessed by bumping its mtime — the access
+    /// clock the LRU sweep of [`DiskStore::gc`] orders evictions by.
+    /// Best-effort: a read-only cache still serves hits, it just cannot
+    /// refresh recency.
+    fn touch(&self, path: &Path) {
+        if let Ok(f) = std::fs::File::options().append(true).open(path) {
+            let _ = f.set_times(std::fs::FileTimes::new().set_modified(SystemTime::now()));
+        }
+    }
+
+    /// Loads and validates the raw payload for `(stage, key)`. Anything
+    /// short of a fully valid entry is a miss. A hit refreshes the
+    /// entry's access time.
+    pub fn load(&self, stage: &str, key: CacheKey) -> Option<Vec<u8>> {
+        let path = self.entry_path(stage, key);
+        match self.read_entry(&path) {
+            Ok(Some(payload)) => {
+                self.record(stage, Lookup::Hit);
+                self.touch(&path);
+                Some(payload)
+            }
+            Ok(None) => {
+                self.record(stage, Lookup::Miss);
+                None
+            }
+            Err(()) => {
+                self.record(stage, Lookup::Rejected);
                 None
             }
         }
@@ -196,22 +322,36 @@ impl DiskStore {
             let _ = std::fs::remove_file(&tmp);
             return;
         }
-        self.stores.fetch_add(1, Ordering::Relaxed);
+        self.record(stage, Lookup::Store);
     }
 
     /// Typed load: a valid entry whose payload decodes as `T`. An entry
-    /// that decodes partially (or with trailing garbage) is rejected.
+    /// that decodes partially (or with trailing garbage) is rejected. A
+    /// hit refreshes the entry's access time.
     pub fn get<T: DiskCodec>(&self, stage: &str, key: CacheKey) -> Option<T> {
-        let payload = self.load(stage, key)?;
-        let mut r = Reader::new(&payload);
-        match T::decode(&mut r) {
-            Some(v) if r.is_empty() => Some(v),
-            _ => {
-                // The header validated but the payload didn't decode:
-                // reclassify the hit as a rejection.
-                self.hits.fetch_sub(1, Ordering::Relaxed);
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                self.rejected.fetch_add(1, Ordering::Relaxed);
+        let path = self.entry_path(stage, key);
+        match self.read_entry(&path) {
+            Ok(Some(payload)) => {
+                let mut r = Reader::new(&payload);
+                match T::decode(&mut r) {
+                    Some(v) if r.is_empty() => {
+                        self.record(stage, Lookup::Hit);
+                        self.touch(&path);
+                        Some(v)
+                    }
+                    // The header validated but the payload didn't decode.
+                    _ => {
+                        self.record(stage, Lookup::Rejected);
+                        None
+                    }
+                }
+            }
+            Ok(None) => {
+                self.record(stage, Lookup::Miss);
+                None
+            }
+            Err(()) => {
+                self.record(stage, Lookup::Rejected);
                 None
             }
         }
@@ -234,25 +374,115 @@ impl DiskStore {
         }
     }
 
-    /// `(entries, bytes)` currently on disk for this version.
-    pub fn size_on_disk(&self) -> (u64, u64) {
-        fn walk(dir: &Path, entries: &mut u64, bytes: &mut u64) {
+    /// Per-stage counter snapshot, keyed by stage name.
+    pub fn stage_stats(&self) -> BTreeMap<String, DiskCacheStats> {
+        self.by_stage
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// What is on disk for this format version. Leftover temporary files
+    /// from interrupted atomic writes are *not* entries — they are tallied
+    /// separately so `cache stats` never inflates the entry count with
+    /// files that can never validate.
+    pub fn usage(&self) -> DiskUsage {
+        fn walk(dir: &Path, u: &mut DiskUsage) {
             let Ok(rd) = std::fs::read_dir(dir) else {
                 return;
             };
             for e in rd.flatten() {
                 let path = e.path();
                 if path.is_dir() {
-                    walk(&path, entries, bytes);
+                    walk(&path, u);
+                } else if is_tmp_file(&path) {
+                    u.tmp_files += 1;
+                    u.tmp_bytes += e.metadata().map(|m| m.len()).unwrap_or(0);
                 } else if path.extension().is_some_and(|x| x == "bin") {
-                    *entries += 1;
-                    *bytes += e.metadata().map(|m| m.len()).unwrap_or(0);
+                    u.entries += 1;
+                    u.bytes += e.metadata().map(|m| m.len()).unwrap_or(0);
                 }
             }
         }
-        let (mut entries, mut bytes) = (0, 0);
-        walk(&self.root, &mut entries, &mut bytes);
-        (entries, bytes)
+        let mut u = DiskUsage::default();
+        walk(&self.root, &mut u);
+        u
+    }
+
+    /// `(entries, bytes)` currently on disk for this version, excluding
+    /// temporary files.
+    pub fn size_on_disk(&self) -> (u64, u64) {
+        let u = self.usage();
+        (u.entries, u.bytes)
+    }
+
+    /// Sweeps the store: deletes temporary files older than
+    /// [`STALE_TMP_AGE`] (younger ones may belong to an in-flight write
+    /// and are exempt), then — if a cap is given — evicts complete
+    /// entries least-recently-accessed first until the store is under
+    /// both `max_bytes` and `max_entries`.
+    ///
+    /// Recency is the entry's mtime, which [`DiskStore::load`]/[`DiskStore::get`]
+    /// bump on every hit; ties break on path so the sweep is
+    /// deterministic. Removal failures are skipped, not errors: gc is
+    /// best-effort like every other disk-tier operation.
+    pub fn gc(&self, max_bytes: Option<u64>, max_entries: Option<u64>) -> GcReport {
+        fn collect(
+            dir: &Path,
+            now: SystemTime,
+            entries: &mut Vec<(SystemTime, PathBuf, u64)>,
+            removed_tmp: &mut u64,
+        ) {
+            let Ok(rd) = std::fs::read_dir(dir) else {
+                return;
+            };
+            for e in rd.flatten() {
+                let path = e.path();
+                let Ok(meta) = e.metadata() else { continue };
+                if path.is_dir() {
+                    collect(&path, now, entries, removed_tmp);
+                } else if is_tmp_file(&path) {
+                    let age = meta
+                        .modified()
+                        .ok()
+                        .and_then(|m| now.duration_since(m).ok())
+                        .unwrap_or_default();
+                    if age > STALE_TMP_AGE && std::fs::remove_file(&path).is_ok() {
+                        *removed_tmp += 1;
+                    }
+                } else if path.extension().is_some_and(|x| x == "bin") {
+                    let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+                    entries.push((mtime, path, meta.len()));
+                }
+            }
+        }
+        let mut report = GcReport::default();
+        let mut entries = Vec::new();
+        collect(
+            &self.root,
+            SystemTime::now(),
+            &mut entries,
+            &mut report.removed_tmp,
+        );
+        entries.sort_unstable_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+        let mut live_entries = entries.len() as u64;
+        let mut live_bytes: u64 = entries.iter().map(|(_, _, len)| len).sum();
+        for (_, path, len) in &entries {
+            let over_bytes = max_bytes.is_some_and(|cap| live_bytes > cap);
+            let over_entries = max_entries.is_some_and(|cap| live_entries > cap);
+            if !over_bytes && !over_entries {
+                break;
+            }
+            if std::fs::remove_file(path).is_ok() {
+                report.evicted_entries += 1;
+                report.evicted_bytes += len;
+                live_entries -= 1;
+                live_bytes -= len;
+            }
+        }
+        report.surviving_entries = live_entries;
+        report.surviving_bytes = live_bytes;
+        report
     }
 
     /// Removes the whole cache root (every format version) at `dir`.
@@ -266,6 +496,14 @@ impl DiskStore {
             Err(e) => Err(e),
         }
     }
+}
+
+/// Whether `path` is one of our atomic-write temporaries
+/// (`.tmp.<pid>.<n>`).
+fn is_tmp_file(path: &Path) -> bool {
+    path.file_name()
+        .and_then(|n| n.to_str())
+        .is_some_and(|n| n.starts_with(".tmp."))
 }
 
 /// Checks magic, version, length and checksum; returns the payload slice
@@ -307,6 +545,14 @@ impl<'a> Reader<'a> {
     /// Whether every byte has been consumed.
     pub fn is_empty(&self) -> bool {
         self.pos == self.buf.len()
+    }
+
+    /// Bytes left to read. Length-prefixed decoders must clamp their
+    /// pre-allocations to this (see [`cap_alloc`]): a corrupt length
+    /// prefix may claim billions of elements, but a genuine encoding can
+    /// never hold more elements than there are bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
     }
 
     /// Takes the next `n` bytes.
@@ -361,12 +607,22 @@ impl<'a> Reader<'a> {
     }
 }
 
-fn put_string(out: &mut Vec<u8>, s: &str) {
+/// Clamps a decoded element count `n` to what could possibly fit in the
+/// reader's remaining bytes, given each element occupies at least
+/// `elem_min` bytes. Used to size pre-allocations: decoding still reads
+/// exactly `n` elements (and fails cleanly when the buffer runs out), but
+/// a corrupt length prefix can no longer trigger a multi-GiB
+/// `with_capacity` before the first element is even read.
+pub(crate) fn cap_alloc(n: usize, r: &Reader<'_>, elem_min: usize) -> usize {
+    n.min(r.remaining() / elem_min.max(1))
+}
+
+pub(crate) fn put_string(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&(s.len() as u32).to_le_bytes());
     out.extend_from_slice(s.as_bytes());
 }
 
-fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+pub(crate) fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
     out.extend_from_slice(&(b.len() as u32).to_le_bytes());
     out.extend_from_slice(b);
 }
@@ -396,7 +652,7 @@ impl DiskCodec for HashMap<ObjId, u64> {
 
     fn decode(r: &mut Reader<'_>) -> Option<Self> {
         let n = r.u32()? as usize;
-        let mut map = HashMap::with_capacity(n.min(1 << 20));
+        let mut map = HashMap::with_capacity(cap_alloc(n, r, 12));
         for _ in 0..n {
             let obj = ObjId(r.u32()?);
             let id = r.u64()?;
@@ -420,7 +676,7 @@ impl DiskCodec for SectionFaults {
     }
 }
 
-fn encode_option<T>(out: &mut Vec<u8>, v: &Option<T>, f: impl FnOnce(&T, &mut Vec<u8>)) {
+pub(crate) fn encode_option<T>(out: &mut Vec<u8>, v: &Option<T>, f: impl FnOnce(&T, &mut Vec<u8>)) {
     match v {
         Some(v) => {
             out.push(1);
@@ -430,7 +686,7 @@ fn encode_option<T>(out: &mut Vec<u8>, v: &Option<T>, f: impl FnOnce(&T, &mut Ve
     }
 }
 
-fn decode_option<T>(
+pub(crate) fn decode_option<T>(
     r: &mut Reader<'_>,
     f: impl FnOnce(&mut Reader<'_>) -> Option<T>,
 ) -> Option<Option<T>> {
@@ -568,7 +824,7 @@ impl DiskCodec for RunReport {
             _ => None,
         })?;
         let n = r.u32()? as usize;
-        let mut native_touch_pages = Vec::with_capacity(n.min(1 << 20));
+        let mut native_touch_pages = Vec::with_capacity(cap_alloc(n, r, 4));
         for _ in 0..n {
             native_touch_pages.push(r.u32()?);
         }
@@ -619,7 +875,7 @@ fn encode_sigs(out: &mut Vec<u8>, profile: &CodeOrderProfile) {
 
 fn decode_sigs(r: &mut Reader<'_>) -> Option<CodeOrderProfile> {
     let n = r.u32()? as usize;
-    let mut sigs = Vec::with_capacity(n.min(1 << 20));
+    let mut sigs = Vec::with_capacity(cap_alloc(n, r, 4));
     for _ in 0..n {
         sigs.push(r.string()?);
     }
@@ -656,20 +912,20 @@ impl DiskCodec for ProfiledArtifacts {
         let cu_profile = decode_sigs(r)?;
         let method_profile = decode_sigs(r)?;
         let n_profiles = r.u32()? as usize;
-        let mut heap_profiles = HashMap::with_capacity(n_profiles.min(64));
+        let mut heap_profiles = HashMap::with_capacity(cap_alloc(n_profiles, r, 9));
         for _ in 0..n_profiles {
             let tag = r.u8()?;
             let arg = r.u32()?;
             let hs = heap_strategy_from_tag(tag, arg)?;
             let n_ids = r.u32()? as usize;
-            let mut ids = Vec::with_capacity(n_ids.min(1 << 20));
+            let mut ids = Vec::with_capacity(cap_alloc(n_ids, r, 8));
             for _ in 0..n_ids {
                 ids.push(r.u64()?);
             }
             heap_profiles.insert(hs, HeapOrderProfile { ids });
         }
         let n = r.u32()? as usize;
-        let mut native_pages = Vec::with_capacity(n.min(1 << 20));
+        let mut native_pages = Vec::with_capacity(cap_alloc(n, r, 4));
         for _ in 0..n {
             native_pages.push(r.u32()?);
         }

@@ -34,6 +34,8 @@ use nimage_order::HeapStrategy;
 use nimage_par::StealQueue;
 use nimage_vm::{HeapTemplate, RunReport, StopWhen};
 
+use std::collections::BTreeMap;
+
 use crate::cache::{ArtifactCache, CacheKey, Memo, MemoStats};
 use crate::diskcache::{DiskCacheOptions, DiskCacheStats, DiskCodec, DiskStore};
 use crate::{BuildOptions, Evaluation, Pipeline, PipelineError, ProfiledArtifacts, Strategy};
@@ -162,6 +164,9 @@ pub struct EngineStats {
     pub cache: Vec<MemoStats>,
     /// Disk-tier counters, when a disk cache is configured.
     pub disk: Option<DiskCacheStats>,
+    /// Disk-tier counters broken down by persisted stage, when a disk
+    /// cache is configured.
+    pub disk_stages: Option<BTreeMap<String, DiskCacheStats>>,
 }
 
 impl EngineStats {
@@ -214,6 +219,18 @@ struct BaselineParts {
     run: Arc<RunReport>,
 }
 
+/// The shareable parts of one build, each behind the engine's cache (the
+/// cache-aware counterpart of [`crate::BuiltImage`]).
+#[derive(Debug, Clone)]
+pub struct BuildParts {
+    /// The compiled program.
+    pub compiled: Arc<CompiledProgram>,
+    /// The heap snapshot.
+    pub snapshot: Arc<HeapSnapshot>,
+    /// The laid-out binary image.
+    pub image: Arc<BinaryImage>,
+}
+
 /// The parallel evaluation engine. See the module docs.
 #[derive(Debug)]
 pub struct Engine {
@@ -257,6 +274,7 @@ impl Engine {
             stages: self.clock.snapshot(),
             cache: self.cache.stats(),
             disk: self.disk.as_ref().map(DiskStore::stats),
+            disk_stages: self.disk.as_ref().map(DiskStore::stage_stats),
         }
     }
 
@@ -359,7 +377,117 @@ impl Engine {
                 eval,
             });
         }
+        // Opportunistic lifecycle sweep: if this evaluation wrote new
+        // entries and the cache is capped, bring it back under the caps.
+        if self.disk.as_ref().is_some_and(|d| d.stats().stores > 0) {
+            self.gc_disk();
+        }
         Ok(out)
+    }
+
+    /// Enforces the configured disk-cache size caps: deletes stale temp
+    /// files and evicts least-recently-accessed entries until the cache
+    /// is under [`DiskCacheOptions::max_bytes`]/[`DiskCacheOptions::max_entries`].
+    /// `None` (no sweep) when no disk tier or no cap is configured.
+    pub fn gc_disk(&self) -> Option<crate::diskcache::GcReport> {
+        let d = self.disk.as_ref()?;
+        let opts = self.opts.disk.as_ref()?;
+        opts.capped()
+            .then(|| d.gc(opts.max_bytes, opts.max_entries))
+    }
+
+    /// Profiles one workload (steps 1–3 of Fig. 1), cached in memory and
+    /// on disk.
+    ///
+    /// # Errors
+    /// Propagates pipeline failures.
+    pub fn profile_workload(
+        &self,
+        spec: &WorkloadSpec<'_>,
+    ) -> Result<Arc<ProfiledArtifacts>, PipelineError> {
+        self.profiled(&Ctx::new(spec))
+    }
+
+    /// Builds the fully instrumented image ([`InstrumentConfig::FULL`])
+    /// with the compile and snapshot stages shared behind the cache and
+    /// disk tier. The parts equal `Pipeline::build_instrumented`'s.
+    ///
+    /// # Errors
+    /// Propagates pipeline failures.
+    pub fn instrumented_parts(&self, spec: &WorkloadSpec<'_>) -> Result<BuildParts, PipelineError> {
+        let ctx = Ctx::new(spec);
+        let p = ctx.pipeline();
+        let reach = self.reach(&ctx, &p);
+        let compiled = self.instrumented_compiled(&ctx, &p, &reach);
+        let snapshot = self.snapshot_for(
+            &p,
+            ctx.key("snapshot:instrumented"),
+            &compiled,
+            &ctx.spec.opts.heap_instrumented,
+        )?;
+        let image = self
+            .cache
+            .images
+            .get_or_try(ctx.key("layout:instrumented"), || {
+                self.clock.time(Stage::Layout, || {
+                    p.layout_stage(&compiled, &snapshot, None, None, None)
+                })
+            })?;
+        Ok(BuildParts {
+            compiled,
+            snapshot,
+            image,
+        })
+    }
+
+    /// Builds the profile-guided optimized image for `strategy` (`None`
+    /// for the baseline layout) with the compile and snapshot stages
+    /// shared behind the cache and disk tier. The parts equal
+    /// `Pipeline::build_optimized`'s.
+    ///
+    /// # Errors
+    /// Propagates pipeline failures.
+    pub fn optimized_parts(
+        &self,
+        spec: &WorkloadSpec<'_>,
+        artifacts: &ProfiledArtifacts,
+        strategy: Option<Strategy>,
+    ) -> Result<BuildParts, PipelineError> {
+        let ctx = Ctx::new(spec);
+        let p = ctx.pipeline();
+        let reach = self.reach(&ctx, &p);
+        let compiled = self.optimized_compiled(&ctx, &p, &reach, artifacts);
+        let snapshot = self.snapshot_for(
+            &p,
+            ctx.key("snapshot:optimized"),
+            &compiled,
+            &ctx.spec.opts.heap_optimized,
+        )?;
+        let ids = strategy
+            .and_then(|s| ctx.spec.opts.heap_strategy_for(s))
+            .map(|hs| self.heap_ids(&ctx, ctx.key("snapshot:optimized"), &snapshot, hs));
+        let (cu_order, object_order) = self.clock.time(Stage::Order, || {
+            p.order_stage(artifacts, &compiled, &snapshot, strategy, ids.as_deref())
+        });
+        let native = strategy
+            .is_some()
+            .then_some(artifacts.native_pages.as_slice());
+        let image_key = match strategy {
+            None => ctx.key("layout:baseline"),
+            Some(s) => {
+                CacheKey::for_stage("layout", &[ctx.base, CacheKey::of_debug("strategy", &s)])
+            }
+        };
+        let image = self.cache.images.get_or_try(image_key, || {
+            self.clock.time(Stage::Layout, || {
+                p.layout_stage(&compiled, &snapshot, cu_order, object_order, native)
+            })
+        })?;
+        Ok(BuildParts {
+            compiled,
+            snapshot,
+            image,
+        })
     }
 
     /// Evaluates all `strategies` for one workload, returning
@@ -413,29 +541,87 @@ impl Engine {
         }
     }
 
+    /// The instrumented compile, disk-backed under the `compile` stage.
+    fn instrumented_compiled(
+        &self,
+        ctx: &Ctx<'_, '_>,
+        p: &Pipeline<'_>,
+        reach: &Reachability,
+    ) -> Arc<CompiledProgram> {
+        match self.disk_backed::<_, std::convert::Infallible>(
+            &self.cache.compiled,
+            "compile",
+            ctx.key("compile:instrumented"),
+            || {
+                Ok(self.clock.time(Stage::Compile, || {
+                    p.compile_stage(reach.clone(), InstrumentConfig::FULL, None)
+                }))
+            },
+        ) {
+            Ok(v) => v,
+        }
+    }
+
+    /// The PGO-optimized compile, disk-backed under the `compile` stage.
+    fn optimized_compiled(
+        &self,
+        ctx: &Ctx<'_, '_>,
+        p: &Pipeline<'_>,
+        reach: &Reachability,
+        artifacts: &ProfiledArtifacts,
+    ) -> Arc<CompiledProgram> {
+        match self.disk_backed::<_, std::convert::Infallible>(
+            &self.cache.compiled,
+            "compile",
+            ctx.key("compile:optimized"),
+            || {
+                Ok(self.clock.time(Stage::Compile, || {
+                    p.compile_stage(
+                        reach.clone(),
+                        InstrumentConfig::NONE,
+                        Some(&artifacts.call_counts),
+                    )
+                }))
+            },
+        ) {
+            Ok(v) => v,
+        }
+    }
+
+    /// A heap snapshot of `compiled`, disk-backed under the `snapshot`
+    /// stage. `key` distinguishes the instrumented and optimized variants;
+    /// `cfg` is the matching heap-build configuration.
+    fn snapshot_for(
+        &self,
+        p: &Pipeline<'_>,
+        key: CacheKey,
+        compiled: &CompiledProgram,
+        cfg: &nimage_heap::HeapBuildConfig,
+    ) -> Result<Arc<HeapSnapshot>, PipelineError> {
+        self.disk_backed(&self.cache.snapshots, "snapshot", key, || {
+            self.clock
+                .time(Stage::Snapshot, || p.snapshot_stage(compiled, cfg))
+        })
+    }
+
     /// The profiling half (steps 1–3 of Fig. 1), computed once per
     /// workload.
     fn profiled(&self, ctx: &Ctx<'_, '_>) -> Result<Arc<ProfiledArtifacts>, PipelineError> {
         self.disk_backed(&self.cache.profiles, "profile", ctx.key("profile"), || {
             let p = ctx.pipeline();
             let reach = self.reach(ctx, &p);
-            let compiled = self
-                .cache
-                .compiled
-                .get_or(ctx.key("compile:instrumented"), || {
-                    self.clock.time(Stage::Compile, || {
-                        p.compile_stage((*reach).clone(), InstrumentConfig::FULL, None)
-                    })
-                });
+            let compiled = self.instrumented_compiled(ctx, &p, &reach);
             let snap_key = ctx.key("snapshot:instrumented");
-            let snap = self.cache.snapshots.get_or_try(snap_key, || {
-                self.clock.time(Stage::Snapshot, || {
-                    p.snapshot_stage(&compiled, &ctx.spec.opts.heap_instrumented)
-                })
-            })?;
-            let image = self.clock.time(Stage::Layout, || {
-                p.layout_stage(&compiled, &snap, None, None, None)
-            })?;
+            let snap =
+                self.snapshot_for(&p, snap_key, &compiled, &ctx.spec.opts.heap_instrumented)?;
+            let image = self
+                .cache
+                .images
+                .get_or_try(ctx.key("layout:instrumented"), || {
+                    self.clock.time(Stage::Layout, || {
+                        p.layout_stage(&compiled, &snap, None, None, None)
+                    })
+                })?;
             let template =
                 self.cache
                     .heap_templates
@@ -462,26 +648,13 @@ impl Engine {
     ) -> Result<BaselineParts, PipelineError> {
         let p = ctx.pipeline();
         let reach = self.reach(ctx, &p);
-        let compiled = self
-            .cache
-            .compiled
-            .get_or(ctx.key("compile:optimized"), || {
-                self.clock.time(Stage::Compile, || {
-                    p.compile_stage(
-                        (*reach).clone(),
-                        InstrumentConfig::NONE,
-                        Some(&artifacts.call_counts),
-                    )
-                })
-            });
-        let snapshot = self
-            .cache
-            .snapshots
-            .get_or_try(ctx.key("snapshot:optimized"), || {
-                self.clock.time(Stage::Snapshot, || {
-                    p.snapshot_stage(&compiled, &ctx.spec.opts.heap_optimized)
-                })
-            })?;
+        let compiled = self.optimized_compiled(ctx, &p, &reach, artifacts);
+        let snapshot = self.snapshot_for(
+            &p,
+            ctx.key("snapshot:optimized"),
+            &compiled,
+            &ctx.spec.opts.heap_optimized,
+        )?;
         let template = self
             .cache
             .heap_templates

@@ -43,8 +43,13 @@ pub mod engine;
 mod persist;
 
 pub use cache::{ArtifactCache, CacheKey, Memo, MemoStats};
-pub use diskcache::{DiskCacheOptions, DiskCacheStats, DiskCodec, DiskStore, DISK_FORMAT_VERSION};
-pub use engine::{Engine, EngineOptions, EngineStats, MatrixCell, StageTimes, WorkloadSpec};
+pub use diskcache::{
+    DiskCacheOptions, DiskCacheStats, DiskCodec, DiskStore, DiskUsage, GcReport,
+    DISK_FORMAT_VERSION,
+};
+pub use engine::{
+    BuildParts, Engine, EngineOptions, EngineStats, MatrixCell, StageTimes, WorkloadSpec,
+};
 pub use persist::{load_profiles, save_profiles, SavedProfiles};
 
 use std::collections::HashMap;

@@ -14,13 +14,22 @@
 //! <dir>/call_counts.csv       signature,count
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io;
 use std::path::Path;
 
-use nimage_compiler::CallCountProfile;
+use nimage_analysis::{CallSite, Reachability};
+use nimage_compiler::{
+    CallCountProfile, CompilationUnit, CompiledProgram, CuId, InlineNode, InstrumentConfig,
+};
+use nimage_heap::{
+    BuildHeap, HObject, HObjectKind, HValue, HeapSnapshot, InclusionReason, ObjId, ParentLink,
+    SnapEntry,
+};
+use nimage_ir::{ClassId, FieldId, MethodId, SelectorId, TypeRef};
 use nimage_order::{CodeOrderProfile, HeapOrderProfile, HeapStrategy};
 
+use crate::diskcache::{cap_alloc, decode_option, encode_option, put_string, DiskCodec, Reader};
 use crate::ProfiledArtifacts;
 
 fn heap_file_name(strategy: HeapStrategy) -> &'static str {
@@ -149,6 +158,505 @@ impl SavedProfiles {
             native_pages: report.native_touch_pages.clone(),
             instrumented_report: report,
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Disk codecs for the per-stage artifacts the engine persists: the compiled
+// program and the heap snapshot. Encodings are canonical (maps and sets are
+// written sorted) so identical artifacts produce identical bytes; decodes
+// are total over arbitrary bytes and validate every index that downstream
+// code would otherwise index-panic on, so a corrupt cache entry is always a
+// miss, never a crash.
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn encode_u32_seq(out: &mut Vec<u8>, it: impl ExactSizeIterator<Item = u32>) {
+    put_u32(out, it.len() as u32);
+    for v in it {
+        put_u32(out, v);
+    }
+}
+
+fn decode_u32_seq(r: &mut Reader<'_>) -> Option<Vec<u32>> {
+    let n = r.u32()? as usize;
+    let mut v = Vec::with_capacity(cap_alloc(n, r, 4));
+    for _ in 0..n {
+        v.push(r.u32()?);
+    }
+    Some(v)
+}
+
+fn encode_call_site(out: &mut Vec<u8>, s: &CallSite) {
+    put_u32(out, s.method.0);
+    // The usize indices go through u64 so a 32-bit truncation can never
+    // silently poison a cache entry on a platform disagreement.
+    put_u64(out, s.block as u64);
+    put_u64(out, s.instr as u64);
+}
+
+fn decode_call_site(r: &mut Reader<'_>) -> Option<CallSite> {
+    let method = MethodId(r.u32()?);
+    let block = usize::try_from(r.u64()?).ok()?;
+    let instr = usize::try_from(r.u64()?).ok()?;
+    Some(CallSite {
+        method,
+        block,
+        instr,
+    })
+}
+
+fn encode_reachability(out: &mut Vec<u8>, reach: &Reachability) {
+    encode_u32_seq(out, reach.methods.iter().map(|m| m.0));
+    encode_u32_seq(out, reach.instantiated.iter().map(|c| c.0));
+    encode_u32_seq(out, reach.classes.iter().map(|c| c.0));
+    encode_u32_seq(out, reach.static_fields.iter().map(|f| f.0));
+    encode_u32_seq(out, reach.instance_fields.iter().map(|f| f.0));
+    encode_u32_seq(out, reach.build_time_inits.iter().map(|m| m.0));
+    let mut vt: Vec<(&CallSite, &Vec<MethodId>)> = reach.virtual_targets.iter().collect();
+    vt.sort_unstable_by_key(|(s, _)| (s.method.0, s.block, s.instr));
+    put_u32(out, vt.len() as u32);
+    for (site, targets) in vt {
+        encode_call_site(out, site);
+        encode_u32_seq(out, targets.iter().map(|m| m.0));
+    }
+    let mut sat: Vec<u32> = reach.saturated.iter().map(|s| s.0).collect();
+    sat.sort_unstable();
+    encode_u32_seq(out, sat.into_iter());
+    put_u32(out, reach.direct_edges.len() as u32);
+    for (a, b) in &reach.direct_edges {
+        put_u32(out, a.0);
+        put_u32(out, b.0);
+    }
+}
+
+fn decode_reachability(r: &mut Reader<'_>) -> Option<Reachability> {
+    let methods = decode_u32_seq(r)?.into_iter().map(MethodId).collect();
+    let instantiated = decode_u32_seq(r)?.into_iter().map(ClassId).collect();
+    let classes = decode_u32_seq(r)?.into_iter().map(ClassId).collect();
+    let static_fields = decode_u32_seq(r)?.into_iter().map(FieldId).collect();
+    let instance_fields = decode_u32_seq(r)?.into_iter().map(FieldId).collect();
+    let build_time_inits = decode_u32_seq(r)?.into_iter().map(MethodId).collect();
+    let n_vt = r.u32()? as usize;
+    let mut virtual_targets = HashMap::with_capacity(cap_alloc(n_vt, r, 24));
+    for _ in 0..n_vt {
+        let site = decode_call_site(r)?;
+        let targets = decode_u32_seq(r)?.into_iter().map(MethodId).collect();
+        virtual_targets.insert(site, targets);
+    }
+    let saturated = decode_u32_seq(r)?.into_iter().map(SelectorId).collect();
+    let n_edges = r.u32()? as usize;
+    let mut direct_edges = Vec::with_capacity(cap_alloc(n_edges, r, 8));
+    for _ in 0..n_edges {
+        direct_edges.push((MethodId(r.u32()?), MethodId(r.u32()?)));
+    }
+    Some(Reachability {
+        methods,
+        instantiated,
+        classes,
+        static_fields,
+        instance_fields,
+        build_time_inits,
+        virtual_targets,
+        saturated,
+        direct_edges,
+    })
+}
+
+impl DiskCodec for CompiledProgram {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.cus.len() as u32);
+        for cu in &self.cus {
+            put_u32(out, cu.id.0);
+            put_u32(out, cu.root.0);
+            put_u32(out, cu.size);
+            put_u32(out, cu.nodes.len() as u32);
+            for node in &cu.nodes {
+                put_u32(out, node.method.0);
+                encode_option(out, &node.parent, |p, out| put_u32(out, *p));
+                put_u32(out, node.offset);
+                put_u32(out, node.size);
+                put_u32(out, node.children.len() as u32);
+                for (site, child) in &node.children {
+                    encode_call_site(out, site);
+                    put_u32(out, *child);
+                }
+            }
+        }
+        let cfg = &self.instrumentation;
+        out.push(
+            u8::from(cfg.trace_cu)
+                | (u8::from(cfg.trace_methods) << 1)
+                | (u8::from(cfg.trace_heap) << 2),
+        );
+        encode_reachability(out, &self.reachability);
+        // root_to_cu is derived from the CU list on decode.
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        let n_cus = r.u32()? as usize;
+        let mut cus = Vec::with_capacity(cap_alloc(n_cus, r, 16));
+        for i in 0..n_cus {
+            let id = CuId(r.u32()?);
+            // CompiledProgram::cu indexes the list by id, so ids must
+            // equal positions.
+            if id.index() != i {
+                return None;
+            }
+            let root = MethodId(r.u32()?);
+            let size = r.u32()?;
+            let n_nodes = r.u32()? as usize;
+            let mut nodes = Vec::with_capacity(cap_alloc(n_nodes, r, 18));
+            for _ in 0..n_nodes {
+                let method = MethodId(r.u32()?);
+                let parent = decode_option(r, |r| r.u32())?;
+                let offset = r.u32()?;
+                let size = r.u32()?;
+                let n_children = r.u32()? as usize;
+                let mut children = Vec::with_capacity(cap_alloc(n_children, r, 24));
+                for _ in 0..n_children {
+                    let site = decode_call_site(r)?;
+                    children.push((site, r.u32()?));
+                }
+                nodes.push(InlineNode {
+                    method,
+                    parent,
+                    offset,
+                    size,
+                    children,
+                });
+            }
+            let n = nodes.len() as u32;
+            // Inline-tree indices must stay in range.
+            if nodes.iter().any(|node| {
+                node.parent.is_some_and(|p| p >= n) || node.children.iter().any(|&(_, c)| c >= n)
+            }) {
+                return None;
+            }
+            cus.push(CompilationUnit {
+                id,
+                root,
+                nodes,
+                size,
+            });
+        }
+        let mask = r.u8()?;
+        if mask > 7 {
+            return None;
+        }
+        let instrumentation = InstrumentConfig {
+            trace_cu: mask & 1 != 0,
+            trace_methods: mask & 2 != 0,
+            trace_heap: mask & 4 != 0,
+        };
+        let reachability = decode_reachability(r)?;
+        let root_to_cu = cus.iter().map(|cu| (cu.root, cu.id)).collect();
+        Some(CompiledProgram {
+            cus,
+            root_to_cu,
+            instrumentation,
+            reachability,
+        })
+    }
+}
+
+fn encode_type_ref(out: &mut Vec<u8>, ty: &TypeRef) {
+    // One tag byte per array level, so decode depth is naturally bounded
+    // by the payload size (no recursion, no unbounded nesting).
+    let mut t = ty;
+    while let TypeRef::Array(inner) = t {
+        out.push(5);
+        t = inner;
+    }
+    match t {
+        TypeRef::Bool => out.push(0),
+        TypeRef::Int => out.push(1),
+        TypeRef::Double => out.push(2),
+        TypeRef::Str => out.push(3),
+        TypeRef::Object(c) => {
+            out.push(4);
+            put_u32(out, c.0);
+        }
+        TypeRef::Array(_) => unreachable!("array levels consumed above"),
+    }
+}
+
+fn decode_type_ref(r: &mut Reader<'_>) -> Option<TypeRef> {
+    let mut depth = 0usize;
+    let mut tag = r.u8()?;
+    while tag == 5 {
+        depth += 1;
+        tag = r.u8()?;
+    }
+    let mut ty = match tag {
+        0 => TypeRef::Bool,
+        1 => TypeRef::Int,
+        2 => TypeRef::Double,
+        3 => TypeRef::Str,
+        4 => TypeRef::Object(ClassId(r.u32()?)),
+        _ => return None,
+    };
+    for _ in 0..depth {
+        ty = TypeRef::array_of(ty);
+    }
+    Some(ty)
+}
+
+fn encode_hvalue(out: &mut Vec<u8>, v: &HValue) {
+    match v {
+        HValue::Null => out.push(0),
+        HValue::Bool(b) => {
+            out.push(1);
+            out.push(u8::from(*b));
+        }
+        HValue::Int(i) => {
+            out.push(2);
+            put_u64(out, *i as u64);
+        }
+        HValue::Double(d) => {
+            out.push(3);
+            put_u64(out, d.to_bits());
+        }
+        HValue::Ref(o) => {
+            out.push(4);
+            put_u32(out, o.0);
+        }
+    }
+}
+
+fn decode_hvalue(r: &mut Reader<'_>, n_objects: u32) -> Option<HValue> {
+    Some(match r.u8()? {
+        0 => HValue::Null,
+        1 => match r.u8()? {
+            0 => HValue::Bool(false),
+            1 => HValue::Bool(true),
+            _ => return None,
+        },
+        2 => HValue::Int(r.i64()?),
+        3 => HValue::Double(r.f64()?),
+        4 => {
+            let o = r.u32()?;
+            // BuildHeap::get panics out of range; validate here so a
+            // corrupt entry stays a miss.
+            if o >= n_objects {
+                return None;
+            }
+            HValue::Ref(ObjId(o))
+        }
+        _ => return None,
+    })
+}
+
+fn encode_hobject(out: &mut Vec<u8>, obj: &HObject) {
+    match &obj.kind {
+        HObjectKind::Instance { class, fields } => {
+            out.push(0);
+            put_u32(out, class.0);
+            put_u32(out, fields.len() as u32);
+            for v in fields {
+                encode_hvalue(out, v);
+            }
+        }
+        HObjectKind::Array { elem, elems } => {
+            out.push(1);
+            encode_type_ref(out, elem);
+            put_u32(out, elems.len() as u32);
+            for v in elems {
+                encode_hvalue(out, v);
+            }
+        }
+        HObjectKind::Str(s) => {
+            out.push(2);
+            put_string(out, s);
+        }
+        HObjectKind::Boxed(d) => {
+            out.push(3);
+            put_u64(out, d.to_bits());
+        }
+        HObjectKind::Blob { name, size } => {
+            out.push(4);
+            put_string(out, name);
+            put_u32(out, *size);
+        }
+    }
+}
+
+fn decode_hobject(r: &mut Reader<'_>, n_objects: u32) -> Option<HObject> {
+    let kind = match r.u8()? {
+        0 => {
+            let class = ClassId(r.u32()?);
+            let n = r.u32()? as usize;
+            let mut fields = Vec::with_capacity(cap_alloc(n, r, 1));
+            for _ in 0..n {
+                fields.push(decode_hvalue(r, n_objects)?);
+            }
+            HObjectKind::Instance { class, fields }
+        }
+        1 => {
+            let elem = decode_type_ref(r)?;
+            let n = r.u32()? as usize;
+            let mut elems = Vec::with_capacity(cap_alloc(n, r, 1));
+            for _ in 0..n {
+                elems.push(decode_hvalue(r, n_objects)?);
+            }
+            HObjectKind::Array { elem, elems }
+        }
+        2 => HObjectKind::Str(r.string()?),
+        3 => HObjectKind::Boxed(r.f64()?),
+        4 => HObjectKind::Blob {
+            name: r.string()?,
+            size: r.u32()?,
+        },
+        _ => return None,
+    };
+    Some(HObject { kind })
+}
+
+fn encode_reason(out: &mut Vec<u8>, reason: &InclusionReason) {
+    match reason {
+        InclusionReason::StaticField(sig) => {
+            out.push(0);
+            put_string(out, sig);
+        }
+        InclusionReason::MethodConstant(sig) => {
+            out.push(1);
+            put_string(out, sig);
+        }
+        InclusionReason::InternedString => out.push(2),
+        InclusionReason::DataSection => out.push(3),
+        InclusionReason::Resource(name) => {
+            out.push(4);
+            put_string(out, name);
+        }
+    }
+}
+
+fn decode_reason(r: &mut Reader<'_>) -> Option<InclusionReason> {
+    Some(match r.u8()? {
+        0 => InclusionReason::StaticField(r.string()?),
+        1 => InclusionReason::MethodConstant(r.string()?),
+        2 => InclusionReason::InternedString,
+        3 => InclusionReason::DataSection,
+        4 => InclusionReason::Resource(r.string()?),
+        _ => return None,
+    })
+}
+
+impl DiskCodec for HeapSnapshot {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let heap = self.heap();
+        let objects = heap.objects();
+        put_u32(out, objects.len() as u32);
+        for obj in objects {
+            encode_hobject(out, obj);
+        }
+        let mut statics: Vec<(FieldId, HValue)> = heap.statics().collect();
+        statics.sort_unstable_by_key(|(f, _)| f.0);
+        put_u32(out, statics.len() as u32);
+        for (f, v) in &statics {
+            put_u32(out, f.0);
+            encode_hvalue(out, v);
+        }
+        // The interned table is recoverable from the object ids alone:
+        // the key is the Str object's own content.
+        let mut interned: Vec<ObjId> = heap.interned().map(|(_, o)| o).collect();
+        interned.sort_unstable();
+        encode_u32_seq(out, interned.iter().map(|o| o.0));
+        put_u32(out, self.entries().len() as u32);
+        for e in self.entries() {
+            put_u32(out, e.obj.0);
+            put_u32(out, e.size);
+            encode_option(out, &e.parent, |(p, link), out| {
+                put_u32(out, p.0);
+                match link {
+                    ParentLink::Field(f) => {
+                        out.push(0);
+                        put_u32(out, f.0);
+                    }
+                    ParentLink::Index(i) => {
+                        out.push(1);
+                        put_u32(out, *i);
+                    }
+                }
+            });
+            encode_option(out, &e.root, |reason, out| encode_reason(out, reason));
+            encode_option(out, &e.cu, |cu, out| put_u32(out, cu.0));
+        }
+        let mut folded: Vec<ObjId> = self.folded().iter().copied().collect();
+        folded.sort_unstable();
+        encode_u32_seq(out, folded.iter().map(|o| o.0));
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        let n_objects = r.u32()?;
+        let mut objects = Vec::with_capacity(cap_alloc(n_objects as usize, r, 1));
+        for _ in 0..n_objects {
+            objects.push(decode_hobject(r, n_objects)?);
+        }
+        let n_statics = r.u32()? as usize;
+        let mut statics = HashMap::with_capacity(cap_alloc(n_statics, r, 5));
+        for _ in 0..n_statics {
+            let f = FieldId(r.u32()?);
+            statics.insert(f, decode_hvalue(r, n_objects)?);
+        }
+        let interned_ids = decode_u32_seq(r)?;
+        let mut interned = HashMap::with_capacity(interned_ids.len());
+        for o in interned_ids {
+            if o >= n_objects {
+                return None;
+            }
+            let HObjectKind::Str(s) = &objects[o as usize].kind else {
+                return None;
+            };
+            interned.insert(s.clone(), ObjId(o));
+        }
+        let n_entries = r.u32()? as usize;
+        let mut entries = Vec::with_capacity(cap_alloc(n_entries, r, 11));
+        for _ in 0..n_entries {
+            let obj = r.u32()?;
+            if obj >= n_objects {
+                return None;
+            }
+            let size = r.u32()?;
+            let parent = decode_option(r, |r| {
+                let p = r.u32()?;
+                if p >= n_objects {
+                    return None;
+                }
+                let link = match r.u8()? {
+                    0 => ParentLink::Field(FieldId(r.u32()?)),
+                    1 => ParentLink::Index(r.u32()?),
+                    _ => return None,
+                };
+                Some((ObjId(p), link))
+            })?;
+            let root = decode_option(r, decode_reason)?;
+            let cu = decode_option(r, |r| Some(CuId(r.u32()?)))?;
+            entries.push(SnapEntry {
+                obj: ObjId(obj),
+                size,
+                parent,
+                root,
+                cu,
+            });
+        }
+        let folded_ids = decode_u32_seq(r)?;
+        let mut folded = HashSet::with_capacity(folded_ids.len());
+        for o in folded_ids {
+            if o >= n_objects {
+                return None;
+            }
+            folded.insert(ObjId(o));
+        }
+        let heap = BuildHeap::from_parts(objects, statics, interned);
+        Some(HeapSnapshot::from_parts(heap, entries, folded))
     }
 }
 

@@ -1,9 +1,11 @@
 //! Disk-cache tier tests: entry validation (corruption, truncation,
-//! version mismatch), atomic concurrent writes, codec round-trips, and
-//! warm-cache reuse across engine instances.
+//! version mismatch), atomic concurrent writes, codec round-trips,
+//! warm-cache reuse across engine instances, and the LRU lifecycle
+//! (usage accounting, stale-temp sweeps, capped eviction).
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::time::{Duration, SystemTime};
 
 use nimage_core::{
     BuildOptions, CacheKey, DiskCacheOptions, DiskCodec, DiskStore, Engine, EngineOptions,
@@ -44,6 +46,34 @@ fn only_entry(root: &Path) -> PathBuf {
     walk(root, &mut found);
     assert_eq!(found.len(), 1, "expected exactly one entry: {found:?}");
     found.pop().unwrap()
+}
+
+/// Every `.bin` entry under `root`, sorted by path.
+fn bin_entries(root: &Path) -> Vec<PathBuf> {
+    fn walk(dir: &Path, found: &mut Vec<PathBuf>) {
+        let Ok(rd) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for e in rd.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                walk(&p, found);
+            } else if p.extension().is_some_and(|x| x == "bin") {
+                found.push(p);
+            }
+        }
+    }
+    let mut found = vec![];
+    walk(root, &mut found);
+    found.sort();
+    found
+}
+
+/// Rewrites a file's mtime — the recency signal the gc sweep orders by.
+fn set_mtime(path: &Path, t: SystemTime) {
+    let f = std::fs::File::options().append(true).open(path).unwrap();
+    f.set_times(std::fs::FileTimes::new().set_modified(t))
+        .unwrap();
 }
 
 #[test]
@@ -173,6 +203,161 @@ fn concurrent_writers_race_benignly() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+#[test]
+fn corrupt_length_prefix_is_rejected_without_huge_allocation() {
+    let dir = cache_root("hugelen");
+    let store = DiskStore::open(&DiskCacheOptions::at(&dir));
+    let key = CacheKey::of_debug("test", &"hugelen");
+    // A valid header + checksum around a payload whose leading count
+    // claims u32::MAX entries with only four bytes behind it. The decoder
+    // must clamp its pre-allocation to the bytes actually remaining and
+    // reject cleanly instead of attempting a multi-GiB Vec.
+    let mut payload = u32::MAX.to_le_bytes().to_vec();
+    payload.extend_from_slice(&[1, 2, 3, 4]);
+    store.store("assign-ids", key, &payload);
+    assert_eq!(store.get::<HashMap<ObjId, u64>>("assign-ids", key), None);
+    let s = store.stats();
+    assert_eq!((s.hits, s.rejected), (0, 1));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn relative_xdg_cache_home_is_ignored() {
+    // Serialize against nothing: no other test in this binary reads these
+    // variables, and edition-2021 `set_var` is safe.
+    let old_xdg = std::env::var_os("XDG_CACHE_HOME");
+    let old_home = std::env::var_os("HOME");
+
+    // The XDG base-directory spec: a relative $XDG_CACHE_HOME must be
+    // treated as unset, so the $HOME fallback wins.
+    std::env::set_var("XDG_CACHE_HOME", "relative/cache");
+    std::env::set_var("HOME", "/tmp/nimage-dctest-home");
+    assert_eq!(
+        DiskCacheOptions::default_dir().as_deref(),
+        Some(Path::new("/tmp/nimage-dctest-home/.cache/nimage"))
+    );
+
+    // An absolute one is honored.
+    std::env::set_var("XDG_CACHE_HOME", "/tmp/nimage-dctest-xdg");
+    assert_eq!(
+        DiskCacheOptions::default_dir().as_deref(),
+        Some(Path::new("/tmp/nimage-dctest-xdg/nimage"))
+    );
+
+    // Relative XDG and no HOME: no default rather than a guess.
+    std::env::set_var("XDG_CACHE_HOME", "relative/cache");
+    std::env::remove_var("HOME");
+    assert_eq!(DiskCacheOptions::default_dir(), None);
+
+    match old_xdg {
+        Some(v) => std::env::set_var("XDG_CACHE_HOME", v),
+        None => std::env::remove_var("XDG_CACHE_HOME"),
+    }
+    match old_home {
+        Some(v) => std::env::set_var("HOME", v),
+        None => std::env::remove_var("HOME"),
+    }
+}
+
+#[test]
+fn temp_files_are_excluded_from_stats_and_swept_when_stale() {
+    let dir = cache_root("tmpsweep");
+    let store = DiskStore::open(&DiskCacheOptions::at(&dir));
+    let key = CacheKey::of_debug("test", &"tmpsweep");
+    store.put("assign-ids", key, &sample_map());
+    let entry = only_entry(store.root());
+    let stage_dir = entry.parent().unwrap();
+    let fresh = stage_dir.join(".tmp.999.0");
+    let stale = stage_dir.join(".tmp.999.1");
+    std::fs::write(&fresh, b"half-written").unwrap();
+    std::fs::write(&stale, b"orphaned-by-a-crash").unwrap();
+    set_mtime(&stale, SystemTime::now() - Duration::from_secs(3600));
+
+    // Leftover temps are reported separately, never as entries.
+    let u = store.usage();
+    assert_eq!((u.entries, u.tmp_files), (1, 2));
+    assert!(u.tmp_bytes > 0);
+    assert_eq!(store.size_on_disk().0, 1);
+
+    // gc deletes only the stale temp — the fresh one may belong to an
+    // in-flight write — and leaves complete entries alone (no caps given).
+    let r = store.gc(None, None);
+    assert_eq!(r.removed_tmp, 1);
+    assert_eq!(r.evicted_entries, 0);
+    assert!(!stale.exists());
+    assert!(fresh.exists());
+    assert!(entry.exists());
+    assert_eq!(store.usage().tmp_files, 1);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gc_evicts_oldest_accessed_first_until_under_caps() {
+    let dir = cache_root("evict");
+    let store = DiskStore::open(&DiskCacheOptions::at(&dir));
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for i in 0..4u32 {
+        store.put("assign-ids", CacheKey::of_debug("test", &i), &sample_map());
+        let new: Vec<PathBuf> = bin_entries(store.root())
+            .into_iter()
+            .filter(|p| !paths.contains(p))
+            .collect();
+        assert_eq!(new.len(), 1);
+        paths.extend(new);
+    }
+    // paths[0] accessed longest ago … paths[3] most recently.
+    let now = SystemTime::now();
+    for (i, p) in paths.iter().enumerate() {
+        set_mtime(p, now - Duration::from_secs(3600 * (4 - i as u64)));
+    }
+
+    let r = store.gc(None, Some(2));
+    assert_eq!(r.evicted_entries, 2);
+    assert_eq!(r.surviving_entries, 2);
+    assert!(
+        !paths[0].exists() && !paths[1].exists(),
+        "oldest two evicted"
+    );
+    assert!(paths[2].exists() && paths[3].exists(), "newest two survive");
+
+    // A byte cap below a single entry clears the remainder.
+    let r = store.gc(Some(1), None);
+    assert_eq!(r.evicted_entries, 2);
+    assert_eq!((r.surviving_entries, r.surviving_bytes), (0, 0));
+    assert_eq!(store.size_on_disk(), (0, 0));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn hits_refresh_recency_and_protect_entries_from_eviction() {
+    let dir = cache_root("lru");
+    let store = DiskStore::open(&DiskCacheOptions::at(&dir));
+    let key_a = CacheKey::of_debug("test", &"a");
+    let key_b = CacheKey::of_debug("test", &"b");
+    store.put("assign-ids", key_a, &sample_map());
+    let path_a = only_entry(store.root());
+    store.put("assign-ids", key_b, &sample_map());
+    let path_b = bin_entries(store.root())
+        .into_iter()
+        .find(|p| *p != path_a)
+        .unwrap();
+
+    // `a` is older than `b` on disk, but a hit on `a` bumps its mtime, so
+    // the LRU sweep now sees `b` as the oldest.
+    let now = SystemTime::now();
+    set_mtime(&path_a, now - Duration::from_secs(7200));
+    set_mtime(&path_b, now - Duration::from_secs(3600));
+    assert!(store
+        .get::<HashMap<ObjId, u64>>("assign-ids", key_a)
+        .is_some());
+
+    let r = store.gc(None, Some(1));
+    assert_eq!(r.evicted_entries, 1);
+    assert!(path_a.exists(), "the hit refreshed a's recency");
+    assert!(!path_b.exists(), "b became the least recently accessed");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The synthetic workload used by the engine-level tests: a clinit-built
 /// array plus a couple of methods, enough for a full profile/evaluate
 /// cycle.
@@ -229,8 +414,8 @@ fn profiled_artifacts_codec_roundtrips_through_bytes() {
     assert_eq!(a.faults, b.faults);
     assert_eq!(a.entry_return, b.entry_return);
     assert_eq!(
-        a.trace.as_ref().map(|t| nimage_profiler::write_trace(t)),
-        b.trace.as_ref().map(|t| nimage_profiler::write_trace(t)),
+        a.trace.as_ref().map(nimage_profiler::write_trace),
+        b.trace.as_ref().map(nimage_profiler::write_trace),
     );
 }
 
@@ -275,6 +460,106 @@ fn second_engine_starts_warm_with_identical_results() {
     let warm_stats = warm.stats().disk.unwrap();
     assert!(warm_stats.hits > 0, "second run reads persisted artifacts");
     assert_eq!(warm_stats.stores, 0, "nothing new to persist");
+
+    assert_eq!(rows_cold.len(), rows_warm.len());
+    for ((s1, e1), (s2, e2)) in rows_cold.iter().zip(&rows_warm) {
+        assert_eq!(s1, s2);
+        assert_eq!(e1.baseline.faults, e2.baseline.faults);
+        assert_eq!(e1.optimized.faults, e2.optimized.faults);
+        assert_eq!(e1.baseline.ops, e2.baseline.ops);
+        assert_eq!(e1.optimized.ops, e2.optimized.ops);
+        assert_eq!(e1.optimized.entry_return, e2.optimized.entry_return);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn warm_run_hits_compile_and_snapshot_stages_on_disk() {
+    let dir = cache_root("stagehits");
+    let program = program();
+
+    let cold = Engine::new(EngineOptions {
+        n_threads: 1,
+        disk: Some(DiskCacheOptions::at(&dir)),
+    });
+    let spec = WorkloadSpec::new("t", &program, BuildOptions::default(), StopWhen::Exit);
+    cold.evaluate_workload(&spec, &[Strategy::Cu]).unwrap();
+
+    let warm = Engine::new(EngineOptions {
+        n_threads: 1,
+        disk: Some(DiskCacheOptions::at(&dir)),
+    });
+    let spec = WorkloadSpec::new("t", &program, BuildOptions::default(), StopWhen::Exit);
+    warm.evaluate_workload(&spec, &[Strategy::Cu]).unwrap();
+
+    // The finer-grained stages persist individually: the warm run loads
+    // the compiled program and the heap snapshot back, not just the
+    // profile composite.
+    let stages = warm.stats().disk_stages.expect("disk tier is active");
+    let compile = stages.get("compile").copied().unwrap_or_default();
+    let snapshot = stages.get("snapshot").copied().unwrap_or_default();
+    assert!(compile.hits > 0, "compile stage hit on disk: {compile:?}");
+    assert!(
+        snapshot.hits > 0,
+        "snapshot stage hit on disk: {snapshot:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn engine_sweeps_capped_cache_after_storing() {
+    let dir = cache_root("enginegc");
+    let program = program();
+    let engine = Engine::new(EngineOptions {
+        n_threads: 1,
+        disk: Some(DiskCacheOptions::at(&dir).with_max_entries(2)),
+    });
+    let spec = WorkloadSpec::new("t", &program, BuildOptions::default(), StopWhen::Exit);
+    engine.evaluate_workload(&spec, &[Strategy::Cu]).unwrap();
+
+    // The run stored more than two artifacts; the opportunistic sweep
+    // after evaluation must have brought the store back under its cap.
+    assert!(engine.stats().disk.unwrap().stores > 2);
+    let store = DiskStore::open(&DiskCacheOptions::at(&dir));
+    let (entries, _) = store.size_on_disk();
+    assert!(
+        entries <= 2,
+        "post-run sweep enforces the cap, found {entries}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn gcd_then_warm_run_reproduces_cold_results() {
+    let dir = cache_root("gcwarm");
+    let program = program();
+    let strategies = [Strategy::Cu, Strategy::HeapPath];
+
+    let cold = Engine::new(EngineOptions {
+        n_threads: 2,
+        disk: Some(DiskCacheOptions::at(&dir)),
+    });
+    let spec = WorkloadSpec::new("t", &program, BuildOptions::default(), StopWhen::Exit);
+    let rows_cold = cold.evaluate_workload(&spec, &strategies).unwrap();
+
+    // Evict all but the two most recently written entries.
+    let store = DiskStore::open(&DiskCacheOptions::at(&dir));
+    let before = store.size_on_disk().0;
+    let r = store.gc(None, Some(2));
+    assert!(before > 2 && r.evicted_entries == before - 2);
+
+    // The partially evicted cache is still sound: survivors hit, evicted
+    // artifacts are rebuilt and re-stored, and the results are identical
+    // to the cold run bit for bit.
+    let warm = Engine::new(EngineOptions {
+        n_threads: 2,
+        disk: Some(DiskCacheOptions::at(&dir)),
+    });
+    let spec = WorkloadSpec::new("t", &program, BuildOptions::default(), StopWhen::Exit);
+    let rows_warm = warm.evaluate_workload(&spec, &strategies).unwrap();
+    let warm_stats = warm.stats().disk.unwrap();
+    assert!(warm_stats.hits > 0, "surviving entries still hit");
+    assert!(warm_stats.stores > 0, "evicted artifacts are re-stored");
 
     assert_eq!(rows_cold.len(), rows_warm.len());
     for ((s1, e1), (s2, e2)) in rows_cold.iter().zip(&rows_warm) {

@@ -250,6 +250,31 @@ impl BuildHeap {
         self.statics.iter().map(|(&f, &v)| (f, v))
     }
 
+    /// All objects, indexed by [`ObjId`].
+    pub fn objects(&self) -> &[HObject] {
+        &self.objects
+    }
+
+    /// Iterates over the interned-string table.
+    pub fn interned(&self) -> impl Iterator<Item = (&str, ObjId)> + '_ {
+        self.interned.iter().map(|(s, &o)| (s.as_str(), o))
+    }
+
+    /// Reassembles a heap from its raw parts (the inverse of
+    /// [`BuildHeap::objects`]/[`BuildHeap::statics`]/[`BuildHeap::interned`]),
+    /// used when deserializing a persisted heap snapshot.
+    pub fn from_parts(
+        objects: Vec<HObject>,
+        statics: HashMap<FieldId, HValue>,
+        interned: HashMap<String, ObjId>,
+    ) -> BuildHeap {
+        BuildHeap {
+            objects,
+            statics,
+            interned,
+        }
+    }
+
     /// The layout index of instance field `fid` in objects of class `class`.
     ///
     /// # Panics

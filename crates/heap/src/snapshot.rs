@@ -113,6 +113,28 @@ pub struct HeapSnapshot {
 }
 
 impl HeapSnapshot {
+    /// Reassembles a snapshot from its raw parts (the inverse of
+    /// [`HeapSnapshot::heap`]/[`HeapSnapshot::entries`]/[`HeapSnapshot::folded`]),
+    /// recomputing the index; used when deserializing a persisted
+    /// snapshot.
+    pub fn from_parts(
+        heap: BuildHeap,
+        entries: Vec<SnapEntry>,
+        folded: HashSet<ObjId>,
+    ) -> HeapSnapshot {
+        let index_of = entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.obj, i))
+            .collect();
+        HeapSnapshot {
+            heap,
+            entries,
+            index_of,
+            folded,
+        }
+    }
+
     /// The build-time heap backing the snapshot.
     pub fn heap(&self) -> &BuildHeap {
         &self.heap
