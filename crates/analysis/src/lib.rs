@@ -98,6 +98,59 @@ impl Reachability {
     }
 }
 
+/// A conservative whole-program call graph over *every* method body —
+/// including class initializers, which [`analyze`] deliberately excludes
+/// from its reachable-method list because they run at build time.
+///
+/// Virtual sites are resolved against the full class hierarchy (the
+/// declared receiver and all of its subclasses), not the instantiated
+/// set: clients like the clinit-purity interprocedural analysis in
+/// `nimage-verify` need summaries that over-approximate any possible
+/// execution, not just post-analysis runtime behavior.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// `callees[m]` — methods that method `m` may call, sorted and
+    /// deduplicated.
+    pub callees: Vec<Vec<MethodId>>,
+    /// `spawns[m]` — methods that `m` hands to `spawn` (started, not
+    /// called; effects happen on another thread).
+    pub spawns: Vec<Vec<MethodId>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `program`.
+    pub fn build(program: &Program) -> CallGraph {
+        let n = program.methods().len();
+        let mut callees: Vec<Vec<MethodId>> = vec![vec![]; n];
+        let mut spawns: Vec<Vec<MethodId>> = vec![vec![]; n];
+        for (m, method) in program.methods().iter().enumerate() {
+            for block in &method.blocks {
+                for instr in &block.instrs {
+                    match instr {
+                        Instr::Call { callee, .. } => match callee {
+                            Callee::Static(t) => callees[m].push(*t),
+                            Callee::Virtual { declared, selector } => {
+                                for c in program.subclasses_of(*declared) {
+                                    if let Some(t) = program.resolve_virtual(c, *selector) {
+                                        callees[m].push(t);
+                                    }
+                                }
+                            }
+                        },
+                        Instr::Spawn { method: t, .. } => spawns[m].push(*t),
+                        _ => {}
+                    }
+                }
+            }
+            callees[m].sort_unstable();
+            callees[m].dedup();
+            spawns[m].sort_unstable();
+            spawns[m].dedup();
+        }
+        CallGraph { callees, spawns }
+    }
+}
+
 #[derive(Default)]
 struct State {
     method_seen: HashSet<MethodId>,

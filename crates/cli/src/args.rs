@@ -33,6 +33,7 @@ impl std::error::Error for ArgError {}
 /// boolean flag.
 const VALUED: &[&str] = &[
     "strategy",
+    "format",
     "out",
     "profiles",
     "width",

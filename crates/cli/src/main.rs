@@ -10,7 +10,7 @@
 //! nimage inspect <image-file>                   dump a serialized image
 //! nimage pagemap <workload> [--strategy S] [--width N]
 //! nimage overhead <workload>                    Sec. 7.4 overhead factors
-//! nimage lint <workload>|--all [--strategy S] [--report]
+//! nimage lint <workload>|--all [--strategy S] [--report] [--format text|json]
 //! nimage cache stats|gc|clear [--cache-dir DIR] disk artifact cache
 //! nimage help
 //! ```
@@ -58,11 +58,12 @@ COMMANDS:
                                              Fig. 6-style page map of both sections
     heapstats <workload>                     snapshot composition + layout quality
     overhead <workload>                      profiling overhead factors (Sec. 7.4)
-    lint <workload>|--all [--strategy S] [--report]
+    lint <workload>|--all [--strategy S] [--report] [--format text|json]
                                              run the nimage-verify checkers over the whole
                                              pipeline (--all: every workload); non-zero exit
                                              on any error finding; --report also prints
-                                             layout-quality metrics
+                                             layout-quality metrics; --format json writes a
+                                             machine-readable report to stdout (for CI)
     cache stats [--cache-dir DIR]            inspect the disk artifact cache
     cache gc [--cache-dir DIR] [--max-bytes N] [--max-entries N]
                                              sweep stale temp files and evict the
@@ -382,6 +383,11 @@ fn cmd_bench(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     let stages = stage_speedups(&program, &workload, stop, n_workers)?;
     let stages_identical = stages.iter().all(|s| s.identical);
 
+    // ROADMAP follow-up: does per-type salting of heap-path identities pay
+    // off? Quantified as the fraction of optimized-build objects whose id
+    // matches the instrumented build unambiguously.
+    let ratios = matched_ratio_rows(&program, &workload)?;
+
     println!("{} × {} strategies:", workload.name(), strategies.len());
     println!("  serial uncached : {:>10.1} ms", serial_ns as f64 / 1e6);
     println!(
@@ -421,6 +427,10 @@ fn cmd_bench(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
             if s.identical { "identical" } else { "DIFFER" }
         );
     }
+    println!("  matched-object ratio (instrumented → optimized):");
+    for (name, r) in &ratios {
+        println!("    {name:<17} {r:.4}");
+    }
     println!(
         "  results         : {}",
         if results_match && stages_identical {
@@ -440,6 +450,7 @@ fn cmd_bench(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
             results_match,
             n_workers,
             &stages,
+            &ratios,
         );
         std::fs::write(path, json)?;
         println!("wrote {path}");
@@ -540,6 +551,36 @@ fn stage_speedups(
     Ok(out)
 }
 
+/// Computes the matched-object ratio between the instrumented and the
+/// optimized snapshot for the plain and the salted heap-path strategy —
+/// the measurement behind the ROADMAP's `--salted-heap-ids` question. The
+/// two snapshots differ exactly the way the evaluation pipeline's do
+/// (different clinit seed, PEA folding only on the optimized side), so
+/// the ratio reflects the real cross-build matching problem.
+fn matched_ratio_rows(
+    program: &nimage_ir::Program,
+    workload: &Workload,
+) -> Result<Vec<(&'static str, f64)>, Box<dyn std::error::Error>> {
+    use nimage_order::{assign_ids, matched_object_ratio, HeapStrategy};
+    let mut opts = pipeline_for(workload);
+    opts.verify = false;
+    let ps = Pipeline::new(program, opts.clone());
+    let reach = ps.analyze_stage();
+    let cs = ps.compile_stage(reach, nimage_compiler::InstrumentConfig::NONE, None);
+    let instr_snap = ps.snapshot_stage(&cs, &opts.heap_instrumented)?;
+    let opt_snap = ps.snapshot_stage(&cs, &opts.heap_optimized)?;
+    let mut rows = Vec::new();
+    for (name, hs) in [
+        ("heap-path", HeapStrategy::HeapPath),
+        ("heap-path-salted", HeapStrategy::HeapPathSalted),
+    ] {
+        let a: Vec<u64> = assign_ids(program, &instr_snap, hs).into_values().collect();
+        let b: Vec<u64> = assign_ids(program, &opt_snap, hs).into_values().collect();
+        rows.push((name, matched_object_ratio(&a, &b)));
+    }
+    Ok(rows)
+}
+
 /// Renders the `nimage bench` report as JSON (no serde in the workspace —
 /// the schema is flat and hand-written).
 #[allow(clippy::too_many_arguments)]
@@ -552,6 +593,7 @@ fn bench_json(
     results_match: bool,
     n_workers: usize,
     stage_benches: &[StageBench],
+    matched_ratios: &[(&'static str, f64)],
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"workload\": \"{workload}\",\n"));
@@ -612,6 +654,13 @@ fn bench_json(
         .collect();
     out.push_str(&stages.join(",\n"));
     out.push_str("\n  },\n");
+    out.push_str("  \"matched_object_ratio\": {");
+    let ratio_rows: Vec<String> = matched_ratios
+        .iter()
+        .map(|(name, r)| format!("\"{name}\": {r:.6}"))
+        .collect();
+    out.push_str(&ratio_rows.join(", "));
+    out.push_str("},\n");
     out.push_str(&format!("  \"cache_hits\": {},\n", stats.cache_hits()));
     out.push_str(&format!("  \"cache_misses\": {},\n", stats.cache_misses()));
     out.push_str("  \"cache\": [\n");
@@ -844,6 +893,13 @@ fn cmd_lint(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
         Some(s) => strategy_of(s)?,
         None => Strategy::CuPlusHeapPath,
     };
+    let text = match parsed.option("format").unwrap_or("text") {
+        "text" => true,
+        "json" => false,
+        other => {
+            return Err(ArgError(format!("unknown --format {other}; expected text|json")).into())
+        }
+    };
     let report = parsed.has_flag("report");
     let workloads: Vec<Workload> = if parsed.has_flag("all") {
         Workload::awfy()
@@ -864,8 +920,11 @@ fn cmd_lint(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     // already runs the same checkers itself; `--verify` opts in.
     let verify = parsed.has_flag("verify") && !parsed.has_flag("no-verify");
     let mut total_errors = 0;
+    let mut outcomes: Vec<(&'static str, LintOutcome)> = Vec::new();
     for workload in &workloads {
-        total_errors += lint_workload(workload, strategy, report, verify, &engine)?;
+        let out = lint_workload(workload, strategy, report, verify, text, &engine)?;
+        total_errors += out.errors;
+        outcomes.push((workload.name(), out));
     }
     let stats = engine.stats();
     if let Some(disk) = &stats.disk {
@@ -875,7 +934,9 @@ fn cmd_lint(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
         );
         print_disk_stages(&stats);
     }
-    if workloads.len() > 1 {
+    if !text {
+        print!("{}", lint_json(strategy, &outcomes));
+    } else if workloads.len() > 1 {
         println!(
             "\nlint --all: {} workload(s), {} error(s)",
             workloads.len(),
@@ -888,16 +949,103 @@ fn cmd_lint(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-/// Lints one workload end to end, printing every diagnostic; returns the
-/// number of error-severity findings. Builds go through `engine` so the
-/// compile/snapshot/profile stages hit the shared (and disk) caches.
+/// The result of linting one workload: normalized (sorted, deduplicated)
+/// diagnostics plus per-lint-family wall-clock timings.
+struct LintOutcome {
+    errors: usize,
+    warnings: usize,
+    /// `(family, microseconds)` in execution order.
+    timings: Vec<(&'static str, u64)>,
+    diags: Vec<nimage_verify::Diagnostic>,
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the `nimage lint --format json` report (no serde in the
+/// workspace — hand-written like `bench_json`).
+fn lint_json(strategy: Strategy, outcomes: &[(&'static str, LintOutcome)]) -> String {
+    use nimage_verify::Severity;
+    let mut out = String::from("{\n");
+    out.push_str("  \"workloads\": [\n");
+    let blocks: Vec<String> = outcomes
+        .iter()
+        .map(|(name, o)| {
+            let mut b = String::from("    {\n");
+            b.push_str(&format!("      \"workload\": \"{}\",\n", json_escape(name)));
+            b.push_str(&format!(
+                "      \"strategy\": \"{}\",\n",
+                json_escape(strategy.name())
+            ));
+            b.push_str(&format!("      \"errors\": {},\n", o.errors));
+            b.push_str(&format!("      \"warnings\": {},\n", o.warnings));
+            b.push_str("      \"timings_us\": {");
+            let ts: Vec<String> = o
+                .timings
+                .iter()
+                .map(|(n, us)| format!("\"{n}\": {us}"))
+                .collect();
+            b.push_str(&ts.join(", "));
+            b.push_str("},\n");
+            b.push_str("      \"diagnostics\": [\n");
+            let ds: Vec<String> = o
+                .diags
+                .iter()
+                .map(|d| {
+                    format!(
+                        "        {{\"severity\": \"{}\", \"code\": \"{}\", \"entity\": \"{}\", \"message\": \"{}\"}}",
+                        if d.severity == Severity::Error { "error" } else { "warning" },
+                        json_escape(d.code),
+                        json_escape(&d.entity),
+                        json_escape(&d.message)
+                    )
+                })
+                .collect();
+            b.push_str(&ds.join(",\n"));
+            if !o.diags.is_empty() {
+                b.push('\n');
+            }
+            b.push_str("      ]\n    }");
+            b
+        })
+        .collect();
+    out.push_str(&blocks.join(",\n"));
+    out.push_str("\n  ],\n");
+    let errors: usize = outcomes.iter().map(|(_, o)| o.errors).sum();
+    let warnings: usize = outcomes.iter().map(|(_, o)| o.warnings).sum();
+    out.push_str(&format!("  \"total_errors\": {errors},\n"));
+    out.push_str(&format!("  \"total_warnings\": {warnings}\n"));
+    out.push_str("}\n");
+    out
+}
+
+/// Lints one workload end to end; returns the normalized diagnostics and
+/// per-lint-family timings. Builds go through `engine` so the
+/// compile/snapshot/profile stages hit the shared (and disk) caches. When
+/// `text` is false (JSON mode), the informational stdout lines are
+/// suppressed so stdout carries only the report.
 fn lint_workload(
     workload: &Workload,
     strategy: Strategy,
     report: bool,
     verify: bool,
+    text: bool,
     engine: &Engine,
-) -> Result<usize, Box<dyn std::error::Error>> {
+) -> Result<LintOutcome, Box<dyn std::error::Error>> {
     use nimage_verify::{determinism::DeterminismInputs, irlint, pipeline as checks, Severity};
 
     let program = workload.program();
@@ -905,21 +1053,35 @@ fn lint_workload(
     opts.verify = verify;
     let spec = WorkloadSpec::new(workload.name(), &program, opts.clone(), workload.stop());
     let mut diags = vec![];
+    let mut timings: Vec<(&'static str, u64)> = vec![];
+    macro_rules! timed {
+        ($name:literal, $body:block) => {{
+            let t = Instant::now();
+            let r = $body;
+            timings.push(($name, t.elapsed().as_micros() as u64));
+            r
+        }};
+    }
 
-    // Family 1: IR dataflow lints, then vtable soundness against the
-    // instrumented build's devirtualization.
-    diags.extend(irlint::lint_program(&program));
+    // Family 1: IR dataflow lints (use-before-def, dead stores — both on
+    // the worklist solver), then vtable soundness against the instrumented
+    // build's devirtualization.
     let built = engine.instrumented_parts(&spec)?;
-    diags.extend(irlint::lint_virtual_targets(
-        &program,
-        &built.compiled.reachability,
-    ));
-    diags.extend(checks::check_layout(&checks::LayoutView::from_image(
-        &program,
-        &built.compiled,
-        &built.snapshot,
-        &built.image,
-    )));
+    timed!("ir", {
+        diags.extend(irlint::lint_program(&program));
+        diags.extend(irlint::lint_virtual_targets(
+            &program,
+            &built.compiled.reachability,
+        ));
+    });
+    timed!("layout-instrumented", {
+        diags.extend(checks::check_layout(&checks::LayoutView::from_image(
+            &program,
+            &built.compiled,
+            &built.snapshot,
+            &built.image,
+        )));
+    });
 
     // Family 2: profiling-run invariants — trace well-formedness, identity
     // collision audits, profile coverage, layout + matching contract of the
@@ -931,85 +1093,146 @@ fn lint_workload(
         .trace
         .as_ref()
         .ok_or("instrumented run produced no trace")?;
-    diags.extend(checks::check_trace(trace));
+    timed!("trace", {
+        diags.extend(checks::check_trace(trace));
+    });
 
-    let coverage = checks::profile_coverage(&program, &built.compiled, &artifacts.cu_profile);
-    println!(
-        "profile coverage   : {}/{} profile signatures resolve, {}/{} CUs covered",
-        coverage.matched, coverage.profile_entries, coverage.covered, coverage.cus
-    );
-    diags.extend(checks::coverage_diagnostics(&coverage));
+    timed!("coverage", {
+        let coverage = checks::profile_coverage(&program, &built.compiled, &artifacts.cu_profile);
+        if text {
+            println!(
+                "profile coverage   : {}/{} profile signatures resolve, {}/{} CUs covered",
+                coverage.matched, coverage.profile_entries, coverage.covered, coverage.cus
+            );
+        }
+        diags.extend(checks::coverage_diagnostics(&coverage));
+    });
 
-    let mut heap_profiles: Vec<_> = artifacts.heap_profiles.iter().collect();
-    heap_profiles.sort_by_key(|(hs, _)| hs.name());
-    for (hs, profile) in heap_profiles {
-        let audit = checks::audit_ids(profile.ids.iter().copied());
-        println!(
-            "id audit ({:<15}): {} ids, {} distinct, worst multiplicity {}",
-            hs.name(),
-            audit.total,
-            audit.distinct,
-            audit.max_multiplicity
-        );
-        diags.extend(checks::id_collision_diagnostics(
-            &audit,
-            &format!("heap profile ({})", hs.name()),
-        ));
-    }
+    timed!("ids", {
+        let mut heap_profiles: Vec<_> = artifacts.heap_profiles.iter().collect();
+        heap_profiles.sort_by_key(|(hs, _)| hs.name());
+        for (hs, profile) in heap_profiles {
+            let audit = checks::audit_ids(profile.ids.iter().copied());
+            if text {
+                println!(
+                    "id audit ({:<15}): {} ids, {} distinct, worst multiplicity {}",
+                    hs.name(),
+                    audit.total,
+                    audit.distinct,
+                    audit.max_multiplicity
+                );
+            }
+            diags.extend(checks::id_collision_diagnostics(
+                &audit,
+                &format!("heap profile ({})", hs.name()),
+            ));
+        }
+    });
 
     let opt = engine.optimized_parts(&spec, &artifacts, Some(strategy))?;
-    diags.extend(checks::check_layout(&checks::LayoutView::from_image(
-        &program,
-        &opt.compiled,
-        &opt.snapshot,
-        &opt.image,
-    )));
-    if let Some(hs) = opts.heap_strategy_for(strategy) {
-        let ids = nimage_order::assign_ids(&program, &opt.snapshot, hs);
-        diags.extend(checks::id_collision_diagnostics(
-            &checks::audit_ids(ids.values().copied()),
-            &format!("optimized-build ids ({})", hs.name()),
-        ));
-        diags.extend(checks::check_matching(
+    timed!("layout-optimized", {
+        diags.extend(checks::check_layout(&checks::LayoutView::from_image(
+            &program,
+            &opt.compiled,
             &opt.snapshot,
-            &ids,
-            &artifacts.heap_profiles[&hs],
-            &opt.image.object_order,
-        ));
-    }
+            &opt.image,
+        )));
+    });
+    timed!("matching", {
+        if let Some(hs) = opts.heap_strategy_for(strategy) {
+            let ids = nimage_order::assign_ids(&program, &opt.snapshot, hs);
+            diags.extend(checks::id_collision_diagnostics(
+                &checks::audit_ids(ids.values().copied()),
+                &format!("optimized-build ids ({})", hs.name()),
+            ));
+            diags.extend(checks::check_matching(
+                &opt.snapshot,
+                &ids,
+                &artifacts.heap_profiles[&hs],
+                &opt.image.object_order,
+            ));
+        }
+    });
 
     // Family 3: determinism audits — the back half of the pipeline, then
     // the profiling build (instrumented compile + trace replay).
-    let det = nimage_verify::audit_determinism(
-        &program,
-        &DeterminismInputs {
-            cu_profile: Some(&artifacts.cu_profile),
-            heap_profile: opts
-                .heap_strategy_for(strategy)
-                .map(|hs| &artifacts.heap_profiles[&hs]),
-            heap_strategy: opts.heap_strategy_for(strategy),
-        },
-    );
     let verdict = |ok: bool| if ok { "identical" } else { "DIFFERS" };
-    println!(
-        "determinism audit  : image {}, cu order {}, object order {}",
-        verdict(det.image_identical),
-        verdict(det.cu_order_identical),
-        verdict(det.object_order_identical)
-    );
-    diags.extend(det.diagnostics);
+    timed!("determinism", {
+        let det = nimage_verify::audit_determinism(
+            &program,
+            &DeterminismInputs {
+                cu_profile: Some(&artifacts.cu_profile),
+                heap_profile: opts
+                    .heap_strategy_for(strategy)
+                    .map(|hs| &artifacts.heap_profiles[&hs]),
+                heap_strategy: opts.heap_strategy_for(strategy),
+            },
+        );
+        if text {
+            println!(
+                "determinism audit  : image {}, cu order {}, object order {}",
+                verdict(det.image_identical),
+                verdict(det.cu_order_identical),
+                verdict(det.object_order_identical)
+            );
+        }
+        diags.extend(det.diagnostics);
+    });
 
-    let audit_program = workload.audit_program();
-    let prof_det = nimage_verify::audit_profiling_determinism(&audit_program, workload.stop());
-    println!(
-        "profiling audit    : trace {}, profiles {}, parallel replay {}",
-        verdict(prof_det.trace_identical),
-        verdict(prof_det.profiles_identical),
-        verdict(prof_det.parallel_replay_identical)
-    );
-    diags.extend(prof_det.diagnostics);
+    timed!("profiling-determinism", {
+        let audit_program = workload.audit_program();
+        let prof_det = nimage_verify::audit_profiling_determinism(&audit_program, workload.stop());
+        if text {
+            println!(
+                "profiling audit    : trace {}, profiles {}, parallel replay {}",
+                verdict(prof_det.trace_identical),
+                verdict(prof_det.profiles_identical),
+                verdict(prof_det.parallel_replay_identical)
+            );
+        }
+        diags.extend(prof_det.diagnostics);
+    });
 
-    if report {
+    // Family 4: PEA fold soundness — audits the optimized snapshot (the
+    // instrumented heap config never folds) by reconstructing the pre-fold
+    // object graph and checking every folded object was single-use.
+    timed!("pea", {
+        diags.extend(nimage_verify::pea::check_pea_soundness(
+            &program,
+            &opt.snapshot,
+        ));
+    });
+
+    // Family 5: clinit purity — interprocedural effect summaries classify
+    // each build-time initializer, then a logged re-execution cross-checks
+    // that the static summaries over-approximate the observed effects.
+    timed!("purity", {
+        let cg = nimage_analysis::CallGraph::build(&program);
+        let summaries = nimage_verify::purity::effect_summaries(&program, &cg);
+        let inits =
+            nimage_heap::init_order(&program, &built.compiled.reachability, &opts.heap_optimized);
+        diags.extend(nimage_verify::purity::check_clinit_purity(
+            &program, &inits, &summaries,
+        ));
+        let (_heap, log) =
+            nimage_heap::run_initializers_logged(&program, &inits, opts.heap_optimized.budget)?;
+        diags.extend(nimage_verify::purity::check_effect_log(
+            &program, &summaries, &log,
+        ));
+    });
+
+    // Family 6: reachability cross-check — every method the trace entered
+    // must be in the type-based reachable set; never-entered CUs are
+    // reported as layout waste.
+    timed!("reach", {
+        diags.extend(nimage_verify::reachcheck::check_reachability(
+            &program,
+            &built.compiled,
+            trace,
+        ));
+    });
+
+    if text && report {
         let accessed = accessed_objects(trace);
         let default_order: Vec<nimage_heap::ObjId> =
             opt.snapshot.entries().iter().map(|e| e.obj).collect();
@@ -1026,20 +1249,40 @@ fn lint_workload(
         );
     }
 
-    for d in &diags {
-        println!("{d}");
-    }
+    // Stable output: sort by (severity, code, entity, message) and drop
+    // exact duplicates, so the report is identical across thread counts
+    // and cache states.
+    nimage_verify::normalize(&mut diags);
     let errors = diags
         .iter()
         .filter(|d| d.severity == Severity::Error)
         .count();
-    println!(
-        "lint {}: {} error(s), {} warning(s)",
-        workload.name(),
+    if text {
+        for d in &diags {
+            println!("{d}");
+        }
+        let total_us: u64 = timings.iter().map(|(_, us)| us).sum();
+        let parts: Vec<String> = timings
+            .iter()
+            .map(|(name, us)| format!("{name} {us}µs"))
+            .collect();
+        println!(
+            "lint timings       : {} (total {total_us}µs)",
+            parts.join(", ")
+        );
+        println!(
+            "lint {}: {} error(s), {} warning(s)",
+            workload.name(),
+            errors,
+            diags.len() - errors
+        );
+    }
+    Ok(LintOutcome {
         errors,
-        diags.len() - errors
-    );
-    Ok(errors)
+        warnings: diags.len() - errors,
+        timings,
+        diags,
+    })
 }
 
 fn cmd_overhead(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {

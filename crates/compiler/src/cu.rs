@@ -1,6 +1,6 @@
 //! Compilation units and the compiled-program container.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 use nimage_analysis::{CallSite, Reachability};
@@ -125,6 +125,27 @@ impl CompiledProgram {
         self.cus
             .iter()
             .map(|c| program.method_signature(c.root))
+            .collect()
+    }
+
+    /// Signatures of every method compiled into the image — CU roots plus
+    /// all inlinees — i.e. the analysis's reachable set as the compiler
+    /// realized it. Any method a runtime trace enters must be in here;
+    /// `nimage-verify`'s reachability cross-check asserts exactly that.
+    pub fn reachable_method_signatures(&self, program: &Program) -> BTreeSet<String> {
+        self.cus
+            .iter()
+            .flat_map(|c| c.methods())
+            .map(|m| program.method_signature(m))
+            .collect()
+    }
+
+    /// `(root signature, size in bytes)` per CU in default order — the
+    /// per-CU layout cost used to quantify never-entered code.
+    pub fn cu_root_sizes(&self, program: &Program) -> Vec<(String, u32)> {
+        self.cus
+            .iter()
+            .map(|c| (program.method_signature(c.root), c.size))
             .collect()
     }
 }

@@ -47,7 +47,7 @@ use crate::ProfiledArtifacts;
 /// any codec, or the semantics of a persisted stage change; old entries
 /// are invisible to the new version (they live under the old `v<N>`
 /// directory) and get removed by `nimage cache clear`.
-pub const DISK_FORMAT_VERSION: u32 = 1;
+pub const DISK_FORMAT_VERSION: u32 = 2;
 
 const MAGIC: &[u8; 4] = b"NIMC";
 const HEADER_LEN: usize = 4 + 4 + 8 + 8;

@@ -741,6 +741,7 @@ impl<'p> Pipeline<'p> {
             self.program,
             &compiled.reachability,
         ));
+        diags.extend(nimage_verify::pea::check_pea_soundness(self.program, snap));
         diags.extend(checks::check_layout(&checks::LayoutView::from_image(
             self.program,
             compiled,

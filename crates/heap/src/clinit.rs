@@ -12,12 +12,60 @@
 //! that the class initializers may be executed in parallel during the build
 //! process" (Sec. 2).
 
+use std::collections::BTreeSet;
 use std::error::Error;
 use std::fmt;
 
-use nimage_ir::{BinOp, Callee, Instr, Intrinsic, MethodId, Program, Terminator, UnOp};
+use nimage_ir::{BinOp, Callee, FieldId, Instr, Intrinsic, MethodId, Program, Terminator, UnOp};
 
 use crate::object::{BuildHeap, HObjectKind, HValue, ObjId};
+
+/// Dynamic side effects observed while one class initializer (and
+/// everything it transitively called) executed at build time.
+///
+/// "Foreign" means *outside the initializer's own allocation frontier*: a
+/// write to an object that already existed when the initializer started —
+/// i.e. state created by an earlier initializer. Those writes are exactly
+/// what makes build-time snapshotting sensitive to init order (Sec. 2's
+/// parallel-clinit non-determinism), so `nimage-verify`'s purity analysis
+/// checks its static summaries against these observations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClinitEffects {
+    /// Static fields read.
+    pub statics_read: BTreeSet<FieldId>,
+    /// Static fields written.
+    pub statics_written: BTreeSet<FieldId>,
+    /// Field/array writes to objects allocated before this initializer ran.
+    pub foreign_writes: u64,
+    /// I/O-like intrinsic invocations (`respond`).
+    pub io_events: u64,
+    /// `spawn` instructions reached (recorded no-ops at build time).
+    pub spawn_events: u64,
+}
+
+/// Per-initializer [`ClinitEffects`], in execution order.
+#[derive(Debug, Clone, Default)]
+pub struct EffectLog {
+    /// One entry per executed initializer: `(clinit method, effects)`.
+    pub per_init: Vec<(MethodId, ClinitEffects)>,
+}
+
+/// Observation state threaded through build-time execution when effect
+/// logging is on.
+struct EffectSink {
+    fx: ClinitEffects,
+    /// Heap size when the current initializer started; any object with a
+    /// smaller id is foreign to it.
+    watermark: usize,
+}
+
+impl EffectSink {
+    fn note_heap_write(&mut self, target: ObjId) {
+        if target.index() < self.watermark {
+            self.fx.foreign_writes += 1;
+        }
+    }
+}
 
 /// Remaining instruction budget for build-time execution.
 ///
@@ -119,6 +167,33 @@ pub fn run_initializers(
     Ok(heap)
 }
 
+/// [`run_initializers`] with per-initializer side-effect observation.
+///
+/// The resulting heap is identical to the unlogged run (logging only
+/// observes); the [`EffectLog`] records, for each initializer in execution
+/// order, the effects of the initializer and everything it called.
+///
+/// # Errors
+/// Propagates the first [`ClinitError`] raised by any initializer.
+pub fn run_initializers_logged(
+    program: &Program,
+    inits: &[MethodId],
+    budget: StepBudget,
+) -> Result<(BuildHeap, EffectLog), ClinitError> {
+    let mut heap = BuildHeap::new();
+    let mut budget = budget;
+    let mut log = EffectLog::default();
+    for &m in inits {
+        let mut sink = Some(EffectSink {
+            fx: ClinitEffects::default(),
+            watermark: heap.len(),
+        });
+        exec_method_sunk(program, &mut heap, m, vec![], &mut budget, 0, &mut sink)?;
+        log.per_init.push((m, sink.unwrap().fx));
+    }
+    Ok((heap, log))
+}
+
 /// Executes one method at build time. Public so the snapshot tests and the
 /// microservice framework models can run helper methods directly.
 ///
@@ -131,6 +206,18 @@ pub fn exec_method(
     args: Vec<HValue>,
     budget: &mut StepBudget,
     depth: usize,
+) -> Result<Option<HValue>, ClinitError> {
+    exec_method_sunk(program, heap, method, args, budget, depth, &mut None)
+}
+
+fn exec_method_sunk(
+    program: &Program,
+    heap: &mut BuildHeap,
+    method: MethodId,
+    args: Vec<HValue>,
+    budget: &mut StepBudget,
+    depth: usize,
+    sink: &mut Option<EffectSink>,
 ) -> Result<Option<HValue>, ClinitError> {
     if depth > MAX_DEPTH {
         return Err(ClinitError::StackOverflow);
@@ -148,7 +235,7 @@ pub fn exec_method(
                 return Err(ClinitError::BudgetExhausted);
             }
             budget.0 -= 1;
-            exec_instr(program, heap, method, &mut locals, ins, budget, depth)?;
+            exec_instr(program, heap, method, &mut locals, ins, budget, depth, sink)?;
         }
         match &b.terminator {
             Terminator::Ret(v) => return Ok(v.map(|l| locals[l.index()])),
@@ -177,6 +264,7 @@ pub fn exec_method(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn exec_instr(
     program: &Program,
     heap: &mut BuildHeap,
@@ -185,6 +273,7 @@ fn exec_instr(
     ins: &Instr,
     budget: &mut StepBudget,
     depth: usize,
+    sink: &mut Option<EffectSink>,
 ) -> Result<(), ClinitError> {
     let sig = || program.method_signature(method);
     let type_err = |detail: String| ClinitError::TypeMismatch {
@@ -237,12 +326,21 @@ fn exec_instr(
             let o = deref(locals[obj.index()], &sig)?;
             let idx = field_slot(program, heap, o, *fid, &sig)?;
             let v = locals[src.index()];
+            if let Some(s) = sink {
+                s.note_heap_write(o);
+            }
             instance_fields_mut(heap, o)[idx] = v;
         }
         Instr::GetStatic(d, fid) => {
+            if let Some(s) = sink {
+                s.fx.statics_read.insert(*fid);
+            }
             locals[d.index()] = heap.static_value(program, *fid);
         }
         Instr::PutStatic(fid, src) => {
+            if let Some(s) = sink {
+                s.fx.statics_written.insert(*fid);
+            }
             heap.set_static(*fid, locals[src.index()]);
         }
         Instr::ArrayGet(d, arr, idx) => {
@@ -263,6 +361,9 @@ fn exec_instr(
             let o = deref(locals[arr.index()], &sig)?;
             let i = as_int(locals[idx.index()]).ok_or_else(|| type_err("array index".into()))?;
             let v = locals[src.index()];
+            if let Some(s) = sink {
+                s.note_heap_write(o);
+            }
             let elems = array_elems_mut(heap, o, &sig)?;
             let len = elems.len();
             if i < 0 || i as usize >= len {
@@ -328,12 +429,17 @@ fn exec_instr(
                     })?
                 }
             };
-            let ret = exec_method(program, heap, target, argv, budget, depth + 1)?;
+            let ret = exec_method_sunk(program, heap, target, argv, budget, depth + 1, sink)?;
             if let Some(d) = dst {
                 locals[d.index()] = ret.unwrap_or(HValue::Null);
             }
         }
         Instr::Intrinsic { dst, op, args } => {
+            if *op == Intrinsic::Respond {
+                if let Some(s) = sink {
+                    s.fx.io_events += 1;
+                }
+            }
             let v = eval_intrinsic(*op, args.iter().map(|l| locals[l.index()]).collect());
             if let Some(d) = dst {
                 locals[d.index()] = v.unwrap_or(HValue::Null);
@@ -342,7 +448,11 @@ fn exec_instr(
         // Threads cannot be started at image build time; the spawn becomes
         // a recorded no-op, like Native Image rejecting runtime-only
         // operations in initializers that it then defers to run time.
-        Instr::Spawn { .. } => {}
+        Instr::Spawn { .. } => {
+            if let Some(s) = sink {
+                s.fx.spawn_events += 1;
+            }
+        }
     }
     Ok(())
 }

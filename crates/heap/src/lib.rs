@@ -37,9 +37,12 @@ mod clinit;
 mod object;
 mod snapshot;
 
-pub use clinit::{exec_method, run_initializers, ClinitError, StepBudget};
+pub use clinit::{
+    exec_method, run_initializers, run_initializers_logged, ClinitEffects, ClinitError, EffectLog,
+    StepBudget,
+};
 pub use object::{BuildHeap, HObject, HObjectKind, HValue, ObjId};
 pub use snapshot::{
-    snapshot, snapshot_with_threads, HeapBuildConfig, HeapSnapshot, InclusionReason, ParentLink,
-    SnapEntry, SnapshotStats,
+    init_order, snapshot, snapshot_with_threads, HeapBuildConfig, HeapSnapshot, InclusionReason,
+    ParentLink, SnapEntry, SnapshotStats,
 };

@@ -185,11 +185,11 @@ impl HeapSnapshot {
 
 /// Orders the build-time initializers, permuting classes that share a
 /// parallel-initialization group (seeded, deterministic per seed).
-pub(crate) fn init_order(
-    program: &Program,
-    reach: &Reachability,
-    cfg: &HeapBuildConfig,
-) -> Vec<MethodId> {
+///
+/// Public so verification clients (`nimage-verify`'s clinit-purity audit)
+/// can replay the exact initializer order a snapshot used and collect a
+/// dynamic effect log for it.
+pub fn init_order(program: &Program, reach: &Reachability, cfg: &HeapBuildConfig) -> Vec<MethodId> {
     let mut inits = reach.build_time_inits.clone();
     if !cfg.shuffle_parallel_inits {
         return inits;
@@ -557,11 +557,28 @@ fn apply_pea_folding(
         .iter()
         .filter_map(|e| e.parent.map(|(p, _)| p))
         .collect();
+    // Reference in-degree over the snapshot graph (all edges, not just the
+    // first-discovery parent). An object with two inbound references is
+    // *aliased*: folding it would constant-fold one path while the other
+    // still expects a materialized object, so it must never fold. This is
+    // the invariant `nimage-verify`'s PEA-soundness audit re-checks
+    // independently.
+    let mut inbound: HashMap<ObjId, u32> = HashMap::new();
+    for e in &snap.entries {
+        for (_, child) in snap.heap.get(e.obj).references() {
+            if snap.index_of.contains_key(&child) {
+                *inbound.entry(child).or_insert(0) += 1;
+            }
+        }
+    }
     for (i, e) in snap.entries.iter().enumerate() {
         if i < fold_start || e.root.is_some() {
             continue;
         }
         if !matches!(snap.heap.get(e.obj).kind, HObjectKind::Instance { .. }) {
+            continue;
+        }
+        if inbound.get(&e.obj).copied().unwrap_or(0) != 1 {
             continue;
         }
         let divisor = if parents.contains(&e.obj) {

@@ -1,0 +1,147 @@
+//! Control-flow-graph utilities over method bodies.
+//!
+//! Every dataflow client (the `nimage-verify` worklist solver, the
+//! compiler's inliner heuristics) needs the same three derived views of a
+//! [`Method`]: predecessor/successor lists, entry-reachability, and a
+//! reverse post-order for fast fixpoint convergence. [`Cfg`] computes all
+//! of them in one pass so callers stop re-deriving them ad hoc.
+
+use crate::program::Method;
+
+/// Derived control-flow structure of one method body.
+///
+/// Blocks are addressed by their index in `Method::blocks`. Predecessor
+/// edges are recorded only from entry-reachable blocks: an unreachable
+/// block never contributes facts to a dataflow join, matching the lint
+/// policy of analyzing reachable code only.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Per-block predecessors (entry-reachable sources only).
+    pub preds: Vec<Vec<usize>>,
+    /// Per-block successors, straight from the terminator.
+    pub succs: Vec<Vec<usize>>,
+    /// Whether each block is reachable from the entry block.
+    pub reachable: Vec<bool>,
+    /// Entry-reachable blocks in reverse post-order of a depth-first walk
+    /// from the entry block. Forward analyses converge fastest visiting
+    /// blocks in this order; backward analyses use it reversed.
+    pub rpo: Vec<usize>,
+}
+
+impl Cfg {
+    /// Computes the CFG views of `method`. An empty body yields empty
+    /// views.
+    pub fn new(method: &Method) -> Cfg {
+        let n = method.blocks.len();
+        let mut succs: Vec<Vec<usize>> = vec![vec![]; n];
+        for (b, block) in method.blocks.iter().enumerate() {
+            succs[b] = block
+                .terminator
+                .successors()
+                .iter()
+                .map(|s| s.index())
+                .collect();
+        }
+
+        // Iterative DFS from the entry block, recording the post-order.
+        let mut reachable = vec![false; n];
+        let mut post: Vec<usize> = Vec::new();
+        if n > 0 {
+            // (block, next successor index to visit)
+            let mut stack: Vec<(usize, usize)> = vec![(0, 0)];
+            reachable[0] = true;
+            while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+                if let Some(&s) = succs[b].get(*next) {
+                    *next += 1;
+                    if !reachable[s] {
+                        reachable[s] = true;
+                        stack.push((s, 0));
+                    }
+                } else {
+                    post.push(b);
+                    stack.pop();
+                }
+            }
+        }
+        let rpo: Vec<usize> = post.into_iter().rev().collect();
+
+        let mut preds: Vec<Vec<usize>> = vec![vec![]; n];
+        for (b, r) in reachable.iter().enumerate() {
+            if *r {
+                for &s in &succs[b] {
+                    preds[s].push(b);
+                }
+            }
+        }
+
+        Cfg {
+            preds,
+            succs,
+            reachable,
+            rpo,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ProgramBuilder, TypeRef};
+
+    #[test]
+    fn diamond_cfg_views() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("t.C", None);
+        let flag = pb.add_static_field(c, "F", TypeRef::Bool);
+        let main = pb.declare_static(c, "main", &[], None);
+        let mut f = pb.body(main);
+        let cond = f.get_static(flag);
+        let t = f.new_block();
+        let e = f.new_block();
+        let j = f.new_block();
+        f.br(cond, t, e);
+        f.switch_to(t);
+        f.jump(j);
+        f.switch_to(e);
+        f.jump(j);
+        f.switch_to(j);
+        f.ret(None);
+        pb.finish_body(main, f);
+        pb.set_entry(main);
+        let p = pb.build().unwrap();
+        let cfg = Cfg::new(&p.methods()[0]);
+
+        assert_eq!(cfg.succs[0].len(), 2);
+        assert_eq!(cfg.preds[j.index()].len(), 2);
+        assert!(cfg.reachable.iter().all(|&r| r));
+        // RPO starts at the entry and ends at the join.
+        assert_eq!(cfg.rpo.first(), Some(&0));
+        assert_eq!(cfg.rpo.last(), Some(&j.index()));
+        assert_eq!(cfg.rpo.len(), 4);
+    }
+
+    #[test]
+    fn unreachable_block_excluded_from_rpo_and_preds() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("t.C", None);
+        let main = pb.declare_static(c, "main", &[], None);
+        let mut f = pb.body(main);
+        f.ret(None);
+        let island = f.new_block();
+        f.switch_to(island);
+        f.jump(nimage_block(0));
+        pb.finish_body(main, f);
+        pb.set_entry(main);
+        let p = pb.build().unwrap();
+        let cfg = Cfg::new(&p.methods()[0]);
+
+        assert!(!cfg.reachable[island.index()]);
+        assert!(!cfg.rpo.contains(&island.index()));
+        // The island's edge into b0 is not recorded as a predecessor.
+        assert!(cfg.preds[0].is_empty());
+    }
+
+    fn nimage_block(i: u32) -> crate::BlockId {
+        crate::BlockId(i)
+    }
+}

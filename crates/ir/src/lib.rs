@@ -39,12 +39,14 @@
 #![warn(missing_docs)]
 
 mod builder;
+pub mod cfg;
 mod instr;
 mod program;
 mod types;
 mod validate;
 
 pub use builder::{BodyBuilder, ProgramBuilder};
+pub use cfg::Cfg;
 pub use instr::{BinOp, Block, Callee, Instr, Intrinsic, Terminator, UnOp};
 pub use program::{Class, Field, Method, MethodKind, Program, Resource, SelectorId};
 pub use types::{BlockId, ClassId, FieldId, Local, MethodId, TypeRef};

@@ -35,5 +35,5 @@ pub use analyses::{
     HeapOrderProfile, MethodOrderAnalysis, OrderingAnalysis, ReplayError, ReplaySummary,
 };
 pub use ordering::{match_rate, order_cus, order_objects, CodeGranularity};
-pub use quality::{layout_quality, LayoutQuality};
+pub use quality::{layout_quality, matched_object_ratio, LayoutQuality};
 pub use strategies::{assign_global_incremental_ids, assign_ids, HeapStrategy};

@@ -6,7 +6,7 @@
 //! accessed objects sit in a **dense prefix** and the **scatter** — the
 //! number of contiguous accessed runs — is small.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use nimage_heap::{HeapSnapshot, ObjId};
 
@@ -73,6 +73,36 @@ pub fn layout_quality(
         density,
         runs,
     }
+}
+
+/// Fraction of the optimized build's objects whose identity matches the
+/// instrumented build unambiguously.
+///
+/// An object is *matched* only if its id occurs exactly once in the
+/// optimized build **and** exactly once in the instrumented build — a
+/// colliding id group is unusable for cross-build ordering, because the
+/// orderer cannot tell which member the profile meant (Sec. 5's matching
+/// problem). This is the metric behind the ROADMAP's salted-heap-ids
+/// question: salting trades id stability for collision freedom, and this
+/// ratio quantifies whether the trade pays.
+pub fn matched_object_ratio(instrumented_ids: &[u64], optimized_ids: &[u64]) -> f64 {
+    if optimized_ids.is_empty() {
+        return 1.0;
+    }
+    let count = |ids: &[u64]| -> HashMap<u64, u32> {
+        let mut m = HashMap::new();
+        for &v in ids {
+            *m.entry(v).or_insert(0) += 1;
+        }
+        m
+    };
+    let instr = count(instrumented_ids);
+    let opt = count(optimized_ids);
+    let matched = optimized_ids
+        .iter()
+        .filter(|v| opt[v] == 1 && instr.get(v) == Some(&1))
+        .count();
+    matched as f64 / optimized_ids.len() as f64
 }
 
 #[cfg(test)]
@@ -165,6 +195,18 @@ mod tests {
         assert!(packed_q.density > scattered_q.density);
         assert_eq!(packed_q.runs, 1);
         assert_eq!(packed_q.accessed, scattered_q.accessed);
+    }
+
+    #[test]
+    fn matched_ratio_requires_uniqueness_on_both_sides() {
+        // id 1: unique both sides -> matched. id 2: collides in optimized.
+        // id 3: unique in optimized but collides in instrumented.
+        // id 4: only in optimized.
+        let instrumented = [1u64, 2, 3, 3];
+        let optimized = [1u64, 2, 2, 3, 4];
+        let r = matched_object_ratio(&instrumented, &optimized);
+        assert!((r - 0.2).abs() < 1e-9, "ratio {r}");
+        assert_eq!(matched_object_ratio(&[], &[]), 1.0);
     }
 
     #[test]

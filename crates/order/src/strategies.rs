@@ -483,19 +483,9 @@ mod tests {
     fn salting_improves_matched_object_ratio_on_bounce() {
         let (p, snap_prof, snap_opt) = bounce_snapshots();
         let matched_ratio = |strategy: HeapStrategy| -> f64 {
-            let ids_prof = assign_ids(&p, &snap_prof, strategy);
-            let ids_opt = assign_ids(&p, &snap_opt, strategy);
-            let prof_counts = id_multiset(&ids_prof);
-            let opt_counts = id_multiset(&ids_opt);
-            let matched = snap_opt
-                .entries()
-                .iter()
-                .filter(|e| {
-                    let v = ids_opt[&e.obj];
-                    opt_counts[&v] == 1 && prof_counts.get(&v) == Some(&1)
-                })
-                .count();
-            matched as f64 / snap_opt.entries().len() as f64
+            let ids_prof: Vec<u64> = assign_ids(&p, &snap_prof, strategy).into_values().collect();
+            let ids_opt: Vec<u64> = assign_ids(&p, &snap_opt, strategy).into_values().collect();
+            crate::quality::matched_object_ratio(&ids_prof, &ids_opt)
         };
         let plain = matched_ratio(HeapStrategy::HeapPath);
         let salted = matched_ratio(HeapStrategy::HeapPathSalted);

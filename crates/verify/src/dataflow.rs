@@ -1,0 +1,411 @@
+//! A generic worklist solver over join-semilattices.
+//!
+//! Every lint in this crate that reasons about control flow used to carry
+//! its own hand-rolled fixpoint loop. This module factors the machinery
+//! out once: an [`Analysis`] supplies the lattice (a bottom element, a
+//! `join`, and monotone transfer functions over instructions and
+//! terminators) and [`solve`] computes the least fixpoint over a method's
+//! CFG, forward or backward. A call-graph-driven interprocedural driver
+//! ([`solve_interprocedural`]) runs the same worklist idea over
+//! whole-method summaries.
+//!
+//! # Lattice contract
+//!
+//! For termination and soundness the client must guarantee:
+//!
+//! * `join` is commutative, associative and idempotent, and returns `true`
+//!   iff the target fact changed (i.e. grew);
+//! * the fact type has finite height: starting from `bottom`, only
+//!   finitely many joins can return `true`;
+//! * transfer functions are monotone: `a ⊑ b` implies
+//!   `transfer(a) ⊑ transfer(b)`.
+//!
+//! These properties are what the property tests in
+//! `tests/dataflow_prop.rs` exercise on random CFGs.
+
+use std::collections::VecDeque;
+
+use nimage_ir::{Cfg, Instr, Method, MethodId, Terminator};
+
+/// Which way facts propagate through the CFG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow from the entry block along terminator edges; the fact
+    /// *before* a block is the join over its predecessors' exit facts.
+    Forward,
+    /// Facts flow from `Ret` blocks against terminator edges; the fact
+    /// *after* a block is the join over its successors' entry facts.
+    Backward,
+}
+
+/// An intraprocedural dataflow analysis over one method body.
+pub trait Analysis {
+    /// The lattice element propagated through the CFG.
+    type Fact: Clone + PartialEq;
+
+    /// Forward or backward.
+    fn direction(&self) -> Direction;
+
+    /// The boundary fact: the entry-block input for forward analyses, the
+    /// exit fact of `Ret` blocks for backward analyses.
+    fn boundary(&self, method: &Method) -> Self::Fact;
+
+    /// The least lattice element; initial value of every non-boundary
+    /// fact.
+    fn bottom(&self, method: &Method) -> Self::Fact;
+
+    /// Joins `from` into `into`; returns whether `into` changed.
+    fn join(&self, into: &mut Self::Fact, from: &Self::Fact) -> bool;
+
+    /// Applies one instruction to `fact`. For backward analyses the
+    /// instructions of a block are applied in reverse order.
+    fn transfer_instr(&self, instr: &Instr, fact: &mut Self::Fact);
+
+    /// Applies a terminator to `fact`. Defaults to the identity.
+    fn transfer_terminator(&self, term: &Terminator, fact: &mut Self::Fact) {
+        let _ = (term, fact);
+    }
+}
+
+/// The fixpoint of an [`Analysis`]: one fact per block boundary, in
+/// *program order* regardless of analysis direction.
+#[derive(Debug, Clone)]
+pub struct Solution<F> {
+    /// The fact at each block's start (before its first instruction).
+    pub before: Vec<F>,
+    /// The fact at each block's end (after its terminator).
+    pub after: Vec<F>,
+}
+
+/// Runs `analysis` to its least fixpoint over `method`'s CFG.
+///
+/// Unreachable blocks keep `bottom` facts and are never visited; clients
+/// that report per-block findings should skip them (see
+/// [`Cfg::reachable`]).
+pub fn solve<A: Analysis>(analysis: &A, method: &Method) -> Solution<A::Fact> {
+    let cfg = Cfg::new(method);
+    solve_with_cfg(analysis, method, &cfg)
+}
+
+/// [`solve`] with a precomputed [`Cfg`] (callers running several analyses
+/// over the same body share the CFG).
+pub fn solve_with_cfg<A: Analysis>(analysis: &A, method: &Method, cfg: &Cfg) -> Solution<A::Fact> {
+    let n = method.blocks.len();
+    let mut before: Vec<A::Fact> = (0..n).map(|_| analysis.bottom(method)).collect();
+    let mut after: Vec<A::Fact> = (0..n).map(|_| analysis.bottom(method)).collect();
+    if n == 0 {
+        return Solution { before, after };
+    }
+
+    let forward = analysis.direction() == Direction::Forward;
+    // Forward analyses converge fastest in reverse post-order, backward
+    // analyses in post-order.
+    let order: Vec<usize> = if forward {
+        cfg.rpo.clone()
+    } else {
+        cfg.rpo.iter().rev().copied().collect()
+    };
+    let mut queued = vec![false; n];
+    let mut worklist: VecDeque<usize> = VecDeque::with_capacity(order.len());
+    for &b in &order {
+        queued[b] = true;
+        worklist.push_back(b);
+    }
+
+    while let Some(b) = worklist.pop_front() {
+        queued[b] = false;
+        if forward {
+            // Input: the boundary for the entry block, joined with every
+            // predecessor's exit fact (the entry block may be a loop
+            // target).
+            let mut fact = if b == 0 {
+                analysis.boundary(method)
+            } else {
+                analysis.bottom(method)
+            };
+            for &p in &cfg.preds[b] {
+                analysis.join(&mut fact, &after[p]);
+            }
+            before[b] = fact.clone();
+            for instr in &method.blocks[b].instrs {
+                analysis.transfer_instr(instr, &mut fact);
+            }
+            analysis.transfer_terminator(&method.blocks[b].terminator, &mut fact);
+            if fact != after[b] {
+                after[b] = fact;
+                for &s in &cfg.succs[b] {
+                    if cfg.reachable[s] && !queued[s] {
+                        queued[s] = true;
+                        worklist.push_back(s);
+                    }
+                }
+            }
+        } else {
+            // Output: the boundary for exiting blocks, joined with every
+            // successor's entry fact.
+            let term = &method.blocks[b].terminator;
+            let mut fact = if matches!(term, Terminator::Ret(_)) {
+                analysis.boundary(method)
+            } else {
+                analysis.bottom(method)
+            };
+            for &s in &cfg.succs[b] {
+                analysis.join(&mut fact, &before[s]);
+            }
+            after[b] = fact.clone();
+            analysis.transfer_terminator(term, &mut fact);
+            for instr in method.blocks[b].instrs.iter().rev() {
+                analysis.transfer_instr(instr, &mut fact);
+            }
+            if fact != before[b] {
+                before[b] = fact;
+                for &p in &cfg.preds[b] {
+                    if !queued[p] {
+                        queued[p] = true;
+                        worklist.push_back(p);
+                    }
+                }
+            }
+        }
+    }
+
+    Solution { before, after }
+}
+
+/// A whole-method summary usable by the interprocedural driver.
+pub trait SummaryLattice: Clone + PartialEq {
+    /// Joins `other` into `self`; returns whether `self` changed.
+    fn join(&mut self, other: &Self) -> bool;
+}
+
+/// Call-graph-driven interprocedural fixpoint over method summaries.
+///
+/// `locals[m]` is the intraprocedural summary of method `m` (indexed by
+/// `MethodId`); `callees[m]` lists its possible callees. The result is the
+/// least fixpoint of `summary[m] = locals[m] ⊔ ⨆ summary[callees[m]]` —
+/// i.e. each summary absorbs the summaries of everything transitively
+/// callable, with recursion (call-graph cycles) handled by the worklist.
+pub fn solve_interprocedural<S: SummaryLattice>(locals: &[S], callees: &[Vec<MethodId>]) -> Vec<S> {
+    assert_eq!(locals.len(), callees.len());
+    let n = locals.len();
+    let mut summaries: Vec<S> = locals.to_vec();
+
+    let mut callers: Vec<Vec<usize>> = vec![vec![]; n];
+    for (m, cs) in callees.iter().enumerate() {
+        for c in cs {
+            callers[c.index()].push(m);
+        }
+    }
+
+    let mut queued = vec![true; n];
+    let mut worklist: VecDeque<usize> = (0..n).collect();
+    while let Some(m) = worklist.pop_front() {
+        queued[m] = false;
+        let mut changed = false;
+        // Split borrows: take the summary out, fold callees in, put back.
+        let mut s = summaries[m].clone();
+        for c in &callees[m] {
+            changed |= s.join(&summaries[c.index()]);
+        }
+        if changed {
+            summaries[m] = s;
+            for &caller in &callers[m] {
+                if !queued[caller] {
+                    queued[caller] = true;
+                    worklist.push_back(caller);
+                }
+            }
+        }
+    }
+    summaries
+}
+
+/// A dense bitset lattice over the locals (or any small index space) of a
+/// method, with union as join — the workhorse fact of the ported lints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitFact {
+    words: Vec<u64>,
+    bits: usize,
+}
+
+impl BitFact {
+    /// The empty set over `bits` indices (the lattice bottom).
+    pub fn empty(bits: usize) -> BitFact {
+        BitFact {
+            words: vec![0; bits.div_ceil(64)],
+            bits,
+        }
+    }
+
+    /// The full set over `bits` indices (the lattice top).
+    pub fn full(bits: usize) -> BitFact {
+        let mut f = BitFact {
+            words: vec![!0; bits.div_ceil(64)],
+            bits,
+        };
+        f.mask_tail();
+        f
+    }
+
+    fn mask_tail(&mut self) {
+        if !self.bits.is_multiple_of(64) {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << (self.bits % 64)) - 1;
+            }
+        }
+    }
+
+    /// Inserts index `i`.
+    pub fn insert(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Removes index `i`.
+    pub fn remove(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Whether index `i` is set.
+    pub fn contains(&self, i: usize) -> bool {
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Set union; returns whether `self` changed.
+    pub fn union(&mut self, other: &BitFact) -> bool {
+        let mut changed = false;
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            let next = *w | *o;
+            changed |= next != *w;
+            *w = next;
+        }
+        changed
+    }
+
+    /// Whether every index of `self` is also in `other`.
+    pub fn is_subset(&self, other: &BitFact) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(w, o)| w & !o == 0)
+    }
+
+    /// The set indices, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.bits).filter(|&i| self.contains(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimage_ir::{ProgramBuilder, TypeRef};
+
+    /// Forward may-be-unassigned over a loop: the loop variable is
+    /// assigned before the header, so it leaves the may-unassigned set.
+    struct MayUnassigned;
+
+    impl Analysis for MayUnassigned {
+        type Fact = BitFact;
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+        fn boundary(&self, method: &Method) -> BitFact {
+            let mut f = BitFact::full(method.n_locals as usize);
+            for p in 0..method.param_locals() as usize {
+                f.remove(p);
+            }
+            f
+        }
+        fn bottom(&self, method: &Method) -> BitFact {
+            BitFact::empty(method.n_locals as usize)
+        }
+        fn join(&self, into: &mut BitFact, from: &BitFact) -> bool {
+            into.union(from)
+        }
+        fn transfer_instr(&self, instr: &Instr, fact: &mut BitFact) {
+            if let Some(d) = instr.dst() {
+                fact.remove(d.index());
+            }
+        }
+    }
+
+    #[test]
+    fn forward_loop_fixpoint_converges() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("t.C", None);
+        let main = pb.declare_static(c, "main", &[], Some(TypeRef::Int));
+        let mut f = pb.body(main);
+        let acc = f.local();
+        let zero = f.iconst(0);
+        f.assign(acc, zero);
+        let ten = f.iconst(10);
+        f.for_range(zero, ten, |f, i| {
+            let next = f.add(acc, i);
+            f.assign(acc, next);
+        });
+        f.ret(Some(acc));
+        pb.finish_body(main, f);
+        pb.set_entry(main);
+        let p = pb.build().unwrap();
+        let m = &p.methods()[0];
+
+        let sol = solve(&MayUnassigned, m);
+        // At every Ret block, `acc` is definitely assigned.
+        for (b, block) in m.blocks.iter().enumerate() {
+            if matches!(block.terminator, Terminator::Ret(Some(_))) {
+                assert!(
+                    !sol.after[b].contains(acc.index()),
+                    "acc unassigned at b{b}"
+                );
+            }
+        }
+    }
+
+    #[derive(Clone, PartialEq)]
+    struct CountSet(std::collections::BTreeSet<u32>);
+
+    impl SummaryLattice for CountSet {
+        fn join(&mut self, other: &Self) -> bool {
+            let before = self.0.len();
+            self.0.extend(other.0.iter().copied());
+            self.0.len() != before
+        }
+    }
+
+    #[test]
+    fn interprocedural_driver_closes_over_cycles() {
+        // 0 -> 1 -> 2 -> 1 (cycle), 3 isolated.
+        let locals: Vec<CountSet> = (0..4u32)
+            .map(|i| CountSet(std::iter::once(i).collect()))
+            .collect();
+        let callees = vec![
+            vec![MethodId(1)],
+            vec![MethodId(2)],
+            vec![MethodId(1)],
+            vec![],
+        ];
+        let out = solve_interprocedural(&locals, &callees);
+        assert_eq!(out[0].0, [0u32, 1, 2].into_iter().collect());
+        assert_eq!(out[1].0, [1u32, 2].into_iter().collect());
+        assert_eq!(out[2].0, [1u32, 2].into_iter().collect());
+        assert_eq!(out[3].0, std::iter::once(3u32).collect());
+    }
+
+    #[test]
+    fn bitfact_algebra() {
+        let mut a = BitFact::empty(70);
+        a.insert(3);
+        a.insert(69);
+        let mut b = BitFact::empty(70);
+        b.insert(69);
+        assert!(b.is_subset(&a));
+        assert!(!a.is_subset(&b));
+        assert!(b.union(&a));
+        assert!(!b.union(&a)); // idempotent
+        assert_eq!(a, b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![3, 69]);
+        let full = BitFact::full(70);
+        assert!(a.is_subset(&full));
+        assert_eq!(full.iter().count(), 70); // tail word is masked
+    }
+}

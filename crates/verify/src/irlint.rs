@@ -19,112 +19,10 @@
 use std::collections::BTreeSet;
 
 use nimage_analysis::Reachability;
-use nimage_ir::{Callee, Instr, Local, Method, MethodId, MethodKind, Program, Terminator};
+use nimage_ir::{Callee, Cfg, Instr, Local, Method, MethodId, MethodKind, Program, Terminator};
 
+use crate::dataflow::{self, Analysis, BitFact, Direction};
 use crate::Diagnostic;
-
-/// A dense bitset over the locals of one method body.
-#[derive(Clone, PartialEq, Eq)]
-struct LocalSet {
-    words: Vec<u64>,
-}
-
-impl LocalSet {
-    fn empty(n: usize) -> Self {
-        LocalSet {
-            words: vec![0; n.div_ceil(64)],
-        }
-    }
-
-    fn insert(&mut self, i: usize) {
-        self.words[i / 64] |= 1 << (i % 64);
-    }
-
-    fn contains(&self, i: usize) -> bool {
-        self.words[i / 64] >> (i % 64) & 1 == 1
-    }
-}
-
-/// An interleaved arena of equally-sized bitsets: all the dataflow state
-/// of one method (every block's out-set plus the working sets) lives in a
-/// single allocation, indexed by set number — instead of one heap
-/// allocation per block per fixpoint iteration.
-struct BitArena {
-    words: Vec<u64>,
-    stride: usize,
-    /// Valid bits of the last word of each set; ⊤-fills are masked with it
-    /// so set equality stays exact.
-    last_mask: u64,
-}
-
-impl BitArena {
-    fn new(sets: usize, bits: usize) -> Self {
-        BitArena {
-            words: vec![0; sets * bits.div_ceil(64)],
-            stride: bits.div_ceil(64),
-            last_mask: if bits.is_multiple_of(64) {
-                !0
-            } else {
-                (1u64 << (bits % 64)) - 1
-            },
-        }
-    }
-
-    fn range(&self, set: usize) -> std::ops::Range<usize> {
-        set * self.stride..(set + 1) * self.stride
-    }
-
-    fn insert(&mut self, set: usize, bit: usize) {
-        self.words[set * self.stride + bit / 64] |= 1 << (bit % 64);
-    }
-
-    fn contains(&self, set: usize, bit: usize) -> bool {
-        self.words[set * self.stride + bit / 64] >> (bit % 64) & 1 == 1
-    }
-
-    /// Sets every bit of `set` (the lattice ⊤).
-    fn fill(&mut self, set: usize) {
-        let r = self.range(set);
-        self.words[r.clone()].fill(!0);
-        if let Some(last) = self.words[r].last_mut() {
-            *last &= self.last_mask;
-        }
-    }
-
-    fn copy(&mut self, dst: usize, src: usize) {
-        let r = self.range(src);
-        self.words.copy_within(r, dst * self.stride);
-    }
-
-    fn intersect(&mut self, dst: usize, src: usize) {
-        for k in 0..self.stride {
-            self.words[dst * self.stride + k] &= self.words[src * self.stride + k];
-        }
-    }
-
-    fn equals(&self, a: usize, b: usize) -> bool {
-        self.words[self.range(a)] == self.words[self.range(b)]
-    }
-}
-
-/// Blocks reachable from the entry block via terminator successors.
-fn reachable_blocks(m: &Method) -> Vec<bool> {
-    let mut reachable = vec![false; m.blocks.len()];
-    if m.blocks.is_empty() {
-        return reachable;
-    }
-    let mut stack = vec![0usize];
-    reachable[0] = true;
-    while let Some(b) = stack.pop() {
-        for s in m.blocks[b].terminator.successors() {
-            if !reachable[s.index()] {
-                reachable[s.index()] = true;
-                stack.push(s.index());
-            }
-        }
-    }
-    reachable
-}
 
 /// Locals read by a terminator.
 fn terminator_uses(t: &Terminator) -> Option<Local> {
@@ -132,6 +30,82 @@ fn terminator_uses(t: &Terminator) -> Option<Local> {
         Terminator::Ret(l) => *l,
         Terminator::Jump(_) => None,
         Terminator::Br { cond, .. } => Some(*cond),
+    }
+}
+
+/// Forward may-be-unassigned analysis: a local is in the fact if some path
+/// from entry reaches the program point without assigning it. This is the
+/// complement of the classic "definitely assigned" intersection analysis,
+/// phrased as a union lattice so the generic least-fixpoint solver applies
+/// directly.
+struct MayUnassigned;
+
+impl Analysis for MayUnassigned {
+    type Fact = BitFact;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self, m: &Method) -> BitFact {
+        let mut f = BitFact::full(m.n_locals as usize);
+        for p in 0..m.param_locals() as usize {
+            f.remove(p);
+        }
+        f
+    }
+
+    fn bottom(&self, m: &Method) -> BitFact {
+        BitFact::empty(m.n_locals as usize)
+    }
+
+    fn join(&self, into: &mut BitFact, from: &BitFact) -> bool {
+        into.union(from)
+    }
+
+    fn transfer_instr(&self, instr: &Instr, fact: &mut BitFact) {
+        if let Some(d) = instr.dst() {
+            fact.remove(d.index());
+        }
+    }
+}
+
+/// Backward liveness: a local is in the fact if some path from the program
+/// point reads it before any reassignment.
+struct Liveness;
+
+impl Analysis for Liveness {
+    type Fact = BitFact;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn boundary(&self, m: &Method) -> BitFact {
+        BitFact::empty(m.n_locals as usize)
+    }
+
+    fn bottom(&self, m: &Method) -> BitFact {
+        BitFact::empty(m.n_locals as usize)
+    }
+
+    fn join(&self, into: &mut BitFact, from: &BitFact) -> bool {
+        into.union(from)
+    }
+
+    fn transfer_instr(&self, instr: &Instr, fact: &mut BitFact) {
+        if let Some(d) = instr.dst() {
+            fact.remove(d.index());
+        }
+        for src in instr.sources() {
+            fact.insert(src.index());
+        }
+    }
+
+    fn transfer_terminator(&self, term: &Terminator, fact: &mut BitFact) {
+        if let Some(l) = terminator_uses(term) {
+            fact.insert(l.index());
+        }
     }
 }
 
@@ -154,9 +128,9 @@ pub fn lint_method(program: &Program, id: MethodId, m: &Method, out: &mut Vec<Di
         return; // bodyless declaration; ir::validate owns that check
     }
     let sig = program.method_signature(id);
-    let reachable = reachable_blocks(m);
+    let cfg = Cfg::new(m);
 
-    for (b, r) in reachable.iter().enumerate() {
+    for (b, r) in cfg.reachable.iter().enumerate() {
         if !r {
             out.push(Diagnostic::warning(
                 "ir::unreachable-block",
@@ -166,13 +140,13 @@ pub fn lint_method(program: &Program, id: MethodId, m: &Method, out: &mut Vec<Di
         }
     }
 
-    lint_use_before_def(&sig, m, &reachable, out);
+    lint_use_before_def(&sig, m, &cfg, out);
     if m.kind != MethodKind::ClassInit {
-        lint_dead_stores(&sig, m, &reachable, out);
+        lint_dead_stores(&sig, m, &cfg, out);
     }
 
     for (b, block) in m.blocks.iter().enumerate() {
-        if !reachable[b] {
+        if !cfg.reachable[b] {
             continue;
         }
         for (i, instr) in block.instrs.iter().enumerate() {
@@ -194,77 +168,19 @@ pub fn lint_method(program: &Program, id: MethodId, m: &Method, out: &mut Vec<Di
     }
 }
 
-/// Forward "definitely assigned" dataflow (set intersection over
-/// predecessors); a read of a local outside the in-set is an error.
-fn lint_use_before_def(sig: &str, m: &Method, reachable: &[bool], out: &mut Vec<Diagnostic>) {
-    let n = m.n_locals as usize;
-    let nblocks = m.blocks.len();
-
-    let mut preds: Vec<Vec<usize>> = vec![vec![]; nblocks];
-    for (b, block) in m.blocks.iter().enumerate() {
-        if reachable[b] {
-            for s in block.terminator.successors() {
-                preds[s.index()].push(b);
-            }
-        }
-    }
-
-    // Set `b` of the arena is block b's out-set; two extra sets hold the
-    // current in-set being built and the constant entry in-set.
-    let scratch = nblocks;
-    let entry = nblocks + 1;
-    let mut sets = BitArena::new(nblocks + 2, n);
-    for p in 0..m.param_locals() as usize {
-        sets.insert(entry, p);
-    }
-    let mut computed = vec![false; nblocks];
-
-    // Builds block `b`'s in-set into `scratch`: the entry set for b0,
-    // otherwise the intersection over computed predecessors (uncomputed
-    // back-edge predecessors are optimistically ⊤).
-    let in_set_of = |sets: &mut BitArena, computed: &[bool], b: usize| {
-        if b == 0 {
-            sets.copy(scratch, entry);
-        } else {
-            sets.fill(scratch);
-            for &p in &preds[b] {
-                if computed[p] {
-                    sets.intersect(scratch, p);
-                }
-            }
-        }
-    };
-
-    // Fixpoint: out-sets start at ⊤ (uncomputed); intersection only
-    // shrinks, so this terminates at the greatest fixpoint.
-    let mut worklist = vec![0usize];
-    while let Some(b) = worklist.pop() {
-        in_set_of(&mut sets, &computed, b);
-        for instr in &m.blocks[b].instrs {
-            if let Some(d) = instr.dst() {
-                sets.insert(scratch, d.index());
-            }
-        }
-        if !computed[b] || !sets.equals(scratch, b) {
-            sets.copy(b, scratch);
-            computed[b] = true;
-            for s in m.blocks[b].terminator.successors() {
-                if reachable[s.index()] {
-                    worklist.push(s.index());
-                }
-            }
-        }
-    }
-
-    // Reporting pass over the stabilized in-sets, one finding per local.
+/// Use-before-def as a forward [`MayUnassigned`] dataflow on the generic
+/// solver; a read of a local inside the may-unassigned fact is an error,
+/// reported once per local.
+fn lint_use_before_def(sig: &str, m: &Method, cfg: &Cfg, out: &mut Vec<Diagnostic>) {
+    let sol = dataflow::solve_with_cfg(&MayUnassigned, m, cfg);
     let mut reported: BTreeSet<u16> = BTreeSet::new();
     for (b, block) in m.blocks.iter().enumerate() {
-        if !reachable[b] {
+        if !cfg.reachable[b] {
             continue;
         }
-        in_set_of(&mut sets, &computed, b);
-        let mut check = |sets: &BitArena, l: Local, at: String, out: &mut Vec<Diagnostic>| {
-            if !sets.contains(scratch, l.index()) && reported.insert(l.0) {
+        let mut fact = sol.before[b].clone();
+        let mut check = |fact: &BitFact, l: Local, at: String, out: &mut Vec<Diagnostic>| {
+            if fact.contains(l.index()) && reported.insert(l.0) {
                 out.push(Diagnostic::error(
                     "ir::use-before-def",
                     sig,
@@ -274,47 +190,70 @@ fn lint_use_before_def(sig: &str, m: &Method, reachable: &[bool], out: &mut Vec<
         };
         for (i, instr) in block.instrs.iter().enumerate() {
             for src in instr.sources() {
-                check(&sets, src, format!("b{b}[{i}]"), out);
+                check(&fact, src, format!("b{b}[{i}]"), out);
             }
-            if let Some(d) = instr.dst() {
-                sets.insert(scratch, d.index());
-            }
+            MayUnassigned.transfer_instr(instr, &mut fact);
         }
         if let Some(l) = terminator_uses(&block.terminator) {
-            check(&sets, l, format!("b{b}[term]"), out);
+            check(&fact, l, format!("b{b}[term]"), out);
         }
     }
 }
 
-/// Non-parameter locals that are written but never read anywhere in the
-/// reachable body.
-fn lint_dead_stores(sig: &str, m: &Method, reachable: &[bool], out: &mut Vec<Diagnostic>) {
+/// Dead stores via backward [`Liveness`] on the generic solver: a store to
+/// a non-parameter local that no path reads before reassignment or exit.
+/// Reported once per local at its first dead site in program order; the
+/// message distinguishes fully dead locals (never read anywhere) from
+/// stores shadowed by a later reassignment.
+fn lint_dead_stores(sig: &str, m: &Method, cfg: &Cfg, out: &mut Vec<Diagnostic>) {
+    let sol = dataflow::solve_with_cfg(&Liveness, m, cfg);
+
+    // Locals with any reachable read at all, to pick the right message.
     let n = m.n_locals as usize;
-    let mut read = LocalSet::empty(n);
-    let mut written: Vec<Option<(usize, usize)>> = vec![None; n];
+    let mut read_somewhere = BitFact::empty(n);
     for (b, block) in m.blocks.iter().enumerate() {
-        if !reachable[b] {
+        if !cfg.reachable[b] {
             continue;
         }
-        for (i, instr) in block.instrs.iter().enumerate() {
+        for instr in &block.instrs {
             for src in instr.sources() {
-                read.insert(src.index());
-            }
-            if let Some(d) = instr.dst() {
-                written[d.index()].get_or_insert((b, i));
+                read_somewhere.insert(src.index());
             }
         }
         if let Some(l) = terminator_uses(&block.terminator) {
-            read.insert(l.index());
+            read_somewhere.insert(l.index());
         }
     }
-    for (l, site) in written.iter().enumerate() {
-        if let Some((b, i)) = site {
-            if l >= m.param_locals() as usize && !read.contains(l) {
+
+    let mut reported: BTreeSet<u16> = BTreeSet::new();
+    for (b, block) in m.blocks.iter().enumerate() {
+        if !cfg.reachable[b] {
+            continue;
+        }
+        // Walk the block backwards so the fact at each instruction is the
+        // liveness state *after* it.
+        let mut fact = sol.after[b].clone();
+        let mut dead: Vec<(usize, Local)> = vec![];
+        Liveness.transfer_terminator(&block.terminator, &mut fact);
+        for (i, instr) in block.instrs.iter().enumerate().rev() {
+            if let Some(d) = instr.dst() {
+                if d.index() >= m.param_locals() as usize && !fact.contains(d.index()) {
+                    dead.push((i, d));
+                }
+            }
+            Liveness.transfer_instr(instr, &mut fact);
+        }
+        for (i, d) in dead.into_iter().rev() {
+            if reported.insert(d.0) {
+                let why = if read_somewhere.contains(d.index()) {
+                    "overwritten before any read"
+                } else {
+                    "never read"
+                };
                 out.push(Diagnostic::warning(
                     "ir::dead-store",
                     sig,
-                    format!("local l{l} is assigned at b{b}[{i}] but never read"),
+                    format!("local {d} is assigned at b{b}[{i}] but {why}"),
                 ));
             }
         }

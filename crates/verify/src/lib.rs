@@ -20,9 +20,13 @@
 
 use std::fmt;
 
+pub mod dataflow;
 pub mod determinism;
 pub mod irlint;
+pub mod pea;
 pub mod pipeline;
+pub mod purity;
+pub mod reachcheck;
 
 pub use determinism::{
     audit_determinism, audit_profiling_determinism, DeterminismInputs, DeterminismReport,
@@ -119,6 +123,24 @@ pub fn errors_of(diags: &[Diagnostic]) -> Vec<Diagnostic> {
         .collect()
 }
 
+/// Canonicalizes a diagnostic batch for reporting: sorts errors first,
+/// then by code, entity and message, and drops exact duplicates.
+///
+/// Lint families may scan overlapping artifacts (e.g. the same method via
+/// two workload programs) and parallel runners may interleave findings;
+/// normalizing makes `nimage lint` output deterministic across thread
+/// counts and free of repeats.
+pub fn normalize(diags: &mut Vec<Diagnostic>) {
+    diags.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then_with(|| a.code.cmp(b.code))
+            .then_with(|| a.entity.cmp(&b.entity))
+            .then_with(|| a.message.cmp(&b.message))
+    });
+    diags.dedup();
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,6 +148,22 @@ mod tests {
     #[test]
     fn severity_orders_error_above_warning() {
         assert!(Severity::Error > Severity::Warning);
+    }
+
+    #[test]
+    fn normalize_sorts_errors_first_and_dedupes() {
+        let mut diags = vec![
+            Diagnostic::warning("b::code", "y", "w1"),
+            Diagnostic::error("a::code", "x", "e1"),
+            Diagnostic::warning("b::code", "y", "w1"),
+            Diagnostic::error("a::code", "w", "e0"),
+        ];
+        normalize(&mut diags);
+        assert_eq!(diags.len(), 3);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert_eq!(diags[0].entity, "w");
+        assert_eq!(diags[1].entity, "x");
+        assert_eq!(diags[2].severity, Severity::Warning);
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! PEA-soundness audit.
+//!
+//! The optimized build's snapshot stage folds objects out of the image,
+//! modelling partial-escape-analysis scalar replacement (Sec. 2 of the
+//! paper). Folding is only sound for objects that are *single-use and
+//! non-escaping*: exactly one reference in the pre-fold object graph, and
+//! not directly reachable from a root (a static field, interned string or
+//! data-section constant — those are materialized pointers the folded
+//! object would dangle).
+//!
+//! This audit re-derives that property *independently* of the folding
+//! pass: it reconstructs the pre-fold object graph (surviving entries ∪
+//! folded objects), counts every inbound reference, and flags any folded
+//! object the count disproves. A fold whose receiver can alias a
+//! root-reachable object would silently corrupt profile/optimized object
+//! matching — the failure mode the paper's Sec. 5 matching pipeline
+//! assumes away.
+
+use std::collections::HashMap;
+
+use nimage_heap::{HeapSnapshot, ObjId};
+use nimage_ir::Program;
+
+use crate::Diagnostic;
+
+/// Audits every folded object of `snap` for single-use non-escaping-ness.
+///
+/// Emitted codes (all errors):
+///
+/// * `pea::folded-entry` — an object is marked folded but still present in
+///   the surviving entry list (corrupt snapshot bookkeeping);
+/// * `pea::folded-root` — a folded object had no inbound reference from
+///   the pre-fold graph, i.e. it was reachable only as a root;
+/// * `pea::aliased-fold` — a folded object had more than one inbound
+///   reference, so a second, unfolded path still expects it.
+pub fn check_pea_soundness(program: &Program, snap: &HeapSnapshot) -> Vec<Diagnostic> {
+    let mut out = vec![];
+    if snap.folded().is_empty() {
+        return out;
+    }
+
+    // The pre-fold object population: everything surviving plus everything
+    // folded. Inbound reference counts are taken over this whole graph —
+    // a reference from a folded parent still counted at fold-decision
+    // time.
+    let mut pre_fold: HashMap<ObjId, bool> = HashMap::new(); // obj -> is_root
+    for e in snap.entries() {
+        pre_fold.insert(e.obj, e.root.is_some());
+    }
+    for &o in snap.folded() {
+        // Folded objects were non-root entries by construction; if one is
+        // *also* still listed, the snapshot is inconsistent.
+        pre_fold.entry(o).or_insert(false);
+    }
+
+    let mut inbound: HashMap<ObjId, u32> = HashMap::new();
+    for &o in pre_fold.keys() {
+        for (_, child) in snap.heap().get(o).references() {
+            if pre_fold.contains_key(&child) {
+                *inbound.entry(child).or_insert(0) += 1;
+            }
+        }
+    }
+
+    let mut folded: Vec<ObjId> = snap.folded().iter().copied().collect();
+    folded.sort_unstable();
+    for o in folded {
+        let entity = format!("obj#{} ({})", o.0, snap.heap().get(o).type_name(program));
+        if snap.index_of(o).is_some() {
+            out.push(Diagnostic::error(
+                "pea::folded-entry",
+                &entity,
+                "object is marked folded but still present in the snapshot entries",
+            ));
+            continue;
+        }
+        match inbound.get(&o).copied().unwrap_or(0) {
+            0 => out.push(Diagnostic::error(
+                "pea::folded-root",
+                &entity,
+                "folded object has no inbound reference: it was reachable only as a root, \
+                 so folding removed a materialized pointer target",
+            )),
+            1 => {}
+            n => out.push(Diagnostic::error(
+                "pea::aliased-fold",
+                &entity,
+                format!(
+                    "folded object has {n} inbound references in the pre-fold graph; \
+                     folding is only sound for single-use objects"
+                ),
+            )),
+        }
+    }
+    out
+}

@@ -1,0 +1,386 @@
+//! Property tests for the worklist dataflow solver: the lattice contract
+//! (join algebra, monotone transfers) and the solver's fixpoint guarantee
+//! on randomly generated structured CFGs, plus the interprocedural
+//! driver's closure property on random call graphs.
+
+use proptest::prelude::*;
+
+use nimage_ir::{
+    BodyBuilder, Cfg, Instr, Local, Method, MethodId, Program, ProgramBuilder, Terminator, TypeRef,
+};
+use nimage_verify::dataflow::{
+    solve, solve_interprocedural, Analysis, BitFact, Direction, SummaryLattice,
+};
+
+// ---------------------------------------------------------------------------
+// Random structured CFGs (same shape family as the IR builder's own
+// property tests: sequences, ifs and bounded loops over an accumulator).
+
+#[derive(Debug, Clone)]
+enum Stmt {
+    AddConst(i8),
+    If(Vec<Stmt>, Vec<Stmt>),
+    Loop(u8, Vec<Stmt>),
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Vec<Stmt>> {
+    let leaf = any::<i8>().prop_map(Stmt::AddConst);
+    let stmt = leaf.prop_recursive(3, 24, 4, |inner| {
+        let block = proptest::collection::vec(inner.clone(), 0..4);
+        prop_oneof![
+            (block.clone(), block.clone()).prop_map(|(t, e)| Stmt::If(t, e)),
+            (1u8..4, block).prop_map(|(n, b)| Stmt::Loop(n, b)),
+        ]
+    });
+    proptest::collection::vec(stmt, 0..6)
+}
+
+fn emit(f: &mut BodyBuilder, acc: Local, stmts: &[Stmt]) {
+    for s in stmts {
+        match s {
+            Stmt::AddConst(c) => {
+                let v = f.iconst(i64::from(*c));
+                let n = f.add(acc, v);
+                f.assign(acc, n);
+            }
+            Stmt::If(t, e) => {
+                let zero = f.iconst(0);
+                let cond = f.ge(acc, zero);
+                f.if_then_else(cond, |f| emit(f, acc, t), |f| emit(f, acc, e));
+            }
+            Stmt::Loop(n, b) => {
+                let from = f.iconst(0);
+                let to = f.iconst(i64::from(*n));
+                f.for_range(from, to, |f, _i| emit(f, acc, b));
+            }
+        }
+    }
+}
+
+fn build(stmts: &[Stmt]) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let c = pb.add_class("prop.P", None);
+    let m = pb.declare_static(c, "main", &[], Some(TypeRef::Int));
+    let mut f = pb.body(m);
+    let acc = f.iconst(0);
+    emit(&mut f, acc, stmts);
+    f.ret(Some(acc));
+    pb.finish_body(m, f);
+    pb.set_entry(m);
+    pb.build().expect("structured builders always validate")
+}
+
+// ---------------------------------------------------------------------------
+// Two reference analyses exercising both directions.
+
+/// Forward may-be-unassigned (union lattice over locals).
+struct MayUnassigned;
+
+impl Analysis for MayUnassigned {
+    type Fact = BitFact;
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+    fn boundary(&self, method: &Method) -> BitFact {
+        let mut f = BitFact::full(method.n_locals as usize);
+        for p in 0..method.param_locals() as usize {
+            f.remove(p);
+        }
+        f
+    }
+    fn bottom(&self, method: &Method) -> BitFact {
+        BitFact::empty(method.n_locals as usize)
+    }
+    fn join(&self, into: &mut BitFact, from: &BitFact) -> bool {
+        into.union(from)
+    }
+    fn transfer_instr(&self, instr: &Instr, fact: &mut BitFact) {
+        if let Some(d) = instr.dst() {
+            fact.remove(d.index());
+        }
+    }
+}
+
+/// Backward liveness (union lattice over locals).
+struct Liveness;
+
+fn terminator_use(t: &Terminator) -> Option<Local> {
+    match t {
+        Terminator::Ret(l) => *l,
+        Terminator::Br { cond, .. } => Some(*cond),
+        _ => None,
+    }
+}
+
+impl Analysis for Liveness {
+    type Fact = BitFact;
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+    fn boundary(&self, method: &Method) -> BitFact {
+        BitFact::empty(method.n_locals as usize)
+    }
+    fn bottom(&self, method: &Method) -> BitFact {
+        BitFact::empty(method.n_locals as usize)
+    }
+    fn join(&self, into: &mut BitFact, from: &BitFact) -> bool {
+        into.union(from)
+    }
+    fn transfer_instr(&self, instr: &Instr, fact: &mut BitFact) {
+        if let Some(d) = instr.dst() {
+            fact.remove(d.index());
+        }
+        for s in instr.sources() {
+            fact.insert(s.index());
+        }
+    }
+    fn transfer_terminator(&self, term: &Terminator, fact: &mut BitFact) {
+        if let Some(l) = terminator_use(term) {
+            fact.insert(l.index());
+        }
+    }
+}
+
+/// Applies a whole block's transfer in the analysis direction.
+fn block_transfer<A: Analysis>(a: &A, m: &Method, b: usize, fact: &mut A::Fact) {
+    match a.direction() {
+        Direction::Forward => {
+            for i in &m.blocks[b].instrs {
+                a.transfer_instr(i, fact);
+            }
+            a.transfer_terminator(&m.blocks[b].terminator, fact);
+        }
+        Direction::Backward => {
+            a.transfer_terminator(&m.blocks[b].terminator, fact);
+            for i in m.blocks[b].instrs.iter().rev() {
+                a.transfer_instr(i, fact);
+            }
+        }
+    }
+}
+
+/// Checks that a solution satisfies the dataflow equations — i.e. it is a
+/// genuine fixpoint, not just whatever state the worklist stopped in.
+fn assert_is_fixpoint<A: Analysis<Fact = BitFact>>(a: &A, m: &Method) {
+    let cfg = Cfg::new(m);
+    let sol = solve(a, m);
+    for b in 0..m.blocks.len() {
+        if !cfg.reachable[b] {
+            continue;
+        }
+        match a.direction() {
+            Direction::Forward => {
+                let mut expect = if b == 0 { a.boundary(m) } else { a.bottom(m) };
+                for &p in &cfg.preds[b] {
+                    a.join(&mut expect, &sol.after[p]);
+                }
+                assert_eq!(sol.before[b], expect, "before[{b}] violates the equations");
+                let mut out = sol.before[b].clone();
+                block_transfer(a, m, b, &mut out);
+                assert_eq!(sol.after[b], out, "after[{b}] is not transfer(before[{b}])");
+            }
+            Direction::Backward => {
+                let mut expect = if matches!(m.blocks[b].terminator, Terminator::Ret(_)) {
+                    a.boundary(m)
+                } else {
+                    a.bottom(m)
+                };
+                for &s in &cfg.succs[b] {
+                    a.join(&mut expect, &sol.before[s]);
+                }
+                assert_eq!(sol.after[b], expect, "after[{b}] violates the equations");
+                let mut out = sol.after[b].clone();
+                block_transfer(a, m, b, &mut out);
+                assert_eq!(
+                    sol.before[b], out,
+                    "before[{b}] is not transfer(after[{b}])"
+                );
+            }
+        }
+    }
+}
+
+/// A naive reference solver: round-robin over all blocks until nothing
+/// changes. Same equations, no worklist — the solver must agree with it.
+fn naive_solve<A: Analysis<Fact = BitFact>>(a: &A, m: &Method) -> Vec<BitFact> {
+    let cfg = Cfg::new(m);
+    let n = m.blocks.len();
+    let mut before: Vec<BitFact> = (0..n).map(|_| a.bottom(m)).collect();
+    let mut after: Vec<BitFact> = (0..n).map(|_| a.bottom(m)).collect();
+    loop {
+        let mut changed = false;
+        for b in 0..n {
+            if !cfg.reachable[b] {
+                continue;
+            }
+            match a.direction() {
+                Direction::Forward => {
+                    let mut fact = if b == 0 { a.boundary(m) } else { a.bottom(m) };
+                    for &p in &cfg.preds[b] {
+                        a.join(&mut fact, &after[p]);
+                    }
+                    before[b] = fact.clone();
+                    block_transfer(a, m, b, &mut fact);
+                    if fact != after[b] {
+                        after[b] = fact;
+                        changed = true;
+                    }
+                }
+                Direction::Backward => {
+                    let mut fact = if matches!(m.blocks[b].terminator, Terminator::Ret(_)) {
+                        a.boundary(m)
+                    } else {
+                        a.bottom(m)
+                    };
+                    for &s in &cfg.succs[b] {
+                        a.join(&mut fact, &before[s]);
+                    }
+                    after[b] = fact.clone();
+                    block_transfer(a, m, b, &mut fact);
+                    if fact != before[b] {
+                        before[b] = fact;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    match a.direction() {
+        Direction::Forward => after,
+        Direction::Backward => before,
+    }
+}
+
+fn bitfact_of(bits: &[bool]) -> BitFact {
+    let mut f = BitFact::empty(bits.len());
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            f.insert(i);
+        }
+    }
+    f
+}
+
+proptest! {
+    /// Union join is commutative, associative and idempotent.
+    #[test]
+    fn join_is_commutative_associative_idempotent(
+        a in proptest::collection::vec(any::<bool>(), 130),
+        b in proptest::collection::vec(any::<bool>(), 130),
+        c in proptest::collection::vec(any::<bool>(), 130),
+    ) {
+        let (fa, fb, fc) = (bitfact_of(&a), bitfact_of(&b), bitfact_of(&c));
+        // a ∪ b == b ∪ a
+        let mut ab = fa.clone();
+        ab.union(&fb);
+        let mut ba = fb.clone();
+        ba.union(&fa);
+        prop_assert_eq!(&ab, &ba);
+        // (a ∪ b) ∪ c == a ∪ (b ∪ c)
+        let mut abc1 = ab.clone();
+        abc1.union(&fc);
+        let mut bc = fb.clone();
+        bc.union(&fc);
+        let mut abc2 = fa.clone();
+        abc2.union(&bc);
+        prop_assert_eq!(&abc1, &abc2);
+        // a ∪ a == a, and the join reports no change.
+        let mut aa = fa.clone();
+        prop_assert!(!aa.union(&fa));
+        prop_assert_eq!(&aa, &fa);
+    }
+
+    /// The lints' transfer functions are monotone: a ⊆ b implies
+    /// transfer(a) ⊆ transfer(b), blockwise, on random bodies.
+    #[test]
+    fn transfers_are_monotone(stmts in stmt_strategy(), mask in proptest::collection::vec(any::<bool>(), 200)) {
+        let p = build(&stmts);
+        let m = &p.methods()[0];
+        let n = m.n_locals as usize;
+        // b = random set, a = b minus some random bits → a ⊆ b.
+        let big = bitfact_of(&mask[..n.min(mask.len())]);
+        let mut big_padded = BitFact::empty(n);
+        big_padded.union(&big);
+        let mut small = big_padded.clone();
+        for i in (0..n).step_by(3) {
+            small.remove(i);
+        }
+        for b in 0..m.blocks.len() {
+            let (mut sa, mut sb) = (small.clone(), big_padded.clone());
+            block_transfer(&MayUnassigned, m, b, &mut sa);
+            block_transfer(&MayUnassigned, m, b, &mut sb);
+            prop_assert!(sa.is_subset(&sb), "forward transfer not monotone at b{b}");
+            let (mut la, mut lb) = (small.clone(), big_padded.clone());
+            block_transfer(&Liveness, m, b, &mut la);
+            block_transfer(&Liveness, m, b, &mut lb);
+            prop_assert!(la.is_subset(&lb), "backward transfer not monotone at b{b}");
+        }
+    }
+
+    /// The worklist solver terminates on random CFGs and lands on a real
+    /// fixpoint of the dataflow equations, in both directions.
+    #[test]
+    fn solver_reaches_a_fixpoint(stmts in stmt_strategy()) {
+        let p = build(&stmts);
+        let m = &p.methods()[0];
+        assert_is_fixpoint(&MayUnassigned, m);
+        assert_is_fixpoint(&Liveness, m);
+    }
+
+    /// The worklist solver agrees with a naive round-robin solver — same
+    /// least fixpoint regardless of iteration order.
+    #[test]
+    fn solver_matches_naive_round_robin(stmts in stmt_strategy()) {
+        let p = build(&stmts);
+        let m = &p.methods()[0];
+        let sol = solve(&MayUnassigned, m);
+        prop_assert_eq!(sol.after, naive_solve(&MayUnassigned, m));
+        let sol = solve(&Liveness, m);
+        prop_assert_eq!(sol.before, naive_solve(&Liveness, m));
+    }
+
+    /// The interprocedural driver computes the transitive closure:
+    /// summary[m] ⊇ locals[m], ⊇ every callee's summary, and equals the
+    /// union of locals over the transitively callable set.
+    #[test]
+    fn interprocedural_summaries_close_over_random_graphs(
+        edges in proptest::collection::vec((0usize..12, 0usize..12), 0..40),
+    ) {
+        #[derive(Clone, PartialEq, Debug)]
+        struct Set(std::collections::BTreeSet<u32>);
+        impl SummaryLattice for Set {
+            fn join(&mut self, other: &Self) -> bool {
+                let before = self.0.len();
+                self.0.extend(other.0.iter().copied());
+                self.0.len() != before
+            }
+        }
+        let n = 12usize;
+        let mut callees: Vec<Vec<MethodId>> = vec![vec![]; n];
+        for &(a, b) in &edges {
+            callees[a].push(MethodId(b as u32));
+        }
+        let locals: Vec<Set> = (0..n as u32).map(|i| Set(std::iter::once(i).collect())).collect();
+        let out = solve_interprocedural(&locals, &callees);
+        // Reference: DFS transitive closure.
+        for m in 0..n {
+            let mut seen = vec![false; n];
+            let mut stack = vec![m];
+            while let Some(v) = stack.pop() {
+                if std::mem::replace(&mut seen[v], true) {
+                    continue;
+                }
+                stack.extend(callees[v].iter().map(|c| c.index()).filter(|&c| !seen[c]));
+            }
+            let expect: std::collections::BTreeSet<u32> =
+                (0..n).filter(|&v| seen[v]).map(|v| v as u32).collect();
+            prop_assert_eq!(&out[m].0, &expect, "summary[{}] is not the closure", m);
+            for c in &callees[m] {
+                prop_assert!(out[c.index()].0.is_subset(&out[m].0));
+            }
+        }
+    }
+}
