@@ -1,0 +1,90 @@
+//! Criterion microbench of interpreter dispatch: the pre-lowered
+//! execution engine vs the legacy tree-walking interpreter
+//! (DESIGN.md §11), on the same built image.
+//!
+//! Three views:
+//! - `dispatch/{legacy,lowered}` — a full `run_image` per iteration,
+//!   including per-VM setup (the lowered engine pays lowering here when
+//!   no shared `LoweredProgram` is supplied).
+//! - `dispatch/lowered_shared` — the engine's steady state: one
+//!   `Arc<LoweredProgram>` + `Arc<HeapTemplate>` built up front and
+//!   shared across iterations, so the measured cost is pure step-loop
+//!   dispatch. This is the configuration the eval matrix runs in.
+//! - `lowering/build` — the one-time lowering pass itself.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nimage_compiler::InstrumentConfig;
+use nimage_core::{BuildOptions, Parallelism, Pipeline};
+use nimage_vm::{ExecMode, HeapTemplate, LoweredProgram, StopWhen};
+use nimage_workloads::{Awfy, RuntimeScale};
+
+fn opts(exec: ExecMode) -> BuildOptions {
+    let mut o = BuildOptions {
+        threads: Parallelism::threads(1),
+        ..BuildOptions::default()
+    };
+    o.vm.exec = exec;
+    o
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let program = Awfy::Bounce.program_at(&RuntimeScale::small());
+    for exec in [ExecMode::Legacy, ExecMode::Lowered] {
+        let p = Pipeline::new(&program, opts(exec));
+        let built = p.build_instrumented(InstrumentConfig::NONE).unwrap();
+        let name = match exec {
+            ExecMode::Legacy => "dispatch/legacy",
+            ExecMode::Lowered => "dispatch/lowered",
+        };
+        c.bench_function(name, |b| {
+            b.iter(|| {
+                p.run_image(std::hint::black_box(&built), StopWhen::Exit)
+                    .unwrap()
+            })
+        });
+    }
+
+    // Steady state: lowering and heap materialization amortized away.
+    let p = Pipeline::new(&program, opts(ExecMode::Lowered));
+    let built = p.build_instrumented(InstrumentConfig::NONE).unwrap();
+    let template = Arc::new(HeapTemplate::from_build_heap(built.snapshot.heap()));
+    let lowered = Arc::new(LoweredProgram::build(
+        &program,
+        &built.compiled,
+        opts(ExecMode::Lowered).vm.max_paths,
+    ));
+    c.bench_function("dispatch/lowered_shared", |b| {
+        b.iter(|| {
+            p.run_parts_shared(
+                std::hint::black_box(&built.compiled),
+                &built.snapshot,
+                &built.image,
+                Some(template.clone()),
+                Some(lowered.clone()),
+                StopWhen::Exit,
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_lowering(c: &mut Criterion) {
+    let program = Awfy::Bounce.program_at(&RuntimeScale::small());
+    let o = opts(ExecMode::Lowered);
+    let p = Pipeline::new(&program, o.clone());
+    let built = p.build_instrumented(InstrumentConfig::NONE).unwrap();
+    c.bench_function("lowering/build", |b| {
+        b.iter(|| {
+            LoweredProgram::build(
+                std::hint::black_box(&program),
+                &built.compiled,
+                o.vm.max_paths,
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_dispatch, bench_lowering);
+criterion_main!(benches);

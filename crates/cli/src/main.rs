@@ -419,12 +419,13 @@ fn cmd_bench(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     println!("  stage speedups (1 → {n_workers} threads):");
     for s in &stages {
         println!(
-            "    {:<9} {:>8.1} ms → {:>8.1} ms  ({:.2}x, {})",
+            "    {:<9} {:>8.1} ms → {:>8.1} ms  ({:.2}x, {}{})",
             s.name,
             s.serial_ns as f64 / 1e6,
             s.parallel_ns as f64 / 1e6,
             s.speedup(),
-            if s.identical { "identical" } else { "DIFFER" }
+            if s.identical { "identical" } else { "DIFFER" },
+            if s.engaged { "" } else { ", serial cutoff" }
         );
     }
     println!("  matched-object ratio (instrumented → optimized):");
@@ -471,17 +472,32 @@ struct StageBench {
     parallel_ns: u64,
     /// Whether the parallel artifact is bit-identical to the serial one.
     identical: bool,
+    /// Whether the stage's fan-out actually engaged at the measured
+    /// thread count — its work size reached the stage's
+    /// `nimage_par::cutoff` threshold. Below the cutoff the "parallel"
+    /// configuration takes the serial code path by construction, so the
+    /// row reports `serial_ns` for both arms (speedup exactly 1.0)
+    /// instead of re-measuring the identical code and reporting noise.
+    engaged: bool,
 }
 
 impl StageBench {
     fn speedup(&self) -> f64 {
         self.serial_ns as f64 / self.parallel_ns.max(1) as f64
     }
+
+    /// Collapses a non-engaged row to speedup 1.0 (see [`StageBench::engaged`]).
+    fn normalized(mut self) -> StageBench {
+        if !self.engaged {
+            self.parallel_ns = self.serial_ns;
+        }
+        self
+    }
 }
 
-/// Times `compile_stage`, `snapshot_stage` and `post_process` (trace
-/// replay) on one thread and on `n_workers` threads, asserting the merged
-/// results are identical.
+/// Times `compile_stage`, `snapshot_stage`, `post_process` (trace replay)
+/// and the measured VM runs on one thread and on `n_workers` threads,
+/// asserting the merged results are identical.
 fn stage_speedups(
     program: &nimage_ir::Program,
     workload: &Workload,
@@ -500,18 +516,32 @@ fn stage_speedups(
     let mut out = Vec::new();
 
     let reach = ps.analyze_stage();
+    // A stage is "engaged" when the parallel arm actually ran with more
+    // than one worker: cutoff-gated on the work size and capped at the
+    // host's parallelism, exactly as `workers_for` resolves it inside
+    // the stage.
+    let engaged =
+        |work: usize, min_work: usize| nimage_par::workers_for(n_workers, work, min_work) > 1;
+    let compile_engaged = engaged(
+        nimage_compiler::initial_roots(program, &reach).len(),
+        nimage_par::cutoff::COMPILE_MIN_ROOTS,
+    );
     let t = Instant::now();
     let cs = ps.compile_stage(reach.clone(), instr, None);
     let compile_serial = t.elapsed().as_nanos() as u64;
     let t = Instant::now();
-    let cp = pp.compile_stage(reach, instr, None);
+    let cp = pp.compile_stage(reach.clone(), instr, None);
     let compile_parallel = t.elapsed().as_nanos() as u64;
-    out.push(StageBench {
-        name: "compile",
-        serial_ns: compile_serial,
-        parallel_ns: compile_parallel,
-        identical: format!("{:?}", cs.cus) == format!("{:?}", cp.cus),
-    });
+    out.push(
+        StageBench {
+            name: "compile",
+            serial_ns: compile_serial,
+            parallel_ns: compile_parallel,
+            identical: format!("{:?}", cs.cus) == format!("{:?}", cp.cus),
+            engaged: compile_engaged,
+        }
+        .normalized(),
+    );
 
     let t = Instant::now();
     let ss = ps.snapshot_stage(&cs, &serial_opts.heap_instrumented)?;
@@ -519,17 +549,26 @@ fn stage_speedups(
     let t = Instant::now();
     let sp = pp.snapshot_stage(&cs, &serial_opts.heap_instrumented)?;
     let snap_parallel = t.elapsed().as_nanos() as u64;
-    out.push(StageBench {
-        name: "snapshot",
-        serial_ns: snap_serial,
-        parallel_ns: snap_parallel,
-        identical: format!("{:?}", ss.entries()) == format!("{:?}", sp.entries()),
-    });
+    let snap_roots: usize = ss.stats().roots.iter().sum();
+    out.push(
+        StageBench {
+            name: "snapshot",
+            serial_ns: snap_serial,
+            parallel_ns: snap_parallel,
+            identical: format!("{:?}", ss.entries()) == format!("{:?}", sp.entries()),
+            engaged: engaged(snap_roots, nimage_par::cutoff::SNAPSHOT_MIN_ROOTS),
+        }
+        .normalized(),
+    );
 
     // Replay needs a trace: build and run the instrumented image once,
     // then post-process the same report serially and in parallel.
     let image = ps.layout_stage(&cs, &ss, None, None, None)?;
     let report = ps.run_parts(&cs, &ss, &image, None, stop)?;
+    let trace_records: usize = report
+        .trace
+        .as_ref()
+        .map_or(0, |t| t.threads.iter().map(Vec::len).sum());
     let t = Instant::now();
     let a = ps.post_process(report.clone(), &mut |hs| {
         Arc::new(nimage_order::assign_ids(program, &ss, hs))
@@ -540,14 +579,72 @@ fn stage_speedups(
         Arc::new(nimage_order::assign_ids(program, &ss, hs))
     })?;
     let replay_parallel = t.elapsed().as_nanos() as u64;
-    out.push(StageBench {
-        name: "replay",
-        serial_ns: replay_serial,
-        parallel_ns: replay_parallel,
-        identical: a.cu_profile == b.cu_profile
-            && a.method_profile == b.method_profile
-            && a.heap_profiles == b.heap_profiles,
-    });
+    out.push(
+        StageBench {
+            name: "replay",
+            serial_ns: replay_serial,
+            parallel_ns: replay_parallel,
+            identical: a.cu_profile == b.cu_profile
+                && a.method_profile == b.method_profile
+                && a.heap_profiles == b.heap_profiles,
+            engaged: engaged(trace_records, nimage_par::cutoff::REPLAY_MIN_RECORDS),
+        }
+        .normalized(),
+    );
+
+    // The measured VM runs: one evaluation of this workload runs the
+    // uninstrumented build once per strategy plus the baseline. Serial
+    // reference runs them one after another; the sharded arm fans the
+    // same runs out over `parallel_map`, sharing the pre-lowered program
+    // and the materialized snapshot heap via `Arc` exactly like
+    // `Engine::evaluate_matrix` does across cells.
+    let n_runs = Strategy::all().len();
+    let cn = ps.compile_stage(reach, nimage_compiler::InstrumentConfig::NONE, None);
+    let sn = ps.snapshot_stage(&cn, &serial_opts.heap_optimized)?;
+    let img = ps.layout_stage(&cn, &sn, None, None, None)?;
+    let template = Arc::new(nimage_vm::HeapTemplate::from_build_heap(sn.heap()));
+    let lowered = Arc::new(nimage_vm::LoweredProgram::build(
+        program,
+        &cn,
+        serial_opts.vm.max_paths,
+    ));
+    let run_one = |p: &Pipeline<'_>| {
+        p.run_parts_shared(
+            &cn,
+            &sn,
+            &img,
+            Some(template.clone()),
+            Some(lowered.clone()),
+            stop,
+        )
+    };
+    let t = Instant::now();
+    let mut serial_runs = Vec::with_capacity(n_runs);
+    for _ in 0..n_runs {
+        serial_runs.push(run_one(&ps)?);
+    }
+    let run_serial = t.elapsed().as_nanos() as u64;
+    let t = Instant::now();
+    let run_workers = nimage_par::workers_for(n_workers, n_runs, nimage_par::cutoff::RUN_MIN_CELLS);
+    let par_runs = nimage_par::parallel_map(run_workers, n_runs, |_| run_one(&pp));
+    let run_parallel = t.elapsed().as_nanos() as u64;
+    let mut runs_identical = true;
+    for (s, p) in serial_runs.iter().zip(&par_runs) {
+        match p {
+            Ok(p) => runs_identical &= format!("{s:?}") == format!("{p:?}"),
+            Err(_) => runs_identical = false,
+        }
+    }
+    out.push(
+        StageBench {
+            name: "run",
+            serial_ns: run_serial,
+            parallel_ns: run_parallel,
+            identical: runs_identical,
+            engaged: run_workers > 1,
+        }
+        .normalized(),
+    );
     Ok(out)
 }
 
@@ -611,12 +708,13 @@ fn bench_json(
         .iter()
         .map(|s| {
             format!(
-                "    \"{}\": {{\"serial_ns\": {}, \"parallel_ns\": {}, \"speedup\": {:.4}, \"identical\": {}}}",
+                "    \"{}\": {{\"serial_ns\": {}, \"parallel_ns\": {}, \"speedup\": {:.4}, \"identical\": {}, \"engaged\": {}}}",
                 s.name,
                 s.serial_ns,
                 s.parallel_ns,
                 s.speedup(),
-                s.identical
+                s.identical,
+                s.engaged
             )
         })
         .collect();

@@ -85,8 +85,8 @@ pub fn compile_with_threads(
     profile: Option<&CallCountProfile>,
     n_threads: usize,
 ) -> CompiledProgram {
-    let mut frontier: Vec<MethodId> = vec![];
     let mut root_seen: HashSet<MethodId> = HashSet::new();
+    let mut frontier = initial_roots_impl(program, &reachability, &mut root_seen);
 
     let push_root = |m: MethodId, frontier: &mut Vec<MethodId>, seen: &mut HashSet<MethodId>| {
         if seen.insert(m) {
@@ -94,35 +94,19 @@ pub fn compile_with_threads(
         }
     };
 
-    // Mandatory roots: the entry point, spawn targets and every target of a
-    // polymorphic virtual call (those are reached through the vtable and can
-    // never be fully inlined away).
-    if let Some(e) = program.entry {
-        push_root(e, &mut frontier, &mut root_seen);
-    }
-    for &m in &reachability.methods {
-        for b in &program.method(m).blocks {
-            for i in &b.instrs {
-                if let Instr::Spawn { method, .. } = i {
-                    push_root(*method, &mut frontier, &mut root_seen);
-                }
-            }
-        }
-    }
-    for targets in reachability.virtual_targets.values() {
-        if targets.len() != 1 {
-            for &t in targets {
-                push_root(t, &mut frontier, &mut root_seen);
-            }
-        }
-    }
-
     // Build CUs wave by wave; every call that is not inlined makes its
     // target a root of the next wave. Within a wave the CUs are
     // independent and fan out over the worker pool.
     let mut built: Vec<CompilationUnit> = vec![];
     while !frontier.is_empty() {
-        let wave = parallel_map(n_threads, frontier.len(), |i| {
+        // Small waves (every workload's tail waves) don't amortize the
+        // fan-out; fall back to the serial path below the measured cutoff.
+        let workers = nimage_par::workers_for(
+            n_threads,
+            frontier.len(),
+            nimage_par::cutoff::COMPILE_MIN_ROOTS,
+        );
+        let wave = parallel_map(workers, frontier.len(), |i| {
             build_cu(
                 program,
                 &reachability,
@@ -158,6 +142,49 @@ pub fn compile_with_threads(
         instrumentation: instr_cfg,
         reachability,
     }
+}
+
+/// The mandatory first-wave CU roots: the entry point, spawn targets and
+/// every target of a polymorphic virtual call (those are reached through
+/// the vtable and can never be fully inlined away). This is the first —
+/// and largest — wave of [`compile_with_threads`]'s worklist; `nimage
+/// bench` uses its size to decide whether the compile stage's fan-out
+/// engages at the measured thread count (see `nimage_par::cutoff`).
+pub fn initial_roots(program: &Program, reachability: &Reachability) -> Vec<MethodId> {
+    initial_roots_impl(program, reachability, &mut HashSet::new())
+}
+
+fn initial_roots_impl(
+    program: &Program,
+    reachability: &Reachability,
+    root_seen: &mut HashSet<MethodId>,
+) -> Vec<MethodId> {
+    let mut frontier: Vec<MethodId> = vec![];
+    let mut push_root = |m: MethodId, frontier: &mut Vec<MethodId>| {
+        if root_seen.insert(m) {
+            frontier.push(m);
+        }
+    };
+    if let Some(e) = program.entry {
+        push_root(e, &mut frontier);
+    }
+    for &m in &reachability.methods {
+        for b in &program.method(m).blocks {
+            for i in &b.instrs {
+                if let Instr::Spawn { method, .. } = i {
+                    push_root(*method, &mut frontier);
+                }
+            }
+        }
+    }
+    for targets in reachability.virtual_targets.values() {
+        if targets.len() != 1 {
+            for &t in targets {
+                push_root(t, &mut frontier);
+            }
+        }
+    }
+    frontier
 }
 
 /// The single analysis-time target of a call site, if the call is direct

@@ -6,14 +6,28 @@
 //! profile is keyed by *method signature*, which is stable across builds,
 //! unlike [`nimage_ir::MethodId`]s.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
 
 use nimage_ir::{MethodId, Program};
 
 /// Method call counts gathered by an instrumented run.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Clone, Default, PartialEq, Eq)]
 pub struct CallCountProfile {
     counts: HashMap<String, u64>,
+}
+
+// Deterministic rendering: the backing map has randomized iteration order,
+// but the profile is part of `RunReport`, whose `Debug` output is compared
+// byte for byte by the determinism suite and the bench harness.
+impl fmt::Debug for CallCountProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sorted: BTreeMap<&str, u64> =
+            self.counts.iter().map(|(s, &c)| (s.as_str(), c)).collect();
+        f.debug_struct("CallCountProfile")
+            .field("counts", &sorted)
+            .finish()
+    }
 }
 
 impl CallCountProfile {

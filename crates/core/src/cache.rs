@@ -25,7 +25,7 @@ use nimage_compiler::CompiledProgram;
 use nimage_heap::{HeapSnapshot, ObjId};
 use nimage_image::BinaryImage;
 use nimage_order::murmur3;
-use nimage_vm::{HeapTemplate, RunReport};
+use nimage_vm::{HeapTemplate, LoweredProgram, RunReport};
 
 use nimage_analysis::Reachability;
 
@@ -183,6 +183,10 @@ pub struct ArtifactCache {
     /// Full profiling-run artifacts (instrumented build + run + replay),
     /// keyed by program + options.
     pub profiles: Memo<ProfiledArtifacts>,
+    /// Pre-lowered execution programs, keyed by compile key: lowered once
+    /// per compiled program and lent (`Arc`) to every VM run of that
+    /// build. Memory-only — lowering is cheap relative to deserializing.
+    pub lowered: Memo<LoweredProgram>,
 }
 
 impl ArtifactCache {
@@ -197,6 +201,7 @@ impl ArtifactCache {
             runs: Memo::new("baseline-run"),
             heap_templates: Memo::new("heap-template"),
             profiles: Memo::new("profile"),
+            lowered: Memo::new("lower"),
         }
     }
 
@@ -211,6 +216,7 @@ impl ArtifactCache {
             self.runs.stats(),
             self.heap_templates.stats(),
             self.profiles.stats(),
+            self.lowered.stats(),
         ]
     }
 

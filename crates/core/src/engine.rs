@@ -32,7 +32,7 @@ use nimage_image::BinaryImage;
 use nimage_ir::Program;
 use nimage_order::HeapStrategy;
 use nimage_par::StealQueue;
-use nimage_vm::{HeapTemplate, RunReport, StopWhen};
+use nimage_vm::{ExecMode, HeapTemplate, LoweredProgram, RunReport, StopWhen};
 
 use std::collections::BTreeMap;
 
@@ -83,11 +83,35 @@ struct StageClock {
     ns: [AtomicU64; 7],
 }
 
+thread_local! {
+    /// Per-thread stack of accumulated *child* stage durations, one entry
+    /// per in-flight [`StageClock::time`] call. See `time` for why.
+    static CHILD_NS: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
 impl StageClock {
+    /// Times `f`, attributing only its *exclusive* (self) time to `stage`.
+    ///
+    /// Stage timers nest: replay post-processing computes strategy id maps
+    /// (timed as `order`) inside the `replay` timer. Naive accounting
+    /// charged that inner time to *both* stages, inflating the outer one —
+    /// the `stages_ns.replay`-vs-`stage_speedups.replay` mismatch in
+    /// `BENCH_eval.json`. Each nested call's wall-clock is subtracted from
+    /// its parent, so the per-stage numbers partition the measured work.
     fn time<T>(&self, stage: Stage, f: impl FnOnce() -> T) -> T {
+        CHILD_NS.with(|stack| stack.borrow_mut().push(0));
         let start = Instant::now();
         let v = f();
-        self.ns[stage as usize].fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let elapsed = start.elapsed().as_nanos() as u64;
+        let child = CHILD_NS.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let child = stack.pop().expect("pushed above");
+            if let Some(parent) = stack.last_mut() {
+                *parent += elapsed;
+            }
+            child
+        });
+        self.ns[stage as usize].fetch_add(elapsed.saturating_sub(child), Ordering::Relaxed);
         v
     }
 
@@ -216,6 +240,7 @@ struct BaselineParts {
     compiled: Arc<CompiledProgram>,
     snapshot: Arc<HeapSnapshot>,
     template: Arc<HeapTemplate>,
+    lowered: Option<Arc<LoweredProgram>>,
     run: Arc<RunReport>,
 }
 
@@ -310,11 +335,12 @@ impl Engine {
         let n = if self.opts.n_threads > 0 {
             self.opts.n_threads
         } else {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
+            nimage_par::host_parallelism()
         };
-        n.clamp(1, jobs.max(1))
+        // Capped at the host's parallelism (workers beyond it only
+        // contend) and gated on the cell-count cutoff like every other
+        // parallel stage.
+        nimage_par::workers_for(n, jobs, nimage_par::cutoff::RUN_MIN_CELLS).clamp(1, jobs.max(1))
     }
 
     /// Evaluates every `(workload, strategy)` cell of the matrix, sharing
@@ -588,6 +614,28 @@ impl Engine {
         }
     }
 
+    /// The pre-lowered execution program of one compile, lowered once per
+    /// compile key and shared (`Arc`) by every VM run of that build —
+    /// matrix cells on different worker threads dispatch over the same
+    /// instruction arrays. `None` under [`ExecMode::Legacy`], where the
+    /// tree-walking interpreter wants no lowering.
+    fn lowered_for(
+        &self,
+        ctx: &Ctx<'_, '_>,
+        compile_key: CacheKey,
+        compiled: &CompiledProgram,
+    ) -> Option<Arc<LoweredProgram>> {
+        if ctx.spec.opts.vm.exec == ExecMode::Legacy {
+            return None;
+        }
+        let key = CacheKey::for_stage("lower", &[compile_key]);
+        Some(self.cache.lowered.get_or(key, || {
+            self.clock.time(Stage::Compile, || {
+                LoweredProgram::build(ctx.spec.program, compiled, ctx.spec.opts.vm.max_paths)
+            })
+        }))
+    }
+
     /// A heap snapshot of `compiled`, disk-backed under the `snapshot`
     /// stage. `key` distinguishes the instrumented and optimized variants;
     /// `cfg` is the matching heap-build configuration.
@@ -630,8 +678,16 @@ impl Engine {
                             HeapTemplate::from_build_heap(snap.heap())
                         })
                     });
+            let lowered = self.lowered_for(ctx, ctx.key("compile:instrumented"), &compiled);
             let report = self.clock.time(Stage::Run, || {
-                p.run_parts(&compiled, &snap, &image, Some(template), ctx.spec.stop)
+                p.run_parts_shared(
+                    &compiled,
+                    &snap,
+                    &image,
+                    Some(template),
+                    lowered,
+                    ctx.spec.stop,
+                )
             })?;
             self.clock.time(Stage::Replay, || {
                 p.post_process(report, &mut |hs| self.heap_ids(ctx, snap_key, &snap, hs))
@@ -671,17 +727,19 @@ impl Engine {
                         p.layout_stage(&compiled, &snapshot, None, None, None)
                     })
                 })?;
+        let lowered = self.lowered_for(ctx, ctx.key("compile:optimized"), &compiled);
         let run = self.disk_backed(
             &self.cache.runs,
             "baseline-run",
             ctx.key("run:baseline"),
             || {
                 self.clock.time(Stage::Run, || {
-                    p.run_parts(
+                    p.run_parts_shared(
                         &compiled,
                         &snapshot,
                         &image,
                         Some(template.clone()),
+                        lowered.clone(),
                         ctx.spec.stop,
                     )
                 })
@@ -691,6 +749,7 @@ impl Engine {
             compiled,
             snapshot,
             template,
+            lowered,
             run,
         })
     }
@@ -729,11 +788,12 @@ impl Engine {
             )
         })?;
         let optimized = self.clock.time(Stage::Run, || {
-            p.run_parts(
+            p.run_parts_shared(
                 &parts.compiled,
                 &parts.snapshot,
                 &image,
                 Some(parts.template.clone()),
+                parts.lowered.clone(),
                 ctx.spec.stop,
             )
         })?;

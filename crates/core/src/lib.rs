@@ -70,7 +70,9 @@ use nimage_order::{
 };
 pub use nimage_par::Parallelism;
 use nimage_verify::{errors_of, irlint, pipeline as checks, Diagnostic};
-use nimage_vm::{CostModel, HeapTemplate, RunReport, StopWhen, Vm, VmConfig, VmError};
+use nimage_vm::{
+    CostModel, HeapTemplate, LoweredProgram, RunReport, StopWhen, Vm, VmConfig, VmError,
+};
 
 /// An ordering strategy of the paper (Sec. 4, Sec. 5, and the combined
 /// `cu+heap path` of Sec. 7).
@@ -541,23 +543,35 @@ impl<'p> Pipeline<'p> {
         heap: Option<Arc<HeapTemplate>>,
         stop: StopWhen,
     ) -> Result<RunReport, PipelineError> {
-        let vm = match heap {
-            Some(t) => Vm::with_heap_template(
-                self.program,
-                compiled,
-                snapshot,
-                image,
-                self.opts.vm.clone(),
-                t,
-            ),
-            None => Vm::new(
-                self.program,
-                compiled,
-                snapshot,
-                image,
-                self.opts.vm.clone(),
-            ),
-        };
+        self.run_parts_shared(compiled, snapshot, image, heap, None, stop)
+    }
+
+    /// [`Pipeline::run_parts`], additionally sharing a pre-built
+    /// [`LoweredProgram`]. The evaluation engine lowers each compiled
+    /// program once and lends the `Arc` to every run of that build;
+    /// without one the VM lowers on construction (and under
+    /// [`nimage_vm::ExecMode::Legacy`] skips lowering entirely).
+    ///
+    /// # Errors
+    /// Propagates VM errors.
+    pub fn run_parts_shared(
+        &self,
+        compiled: &CompiledProgram,
+        snapshot: &HeapSnapshot,
+        image: &BinaryImage,
+        heap: Option<Arc<HeapTemplate>>,
+        lowered: Option<Arc<LoweredProgram>>,
+        stop: StopWhen,
+    ) -> Result<RunReport, PipelineError> {
+        let vm = Vm::with_shared(
+            self.program,
+            compiled,
+            snapshot,
+            image,
+            self.opts.vm.clone(),
+            heap,
+            lowered,
+        );
         Ok(vm.run(stop)?)
     }
 

@@ -1,0 +1,176 @@
+//! Engine equivalence: the pre-lowered execution engine must be
+//! observably indistinguishable from the legacy tree-walking interpreter.
+//! Every run report — op counts, per-section fault counts, trace bytes,
+//! call counts, page states — is compared through its `Debug` rendering,
+//! which covers every field bit for bit. The lowered engine may only
+//! change how fast the VM steps, never what it computes.
+
+use std::sync::Arc;
+
+use nimage_compiler::InstrumentConfig;
+use nimage_core::{BuildOptions, Parallelism, Pipeline, Strategy};
+use nimage_ir::Program;
+use nimage_vm::{ExecMode, HeapTemplate, LoweredProgram, RunReport, StopWhen};
+use nimage_workloads::{Awfy, Microservice, RuntimeScale};
+
+fn opts(exec: ExecMode, threads: usize) -> BuildOptions {
+    let mut o = BuildOptions {
+        threads: Parallelism::threads(threads),
+        ..BuildOptions::default()
+    };
+    o.vm.exec = exec;
+    o
+}
+
+/// Builds the fully instrumented image and runs it, returning the report
+/// (trace included) — the profiling half of the pipeline, where every
+/// interpreter feature is exercised: path profiling, probe costs, paging.
+fn instrumented_report(program: &Program, o: &BuildOptions, stop: StopWhen) -> RunReport {
+    let p = Pipeline::new(program, o.clone());
+    let built = p.build_instrumented(InstrumentConfig::FULL).unwrap();
+    p.run_image(&built, stop).unwrap()
+}
+
+/// Builds the uninstrumented image and runs it — the measurement half.
+fn regular_report(program: &Program, o: &BuildOptions, stop: StopWhen) -> RunReport {
+    let p = Pipeline::new(program, o.clone());
+    let built = p.build_instrumented(InstrumentConfig::NONE).unwrap();
+    p.run_image(&built, stop).unwrap()
+}
+
+#[test]
+fn lowered_matches_legacy_on_all_awfy_workloads() {
+    let scale = RuntimeScale::small();
+    for wl in Awfy::all() {
+        let program = wl.program_at(&scale);
+        let legacy = instrumented_report(&program, &opts(ExecMode::Legacy, 1), StopWhen::Exit);
+        let lowered = instrumented_report(&program, &opts(ExecMode::Lowered, 1), StopWhen::Exit);
+        assert_eq!(
+            format!("{legacy:?}"),
+            format!("{lowered:?}"),
+            "instrumented run of {wl:?} differs between engines"
+        );
+        let legacy = regular_report(&program, &opts(ExecMode::Legacy, 1), StopWhen::Exit);
+        let lowered = regular_report(&program, &opts(ExecMode::Lowered, 1), StopWhen::Exit);
+        assert_eq!(
+            format!("{legacy:?}"),
+            format!("{lowered:?}"),
+            "regular run of {wl:?} differs between engines"
+        );
+    }
+}
+
+#[test]
+fn lowered_matches_legacy_on_all_microservices() {
+    for wl in Microservice::all() {
+        let program = wl.program();
+        // Microservices park in an infinite accept loop, so `Exit` only
+        // returns via the ops budget; cap it so the budget path (and the
+        // multi-threaded park loop) is compared without a 500M-op run.
+        for (stop, max_ops) in [
+            (StopWhen::FirstResponse, None),
+            (StopWhen::Exit, Some(2_000_000)),
+        ] {
+            let mut legacy_opts = opts(ExecMode::Legacy, 1);
+            let mut lowered_opts = opts(ExecMode::Lowered, 1);
+            if let Some(cap) = max_ops {
+                legacy_opts.vm.max_ops = cap;
+                lowered_opts.vm.max_ops = cap;
+            }
+            let legacy = instrumented_report(&program, &legacy_opts, stop);
+            let lowered = instrumented_report(&program, &lowered_opts, stop);
+            assert_eq!(
+                format!("{legacy:?}"),
+                format!("{lowered:?}"),
+                "instrumented run of {wl:?} ({stop:?}) differs between engines"
+            );
+        }
+    }
+}
+
+/// Fault counts, trace and profiles must agree between the engines across
+/// every worker-thread count: the build stages fan out differently but the
+/// VM result may not move.
+#[test]
+fn engine_matrix_is_identical_across_thread_counts() {
+    let program = Microservice::Micronaut.program();
+    let stop = StopWhen::FirstResponse;
+    let reference = instrumented_report(&program, &opts(ExecMode::Legacy, 1), stop);
+    let ref_dbg = format!("{reference:?}");
+    for threads in [1, 2, 4, 8] {
+        for exec in [ExecMode::Legacy, ExecMode::Lowered] {
+            let r = instrumented_report(&program, &opts(exec, threads), stop);
+            assert_eq!(
+                ref_dbg,
+                format!("{r:?}"),
+                "report differs at {threads} threads with {exec:?}"
+            );
+        }
+    }
+}
+
+/// The full evaluation (profiles, baseline, strategy measurements) agrees
+/// between the engines end to end.
+#[test]
+fn evaluation_matches_between_engines() {
+    let program = Awfy::Bounce.program_at(&RuntimeScale::small());
+    let mut evals = vec![];
+    for exec in [ExecMode::Legacy, ExecMode::Lowered] {
+        let o = opts(exec, 1);
+        let p = Pipeline::new(&program, o);
+        let artifacts = p.profiling_run(StopWhen::Exit).unwrap();
+        let baseline = p.baseline(&artifacts, StopWhen::Exit).unwrap();
+        let e = p
+            .evaluate_with(
+                &artifacts,
+                &baseline,
+                Strategy::CuPlusHeapPath,
+                StopWhen::Exit,
+            )
+            .unwrap();
+        // The heap-profile map is a HashMap; render it in key order so the
+        // comparison is about contents, not iteration order.
+        let mut heap_profiles: Vec<_> = artifacts.heap_profiles.iter().collect();
+        heap_profiles.sort_by_key(|(s, _)| s.name());
+        evals.push((
+            format!("{:?}", artifacts.cu_profile),
+            format!("{heap_profiles:?}"),
+            format!("{:?}", e.baseline),
+            format!("{:?}", e.optimized),
+        ));
+    }
+    assert_eq!(evals[0], evals[1], "evaluation differs between engines");
+}
+
+/// Concurrent runs sharing one `Arc<LoweredProgram>` and one
+/// `Arc<HeapTemplate>` (the engine's matrix sharding) must each report
+/// exactly what an isolated serial run reports.
+#[test]
+fn shared_lowered_program_runs_are_isolated() {
+    let program = Microservice::Micronaut.program();
+    let o = opts(ExecMode::Lowered, 1);
+    let p = Pipeline::new(&program, o.clone());
+    let built = p.build_instrumented(InstrumentConfig::NONE).unwrap();
+    let template = Arc::new(HeapTemplate::from_build_heap(built.snapshot.heap()));
+    let lowered = Arc::new(LoweredProgram::build(
+        &program,
+        &built.compiled,
+        o.vm.max_paths,
+    ));
+    let run_one = || {
+        p.run_parts_shared(
+            &built.compiled,
+            &built.snapshot,
+            &built.image,
+            Some(template.clone()),
+            Some(lowered.clone()),
+            StopWhen::FirstResponse,
+        )
+        .unwrap()
+    };
+    let reference = format!("{:?}", run_one());
+    let reports = nimage_par::parallel_map(4, 6, |_| format!("{:?}", run_one()));
+    for (i, r) in reports.iter().enumerate() {
+        assert_eq!(&reference, r, "sharded run {i} differs from serial");
+    }
+}

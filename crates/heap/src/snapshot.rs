@@ -490,6 +490,14 @@ fn traverse_roots(
 ) -> (Vec<SnapEntry>, HashMap<ObjId, usize>) {
     let mut entries: Vec<SnapEntry> = vec![];
     let mut index_of: HashMap<ObjId, usize> = HashMap::new();
+    // Per-root traversals are short; under the measured cutoff the
+    // two-pass fan-out costs more than it saves, so take the serial
+    // reference path directly.
+    let n_threads = nimage_par::workers_for(
+        n_threads,
+        roots.len(),
+        nimage_par::cutoff::SNAPSHOT_MIN_ROOTS,
+    );
     if n_threads <= 1 || roots.len() < 2 {
         for (obj, reason, cu) in roots {
             include(

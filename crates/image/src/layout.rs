@@ -1,9 +1,10 @@
 //! Section layout of the binary image.
 
-use std::collections::BTreeMap;
-
 use nimage_compiler::{CompiledProgram, CuId};
 use nimage_heap::{HeapSnapshot, ObjId};
+
+/// Sentinel for "object not in the image" in the dense offset table.
+const NO_OFFSET: u64 = u64::MAX;
 
 /// Layout options.
 #[derive(Debug, Clone)]
@@ -71,13 +72,16 @@ pub struct BinaryImage {
     pub svm_heap: SectionSpan,
     /// CU layout order.
     pub cu_order: Vec<CuId>,
-    /// Absolute offset of each CU, by layout order index. A `BTreeMap` so
-    /// that iterating offsets can never depend on hasher state.
-    cu_offsets: BTreeMap<CuId, u64>,
+    /// Absolute offset of each CU, indexed densely by [`CuId::index`].
+    /// The interpreter touches code on every call, so the lookup must be
+    /// an array read, not a map walk.
+    cu_offsets: Vec<u64>,
     /// Object layout order (snapshot entries).
     pub object_order: Vec<ObjId>,
-    /// Absolute offset of each object.
-    object_offsets: BTreeMap<ObjId, u64>,
+    /// Absolute offset of each object, indexed densely by
+    /// [`ObjId::index`]; [`NO_OFFSET`] marks objects absent from the
+    /// image (e.g. PEA-folded). Heap accesses hit this on every step.
+    object_offsets: Vec<u64>,
     /// Total image size in bytes.
     pub total_size: u64,
     /// Absolute offset where the native tail begins (page-aligned).
@@ -132,11 +136,11 @@ impl BinaryImage {
             "object order must cover every snapshot entry exactly once"
         );
 
-        let mut cu_offsets = BTreeMap::new();
+        let mut cu_offsets = vec![NO_OFFSET; compiled.cus.len()];
         let mut cursor = 0u64;
         for &cu in &cu_order {
             cursor = align_up(cursor, options.cu_align);
-            cu_offsets.insert(cu, cursor);
+            cu_offsets[cu.index()] = cursor;
             cursor += u64::from(compiled.cu(cu).size);
         }
         // The native tail starts page-aligned: the linker places the
@@ -148,11 +152,16 @@ impl BinaryImage {
         };
 
         let heap_start = align_up(text.end(), options.page_size);
-        let mut object_offsets = BTreeMap::new();
+        let n_objs = object_order
+            .iter()
+            .map(|o| o.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut object_offsets = vec![NO_OFFSET; n_objs];
         let mut cursor = heap_start;
         for &obj in &object_order {
             cursor = align_up(cursor, options.obj_align);
-            object_offsets.insert(obj, cursor);
+            object_offsets[obj.index()] = cursor;
             let entry = snapshot
                 .entry(obj)
                 .unwrap_or_else(|| panic!("object {obj} not in snapshot"));
@@ -169,15 +178,15 @@ impl BinaryImage {
         debug_assert_eq!(svm_heap.offset % options.page_size, 0);
         debug_assert!(svm_heap.offset >= text.end(), "sections overlap");
         debug_assert!(
-            cu_order
-                .iter()
-                .all(|&cu| cu_offsets[&cu] + u64::from(compiled.cu(cu).size) <= native_start),
+            cu_order.iter().all(
+                |&cu| cu_offsets[cu.index()] + u64::from(compiled.cu(cu).size) <= native_start
+            ),
             "a CU placement reaches into the native tail"
         );
         debug_assert!(
             object_order
                 .iter()
-                .all(|&o| object_offsets[&o] >= heap_start),
+                .all(|&o| object_offsets[o.index()] >= heap_start),
             "an object placement falls outside the heap section"
         );
 
@@ -243,13 +252,19 @@ impl BinaryImage {
     /// # Panics
     /// Panics if the CU is not part of the image.
     pub fn cu_offset(&self, cu: CuId) -> u64 {
-        self.cu_offsets[&cu]
+        let off = self.cu_offsets[cu.index()];
+        assert_ne!(off, NO_OFFSET, "CU {cu} is not part of the image");
+        off
     }
 
     /// Absolute offset of a snapshot object, or `None` if the object is not
     /// in the image (e.g. PEA-folded).
+    #[inline]
     pub fn object_offset(&self, obj: ObjId) -> Option<u64> {
-        self.object_offsets.get(&obj).copied()
+        match self.object_offsets.get(obj.index()) {
+            Some(&off) if off != NO_OFFSET => Some(off),
+            _ => None,
+        }
     }
 
     /// The section containing an absolute offset.

@@ -189,6 +189,11 @@ impl Program {
         self.selector_map.get(&format!("{name}/{arity}")).copied()
     }
 
+    /// All interned selector strings, indexable by [`SelectorId`].
+    pub fn selectors(&self) -> &[String] {
+        &self.selectors
+    }
+
     /// Fully qualified, build-stable signature of a method:
     /// `owner.name(paramCount)`.
     ///

@@ -489,6 +489,10 @@ pub fn replay_first_access(
     // stream order (thread creation order, then record order). A floor on
     // the chunk size keeps the per-chunk decode-table overhead small.
     let total: usize = trace.threads.iter().map(Vec::len).sum();
+    // Record decode is a few ns each; small traces don't amortize worker
+    // spawn, so gate the fan-out on the measured record-count cutoff.
+    let n_threads =
+        nimage_par::workers_for(n_threads, total, nimage_par::cutoff::REPLAY_MIN_RECORDS);
     let workers = n_threads.max(1);
     let chunk_len = total.div_ceil(workers * 4).max(256);
     let mut chunks: Vec<(usize, usize, usize)> = vec![];

@@ -81,6 +81,76 @@ impl fmt::Debug for Parallelism {
     }
 }
 
+/// Measured per-stage work-size cutoffs below which the parallel path
+/// loses to a plain serial loop.
+///
+/// Each constant is the smallest work size (in the stage's natural unit)
+/// for which `parallel_map` at 4 threads beat the serial loop on the
+/// bundled workloads (release build, median of 5 warm runs; see
+/// DESIGN.md §11 for the measurement protocol). Below the cutoff the
+/// spawn + mutex overhead of the steal queue dominates the actual work,
+/// which is how the 4-thread bench previously *regressed* on the small
+/// bundled workloads (compile 0.95×, snapshot 0.56×, replay 0.88×).
+/// [`workers_for`] applies them: under the cutoff it returns 1, making
+/// the "parallel" path literally the serial path (`parallel_map` with
+/// one worker is a plain loop), so a sub-1× speedup is impossible by
+/// construction.
+pub mod cutoff {
+    /// Inline-wave compilation: minimum CU roots in a wave before the
+    /// wave is fanned out. Building one CU is a whole inlining pass, so
+    /// the per-job work is large and the cutoff is low; micronaut's
+    /// first wave (~40 roots) parallelizes, the 2–4 root tail waves of
+    /// every bundled workload no longer do.
+    pub const COMPILE_MIN_ROOTS: usize = 8;
+
+    /// Snapshot heap traversal: minimum GC roots before the two
+    /// closure/DFS passes fan out. Per-root traversals are short and
+    /// share a serial assignment fold that bounds the win; at 4 threads
+    /// the fan-out lost on every bundled workload, including micronaut's
+    /// 1 610 roots (0.56–0.82×), so the cutoff sits beyond the bundled
+    /// scale until a workload demonstrates a parallel win.
+    pub const SNAPSHOT_MIN_ROOTS: usize = 4096;
+
+    /// Trace replay: minimum *records* (not chunks) before chunked
+    /// decode fans out. Decoding is a tight varint loop at a few ns per
+    /// record, so only large traces amortize worker spawn; micronaut's
+    /// instrumented trace (~1M records) clears this easily, the small
+    /// Awfy traces fall back to serial.
+    pub const REPLAY_MIN_RECORDS: usize = 32_768;
+
+    /// Eval-matrix VM runs: minimum (strategy, workload) cells before
+    /// runs are sharded. A VM run is milliseconds of work, so two cells
+    /// already amortize a spawn.
+    pub const RUN_MIN_CELLS: usize = 2;
+}
+
+/// The host's available parallelism (cached after the first query;
+/// at least 1).
+pub fn host_parallelism() -> usize {
+    static HOST: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *HOST.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Resolves the worker count for a stage given its work size: `threads`
+/// when `work` is at or above the stage's measured cutoff, else 1 (the
+/// serial path). See [`cutoff`] for the thresholds and their provenance.
+///
+/// The result is additionally capped at [`host_parallelism`]: a thread
+/// count above the hardware's cannot run concurrently, so the extra
+/// workers are pure spawn-and-contend overhead — on a single-CPU host
+/// every "parallel" arm would otherwise hover at ~1× minus noise.
+pub fn workers_for(threads: usize, work: usize, min_work: usize) -> usize {
+    if work < min_work {
+        1
+    } else {
+        threads.min(host_parallelism()).max(1)
+    }
+}
+
 fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
@@ -216,5 +286,23 @@ mod tests {
     fn parallel_map_handles_empty_and_single() {
         assert_eq!(parallel_map(8, 0, |i| i), Vec::<usize>::new());
         assert_eq!(parallel_map(8, 1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn workers_for_applies_cutoff() {
+        let cap = host_parallelism();
+        assert!(cap >= 1);
+        assert_eq!(workers_for(4, 7, 8), 1, "under cutoff: serial");
+        assert_eq!(workers_for(4, 8, 8), 4.min(cap), "at cutoff: parallel");
+        assert_eq!(workers_for(4, 1_000_000, 8), 4.min(cap));
+        assert_eq!(workers_for(1, 1_000_000, 8), 1, "threads=1 stays serial");
+        assert_eq!(workers_for(4, 0, 0), 4.min(cap), "zero cutoff never gates");
+    }
+
+    #[test]
+    fn workers_for_never_exceeds_the_host() {
+        for threads in [1, 2, 64, 4096] {
+            assert!(workers_for(threads, usize::MAX, 0) <= host_parallelism());
+        }
     }
 }

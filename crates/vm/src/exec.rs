@@ -8,7 +8,7 @@
 //! unit's bytes in `.text`, and on first access to a snapshot object's bytes
 //! in `.svm_heap`.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use nimage_compiler::{CallCountProfile, CompiledProgram, CuId, PathNumbering, ProfilingCfg};
 use nimage_heap::HeapSnapshot;
@@ -17,6 +17,7 @@ use nimage_ir::{BinOp, Callee, Instr, Intrinsic, Local, MethodId, Program, Termi
 use nimage_profiler::{DumpMode, ThreadHandle, TraceSession};
 
 use crate::heap_rt::{RtHeap, RtObject, RtValue};
+use crate::lower::{JumpEdge, LoweredCallee, LoweredInstr, LoweredProgram};
 use crate::paging::{PagingConfig, PagingSim};
 use crate::report::{ExitKind, ResponsePoint, RunReport};
 
@@ -46,6 +47,30 @@ impl Default for ProbeCosts {
     }
 }
 
+/// Which interpreter core executes the program.
+///
+/// Both engines are bit-identical in every observable (report, trace,
+/// faults); the lowered engine dispatches over pre-decoded flat instruction
+/// arrays (see [`crate::lower`]) and is the default. The `Debug` rendering
+/// is deliberately constant — like `Parallelism` in `nimage-par`, the
+/// engine choice must never enter a content-cache fingerprint, precisely
+/// because results are identical either way.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Index-driven dispatch over a pre-lowered program (default).
+    #[default]
+    Lowered,
+    /// The legacy tree-walking path (reference semantics; kept for
+    /// differential testing).
+    Legacy,
+}
+
+impl std::fmt::Debug for ExecMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ExecMode(..)")
+    }
+}
+
 /// VM configuration.
 #[derive(Debug, Clone)]
 pub struct VmConfig {
@@ -66,6 +91,8 @@ pub struct VmConfig {
     pub startup_native_pages: u64,
     /// Maximum Ball–Larus paths per method before cutting.
     pub max_paths: u64,
+    /// Interpreter core (results are identical either way).
+    pub exec: ExecMode,
 }
 
 impl Default for VmConfig {
@@ -79,6 +106,7 @@ impl Default for VmConfig {
             trace_buffer: 64 * 1024,
             startup_native_pages: 6,
             max_paths: 1 << 14,
+            exec: ExecMode::Lowered,
         }
     }
 }
@@ -183,12 +211,25 @@ pub struct Vm<'a> {
     paging: PagingSim,
     heap: RtHeap,
     session: Option<TraceSession>,
-    sig_cache: HashMap<MethodId, u32>,
-    path_tables: HashMap<MethodId, (ProfilingCfg, PathNumbering)>,
+    /// The pre-lowered program the index-driven engine dispatches over
+    /// (`None` on the legacy path).
+    lowered: Option<Arc<LoweredProgram>>,
+    /// Trace string-table index per method (dense by method index;
+    /// `u32::MAX` = not yet interned). Interning stays lazy so the string
+    /// table's insertion order matches the legacy path exactly.
+    sig_ids: Vec<u32>,
+    /// Lazily built Ball–Larus tables of the legacy path (dense by method
+    /// index).
+    path_tables: Vec<Option<Box<(ProfilingCfg, PathNumbering)>>>,
+    /// Heap refs of already-interned string literals, dense by
+    /// string-table index (`u32::MAX` = not yet interned; interning is
+    /// stable, so caching the ref skips the hash lookup).
+    str_refs: Vec<u32>,
     threads: Vec<ThreadCtx>,
     ops: u64,
     probe_ops: u64,
-    call_counts: HashMap<MethodId, u64>,
+    /// Dynamic call counts, dense by method index.
+    call_counts: Vec<u64>,
     first_response: Option<ResponsePoint>,
     entry_return: Option<RtValue>,
     native_seen: std::collections::HashSet<u32>,
@@ -211,7 +252,7 @@ impl<'a> Vm<'a> {
         config: VmConfig,
     ) -> Vm<'a> {
         let heap = RtHeap::from_build_heap(snapshot.heap());
-        Vm::with_heap(program, compiled, snapshot, image, config, heap)
+        Vm::with_heap(program, compiled, snapshot, image, config, heap, None)
     }
 
     /// Creates a VM over a built image whose snapshot was materialized once
@@ -228,7 +269,30 @@ impl<'a> Vm<'a> {
         template: std::sync::Arc<crate::HeapTemplate>,
     ) -> Vm<'a> {
         let heap = RtHeap::from_template(template);
-        Vm::with_heap(program, compiled, snapshot, image, config, heap)
+        Vm::with_heap(program, compiled, snapshot, image, config, heap, None)
+    }
+
+    /// Creates a VM sharing both the materialized heap template and the
+    /// pre-lowered program across runs. The evaluation engine lowers each
+    /// compiled build once and hands every (strategy, workload) cell the
+    /// same `Arc` — repeated runs skip the lowering pass entirely.
+    ///
+    /// `lowered` must have been built from the same `(program, compiled)`
+    /// pair with the same `max_paths` as `config`.
+    pub fn with_shared(
+        program: &'a Program,
+        compiled: &'a CompiledProgram,
+        snapshot: &'a HeapSnapshot,
+        image: &'a BinaryImage,
+        config: VmConfig,
+        template: Option<Arc<crate::HeapTemplate>>,
+        lowered: Option<Arc<LoweredProgram>>,
+    ) -> Vm<'a> {
+        let heap = match template {
+            Some(t) => RtHeap::from_template(t),
+            None => RtHeap::from_build_heap(snapshot.heap()),
+        };
+        Vm::with_heap(program, compiled, snapshot, image, config, heap, lowered)
     }
 
     fn with_heap(
@@ -238,6 +302,7 @@ impl<'a> Vm<'a> {
         image: &'a BinaryImage,
         config: VmConfig,
         heap: RtHeap,
+        lowered: Option<Arc<LoweredProgram>>,
     ) -> Vm<'a> {
         let session = if compiled.instrumentation.any() {
             Some(TraceSession::new(config.dump_mode, config.trace_buffer))
@@ -248,6 +313,17 @@ impl<'a> Vm<'a> {
             DumpMode::OnFull => 1,
             DumpMode::MemoryMapped => 2,
         };
+        let lowered = match config.exec {
+            ExecMode::Legacy => None,
+            ExecMode::Lowered => Some(lowered.unwrap_or_else(|| {
+                Arc::new(LoweredProgram::build(program, compiled, config.max_paths))
+            })),
+        };
+        let n_methods = program.methods().len();
+        let str_refs = match &lowered {
+            Some(lp) => vec![u32::MAX; lp.n_strings()],
+            None => vec![],
+        };
         Vm {
             paging: PagingSim::new(image, config.paging.clone()),
             heap,
@@ -257,12 +333,14 @@ impl<'a> Vm<'a> {
             image,
             config,
             session,
-            sig_cache: HashMap::new(),
-            path_tables: HashMap::new(),
+            lowered,
+            sig_ids: vec![u32::MAX; n_methods],
+            path_tables: vec![None; n_methods],
+            str_refs,
             threads: vec![],
             ops: 0,
             probe_ops: 0,
-            call_counts: HashMap::new(),
+            call_counts: vec![0; n_methods],
             first_response: None,
             entry_return: None,
             native_seen: std::collections::HashSet::new(),
@@ -272,8 +350,9 @@ impl<'a> Vm<'a> {
     }
 
     fn sig_idx(&mut self, m: MethodId) -> u32 {
-        if let Some(&i) = self.sig_cache.get(&m) {
-            return i;
+        let cached = self.sig_ids[m.index()];
+        if cached != u32::MAX {
+            return cached;
         }
         let sig = self.program.method_signature(m);
         let i = self
@@ -281,7 +360,7 @@ impl<'a> Vm<'a> {
             .as_mut()
             .expect("sig interning requires a session")
             .intern(&sig);
-        self.sig_cache.insert(m, i);
+        self.sig_ids[m.index()] = i;
         i
     }
 
@@ -290,13 +369,13 @@ impl<'a> Vm<'a> {
     }
 
     fn path_table(&mut self, m: MethodId) -> &(ProfilingCfg, PathNumbering) {
-        let max_paths = self.config.max_paths;
-        let program = self.program;
-        self.path_tables.entry(m).or_insert_with(|| {
-            let cfg = ProfilingCfg::build(program.method(m));
-            let num = PathNumbering::compute(&cfg, max_paths);
-            (cfg, num)
-        })
+        let i = m.index();
+        if self.path_tables[i].is_none() {
+            let cfg = ProfilingCfg::build(self.program.method(m));
+            let num = PathNumbering::compute(&cfg, self.config.max_paths);
+            self.path_tables[i] = Some(Box::new((cfg, num)));
+        }
+        self.path_tables[i].as_deref().expect("just filled")
     }
 
     /// Touches the code bytes of an inline node.
@@ -324,7 +403,7 @@ impl<'a> Vm<'a> {
         ret_slot: Option<Local>,
     ) {
         self.touch_code(cu, node);
-        *self.call_counts.entry(method).or_insert(0) += 1;
+        self.call_counts[method.index()] += 1;
         if self.compiled.instrumentation.trace_methods {
             let sig = self.sig_idx(method);
             let th = self.threads[thread].handle.expect("traced thread");
@@ -337,12 +416,9 @@ impl<'a> Vm<'a> {
         let m = self.program.method(method);
         let mut locals = vec![RtValue::Null; m.n_locals as usize];
         locals[..args.len()].copy_from_slice(&args);
-        let mini = if self.trace_heap() {
-            let (cfg, _) = self.path_table(method);
-            cfg.entry().0
-        } else {
-            0
-        };
+        // The entry mini-block is the head of block 0, which ProfilingCfg
+        // numbers 0 unconditionally.
+        let mini = 0;
         self.threads[thread].frames.push(Frame {
             method,
             cu,
@@ -366,12 +442,13 @@ impl<'a> Vm<'a> {
         args: Vec<RtValue>,
         ret_slot: Option<Local>,
     ) -> Result<(), VmError> {
-        let cu = self
-            .compiled
-            .cu_of_root(method)
-            .ok_or_else(|| VmError::MissingCu {
-                method: self.err_sig(method),
-            })?;
+        let cu = match &self.lowered {
+            Some(lp) => lp.cu_of_root(method),
+            None => self.compiled.cu_of_root(method),
+        }
+        .ok_or_else(|| VmError::MissingCu {
+            method: self.err_sig(method),
+        })?;
         if self.compiled.instrumentation.trace_cu {
             let sig = self.sig_idx(method);
             let th = self.threads[thread].handle.expect("traced thread");
@@ -529,6 +606,9 @@ impl<'a> Vm<'a> {
         self.enter_cu(0, entry, vec![], None)?;
 
         let quantum = self.config.quantum;
+        // Clone the Arc out of `self` so the lowered step can borrow
+        // instruction references without aliasing `&mut self`.
+        let lowered = self.lowered.clone();
         let mut killed = false;
         'sched: loop {
             let mut any_live = false;
@@ -549,7 +629,10 @@ impl<'a> Vm<'a> {
                     if self.ops >= self.config.max_ops {
                         break 'sched;
                     }
-                    self.step(t)?;
+                    match &lowered {
+                        Some(lp) => self.step_lowered(lp, t)?,
+                        None => self.step(t)?,
+                    }
                     if stop == StopWhen::FirstResponse && self.first_response.is_some() {
                         killed = true;
                         break 'sched;
@@ -572,8 +655,10 @@ impl<'a> Vm<'a> {
         }
 
         let mut call_counts = CallCountProfile::new();
-        for (&m, &n) in &self.call_counts {
-            call_counts.record(&self.program.method_signature(m), n);
+        for (i, &n) in self.call_counts.iter().enumerate() {
+            if n > 0 {
+                call_counts.record(&self.program.method_signature(MethodId(i as u32)), n);
+            }
         }
 
         let exit = if killed {
@@ -637,6 +722,382 @@ impl<'a> Vm<'a> {
             Ok(())
         } else {
             self.exec_terminator(t, method, block)
+        }
+    }
+
+    /// Executes one lowered instruction on thread `t`: a single index into
+    /// the method's flat code array and a `match` on a reference — no
+    /// clone, no per-step allocation. `lp` is borrowed from the `Arc`
+    /// clone held by [`Vm::run`], so instruction references never alias
+    /// `&mut self`.
+    fn step_lowered(&mut self, lp: &LoweredProgram, t: usize) -> Result<(), VmError> {
+        self.ops += 1;
+        let (method, pc) = {
+            let f = self.threads[t].frames.last().expect("live frame");
+            (f.method, f.ip)
+        };
+        match &lp.method(method).code[pc] {
+            LoweredInstr::ConstInt(d, v) => self.set_local(t, *d, RtValue::Int(*v)),
+            LoweredInstr::ConstDouble(d, v) => self.set_local(t, *d, RtValue::Double(*v)),
+            LoweredInstr::ConstBool(d, v) => self.set_local(t, *d, RtValue::Bool(*v)),
+            LoweredInstr::ConstNull(d) => self.set_local(t, *d, RtValue::Null),
+            LoweredInstr::ConstStr(d, sidx) => {
+                let cached = self.str_refs[*sidx as usize];
+                let r = if cached != u32::MAX {
+                    cached
+                } else {
+                    let r = self.heap.intern(lp.string(*sidx));
+                    self.str_refs[*sidx as usize] = r;
+                    r
+                };
+                self.touch_object(r, 0);
+                self.set_local(t, *d, RtValue::Ref(r));
+            }
+            LoweredInstr::Move(d, s) => {
+                let v = self.local(t, *s);
+                self.set_local(t, *d, v);
+            }
+            LoweredInstr::Bin(op, d, a, b) => {
+                let va = self.local(t, *a);
+                let vb = self.local(t, *b);
+                let r = eval_bin(*op, va, vb).ok_or_else(|| match op {
+                    BinOp::Div | BinOp::Rem => VmError::DivisionByZero {
+                        method: self.err_sig(method),
+                    },
+                    _ => VmError::TypeMismatch {
+                        method: self.err_sig(method),
+                        detail: format!("{op:?} on {va:?}, {vb:?}"),
+                    },
+                })?;
+                self.set_local(t, *d, r);
+            }
+            LoweredInstr::Un(op, d, a) => {
+                let va = self.local(t, *a);
+                let r = eval_un(*op, va).ok_or_else(|| VmError::TypeMismatch {
+                    method: self.err_sig(method),
+                    detail: format!("{op:?} on {va:?}"),
+                })?;
+                self.set_local(t, *d, r);
+            }
+            LoweredInstr::New(d, c) => {
+                let fields = lp.field_defaults(*c).to_vec();
+                let r = self.heap.alloc(RtObject::Instance { class: *c, fields });
+                self.set_local(t, *d, RtValue::Ref(r));
+            }
+            LoweredInstr::NewArray(d, elem, len) => {
+                let n = self.as_int(t, *len, method)?;
+                if n < 0 {
+                    return Err(VmError::IndexOutOfBounds {
+                        method: self.err_sig(method),
+                    });
+                }
+                let r = self.heap.alloc(RtObject::Array {
+                    elem: elem.clone(),
+                    elems: vec![RtValue::default_for(elem); n as usize],
+                });
+                self.set_local(t, *d, RtValue::Ref(r));
+            }
+            LoweredInstr::GetField(d, obj, fid) => {
+                let r = self.as_ref_val(t, *obj, method)?;
+                let (slot, v) = self.field_slot_lowered(lp, r, *fid, method)?;
+                self.heap_access(t, r, 16 + 8 * slot as u64);
+                self.set_local(t, *d, v);
+            }
+            LoweredInstr::PutField(obj, fid, src) => {
+                let r = self.as_ref_val(t, *obj, method)?;
+                let v = self.local(t, *src);
+                let slot = self.field_slot_lowered(lp, r, *fid, method)?.0;
+                self.heap_access(t, r, 16 + 8 * slot as u64);
+                match self.heap.get_mut(r) {
+                    RtObject::Instance { fields, .. } => fields[slot] = v,
+                    _ => unreachable!("field_slot validated"),
+                }
+            }
+            LoweredInstr::GetStatic(d, fid) => {
+                let v = self.heap.static_value(self.program, *fid);
+                self.set_local(t, *d, v);
+            }
+            LoweredInstr::PutStatic(fid, src) => {
+                let v = self.local(t, *src);
+                self.heap.set_static(*fid, v);
+            }
+            LoweredInstr::ArrayGet(d, arr, idx) => {
+                let r = self.as_ref_val(t, *arr, method)?;
+                let i = self.as_int(t, *idx, method)?;
+                let v = match self.heap.get(r) {
+                    RtObject::Array { elems, .. } => *elems
+                        .get(usize::try_from(i).map_err(|_| VmError::IndexOutOfBounds {
+                            method: self.err_sig(method),
+                        })?)
+                        .ok_or_else(|| VmError::IndexOutOfBounds {
+                            method: self.err_sig(method),
+                        })?,
+                    other => {
+                        return Err(VmError::TypeMismatch {
+                            method: self.err_sig(method),
+                            detail: format!("array access on {other:?}"),
+                        })
+                    }
+                };
+                self.heap_access(t, r, 24 + 8 * i as u64);
+                self.set_local(t, *d, v);
+            }
+            LoweredInstr::ArraySet(arr, idx, src) => {
+                let r = self.as_ref_val(t, *arr, method)?;
+                let i = self.as_int(t, *idx, method)?;
+                let v = self.local(t, *src);
+                self.heap_access(t, r, 24 + 8 * i.max(0) as u64);
+                let program = self.program;
+                match self.heap.get_mut(r) {
+                    RtObject::Array { elems, .. } => {
+                        let len = elems.len();
+                        *elems
+                            .get_mut(usize::try_from(i).unwrap_or(len))
+                            .ok_or_else(|| VmError::IndexOutOfBounds {
+                                method: program.method_signature(method),
+                            })? = v;
+                    }
+                    other => {
+                        return Err(VmError::TypeMismatch {
+                            method: program.method_signature(method),
+                            detail: format!("array access on {other:?}"),
+                        })
+                    }
+                }
+            }
+            LoweredInstr::ArrayLen(d, arr) => {
+                let r = self.as_ref_val(t, *arr, method)?;
+                let n = match self.heap.get(r) {
+                    RtObject::Array { elems, .. } => elems.len() as i64,
+                    other => {
+                        return Err(VmError::TypeMismatch {
+                            method: self.err_sig(method),
+                            detail: format!("array length on {other:?}"),
+                        })
+                    }
+                };
+                self.touch_object(r, 0);
+                self.set_local(t, *d, RtValue::Int(n));
+            }
+            LoweredInstr::StrLen(d, s) => {
+                let r = self.as_ref_val(t, *s, method)?;
+                let n = self.str_content(r, method)?.len() as i64;
+                self.touch_object(r, 0);
+                self.set_local(t, *d, RtValue::Int(n));
+            }
+            LoweredInstr::StrCharAt(d, s, i) => {
+                let r = self.as_ref_val(t, *s, method)?;
+                let idx = self.as_int(t, *i, method)?;
+                let content = self.str_content(r, method)?;
+                let ch = content
+                    .as_bytes()
+                    .get(usize::try_from(idx).map_err(|_| VmError::IndexOutOfBounds {
+                        method: self.err_sig(method),
+                    })?)
+                    .copied()
+                    .ok_or_else(|| VmError::IndexOutOfBounds {
+                        method: self.err_sig(method),
+                    })?;
+                self.touch_object(r, 24 + idx as u64);
+                self.set_local(t, *d, RtValue::Int(i64::from(ch)));
+            }
+            LoweredInstr::StrConcat(d, a, b) => {
+                let sa = self.display_value(self.local(t, *a));
+                let sb = self.display_value(self.local(t, *b));
+                let r = self.heap.alloc(RtObject::Str(format!("{sa}{sb}")));
+                self.set_local(t, *d, RtValue::Ref(r));
+            }
+            LoweredInstr::Call {
+                dst,
+                target,
+                args,
+                site_block,
+                site_instr,
+            } => {
+                self.ops += 1; // calls cost an extra op
+                let argv: Vec<RtValue> = args.iter().map(|&l| self.local(t, l)).collect();
+                let target_m = match target {
+                    LoweredCallee::Static(m2) => *m2,
+                    LoweredCallee::Virtual(sel) => {
+                        let recv = match argv.first() {
+                            Some(RtValue::Ref(r)) => *r,
+                            _ => {
+                                return Err(VmError::NullDeref {
+                                    method: self.err_sig(method),
+                                })
+                            }
+                        };
+                        let class = match self.heap.get(recv) {
+                            RtObject::Instance { class, .. } => *class,
+                            other => {
+                                return Err(VmError::TypeMismatch {
+                                    method: self.err_sig(method),
+                                    detail: format!("virtual call on {other:?}"),
+                                })
+                            }
+                        };
+                        lp.resolve_virtual(class, *sel)
+                            .ok_or_else(|| VmError::NoSuchMethod {
+                                class: self.program.class(class).name.clone(),
+                                selector: self.program.selector_name(*sel).to_string(),
+                            })?
+                    }
+                };
+                // End the caller's current path at the call boundary.
+                self.path_after_call(t);
+                // Advance the caller past the call before pushing the callee.
+                let (cu, node);
+                {
+                    let f = self.threads[t].frames.last_mut().expect("frame");
+                    f.ip += 1;
+                    cu = f.cu;
+                    node = f.node;
+                }
+                // Inlined at this exact (pre-baked) site?
+                let site = nimage_analysis::CallSite {
+                    method,
+                    block: *site_block as usize,
+                    instr: *site_instr as usize,
+                };
+                let child = self.compiled.cu(cu).nodes[node as usize]
+                    .child_at(site)
+                    .filter(|&c| self.compiled.cu(cu).nodes[c as usize].method == target_m);
+                match child {
+                    Some(c) => self.push_frame(t, target_m, cu, c, argv, *dst),
+                    None => self.enter_cu(t, target_m, argv, *dst)?,
+                }
+                return Ok(());
+            }
+            LoweredInstr::Intrinsic { dst, op, args } => {
+                let ps = self.image.options.page_size;
+                let tail_pages = (self.image.options.native_tail / ps).max(1);
+                let page = (*op as u64 + 2) * 131 % tail_pages;
+                self.touch_native(self.image.native_start + page * ps);
+                let argv: Vec<RtValue> = args.iter().map(|&l| self.local(t, l)).collect();
+                if *op == Intrinsic::Respond && self.first_response.is_none() {
+                    self.first_response = Some(ResponsePoint {
+                        ops: self.ops,
+                        probe_ops: self.probe_ops,
+                        faults: self.paging.faults(),
+                    });
+                }
+                let v = eval_intrinsic(*op, &argv);
+                if let Some(d) = dst {
+                    self.set_local(t, *d, v.unwrap_or(RtValue::Null));
+                }
+            }
+            LoweredInstr::Spawn { method: m2, args } => {
+                let argv: Vec<RtValue> = args.iter().map(|&l| self.local(t, l)).collect();
+                self.threads.push(ThreadCtx {
+                    frames: vec![],
+                    handle: None,
+                    done: false,
+                });
+                let nt = self.threads.len() - 1;
+                if let Some(s) = self.session.as_mut() {
+                    self.threads[nt].handle = Some(s.start_thread());
+                }
+                self.enter_cu(nt, *m2, argv, None)?;
+            }
+            LoweredInstr::Ret(v) => {
+                self.flush_path(t);
+                let frame = self.threads[t].frames.pop().expect("frame");
+                let value = v.map(|l| frame.locals[l.index()]);
+                if let Some(parent) = self.threads[t].frames.last_mut() {
+                    if let Some(slot) = frame.ret_slot {
+                        parent.locals[slot.index()] = value.unwrap_or(RtValue::Null);
+                    }
+                } else if t == 0 && self.entry_return.is_none() {
+                    self.entry_return = value;
+                }
+                return Ok(());
+            }
+            LoweredInstr::Jump(e) => {
+                self.path_block_edge_lowered(lp, t, e);
+                self.threads[t].frames.last_mut().expect("frame").ip = e.pc as usize;
+                return Ok(());
+            }
+            LoweredInstr::Br {
+                cond,
+                then_e,
+                else_e,
+            } => {
+                let c = match self.local(t, *cond) {
+                    RtValue::Bool(b) => b,
+                    other => {
+                        return Err(VmError::TypeMismatch {
+                            method: self.err_sig(method),
+                            detail: format!("branch on {other:?}"),
+                        })
+                    }
+                };
+                let e = if c { then_e } else { else_e };
+                self.path_block_edge_lowered(lp, t, e);
+                self.threads[t].frames.last_mut().expect("frame").ip = e.pc as usize;
+                return Ok(());
+            }
+        }
+        // Straight-line instruction: advance this frame's flat pc. Only
+        // calls and terminators (handled above) change the frame stack of
+        // thread `t`, so the top frame is still the executing one.
+        self.threads[t].frames.last_mut().expect("frame").ip += 1;
+        Ok(())
+    }
+
+    /// Ball–Larus block transition on the lowered path: the same cut /
+    /// increment decision as [`Vm::path_block_edge`], read from the dense
+    /// pre-lowered edge table instead of the lazy `HashMap`s.
+    fn path_block_edge_lowered(&mut self, lp: &LoweredProgram, t: usize, edge: &JumpEdge) {
+        if !self.trace_heap() {
+            return;
+        }
+        let (method, from_mini) = {
+            let f = self.threads[t].frames.last().expect("frame");
+            (f.method, f.mini)
+        };
+        let p = lp
+            .paths(method)
+            .expect("path tables built for traced builds");
+        let head = p.block_head[edge.block as usize];
+        let e = p.edge(from_mini, edge.block);
+        if e.cut {
+            self.flush_path(t);
+            let frame = self.threads[t].frames.last_mut().expect("frame");
+            frame.mini = head;
+            frame.path_start = head;
+            frame.path_acc = 0;
+        } else {
+            let frame = self.threads[t].frames.last_mut().expect("frame");
+            frame.path_acc += e.inc;
+            frame.mini = head;
+        }
+    }
+
+    /// Field-slot lookup through the pre-lowered `class × field` table;
+    /// error messages match [`Vm::field_slot`] byte for byte.
+    fn field_slot_lowered(
+        &self,
+        lp: &LoweredProgram,
+        r: u32,
+        fid: nimage_ir::FieldId,
+        method: MethodId,
+    ) -> Result<(usize, RtValue), VmError> {
+        match self.heap.get(r) {
+            RtObject::Instance { class, fields } => match lp.field_slot(*class, fid) {
+                Some(slot) => Ok((slot, fields[slot])),
+                None => Err(VmError::TypeMismatch {
+                    method: self.err_sig(method),
+                    detail: format!(
+                        "field {} not on {}",
+                        self.program.field_signature(fid),
+                        self.program.class(*class).name
+                    ),
+                }),
+            },
+            other => Err(VmError::TypeMismatch {
+                method: self.err_sig(method),
+                detail: format!("field access on {other:?}"),
+            }),
         }
     }
 

@@ -23,11 +23,13 @@
 mod exec;
 mod faultmap;
 mod heap_rt;
+pub mod lower;
 mod paging;
 mod report;
 
-pub use exec::{ProbeCosts, StopWhen, Vm, VmConfig, VmError};
+pub use exec::{ExecMode, ProbeCosts, StopWhen, Vm, VmConfig, VmError};
 pub use faultmap::{render_ascii, summarize, touched_extent, PageMapSummary};
 pub use heap_rt::{HeapTemplate, RtHeap, RtObject, RtValue};
+pub use lower::LoweredProgram;
 pub use paging::{PageState, PagingConfig, PagingSim, SectionFaults};
 pub use report::{CostModel, ExitKind, ResponsePoint, RunReport};

@@ -1,0 +1,482 @@
+//! One-time lowering of a compiled program into dense, decoded instruction
+//! arrays the interpreter can dispatch over by index.
+//!
+//! The tree-walking path of [`crate::Vm`] re-reads (and clones) an
+//! [`nimage_ir::Instr`] out of `Program → Method → Block → Vec<Instr>` on
+//! every step. A [`LoweredProgram`] flattens every method body once:
+//!
+//! * each method becomes one contiguous `Vec<LoweredInstr>` with the block
+//!   terminators lowered to ordinary instructions, so the hot loop is a
+//!   single bounds-checked index into a slice and a `match` on a reference —
+//!   **no per-step allocation, no clone**;
+//! * jump targets are pre-resolved to flat code indices (plus the original
+//!   block index, which the Ball–Larus runtime still keys on);
+//! * string literals are interned into a per-program table (`ConstStr`
+//!   carries a `u32` index instead of an owned `String`);
+//! * virtual dispatch reads a dense `class × selector → method` vtable and
+//!   field access a dense `class × field → slot` table, both precomputed
+//!   from the exact `resolve_virtual` / `all_instance_fields` semantics;
+//! * the Ball–Larus path tables of every executable method (every method
+//!   appearing in a compilation unit) are flattened into dense
+//!   `(from_mini × target_block)` edge tables, replacing the per-run
+//!   `HashMap` of `(ProfilingCfg, PathNumbering)` pairs.
+//!
+//! A `LoweredProgram` is immutable and shared across runs behind an `Arc`:
+//! the evaluation engine lowers each compiled build once and every
+//! (strategy, workload) cell of the matrix executes against the same copy.
+//! Results are bit-identical to the tree-walking path by construction — the
+//! lowered tables are pure reindexings of the structures the legacy
+//! interpreter consults lazily.
+
+use std::collections::HashMap;
+
+use nimage_compiler::{CompiledProgram, CuId, PathNumbering, ProfilingCfg};
+use nimage_ir::{
+    BinOp, Callee, ClassId, FieldId, Instr, Intrinsic, Local, MethodId, Program, SelectorId,
+    Terminator, TypeRef, UnOp,
+};
+
+use crate::heap_rt::RtValue;
+
+/// Sentinel for "absent" entries in the dense u32 lookup tables.
+pub const NO_ENTRY: u32 = u32::MAX;
+
+/// Sentinel for "absent" entries in the dense field-slot table.
+pub const NO_SLOT: u16 = u16::MAX;
+
+/// A pre-resolved control-flow edge: the flat code index of the target
+/// block's first instruction plus the original block index (the unit the
+/// Ball–Larus tables are keyed on).
+#[derive(Debug, Clone, Copy)]
+pub struct JumpEdge {
+    /// Flat index into [`LoweredMethod::code`] of the target block's head.
+    pub pc: u32,
+    /// Original basic-block index of the target.
+    pub block: u32,
+}
+
+/// A decoded instruction of the lowered engine. Mirrors
+/// [`nimage_ir::Instr`] with owned-data operands replaced by table indices,
+/// plus the three block terminators lowered to ordinary instructions so the
+/// step loop never consults `Block::terminator`.
+#[derive(Debug, Clone)]
+pub enum LoweredInstr {
+    /// `dst = <int literal>`
+    ConstInt(Local, i64),
+    /// `dst = <double literal>`
+    ConstDouble(Local, f64),
+    /// `dst = <bool literal>`
+    ConstBool(Local, bool),
+    /// `dst = strings[idx]` (interned literal, by string-table index).
+    ConstStr(Local, u32),
+    /// `dst = null`
+    ConstNull(Local),
+    /// `dst = src`
+    Move(Local, Local),
+    /// `dst = a <op> b`
+    Bin(BinOp, Local, Local, Local),
+    /// `dst = <op> a`
+    Un(UnOp, Local, Local),
+    /// `dst = new C()`
+    New(Local, ClassId),
+    /// `dst = new elem[len]`
+    NewArray(Local, TypeRef, Local),
+    /// `dst = obj.field`
+    GetField(Local, Local, FieldId),
+    /// `obj.field = src`
+    PutField(Local, FieldId, Local),
+    /// `dst = C.field`
+    GetStatic(Local, FieldId),
+    /// `C.field = src`
+    PutStatic(FieldId, Local),
+    /// `dst = arr[idx]`
+    ArrayGet(Local, Local, Local),
+    /// `arr[idx] = src`
+    ArraySet(Local, Local, Local),
+    /// `dst = arr.length`
+    ArrayLen(Local, Local),
+    /// `dst = s.length()`
+    StrLen(Local, Local),
+    /// `dst = s.charAt(i)`
+    StrCharAt(Local, Local, Local),
+    /// `dst = a + b` (string concatenation)
+    StrConcat(Local, Local, Local),
+    /// `dst? = call(args...)` with the call site pre-baked for the inline
+    /// lookup.
+    Call {
+        /// Destination local for the return value, if any.
+        dst: Option<Local>,
+        /// Pre-resolved call target.
+        target: LoweredCallee,
+        /// Argument locals.
+        args: Box<[Local]>,
+        /// Original block index of this call site.
+        site_block: u32,
+        /// Original instruction index within the block.
+        site_instr: u32,
+    },
+    /// `dst? = intrinsic(args...)`
+    Intrinsic {
+        /// Destination local, if the intrinsic produces a value.
+        dst: Option<Local>,
+        /// Which intrinsic.
+        op: Intrinsic,
+        /// Argument locals.
+        args: Box<[Local]>,
+    },
+    /// Spawn a new thread executing a static method.
+    Spawn {
+        /// Entry method of the new thread.
+        method: MethodId,
+        /// Argument locals.
+        args: Box<[Local]>,
+    },
+    /// Lowered `Terminator::Ret`.
+    Ret(Option<Local>),
+    /// Lowered `Terminator::Jump`.
+    Jump(JumpEdge),
+    /// Lowered `Terminator::Br`.
+    Br {
+        /// Condition local.
+        cond: Local,
+        /// Edge taken when the condition is true.
+        then_e: JumpEdge,
+        /// Edge taken when the condition is false.
+        else_e: JumpEdge,
+    },
+}
+
+/// Call target of a lowered call.
+#[derive(Debug, Clone, Copy)]
+pub enum LoweredCallee {
+    /// Direct call.
+    Static(MethodId),
+    /// Virtual dispatch through the dense vtable.
+    Virtual(SelectorId),
+}
+
+/// One flattened Ball–Larus edge: whether `from_mini → head_of(target)` is
+/// a cut edge, and its increment if it is not.
+#[derive(Debug, Clone, Copy)]
+pub struct PathEdge {
+    /// The edge terminates the current path.
+    pub cut: bool,
+    /// Ball–Larus increment (0 for cut edges).
+    pub inc: u64,
+}
+
+/// Flattened Ball–Larus tables of one method: the per-block head mini and
+/// the dense `(from_mini × target_block)` edge table, precomputed from the
+/// same [`ProfilingCfg`] / [`PathNumbering`] the legacy path builds lazily.
+#[derive(Debug, Clone)]
+pub struct LoweredPaths {
+    /// Head mini-block index of each basic block.
+    pub block_head: Vec<u32>,
+    /// `edges[from_mini * n_blocks + target_block]`.
+    edges: Vec<PathEdge>,
+    n_blocks: u32,
+}
+
+impl LoweredPaths {
+    fn build(cfg: &ProfilingCfg, num: &PathNumbering, n_blocks: usize) -> LoweredPaths {
+        let block_head: Vec<u32> = (0..n_blocks).map(|b| cfg.head_of_block(b).0).collect();
+        let n_minis = cfg.minis().len();
+        let mut edges = Vec::with_capacity(n_minis * n_blocks);
+        for from in 0..n_minis {
+            let from = nimage_compiler::MiniBlockId(from as u32);
+            for &head in &block_head {
+                let head = nimage_compiler::MiniBlockId(head);
+                edges.push(PathEdge {
+                    cut: num.is_cut(from, head),
+                    inc: num.increment(from, head),
+                });
+            }
+        }
+        LoweredPaths {
+            block_head,
+            edges,
+            n_blocks: n_blocks as u32,
+        }
+    }
+
+    /// The edge `from_mini → head_of(target_block)`.
+    #[inline]
+    pub fn edge(&self, from_mini: u32, target_block: u32) -> PathEdge {
+        self.edges[(from_mini * self.n_blocks + target_block) as usize]
+    }
+}
+
+/// One flattened method body.
+#[derive(Debug, Clone)]
+pub struct LoweredMethod {
+    /// Flat decoded instruction array; terminators included, so
+    /// `code[block_start[b]..]` starts at block `b`'s first instruction.
+    pub code: Vec<LoweredInstr>,
+    /// Flat code index of each basic block's first instruction.
+    pub block_start: Vec<u32>,
+    /// Local-slot count (copied from the IR method).
+    pub n_locals: u16,
+}
+
+/// The one-time lowering of a (program, compiled build) pair. Immutable;
+/// shared across VM runs behind an `Arc`.
+#[derive(Debug)]
+pub struct LoweredProgram {
+    /// Flattened method bodies, indexed by dense method index.
+    methods: Vec<LoweredMethod>,
+    /// Interned string literals referenced by [`LoweredInstr::ConstStr`].
+    strings: Vec<String>,
+    /// Dense `class × selector → method` vtable ([`NO_ENTRY`] = miss),
+    /// row-major by class.
+    vtable: Vec<u32>,
+    n_selectors: usize,
+    /// Dense `class × field → instance-field slot` table ([`NO_SLOT`] =
+    /// field not on that class), row-major by class.
+    field_slots: Vec<u16>,
+    n_fields: usize,
+    /// Default field values per class, in `all_instance_fields` layout
+    /// order (the `New` fast path).
+    field_defaults: Vec<Box<[RtValue]>>,
+    /// CU rooted at each method ([`NO_ENTRY`] = not a root).
+    root_cu: Vec<u32>,
+    /// Flattened Ball–Larus tables per method; built only for heap-tracing
+    /// builds and only for methods that appear in a compilation unit.
+    paths: Vec<Option<LoweredPaths>>,
+}
+
+impl LoweredProgram {
+    /// Lowers every method body of `program` against a compiled build.
+    ///
+    /// `max_paths` must match the executing VM's configured Ball–Larus
+    /// path limit (the numbering depends on it).
+    pub fn build(program: &Program, compiled: &CompiledProgram, max_paths: u64) -> LoweredProgram {
+        let n_methods = program.methods().len();
+        let n_classes = program.classes().len();
+        let n_fields = program.fields().len();
+        let n_selectors = program.selectors().len();
+
+        let mut strings: Vec<String> = vec![];
+        let mut string_idx: HashMap<String, u32> = HashMap::new();
+        let mut methods = Vec::with_capacity(n_methods);
+        for mi in 0..n_methods {
+            let m = program.method(MethodId(mi as u32));
+            // First pass: flat start index of every block (instrs + one
+            // lowered terminator each).
+            let mut block_start = Vec::with_capacity(m.blocks.len());
+            let mut off = 0u32;
+            for b in &m.blocks {
+                block_start.push(off);
+                off += b.instrs.len() as u32 + 1;
+            }
+            // Second pass: emit.
+            let mut code = Vec::with_capacity(off as usize);
+            for (bi, b) in m.blocks.iter().enumerate() {
+                for (ii, ins) in b.instrs.iter().enumerate() {
+                    code.push(lower_instr(ins, bi, ii, &mut strings, &mut string_idx));
+                }
+                let edge = |t: nimage_ir::BlockId| JumpEdge {
+                    pc: block_start[t.index()],
+                    block: t.0,
+                };
+                code.push(match &b.terminator {
+                    Terminator::Ret(v) => LoweredInstr::Ret(*v),
+                    Terminator::Jump(t) => LoweredInstr::Jump(edge(*t)),
+                    Terminator::Br {
+                        cond,
+                        then_blk,
+                        else_blk,
+                    } => LoweredInstr::Br {
+                        cond: *cond,
+                        then_e: edge(*then_blk),
+                        else_e: edge(*else_blk),
+                    },
+                });
+            }
+            methods.push(LoweredMethod {
+                code,
+                block_start,
+                n_locals: m.n_locals,
+            });
+        }
+
+        // Dense vtable via the exact resolve_virtual walk.
+        let mut vtable = vec![NO_ENTRY; n_classes * n_selectors];
+        for c in 0..n_classes {
+            for s in 0..n_selectors {
+                if let Some(m) = program.resolve_virtual(ClassId(c as u32), SelectorId(s as u32)) {
+                    vtable[c * n_selectors + s] = m.0;
+                }
+            }
+        }
+
+        // Dense field-slot table + per-class default field images, both in
+        // all_instance_fields (superclass-first) layout order.
+        let mut field_slots = vec![NO_SLOT; n_classes * n_fields];
+        let mut field_defaults = Vec::with_capacity(n_classes);
+        for c in 0..n_classes {
+            let layout = program.all_instance_fields(ClassId(c as u32));
+            for (slot, f) in layout.iter().enumerate() {
+                field_slots[c * n_fields + f.index()] = slot as u16;
+            }
+            field_defaults.push(
+                layout
+                    .iter()
+                    .map(|&f| RtValue::default_for(&program.field(f).ty))
+                    .collect(),
+            );
+        }
+
+        let mut root_cu = vec![NO_ENTRY; n_methods];
+        for cu in &compiled.cus {
+            root_cu[cu.root.index()] = cu.id.0;
+        }
+
+        // Ball–Larus tables only where a frame can actually execute: the
+        // methods realized in some CU's inline tree.
+        let mut paths = vec![None; n_methods];
+        if compiled.instrumentation.trace_heap {
+            let mut needed = vec![false; n_methods];
+            for cu in &compiled.cus {
+                for node in &cu.nodes {
+                    needed[node.method.index()] = true;
+                }
+            }
+            for (mi, need) in needed.iter().enumerate() {
+                if !need {
+                    continue;
+                }
+                let m = program.method(MethodId(mi as u32));
+                let cfg = ProfilingCfg::build(m);
+                let num = PathNumbering::compute(&cfg, max_paths);
+                paths[mi] = Some(LoweredPaths::build(&cfg, &num, m.blocks.len()));
+            }
+        }
+
+        LoweredProgram {
+            methods,
+            strings,
+            vtable,
+            n_selectors,
+            field_slots,
+            n_fields,
+            field_defaults,
+            root_cu,
+            paths,
+        }
+    }
+
+    /// The flattened body of a method.
+    #[inline]
+    pub fn method(&self, m: MethodId) -> &LoweredMethod {
+        &self.methods[m.index()]
+    }
+
+    /// Number of interned string literals.
+    pub fn n_strings(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// An interned string literal.
+    #[inline]
+    pub fn string(&self, idx: u32) -> &str {
+        &self.strings[idx as usize]
+    }
+
+    /// Virtual dispatch through the dense vtable (same result as
+    /// [`Program::resolve_virtual`]).
+    #[inline]
+    pub fn resolve_virtual(&self, class: ClassId, selector: SelectorId) -> Option<MethodId> {
+        let m = self.vtable[class.index() * self.n_selectors + selector.index()];
+        (m != NO_ENTRY).then_some(MethodId(m))
+    }
+
+    /// Instance-field slot of `field` on `class`, if the field is part of
+    /// the class's layout.
+    #[inline]
+    pub fn field_slot(&self, class: ClassId, field: FieldId) -> Option<usize> {
+        let s = self.field_slots[class.index() * self.n_fields + field.index()];
+        (s != NO_SLOT).then_some(s as usize)
+    }
+
+    /// Default field values of a class, in layout order.
+    #[inline]
+    pub fn field_defaults(&self, class: ClassId) -> &[RtValue] {
+        &self.field_defaults[class.index()]
+    }
+
+    /// The CU rooted at `method` (same result as
+    /// [`CompiledProgram::cu_of_root`]).
+    #[inline]
+    pub fn cu_of_root(&self, method: MethodId) -> Option<CuId> {
+        let c = self.root_cu[method.index()];
+        (c != NO_ENTRY).then_some(CuId(c))
+    }
+
+    /// The flattened Ball–Larus tables of a method (present only for
+    /// heap-tracing builds).
+    #[inline]
+    pub fn paths(&self, m: MethodId) -> Option<&LoweredPaths> {
+        self.paths[m.index()].as_ref()
+    }
+}
+
+fn lower_instr(
+    ins: &Instr,
+    block: usize,
+    instr: usize,
+    strings: &mut Vec<String>,
+    string_idx: &mut HashMap<String, u32>,
+) -> LoweredInstr {
+    match ins {
+        Instr::ConstInt(d, v) => LoweredInstr::ConstInt(*d, *v),
+        Instr::ConstDouble(d, v) => LoweredInstr::ConstDouble(*d, *v),
+        Instr::ConstBool(d, v) => LoweredInstr::ConstBool(*d, *v),
+        Instr::ConstStr(d, s) => {
+            let idx = match string_idx.get(s.as_str()) {
+                Some(&i) => i,
+                None => {
+                    let i = strings.len() as u32;
+                    strings.push(s.clone());
+                    string_idx.insert(s.clone(), i);
+                    i
+                }
+            };
+            LoweredInstr::ConstStr(*d, idx)
+        }
+        Instr::ConstNull(d) => LoweredInstr::ConstNull(*d),
+        Instr::Move(d, s) => LoweredInstr::Move(*d, *s),
+        Instr::Bin(op, d, a, b) => LoweredInstr::Bin(*op, *d, *a, *b),
+        Instr::Un(op, d, a) => LoweredInstr::Un(*op, *d, *a),
+        Instr::New(d, c) => LoweredInstr::New(*d, *c),
+        Instr::NewArray(d, elem, len) => LoweredInstr::NewArray(*d, elem.clone(), *len),
+        Instr::GetField(d, o, f) => LoweredInstr::GetField(*d, *o, *f),
+        Instr::PutField(o, f, s) => LoweredInstr::PutField(*o, *f, *s),
+        Instr::GetStatic(d, f) => LoweredInstr::GetStatic(*d, *f),
+        Instr::PutStatic(f, s) => LoweredInstr::PutStatic(*f, *s),
+        Instr::ArrayGet(d, a, i) => LoweredInstr::ArrayGet(*d, *a, *i),
+        Instr::ArraySet(a, i, s) => LoweredInstr::ArraySet(*a, *i, *s),
+        Instr::ArrayLen(d, a) => LoweredInstr::ArrayLen(*d, *a),
+        Instr::StrLen(d, s) => LoweredInstr::StrLen(*d, *s),
+        Instr::StrCharAt(d, s, i) => LoweredInstr::StrCharAt(*d, *s, *i),
+        Instr::StrConcat(d, a, b) => LoweredInstr::StrConcat(*d, *a, *b),
+        Instr::Call { dst, callee, args } => LoweredInstr::Call {
+            dst: *dst,
+            target: match callee {
+                Callee::Static(m) => LoweredCallee::Static(*m),
+                Callee::Virtual { selector, .. } => LoweredCallee::Virtual(*selector),
+            },
+            args: args.clone().into_boxed_slice(),
+            site_block: block as u32,
+            site_instr: instr as u32,
+        },
+        Instr::Intrinsic { dst, op, args } => LoweredInstr::Intrinsic {
+            dst: *dst,
+            op: *op,
+            args: args.clone().into_boxed_slice(),
+        },
+        Instr::Spawn { method, args } => LoweredInstr::Spawn {
+            method: *method,
+            args: args.clone().into_boxed_slice(),
+        },
+    }
+}

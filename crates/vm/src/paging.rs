@@ -18,9 +18,46 @@
 //! over many soon-needed pages — the entire mechanism the paper's ordering
 //! strategies exploit.
 
-use std::collections::HashSet;
-
 use nimage_image::{BinaryImage, SectionKind};
+
+/// Dense page bitmap. The simulator consults page residency on every
+/// interpreter heap/code touch, so membership must be a bit test, not a
+/// hashed probe. Grows on demand for touches past the sized range.
+#[derive(Debug, Clone, Default)]
+struct PageSet {
+    bits: Vec<u64>,
+    len: u64,
+}
+
+impl PageSet {
+    fn with_capacity(pages: u64) -> Self {
+        PageSet {
+            bits: vec![0; pages.div_ceil(64) as usize],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn contains(&self, page: u64) -> bool {
+        match self.bits.get((page / 64) as usize) {
+            Some(w) => w & (1 << (page % 64)) != 0,
+            None => false,
+        }
+    }
+
+    #[inline]
+    fn insert(&mut self, page: u64) {
+        let word = (page / 64) as usize;
+        if word >= self.bits.len() {
+            self.bits.resize(word + 1, 0);
+        }
+        let mask = 1 << (page % 64);
+        if self.bits[word] & mask == 0 {
+            self.bits[word] |= mask;
+            self.len += 1;
+        }
+    }
+}
 
 /// Paging behaviour knobs.
 #[derive(Debug, Clone)]
@@ -71,8 +108,8 @@ pub struct PagingSim {
     config: PagingConfig,
     page_size: u64,
     total_pages: u64,
-    resident: HashSet<u64>,
-    faulted: HashSet<u64>,
+    resident: PageSet,
+    faulted: PageSet,
     faults: SectionFaults,
 }
 
@@ -90,8 +127,8 @@ impl PagingSim {
             page_size: image.options.page_size,
             total_pages: image.total_pages(),
             config,
-            resident: HashSet::new(),
-            faulted: HashSet::new(),
+            resident: PageSet::with_capacity(image.total_pages()),
+            faulted: PageSet::with_capacity(image.total_pages()),
             faults: SectionFaults::default(),
         }
     }
@@ -100,7 +137,7 @@ impl PagingSim {
     /// fault.
     pub fn touch(&mut self, image: &BinaryImage, offset: u64) -> bool {
         let page = offset / self.page_size;
-        if self.resident.contains(&page) {
+        if self.resident.contains(page) {
             return false;
         }
         // Major fault: account to the section of the faulting offset.
@@ -146,16 +183,16 @@ impl PagingSim {
 
     /// Number of resident pages (faulted + faulted-around).
     pub fn resident_pages(&self) -> u64 {
-        self.resident.len() as u64
+        self.resident.len
     }
 
     /// The per-page state of the page range `[first, first + count)`.
     pub fn page_states(&self, first: u64, count: u64) -> Vec<PageState> {
         (first..first + count)
             .map(|p| {
-                if self.faulted.contains(&p) {
+                if self.faulted.contains(p) {
                     PageState::Faulted
-                } else if self.resident.contains(&p) {
+                } else if self.resident.contains(p) {
                     PageState::Resident
                 } else {
                     PageState::Untouched
