@@ -25,7 +25,7 @@ use std::time::Instant;
 
 use nimage_core::{
     load_profiles, save_profiles, BuildOptions, DiskCacheOptions, DiskStore, Engine, EngineOptions,
-    Evaluation, Parallelism, Pipeline, Strategy, WorkloadSpec, DISK_FORMAT_VERSION,
+    Evaluation, LayoutOrders, Parallelism, Pipeline, Strategy, WorkloadSpec, DISK_FORMAT_VERSION,
 };
 use nimage_profiler::{write_trace, DumpMode};
 use nimage_vm::{render_ascii, summarize, CostModel, VmConfig};
@@ -48,7 +48,7 @@ COMMANDS:
                                              given) and run it, printing the measured report
     bench [workload] [--json FILE] [--threads N]
                                              time the engine (cached, parallel) against the
-                                             serial uncached loop over all six strategies and
+                                             serial uncached loop over every strategy and
                                              report per-stage wall-clock + cache hit counts
     profile <workload> --out DIR             write ordering profiles (CSV) and the raw trace
     optimize <workload> --profiles DIR --strategy S --out FILE
@@ -71,7 +71,8 @@ COMMANDS:
     cache clear [--cache-dir DIR]            wipe the disk artifact cache
     help                                     this text
 
-STRATEGIES: cu, method, incremental-id, structural-hash, heap-path, cu+heap-path
+STRATEGIES: cu, method, incremental-id, structural-hash, heap-path, cu+heap-path,
+            cu-clustered, cu-clustered+heap-path (fault-cost-aware layout optimizer)
 WORKLOADS:  the 14 AWFY benchmarks, micronaut/quarkus/spring, and `quickstart`
 
 `run` and `eval` accept --verify / --no-verify to toggle the nimage-verify
@@ -388,6 +389,27 @@ fn cmd_bench(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     // matches the instrumented build unambiguously.
     let ratios = matched_ratio_rows(&program, &workload)?;
 
+    // Per-strategy measured major faults against the no-reorder baseline,
+    // with the layout optimizer's predictions for the clustered
+    // strategies (everything below is a cache hit after the engine run).
+    let engine_artifacts = engine.profile_workload(&spec)?;
+    let fault_rows: Vec<FaultRow> = rows
+        .iter()
+        .map(|(s, e)| {
+            let plan = engine.layout_plan(&spec, &engine_artifacts, *s)?;
+            Ok(FaultRow {
+                strategy: *s,
+                text: e.optimized.faults.text,
+                heap: e.optimized.faults.svm_heap,
+                predicted: plan.and_then(|p| p.predicted),
+            })
+        })
+        .collect::<Result<_, nimage_core::PipelineError>>()?;
+    let baseline_faults = rows
+        .first()
+        .map(|(_, e)| (e.baseline.faults.text, e.baseline.faults.svm_heap))
+        .unwrap_or((0, 0));
+
     println!("{} × {} strategies:", workload.name(), strategies.len());
     println!("  serial uncached : {:>10.1} ms", serial_ns as f64 / 1e6);
     println!(
@@ -432,6 +454,30 @@ fn cmd_bench(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     for (name, r) in &ratios {
         println!("    {name:<17} {r:.4}");
     }
+    println!("  measured major faults (text/heap/total):");
+    println!(
+        "    {:<22} {:>5} {:>5} {:>6}",
+        "baseline (no reorder)",
+        baseline_faults.0,
+        baseline_faults.1,
+        baseline_faults.0 + baseline_faults.1
+    );
+    for row in &fault_rows {
+        let predicted = row.predicted.map_or(String::new(), |p| {
+            format!(
+                "  (predicted {}, first-touch {})",
+                p.optimized.total(),
+                p.first_touch.total()
+            )
+        });
+        println!(
+            "    {:<22} {:>5} {:>5} {:>6}{predicted}",
+            row.strategy.name(),
+            row.text,
+            row.heap,
+            row.text + row.heap
+        );
+    }
     println!(
         "  results         : {}",
         if results_match && stages_identical {
@@ -452,6 +498,8 @@ fn cmd_bench(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
             n_workers,
             &stages,
             &ratios,
+            baseline_faults,
+            &fault_rows,
         );
         std::fs::write(path, json)?;
         println!("wrote {path}");
@@ -463,6 +511,15 @@ fn cmd_bench(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
         return Err("a parallel stage differs from its serial run".into());
     }
     Ok(())
+}
+
+/// One strategy's measured major-fault counts (plus, for the clustered
+/// strategies, the layout optimizer's predicted counts).
+struct FaultRow {
+    strategy: Strategy,
+    text: u64,
+    heap: u64,
+    predicted: Option<nimage_core::LayoutPrediction>,
 }
 
 /// One row of the per-stage serial-vs-parallel comparison.
@@ -563,7 +620,7 @@ fn stage_speedups(
 
     // Replay needs a trace: build and run the instrumented image once,
     // then post-process the same report serially and in parallel.
-    let image = ps.layout_stage(&cs, &ss, None, None, None)?;
+    let image = ps.layout_stage(&cs, &ss, LayoutOrders::default(), None)?;
     let report = ps.run_parts(&cs, &ss, &image, None, stop)?;
     let trace_records: usize = report
         .trace
@@ -601,7 +658,7 @@ fn stage_speedups(
     let n_runs = Strategy::all().len();
     let cn = ps.compile_stage(reach, nimage_compiler::InstrumentConfig::NONE, None);
     let sn = ps.snapshot_stage(&cn, &serial_opts.heap_optimized)?;
-    let img = ps.layout_stage(&cn, &sn, None, None, None)?;
+    let img = ps.layout_stage(&cn, &sn, LayoutOrders::default(), None)?;
     let template = Arc::new(nimage_vm::HeapTemplate::from_build_heap(sn.heap()));
     let lowered = Arc::new(nimage_vm::LoweredProgram::build(
         program,
@@ -691,6 +748,8 @@ fn bench_json(
     n_workers: usize,
     stage_benches: &[StageBench],
     matched_ratios: &[(&'static str, f64)],
+    baseline_faults: (u64, u64),
+    fault_rows: &[FaultRow],
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"workload\": \"{workload}\",\n"));
@@ -752,6 +811,41 @@ fn bench_json(
         .collect();
     out.push_str(&stages.join(",\n"));
     out.push_str("\n  },\n");
+    out.push_str("  \"faults\": {\n");
+    out.push_str(&format!(
+        "    \"baseline\": {{\"text\": {}, \"heap\": {}, \"total\": {}}},\n",
+        baseline_faults.0,
+        baseline_faults.1,
+        baseline_faults.0 + baseline_faults.1
+    ));
+    out.push_str("    \"strategies\": {\n");
+    let fault_lines: Vec<String> = fault_rows
+        .iter()
+        .map(|row| {
+            let mut line = format!(
+                "      \"{}\": {{\"text\": {}, \"heap\": {}, \"total\": {}",
+                row.strategy.name(),
+                row.text,
+                row.heap,
+                row.text + row.heap
+            );
+            if let Some(p) = row.predicted {
+                line.push_str(&format!(
+                    ", \"predicted\": {{\"text\": {}, \"heap\": {}, \"total\": {}}}, \"first_touch_predicted\": {{\"text\": {}, \"heap\": {}, \"total\": {}}}",
+                    p.optimized.text,
+                    p.optimized.heap,
+                    p.optimized.total(),
+                    p.first_touch.text,
+                    p.first_touch.heap,
+                    p.first_touch.total()
+                ));
+            }
+            line.push('}');
+            line
+        })
+        .collect();
+    out.push_str(&fault_lines.join(",\n"));
+    out.push_str("\n    }\n  },\n");
     out.push_str("  \"matched_object_ratio\": {");
     let ratio_rows: Vec<String> = matched_ratios
         .iter()

@@ -29,7 +29,7 @@ use nimage_vm::{HeapTemplate, LoweredProgram, RunReport};
 
 use nimage_analysis::Reachability;
 
-use crate::ProfiledArtifacts;
+use crate::{LayoutOrders, ProfiledArtifacts};
 
 /// A 128-bit content fingerprint / cache key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -187,6 +187,11 @@ pub struct ArtifactCache {
     /// per compiled program and lent (`Arc`) to every VM run of that
     /// build. Memory-only — lowering is cheap relative to deserializing.
     pub lowered: Memo<LoweredProgram>,
+    /// Layout-optimizer plans of the clustered strategies, keyed by
+    /// workload + strategy: the candidate search runs once per cell and
+    /// its chosen orders (plus predicted fault counts) are reused by
+    /// reports and repeat runs.
+    pub plans: Memo<LayoutOrders>,
 }
 
 impl ArtifactCache {
@@ -202,6 +207,7 @@ impl ArtifactCache {
             heap_templates: Memo::new("heap-template"),
             profiles: Memo::new("profile"),
             lowered: Memo::new("lower"),
+            plans: Memo::new("optimize"),
         }
     }
 
@@ -217,6 +223,7 @@ impl ArtifactCache {
             self.heap_templates.stats(),
             self.profiles.stats(),
             self.lowered.stats(),
+            self.plans.stats(),
         ]
     }
 

@@ -38,7 +38,9 @@ use std::collections::BTreeMap;
 
 use crate::cache::{ArtifactCache, CacheKey, Memo, MemoStats};
 use crate::diskcache::{DiskCacheOptions, DiskCacheStats, DiskCodec, DiskStore};
-use crate::{BuildOptions, Evaluation, Pipeline, PipelineError, ProfiledArtifacts, Strategy};
+use crate::{
+    BuildOptions, Evaluation, LayoutOrders, Pipeline, PipelineError, ProfiledArtifacts, Strategy,
+};
 
 /// Pipeline stages the engine attributes wall-clock to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -456,7 +458,7 @@ impl Engine {
             .images
             .get_or_try(ctx.key("layout:instrumented"), || {
                 self.clock.time(Stage::Layout, || {
-                    p.layout_stage(&compiled, &snapshot, None, None, None)
+                    p.layout_stage(&compiled, &snapshot, LayoutOrders::default(), None)
                 })
             })?;
         Ok(BuildParts {
@@ -492,9 +494,7 @@ impl Engine {
         let ids = strategy
             .and_then(|s| ctx.spec.opts.heap_strategy_for(s))
             .map(|hs| self.heap_ids(&ctx, ctx.key("snapshot:optimized"), &snapshot, hs));
-        let (cu_order, object_order) = self.clock.time(Stage::Order, || {
-            p.order_stage(artifacts, &compiled, &snapshot, strategy, ids.as_deref())
-        });
+        let orders = self.orders_for(&ctx, &p, artifacts, &compiled, &snapshot, strategy, &ids)?;
         let native = strategy
             .is_some()
             .then_some(artifacts.native_pages.as_slice());
@@ -506,7 +506,7 @@ impl Engine {
         };
         let image = self.cache.images.get_or_try(image_key, || {
             self.clock.time(Stage::Layout, || {
-                p.layout_stage(&compiled, &snapshot, cu_order, object_order, native)
+                p.layout_stage(&compiled, &snapshot, orders, native)
             })
         })?;
         Ok(BuildParts {
@@ -514,6 +514,83 @@ impl Engine {
             snapshot,
             image,
         })
+    }
+
+    /// The ordering-stage output for one workload × strategy. Clustered
+    /// strategies run the layout optimizer's candidate search, which is
+    /// the one ordering stage worth caching: the plan (orders + predicted
+    /// fault counts) is memoized and persisted under the `optimize` disk
+    /// stage, like `lower`'s inputs. Every other strategy replays its
+    /// profile inline, uncached, exactly as before.
+    #[allow(clippy::too_many_arguments)]
+    fn orders_for(
+        &self,
+        ctx: &Ctx<'_, '_>,
+        p: &Pipeline<'_>,
+        artifacts: &ProfiledArtifacts,
+        compiled: &CompiledProgram,
+        snapshot: &HeapSnapshot,
+        strategy: Option<Strategy>,
+        ids: &Option<Arc<HashMap<ObjId, u64>>>,
+    ) -> Result<LayoutOrders, PipelineError> {
+        if let Some(s) = strategy.filter(|s| s.clustered()) {
+            let key =
+                CacheKey::for_stage("optimize", &[ctx.base, CacheKey::of_debug("strategy", &s)]);
+            let plan = self.disk_backed(&self.cache.plans, "optimize", key, || {
+                Ok::<_, PipelineError>(self.clock.time(Stage::Order, || {
+                    p.order_stage(artifacts, compiled, snapshot, strategy, ids.as_deref())
+                }))
+            })?;
+            Ok((*plan).clone())
+        } else {
+            Ok(self.clock.time(Stage::Order, || {
+                p.order_stage(artifacts, compiled, snapshot, strategy, ids.as_deref())
+            }))
+        }
+    }
+
+    /// The layout optimizer's plan for one workload × strategy — the
+    /// chosen orders plus the cost model's predicted fault counts —
+    /// computed through the cache (a hit after any evaluation of the same
+    /// cell). Returns `None` for non-clustered strategies, which have no
+    /// plan.
+    ///
+    /// # Errors
+    /// Propagates pipeline failures.
+    pub fn layout_plan(
+        &self,
+        spec: &WorkloadSpec<'_>,
+        artifacts: &ProfiledArtifacts,
+        strategy: Strategy,
+    ) -> Result<Option<LayoutOrders>, PipelineError> {
+        if !strategy.clustered() {
+            return Ok(None);
+        }
+        let ctx = Ctx::new(spec);
+        let p = ctx.pipeline();
+        let reach = self.reach(&ctx, &p);
+        let compiled = self.optimized_compiled(&ctx, &p, &reach, artifacts);
+        let snapshot = self.snapshot_for(
+            &p,
+            ctx.key("snapshot:optimized"),
+            &compiled,
+            &ctx.spec.opts.heap_optimized,
+        )?;
+        let ids = ctx
+            .spec
+            .opts
+            .heap_strategy_for(strategy)
+            .map(|hs| self.heap_ids(&ctx, ctx.key("snapshot:optimized"), &snapshot, hs));
+        self.orders_for(
+            &ctx,
+            &p,
+            artifacts,
+            &compiled,
+            &snapshot,
+            Some(strategy),
+            &ids,
+        )
+        .map(Some)
     }
 
     /// Evaluates all `strategies` for one workload, returning
@@ -667,7 +744,7 @@ impl Engine {
                 .images
                 .get_or_try(ctx.key("layout:instrumented"), || {
                     self.clock.time(Stage::Layout, || {
-                        p.layout_stage(&compiled, &snap, None, None, None)
+                        p.layout_stage(&compiled, &snap, LayoutOrders::default(), None)
                     })
                 })?;
             let template =
@@ -724,7 +801,7 @@ impl Engine {
                 .images
                 .get_or_try(ctx.key("layout:baseline"), || {
                     self.clock.time(Stage::Layout, || {
-                        p.layout_stage(&compiled, &snapshot, None, None, None)
+                        p.layout_stage(&compiled, &snapshot, LayoutOrders::default(), None)
                     })
                 })?;
         let lowered = self.lowered_for(ctx, ctx.key("compile:optimized"), &compiled);
@@ -769,21 +846,20 @@ impl Engine {
             .opts
             .heap_strategy_for(strategy)
             .map(|hs| self.heap_ids(ctx, ctx.key("snapshot:optimized"), &parts.snapshot, hs));
-        let (cu_order, object_order) = self.clock.time(Stage::Order, || {
-            p.order_stage(
-                artifacts,
-                &parts.compiled,
-                &parts.snapshot,
-                Some(strategy),
-                ids.as_deref(),
-            )
-        });
+        let orders = self.orders_for(
+            ctx,
+            &p,
+            artifacts,
+            &parts.compiled,
+            &parts.snapshot,
+            Some(strategy),
+            &ids,
+        )?;
         let image = self.clock.time(Stage::Layout, || {
             p.layout_stage(
                 &parts.compiled,
                 &parts.snapshot,
-                cu_order,
-                object_order,
+                orders,
                 Some(artifacts.native_pages.as_slice()),
             )
         })?;

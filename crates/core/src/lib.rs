@@ -64,8 +64,10 @@ use nimage_compiler::{
 use nimage_heap::{snapshot_with_threads, ClinitError, HeapBuildConfig, HeapSnapshot, ObjId};
 use nimage_image::{BinaryImage, ImageOptions};
 use nimage_ir::Program;
+pub use nimage_order::PredictedFaults;
 use nimage_order::{
-    assign_ids, order_cus, order_objects, replay_first_access, CodeGranularity, CodeOrderProfile,
+    assign_ids, optimize_layout, order_cus, order_cus_split, order_objects, order_objects_split,
+    replay_first_access, CodeGranularity, CodeInput, CodeOrderProfile, CostParams, HeapInput,
     HeapOrderProfile, HeapStrategy, ReplayError,
 };
 pub use nimage_par::Parallelism;
@@ -91,11 +93,21 @@ pub enum Strategy {
     /// The combination the paper reports end-to-end numbers for: *cu*
     /// code ordering plus *heap path* object ordering.
     CuPlusHeapPath,
+    /// Beyond the paper: *cu* first-touch ordering refined by the
+    /// fault-cost-aware layout optimizer (`nimage_order::optimize_layout`)
+    /// — hot/cold splitting of the native tail plus fault-around-window
+    /// clustering of the hot CU prefix, chosen by candidate search under
+    /// the paging cost model.
+    CuClustered,
+    /// [`Strategy::CuClustered`] code ordering plus *heap path* object
+    /// ordering, both refined by the layout optimizer.
+    CuClusteredPlusHeapPath,
 }
 
 impl Strategy {
-    /// All strategies, in the order the paper's figures list them.
-    pub fn all() -> [Strategy; 6] {
+    /// All strategies: the paper's figures' order, then the clustered
+    /// extensions.
+    pub fn all() -> [Strategy; 8] {
         [
             Strategy::Cu,
             Strategy::Method,
@@ -103,6 +115,8 @@ impl Strategy {
             Strategy::StructuralHash,
             Strategy::HeapPath,
             Strategy::CuPlusHeapPath,
+            Strategy::CuClustered,
+            Strategy::CuClusteredPlusHeapPath,
         ]
     }
 
@@ -115,6 +129,8 @@ impl Strategy {
             Strategy::StructuralHash => "structural hash",
             Strategy::HeapPath => "heap path",
             Strategy::CuPlusHeapPath => "cu+heap path",
+            Strategy::CuClustered => "cu clustered",
+            Strategy::CuClusteredPlusHeapPath => "cu clustered+heap path",
         }
     }
 
@@ -122,7 +138,11 @@ impl Strategy {
     pub fn orders_code(&self) -> bool {
         matches!(
             self,
-            Strategy::Cu | Strategy::Method | Strategy::CuPlusHeapPath
+            Strategy::Cu
+                | Strategy::Method
+                | Strategy::CuPlusHeapPath
+                | Strategy::CuClustered
+                | Strategy::CuClusteredPlusHeapPath
         )
     }
 
@@ -134,6 +154,7 @@ impl Strategy {
                 | Strategy::StructuralHash
                 | Strategy::HeapPath
                 | Strategy::CuPlusHeapPath
+                | Strategy::CuClusteredPlusHeapPath
         )
     }
 
@@ -142,8 +163,30 @@ impl Strategy {
         match self {
             Strategy::IncrementalId => Some(HeapStrategy::IncrementalId),
             Strategy::StructuralHash => Some(HeapStrategy::structural_default()),
-            Strategy::HeapPath | Strategy::CuPlusHeapPath => Some(HeapStrategy::HeapPath),
+            Strategy::HeapPath | Strategy::CuPlusHeapPath | Strategy::CuClusteredPlusHeapPath => {
+                Some(HeapStrategy::HeapPath)
+            }
             _ => None,
+        }
+    }
+
+    /// Whether this strategy runs the fault-cost-aware layout optimizer
+    /// over its first-touch orders (and so also hot/cold-splits the
+    /// native tail).
+    pub fn clustered(&self) -> bool {
+        matches!(
+            self,
+            Strategy::CuClustered | Strategy::CuClusteredPlusHeapPath
+        )
+    }
+
+    /// The first-touch strategy a clustered strategy refines (itself for
+    /// the others) — the comparison partner for the bench fault gate.
+    pub fn first_touch_equivalent(&self) -> Strategy {
+        match self {
+            Strategy::CuClustered => Strategy::Cu,
+            Strategy::CuClusteredPlusHeapPath => Strategy::CuPlusHeapPath,
+            s => *s,
         }
     }
 }
@@ -271,6 +314,38 @@ pub struct ProfiledArtifacts {
     pub instrumented_report: RunReport,
 }
 
+/// The ordering stage's complete output: placement orders for both
+/// sections plus — for the clustered strategies — the native-tail page
+/// permutation and the cost model's predicted fault counts.
+///
+/// `LayoutOrders::default()` means "no reordering anywhere": it builds the
+/// default layout, exactly like the old `(None, None)` order pair.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LayoutOrders {
+    /// CU placement order for `.text` (`None` = compiler order).
+    pub cu_order: Option<Vec<CuId>>,
+    /// Object placement order for `.svm_heap` (`None` = snapshot order).
+    pub object_order: Option<Vec<ObjId>>,
+    /// Native-tail page permutation chosen by the layout optimizer
+    /// (`position[logical] = physical`). `None` leaves the tail to the
+    /// [`BuildOptions::reorder_native`] profile path.
+    pub native_order: Option<Vec<u32>>,
+    /// The optimizer's predicted faults (clustered strategies only).
+    pub predicted: Option<LayoutPrediction>,
+}
+
+/// Predicted major-fault counts of the layout optimizer's candidate search:
+/// the plain first-touch placement it started from and the placement it
+/// chose. `optimized.total() <= first_touch.total()` by construction
+/// (first-touch is candidate 0 of the search).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayoutPrediction {
+    /// Predicted faults of the first-touch placement (candidate 0).
+    pub first_touch: PredictedFaults,
+    /// Predicted faults of the chosen placement.
+    pub optimized: PredictedFaults,
+}
+
 /// A baseline-vs-strategy measurement pair.
 #[derive(Debug)]
 pub struct Evaluation {
@@ -321,11 +396,13 @@ impl Evaluation {
     /// both for the combined strategy.
     pub fn reported_fault_reduction(&self) -> f64 {
         match self.strategy {
-            Strategy::Cu | Strategy::Method => self.text_fault_reduction(),
+            Strategy::Cu | Strategy::Method | Strategy::CuClustered => self.text_fault_reduction(),
             Strategy::IncrementalId | Strategy::StructuralHash | Strategy::HeapPath => {
                 self.heap_fault_reduction()
             }
-            Strategy::CuPlusHeapPath => self.total_fault_reduction(),
+            Strategy::CuPlusHeapPath | Strategy::CuClusteredPlusHeapPath => {
+                self.total_fault_reduction()
+            }
         }
     }
 
@@ -508,7 +585,7 @@ impl<'p> Pipeline<'p> {
     pub fn build_instrumented(&self, instr: InstrumentConfig) -> Result<BuiltImage, PipelineError> {
         let compiled = self.compile_with(instr, None);
         let snap = self.snapshot_stage(&compiled, &self.opts.heap_instrumented)?;
-        let image = self.layout_stage(&compiled, &snap, None, None, None)?;
+        let image = self.layout_stage(&compiled, &snap, LayoutOrders::default(), None)?;
         Ok(BuiltImage {
             compiled,
             snapshot: snap,
@@ -563,6 +640,13 @@ impl<'p> Pipeline<'p> {
         lowered: Option<Arc<LoweredProgram>>,
         stop: StopWhen,
     ) -> Result<RunReport, PipelineError> {
+        // Reject an invalid paging config as a pipeline error before the
+        // simulator's constructor would panic on it.
+        self.opts.vm.paging.validate().map_err(|e| {
+            PipelineError::Vm(VmError::Config {
+                detail: e.to_string(),
+            })
+        })?;
         let vm = Vm::with_shared(
             self.program,
             compiled,
@@ -659,12 +743,11 @@ impl<'p> Pipeline<'p> {
     ) -> Result<BuiltImage, PipelineError> {
         let compiled = self.compile_with(InstrumentConfig::NONE, Some(&artifacts.call_counts));
         let snap = self.snapshot_stage(&compiled, &self.opts.heap_optimized)?;
-        let (cu_order, object_order) =
-            self.order_stage(artifacts, &compiled, &snap, strategy, None);
+        let orders = self.order_stage(artifacts, &compiled, &snap, strategy, None);
         let native = strategy
             .is_some()
             .then_some(artifacts.native_pages.as_slice());
-        let image = self.layout_stage(&compiled, &snap, cu_order, object_order, native)?;
+        let image = self.layout_stage(&compiled, &snap, orders, native)?;
         Ok(BuiltImage {
             compiled,
             snapshot: snap,
@@ -676,6 +759,11 @@ impl<'p> Pipeline<'p> {
     /// the profiles. `heap_ids` optionally supplies precomputed strategy
     /// identities of `snap` (the evaluation engine caches them per
     /// snapshot × strategy); `None` computes them inline.
+    ///
+    /// For the clustered strategies this runs the fault-cost-aware layout
+    /// optimizer over the first-touch orders (see [`optimize_layout`]);
+    /// for every other strategy it returns the profile-replay orders
+    /// unchanged, with no native order and no prediction.
     pub fn order_stage(
         &self,
         artifacts: &ProfiledArtifacts,
@@ -683,7 +771,10 @@ impl<'p> Pipeline<'p> {
         snap: &HeapSnapshot,
         strategy: Option<Strategy>,
         heap_ids: Option<&HashMap<ObjId, u64>>,
-    ) -> (Option<Vec<CuId>>, Option<Vec<ObjId>>) {
+    ) -> LayoutOrders {
+        if let Some(s) = strategy.filter(|s| s.clustered()) {
+            return self.optimize_stage(artifacts, compiled, snap, s, heap_ids);
+        }
         let cu_order = match strategy {
             Some(s) if s.orders_code() => {
                 let (profile, gran) = match s {
@@ -704,12 +795,87 @@ impl<'p> Pipeline<'p> {
             }
             None => None,
         };
-        (cu_order, object_order)
+        LayoutOrders {
+            cu_order,
+            object_order,
+            native_order: None,
+            predicted: None,
+        }
     }
 
-    /// Stage: layout — places the CUs and objects, reorders the native tail
-    /// from a first-touch profile when [`BuildOptions::reorder_native`] is
-    /// set and a profile is given, and runs the build-stage verifiers.
+    /// The clustered strategies' ordering: replays the first-touch orders
+    /// exactly like `cu` / `cu+heap path`, then hands them to the layout
+    /// optimizer's candidate search under the demand-paging cost model
+    /// (hot/cold native-tail splitting, fault-around-window clustering,
+    /// page-boundary packing). First-touch is candidate 0 of the search,
+    /// so the result never predicts more faults than the plain strategy.
+    fn optimize_stage(
+        &self,
+        artifacts: &ProfiledArtifacts,
+        compiled: &CompiledProgram,
+        snap: &HeapSnapshot,
+        strategy: Strategy,
+        heap_ids: Option<&HashMap<ObjId, u64>>,
+    ) -> LayoutOrders {
+        let (cu_first_touch, cu_hot) = order_cus_split(
+            self.program,
+            compiled,
+            &artifacts.cu_profile,
+            CodeGranularity::Cu,
+        );
+        let mut cu_sizes = vec![0u64; compiled.cus.len()];
+        for cu in &compiled.cus {
+            cu_sizes[cu.id.index()] = u64::from(cu.size);
+        }
+        let code = CodeInput {
+            first_touch: &cu_first_touch,
+            hot: cu_hot,
+            sizes: &cu_sizes,
+            native_pages: &artifacts.native_pages,
+        };
+        let heap_data = self.opts.heap_strategy_for(strategy).map(|hs| {
+            let profile = &artifacts.heap_profiles[&hs];
+            let (order, hot) = match heap_ids {
+                Some(ids) => order_objects_split(snap, ids, profile),
+                None => order_objects_split(snap, &assign_ids(self.program, snap, hs), profile),
+            };
+            let mut sizes = vec![0u64; snap.entries().len()];
+            for e in snap.entries() {
+                if e.obj.index() >= sizes.len() {
+                    sizes.resize(e.obj.index() + 1, 0);
+                }
+                sizes[e.obj.index()] = u64::from(e.size);
+            }
+            (order, hot, sizes)
+        });
+        let heap = heap_data.as_ref().map(|(order, hot, sizes)| HeapInput {
+            first_touch: order,
+            hot: *hot,
+            sizes,
+        });
+        let params = CostParams {
+            page_size: self.opts.image.page_size,
+            fault_around_pages: self.opts.vm.paging.fault_around_pages,
+            cu_align: self.opts.image.cu_align,
+            obj_align: self.opts.image.obj_align,
+            native_tail: self.opts.image.native_tail,
+        };
+        let plan = optimize_layout(&code, heap.as_ref(), &params, self.opts.threads.effective());
+        LayoutOrders {
+            cu_order: Some(plan.cu_order),
+            object_order: plan.object_order,
+            native_order: Some(plan.native_order),
+            predicted: Some(LayoutPrediction {
+                first_touch: plan.first_touch_faults,
+                optimized: plan.predicted_faults,
+            }),
+        }
+    }
+
+    /// Stage: layout — places the CUs and objects, permutes the native tail
+    /// (either from the optimizer's explicit [`LayoutOrders::native_order`]
+    /// or, when [`BuildOptions::reorder_native`] is set, from the
+    /// first-touch profile), and runs the build-stage verifiers.
     ///
     /// # Errors
     /// Fails on error-severity verification findings (only when
@@ -718,10 +884,15 @@ impl<'p> Pipeline<'p> {
         &self,
         compiled: &CompiledProgram,
         snap: &HeapSnapshot,
-        cu_order: Option<Vec<CuId>>,
-        object_order: Option<Vec<ObjId>>,
+        orders: LayoutOrders,
         native_profile: Option<&[u32]>,
     ) -> Result<BinaryImage, PipelineError> {
+        let LayoutOrders {
+            cu_order,
+            object_order,
+            native_order: explicit_native,
+            predicted: _,
+        } = orders;
         let mut image = BinaryImage::build(
             compiled,
             snap,
@@ -729,7 +900,9 @@ impl<'p> Pipeline<'p> {
             object_order,
             self.opts.image.clone(),
         );
-        if self.opts.reorder_native {
+        if let Some(order) = explicit_native {
+            image.set_native_page_order(order);
+        } else if self.opts.reorder_native {
             if let Some(pages) = native_profile {
                 image.set_native_page_order(native_order(pages, image.native_pages() as u32));
             }

@@ -27,10 +27,10 @@ use nimage_heap::{
     SnapEntry,
 };
 use nimage_ir::{ClassId, FieldId, MethodId, SelectorId, TypeRef};
-use nimage_order::{CodeOrderProfile, HeapOrderProfile, HeapStrategy};
+use nimage_order::{CodeOrderProfile, HeapOrderProfile, HeapStrategy, PredictedFaults};
 
 use crate::diskcache::{cap_alloc, decode_option, encode_option, put_string, DiskCodec, Reader};
-use crate::ProfiledArtifacts;
+use crate::{LayoutOrders, LayoutPrediction, ProfiledArtifacts};
 
 fn heap_file_name(strategy: HeapStrategy) -> &'static str {
     match strategy {
@@ -657,6 +657,77 @@ impl DiskCodec for HeapSnapshot {
         }
         let heap = BuildHeap::from_parts(objects, statics, interned);
         Some(HeapSnapshot::from_parts(heap, entries, folded))
+    }
+}
+
+/// Whether `ids` is a permutation of `0..ids.len()` — the invariant every
+/// decoded order must satisfy, since the image builder index-asserts on
+/// placement orders and `set_native_page_order` on the tail permutation.
+fn is_self_permutation(ids: &[u32]) -> bool {
+    let mut seen = vec![false; ids.len()];
+    for &v in ids {
+        match seen.get_mut(v as usize) {
+            Some(s) if !*s => *s = true,
+            _ => return false,
+        }
+    }
+    true
+}
+
+impl DiskCodec for LayoutOrders {
+    fn encode(&self, out: &mut Vec<u8>) {
+        encode_option(out, &self.cu_order, |order, out| {
+            encode_u32_seq(out, order.iter().map(|c| c.0));
+        });
+        encode_option(out, &self.object_order, |order, out| {
+            encode_u32_seq(out, order.iter().map(|o| o.0));
+        });
+        encode_option(out, &self.native_order, |order, out| {
+            encode_u32_seq(out, order.iter().copied());
+        });
+        encode_option(out, &self.predicted, |p, out| {
+            put_u64(out, p.first_touch.text);
+            put_u64(out, p.first_touch.heap);
+            put_u64(out, p.optimized.text);
+            put_u64(out, p.optimized.heap);
+        });
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        let perm = |r: &mut Reader<'_>| decode_u32_seq(r).filter(|ids| is_self_permutation(ids));
+        let cu_order = decode_option(r, |r| {
+            Some(perm(r)?.into_iter().map(CuId).collect::<Vec<_>>())
+        })?;
+        // Object ids are sparse (folded objects leave holes), so the order
+        // is duplicate-free but not a permutation of `0..len`.
+        let object_order = decode_option(r, |r| {
+            let ids = decode_u32_seq(r)?;
+            let mut sorted = ids.clone();
+            sorted.sort_unstable();
+            sorted
+                .windows(2)
+                .all(|w| w[0] != w[1])
+                .then(|| ids.into_iter().map(ObjId).collect::<Vec<_>>())
+        })?;
+        let native_order = decode_option(r, perm)?;
+        let predicted = decode_option(r, |r| {
+            Some(LayoutPrediction {
+                first_touch: PredictedFaults {
+                    text: r.u64()?,
+                    heap: r.u64()?,
+                },
+                optimized: PredictedFaults {
+                    text: r.u64()?,
+                    heap: r.u64()?,
+                },
+            })
+        })?;
+        Some(LayoutOrders {
+            cu_order,
+            object_order,
+            native_order,
+            predicted,
+        })
     }
 }
 

@@ -1,0 +1,120 @@
+//! Seeded end-to-end pins of the clustered strategies: the layout
+//! optimizer must beat plain first-touch ordering by an exact, deterministic
+//! fault margin on the bundled workloads (the win comes from hot/cold
+//! splitting the native tail, which the cost model predicts page-exactly),
+//! and its ordering stage must be bit-identical at any worker count.
+
+use std::collections::HashMap;
+
+use nimage_compiler::InstrumentConfig;
+use nimage_core::{BuildOptions, Parallelism, Pipeline, Strategy};
+use nimage_profiler::DumpMode;
+use nimage_vm::{StopWhen, VmConfig};
+use nimage_workloads::{Awfy, Microservice, RuntimeScale};
+
+fn opts(dump: DumpMode) -> BuildOptions {
+    BuildOptions {
+        vm: VmConfig {
+            dump_mode: dump,
+            ..VmConfig::default()
+        },
+        ..BuildOptions::default()
+    }
+}
+
+/// Measured total major faults (text + heap) per strategy.
+fn measure(
+    program: &nimage_ir::Program,
+    options: BuildOptions,
+    stop: StopWhen,
+) -> HashMap<Strategy, u64> {
+    let pipeline = Pipeline::new(program, options);
+    let artifacts = pipeline.profiling_run(stop).unwrap();
+    let baseline = pipeline.baseline(&artifacts, stop).unwrap();
+    [
+        Strategy::Cu,
+        Strategy::CuClustered,
+        Strategy::CuPlusHeapPath,
+        Strategy::CuClusteredPlusHeapPath,
+    ]
+    .into_iter()
+    .map(|s| {
+        let eval = pipeline
+            .evaluate_with(&artifacts, &baseline, s, stop)
+            .unwrap();
+        (s, eval.optimized.faults.total())
+    })
+    .collect()
+}
+
+/// Bounce (AWFY, FaaS model): the exact fault counts the evaluation
+/// reports, pinning the clustered margin over first touch.
+#[test]
+fn bounce_clustered_fault_counts_are_pinned() {
+    let program = Awfy::Bounce.program();
+    let faults = measure(&program, opts(DumpMode::OnFull), StopWhen::Exit);
+    assert_eq!(faults[&Strategy::Cu], 42);
+    assert_eq!(faults[&Strategy::CuClustered], 38);
+    assert_eq!(faults[&Strategy::CuPlusHeapPath], 35);
+    assert_eq!(faults[&Strategy::CuClusteredPlusHeapPath], 31);
+}
+
+/// micronaut (microservice, time-to-first-response): same pin on the
+/// framework-startup-shaped workload.
+#[test]
+fn micronaut_clustered_fault_counts_are_pinned() {
+    let program = Microservice::Micronaut.program();
+    let faults = measure(
+        &program,
+        opts(DumpMode::MemoryMapped),
+        StopWhen::FirstResponse,
+    );
+    assert_eq!(faults[&Strategy::Cu], 28);
+    assert_eq!(faults[&Strategy::CuClustered], 23);
+    assert_eq!(faults[&Strategy::CuPlusHeapPath], 23);
+    assert_eq!(faults[&Strategy::CuClusteredPlusHeapPath], 18);
+}
+
+/// The optimizer's ordering stage — run through `Pipeline::order_stage`
+/// with real profiles — returns the bit-identical plan at every worker
+/// count, and its prediction never exceeds first touch's.
+#[test]
+fn clustered_order_stage_is_thread_count_invariant() {
+    let program = Awfy::Bounce.program_at(&RuntimeScale::small());
+    let base_opts = BuildOptions {
+        threads: Parallelism::threads(1),
+        ..BuildOptions::default()
+    };
+    let serial = Pipeline::new(&program, base_opts.clone());
+    let artifacts = serial.profiling_run(StopWhen::Exit).unwrap();
+    let reach = serial.analyze_stage();
+    let compiled =
+        serial.compile_stage(reach, InstrumentConfig::NONE, Some(&artifacts.call_counts));
+    let snap = serial
+        .snapshot_stage(&compiled, &base_opts.heap_optimized)
+        .unwrap();
+    for strategy in [Strategy::CuClustered, Strategy::CuClusteredPlusHeapPath] {
+        let base = serial.order_stage(&artifacts, &compiled, &snap, Some(strategy), None);
+        let predicted = base
+            .predicted
+            .expect("clustered strategies carry a prediction");
+        assert!(predicted.optimized.total() <= predicted.first_touch.total());
+        assert!(base.native_order.is_some(), "native tail must be split");
+        for threads in [2, 4, 8] {
+            let par = Pipeline::new(
+                &program,
+                BuildOptions {
+                    threads: Parallelism::threads(threads),
+                    ..BuildOptions::default()
+                },
+            );
+            let plan = par.order_stage(&artifacts, &compiled, &snap, Some(strategy), None);
+            assert_eq!(
+                base,
+                plan,
+                "{} differs at {threads} threads",
+                strategy.name()
+            );
+        }
+    }
+}

@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use nimage_compiler::InstrumentConfig;
-use nimage_core::{BuildOptions, Parallelism, Pipeline, Strategy};
+use nimage_core::{BuildOptions, LayoutOrders, Parallelism, Pipeline, Strategy};
 use nimage_order::assign_ids;
 use nimage_vm::StopWhen;
 use nimage_workloads::{Awfy, RuntimeScale};
@@ -72,7 +72,7 @@ fn trace_replay_is_thread_count_invariant() {
         .snapshot_stage(&compiled, &o.heap_instrumented)
         .unwrap();
     let image = serial
-        .layout_stage(&compiled, &snap, None, None, None)
+        .layout_stage(&compiled, &snap, LayoutOrders::default(), None)
         .unwrap();
     let report = serial
         .run_parts(&compiled, &snap, &image, None, StopWhen::Exit)

@@ -20,12 +20,18 @@
 //!   are matched by re-computing the strategy's 64-bit IDs on the new
 //!   build's snapshot and aligning them with the profile's IDs — the
 //!   cross-build object-identity matching that Sec. 5 is about.
+//! * [`optimize_layout`] — beyond the paper: candidate search under the
+//!   demand-paging cost model (hot/cold splitting of the native tail,
+//!   fault-around-window clustering, page-boundary packing), anchored by
+//!   first-touch order as candidate 0 so it never predicts worse than the
+//!   paper's ordering.
 
 #![warn(missing_docs)]
 
 mod analyses;
 mod entity;
 pub mod murmur3;
+mod optimize;
 mod ordering;
 mod quality;
 mod strategies;
@@ -34,6 +40,11 @@ pub use analyses::{
     replay, replay_first_access, CodeOrderProfile, CuOrderAnalysis, Event, HeapOrderAnalysis,
     HeapOrderProfile, MethodOrderAnalysis, OrderingAnalysis, ReplayError, ReplaySummary,
 };
-pub use ordering::{match_rate, order_cus, order_objects, CodeGranularity};
-pub use quality::{layout_quality, matched_object_ratio, LayoutQuality};
+pub use optimize::{
+    optimize_layout, predict_faults, CodeInput, CostParams, HeapInput, OrderPlan, PredictedFaults,
+};
+pub use ordering::{
+    match_rate, order_cus, order_cus_split, order_objects, order_objects_split, CodeGranularity,
+};
+pub use quality::{layout_quality, matched_object_ratio, predicted_faults, LayoutQuality};
 pub use strategies::{assign_global_incremental_ids, assign_ids, HeapStrategy};

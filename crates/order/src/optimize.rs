@@ -1,0 +1,713 @@
+//! Page-fault-cost-aware layout optimization: hot/cold splitting plus
+//! fault-around-window clustering.
+//!
+//! The paper's orderings (`order_cus` / `order_objects`) linearize entities
+//! in plain first-touch order. That is the right *hot/cold split* — touched
+//! entities form a dense prefix, never-touched ones are exiled past the hot
+//! frontier — but it leaves two costs of the demand-paging model on the
+//! table (`nimage_vm::paging`, the aligned fault-around window of
+//! `PagingConfig::fault_around_pages`):
+//!
+//! 1. **The native tail is not split.** The startup-touched native pages
+//!    are scattered across the whole tail, so each one faults its own
+//!    fault-around window. Packing them to the front of the tail (hot/cold
+//!    splitting at page granularity) collapses those faults into the one or
+//!    two windows that cover the packed prefix.
+//! 2. **The hot prefix is packed by accident, not by cost.** Alignment
+//!    padding between hot entities and hot entities straddling a window
+//!    boundary can push the hot span over one more fault-around window than
+//!    its bytes need. Clustering co-accessed entities into window-sized
+//!    chains and packing chains against alignment waste shaves that slack
+//!    where it exists.
+//!
+//! The optimizer works by *candidate search under an exact cost model*: it
+//! generates a fixed, deterministic list of candidate placements — the
+//! first-touch order itself is always candidate 0 — scores each one with
+//! [`predict_faults`] (a byte-exact replica of the image-layout arithmetic
+//! and the simulator's window-counting rule), and keeps the argmin, ties
+//! broken toward the lowest candidate index. Because first-touch is in the
+//! candidate set, the chosen placement never predicts more faults than the
+//! paper's ordering, and on workloads where neither the native split nor
+//! the clustering finds slack the optimizer *degenerates to first-touch
+//! order exactly* (see DESIGN.md §12).
+//!
+//! Candidate scoring fans out over `nimage_par::parallel_map` gated by
+//! [`nimage_par::cutoff::OPTIMIZE_MIN_ENTITIES`]; every candidate is
+//! generated and scored by pure deterministic code, so the result is
+//! bit-identical across thread counts.
+
+use nimage_compiler::CuId;
+use nimage_heap::ObjId;
+use nimage_par::{cutoff, parallel_map, workers_for};
+
+/// Geometry and paging-cost constants of the target image, mirrored from
+/// `nimage_image::ImageOptions` and `nimage_vm::PagingConfig` (the order
+/// crate deliberately depends on neither; the caller copies the numbers).
+///
+/// [`predict_faults`] replicates the layout arithmetic of
+/// `BinaryImage::build` from these five values; `order/tests` cross-checks
+/// the replica against the real image + simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostParams {
+    /// Page size in bytes (`ImageOptions::page_size`).
+    pub page_size: u64,
+    /// Pages mapped around a major fault, power of two
+    /// (`PagingConfig::fault_around_pages`).
+    pub fault_around_pages: u64,
+    /// CU placement alignment (`ImageOptions::cu_align`).
+    pub cu_align: u64,
+    /// Object placement alignment (`ImageOptions::obj_align`).
+    pub obj_align: u64,
+    /// Native tail size in bytes (`ImageOptions::native_tail`).
+    pub native_tail: u64,
+}
+
+impl CostParams {
+    /// Bytes covered by one fault-around window.
+    fn window_bytes(&self) -> u64 {
+        self.page_size * self.fault_around_pages
+    }
+
+    /// Pages in the native tail.
+    fn tail_pages(&self) -> u64 {
+        self.native_tail / self.page_size
+    }
+}
+
+/// The `.text` half of the optimizer's input.
+#[derive(Debug, Clone)]
+pub struct CodeInput<'a> {
+    /// All CUs in first-touch order: the `hot` profiled CUs first (in
+    /// first-entry order), then the never-touched rest.
+    pub first_touch: &'a [CuId],
+    /// Length of the hot prefix of `first_touch`.
+    pub hot: usize,
+    /// CU sizes in bytes, indexed by `CuId::index()`.
+    pub sizes: &'a [u64],
+    /// Native-tail pages in first-touch order (the profiling run's
+    /// `native_touch_pages`; may contain repeats or out-of-range pages,
+    /// which are ignored).
+    pub native_pages: &'a [u32],
+}
+
+/// The `.svm_heap` half of the optimizer's input.
+#[derive(Debug, Clone)]
+pub struct HeapInput<'a> {
+    /// All snapshot objects in first-touch order: the `hot` matched
+    /// objects first (in first-access order), then the unmatched rest.
+    pub first_touch: &'a [ObjId],
+    /// Length of the hot prefix of `first_touch`.
+    pub hot: usize,
+    /// Object sizes in bytes, indexed by `ObjId::index()`.
+    pub sizes: &'a [u64],
+}
+
+/// Predicted major faults of one placement under the cost model, split by
+/// section like the simulator's `FaultCounts`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PredictedFaults {
+    /// Predicted `.text` major faults (CU windows + native-tail windows).
+    pub text: u64,
+    /// Predicted `.svm_heap` major faults.
+    pub heap: u64,
+}
+
+impl PredictedFaults {
+    /// Both sections combined.
+    pub fn total(&self) -> u64 {
+        self.text + self.heap
+    }
+}
+
+/// The optimizer's output: a full placement plan plus its predicted cost
+/// next to the first-touch reference cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderPlan {
+    /// CU order (a permutation of the input's `first_touch`).
+    pub cu_order: Vec<CuId>,
+    /// Object order (a permutation), when a heap input was given.
+    pub object_order: Option<Vec<ObjId>>,
+    /// Native-tail page permutation: `native_order[i]` is the physical
+    /// tail page of logical page `i` (the `set_native_page_order`
+    /// contract).
+    pub native_order: Vec<u32>,
+    /// Predicted faults of plain first-touch order (candidate 0).
+    pub first_touch_faults: PredictedFaults,
+    /// Predicted faults of the chosen placement (never more than
+    /// `first_touch_faults` in any section total).
+    pub predicted_faults: PredictedFaults,
+}
+
+fn align_up(v: u64, align: u64) -> u64 {
+    debug_assert!(align.is_power_of_two());
+    (v + align - 1) & !(align - 1)
+}
+
+/// Hot logical native pages: first-touch order, deduplicated, out-of-range
+/// entries dropped.
+fn hot_native_pages(native_pages: &[u32], tail_pages: u64) -> Vec<u32> {
+    let mut seen = vec![false; tail_pages as usize];
+    let mut hot = vec![];
+    for &p in native_pages {
+        if u64::from(p) < tail_pages && !seen[p as usize] {
+            seen[p as usize] = true;
+            hot.push(p);
+        }
+    }
+    hot
+}
+
+/// The identity native-tail permutation (candidate 0: no native split).
+fn identity_native_order(tail_pages: u64) -> Vec<u32> {
+    (0..tail_pages as u32).collect()
+}
+
+/// The hot/cold-split native-tail permutation: touched pages move to the
+/// front of the tail in first-touch order, untouched pages follow in their
+/// original order. Returns the position array `pos[logical] = physical`.
+fn packed_native_order(native_pages: &[u32], tail_pages: u64) -> Vec<u32> {
+    let mut pos = vec![u32::MAX; tail_pages as usize];
+    let mut next = 0u32;
+    for p in hot_native_pages(native_pages, tail_pages) {
+        pos[p as usize] = next;
+        next += 1;
+    }
+    for slot in pos.iter_mut() {
+        if *slot == u32::MAX {
+            *slot = next;
+            next += 1;
+        }
+    }
+    pos
+}
+
+/// One fully specified candidate placement.
+#[derive(Debug, Clone)]
+struct Candidate {
+    cu_order: Vec<CuId>,
+    native_order: Vec<u32>,
+    object_order: Option<Vec<ObjId>>,
+}
+
+/// A page-interval set that counts distinct fault-around windows: the
+/// simulator charges exactly one major fault per aligned window containing
+/// at least one touched page, so predicted faults reduce to counting the
+/// distinct values of `page / fault_around_pages` over all touched pages.
+struct WindowSet {
+    window_pages: u64,
+    /// Sorted, disjoint touched-window intervals `[first, last]`.
+    windows: Vec<(u64, u64)>,
+}
+
+impl WindowSet {
+    fn new(window_pages: u64) -> WindowSet {
+        WindowSet {
+            window_pages,
+            windows: vec![],
+        }
+    }
+
+    /// Marks the byte range `[start, end)` as touched.
+    fn touch_bytes(&mut self, start: u64, end: u64, page_size: u64) {
+        if start >= end {
+            return;
+        }
+        let first = start / page_size / self.window_pages;
+        let last = (end - 1) / page_size / self.window_pages;
+        self.windows.push((first, last));
+    }
+
+    /// Number of distinct touched windows, consumed.
+    fn count(mut self) -> u64 {
+        self.windows.sort_unstable();
+        let mut n = 0u64;
+        let mut covered_to: Option<u64> = None;
+        for (first, last) in self.windows {
+            let from = match covered_to {
+                Some(c) if first <= c => c + 1,
+                _ => first,
+            };
+            if from <= last {
+                n += last - from + 1;
+            }
+            covered_to = Some(covered_to.map_or(last, |c| c.max(last)));
+        }
+        n
+    }
+}
+
+/// Scores one candidate placement: a byte-exact replica of
+/// `BinaryImage::build`'s cursor arithmetic plus the simulator's
+/// window-counting rule, under the *full-extent* touch model (every hot
+/// entity touches all of its bytes; cold entities touch none).
+///
+/// The full-extent model is an upper bound on the real run's touched byte
+/// set — the VM touches inline nodes and object fields individually — but
+/// it is the *same* upper bound for every candidate, and the native-tail
+/// part is page-exact (startup touches whole pages), so the comparison is
+/// meaningful and the native savings are exact. See DESIGN.md §12 for when
+/// the model's slack makes the optimizer fall back to first-touch order.
+fn predict(
+    candidate: &Candidate,
+    code: &CodeInput<'_>,
+    heap: Option<&HeapInput<'_>>,
+    params: &CostParams,
+) -> PredictedFaults {
+    let ps = params.page_size;
+    let mut hot_cu = vec![false; code.sizes.len()];
+    for &cu in &code.first_touch[..code.hot] {
+        hot_cu[cu.index()] = true;
+    }
+
+    let mut text = WindowSet::new(params.fault_around_pages);
+    let mut cursor = 0u64;
+    for &cu in &candidate.cu_order {
+        cursor = align_up(cursor, params.cu_align);
+        let size = code.sizes[cu.index()];
+        if hot_cu[cu.index()] {
+            text.touch_bytes(cursor, cursor + size, ps);
+        }
+        cursor += size;
+    }
+    let native_start = align_up(cursor, ps);
+    let tail_page0 = native_start / ps;
+    for p in hot_native_pages(code.native_pages, params.tail_pages()) {
+        let phys = u64::from(candidate.native_order[p as usize]);
+        let page_off = (tail_page0 + phys) * ps;
+        text.touch_bytes(page_off, page_off + ps, ps);
+    }
+    let text_end = native_start + params.native_tail;
+
+    let mut heap_faults = 0u64;
+    if let Some(h) = heap {
+        let order = candidate
+            .object_order
+            .as_deref()
+            .expect("heap input requires a candidate object order");
+        let mut hot_obj = vec![false; h.sizes.len()];
+        for &o in &h.first_touch[..h.hot] {
+            hot_obj[o.index()] = true;
+        }
+        let mut heap_set = WindowSet::new(params.fault_around_pages);
+        let heap_start = align_up(text_end, ps);
+        let mut cursor = heap_start;
+        for &obj in order {
+            cursor = align_up(cursor, params.obj_align);
+            let size = h.sizes[obj.index()];
+            if hot_obj[obj.index()] {
+                heap_set.touch_bytes(cursor, cursor + size, ps);
+            }
+            cursor += size;
+        }
+        heap_faults = heap_set.count();
+    }
+
+    PredictedFaults {
+        text: text.count(),
+        heap: heap_faults,
+    }
+}
+
+/// Weighted co-access graph over the hot first-touch sequence: two hot
+/// entities are *startup-window neighbors* when their first accesses fall
+/// within one fault-around window's worth of bytes of each other (measured
+/// along the first-touch layout), and the edge weight grows the closer
+/// they are. Built per-entity and merged in index order, so the edge list
+/// is independent of thread count.
+fn co_access_edges(
+    hot_sizes: &[u64],
+    window_bytes: u64,
+    threads: usize,
+) -> Vec<(u64, usize, usize)> {
+    let n = hot_sizes.len();
+    // Prefix byte positions along the first-touch sequence.
+    let mut pos = Vec::with_capacity(n + 1);
+    let mut acc = 0u64;
+    pos.push(0u64);
+    for &s in hot_sizes {
+        acc += s;
+        pos.push(acc);
+    }
+    let workers = workers_for(threads, n, cutoff::OPTIMIZE_MIN_ENTITIES);
+    let per_entity = parallel_map(workers, n, |i| {
+        let mut edges = vec![];
+        for j in i + 1..n {
+            let dist = pos[j] - pos[i + 1];
+            if dist >= window_bytes {
+                break;
+            }
+            // Closer first accesses weigh more; +1 keeps every
+            // window-neighbor edge above zero.
+            edges.push((window_bytes - dist, i, j));
+        }
+        edges
+    });
+    per_entity.into_iter().flatten().collect()
+}
+
+/// Ext-TSP-style chain clustering (greedy Pettis–Hansen merge): entities
+/// start as singleton chains; edges are taken by descending weight (ties:
+/// lower endpoint indices first) and merge two chains end-to-end when the
+/// edge connects the tail of one to the head of the other and the merged
+/// chain still fits one fault-around window. Chains are then emitted by
+/// the earliest first-touch rank of their members, so clustering never
+/// moves an entity far from its startup position.
+fn cluster_hot(hot_sizes: &[u64], window_bytes: u64, threads: usize) -> Vec<usize> {
+    let n = hot_sizes.len();
+    if n <= 2 {
+        return (0..n).collect();
+    }
+    let mut edges = co_access_edges(hot_sizes, window_bytes, threads);
+    edges.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+
+    // Chain bookkeeping: each entity points at its chain id; chains keep
+    // member lists, byte sizes, head and tail.
+    let mut chain_of: Vec<usize> = (0..n).collect();
+    let mut members: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    let mut bytes: Vec<u64> = hot_sizes.to_vec();
+    for (_, a, b) in edges {
+        let (ca, cb) = (chain_of[a], chain_of[b]);
+        if ca == cb || bytes[ca] + bytes[cb] > window_bytes {
+            continue;
+        }
+        // Merge only tail(ca) → head(cb): preserves intra-chain first-touch
+        // direction, which keeps the emitted order close to startup order.
+        if *members[ca].last().unwrap() != a || *members[cb].first().unwrap() != b {
+            continue;
+        }
+        let moved = std::mem::take(&mut members[cb]);
+        for &m in &moved {
+            chain_of[m] = ca;
+        }
+        members[ca].extend(moved);
+        bytes[ca] += bytes[cb];
+        bytes[cb] = 0;
+    }
+
+    let mut chains: Vec<Vec<usize>> = members.into_iter().filter(|m| !m.is_empty()).collect();
+    // Emit by earliest first-touch rank of any member (head is not
+    // necessarily the minimum when merges chained).
+    chains.sort_by_key(|m| *m.iter().min().unwrap());
+    chains.into_iter().flatten().collect()
+}
+
+/// Page-boundary-aware packing: walks the hot prefix in order and, when
+/// the next hot entity would straddle a page boundary, moves the best-fit
+/// cold entity (largest that fits the gap to the boundary, ties: first in
+/// cold order) in front of it as a filler. Cold entities are untouched, so
+/// a filler costs nothing where the page is already hot — but it does push
+/// later hot bytes back, which is why the result is only *kept* when the
+/// predictor scores it no worse than the unpacked candidate.
+fn pack_page_boundaries<T: Copy>(
+    hot: &[T],
+    cold: &[T],
+    size_of: impl Fn(T) -> u64,
+    align: u64,
+    page_size: u64,
+) -> Vec<T> {
+    let mut used = vec![false; cold.len()];
+    let mut out = Vec::with_capacity(hot.len() + cold.len());
+    let mut cursor = 0u64;
+    for &h in hot {
+        let mut at = align_up(cursor, align);
+        let size = size_of(h);
+        let gap = align_up(at, page_size) - at;
+        if gap > 0 && size > gap && !at.is_multiple_of(page_size) {
+            // Find the largest unused cold entity that fits the gap.
+            let mut best: Option<(u64, usize)> = None;
+            for (i, &c) in cold.iter().enumerate() {
+                if used[i] {
+                    continue;
+                }
+                let cs = size_of(c);
+                if cs <= gap && best.is_none_or(|(bs, _)| cs > bs) {
+                    best = Some((cs, i));
+                }
+            }
+            if let Some((_, i)) = best {
+                used[i] = true;
+                out.push(cold[i]);
+                cursor = at + size_of(cold[i]);
+                at = align_up(cursor, align);
+            }
+        }
+        out.push(h);
+        cursor = at + size;
+    }
+    for (i, &c) in cold.iter().enumerate() {
+        if !used[i] {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Builds the candidate CU orders for the code section. Candidate 0 is
+/// always plain first-touch with the identity native permutation.
+fn code_candidates(code: &CodeInput<'_>, params: &CostParams, threads: usize) -> Vec<Candidate> {
+    let tail = params.tail_pages();
+    let identity = identity_native_order(tail);
+    let packed_native = packed_native_order(code.native_pages, tail);
+    let hot = &code.first_touch[..code.hot];
+    let cold = &code.first_touch[code.hot..];
+    let size_of = |cu: CuId| code.sizes[cu.index()];
+
+    let mut candidates = vec![
+        // 0: the paper's ordering, untouched.
+        Candidate {
+            cu_order: code.first_touch.to_vec(),
+            native_order: identity,
+            object_order: None,
+        },
+        // 1: first-touch + native-tail hot/cold split.
+        Candidate {
+            cu_order: code.first_touch.to_vec(),
+            native_order: packed_native.clone(),
+            object_order: None,
+        },
+    ];
+
+    // 2: window-clustered hot prefix + native split.
+    let hot_sizes: Vec<u64> = hot.iter().map(|&cu| size_of(cu)).collect();
+    let perm = cluster_hot(&hot_sizes, params.window_bytes(), threads);
+    let clustered: Vec<CuId> = perm.iter().map(|&i| hot[i]).collect();
+    let clustered_order: Vec<CuId> = clustered.iter().chain(cold.iter()).copied().collect();
+    candidates.push(Candidate {
+        cu_order: clustered_order,
+        native_order: packed_native.clone(),
+        object_order: None,
+    });
+
+    // 3: clustered + page-boundary packing with cold fillers.
+    let packed = pack_page_boundaries(&clustered, cold, size_of, params.cu_align, params.page_size);
+    candidates.push(Candidate {
+        cu_order: packed,
+        native_order: packed_native,
+        object_order: None,
+    });
+
+    candidates
+}
+
+/// Builds the candidate object orders for the heap section (no native
+/// component). Candidate 0 is plain first-touch.
+fn heap_candidates(heap: &HeapInput<'_>, params: &CostParams, threads: usize) -> Vec<Vec<ObjId>> {
+    let hot = &heap.first_touch[..heap.hot];
+    let cold = &heap.first_touch[heap.hot..];
+    let size_of = |o: ObjId| heap.sizes[o.index()];
+
+    let hot_sizes: Vec<u64> = hot.iter().map(|&o| size_of(o)).collect();
+    let perm = cluster_hot(&hot_sizes, params.window_bytes(), threads);
+    let clustered: Vec<ObjId> = perm.iter().map(|&i| hot[i]).collect();
+    let clustered_order: Vec<ObjId> = clustered.iter().chain(cold.iter()).copied().collect();
+    let packed = pack_page_boundaries(
+        &clustered,
+        cold,
+        size_of,
+        params.obj_align,
+        params.page_size,
+    );
+
+    vec![heap.first_touch.to_vec(), clustered_order, packed]
+}
+
+/// Optimizes the placement of CUs (and objects, when `heap` is given)
+/// against the fault-cost model: generates the deterministic candidate
+/// set, scores every candidate with [`predict_faults`]'s model, and keeps
+/// the argmin — ties broken toward the lowest candidate index, so the plan
+/// degenerates to plain first-touch order (plus, always, the native-tail
+/// hot/cold split when it helps) whenever clustering finds no slack.
+///
+/// The output is bit-deterministic across `threads` values: candidate
+/// generation is pure, and scoring fans out via `parallel_map`, whose
+/// results come back in candidate-index order.
+pub fn optimize_layout(
+    code: &CodeInput<'_>,
+    heap: Option<&HeapInput<'_>>,
+    params: &CostParams,
+    threads: usize,
+) -> OrderPlan {
+    assert!(
+        params.fault_around_pages.is_power_of_two(),
+        "fault_around_pages must be a power of two"
+    );
+    let code_cands = code_candidates(code, params, threads);
+    let heap_cands = heap.map(|h| heap_candidates(h, params, threads));
+
+    // Cross product of code × heap candidates (heap absent: code only).
+    let mut cands: Vec<Candidate> = vec![];
+    for c in &code_cands {
+        match &heap_cands {
+            None => cands.push(c.clone()),
+            Some(hs) => {
+                for h in hs {
+                    let mut cc = c.clone();
+                    cc.object_order = Some(h.clone());
+                    cands.push(cc);
+                }
+            }
+        }
+    }
+
+    let work = code.first_touch.len() + heap.map_or(0, |h| h.first_touch.len());
+    let workers = workers_for(threads, work, cutoff::OPTIMIZE_MIN_ENTITIES);
+    let scores = parallel_map(workers, cands.len(), |i| {
+        predict(&cands[i], code, heap, params)
+    });
+
+    let first_touch_faults = scores[0];
+    let best = scores
+        .iter()
+        .enumerate()
+        .min_by_key(|&(i, s)| (s.total(), i))
+        .map(|(i, _)| i)
+        .expect("candidate set is never empty");
+    let chosen = cands.swap_remove(best);
+
+    OrderPlan {
+        cu_order: chosen.cu_order,
+        object_order: chosen.object_order,
+        native_order: chosen.native_order,
+        first_touch_faults,
+        predicted_faults: scores[best],
+    }
+}
+
+/// Predicts the major-fault counts of one placement under the cost model —
+/// the same scoring [`optimize_layout`] uses for its candidates, exposed
+/// for reporting (see `quality::predicted_faults`): the caller passes any
+/// CU/object orders (e.g. a strategy's first-touch orders) and gets the
+/// per-section predicted fault counts of that placement.
+pub fn predict_faults(
+    code: &CodeInput<'_>,
+    heap: Option<&HeapInput<'_>>,
+    cu_order: &[CuId],
+    object_order: Option<&[ObjId]>,
+    native_order: Option<&[u32]>,
+    params: &CostParams,
+) -> PredictedFaults {
+    let candidate = Candidate {
+        cu_order: cu_order.to_vec(),
+        native_order: native_order.map_or_else(
+            || identity_native_order(params.tail_pages()),
+            <[u32]>::to_vec,
+        ),
+        object_order: object_order.map(<[ObjId]>::to_vec),
+    };
+    predict(&candidate, code, heap, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> CostParams {
+        CostParams {
+            page_size: 4096,
+            fault_around_pages: 16,
+            cu_align: 16,
+            obj_align: 8,
+            native_tail: 768 * 1024,
+        }
+    }
+
+    fn cus(n: u32) -> Vec<CuId> {
+        (0..n).map(CuId).collect()
+    }
+
+    #[test]
+    fn window_set_counts_distinct_windows() {
+        let mut w = WindowSet::new(16);
+        w.touch_bytes(0, 4096, 4096); // window 0
+        w.touch_bytes(4096, 8192, 4096); // window 0 again
+        w.touch_bytes(16 * 4096, 16 * 4096 + 1, 4096); // window 1
+        w.touch_bytes(40 * 4096, 80 * 4096, 4096); // windows 2..=4
+        assert_eq!(w.count(), 5);
+    }
+
+    #[test]
+    fn native_split_packs_hot_pages_to_front() {
+        let order = packed_native_order(&[5, 2, 7, 2, 900], 192);
+        assert_eq!(order[5], 0);
+        assert_eq!(order[2], 1);
+        assert_eq!(order[7], 2);
+        // Untouched pages keep their relative order after the hot ones.
+        assert_eq!(order[0], 3);
+        assert_eq!(order[1], 4);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..192).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn optimizer_beats_first_touch_via_native_split() {
+        let order = cus(4);
+        let sizes = vec![100, 200, 300, 400];
+        let code = CodeInput {
+            first_touch: &order,
+            hot: 2,
+            sizes: &sizes,
+            // Scattered startup pages: 4 separate windows under identity.
+            native_pages: &[0, 40, 90, 150],
+        };
+        let plan = optimize_layout(&code, None, &params(), 1);
+        assert!(plan.predicted_faults.text < plan.first_touch_faults.text);
+        // The tail starts on page 1 (CUs fill < a page), so the packed hot
+        // tail pages land in the same fault-around window as the hot CUs:
+        // one window total. Under the identity permutation, tail page 0
+        // shares that window, and pages 40/90/150 each fault their own.
+        assert_eq!(plan.predicted_faults.text, 1);
+        assert_eq!(plan.first_touch_faults.text, 4);
+    }
+
+    #[test]
+    fn optimizer_output_is_permutation_and_thread_invariant() {
+        let order = cus(9);
+        let sizes: Vec<u64> = (0..9).map(|i| 1000 + i * 777).collect();
+        let objs: Vec<ObjId> = (0..7).map(ObjId).collect();
+        let osizes: Vec<u64> = (0..7).map(|i| 24 + i * 321).collect();
+        let code = CodeInput {
+            first_touch: &order,
+            hot: 5,
+            sizes: &sizes,
+            native_pages: &[3, 99],
+        };
+        let heap = HeapInput {
+            first_touch: &objs,
+            hot: 4,
+            sizes: &osizes,
+        };
+        let base = optimize_layout(&code, Some(&heap), &params(), 1);
+        let mut sorted = base.cu_order.clone();
+        sorted.sort();
+        assert_eq!(sorted, cus(9));
+        let mut osorted = base.object_order.clone().unwrap();
+        osorted.sort();
+        assert_eq!(osorted, objs);
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                optimize_layout(&code, Some(&heap), &params(), threads),
+                base
+            );
+        }
+    }
+
+    #[test]
+    fn degenerates_to_first_touch_when_no_slack() {
+        // One hot CU, no native touches: every candidate predicts the same
+        // cost, so the tie-break keeps candidate 0 (plain first-touch,
+        // identity native order).
+        let order = cus(3);
+        let sizes = vec![64, 64, 64];
+        let code = CodeInput {
+            first_touch: &order,
+            hot: 1,
+            sizes: &sizes,
+            native_pages: &[],
+        };
+        let plan = optimize_layout(&code, None, &params(), 1);
+        assert_eq!(plan.cu_order, order);
+        assert_eq!(plan.native_order, identity_native_order(192));
+        assert_eq!(plan.predicted_faults, plan.first_touch_faults);
+    }
+}

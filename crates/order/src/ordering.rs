@@ -36,6 +36,19 @@ pub fn order_cus(
     profile: &CodeOrderProfile,
     granularity: CodeGranularity,
 ) -> Vec<CuId> {
+    order_cus_split(program, compiled, profile, granularity).0
+}
+
+/// Like [`order_cus`], but also returns the length of the hot prefix: the
+/// number of CUs placed from the profile (the rest are the never-touched
+/// CUs exiled past the hot frontier). This is the hot/cold split the
+/// layout optimizer consumes.
+pub fn order_cus_split(
+    program: &Program,
+    compiled: &CompiledProgram,
+    profile: &CodeOrderProfile,
+    granularity: CodeGranularity,
+) -> (Vec<CuId>, usize) {
     // Signature → CU to place for that signature. A `BTreeMap` keeps this
     // ordering-sensitive path independent of hasher state.
     let mut sig_to_cu: BTreeMap<String, CuId> = BTreeMap::new();
@@ -67,6 +80,7 @@ pub fn order_cus(
             }
         }
     }
+    let hot = order.len();
     for cu in &compiled.cus {
         if !placed[cu.id.index()] {
             order.push(cu.id);
@@ -77,7 +91,7 @@ pub fn order_cus(
         compiled.cus.len(),
         "CU order must be a permutation of the compiled CUs"
     );
-    order
+    (order, hot)
 }
 
 /// Computes the `.svm_heap` object order of the optimized build from a
@@ -93,6 +107,18 @@ pub fn order_objects(
     ids: &HashMap<ObjId, u64>,
     profile: &HeapOrderProfile,
 ) -> Vec<ObjId> {
+    order_objects_split(snapshot, ids, profile).0
+}
+
+/// Like [`order_objects`], but also returns the length of the hot prefix:
+/// the number of objects matched by the profile (the rest follow in
+/// default order). This is the hot/cold split the layout optimizer
+/// consumes.
+pub fn order_objects_split(
+    snapshot: &HeapSnapshot,
+    ids: &HashMap<ObjId, u64>,
+    profile: &HeapOrderProfile,
+) -> (Vec<ObjId>, usize) {
     let mut rank: BTreeMap<u64, usize> = BTreeMap::new();
     for (i, &id) in profile.ids.iter().enumerate() {
         rank.entry(id).or_insert(i);
@@ -106,6 +132,7 @@ pub fn order_objects(
         }
     }
     matched.sort_by_key(|&(r, _)| r); // stable: ties keep default order
+    let hot = matched.len();
     let order: Vec<ObjId> = matched
         .into_iter()
         .map(|(_, o)| o)
@@ -116,7 +143,7 @@ pub fn order_objects(
         snapshot.entries().len(),
         "object order must be a permutation of the snapshot"
     );
-    order
+    (order, hot)
 }
 
 /// Fraction of profile identities that resolve to an object of this build's

@@ -1,0 +1,150 @@
+//! Property tests of the layout optimizer's contract: whatever the input,
+//! the output is a permutation of it, never predicts worse than first
+//! touch, reports predictions consistent with the scorer, and is
+//! bit-identical across worker-thread counts.
+
+use proptest::prelude::*;
+
+use nimage_compiler::CuId;
+use nimage_heap::ObjId;
+use nimage_order::{optimize_layout, predict_faults, CodeInput, CostParams, HeapInput};
+
+/// Native-tail pages of the test geometry (`native_tail / page_size`).
+const TAIL_PAGES: u32 = 64;
+
+/// A small image geometry (64-page native tail) so the candidate search
+/// exercises window sharing without megabyte-sized inputs.
+fn params() -> CostParams {
+    CostParams {
+        page_size: 4096,
+        fault_around_pages: 16,
+        cu_align: 16,
+        obj_align: 8,
+        native_tail: u64::from(TAIL_PAGES) * 4096,
+    }
+}
+
+/// Derives a permutation of `0..n` from a list of generated swaps
+/// (Fisher–Yates with externally supplied randomness, so the proptest
+/// input fully determines it).
+fn permutation(n: usize, swaps: &[usize]) -> Vec<u32> {
+    let mut p: Vec<u32> = (0..n as u32).collect();
+    for (i, &s) in swaps.iter().enumerate() {
+        let a = i % n;
+        let b = s % n;
+        p.swap(a, b);
+    }
+    p
+}
+
+fn sorted(ids: Vec<u32>) -> Vec<u32> {
+    let mut ids = ids;
+    ids.sort_unstable();
+    ids
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The optimizer returns permutations of its inputs, its chosen
+    /// placement never predicts more faults than first touch (candidate 0
+    /// of its own search), its reported prediction matches a re-score of
+    /// the returned orders, and every worker-thread count produces the
+    /// bit-identical plan.
+    #[test]
+    fn optimizer_is_a_thread_invariant_permutation(
+        cu_sizes in proptest::collection::vec(1u64..3000, 1..48),
+        cu_swaps in proptest::collection::vec(0usize..4096, 0..64),
+        (cu_hot_pct, obj_hot_pct) in (0usize..=100, 0usize..=100),
+        obj_sizes in proptest::collection::vec(1u64..600, 1..80),
+        obj_swaps in proptest::collection::vec(0usize..4096, 0..96),
+        native in proptest::collection::vec(0u32..TAIL_PAGES, 0..12),
+    ) {
+        let first_touch: Vec<CuId> =
+            permutation(cu_sizes.len(), &cu_swaps).into_iter().map(CuId).collect();
+        let cu_hot = cu_sizes.len() * cu_hot_pct / 100;
+        let code = CodeInput {
+            first_touch: &first_touch,
+            hot: cu_hot,
+            sizes: &cu_sizes,
+            native_pages: &native,
+        };
+        let obj_first: Vec<ObjId> =
+            permutation(obj_sizes.len(), &obj_swaps).into_iter().map(ObjId).collect();
+        let obj_hot = obj_sizes.len() * obj_hot_pct / 100;
+        let heap = HeapInput {
+            first_touch: &obj_first,
+            hot: obj_hot,
+            sizes: &obj_sizes,
+        };
+        let p = params();
+        let plan = optimize_layout(&code, Some(&heap), &p, 1);
+
+        // Permutation of the CU input.
+        prop_assert_eq!(
+            sorted(plan.cu_order.iter().map(|c| c.0).collect()),
+            (0..cu_sizes.len() as u32).collect::<Vec<_>>()
+        );
+        // Permutation of the object input.
+        let object_order = plan.object_order.as_ref().expect("heap side was given");
+        prop_assert_eq!(
+            sorted(object_order.iter().map(|o| o.0).collect()),
+            (0..obj_sizes.len() as u32).collect::<Vec<_>>()
+        );
+        // Permutation of the native-tail pages.
+        prop_assert_eq!(
+            sorted(plan.native_order.clone()),
+            (0..TAIL_PAGES).collect::<Vec<_>>()
+        );
+
+        // Anchored by first touch: never predicted worse.
+        prop_assert!(plan.predicted_faults.total() <= plan.first_touch_faults.total());
+
+        // The reported prediction is the scorer's verdict on the
+        // returned orders, not a stale candidate's.
+        let rescored = predict_faults(
+            &code,
+            Some(&heap),
+            &plan.cu_order,
+            Some(object_order),
+            Some(&plan.native_order),
+            &p,
+        );
+        prop_assert_eq!(rescored, plan.predicted_faults);
+
+        // Bit-determinism across worker counts.
+        for threads in [2, 4, 8] {
+            let other = optimize_layout(&code, Some(&heap), &p, threads);
+            prop_assert_eq!(&other, &plan);
+        }
+    }
+
+    /// Code-only planning (no heap side) upholds the same contract.
+    #[test]
+    fn code_only_plan_is_anchored_and_deterministic(
+        cu_sizes in proptest::collection::vec(1u64..5000, 1..64),
+        cu_swaps in proptest::collection::vec(0usize..4096, 0..64),
+        cu_hot_pct in 0usize..=100,
+        native in proptest::collection::vec(0u32..TAIL_PAGES, 0..10),
+    ) {
+        let first_touch: Vec<CuId> =
+            permutation(cu_sizes.len(), &cu_swaps).into_iter().map(CuId).collect();
+        let code = CodeInput {
+            first_touch: &first_touch,
+            hot: cu_sizes.len() * cu_hot_pct / 100,
+            sizes: &cu_sizes,
+            native_pages: &native,
+        };
+        let p = params();
+        let plan = optimize_layout(&code, None, &p, 1);
+        prop_assert!(plan.object_order.is_none());
+        prop_assert_eq!(
+            sorted(plan.cu_order.iter().map(|c| c.0).collect()),
+            (0..cu_sizes.len() as u32).collect::<Vec<_>>()
+        );
+        prop_assert!(plan.predicted_faults.total() <= plan.first_touch_faults.total());
+        for threads in [2, 8] {
+            prop_assert_eq!(optimize_layout(&code, None, &p, threads), plan.clone());
+        }
+    }
+}

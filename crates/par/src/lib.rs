@@ -122,6 +122,17 @@ pub mod cutoff {
     /// runs are sharded. A VM run is milliseconds of work, so two cells
     /// already amortize a spawn.
     pub const RUN_MIN_CELLS: usize = 2;
+
+    /// Layout optimization: minimum entities (CUs + objects) before the
+    /// co-access graph build and candidate scoring fan out. Scoring one
+    /// candidate is a single linear pass over the entities (~µs per
+    /// thousand on the bundled workloads, whose largest input is
+    /// micronaut's few thousand entities), so below this floor the spawn +
+    /// mutex overhead of the steal queue dominates just like the other
+    /// small stages did before their cutoffs; the bundled workloads stay
+    /// serial until a workload an order of magnitude larger demonstrates a
+    /// parallel win.
+    pub const OPTIMIZE_MIN_ENTITIES: usize = 16_384;
 }
 
 /// The host's available parallelism (cached after the first query;

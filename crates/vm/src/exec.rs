@@ -158,6 +158,12 @@ pub enum VmError {
         /// Signature of the target method.
         method: String,
     },
+    /// The VM configuration is invalid (e.g. a non-power-of-two
+    /// fault-around window), detected before any execution.
+    Config {
+        /// Details.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for VmError {
@@ -173,6 +179,7 @@ impl std::fmt::Display for VmError {
                 write!(f, "no method {selector} on {class}")
             }
             VmError::MissingCu { method } => write!(f, "no compilation unit for {method}"),
+            VmError::Config { detail } => write!(f, "invalid VM configuration: {detail}"),
         }
     }
 }

@@ -31,5 +31,5 @@ pub use exec::{ExecMode, ProbeCosts, StopWhen, Vm, VmConfig, VmError};
 pub use faultmap::{render_ascii, summarize, touched_extent, PageMapSummary};
 pub use heap_rt::{HeapTemplate, RtHeap, RtObject, RtValue};
 pub use lower::LoweredProgram;
-pub use paging::{PageState, PagingConfig, PagingSim, SectionFaults};
+pub use paging::{PageState, PagingConfig, PagingConfigError, PagingSim, SectionFaults};
 pub use report::{CostModel, ExitKind, ResponsePoint, RunReport};

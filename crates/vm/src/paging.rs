@@ -67,6 +67,55 @@ pub struct PagingConfig {
     pub fault_around_pages: u64,
 }
 
+/// An invalid [`PagingConfig`]: the fault-around window was not a power of
+/// two. The simulator aligns windows by masking, so any other value would
+/// silently map wrong page ranges — it is rejected up front instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PagingConfigError {
+    /// The rejected window size.
+    pub fault_around_pages: u64,
+}
+
+impl std::fmt::Display for PagingConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "fault-around window must be a power of two, got {}",
+            self.fault_around_pages
+        )
+    }
+}
+
+impl std::error::Error for PagingConfigError {}
+
+impl PagingConfig {
+    /// Validated constructor: rejects a window that is not a power of two
+    /// (Linux's `fault_around_order` is an order for the same reason).
+    ///
+    /// # Errors
+    /// Returns [`PagingConfigError`] for a non-power-of-two window.
+    pub fn new(fault_around_pages: u64) -> Result<PagingConfig, PagingConfigError> {
+        let config = PagingConfig { fault_around_pages };
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Checks the power-of-two invariant on an already-built config (the
+    /// fields are public, so a struct literal can bypass [`Self::new`]).
+    ///
+    /// # Errors
+    /// Returns [`PagingConfigError`] for a non-power-of-two window.
+    pub fn validate(&self) -> Result<(), PagingConfigError> {
+        if self.fault_around_pages.is_power_of_two() {
+            Ok(())
+        } else {
+            Err(PagingConfigError {
+                fault_around_pages: self.fault_around_pages,
+            })
+        }
+    }
+}
+
 impl Default for PagingConfig {
     fn default() -> Self {
         PagingConfig {
@@ -119,10 +168,9 @@ impl PagingSim {
     /// # Panics
     /// Panics if the fault-around window is not a power of two.
     pub fn new(image: &BinaryImage, config: PagingConfig) -> Self {
-        assert!(
-            config.fault_around_pages.is_power_of_two(),
-            "fault-around window must be a power of two"
-        );
+        if let Err(e) = config.validate() {
+            panic!("{e}");
+        }
         PagingSim {
             page_size: image.options.page_size,
             total_pages: image.total_pages(),
@@ -241,6 +289,24 @@ mod tests {
         );
         let snap = snapshot(&p, &cp, &HeapBuildConfig::default()).unwrap();
         BinaryImage::build(&cp, &snap, None, None, ImageOptions::default())
+    }
+
+    #[test]
+    fn config_rejects_non_power_of_two_window() {
+        for bad in [0, 3, 6, 15, 17] {
+            let err = PagingConfig::new(bad).unwrap_err();
+            assert_eq!(err.fault_around_pages, bad);
+            assert!(err.to_string().contains("power of two"));
+        }
+        for good in [1, 2, 16, 64] {
+            assert_eq!(PagingConfig::new(good).unwrap().fault_around_pages, good);
+        }
+        // A struct literal bypasses `new`; `validate` catches it.
+        let literal = PagingConfig {
+            fault_around_pages: 12,
+        };
+        assert!(literal.validate().is_err());
+        assert!(PagingConfig::default().validate().is_ok());
     }
 
     #[test]
