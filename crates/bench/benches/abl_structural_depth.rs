@@ -41,6 +41,7 @@ fn main() {
                 .iter()
                 .map(|e| ids_inst[&e.obj])
                 .collect(),
+            spans: vec![],
         };
         let ids_opt = assign_ids(&program, &optimized.snapshot, strat);
         println!(

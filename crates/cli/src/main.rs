@@ -223,7 +223,7 @@ fn cmd_eval(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
         Some(s) if !parsed.has_flag("all") => vec![strategy_of(s)?],
         _ => Strategy::all().to_vec(),
     };
-    let program = workload.program();
+    let program = workload.program()?;
     let mut opts = pipeline_for(&workload);
     opts.verify = verify_flag(parsed);
     opts.salted_heap_ids = parsed.has_flag("salted-heap-ids");
@@ -281,7 +281,7 @@ fn print_disk_stages(stats: &nimage_core::EngineStats) {
 fn cmd_run(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     let workload = Workload::resolve(parsed.one_positional("workload")?)?;
     let strategy = parsed.option("strategy").map(strategy_of).transpose()?;
-    let program = workload.program();
+    let program = workload.program()?;
     let mut opts = pipeline_for(&workload);
     opts.verify = verify_flag(parsed);
     opts.salted_heap_ids = parsed.has_flag("salted-heap-ids");
@@ -328,7 +328,7 @@ fn cmd_bench(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
         _ => return Err(ArgError("expected at most one workload".into()).into()),
     };
     let strategies = Strategy::all();
-    let program = workload.program();
+    let program = workload.program()?;
     // Verification stays off unless asked for — this command measures the
     // evaluation path itself.
     let mut opts = pipeline_for(&workload);
@@ -803,6 +803,10 @@ fn bench_json(
         }
         _ => out.push_str("  \"disk_stages\": null,\n"),
     }
+    out.push_str(&format!(
+        "  \"lowered_shards\": {{\"lazy\": {}, \"eager\": {}, \"cus\": {}}},\n",
+        stats.lowered_shards.lazy, stats.lowered_shards.eager, stats.lowered_shards.cus
+    ));
     out.push_str("  \"stages_ns\": {\n");
     let stages: Vec<String> = stats
         .stages
@@ -874,7 +878,7 @@ fn bench_json(
 fn cmd_profile(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     let workload = Workload::resolve(parsed.one_positional("workload")?)?;
     let out = Path::new(parsed.require("out")?);
-    let program = workload.program();
+    let program = workload.program()?;
     let pipeline = Pipeline::new(&program, pipeline_for(&workload));
     eprintln!("profiling {} …", workload.name());
     let artifacts = pipeline.profiling_run(workload.stop())?;
@@ -900,7 +904,7 @@ fn cmd_optimize(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     let strategy = strategy_of(parsed.require("strategy")?)?;
     let out = Path::new(parsed.require("out")?);
 
-    let program = workload.program();
+    let program = workload.program()?;
     let pipeline = Pipeline::new(&program, pipeline_for(&workload));
     let saved = load_profiles(profiles_dir)?;
     // The optimizing build does not need the instrumented report; rerun a
@@ -956,7 +960,7 @@ fn cmd_pagemap(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
         .map_err(|_| ArgError("--width must be a number".into()))?
         .unwrap_or(64);
     let strategy = parsed.option("strategy").map(strategy_of).transpose()?;
-    let program = workload.program();
+    let program = workload.program()?;
     let pipeline = Pipeline::new(&program, pipeline_for(&workload));
     eprintln!("profiling {} …", workload.name());
     let artifacts = pipeline.profiling_run(workload.stop())?;
@@ -981,7 +985,7 @@ fn cmd_pagemap(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
 
 fn cmd_heapstats(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     let workload = Workload::resolve(parsed.one_positional("workload")?)?;
-    let program = workload.program();
+    let program = workload.program()?;
     let pipeline = Pipeline::new(&program, pipeline_for(&workload));
     eprintln!("profiling {} …", workload.name());
     let artifacts = pipeline.profiling_run(workload.stop())?;
@@ -1240,7 +1244,7 @@ fn lint_workload(
 ) -> Result<LintOutcome, Box<dyn std::error::Error>> {
     use nimage_verify::{determinism::DeterminismInputs, irlint, pipeline as checks, Severity};
 
-    let program = workload.program();
+    let program = workload.program()?;
     let mut opts = pipeline_for(workload);
     opts.verify = verify;
     let spec = WorkloadSpec::new(workload.name(), &program, opts.clone(), workload.stop());
@@ -1372,7 +1376,7 @@ fn lint_workload(
     });
 
     timed!("profiling-determinism", {
-        let audit_program = workload.audit_program();
+        let audit_program = workload.audit_program()?;
         let prof_det = nimage_verify::audit_profiling_determinism(&audit_program, workload.stop());
         if text {
             println!(
@@ -1479,7 +1483,7 @@ fn lint_workload(
 
 fn cmd_overhead(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     let workload = Workload::resolve(parsed.one_positional("workload")?)?;
-    let program = workload.program();
+    let program = workload.program()?;
     let pipeline = Pipeline::new(&program, pipeline_for(&workload));
     let modes: [(&str, nimage_compiler::InstrumentConfig); 3] = [
         (
@@ -1594,7 +1598,7 @@ mod tests {
 
     #[test]
     fn quality_report_smoke() -> Result<(), Box<dyn std::error::Error>> {
-        let program = quickstart::program();
+        let program = quickstart::program()?;
         let pipeline = Pipeline::new(&program, BuildOptions::default());
         let artifacts = pipeline.profiling_run(nimage_vm::StopWhen::Exit)?;
         let built = pipeline.build_instrumented(nimage_compiler::InstrumentConfig::FULL)?;

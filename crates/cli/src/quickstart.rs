@@ -6,10 +6,44 @@
 //! workload so `nimage lint quickstart` can exercise every verifier in CI
 //! without depending on the example binary.
 
-use nimage_ir::{Program, ProgramBuilder, TypeRef};
+use nimage_ir::{Program, ProgramBuilder, TypeRef, ValidateError};
+
+/// Errors surfaced while assembling a CLI-built demo program. Assembly
+/// failures used to abort the whole CLI via `unwrap`; they now propagate
+/// to the subcommand's error path like any other failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuilderError {
+    /// A helper call that must produce a value produced none.
+    MissingResult(&'static str),
+    /// The assembled program failed IR validation.
+    Validate(ValidateError),
+}
+
+impl std::fmt::Display for BuilderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuilderError::MissingResult(what) => {
+                write!(f, "quickstart builder: {what} returned no value")
+            }
+            BuilderError::Validate(e) => write!(f, "quickstart builder: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuilderError {}
+
+impl From<ValidateError> for BuilderError {
+    fn from(e: ValidateError) -> Self {
+        BuilderError::Validate(e)
+    }
+}
 
 /// Builds the quickstart demo program.
-pub fn program() -> Program {
+///
+/// # Errors
+/// Returns a [`BuilderError`] when a worker call yields no value or the
+/// assembled program fails validation.
+pub fn program() -> Result<Program, BuilderError> {
     let mut pb = ProgramBuilder::new();
 
     let cell = pb.add_class("demo.Cell", None);
@@ -58,16 +92,27 @@ pub fn program() -> Program {
         .filter(|(i, _)| i % 5 != 0)
         .map(|(_, &m)| m)
         .collect();
+    // Builder closures cannot propagate with `?`; record the first failure
+    // and surface it once the closure returns.
+    let mut call_err: Option<BuilderError> = None;
     f.if_then(take_cold, |f| {
         for &m in &cold {
-            let v = f.call_static(m, &[], true).unwrap();
+            let Some(v) = f.call_static(m, &[], true) else {
+                call_err = Some(BuilderError::MissingResult("cold worker call"));
+                return;
+            };
             let s = f.add(acc, v);
             f.assign(acc, s);
         }
     });
+    if let Some(e) = call_err {
+        return Err(e);
+    }
     for (i, &m) in workers.iter().enumerate() {
         if i % 5 == 0 {
-            let v = f.call_static(m, &[], true).unwrap();
+            let v = f
+                .call_static(m, &[], true)
+                .ok_or(BuilderError::MissingResult("hot worker call"))?;
             let s = f.add(acc, v);
             f.assign(acc, s);
         }
@@ -91,15 +136,22 @@ pub fn program() -> Program {
     f.ret(Some(acc));
     pb.finish_body(main, f);
     pb.set_entry(main);
-    pb.build().expect("quickstart program validates")
+    Ok(pb.build()?)
 }
 
 #[cfg(test)]
 mod tests {
     #[test]
     fn quickstart_program_builds() {
-        let p = super::program();
+        let p = super::program().expect("quickstart program validates");
         assert!(p.entry.is_some());
         assert!(p.methods().len() > 60);
+    }
+
+    #[test]
+    fn builder_errors_format_without_panicking() {
+        use super::BuilderError;
+        let e = BuilderError::MissingResult("cold worker call");
+        assert!(e.to_string().contains("cold worker call"));
     }
 }

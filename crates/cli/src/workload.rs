@@ -6,6 +6,7 @@ use nimage_vm::StopWhen;
 use nimage_workloads::{Awfy, Microservice, RuntimeScale};
 
 use crate::args::ArgError;
+use crate::quickstart::BuilderError;
 
 /// A named evaluation workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,25 +53,32 @@ impl Workload {
     }
 
     /// Builds the workload's program at the evaluation scale.
-    pub fn program(&self) -> Program {
-        match self {
+    ///
+    /// # Errors
+    /// Propagates the quickstart builder's [`BuilderError`]; the baked-in
+    /// benchmark programs cannot fail to assemble.
+    pub fn program(&self) -> Result<Program, BuilderError> {
+        Ok(match self {
             Workload::Awfy(b) => b.program(),
             Workload::Micro(m) => m.program(),
-            Workload::Quickstart => crate::quickstart::program(),
-        }
+            Workload::Quickstart => crate::quickstart::program()?,
+        })
     }
 
     /// Builds the workload's program at a reduced scale for the
     /// determinism audits: bit-identity is a structural property, so the
     /// audit's two full instrumented runs don't need evaluation-scale
     /// iteration counts (which would dominate `lint --all`).
-    pub fn audit_program(&self) -> Program {
+    ///
+    /// # Errors
+    /// Propagates the quickstart builder's [`BuilderError`].
+    pub fn audit_program(&self) -> Result<Program, BuilderError> {
         let scale = RuntimeScale::small();
-        match self {
+        Ok(match self {
             Workload::Awfy(b) => b.program_at(&scale),
             Workload::Micro(m) => m.program_at(&scale),
-            Workload::Quickstart => crate::quickstart::program(),
-        }
+            Workload::Quickstart => crate::quickstart::program()?,
+        })
     }
 
     /// When the measured run stops.

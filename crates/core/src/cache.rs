@@ -136,6 +136,22 @@ impl<V> Memo<V> {
         }
     }
 
+    /// Snapshot of every completed artifact in the table (in-flight
+    /// computes are skipped, not waited for). Used to aggregate interior
+    /// state across artifacts — e.g. the lazy/eager shard counters of the
+    /// cached [`LoweredProgram`] containers.
+    pub fn values(&self) -> Vec<Arc<V>> {
+        let slots: Vec<Slot<V>> = lock_unpoisoned(&self.slots).values().cloned().collect();
+        slots
+            .iter()
+            .filter_map(|s| match s.try_lock() {
+                Ok(g) => g.clone(),
+                Err(std::sync::TryLockError::Poisoned(e)) => e.into_inner().clone(),
+                Err(std::sync::TryLockError::WouldBlock) => None,
+            })
+            .collect()
+    }
+
     /// Hit/miss counters.
     pub fn stats(&self) -> MemoStats {
         MemoStats {
@@ -183,9 +199,11 @@ pub struct ArtifactCache {
     /// Full profiling-run artifacts (instrumented build + run + replay),
     /// keyed by program + options.
     pub profiles: Memo<ProfiledArtifacts>,
-    /// Pre-lowered execution programs, keyed by compile key: lowered once
-    /// per compiled program and lent (`Arc`) to every VM run of that
-    /// build. Memory-only — lowering is cheap relative to deserializing.
+    /// Sharded execution programs, keyed by compile key: one lazy
+    /// container per compiled build, lent (`Arc`) to every VM run of that
+    /// build. Method bodies fault in per CU on first call; known-hot CUs
+    /// are pre-lowered from per-`(compile, cu)` shards persisted under the
+    /// `lower` disk stage.
     pub lowered: Memo<LoweredProgram>,
     /// Layout-optimizer plans of the clustered strategies, keyed by
     /// workload + strategy: the candidate search runs once per cell and

@@ -47,7 +47,7 @@ use crate::ProfiledArtifacts;
 /// any codec, or the semantics of a persisted stage change; old entries
 /// are invisible to the new version (they live under the old `v<N>`
 /// directory) and get removed by `nimage cache clear`.
-pub const DISK_FORMAT_VERSION: u32 = 2;
+pub const DISK_FORMAT_VERSION: u32 = 3;
 
 const MAGIC: &[u8; 4] = b"NIMC";
 const HEADER_LEN: usize = 4 + 4 + 8 + 8;
@@ -722,6 +722,25 @@ fn decode_page_states(r: &mut Reader<'_>) -> Option<Vec<PageState>> {
         .collect()
 }
 
+fn encode_spans(out: &mut Vec<u8>, spans: &[(u64, u64)]) {
+    out.extend_from_slice(&(spans.len() as u32).to_le_bytes());
+    for (s, e) in spans {
+        out.extend_from_slice(&s.to_le_bytes());
+        out.extend_from_slice(&e.to_le_bytes());
+    }
+}
+
+fn decode_spans(r: &mut Reader<'_>) -> Option<Vec<(u64, u64)>> {
+    let n = r.u32()? as usize;
+    let mut spans = Vec::with_capacity(cap_alloc(n, r, 16));
+    for _ in 0..n {
+        let s = r.u64()?;
+        let e = r.u64()?;
+        spans.push((s, e));
+    }
+    Some(spans)
+}
+
 impl DiskCodec for RunReport {
     fn encode(&self, out: &mut Vec<u8>) {
         out.extend_from_slice(&self.ops.to_le_bytes());
@@ -779,6 +798,11 @@ impl DiskCodec for RunReport {
         }
         encode_page_states(out, &self.text_page_states);
         encode_page_states(out, &self.heap_page_states);
+        out.extend_from_slice(&(self.heap_touch_spans.len() as u32).to_le_bytes());
+        for (obj, spans) in &self.heap_touch_spans {
+            out.extend_from_slice(&obj.to_le_bytes());
+            encode_spans(out, spans);
+        }
     }
 
     fn decode(r: &mut Reader<'_>) -> Option<Self> {
@@ -830,7 +854,14 @@ impl DiskCodec for RunReport {
         }
         let text_page_states = decode_page_states(r)?;
         let heap_page_states = decode_page_states(r)?;
+        let n = r.u32()? as usize;
+        let mut heap_touch_spans = Vec::with_capacity(cap_alloc(n, r, 8));
+        for _ in 0..n {
+            let obj = r.u32()?;
+            heap_touch_spans.push((obj, decode_spans(r)?));
+        }
         Some(RunReport {
+            heap_touch_spans,
             ops,
             probe_ops,
             faults,
@@ -899,6 +930,10 @@ impl DiskCodec for ProfiledArtifacts {
             for id in &profile.ids {
                 out.extend_from_slice(&id.to_le_bytes());
             }
+            out.extend_from_slice(&(profile.spans.len() as u32).to_le_bytes());
+            for spans in &profile.spans {
+                encode_spans(out, spans);
+            }
         }
         out.extend_from_slice(&(self.native_pages.len() as u32).to_le_bytes());
         for p in &self.native_pages {
@@ -922,7 +957,12 @@ impl DiskCodec for ProfiledArtifacts {
             for _ in 0..n_ids {
                 ids.push(r.u64()?);
             }
-            heap_profiles.insert(hs, HeapOrderProfile { ids });
+            let n_spans = r.u32()? as usize;
+            let mut spans = Vec::with_capacity(cap_alloc(n_spans, r, 4));
+            for _ in 0..n_spans {
+                spans.push(decode_spans(r)?);
+            }
+            heap_profiles.insert(hs, HeapOrderProfile { ids, spans });
         }
         let n = r.u32()? as usize;
         let mut native_pages = Vec::with_capacity(cap_alloc(n, r, 4));

@@ -32,7 +32,7 @@ use nimage_image::BinaryImage;
 use nimage_ir::Program;
 use nimage_order::HeapStrategy;
 use nimage_par::StealQueue;
-use nimage_vm::{ExecMode, HeapTemplate, LoweredProgram, RunReport, StopWhen};
+use nimage_vm::{ExecMode, HeapTemplate, LoweredProgram, LoweredShard, RunReport, StopWhen};
 
 use std::collections::BTreeMap;
 
@@ -193,6 +193,25 @@ pub struct EngineStats {
     /// Disk-tier counters broken down by persisted stage, when a disk
     /// cache is configured.
     pub disk_stages: Option<BTreeMap<String, DiskCacheStats>>,
+    /// Lowering-shard counters aggregated over every cached sharded
+    /// container.
+    pub lowered_shards: ShardStats,
+}
+
+/// How many lowering shards the engine's cached containers realized, and
+/// by which path. `lazy` counts shards faulted in by the interpreter on
+/// first call into a CU; `eager` counts shards realized ahead of execution
+/// (the hot-CU pre-lowering wave, disk installs, whole-program builds);
+/// `cus` is the total shard count, so `cus - lazy - eager` shards were
+/// never lowered at all.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shards realized by the interpreter's fault-in path.
+    pub lazy: u64,
+    /// Shards realized ahead of execution.
+    pub eager: u64,
+    /// Total shards (= CUs) across the cached containers.
+    pub cus: u64,
 }
 
 impl EngineStats {
@@ -297,11 +316,18 @@ impl Engine {
 
     /// Per-stage wall-clock and cache counters accumulated so far.
     pub fn stats(&self) -> EngineStats {
+        let mut lowered_shards = ShardStats::default();
+        for lp in self.cache.lowered.values() {
+            lowered_shards.lazy += lp.shards_lowered_lazy();
+            lowered_shards.eager += lp.shards_lowered_eager();
+            lowered_shards.cus += lp.n_cus() as u64;
+        }
         EngineStats {
             stages: self.clock.snapshot(),
             cache: self.cache.stats(),
             disk: self.disk.as_ref().map(DiskStore::stats),
             disk_stages: self.disk.as_ref().map(DiskStore::stage_stats),
+            lowered_shards,
         }
     }
 
@@ -691,11 +717,16 @@ impl Engine {
         }
     }
 
-    /// The pre-lowered execution program of one compile, lowered once per
-    /// compile key and shared (`Arc`) by every VM run of that build —
+    /// The sharded execution program of one compile: one lazy container
+    /// per compile key, shared (`Arc`) by every VM run of that build —
     /// matrix cells on different worker threads dispatch over the same
-    /// instruction arrays. `None` under [`ExecMode::Legacy`], where the
-    /// tree-walking interpreter wants no lowering.
+    /// instruction arrays, faulting per-CU shards in exactly once. `None`
+    /// under [`ExecMode::Legacy`], where the tree-walking interpreter
+    /// wants no lowering.
+    ///
+    /// Constructing the container builds only the cheap global tables;
+    /// method bodies are lowered per CU on first call, or ahead of time by
+    /// [`Engine::prelower_hot`].
     fn lowered_for(
         &self,
         ctx: &Ctx<'_, '_>,
@@ -708,9 +739,69 @@ impl Engine {
         let key = CacheKey::for_stage("lower", &[compile_key]);
         Some(self.cache.lowered.get_or(key, || {
             self.clock.time(Stage::Compile, || {
-                LoweredProgram::build(ctx.spec.program, compiled, ctx.spec.opts.vm.max_paths)
+                LoweredProgram::new(ctx.spec.program, compiled, ctx.spec.opts.vm.max_paths)
             })
         }))
+    }
+
+    /// The pre-lowering wave: realizes the shards of every CU the profile
+    /// marks hot (its CU-order profile lists first-entry order) before the
+    /// optimized runs start, fanning out under
+    /// [`nimage_par::cutoff::PRELOWER_MIN_CUS`]. Each shard is persisted
+    /// per `(compile, cu)` under the `lower` disk stage, so a warm engine
+    /// installs the decoded bodies instead of re-lowering; a shard that
+    /// fails validation against this build falls back to lowering locally.
+    fn prelower_hot(
+        &self,
+        ctx: &Ctx<'_, '_>,
+        compile_key: CacheKey,
+        compiled: &CompiledProgram,
+        lowered: &LoweredProgram,
+        artifacts: &ProfiledArtifacts,
+    ) {
+        let sig_to_cu: HashMap<String, nimage_compiler::CuId> = compiled
+            .cus
+            .iter()
+            .map(|cu| (ctx.spec.program.method_signature(cu.root), cu.id))
+            .collect();
+        // Profile order, already-realized shards skipped (baseline_parts
+        // re-runs per cell; the wave must not repeat disk reads).
+        let todo: Vec<nimage_compiler::CuId> = artifacts
+            .cu_profile
+            .sigs
+            .iter()
+            .filter_map(|sig| sig_to_cu.get(sig).copied())
+            .filter(|&cu| !lowered.is_cu_lowered(cu))
+            .collect();
+        if todo.is_empty() {
+            return;
+        }
+        let n = if self.opts.n_threads > 0 {
+            self.opts.n_threads
+        } else {
+            nimage_par::host_parallelism()
+        };
+        let workers = nimage_par::workers_for(n, todo.len(), nimage_par::cutoff::PRELOWER_MIN_CUS);
+        self.clock.time(Stage::Compile, || {
+            nimage_par::parallel_map(workers, todo.len(), |i| {
+                let cu = todo[i];
+                let key = CacheKey::for_stage(
+                    "lower",
+                    &[compile_key, CacheKey::of_debug("cu", &cu.index())],
+                );
+                if let Some(d) = &self.disk {
+                    if let Some(shard) = d.get::<LoweredShard>("lower", key) {
+                        if lowered.install_shard(compiled, &shard) {
+                            return;
+                        }
+                    }
+                }
+                let shard = lowered.extract_shard(ctx.spec.program, compiled, cu);
+                if let Some(d) = &self.disk {
+                    d.put("lower", key, &shard);
+                }
+            });
+        });
     }
 
     /// A heap snapshot of `compiled`, disk-backed under the `snapshot`
@@ -804,7 +895,11 @@ impl Engine {
                         p.layout_stage(&compiled, &snapshot, LayoutOrders::default(), None)
                     })
                 })?;
-        let lowered = self.lowered_for(ctx, ctx.key("compile:optimized"), &compiled);
+        let compile_key = ctx.key("compile:optimized");
+        let lowered = self.lowered_for(ctx, compile_key, &compiled);
+        if let Some(lp) = &lowered {
+            self.prelower_hot(ctx, compile_key, &compiled, lp, artifacts);
+        }
         let run = self.disk_backed(
             &self.cache.runs,
             "baseline-run",

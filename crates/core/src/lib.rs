@@ -48,7 +48,8 @@ pub use diskcache::{
     DISK_FORMAT_VERSION,
 };
 pub use engine::{
-    BuildParts, Engine, EngineOptions, EngineStats, MatrixCell, StageTimes, WorkloadSpec,
+    BuildParts, Engine, EngineOptions, EngineStats, MatrixCell, ShardStats, StageTimes,
+    WorkloadSpec,
 };
 pub use persist::{load_profiles, save_profiles, SavedProfiles};
 
@@ -66,9 +67,9 @@ use nimage_image::{BinaryImage, ImageOptions};
 use nimage_ir::Program;
 pub use nimage_order::PredictedFaults;
 use nimage_order::{
-    assign_ids, optimize_layout, order_cus, order_cus_split, order_objects, order_objects_split,
-    replay_first_access, CodeGranularity, CodeInput, CodeOrderProfile, CostParams, HeapInput,
-    HeapOrderProfile, HeapStrategy, ReplayError,
+    assign_ids, optimize_layout, order_cus, order_cus_split, order_objects,
+    order_objects_split_spans, replay_first_access, CodeGranularity, CodeInput, CodeOrderProfile,
+    CostParams, HeapInput, HeapOrderProfile, HeapStrategy, ReplayError,
 };
 pub use nimage_par::Parallelism;
 use nimage_verify::{errors_of, irlint, pipeline as checks, Diagnostic};
@@ -710,10 +711,16 @@ impl<'p> Pipeline<'p> {
             self.opts.vm.max_paths,
             self.opts.threads.effective(),
         )?;
+        // The instrumented run's touched-byte spans, keyed by raw snapshot
+        // object index — the same keying as `summary.object_order`, so each
+        // identity's first-access entry picks up the bytes startup actually
+        // touched inside that object.
+        let touch_spans: HashMap<u32, Vec<(u64, u64)>> =
+            report.heap_touch_spans.iter().cloned().collect();
         let mut heap_profiles = HashMap::new();
         for &strat in &heap_strategies {
             let ids = ids_for(strat);
-            heap_profiles.insert(strat, summary.heap_profile(&ids));
+            heap_profiles.insert(strat, summary.heap_profile_with_spans(&ids, &touch_spans));
         }
 
         Ok(ProfiledArtifacts {
@@ -835,9 +842,11 @@ impl<'p> Pipeline<'p> {
         };
         let heap_data = self.opts.heap_strategy_for(strategy).map(|hs| {
             let profile = &artifacts.heap_profiles[&hs];
-            let (order, hot) = match heap_ids {
-                Some(ids) => order_objects_split(snap, ids, profile),
-                None => order_objects_split(snap, &assign_ids(self.program, snap, hs), profile),
+            let (order, hot, hot_spans) = match heap_ids {
+                Some(ids) => order_objects_split_spans(snap, ids, profile),
+                None => {
+                    order_objects_split_spans(snap, &assign_ids(self.program, snap, hs), profile)
+                }
             };
             let mut sizes = vec![0u64; snap.entries().len()];
             for e in snap.entries() {
@@ -846,13 +855,23 @@ impl<'p> Pipeline<'p> {
                 }
                 sizes[e.obj.index()] = u64::from(e.size);
             }
-            (order, hot, sizes)
+            // Re-key the matched objects' measured spans by object index
+            // (the predictor's indexing, like `sizes`); unmatched and
+            // unmeasured objects keep an empty list → full-extent model.
+            let mut spans = vec![Vec::new(); sizes.len()];
+            for (&obj, s) in order[..hot].iter().zip(hot_spans) {
+                spans[obj.index()] = s;
+            }
+            (order, hot, sizes, spans)
         });
-        let heap = heap_data.as_ref().map(|(order, hot, sizes)| HeapInput {
-            first_touch: order,
-            hot: *hot,
-            sizes,
-        });
+        let heap = heap_data
+            .as_ref()
+            .map(|(order, hot, sizes, spans)| HeapInput {
+                first_touch: order,
+                hot: *hot,
+                sizes,
+                spans,
+            });
         let params = CostParams {
             page_size: self.opts.image.page_size,
             fault_around_pages: self.opts.vm.paging.fault_around_pages,
@@ -1045,6 +1064,7 @@ mod tests {
             native_touch_pages: vec![],
             text_page_states: vec![],
             heap_page_states: vec![],
+            heap_touch_spans: vec![],
         }
     }
 

@@ -26,8 +26,12 @@ use nimage_heap::{
     BuildHeap, HObject, HObjectKind, HValue, HeapSnapshot, InclusionReason, ObjId, ParentLink,
     SnapEntry,
 };
-use nimage_ir::{ClassId, FieldId, MethodId, SelectorId, TypeRef};
+use nimage_ir::{BinOp, ClassId, FieldId, Intrinsic, Local, MethodId, SelectorId, TypeRef, UnOp};
 use nimage_order::{CodeOrderProfile, HeapOrderProfile, HeapStrategy, PredictedFaults};
+use nimage_vm::lower::{
+    JumpEdge, LoweredCallee, LoweredInstr, LoweredMethod, LoweredPaths, PathEdge,
+};
+use nimage_vm::LoweredShard;
 
 use crate::diskcache::{cap_alloc, decode_option, encode_option, put_string, DiskCodec, Reader};
 use crate::{LayoutOrders, LayoutPrediction, ProfiledArtifacts};
@@ -52,8 +56,17 @@ fn code_csv(profile: &CodeOrderProfile) -> String {
 
 fn heap_csv(profile: &HeapOrderProfile) -> String {
     let mut s = String::new();
-    for id in &profile.ids {
-        s.push_str(&format!("{id:016x}\n"));
+    for (i, id) in profile.ids.iter().enumerate() {
+        s.push_str(&format!("{id:016x}"));
+        // Measured touched-byte spans ride on the identity's line so the
+        // saved profile keeps the measured touch model across processes
+        // (`HeapOrderProfile::from_csv` reads them back).
+        if let Some(spans) = profile.spans.get(i) {
+            for (a, b) in spans {
+                s.push_str(&format!(",{a}:{b}"));
+            }
+        }
+        s.push('\n');
     }
     s
 }
@@ -731,6 +744,467 @@ impl DiskCodec for LayoutOrders {
     }
 }
 
+// --- LoweredShard ----------------------------------------------------------
+// The per-(compile, cu) unit of the `lower` disk stage. Locals travel as
+// u32 (the reader has no u16 primitive); operator enums as one tag byte in
+// declaration order. Decode validates tags and value ranges totally —
+// container-relative bounds (locals vs. n_locals, string indices, jump
+// targets, CU coverage) are re-checked by `LoweredProgram::install_shard`,
+// which treats a mismatching shard as a miss.
+
+fn put_local(out: &mut Vec<u8>, l: Local) {
+    put_u32(out, u32::from(l.0));
+}
+
+fn decode_local(r: &mut Reader<'_>) -> Option<Local> {
+    Some(Local(u16::try_from(r.u32()?).ok()?))
+}
+
+fn encode_locals(out: &mut Vec<u8>, ls: &[Local]) {
+    put_u32(out, ls.len() as u32);
+    for l in ls {
+        put_local(out, *l);
+    }
+}
+
+fn decode_locals(r: &mut Reader<'_>) -> Option<Box<[Local]>> {
+    let n = r.u32()? as usize;
+    let mut v = Vec::with_capacity(cap_alloc(n, r, 4));
+    for _ in 0..n {
+        v.push(decode_local(r)?);
+    }
+    Some(v.into_boxed_slice())
+}
+
+fn encode_opt_local(out: &mut Vec<u8>, l: &Option<Local>) {
+    encode_option(out, l, |l, out| put_local(out, *l));
+}
+
+fn decode_opt_local(r: &mut Reader<'_>) -> Option<Option<Local>> {
+    decode_option(r, decode_local)
+}
+
+fn bin_op_tag(op: BinOp) -> u8 {
+    match op {
+        BinOp::Add => 0,
+        BinOp::Sub => 1,
+        BinOp::Mul => 2,
+        BinOp::Div => 3,
+        BinOp::Rem => 4,
+        BinOp::And => 5,
+        BinOp::Or => 6,
+        BinOp::Xor => 7,
+        BinOp::Shl => 8,
+        BinOp::Shr => 9,
+        BinOp::Lt => 10,
+        BinOp::Le => 11,
+        BinOp::Gt => 12,
+        BinOp::Ge => 13,
+        BinOp::Eq => 14,
+        BinOp::Ne => 15,
+    }
+}
+
+fn bin_op_from(tag: u8) -> Option<BinOp> {
+    Some(match tag {
+        0 => BinOp::Add,
+        1 => BinOp::Sub,
+        2 => BinOp::Mul,
+        3 => BinOp::Div,
+        4 => BinOp::Rem,
+        5 => BinOp::And,
+        6 => BinOp::Or,
+        7 => BinOp::Xor,
+        8 => BinOp::Shl,
+        9 => BinOp::Shr,
+        10 => BinOp::Lt,
+        11 => BinOp::Le,
+        12 => BinOp::Gt,
+        13 => BinOp::Ge,
+        14 => BinOp::Eq,
+        15 => BinOp::Ne,
+        _ => return None,
+    })
+}
+
+fn un_op_tag(op: UnOp) -> u8 {
+    match op {
+        UnOp::Neg => 0,
+        UnOp::Not => 1,
+        UnOp::IntToDouble => 2,
+        UnOp::DoubleToInt => 3,
+    }
+}
+
+fn un_op_from(tag: u8) -> Option<UnOp> {
+    Some(match tag {
+        0 => UnOp::Neg,
+        1 => UnOp::Not,
+        2 => UnOp::IntToDouble,
+        3 => UnOp::DoubleToInt,
+        _ => return None,
+    })
+}
+
+fn intrinsic_tag(op: Intrinsic) -> u8 {
+    match op {
+        Intrinsic::Sqrt => 0,
+        Intrinsic::Abs => 1,
+        Intrinsic::Floor => 2,
+        Intrinsic::Cos => 3,
+        Intrinsic::Sin => 4,
+        Intrinsic::Respond => 5,
+    }
+}
+
+fn intrinsic_from(tag: u8) -> Option<Intrinsic> {
+    Some(match tag {
+        0 => Intrinsic::Sqrt,
+        1 => Intrinsic::Abs,
+        2 => Intrinsic::Floor,
+        3 => Intrinsic::Cos,
+        4 => Intrinsic::Sin,
+        5 => Intrinsic::Respond,
+        _ => return None,
+    })
+}
+
+fn encode_jump_edge(out: &mut Vec<u8>, e: &JumpEdge) {
+    put_u32(out, e.pc);
+    put_u32(out, e.block);
+}
+
+fn decode_jump_edge(r: &mut Reader<'_>) -> Option<JumpEdge> {
+    Some(JumpEdge {
+        pc: r.u32()?,
+        block: r.u32()?,
+    })
+}
+
+fn encode_lowered_instr(out: &mut Vec<u8>, ins: &LoweredInstr) {
+    match ins {
+        LoweredInstr::ConstInt(d, v) => {
+            out.push(0);
+            put_local(out, *d);
+            put_u64(out, *v as u64);
+        }
+        LoweredInstr::ConstDouble(d, v) => {
+            out.push(1);
+            put_local(out, *d);
+            put_u64(out, v.to_bits());
+        }
+        LoweredInstr::ConstBool(d, v) => {
+            out.push(2);
+            put_local(out, *d);
+            out.push(u8::from(*v));
+        }
+        LoweredInstr::ConstStr(d, s) => {
+            out.push(3);
+            put_local(out, *d);
+            put_u32(out, *s);
+        }
+        LoweredInstr::ConstNull(d) => {
+            out.push(4);
+            put_local(out, *d);
+        }
+        LoweredInstr::Move(d, s) => {
+            out.push(5);
+            put_local(out, *d);
+            put_local(out, *s);
+        }
+        LoweredInstr::Bin(op, d, a, b) => {
+            out.push(6);
+            out.push(bin_op_tag(*op));
+            put_local(out, *d);
+            put_local(out, *a);
+            put_local(out, *b);
+        }
+        LoweredInstr::Un(op, d, a) => {
+            out.push(7);
+            out.push(un_op_tag(*op));
+            put_local(out, *d);
+            put_local(out, *a);
+        }
+        LoweredInstr::New(d, c) => {
+            out.push(8);
+            put_local(out, *d);
+            put_u32(out, c.0);
+        }
+        LoweredInstr::NewArray(d, elem, len) => {
+            out.push(9);
+            put_local(out, *d);
+            encode_type_ref(out, elem);
+            put_local(out, *len);
+        }
+        LoweredInstr::GetField(d, o, f) => {
+            out.push(10);
+            put_local(out, *d);
+            put_local(out, *o);
+            put_u32(out, f.0);
+        }
+        LoweredInstr::PutField(o, f, s) => {
+            out.push(11);
+            put_local(out, *o);
+            put_u32(out, f.0);
+            put_local(out, *s);
+        }
+        LoweredInstr::GetStatic(d, f) => {
+            out.push(12);
+            put_local(out, *d);
+            put_u32(out, f.0);
+        }
+        LoweredInstr::PutStatic(f, s) => {
+            out.push(13);
+            put_u32(out, f.0);
+            put_local(out, *s);
+        }
+        LoweredInstr::ArrayGet(d, a, i) => {
+            out.push(14);
+            put_local(out, *d);
+            put_local(out, *a);
+            put_local(out, *i);
+        }
+        LoweredInstr::ArraySet(a, i, s) => {
+            out.push(15);
+            put_local(out, *a);
+            put_local(out, *i);
+            put_local(out, *s);
+        }
+        LoweredInstr::ArrayLen(d, a) => {
+            out.push(16);
+            put_local(out, *d);
+            put_local(out, *a);
+        }
+        LoweredInstr::StrLen(d, s) => {
+            out.push(17);
+            put_local(out, *d);
+            put_local(out, *s);
+        }
+        LoweredInstr::StrCharAt(d, s, i) => {
+            out.push(18);
+            put_local(out, *d);
+            put_local(out, *s);
+            put_local(out, *i);
+        }
+        LoweredInstr::StrConcat(d, a, b) => {
+            out.push(19);
+            put_local(out, *d);
+            put_local(out, *a);
+            put_local(out, *b);
+        }
+        LoweredInstr::Call {
+            dst,
+            target,
+            args,
+            site_block,
+            site_instr,
+        } => {
+            out.push(20);
+            encode_opt_local(out, dst);
+            match target {
+                LoweredCallee::Static(m) => {
+                    out.push(0);
+                    put_u32(out, m.0);
+                }
+                LoweredCallee::Virtual(s) => {
+                    out.push(1);
+                    put_u32(out, s.0);
+                }
+            }
+            encode_locals(out, args);
+            put_u32(out, *site_block);
+            put_u32(out, *site_instr);
+        }
+        LoweredInstr::Intrinsic { dst, op, args } => {
+            out.push(21);
+            encode_opt_local(out, dst);
+            out.push(intrinsic_tag(*op));
+            encode_locals(out, args);
+        }
+        LoweredInstr::Spawn { method, args } => {
+            out.push(22);
+            put_u32(out, method.0);
+            encode_locals(out, args);
+        }
+        LoweredInstr::Ret(v) => {
+            out.push(23);
+            encode_opt_local(out, v);
+        }
+        LoweredInstr::Jump(e) => {
+            out.push(24);
+            encode_jump_edge(out, e);
+        }
+        LoweredInstr::Br {
+            cond,
+            then_e,
+            else_e,
+        } => {
+            out.push(25);
+            put_local(out, *cond);
+            encode_jump_edge(out, then_e);
+            encode_jump_edge(out, else_e);
+        }
+    }
+}
+
+fn decode_lowered_instr(r: &mut Reader<'_>) -> Option<LoweredInstr> {
+    Some(match r.u8()? {
+        0 => LoweredInstr::ConstInt(decode_local(r)?, r.i64()?),
+        1 => LoweredInstr::ConstDouble(decode_local(r)?, r.f64()?),
+        2 => {
+            let d = decode_local(r)?;
+            match r.u8()? {
+                0 => LoweredInstr::ConstBool(d, false),
+                1 => LoweredInstr::ConstBool(d, true),
+                _ => return None,
+            }
+        }
+        3 => LoweredInstr::ConstStr(decode_local(r)?, r.u32()?),
+        4 => LoweredInstr::ConstNull(decode_local(r)?),
+        5 => LoweredInstr::Move(decode_local(r)?, decode_local(r)?),
+        6 => LoweredInstr::Bin(
+            bin_op_from(r.u8()?)?,
+            decode_local(r)?,
+            decode_local(r)?,
+            decode_local(r)?,
+        ),
+        7 => LoweredInstr::Un(un_op_from(r.u8()?)?, decode_local(r)?, decode_local(r)?),
+        8 => LoweredInstr::New(decode_local(r)?, ClassId(r.u32()?)),
+        9 => LoweredInstr::NewArray(decode_local(r)?, decode_type_ref(r)?, decode_local(r)?),
+        10 => LoweredInstr::GetField(decode_local(r)?, decode_local(r)?, FieldId(r.u32()?)),
+        11 => LoweredInstr::PutField(decode_local(r)?, FieldId(r.u32()?), decode_local(r)?),
+        12 => LoweredInstr::GetStatic(decode_local(r)?, FieldId(r.u32()?)),
+        13 => LoweredInstr::PutStatic(FieldId(r.u32()?), decode_local(r)?),
+        14 => LoweredInstr::ArrayGet(decode_local(r)?, decode_local(r)?, decode_local(r)?),
+        15 => LoweredInstr::ArraySet(decode_local(r)?, decode_local(r)?, decode_local(r)?),
+        16 => LoweredInstr::ArrayLen(decode_local(r)?, decode_local(r)?),
+        17 => LoweredInstr::StrLen(decode_local(r)?, decode_local(r)?),
+        18 => LoweredInstr::StrCharAt(decode_local(r)?, decode_local(r)?, decode_local(r)?),
+        19 => LoweredInstr::StrConcat(decode_local(r)?, decode_local(r)?, decode_local(r)?),
+        20 => {
+            let dst = decode_opt_local(r)?;
+            let target = match r.u8()? {
+                0 => LoweredCallee::Static(MethodId(r.u32()?)),
+                1 => LoweredCallee::Virtual(SelectorId(r.u32()?)),
+                _ => return None,
+            };
+            let args = decode_locals(r)?;
+            LoweredInstr::Call {
+                dst,
+                target,
+                args,
+                site_block: r.u32()?,
+                site_instr: r.u32()?,
+            }
+        }
+        21 => {
+            let dst = decode_opt_local(r)?;
+            let op = intrinsic_from(r.u8()?)?;
+            LoweredInstr::Intrinsic {
+                dst,
+                op,
+                args: decode_locals(r)?,
+            }
+        }
+        22 => LoweredInstr::Spawn {
+            method: MethodId(r.u32()?),
+            args: decode_locals(r)?,
+        },
+        23 => LoweredInstr::Ret(decode_opt_local(r)?),
+        24 => LoweredInstr::Jump(decode_jump_edge(r)?),
+        25 => LoweredInstr::Br {
+            cond: decode_local(r)?,
+            then_e: decode_jump_edge(r)?,
+            else_e: decode_jump_edge(r)?,
+        },
+        _ => return None,
+    })
+}
+
+fn encode_lowered_method(out: &mut Vec<u8>, m: &LoweredMethod) {
+    put_u32(out, u32::from(m.n_locals));
+    encode_u32_seq(out, m.block_start.iter().copied());
+    put_u32(out, m.code.len() as u32);
+    for ins in &m.code {
+        encode_lowered_instr(out, ins);
+    }
+}
+
+fn decode_lowered_method(r: &mut Reader<'_>) -> Option<LoweredMethod> {
+    let n_locals = u16::try_from(r.u32()?).ok()?;
+    let block_start = decode_u32_seq(r)?;
+    let n_code = r.u32()? as usize;
+    let mut code = Vec::with_capacity(cap_alloc(n_code, r, 2));
+    for _ in 0..n_code {
+        code.push(decode_lowered_instr(r)?);
+    }
+    Some(LoweredMethod {
+        code,
+        block_start,
+        n_locals,
+    })
+}
+
+fn encode_lowered_paths(out: &mut Vec<u8>, p: &LoweredPaths) {
+    let (block_head, edges, n_blocks) = p.raw_parts();
+    encode_u32_seq(out, block_head.iter().copied());
+    put_u32(out, n_blocks);
+    put_u32(out, edges.len() as u32);
+    for e in edges {
+        out.push(u8::from(e.cut));
+        put_u64(out, e.inc);
+    }
+}
+
+fn decode_lowered_paths(r: &mut Reader<'_>) -> Option<LoweredPaths> {
+    let block_head = decode_u32_seq(r)?;
+    let n_blocks = r.u32()?;
+    let n_edges = r.u32()? as usize;
+    let mut edges = Vec::with_capacity(cap_alloc(n_edges, r, 9));
+    for _ in 0..n_edges {
+        let cut = match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        edges.push(PathEdge { cut, inc: r.u64()? });
+    }
+    LoweredPaths::from_raw(block_head, edges, n_blocks)
+}
+
+impl DiskCodec for LoweredShard {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.cu);
+        put_u32(out, self.methods.len() as u32);
+        for (mi, m) in &self.methods {
+            put_u32(out, *mi);
+            encode_lowered_method(out, m);
+        }
+        put_u32(out, self.paths.len() as u32);
+        for (mi, p) in &self.paths {
+            put_u32(out, *mi);
+            encode_lowered_paths(out, p);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        let cu = r.u32()?;
+        let n_methods = r.u32()? as usize;
+        let mut methods = Vec::with_capacity(cap_alloc(n_methods, r, 12));
+        for _ in 0..n_methods {
+            let mi = r.u32()?;
+            methods.push((mi, decode_lowered_method(r)?));
+        }
+        let n_paths = r.u32()? as usize;
+        let mut paths = Vec::with_capacity(cap_alloc(n_paths, r, 16));
+        for _ in 0..n_paths {
+            let mi = r.u32()?;
+            paths.push((mi, decode_lowered_paths(r)?));
+        }
+        Some(LoweredShard { cu, methods, paths })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -763,6 +1237,44 @@ mod tests {
         pb.finish_body(main, f);
         pb.set_entry(main);
         pb.build().unwrap()
+    }
+
+    #[test]
+    fn lowered_shards_roundtrip_and_install() {
+        let program = tiny_program();
+        let pipeline = Pipeline::new(&program, BuildOptions::default());
+        let reach = pipeline.analyze_stage();
+        // FULL instrumentation so the shard also carries path tables.
+        let compiled = pipeline.compile_stage(reach, InstrumentConfig::FULL, None);
+        let source = nimage_vm::LoweredProgram::new(&program, &compiled, 1 << 16);
+        let target = nimage_vm::LoweredProgram::new(&program, &compiled, 1 << 16);
+        for cu in &compiled.cus {
+            let shard = source.extract_shard(&program, &compiled, cu.id);
+            let mut bytes = vec![];
+            shard.encode(&mut bytes);
+            let decoded = LoweredShard::decode(&mut Reader::new(&bytes)).expect("shard roundtrips");
+            assert_eq!(format!("{shard:?}"), format!("{decoded:?}"));
+            assert!(target.install_shard(&compiled, &decoded));
+            assert!(target.is_cu_lowered(cu.id));
+        }
+        // Installed bodies are bit-identical to locally lowered ones.
+        for cu in &compiled.cus {
+            for node in &compiled.cu(cu.id).nodes {
+                assert_eq!(
+                    format!("{:?}", source.method(node.method)),
+                    format!("{:?}", target.method(node.method)),
+                );
+            }
+        }
+        assert_eq!(target.shards_lowered_lazy(), 0);
+        assert_eq!(target.shards_lowered_eager(), compiled.cus.len() as u64);
+        // A shard that does not cover its CU's inline tree is rejected.
+        let mut truncated = source.extract_shard(&program, &compiled, compiled.cus[0].id);
+        truncated.methods.clear();
+        truncated.paths.clear();
+        let fresh = nimage_vm::LoweredProgram::new(&program, &compiled, 1 << 16);
+        assert!(!fresh.install_shard(&compiled, &truncated));
+        assert!(!fresh.is_cu_lowered(compiled.cus[0].id));
     }
 
     #[test]

@@ -85,9 +85,15 @@ impl HeapOrderAnalysis {
         Self::default()
     }
 
-    /// Finishes into a heap-ordering profile.
+    /// Finishes into a heap-ordering profile. Event replay carries no
+    /// touched-byte measurements, so every entry gets an empty span list
+    /// (consumers fall back to the full-extent touch model).
     pub fn into_profile(self) -> HeapOrderProfile {
-        HeapOrderProfile { ids: self.order }
+        let spans = vec![Vec::new(); self.order.len()];
+        HeapOrderProfile {
+            ids: self.order,
+            spans,
+        }
     }
 }
 
@@ -176,31 +182,55 @@ impl CodeOrderProfile {
     }
 }
 
+/// The measured touched-byte spans of one object: `[start, end)` byte
+/// ranges relative to the object's start, sorted and non-overlapping.
+/// Empty means unmeasured — consumers fall back to the full-extent touch
+/// model.
+pub type ObjectSpans = Vec<(u64, u64)>;
+
 /// A heap-ordering profile: 64-bit object identities in first-access order.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HeapOrderProfile {
     /// Identities in first-access order.
     pub ids: Vec<u64>,
+    /// Measured [`ObjectSpans`] parallel to `ids` (`spans[i]` belongs to
+    /// `ids[i]`). An empty inner list — or an empty outer list on
+    /// profiles that predate span measurement — means the entry is
+    /// unmeasured.
+    pub spans: Vec<ObjectSpans>,
 }
 
 impl HeapOrderProfile {
-    /// Parses the one-hex-id-per-line CSV.
+    /// Parses the one-id-per-line CSV. Each line carries the 16-hex-digit
+    /// identity, optionally followed by comma-separated `start:end`
+    /// touched-byte spans measured on the profiling run.
     ///
     /// ```
     /// use nimage_order::HeapOrderProfile;
     ///
-    /// let p = HeapOrderProfile::from_csv("00000000000000ff\n0000000000000010\n");
+    /// let p = HeapOrderProfile::from_csv("00000000000000ff,16:24\n0000000000000010\n");
     /// assert_eq!(p.ids, vec![0xff, 0x10]);
+    /// assert_eq!(p.spans, vec![vec![(16, 24)], vec![]]);
     /// ```
     pub fn from_csv(text: &str) -> Self {
-        HeapOrderProfile {
-            ids: text
-                .lines()
-                .map(str::trim)
-                .filter(|l| !l.is_empty())
-                .filter_map(|l| u64::from_str_radix(l, 16).ok())
-                .collect(),
+        let mut ids = vec![];
+        let mut spans = vec![];
+        for line in text.lines().map(str::trim).filter(|l| !l.is_empty()) {
+            let mut fields = line.split(',');
+            let Some(id) = fields.next().and_then(|f| u64::from_str_radix(f, 16).ok()) else {
+                continue;
+            };
+            ids.push(id);
+            spans.push(
+                fields
+                    .filter_map(|f| {
+                        let (a, b) = f.split_once(':')?;
+                        Some((a.parse().ok()?, b.parse().ok()?))
+                    })
+                    .collect(),
+            );
         }
+        HeapOrderProfile { ids, spans }
     }
 }
 
@@ -357,16 +387,32 @@ impl ReplaySummary {
     /// Maps `object_order` through a strategy identity map into the
     /// strategy's first-access heap profile.
     pub fn heap_profile(&self, id_map: &HashMap<ObjId, u64>) -> HeapOrderProfile {
+        self.heap_profile_with_spans(id_map, &HashMap::new())
+    }
+
+    /// Like [`Self::heap_profile`], but attaches measured touched-byte
+    /// spans to each identity's first-access entry. `touch_spans` is keyed
+    /// by raw snapshot object index (the `RunReport::heap_touch_spans`
+    /// convention); an identity kept from object `o` carries `o`'s spans.
+    /// Identities without a measurement get an empty span list, so the
+    /// profile's `spans` stays parallel to its `ids`.
+    pub fn heap_profile_with_spans(
+        &self,
+        id_map: &HashMap<ObjId, u64>,
+        touch_spans: &HashMap<u32, Vec<(u64, u64)>>,
+    ) -> HeapOrderProfile {
         let mut seen: HashSet<u64> = HashSet::new();
         let mut ids: Vec<u64> = vec![];
+        let mut spans: Vec<Vec<(u64, u64)>> = vec![];
         for obj in &self.object_order {
             if let Some(&id) = id_map.get(obj) {
                 if seen.insert(id) {
                     ids.push(id);
+                    spans.push(touch_spans.get(&obj.0).cloned().unwrap_or_default());
                 }
             }
         }
-        HeapOrderProfile { ids }
+        HeapOrderProfile { ids, spans }
     }
 }
 

@@ -38,13 +38,15 @@ mod strategies;
 
 pub use analyses::{
     replay, replay_first_access, CodeOrderProfile, CuOrderAnalysis, Event, HeapOrderAnalysis,
-    HeapOrderProfile, MethodOrderAnalysis, OrderingAnalysis, ReplayError, ReplaySummary,
+    HeapOrderProfile, MethodOrderAnalysis, ObjectSpans, OrderingAnalysis, ReplayError,
+    ReplaySummary,
 };
 pub use optimize::{
     optimize_layout, predict_faults, CodeInput, CostParams, HeapInput, OrderPlan, PredictedFaults,
 };
 pub use ordering::{
-    match_rate, order_cus, order_cus_split, order_objects, order_objects_split, CodeGranularity,
+    match_rate, order_cus, order_cus_split, order_objects, order_objects_split,
+    order_objects_split_spans, CodeGranularity,
 };
 pub use quality::{layout_quality, matched_object_ratio, predicted_faults, LayoutQuality};
 pub use strategies::{assign_global_incremental_ids, assign_ids, HeapStrategy};

@@ -40,6 +40,8 @@ use nimage_compiler::CuId;
 use nimage_heap::ObjId;
 use nimage_par::{cutoff, parallel_map, workers_for};
 
+use crate::analyses::ObjectSpans;
+
 /// Geometry and paging-cost constants of the target image, mirrored from
 /// `nimage_image::ImageOptions` and `nimage_vm::PagingConfig` (the order
 /// crate deliberately depends on neither; the caller copies the numbers).
@@ -100,6 +102,12 @@ pub struct HeapInput<'a> {
     pub hot: usize,
     /// Object sizes in bytes, indexed by `ObjId::index()`.
     pub sizes: &'a [u64],
+    /// Measured object-relative touched-byte spans per object, indexed by
+    /// `ObjId::index()` like `sizes`. An empty span list means the object
+    /// is unmeasured and the predictor falls back to its full extent;
+    /// pass `&[]` when no measurements exist at all (e.g. profiles from
+    /// legacy CSVs).
+    pub spans: &'a [ObjectSpans],
 }
 
 /// Predicted major faults of one placement under the cost model, split by
@@ -238,15 +246,21 @@ impl WindowSet {
 
 /// Scores one candidate placement: a byte-exact replica of
 /// `BinaryImage::build`'s cursor arithmetic plus the simulator's
-/// window-counting rule, under the *full-extent* touch model (every hot
-/// entity touches all of its bytes; cold entities touch none).
+/// window-counting rule. Hot CUs are costed under the *full-extent* touch
+/// model (every hot CU touches all of its bytes; cold entities touch
+/// none); hot heap objects use their measured touched-byte spans when the
+/// profiling run recorded them (`HeapInput::spans`), falling back to full
+/// extent per unmeasured object.
 ///
 /// The full-extent model is an upper bound on the real run's touched byte
 /// set — the VM touches inline nodes and object fields individually — but
 /// it is the *same* upper bound for every candidate, and the native-tail
 /// part is page-exact (startup touches whole pages), so the comparison is
-/// meaningful and the native savings are exact. See DESIGN.md §12 for when
-/// the model's slack makes the optimizer fall back to first-touch order.
+/// meaningful and the native savings are exact. Measured heap spans
+/// tighten that bound to the bytes startup actually read or wrote, which
+/// lets the heap half stop charging for the cold interiors of large
+/// arrays. See DESIGN.md §12 for when the model's remaining slack makes
+/// the optimizer fall back to first-touch order.
 fn predict(
     candidate: &Candidate,
     code: &CodeInput<'_>,
@@ -295,7 +309,20 @@ fn predict(
             cursor = align_up(cursor, params.obj_align);
             let size = h.sizes[obj.index()];
             if hot_obj[obj.index()] {
-                heap_set.touch_bytes(cursor, cursor + size, ps);
+                let spans = h.spans.get(obj.index()).map_or(&[][..], Vec::as_slice);
+                if spans.is_empty() {
+                    heap_set.touch_bytes(cursor, cursor + size, ps);
+                } else {
+                    // Spans are object-relative; clamp to the object's
+                    // extent in *this* build (the measurement came from
+                    // the instrumented build, whose object may be larger).
+                    for &(s, e) in spans {
+                        let e = e.min(size);
+                        if s < e {
+                            heap_set.touch_bytes(cursor + s, cursor + e, ps);
+                        }
+                    }
+                }
             }
             cursor += size;
         }
@@ -676,6 +703,7 @@ mod tests {
             first_touch: &objs,
             hot: 4,
             sizes: &osizes,
+            spans: &[],
         };
         let base = optimize_layout(&code, Some(&heap), &params(), 1);
         let mut sorted = base.cu_order.clone();
@@ -690,6 +718,51 @@ mod tests {
                 base
             );
         }
+    }
+
+    #[test]
+    fn measured_spans_charge_fewer_heap_faults_than_full_extent() {
+        // One huge hot object spanning many fault-around windows, of which
+        // startup touches only the first and last few bytes. Full extent
+        // charges every window it covers; the measured spans charge two.
+        let objs: Vec<ObjId> = (0..2).map(ObjId).collect();
+        let p = params();
+        let window = p.page_size * p.fault_around_pages;
+        let osizes = vec![10 * window, 64];
+        let code = CodeInput {
+            first_touch: &[],
+            hot: 0,
+            sizes: &[],
+            native_pages: &[],
+        };
+        let full = HeapInput {
+            first_touch: &objs,
+            hot: 1,
+            sizes: &osizes,
+            spans: &[],
+        };
+        let spans = vec![vec![(0, 8), (10 * window - 8, 10 * window)], vec![]];
+        let measured = HeapInput {
+            first_touch: &objs,
+            hot: 1,
+            sizes: &osizes,
+            spans: &spans,
+        };
+        let order = objs.clone();
+        let full_cost = predict_faults(&code, Some(&full), &[], Some(&order), None, &p);
+        let span_cost = predict_faults(&code, Some(&measured), &[], Some(&order), None, &p);
+        assert_eq!(full_cost.heap, 10);
+        assert_eq!(span_cost.heap, 2);
+        // Spans past the object's extent in this build are clamped away.
+        let stale = vec![vec![(20 * window, 21 * window)], vec![]];
+        let clamped = HeapInput {
+            first_touch: &objs,
+            hot: 1,
+            sizes: &osizes,
+            spans: &stale,
+        };
+        let c = predict_faults(&code, Some(&clamped), &[], Some(&order), None, &p);
+        assert_eq!(c.heap, 0);
     }
 
     #[test]

@@ -7,7 +7,7 @@ use nimage_compiler::{CompiledProgram, CuId};
 use nimage_heap::{HeapSnapshot, ObjId};
 use nimage_ir::Program;
 
-use crate::analyses::{CodeOrderProfile, HeapOrderProfile};
+use crate::analyses::{CodeOrderProfile, HeapOrderProfile, ObjectSpans};
 
 /// Which code-ordering strategy produced the profile (Sec. 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,6 +119,22 @@ pub fn order_objects_split(
     ids: &HashMap<ObjId, u64>,
     profile: &HeapOrderProfile,
 ) -> (Vec<ObjId>, usize) {
+    let (order, hot, _) = order_objects_split_spans(snapshot, ids, profile);
+    (order, hot)
+}
+
+/// Like [`order_objects_split`], but also carries each matched object's
+/// measured touched-byte spans out of the profile: the third element is
+/// parallel to the hot prefix of the returned order (`spans[i]` belongs
+/// to `order[i]`), empty per object when the profile carries no
+/// measurement for its identity. This is the span channel into the layout
+/// optimizer's fault predictor (`HeapInput::spans`); objects sharing an
+/// identity all inherit that identity's spans.
+pub fn order_objects_split_spans(
+    snapshot: &HeapSnapshot,
+    ids: &HashMap<ObjId, u64>,
+    profile: &HeapOrderProfile,
+) -> (Vec<ObjId>, usize, Vec<ObjectSpans>) {
     let mut rank: BTreeMap<u64, usize> = BTreeMap::new();
     for (i, &id) in profile.ids.iter().enumerate() {
         rank.entry(id).or_insert(i);
@@ -133,6 +149,10 @@ pub fn order_objects_split(
     }
     matched.sort_by_key(|&(r, _)| r); // stable: ties keep default order
     let hot = matched.len();
+    let hot_spans: Vec<ObjectSpans> = matched
+        .iter()
+        .map(|&(r, _)| profile.spans.get(r).cloned().unwrap_or_default())
+        .collect();
     let order: Vec<ObjId> = matched
         .into_iter()
         .map(|(_, o)| o)
@@ -143,7 +163,7 @@ pub fn order_objects_split(
         snapshot.entries().len(),
         "object order must be a permutation of the snapshot"
     );
-    (order, hot)
+    (order, hot, hot_spans)
 }
 
 /// Fraction of profile identities that resolve to an object of this build's
@@ -419,6 +439,7 @@ mod tests {
         let last = snap.entries().last().unwrap().obj;
         let profile = HeapOrderProfile {
             ids: vec![ids[&last]],
+            spans: vec![],
         };
         let order = order_objects(&snap, &ids, &profile);
         assert_eq!(order[0], last);

@@ -69,7 +69,7 @@ proptest! {
         // first occurrence, like the analyses do).
         let all: Vec<u64> = snap.entries().iter().map(|e| ids[&e.obj]).collect();
         let profile_ids: Vec<u64> = picks.iter().map(|&i| all[i % all.len()]).collect();
-        let profile = HeapOrderProfile { ids: profile_ids.clone() };
+        let profile = HeapOrderProfile { ids: profile_ids.clone(), spans: vec![] };
 
         let rank: HashMap<u64, usize> = {
             let mut m = HashMap::new();

@@ -76,6 +76,7 @@ proptest! {
             first_touch: &obj_first,
             hot: obj_hot,
             sizes: &obj_sizes,
+            spans: &[],
         };
         let p = params();
         let plan = optimize_layout(&code, Some(&heap), &p, 1);

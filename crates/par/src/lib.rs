@@ -133,6 +133,15 @@ pub mod cutoff {
     /// serial until a workload an order of magnitude larger demonstrates a
     /// parallel win.
     pub const OPTIMIZE_MIN_ENTITIES: usize = 16_384;
+
+    /// Pre-lowering wave: minimum profile-hot CUs before the engine fans
+    /// the per-CU shard lowering out. Lowering one shard is a short flat
+    /// re-encode of a handful of method bodies (tens of µs on the bundled
+    /// workloads), so small hot sets — every Awfy workload, and micronaut's
+    /// first-response set (~20 CUs) — stay serial; the cutoff sits just
+    /// past the bundled scale until a larger hot set demonstrates a
+    /// parallel win.
+    pub const PRELOWER_MIN_CUS: usize = 32;
 }
 
 /// The host's available parallelism (cached after the first query;

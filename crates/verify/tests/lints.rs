@@ -424,6 +424,7 @@ fn matching_contract_verified_on_real_snapshot() {
     let o0 = snap.entries()[0].obj;
     let profile = HeapOrderProfile {
         ids: vec![ids[&o2], ids[&o0]],
+        spans: vec![],
     };
     let order = order_objects(&snap, &ids, &profile);
     assert!(

@@ -241,6 +241,10 @@ pub struct Vm<'a> {
     entry_return: Option<RtValue>,
     native_seen: std::collections::HashSet<u32>,
     native_touch_pages: Vec<u32>,
+    /// Object-relative touched-byte spans per snapshot object, recorded on
+    /// heap-traced runs (keyed by raw snapshot object index). Canonicalized
+    /// — sorted, merged — into `RunReport::heap_touch_spans` at exit.
+    heap_touch_spans: std::collections::HashMap<u32, Vec<(u64, u64)>>,
     /// Extra cost factor for memory-mapped (mode 2) trace writes: every
     /// record is made durable immediately instead of staged in a local
     /// buffer, which the paper's Sec. 7.4 shows costs roughly twice as
@@ -323,7 +327,9 @@ impl<'a> Vm<'a> {
         let lowered = match config.exec {
             ExecMode::Legacy => None,
             ExecMode::Lowered => Some(lowered.unwrap_or_else(|| {
-                Arc::new(LoweredProgram::build(program, compiled, config.max_paths))
+                // Standalone runs get the lazy sharded container; shards
+                // fault in per CU as execution first enters them.
+                Arc::new(LoweredProgram::new(program, compiled, config.max_paths))
             })),
         };
         let n_methods = program.methods().len();
@@ -352,6 +358,7 @@ impl<'a> Vm<'a> {
             entry_return: None,
             native_seen: std::collections::HashSet::new(),
             native_touch_pages: Vec::new(),
+            heap_touch_spans: std::collections::HashMap::new(),
             probe_scale,
         }
     }
@@ -456,6 +463,11 @@ impl<'a> Vm<'a> {
         .ok_or_else(|| VmError::MissingCu {
             method: self.err_sig(method),
         })?;
+        // Fault the CU's lowering shard in on first entry (no-op once
+        // realized; pre-lowered shards never hit the slow path).
+        if let Some(lp) = &self.lowered {
+            lp.ensure_cu(self.program, self.compiled, cu);
+        }
         if self.compiled.instrumentation.trace_cu {
             let sig = self.sig_idx(method);
             let th = self.threads[thread].handle.expect("traced thread");
@@ -562,6 +574,18 @@ impl<'a> Vm<'a> {
         if let Some(obj) = self.heap.as_obj_id(r) {
             if let Some(off) = self.image.object_offset(obj) {
                 self.paging.touch(self.image, off + byte_offset);
+                if self.trace_heap() {
+                    // Grow the last span when accesses walk forward (the
+                    // common field/array scan); anything else opens a new
+                    // span and is merged at report time.
+                    let spans = self.heap_touch_spans.entry(obj.0).or_default();
+                    match spans.last_mut() {
+                        Some(s) if byte_offset >= s.0 && byte_offset <= s.1 => {
+                            s.1 = s.1.max(byte_offset + 1);
+                        }
+                        _ => spans.push((byte_offset, byte_offset + 1)),
+                    }
+                }
             }
         }
     }
@@ -685,9 +709,17 @@ impl<'a> Vm<'a> {
             .size
             .div_ceil(self.image.options.page_size);
 
+        let mut heap_touch_spans: Vec<(u32, Vec<(u64, u64)>)> = self
+            .heap_touch_spans
+            .iter()
+            .map(|(&obj, spans)| (obj, merge_spans(spans)))
+            .collect();
+        heap_touch_spans.sort_unstable_by_key(|&(obj, _)| obj);
+
         let session_stats = self.session.as_ref().map(|s| s.stats());
         let trace = self.session.take().map(|s| s.into_trace());
         Ok(RunReport {
+            heap_touch_spans,
             ops: self.ops,
             probe_ops: self.probe_ops,
             native_touch_pages: self.native_touch_pages,
@@ -1495,6 +1527,22 @@ impl<'a> Vm<'a> {
             },
         }
     }
+}
+
+/// Canonicalizes a recorded span list: sorted by start, overlapping or
+/// adjacent spans merged. The recording fast path only extends the last
+/// span, so revisits out of order leave duplicates this pass removes.
+fn merge_spans(spans: &[(u64, u64)]) -> Vec<(u64, u64)> {
+    let mut v = spans.to_vec();
+    v.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(v.len());
+    for (s, e) in v {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
 }
 
 fn eval_bin(op: BinOp, a: RtValue, b: RtValue) -> Option<RtValue> {

@@ -30,6 +30,6 @@ mod report;
 pub use exec::{ExecMode, ProbeCosts, StopWhen, Vm, VmConfig, VmError};
 pub use faultmap::{render_ascii, summarize, touched_extent, PageMapSummary};
 pub use heap_rt::{HeapTemplate, RtHeap, RtObject, RtValue};
-pub use lower::LoweredProgram;
+pub use lower::{LoweredProgram, LoweredShard};
 pub use paging::{PageState, PagingConfig, PagingConfigError, PagingSim, SectionFaults};
 pub use report::{CostModel, ExitKind, ResponsePoint, RunReport};

@@ -1,9 +1,9 @@
-//! One-time lowering of a compiled program into dense, decoded instruction
-//! arrays the interpreter can dispatch over by index.
+//! Lazy, per-CU sharded lowering of a compiled program into dense, decoded
+//! instruction arrays the interpreter can dispatch over by index.
 //!
 //! The tree-walking path of [`crate::Vm`] re-reads (and clones) an
 //! [`nimage_ir::Instr`] out of `Program → Method → Block → Vec<Instr>` on
-//! every step. A [`LoweredProgram`] flattens every method body once:
+//! every step. A [`LoweredProgram`] flattens method bodies:
 //!
 //! * each method becomes one contiguous `Vec<LoweredInstr>` with the block
 //!   terminators lowered to ordinary instructions, so the hot loop is a
@@ -21,14 +21,37 @@
 //!   `(from_mini × target_block)` edge tables, replacing the per-run
 //!   `HashMap` of `(ProfilingCfg, PathNumbering)` pairs.
 //!
-//! A `LoweredProgram` is immutable and shared across runs behind an `Arc`:
-//! the evaluation engine lowers each compiled build once and every
-//! (strategy, workload) cell of the matrix executes against the same copy.
-//! Results are bit-identical to the tree-walking path by construction — the
-//! lowered tables are pure reindexings of the structures the legacy
-//! interpreter consults lazily.
+//! # Sharding
+//!
+//! Method bodies are **not** lowered up front. [`LoweredProgram::new`]
+//! builds only the cheap global tables (vtable, field slots, root→CU map,
+//! and the frozen string table — see below); the per-method instruction
+//! arrays live in `OnceLock` slots grouped into **per-CU shards** that are
+//! realized on first call into the CU ([`LoweredProgram::ensure_cu`], the
+//! interpreter's fault-in path) or ahead of time for CUs the profile says
+//! are hot ([`LoweredProgram::prelower_cu`], the engine's parallel
+//! pre-lowering wave). A shard can also be installed from a disk-cached
+//! [`LoweredShard`] ([`LoweredProgram::install_shard`]), so warm runs skip
+//! the lowering work entirely.
+//!
+//! The string table is frozen eagerly by a pre-scan that replays the exact
+//! interning traversal whole-program lowering used (methods in index order,
+//! blocks and instructions in order, first occurrence wins). Realization
+//! order therefore can never change a `ConstStr` index, which keeps every
+//! observable — including the trace string table and the run report —
+//! bit-identical between lazy, pre-lowered and whole-program lowering.
+//!
+//! A `LoweredProgram` is shared across runs behind an `Arc`: the evaluation
+//! engine creates one container per compiled build and every (strategy,
+//! workload) cell of the matrix executes against the same copy, faulting
+//! shards in exactly once (`OnceLock` guards make realization idempotent
+//! and race-free). Results are bit-identical to the tree-walking path by
+//! construction — the lowered tables are pure reindexings of the structures
+//! the legacy interpreter consults lazily.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 use nimage_compiler::{CompiledProgram, CuId, PathNumbering, ProfilingCfg};
 use nimage_ir::{
@@ -204,6 +227,46 @@ impl LoweredPaths {
     pub fn edge(&self, from_mini: u32, target_block: u32) -> PathEdge {
         self.edges[(from_mini * self.n_blocks + target_block) as usize]
     }
+
+    /// The raw table parts, for serialization: `(block_head, edges,
+    /// n_blocks)`.
+    pub fn raw_parts(&self) -> (&[u32], &[PathEdge], u32) {
+        (&self.block_head, &self.edges, self.n_blocks)
+    }
+
+    /// Rebuilds the table from raw parts, validating the shape invariants
+    /// the lookup path indexes on. `None` on inconsistent parts (a corrupt
+    /// disk entry must stay a miss, never a panic).
+    pub fn from_raw(
+        block_head: Vec<u32>,
+        edges: Vec<PathEdge>,
+        n_blocks: u32,
+    ) -> Option<LoweredPaths> {
+        if block_head.len() != n_blocks as usize {
+            return None;
+        }
+        if n_blocks == 0 {
+            return edges.is_empty().then_some(LoweredPaths {
+                block_head,
+                edges,
+                n_blocks,
+            });
+        }
+        if !edges.len().is_multiple_of(n_blocks as usize) {
+            return None;
+        }
+        let rows = edges.len() / n_blocks as usize;
+        // Every block head is a mini-block row the edge lookup may start
+        // from.
+        if block_head.iter().any(|&h| h as usize >= rows) {
+            return None;
+        }
+        Some(LoweredPaths {
+            block_head,
+            edges,
+            n_blocks,
+        })
+    }
 }
 
 /// One flattened method body.
@@ -218,14 +281,34 @@ pub struct LoweredMethod {
     pub n_locals: u16,
 }
 
-/// The one-time lowering of a (program, compiled build) pair. Immutable;
-/// shared across VM runs behind an `Arc`.
-#[derive(Debug)]
+/// The serializable lowering of one compilation unit: the flattened bodies
+/// (and, for heap-tracing builds, path tables) of every method in the CU's
+/// inline tree, sorted by method index. This is the unit the engine
+/// persists under the `lower` disk stage, keyed per `(compile, cu)`.
+#[derive(Debug, Clone)]
+pub struct LoweredShard {
+    /// The compilation unit this shard lowers.
+    pub cu: u32,
+    /// `(method index, flattened body)`, strictly ascending by index.
+    pub methods: Vec<(u32, LoweredMethod)>,
+    /// `(method index, path tables)`, strictly ascending by index; empty
+    /// for non-tracing builds.
+    pub paths: Vec<(u32, LoweredPaths)>,
+}
+
+/// The sharded lowering of a (program, compiled build) pair. Global tables
+/// are eager; method bodies are grouped into per-CU shards realized on
+/// demand. Shared across VM runs behind an `Arc`.
 pub struct LoweredProgram {
-    /// Flattened method bodies, indexed by dense method index.
-    methods: Vec<LoweredMethod>,
+    /// Flattened method bodies, indexed by dense method index; realized
+    /// when the owning CU's shard is.
+    methods: Vec<OnceLock<LoweredMethod>>,
     /// Interned string literals referenced by [`LoweredInstr::ConstStr`].
+    /// Frozen at construction (see the module docs), so shard realization
+    /// order never perturbs an index.
     strings: Vec<String>,
+    /// Frozen literal → index map the shard lowering reads.
+    string_idx: HashMap<String, u32>,
     /// Dense `class × selector → method` vtable ([`NO_ENTRY`] = miss),
     /// row-major by class.
     vtable: Vec<u32>,
@@ -239,64 +322,63 @@ pub struct LoweredProgram {
     field_defaults: Vec<Box<[RtValue]>>,
     /// CU rooted at each method ([`NO_ENTRY`] = not a root).
     root_cu: Vec<u32>,
-    /// Flattened Ball–Larus tables per method; built only for heap-tracing
-    /// builds and only for methods that appear in a compilation unit.
-    paths: Vec<Option<LoweredPaths>>,
+    /// Flattened Ball–Larus tables per method; realized with the owning
+    /// shard, and only for heap-tracing builds.
+    paths: Vec<OnceLock<LoweredPaths>>,
+    /// Shard guards, one per CU: set exactly once when the CU's methods
+    /// are realized.
+    cus: Vec<OnceLock<()>>,
+    trace_heap: bool,
+    max_paths: u64,
+    /// Shards realized by the interpreter's fault-in path.
+    lazy_shards: AtomicU64,
+    /// Shards realized ahead of execution (pre-lowering wave, disk
+    /// install, or whole-program [`LoweredProgram::build`]).
+    eager_shards: AtomicU64,
+}
+
+// Deliberately constant, like `ExecMode` and `Parallelism`: which shards
+// happen to be realized is interior-mutable scheduling state that must
+// never leak into a content-cache fingerprint — the lowering itself is
+// fully determined by the (program, compiled, max_paths) inputs.
+impl std::fmt::Debug for LoweredProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("LoweredProgram(..)")
+    }
 }
 
 impl LoweredProgram {
-    /// Lowers every method body of `program` against a compiled build.
+    /// Creates the lazy sharded container: global tables (vtable, field
+    /// slots, defaults, root→CU map) and the frozen string table are built
+    /// eagerly; no method body is lowered until its CU's shard is faulted
+    /// in or pre-lowered.
     ///
     /// `max_paths` must match the executing VM's configured Ball–Larus
     /// path limit (the numbering depends on it).
-    pub fn build(program: &Program, compiled: &CompiledProgram, max_paths: u64) -> LoweredProgram {
+    pub fn new(program: &Program, compiled: &CompiledProgram, max_paths: u64) -> LoweredProgram {
         let n_methods = program.methods().len();
         let n_classes = program.classes().len();
         let n_fields = program.fields().len();
         let n_selectors = program.selectors().len();
 
+        // Freeze the string table by replaying the exact interning
+        // traversal of whole-program lowering: methods in index order,
+        // blocks and instructions in order, first occurrence appends.
         let mut strings: Vec<String> = vec![];
         let mut string_idx: HashMap<String, u32> = HashMap::new();
-        let mut methods = Vec::with_capacity(n_methods);
         for mi in 0..n_methods {
             let m = program.method(MethodId(mi as u32));
-            // First pass: flat start index of every block (instrs + one
-            // lowered terminator each).
-            let mut block_start = Vec::with_capacity(m.blocks.len());
-            let mut off = 0u32;
             for b in &m.blocks {
-                block_start.push(off);
-                off += b.instrs.len() as u32 + 1;
-            }
-            // Second pass: emit.
-            let mut code = Vec::with_capacity(off as usize);
-            for (bi, b) in m.blocks.iter().enumerate() {
-                for (ii, ins) in b.instrs.iter().enumerate() {
-                    code.push(lower_instr(ins, bi, ii, &mut strings, &mut string_idx));
+                for ins in &b.instrs {
+                    if let Instr::ConstStr(_, s) = ins {
+                        if !string_idx.contains_key(s.as_str()) {
+                            let i = strings.len() as u32;
+                            strings.push(s.clone());
+                            string_idx.insert(s.clone(), i);
+                        }
+                    }
                 }
-                let edge = |t: nimage_ir::BlockId| JumpEdge {
-                    pc: block_start[t.index()],
-                    block: t.0,
-                };
-                code.push(match &b.terminator {
-                    Terminator::Ret(v) => LoweredInstr::Ret(*v),
-                    Terminator::Jump(t) => LoweredInstr::Jump(edge(*t)),
-                    Terminator::Br {
-                        cond,
-                        then_blk,
-                        else_blk,
-                    } => LoweredInstr::Br {
-                        cond: *cond,
-                        then_e: edge(*then_blk),
-                        else_e: edge(*else_blk),
-                    },
-                });
             }
-            methods.push(LoweredMethod {
-                code,
-                block_start,
-                n_locals: m.n_locals,
-            });
         }
 
         // Dense vtable via the exact resolve_virtual walk.
@@ -331,44 +413,289 @@ impl LoweredProgram {
             root_cu[cu.root.index()] = cu.id.0;
         }
 
-        // Ball–Larus tables only where a frame can actually execute: the
-        // methods realized in some CU's inline tree.
-        let mut paths = vec![None; n_methods];
-        if compiled.instrumentation.trace_heap {
-            let mut needed = vec![false; n_methods];
-            for cu in &compiled.cus {
-                for node in &cu.nodes {
-                    needed[node.method.index()] = true;
-                }
-            }
-            for (mi, need) in needed.iter().enumerate() {
-                if !need {
-                    continue;
-                }
-                let m = program.method(MethodId(mi as u32));
-                let cfg = ProfilingCfg::build(m);
-                let num = PathNumbering::compute(&cfg, max_paths);
-                paths[mi] = Some(LoweredPaths::build(&cfg, &num, m.blocks.len()));
-            }
-        }
-
         LoweredProgram {
-            methods,
+            methods: (0..n_methods).map(|_| OnceLock::new()).collect(),
             strings,
+            string_idx,
             vtable,
             n_selectors,
             field_slots,
             n_fields,
             field_defaults,
             root_cu,
+            paths: (0..n_methods).map(|_| OnceLock::new()).collect(),
+            cus: (0..compiled.cus.len()).map(|_| OnceLock::new()).collect(),
+            trace_heap: compiled.instrumentation.trace_heap,
+            max_paths,
+            lazy_shards: AtomicU64::new(0),
+            eager_shards: AtomicU64::new(0),
+        }
+    }
+
+    /// Lowers every method body of `program` up front (every shard counts
+    /// as eagerly lowered). The sharded container realizes the identical
+    /// bits lazily; this whole-program variant is kept for callers that
+    /// want the complete lowering immediately (and as the differential
+    /// reference the lazy path is pinned against).
+    pub fn build(program: &Program, compiled: &CompiledProgram, max_paths: u64) -> LoweredProgram {
+        let lp = LoweredProgram::new(program, compiled, max_paths);
+        for cu in &compiled.cus {
+            lp.prelower_cu(program, compiled, cu.id);
+        }
+        // Whole-program lowering also covered methods outside every CU's
+        // inline tree (never executable, but part of the full lowering).
+        for mi in 0..program.methods().len() {
+            lp.realize_method(program, MethodId(mi as u32));
+        }
+        lp
+    }
+
+    /// Lowers one method body into its slot (idempotent, race-free).
+    fn realize_method(&self, program: &Program, m: MethodId) {
+        self.methods[m.index()].get_or_init(|| lower_method(program, m, &self.string_idx));
+    }
+
+    /// Lowers every method of `cu`'s inline tree, plus its Ball–Larus
+    /// tables on heap-tracing builds.
+    fn realize_cu(&self, program: &Program, compiled: &CompiledProgram, cu: CuId) {
+        for node in &compiled.cu(cu).nodes {
+            self.realize_method(program, node.method);
+            if self.trace_heap {
+                self.paths[node.method.index()].get_or_init(|| {
+                    let m = program.method(node.method);
+                    let cfg = ProfilingCfg::build(m);
+                    let num = PathNumbering::compute(&cfg, self.max_paths);
+                    LoweredPaths::build(&cfg, &num, m.blocks.len())
+                });
+            }
+        }
+    }
+
+    /// Realizes a CU's shard exactly once, crediting `counter` when this
+    /// call did the work. Concurrent callers of the same CU block on the
+    /// shard guard until the winner finishes, so a shard is never observed
+    /// half-realized.
+    fn fault_cu(
+        &self,
+        program: &Program,
+        compiled: &CompiledProgram,
+        cu: CuId,
+        counter: &AtomicU64,
+    ) {
+        let slot = &self.cus[cu.index()];
+        if slot.get().is_some() {
+            return;
+        }
+        let mut fresh = false;
+        slot.get_or_init(|| {
+            self.realize_cu(program, compiled, cu);
+            fresh = true;
+        });
+        if fresh {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The interpreter's fault-in path: realizes `cu`'s shard on first
+    /// call into the CU. Counted as a lazily lowered shard.
+    #[inline]
+    pub fn ensure_cu(&self, program: &Program, compiled: &CompiledProgram, cu: CuId) {
+        self.fault_cu(program, compiled, cu, &self.lazy_shards);
+    }
+
+    /// Pre-lowers `cu`'s shard ahead of execution (the engine's hot-CU
+    /// wave). Counted as an eagerly lowered shard.
+    pub fn prelower_cu(&self, program: &Program, compiled: &CompiledProgram, cu: CuId) {
+        self.fault_cu(program, compiled, cu, &self.eager_shards);
+    }
+
+    /// Installs a disk-decoded shard, validating every index the
+    /// interpreter would otherwise panic on (method/string/local/jump
+    /// bounds, full coverage of the CU's inline tree). Returns `false` —
+    /// treat as a cache miss and re-lower — when the shard is inconsistent
+    /// with this build. Counted as an eagerly lowered shard when it
+    /// realized the CU.
+    pub fn install_shard(&self, compiled: &CompiledProgram, shard: &LoweredShard) -> bool {
+        if !self.validate_shard(compiled, shard) {
+            return false;
+        }
+        let slot = &self.cus[shard.cu as usize];
+        if slot.get().is_some() {
+            return true;
+        }
+        let mut fresh = false;
+        slot.get_or_init(|| {
+            for (mi, m) in &shard.methods {
+                let _ = self.methods[*mi as usize].set(m.clone());
+            }
+            for (mi, p) in &shard.paths {
+                let _ = self.paths[*mi as usize].set(p.clone());
+            }
+            fresh = true;
+        });
+        if fresh {
+            self.eager_shards.fetch_add(1, Ordering::Relaxed);
+        }
+        true
+    }
+
+    /// Extracts the serializable shard of `cu`, realizing it first if
+    /// needed (counted eager — this is the engine's write-back path).
+    pub fn extract_shard(
+        &self,
+        program: &Program,
+        compiled: &CompiledProgram,
+        cu: CuId,
+    ) -> LoweredShard {
+        self.fault_cu(program, compiled, cu, &self.eager_shards);
+        let mut mids: Vec<u32> = compiled.cu(cu).nodes.iter().map(|n| n.method.0).collect();
+        mids.sort_unstable();
+        mids.dedup();
+        let methods = mids
+            .iter()
+            .map(|&mi| {
+                let m = self.methods[mi as usize]
+                    .get()
+                    .expect("shard realized above")
+                    .clone();
+                (mi, m)
+            })
+            .collect();
+        let paths = mids
+            .iter()
+            .filter_map(|&mi| self.paths[mi as usize].get().map(|p| (mi, p.clone())))
+            .collect();
+        LoweredShard {
+            cu: cu.0,
+            methods,
             paths,
         }
     }
 
-    /// The flattened body of a method.
+    /// Full consistency check of a decoded shard against this build: CU in
+    /// range, methods strictly sorted, covering the CU's whole inline tree,
+    /// every local/string/jump index in bounds, and path tables present for
+    /// exactly the tracing configuration of this build.
+    fn validate_shard(&self, compiled: &CompiledProgram, shard: &LoweredShard) -> bool {
+        if shard.cu as usize >= self.cus.len() {
+            return false;
+        }
+        let sorted = |v: &[u32]| v.windows(2).all(|w| w[0] < w[1]);
+        if !sorted(&shard.methods.iter().map(|(mi, _)| *mi).collect::<Vec<_>>())
+            || !sorted(&shard.paths.iter().map(|(mi, _)| *mi).collect::<Vec<_>>())
+        {
+            return false;
+        }
+        if shard
+            .methods
+            .iter()
+            .any(|(mi, _)| *mi as usize >= self.methods.len())
+            || shard
+                .paths
+                .iter()
+                .any(|(mi, _)| *mi as usize >= self.paths.len())
+        {
+            return false;
+        }
+        // The shard must lower the CU's entire inline tree — a frame can
+        // enter any node method once the shard guard is set.
+        let mut mids: Vec<u32> = compiled
+            .cu(CuId(shard.cu))
+            .nodes
+            .iter()
+            .map(|n| n.method.0)
+            .collect();
+        mids.sort_unstable();
+        mids.dedup();
+        let have: Vec<u32> = shard.methods.iter().map(|(mi, _)| *mi).collect();
+        if have != mids {
+            return false;
+        }
+        let want_paths: Vec<u32> = if self.trace_heap { mids } else { vec![] };
+        let have_paths: Vec<u32> = shard.paths.iter().map(|(mi, _)| *mi).collect();
+        if have_paths != want_paths {
+            return false;
+        }
+        shard.methods.iter().all(|(_, m)| self.validate_method(m))
+    }
+
+    /// Bounds-checks one decoded method body against the container's
+    /// tables (the interpreter indexes without checks on these paths).
+    fn validate_method(&self, m: &LoweredMethod) -> bool {
+        let n_code = m.code.len() as u32;
+        let n_blocks = m.block_start.len() as u32;
+        let local = |l: &Local| u32::from(l.0) < u32::from(m.n_locals);
+        let opt_local = |l: &Option<Local>| l.as_ref().is_none_or(local);
+        let edge = |e: &JumpEdge| e.pc < n_code && e.block < n_blocks;
+        if m.block_start.iter().any(|&pc| pc > n_code) {
+            return false;
+        }
+        m.code.iter().all(|ins| match ins {
+            LoweredInstr::ConstInt(d, _)
+            | LoweredInstr::ConstDouble(d, _)
+            | LoweredInstr::ConstBool(d, _)
+            | LoweredInstr::ConstNull(d) => local(d),
+            LoweredInstr::ConstStr(d, s) => local(d) && (*s as usize) < self.strings.len(),
+            LoweredInstr::Move(d, s)
+            | LoweredInstr::Un(_, d, s)
+            | LoweredInstr::ArrayLen(d, s)
+            | LoweredInstr::StrLen(d, s) => local(d) && local(s),
+            LoweredInstr::Bin(_, d, a, b)
+            | LoweredInstr::ArrayGet(d, a, b)
+            | LoweredInstr::ArraySet(d, a, b)
+            | LoweredInstr::StrCharAt(d, a, b)
+            | LoweredInstr::StrConcat(d, a, b) => local(d) && local(a) && local(b),
+            LoweredInstr::New(d, c) => local(d) && c.index() < self.field_defaults.len(),
+            LoweredInstr::NewArray(d, _, l) => local(d) && local(l),
+            LoweredInstr::GetField(d, o, _) => local(d) && local(o),
+            LoweredInstr::PutField(o, _, s) => local(o) && local(s),
+            LoweredInstr::GetStatic(d, _) => local(d),
+            LoweredInstr::PutStatic(_, s) => local(s),
+            LoweredInstr::Call { dst, args, .. } => opt_local(dst) && args.iter().all(local),
+            LoweredInstr::Intrinsic { dst, args, .. } => opt_local(dst) && args.iter().all(local),
+            LoweredInstr::Spawn { method, args } => {
+                method.index() < self.methods.len() && args.iter().all(local)
+            }
+            LoweredInstr::Ret(v) => opt_local(v),
+            LoweredInstr::Jump(e) => edge(e),
+            LoweredInstr::Br {
+                cond,
+                then_e,
+                else_e,
+            } => local(cond) && edge(then_e) && edge(else_e),
+        })
+    }
+
+    /// Number of compilation units (= number of shards).
+    pub fn n_cus(&self) -> usize {
+        self.cus.len()
+    }
+
+    /// Whether `cu`'s shard has been realized.
+    pub fn is_cu_lowered(&self, cu: CuId) -> bool {
+        self.cus[cu.index()].get().is_some()
+    }
+
+    /// Shards realized by the interpreter's fault-in path so far.
+    pub fn shards_lowered_lazy(&self) -> u64 {
+        self.lazy_shards.load(Ordering::Relaxed)
+    }
+
+    /// Shards realized ahead of execution (pre-lowering wave, disk
+    /// install, whole-program build) so far.
+    pub fn shards_lowered_eager(&self) -> u64 {
+        self.eager_shards.load(Ordering::Relaxed)
+    }
+
+    /// The flattened body of a method. The owning shard must have been
+    /// realized — every out-of-line entry goes through
+    /// [`LoweredProgram::ensure_cu`], and inlined frames stay within the
+    /// entered CU.
     #[inline]
     pub fn method(&self, m: MethodId) -> &LoweredMethod {
-        &self.methods[m.index()]
+        self.methods[m.index()]
+            .get()
+            .expect("method's CU shard faulted in before execution")
     }
 
     /// Number of interned string literals.
@@ -413,10 +740,56 @@ impl LoweredProgram {
     }
 
     /// The flattened Ball–Larus tables of a method (present only for
-    /// heap-tracing builds).
+    /// heap-tracing builds, once the owning shard is realized).
     #[inline]
     pub fn paths(&self, m: MethodId) -> Option<&LoweredPaths> {
-        self.paths[m.index()].as_ref()
+        self.paths[m.index()].get()
+    }
+}
+
+/// Flattens one method body against the frozen string table.
+fn lower_method(
+    program: &Program,
+    mid: MethodId,
+    string_idx: &HashMap<String, u32>,
+) -> LoweredMethod {
+    let m = program.method(mid);
+    // First pass: flat start index of every block (instrs + one lowered
+    // terminator each).
+    let mut block_start = Vec::with_capacity(m.blocks.len());
+    let mut off = 0u32;
+    for b in &m.blocks {
+        block_start.push(off);
+        off += b.instrs.len() as u32 + 1;
+    }
+    // Second pass: emit.
+    let mut code = Vec::with_capacity(off as usize);
+    for (bi, b) in m.blocks.iter().enumerate() {
+        for (ii, ins) in b.instrs.iter().enumerate() {
+            code.push(lower_instr(ins, bi, ii, string_idx));
+        }
+        let edge = |t: nimage_ir::BlockId| JumpEdge {
+            pc: block_start[t.index()],
+            block: t.0,
+        };
+        code.push(match &b.terminator {
+            Terminator::Ret(v) => LoweredInstr::Ret(*v),
+            Terminator::Jump(t) => LoweredInstr::Jump(edge(*t)),
+            Terminator::Br {
+                cond,
+                then_blk,
+                else_blk,
+            } => LoweredInstr::Br {
+                cond: *cond,
+                then_e: edge(*then_blk),
+                else_e: edge(*else_blk),
+            },
+        });
+    }
+    LoweredMethod {
+        code,
+        block_start,
+        n_locals: m.n_locals,
     }
 }
 
@@ -424,23 +797,16 @@ fn lower_instr(
     ins: &Instr,
     block: usize,
     instr: usize,
-    strings: &mut Vec<String>,
-    string_idx: &mut HashMap<String, u32>,
+    string_idx: &HashMap<String, u32>,
 ) -> LoweredInstr {
     match ins {
         Instr::ConstInt(d, v) => LoweredInstr::ConstInt(*d, *v),
         Instr::ConstDouble(d, v) => LoweredInstr::ConstDouble(*d, *v),
         Instr::ConstBool(d, v) => LoweredInstr::ConstBool(*d, *v),
         Instr::ConstStr(d, s) => {
-            let idx = match string_idx.get(s.as_str()) {
-                Some(&i) => i,
-                None => {
-                    let i = strings.len() as u32;
-                    strings.push(s.clone());
-                    string_idx.insert(s.clone(), i);
-                    i
-                }
-            };
+            let idx = *string_idx
+                .get(s.as_str())
+                .expect("string table frozen by the construction pre-scan");
             LoweredInstr::ConstStr(*d, idx)
         }
         Instr::ConstNull(d) => LoweredInstr::ConstNull(*d),

@@ -59,6 +59,13 @@ pub struct RunReport {
     pub text_page_states: Vec<PageState>,
     /// Per-page states of `.svm_heap`.
     pub heap_page_states: Vec<PageState>,
+    /// Measured touched-byte spans of snapshot objects, keyed by raw
+    /// snapshot object index and sorted by it; each span `[start, end)` is
+    /// in bytes from the object's start, sorted and non-overlapping.
+    /// Recorded on heap-traced runs only (empty otherwise); feeds the
+    /// layout optimizer's fault predictor, which otherwise charges every
+    /// hot object's full extent.
+    pub heap_touch_spans: Vec<(u32, Vec<(u64, u64)>)>,
 }
 
 /// Converts operation and fault counts into simulated time.
@@ -136,6 +143,7 @@ mod tests {
             native_touch_pages: vec![],
             text_page_states: vec![],
             heap_page_states: vec![],
+            heap_touch_spans: vec![],
         }
     }
 

@@ -166,7 +166,13 @@ fn profiles_roundtrip_through_csv() {
     for &id in &heap.ids {
         ha.visit(&nimage::order::Event::ObjectAccess(id));
     }
-    assert_eq!(HeapOrderProfile::from_csv(&ha.to_csv()), *heap);
+    // The event-replay path carries no touched-byte measurements, so its
+    // CSV preserves the identities but not the spans (those ride the
+    // `save_profiles` CSV, covered by the persist round-trip tests).
+    let replayed = HeapOrderProfile::from_csv(&ha.to_csv());
+    assert_eq!(replayed.ids, heap.ids);
+    assert!(replayed.spans.iter().all(Vec::is_empty));
+    assert!(heap.spans.iter().any(|s| !s.is_empty()));
 }
 
 /// The paper's expected orderings hold on at least one full-scale workload

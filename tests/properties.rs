@@ -239,7 +239,7 @@ proptest! {
         let compiled = compile(&program, reach, &InlineConfig::default(), InstrumentConfig::NONE, None);
         let snap = snapshot(&program, &compiled, &HeapBuildConfig::default()).unwrap();
         let ids = assign_ids(&program, &snap, HeapStrategy::HeapPath);
-        let order = order_objects(&snap, &ids, &HeapOrderProfile { ids: profile_ids });
+        let order = order_objects(&snap, &ids, &HeapOrderProfile { ids: profile_ids, spans: vec![] });
         prop_assert_eq!(order.len(), snap.entries().len());
         let set: std::collections::HashSet<_> = order.iter().copied().collect();
         prop_assert_eq!(set.len(), order.len());
