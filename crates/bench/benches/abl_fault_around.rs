@@ -2,7 +2,7 @@
 //! larger windows amortize scattered faults, shrinking (but not erasing)
 //! the benefit of reordering.
 
-use nimage_core::{BuildOptions, Pipeline, Strategy};
+use nimage_core::{BuildOptions, EvalInputs, Pipeline, Strategy};
 use nimage_profiler::DumpMode;
 use nimage_vm::{PagingConfig, StopWhen, VmConfig};
 use nimage_workloads::Awfy;
@@ -31,7 +31,14 @@ fn main() {
             .baseline(&artifacts, StopWhen::Exit)
             .expect("baseline");
         let eval = pipeline
-            .evaluate_with(&artifacts, &base, Strategy::CuPlusHeapPath, StopWhen::Exit)
+            .evaluate_strategy(
+                EvalInputs {
+                    artifacts: &artifacts,
+                    baseline: &base,
+                },
+                Strategy::CuPlusHeapPath,
+                StopWhen::Exit,
+            )
             .expect("eval");
         println!(
             "{:>8} {:>12} {:>12} {:>10.2}",

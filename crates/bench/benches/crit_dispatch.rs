@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nimage_compiler::InstrumentConfig;
-use nimage_core::{BuildOptions, Parallelism, Pipeline};
+use nimage_core::{BuildOptions, Parallelism, Pipeline, RunParts};
 use nimage_vm::{ExecMode, HeapTemplate, LoweredProgram, StopWhen};
 use nimage_workloads::{Awfy, RuntimeScale};
 
@@ -57,12 +57,14 @@ fn bench_dispatch(c: &mut Criterion) {
     ));
     c.bench_function("dispatch/lowered_shared", |b| {
         b.iter(|| {
-            p.run_parts_shared(
-                std::hint::black_box(&built.compiled),
-                &built.snapshot,
-                &built.image,
-                Some(template.clone()),
-                Some(lowered.clone()),
+            p.run(
+                RunParts::new(
+                    std::hint::black_box(&built.compiled),
+                    &built.snapshot,
+                    &built.image,
+                )
+                .heap(Some(template.clone()))
+                .lowered(Some(lowered.clone())),
                 StopWhen::Exit,
             )
             .unwrap()

@@ -3,7 +3,7 @@
 //! first-touch order. Compares `cu+heap path` with and without the
 //! extension.
 
-use nimage_core::{BuildOptions, Pipeline, Strategy};
+use nimage_core::{BuildOptions, EvalInputs, Pipeline, Strategy};
 use nimage_profiler::DumpMode;
 use nimage_vm::{StopWhen, VmConfig};
 use nimage_workloads::Awfy;
@@ -32,7 +32,14 @@ fn main() {
                 .baseline(&artifacts, StopWhen::Exit)
                 .expect("baseline");
             let eval = pipeline
-                .evaluate_with(&artifacts, &base, Strategy::CuPlusHeapPath, StopWhen::Exit)
+                .evaluate_strategy(
+                    EvalInputs {
+                        artifacts: &artifacts,
+                        baseline: &base,
+                    },
+                    Strategy::CuPlusHeapPath,
+                    StopWhen::Exit,
+                )
                 .expect("eval");
             results.push(eval.optimized.faults.total());
         }

@@ -1,6 +1,6 @@
 //! Calibration probe: run the full pipeline on selected workloads and print
 //! the paper-style factors.
-use nimage_core::{BuildOptions, Pipeline, Strategy};
+use nimage_core::{BuildOptions, EvalInputs, Pipeline, Strategy};
 use nimage_profiler::DumpMode;
 use nimage_vm::{CostModel, StopWhen, VmConfig};
 use nimage_workloads::{Awfy, Microservice};
@@ -16,7 +16,14 @@ fn main() {
         print!("{:12}", b.name());
         for s in Strategy::all() {
             let e = pipe
-                .evaluate_with(&artifacts, &base, s, StopWhen::Exit)
+                .evaluate_strategy(
+                    EvalInputs {
+                        artifacts: &artifacts,
+                        baseline: &base,
+                    },
+                    s,
+                    StopWhen::Exit,
+                )
                 .unwrap();
             print!(
                 " {}={:.2}/{:.2}",
@@ -48,7 +55,14 @@ fn main() {
         print!("{:12}", m.name());
         for s in Strategy::all() {
             let e = pipe
-                .evaluate_with(&artifacts, &base, s, StopWhen::FirstResponse)
+                .evaluate_strategy(
+                    EvalInputs {
+                        artifacts: &artifacts,
+                        baseline: &base,
+                    },
+                    s,
+                    StopWhen::FirstResponse,
+                )
                 .unwrap();
             print!(
                 " {}={:.2}/{:.2}",

@@ -77,12 +77,12 @@ pub fn evaluate_program_with(
     dump_mode: DumpMode,
 ) -> WorkloadRows {
     let spec = WorkloadSpec::new(name, program, eval_options(dump_mode), stop);
-    let rows = engine
-        .evaluate_workload(&spec, &Strategy::all())
+    let cells = engine
+        .evaluate_matrix(std::slice::from_ref(&spec), &Strategy::all())
         .unwrap_or_else(|e| panic!("{name}: evaluation failed: {e}"));
     WorkloadRows {
         name: name.to_string(),
-        rows,
+        rows: cells.into_iter().map(|c| (c.strategy, c.eval)).collect(),
     }
 }
 

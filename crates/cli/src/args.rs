@@ -39,12 +39,17 @@ const VALUED: &[&str] = &[
     "width",
     "scale",
     "window",
-    "json",
     "threads",
     "cache-dir",
     "max-bytes",
     "max-entries",
+    "trace-out",
 ];
+
+/// Option keys whose value is optional: `--json FILE` stores a value,
+/// a bare `--json` (next token is another `--option`, or nothing)
+/// records a flag. `-` is an ordinary value (conventionally stdout).
+const OPTIONAL_VALUED: &[&str] = &["json"];
 
 /// Parses `args` (without the program name).
 ///
@@ -61,6 +66,14 @@ pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {
                     .next()
                     .ok_or_else(|| ArgError(format!("--{name} requires a value")))?;
                 parsed.options.insert(name.to_string(), value.clone());
+            } else if OPTIONAL_VALUED.contains(&name) {
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        parsed.options.insert(name.to_string(), (*v).clone());
+                        it.next();
+                    }
+                    _ => parsed.flags.push(name.to_string()),
+                }
             } else {
                 parsed.flags.push(name.to_string());
             }
@@ -130,6 +143,32 @@ mod tests {
     fn missing_subcommand_is_an_error() {
         assert!(parse(&sv(&[])).is_err());
         assert!(parse(&sv(&["--all"])).is_err());
+    }
+
+    #[test]
+    fn optional_valued_json_takes_file_dash_or_nothing() {
+        let p = parse(&sv(&["bench", "Bounce", "--json", "out.json"])).unwrap();
+        assert_eq!(p.option("json"), Some("out.json"));
+        assert!(!p.has_flag("json"));
+
+        let p = parse(&sv(&["bench", "Bounce", "--json", "-"])).unwrap();
+        assert_eq!(p.option("json"), Some("-"));
+
+        let p = parse(&sv(&["bench", "Bounce", "--json"])).unwrap();
+        assert_eq!(p.option("json"), None);
+        assert!(p.has_flag("json"));
+
+        let p = parse(&sv(&["bench", "Bounce", "--json", "--threads", "2"])).unwrap();
+        assert!(p.has_flag("json"));
+        assert_eq!(p.option("threads"), Some("2"));
+    }
+
+    #[test]
+    fn trace_out_requires_a_value() {
+        let p = parse(&sv(&["bench", "Bounce", "--trace-out", "t.json"])).unwrap();
+        assert_eq!(p.option("trace-out"), Some("t.json"));
+        let err = parse(&sv(&["bench", "--trace-out"])).unwrap_err();
+        assert!(err.to_string().contains("--trace-out"));
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! nimage list                                   all workloads
 //! nimage eval <workload> [--strategy S|--all]   fault/speedup factors
 //! nimage run <workload> [--strategy S]          build one image and run it
-//! nimage bench [workload] [--json FILE]         engine vs serial wall-clock
+//! nimage bench [workload] [--json [FILE|-]] [--trace-out FILE]
+//!                                               engine vs serial wall-clock
 //! nimage profile <workload> --out DIR           write CSV profiles + trace
 //! nimage optimize <workload> --profiles DIR --strategy S --out FILE
 //! nimage inspect <image-file>                   dump a serialized image
@@ -24,8 +25,9 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use nimage_core::{
-    load_profiles, save_profiles, BuildOptions, DiskCacheOptions, DiskStore, Engine, EngineOptions,
-    Evaluation, LayoutOrders, Parallelism, Pipeline, Strategy, WorkloadSpec, DISK_FORMAT_VERSION,
+    load_profiles, save_profiles, BuildOptions, BuildRequest, DiskCacheOptions, DiskStore, Engine,
+    EngineOptions, EvalInputs, EvalRequest, Evaluation, LayoutOrders, Parallelism, Pipeline,
+    Report, RunParts, Strategy, TraceOptions, WorkloadSpec, DISK_FORMAT_VERSION,
 };
 use nimage_profiler::{write_trace, DumpMode};
 use nimage_vm::{render_ascii, summarize, CostModel, VmConfig};
@@ -46,10 +48,16 @@ COMMANDS:
                                              engine (shared artifact cache, worker threads)
     run <workload> [--strategy S]            build one image (reordered when --strategy is
                                              given) and run it, printing the measured report
-    bench [workload] [--json FILE] [--threads N]
+    bench [workload] [--json [FILE|-]] [--trace-out FILE] [--threads N]
                                              time the engine (cached, parallel) against the
                                              serial uncached loop over every strategy and
-                                             report per-stage wall-clock + cache hit counts
+                                             report per-stage wall-clock + cache hit counts;
+                                             --json writes the versioned JSON report (bare
+                                             --json or `-`: to stdout, human text on stderr);
+                                             --trace-out writes a Chrome-trace JSON of the
+                                             engine's spans (load at ui.perfetto.dev), and
+                                             turns on VM-level fault events (--trace-events
+                                             records them without the export)
     profile <workload> --out DIR             write ordering profiles (CSV) and the raw trace
     optimize <workload> --profiles DIR --strategy S --out FILE
                                              build a reordered image and serialize it
@@ -230,19 +238,28 @@ fn cmd_eval(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     let engine = Engine::new(EngineOptions {
         n_threads: threads_of(parsed)?,
         disk: disk_of(parsed)?,
+        trace: Default::default(),
     });
     eprintln!("profiling {} …", workload.name());
-    let spec = WorkloadSpec::new(workload.name(), &program, opts, workload.stop());
-    let rows = engine.evaluate_workload(&spec, &strategies)?;
+    let req = EvalRequest::new()
+        .workload(WorkloadSpec::new(
+            workload.name(),
+            &program,
+            opts,
+            workload.stop(),
+        ))
+        .strategies(strategies);
+    let outcome = engine.evaluate(&req)?;
     let cm = CostModel::ssd();
     println!(
         "{:<16} {:>12} {:>12} {:>10} {:>9}",
         "strategy", "base faults", "opt faults", "reduction", "speedup"
     );
-    for (strategy, eval) in rows {
+    for cell in &outcome.cells {
+        let eval = &cell.eval;
         println!(
             "{:<16} {:>12} {:>12} {:>9.2}x {:>8.2}x",
-            strategy.name(),
+            cell.strategy.name(),
             eval.baseline.faults.total(),
             eval.optimized.faults.total(),
             eval.reported_fault_reduction(),
@@ -346,20 +363,47 @@ fn cmd_bench(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     let mut serial: Vec<(Strategy, Evaluation)> = Vec::new();
     for s in strategies {
         let base = pipeline.baseline(&artifacts, stop)?;
-        serial.push((s, pipeline.evaluate_with(&artifacts, &base, s, stop)?));
+        serial.push((
+            s,
+            pipeline.evaluate_strategy(
+                EvalInputs {
+                    artifacts: &artifacts,
+                    baseline: &base,
+                },
+                s,
+                stop,
+            )?,
+        ));
     }
     let serial_ns = t0.elapsed().as_nanos() as u64;
 
     // The engine: shared artifact cache + worker threads + disk tier.
+    // VM-level trace events (page faults, shard faults) are recorded only
+    // when the Chrome trace is actually exported (or --trace-events asks
+    // for them) — they are the one recording that scales with executed
+    // work.
     eprintln!("benchmarking {} (engine) …", workload.name());
+    let trace_out = parsed.option("trace-out");
     let engine = Engine::new(EngineOptions {
         n_threads: threads_of(parsed)?,
         disk: disk_of(parsed)?,
+        trace: TraceOptions {
+            vm_events: trace_out.is_some() || parsed.has_flag("trace-events"),
+            ..Default::default()
+        },
     });
     let t1 = Instant::now();
     let spec = WorkloadSpec::new(workload.name(), &program, opts, stop);
-    let rows = engine.evaluate_workload(&spec, &strategies)?;
+    let req = EvalRequest::new()
+        .workload(spec.clone())
+        .strategies(strategies);
+    let outcome = engine.evaluate(&req)?;
     let engine_ns = t1.elapsed().as_nanos() as u64;
+    let rows: Vec<(Strategy, &Evaluation)> = outcome
+        .cells
+        .iter()
+        .map(|c| (c.strategy, &c.eval))
+        .collect();
 
     let results_match = serial.len() == rows.len()
         && serial.iter().zip(&rows).all(|((s1, e1), (s2, e2))| {
@@ -410,25 +454,25 @@ fn cmd_bench(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
         .map(|(_, e)| (e.baseline.faults.text, e.baseline.faults.svm_heap))
         .unwrap_or((0, 0));
 
-    println!("{} × {} strategies:", workload.name(), strategies.len());
-    println!("  serial uncached : {:>10.1} ms", serial_ns as f64 / 1e6);
-    println!(
+    eprintln!("{} × {} strategies:", workload.name(), strategies.len());
+    eprintln!("  serial uncached : {:>10.1} ms", serial_ns as f64 / 1e6);
+    eprintln!(
         "  engine          : {:>10.1} ms  ({speedup:.2}x)",
         engine_ns as f64 / 1e6
     );
-    println!(
+    eprintln!(
         "  cache           : {} hits, {} misses",
         stats.cache_hits(),
         stats.cache_misses()
     );
     if let Some(disk) = &stats.disk {
-        println!(
+        eprintln!(
             "  disk cache      : {} hits, {} misses, {} stores, {} rejected",
             disk.hits, disk.misses, disk.stores, disk.rejected
         );
         if let Some(stages) = &stats.disk_stages {
             for (name, s) in stages {
-                println!(
+                eprintln!(
                     "    disk {:<9}: {} hits, {} misses, {} stores, {} rejected",
                     name, s.hits, s.misses, s.stores, s.rejected
                 );
@@ -436,11 +480,11 @@ fn cmd_bench(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     for (name, ns) in stats.stages.iter() {
-        println!("    {name:<9} {:>10.1} ms", ns as f64 / 1e6);
+        eprintln!("    {name:<9} {:>10.1} ms", ns as f64 / 1e6);
     }
-    println!("  stage speedups (1 → {n_workers} threads):");
+    eprintln!("  stage speedups (1 → {n_workers} threads):");
     for s in &stages {
-        println!(
+        eprintln!(
             "    {:<9} {:>8.1} ms → {:>8.1} ms  ({:.2}x, {}{})",
             s.name,
             s.serial_ns as f64 / 1e6,
@@ -450,12 +494,12 @@ fn cmd_bench(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
             if s.engaged { "" } else { ", serial cutoff" }
         );
     }
-    println!("  matched-object ratio (instrumented → optimized):");
+    eprintln!("  matched-object ratio (instrumented → optimized):");
     for (name, r) in &ratios {
-        println!("    {name:<17} {r:.4}");
+        eprintln!("    {name:<17} {r:.4}");
     }
-    println!("  measured major faults (text/heap/total):");
-    println!(
+    eprintln!("  measured major faults (text/heap/total):");
+    eprintln!(
         "    {:<22} {:>5} {:>5} {:>6}",
         "baseline (no reorder)",
         baseline_faults.0,
@@ -470,7 +514,7 @@ fn cmd_bench(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
                 p.first_touch.total()
             )
         });
-        println!(
+        eprintln!(
             "    {:<22} {:>5} {:>5} {:>6}{predicted}",
             row.strategy.name(),
             row.text,
@@ -478,7 +522,7 @@ fn cmd_bench(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
             row.text + row.heap
         );
     }
-    println!(
+    eprintln!(
         "  results         : {}",
         if results_match && stages_identical {
             "identical"
@@ -487,7 +531,11 @@ fn cmd_bench(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
         }
     );
 
-    if let Some(path) = parsed.option("json") {
+    // Snapshot the versioned report last, so the span tree and counters
+    // cover everything the bench measured (including the per-strategy
+    // layout plans above).
+    if parsed.option("json").is_some() || parsed.has_flag("json") {
+        let report = engine.report(&req, &outcome.cells);
         let json = bench_json(
             workload.name(),
             strategies.len(),
@@ -500,9 +548,21 @@ fn cmd_bench(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
             &ratios,
             baseline_faults,
             &fault_rows,
+            &report,
         );
-        std::fs::write(path, json)?;
-        println!("wrote {path}");
+        match parsed.option("json") {
+            // `--json FILE` writes the file; bare `--json` or `--json -`
+            // prints the report to stdout, which carries nothing else.
+            Some(path) if path != "-" => {
+                std::fs::write(path, json)?;
+                eprintln!("wrote {path}");
+            }
+            _ => print!("{json}"),
+        }
+    }
+    if let Some(path) = trace_out {
+        std::fs::write(path, engine.chrome_trace())?;
+        eprintln!("wrote {path}");
     }
     if !results_match {
         return Err("engine results differ from the serial loop".into());
@@ -666,12 +726,10 @@ fn stage_speedups(
         serial_opts.vm.max_paths,
     ));
     let run_one = |p: &Pipeline<'_>| {
-        p.run_parts_shared(
-            &cn,
-            &sn,
-            &img,
-            Some(template.clone()),
-            Some(lowered.clone()),
+        p.run(
+            RunParts::new(&cn, &sn, &img)
+                .heap(Some(template.clone()))
+                .lowered(Some(lowered.clone())),
             stop,
         )
     };
@@ -750,8 +808,13 @@ fn bench_json(
     matched_ratios: &[(&'static str, f64)],
     baseline_faults: (u64, u64),
     fault_rows: &[FaultRow],
+    report: &Report,
 ) -> String {
     let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"report_version\": {},\n",
+        report.report_version
+    ));
     out.push_str(&format!("  \"workload\": \"{workload}\",\n"));
     out.push_str(&format!("  \"strategies\": {n_strategies},\n"));
     out.push_str(&format!("  \"threads\": {n_workers},\n"));
@@ -871,7 +934,10 @@ fn bench_json(
         })
         .collect();
     out.push_str(&memos.join(",\n"));
-    out.push_str("\n  ]\n}\n");
+    out.push_str("\n  ],\n");
+    // The versioned engine report, verbatim — the schema the CI gate
+    // validates (stage spans, metrics counters, trace totals, cells).
+    out.push_str(&format!("  \"report\": {}\n}}\n", report.to_json()));
     out
 }
 
@@ -1111,6 +1177,7 @@ fn cmd_lint(parsed: &ParsedArgs) -> Result<(), Box<dyn std::error::Error>> {
     let engine = Engine::new(EngineOptions {
         n_threads: threads_of(parsed)?,
         disk: disk_of(parsed)?,
+        trace: Default::default(),
     });
     // Unlike run/eval, the in-pipeline checkers default off here — lint
     // already runs the same checkers itself; `--verify` opts in.
@@ -1325,7 +1392,11 @@ fn lint_workload(
         }
     });
 
-    let opt = engine.optimized_parts(&spec, &artifacts, Some(strategy))?;
+    let opt = engine.optimized_image(&BuildRequest {
+        spec: &spec,
+        artifacts: &artifacts,
+        strategy: Some(strategy),
+    })?;
     timed!("layout-optimized", {
         diags.extend(checks::check_layout(&checks::LayoutView::from_image(
             &program,

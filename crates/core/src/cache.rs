@@ -210,6 +210,12 @@ pub struct ArtifactCache {
     /// its chosen orders (plus predicted fault counts) are reused by
     /// reports and repeat runs.
     pub plans: Memo<LayoutOrders>,
+    /// Completed pre-lowering waves, keyed by compile key: the hot-CU
+    /// wave runs exactly once per compiled build — later cells block on
+    /// the slot until the winner finishes (preserving "every hot CU is
+    /// realized before any optimized run") and then skip it entirely,
+    /// instead of re-deriving the hot set per cell.
+    pub waves: Memo<()>,
 }
 
 impl ArtifactCache {
@@ -226,6 +232,7 @@ impl ArtifactCache {
             profiles: Memo::new("profile"),
             lowered: Memo::new("lower"),
             plans: Memo::new("optimize"),
+            waves: Memo::new("prelower"),
         }
     }
 
@@ -242,6 +249,7 @@ impl ArtifactCache {
             self.profiles.stats(),
             self.lowered.stats(),
             self.plans.stats(),
+            self.waves.stats(),
         ]
     }
 

@@ -17,13 +17,16 @@
 //!    row-major (workload-major) order regardless of scheduling.
 //!
 //! Per-stage wall-clock and cache hit counts are recorded in
-//! [`EngineStats`] (surfaced by `nimage bench --json`), establishing the
-//! repo's performance trajectory for the evaluation path.
+//! [`EngineStats`] (surfaced by `nimage bench --json`). Stage times are
+//! derived from the span tree the engine's always-on [`Tracer`] records
+//! (DESIGN.md §14): every stage computation runs inside a span, and a
+//! stage's time is the sum of its spans' *exclusive* durations (inclusive
+//! minus nested spans), so nested stages never double-count — the
+//! attribution the old `StageClock` hand-rolled with a thread-local
+//! child-duration stack.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::Instant;
 
 use nimage_analysis::Reachability;
 use nimage_compiler::{CompiledProgram, InstrumentConfig};
@@ -32,6 +35,7 @@ use nimage_image::BinaryImage;
 use nimage_ir::Program;
 use nimage_order::HeapStrategy;
 use nimage_par::StealQueue;
+use nimage_trace::Tracer;
 use nimage_vm::{ExecMode, HeapTemplate, LoweredProgram, LoweredShard, RunReport, StopWhen};
 
 use std::collections::BTreeMap;
@@ -39,20 +43,9 @@ use std::collections::BTreeMap;
 use crate::cache::{ArtifactCache, CacheKey, Memo, MemoStats};
 use crate::diskcache::{DiskCacheOptions, DiskCacheStats, DiskCodec, DiskStore};
 use crate::{
-    BuildOptions, Evaluation, LayoutOrders, Pipeline, PipelineError, ProfiledArtifacts, Strategy,
+    BuildOptions, Evaluation, LayoutOrders, Pipeline, PipelineError, ProfiledArtifacts, RunParts,
+    Strategy,
 };
-
-/// Pipeline stages the engine attributes wall-clock to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Stage {
-    Analyze = 0,
-    Compile,
-    Snapshot,
-    Replay,
-    Order,
-    Layout,
-    Run,
-}
 
 /// Cumulative wall-clock spent *computing* each pipeline stage (cache hits
 /// cost nothing and add nothing). With several worker threads, stage times
@@ -60,13 +53,15 @@ enum Stage {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageTimes {
     /// Nanoseconds per stage, parallel to [`StageTimes::NAMES`].
-    pub ns: [u64; 7],
+    pub ns: [u64; 9],
 }
 
 impl StageTimes {
-    /// Stage names, parallel to [`StageTimes::ns`].
-    pub const NAMES: [&'static str; 7] = [
-        "analyze", "compile", "snapshot", "replay", "order", "layout", "run",
+    /// Stage names, parallel to [`StageTimes::ns`], in pipeline order.
+    /// These are exactly the span names the engine records, so a stage's
+    /// entry here equals the summed exclusive time of its spans.
+    pub const NAMES: [&'static str; 9] = [
+        "analyze", "compile", "snapshot", "lower", "replay", "order", "optimize", "layout", "run",
     ];
 
     /// `(name, nanoseconds)` pairs in pipeline order.
@@ -80,49 +75,28 @@ impl StageTimes {
     }
 }
 
-#[derive(Debug, Default)]
-struct StageClock {
-    ns: [AtomicU64; 7],
+/// Observability knobs of one engine (never part of any cache
+/// fingerprint — keys hash only program, build options and stop
+/// condition, so tracing cannot invalidate or fork cache entries).
+#[derive(Debug, Clone)]
+pub struct TraceOptions {
+    /// Record VM-level point events — one `page-fault` instant per major
+    /// fault, one `shard-fault` instant per lazily lowered CU — into the
+    /// engine's tracer. Off by default: this is the only recording that
+    /// scales with executed work, and the ≤ 3% run-stage overhead bound
+    /// is measured against it. Stage/cell spans are always recorded
+    /// (they are a few hundred events per evaluation).
+    pub vm_events: bool,
+    /// Per-thread event-ring capacity.
+    pub capacity: usize,
 }
 
-thread_local! {
-    /// Per-thread stack of accumulated *child* stage durations, one entry
-    /// per in-flight [`StageClock::time`] call. See `time` for why.
-    static CHILD_NS: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
-}
-
-impl StageClock {
-    /// Times `f`, attributing only its *exclusive* (self) time to `stage`.
-    ///
-    /// Stage timers nest: replay post-processing computes strategy id maps
-    /// (timed as `order`) inside the `replay` timer. Naive accounting
-    /// charged that inner time to *both* stages, inflating the outer one —
-    /// the `stages_ns.replay`-vs-`stage_speedups.replay` mismatch in
-    /// `BENCH_eval.json`. Each nested call's wall-clock is subtracted from
-    /// its parent, so the per-stage numbers partition the measured work.
-    fn time<T>(&self, stage: Stage, f: impl FnOnce() -> T) -> T {
-        CHILD_NS.with(|stack| stack.borrow_mut().push(0));
-        let start = Instant::now();
-        let v = f();
-        let elapsed = start.elapsed().as_nanos() as u64;
-        let child = CHILD_NS.with(|stack| {
-            let mut stack = stack.borrow_mut();
-            let child = stack.pop().expect("pushed above");
-            if let Some(parent) = stack.last_mut() {
-                *parent += elapsed;
-            }
-            child
-        });
-        self.ns[stage as usize].fetch_add(elapsed.saturating_sub(child), Ordering::Relaxed);
-        v
-    }
-
-    fn snapshot(&self) -> StageTimes {
-        let mut out = StageTimes::default();
-        for (slot, counter) in out.ns.iter_mut().zip(&self.ns) {
-            *slot = counter.load(Ordering::Relaxed);
+impl Default for TraceOptions {
+    fn default() -> TraceOptions {
+        TraceOptions {
+            vm_events: false,
+            capacity: nimage_trace::DEFAULT_CAPACITY,
         }
-        out
     }
 }
 
@@ -137,10 +111,12 @@ pub struct EngineOptions {
     /// id maps, baseline measurements, profiling artifacts) under the
     /// given root so later processes start warm.
     pub disk: Option<DiskCacheOptions>,
+    /// Observability configuration.
+    pub trace: TraceOptions,
 }
 
 /// One workload of an evaluation matrix.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct WorkloadSpec<'p> {
     /// Display name (also the row label of the result).
     pub name: String,
@@ -167,6 +143,21 @@ impl<'p> WorkloadSpec<'p> {
             stop,
         }
     }
+}
+
+/// A typed request for one optimized build: the workload, its profiling
+/// artifacts, and the layout strategy (`None` = the baseline layout).
+/// The builder-style counterpart of the old positional
+/// `Engine::optimized_parts` arguments.
+#[derive(Debug)]
+pub struct BuildRequest<'a, 'p, 's> {
+    /// The workload to build.
+    pub spec: &'s WorkloadSpec<'p>,
+    /// Its profiling-run artifacts (from [`Engine::profile_workload`]).
+    pub artifacts: &'a ProfiledArtifacts,
+    /// The ordering strategy, or `None` for the unordered baseline
+    /// layout.
+    pub strategy: Option<Strategy>,
 }
 
 /// One cell of an evaluated matrix.
@@ -282,7 +273,7 @@ pub struct BuildParts {
 pub struct Engine {
     cache: ArtifactCache,
     disk: Option<DiskStore>,
-    clock: StageClock,
+    tracer: Tracer,
     opts: EngineOptions,
 }
 
@@ -299,7 +290,11 @@ impl Engine {
         Engine {
             cache: ArtifactCache::new(),
             disk: opts.disk.as_ref().map(DiskStore::open),
-            clock: StageClock::default(),
+            // The engine's own tracer is always on: stage/cell spans are
+            // a few hundred events per evaluation and are what
+            // `EngineStats::stages` is derived from. `TraceOptions`
+            // gates only the VM-level fault instants (see `vm_tracer`).
+            tracer: Tracer::with_capacity(opts.trace.capacity),
             opts,
         }
     }
@@ -309,12 +304,43 @@ impl Engine {
         &self.cache
     }
 
+    /// The engine's construction options.
+    pub fn options(&self) -> &EngineOptions {
+        &self.opts
+    }
+
     /// The engine's disk tier, when configured.
     pub fn disk(&self) -> Option<&DiskStore> {
         self.disk.as_ref()
     }
 
-    /// Per-stage wall-clock and cache counters accumulated so far.
+    /// The engine's tracer: stage, cell and cache events recorded so far
+    /// (plus VM fault events when [`TraceOptions::vm_events`] is set).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The Chrome-trace JSON (Perfetto/`chrome://tracing`-loadable) of
+    /// everything recorded so far — `nimage bench --trace-out`.
+    pub fn chrome_trace(&self) -> String {
+        nimage_trace::chrome_trace_json(&self.tracer.events())
+    }
+
+    /// The tracer handle VM runs record into: the engine tracer when
+    /// [`TraceOptions::vm_events`] is on, otherwise the disabled handle
+    /// (one branch per fault, zero allocation — the compiled-in fast
+    /// path).
+    fn vm_tracer(&self) -> Tracer {
+        if self.opts.trace.vm_events {
+            self.tracer.clone()
+        } else {
+            Tracer::disabled()
+        }
+    }
+
+    /// Per-stage wall-clock and cache counters accumulated so far. Stage
+    /// times are the summed exclusive durations of this engine's stage
+    /// spans, computed from the physical (per-thread) span nesting.
     pub fn stats(&self) -> EngineStats {
         let mut lowered_shards = ShardStats::default();
         for lp in self.cache.lowered.values() {
@@ -322,8 +348,15 @@ impl Engine {
             lowered_shards.eager += lp.shards_lowered_eager();
             lowered_shards.cus += lp.n_cus() as u64;
         }
+        let agg = nimage_trace::aggregate(&self.tracer.events());
+        let mut stages = StageTimes::default();
+        for (slot, name) in stages.ns.iter_mut().zip(StageTimes::NAMES) {
+            if let Some(a) = agg.get(name) {
+                *slot = a.exclusive_ns;
+            }
+        }
         EngineStats {
-            stages: self.clock.snapshot(),
+            stages,
             cache: self.cache.stats(),
             disk: self.disk.as_ref().map(DiskStore::stats),
             disk_stages: self.disk.as_ref().map(DiskStore::stage_stats),
@@ -348,12 +381,19 @@ impl Engine {
         memo.get_or_try(key, || {
             if let Some(d) = &self.disk {
                 if let Some(v) = d.get::<T>(stage, key) {
+                    // Root instant: which caller performs the (exactly
+                    // once per key) disk probe is scheduling-dependent,
+                    // but the probe's outcome is not.
+                    self.tracer
+                        .root_instant("disk-hit", || format!("stage={stage}"));
                     return Ok(v);
                 }
             }
             let v = f()?;
             if let Some(d) = &self.disk {
                 d.put(stage, key, &v);
+                self.tracer
+                    .root_instant("disk-store", || format!("stage={stage}"));
             }
             Ok(v)
         })
@@ -446,8 +486,16 @@ impl Engine {
     pub fn gc_disk(&self) -> Option<crate::diskcache::GcReport> {
         let d = self.disk.as_ref()?;
         let opts = self.opts.disk.as_ref()?;
-        opts.capped()
-            .then(|| d.gc(opts.max_bytes, opts.max_entries))
+        if !opts.capped() {
+            return None;
+        }
+        let _s = self.tracer.root_span("disk-gc", String::new);
+        let r = d.gc(opts.max_bytes, opts.max_entries);
+        self.tracer.count("disk.gc.sweeps", 1);
+        self.tracer
+            .count("disk.gc.evicted_entries", r.evicted_entries);
+        self.tracer.count("disk.gc.evicted_bytes", r.evicted_bytes);
+        Some(r)
     }
 
     /// Profiles one workload (steps 1–3 of Fig. 1), cached in memory and
@@ -474,18 +522,21 @@ impl Engine {
         let reach = self.reach(&ctx, &p);
         let compiled = self.instrumented_compiled(&ctx, &p, &reach);
         let snapshot = self.snapshot_for(
+            &ctx,
             &p,
             ctx.key("snapshot:instrumented"),
             &compiled,
             &ctx.spec.opts.heap_instrumented,
+            "instrumented",
         )?;
         let image = self
             .cache
             .images
             .get_or_try(ctx.key("layout:instrumented"), || {
-                self.clock.time(Stage::Layout, || {
-                    p.layout_stage(&compiled, &snapshot, LayoutOrders::default(), None)
-                })
+                let _s = self.tracer.root_span("layout", || {
+                    format!("workload={} variant=instrumented", ctx.spec.name)
+                });
+                p.layout_stage(&compiled, &snapshot, LayoutOrders::default(), None)
             })?;
         Ok(BuildParts {
             compiled,
@@ -494,28 +545,28 @@ impl Engine {
         })
     }
 
-    /// Builds the profile-guided optimized image for `strategy` (`None`
-    /// for the baseline layout) with the compile and snapshot stages
-    /// shared behind the cache and disk tier. The parts equal
-    /// `Pipeline::build_optimized`'s.
+    /// Builds the profile-guided optimized image described by `req` with
+    /// the compile and snapshot stages shared behind the cache and disk
+    /// tier. The parts equal `Pipeline::build_optimized`'s.
     ///
     /// # Errors
     /// Propagates pipeline failures.
-    pub fn optimized_parts(
+    pub fn optimized_image(
         &self,
-        spec: &WorkloadSpec<'_>,
-        artifacts: &ProfiledArtifacts,
-        strategy: Option<Strategy>,
+        req: &BuildRequest<'_, '_, '_>,
     ) -> Result<BuildParts, PipelineError> {
+        let (spec, artifacts, strategy) = (req.spec, req.artifacts, req.strategy);
         let ctx = Ctx::new(spec);
         let p = ctx.pipeline();
         let reach = self.reach(&ctx, &p);
         let compiled = self.optimized_compiled(&ctx, &p, &reach, artifacts);
         let snapshot = self.snapshot_for(
+            &ctx,
             &p,
             ctx.key("snapshot:optimized"),
             &compiled,
             &ctx.spec.opts.heap_optimized,
+            "optimized",
         )?;
         let ids = strategy
             .and_then(|s| ctx.spec.opts.heap_strategy_for(s))
@@ -531,14 +582,37 @@ impl Engine {
             }
         };
         let image = self.cache.images.get_or_try(image_key, || {
-            self.clock.time(Stage::Layout, || {
-                p.layout_stage(&compiled, &snapshot, orders, native)
-            })
+            let _s = self.tracer.root_span("layout", || match strategy {
+                None => format!("workload={} variant=baseline", ctx.spec.name),
+                Some(s) => format!("workload={} strategy={}", ctx.spec.name, s.name()),
+            });
+            p.layout_stage(&compiled, &snapshot, orders, native)
         })?;
         Ok(BuildParts {
             compiled,
             snapshot,
             image,
+        })
+    }
+
+    /// Deprecated positional form of [`Engine::optimized_image`].
+    ///
+    /// # Errors
+    /// Propagates pipeline failures.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Engine::optimized_image with a BuildRequest"
+    )]
+    pub fn optimized_parts(
+        &self,
+        spec: &WorkloadSpec<'_>,
+        artifacts: &ProfiledArtifacts,
+        strategy: Option<Strategy>,
+    ) -> Result<BuildParts, PipelineError> {
+        self.optimized_image(&BuildRequest {
+            spec,
+            artifacts,
+            strategy,
         })
     }
 
@@ -563,15 +637,26 @@ impl Engine {
             let key =
                 CacheKey::for_stage("optimize", &[ctx.base, CacheKey::of_debug("strategy", &s)]);
             let plan = self.disk_backed(&self.cache.plans, "optimize", key, || {
-                Ok::<_, PipelineError>(self.clock.time(Stage::Order, || {
-                    p.order_stage(artifacts, compiled, snapshot, strategy, ids.as_deref())
-                }))
+                let _s = self.tracer.root_span("optimize", || {
+                    format!("workload={} strategy={}", ctx.spec.name, s.name())
+                });
+                Ok::<_, PipelineError>(p.order_stage(
+                    artifacts,
+                    compiled,
+                    snapshot,
+                    strategy,
+                    ids.as_deref(),
+                ))
             })?;
             Ok((*plan).clone())
         } else {
-            Ok(self.clock.time(Stage::Order, || {
-                p.order_stage(artifacts, compiled, snapshot, strategy, ids.as_deref())
-            }))
+            // Inline (uncached) ordering: one plain span per call, a
+            // child of whatever cell span is open on this thread.
+            let _s = self.tracer.span_with("order", || match strategy {
+                None => format!("workload={} variant=baseline", ctx.spec.name),
+                Some(s) => format!("workload={} strategy={}", ctx.spec.name, s.name()),
+            });
+            Ok(p.order_stage(artifacts, compiled, snapshot, strategy, ids.as_deref()))
         }
     }
 
@@ -597,10 +682,12 @@ impl Engine {
         let reach = self.reach(&ctx, &p);
         let compiled = self.optimized_compiled(&ctx, &p, &reach, artifacts);
         let snapshot = self.snapshot_for(
+            &ctx,
             &p,
             ctx.key("snapshot:optimized"),
             &compiled,
             &ctx.spec.opts.heap_optimized,
+            "optimized",
         )?;
         let ids = ctx
             .spec
@@ -624,6 +711,10 @@ impl Engine {
     ///
     /// # Errors
     /// Returns the first failing strategy's error.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Engine::evaluate with an EvalRequest (or evaluate_matrix)"
+    )]
     pub fn evaluate_workload<'p>(
         &self,
         spec: &WorkloadSpec<'p>,
@@ -634,6 +725,11 @@ impl Engine {
     }
 
     fn run_job(&self, ctx: &Ctx<'_, '_>, strategy: Strategy) -> Result<Evaluation, PipelineError> {
+        // The cell span is a logical root: cells are the unit of
+        // work-stealing, so their thread and physical parent vary.
+        let _cell = self.tracer.root_span("cell", || {
+            format!("workload={} strategy={}", ctx.spec.name, strategy.name())
+        });
         let artifacts = self.profiled(ctx)?;
         let parts = self.baseline_parts(ctx, &artifacts)?;
         self.evaluate_cell(ctx, &artifacts, &parts, strategy)
@@ -641,7 +737,10 @@ impl Engine {
 
     fn reach(&self, ctx: &Ctx<'_, '_>, p: &Pipeline<'_>) -> Arc<Reachability> {
         self.cache.reach.get_or(ctx.key("analyze"), || {
-            self.clock.time(Stage::Analyze, || p.analyze_stage())
+            let _s = self
+                .tracer
+                .root_span("analyze", || format!("workload={}", ctx.spec.name));
+            p.analyze_stage()
         })
     }
 
@@ -661,9 +760,10 @@ impl Engine {
             "assign-ids",
             key,
             || {
-                Ok(self.clock.time(Stage::Order, || {
-                    nimage_order::assign_ids(ctx.spec.program, snap, hs)
-                }))
+                let _s = self
+                    .tracer
+                    .root_span("order", || format!("workload={} ids={hs:?}", ctx.spec.name));
+                Ok(nimage_order::assign_ids(ctx.spec.program, snap, hs))
             },
         ) {
             Ok(v) => v,
@@ -682,9 +782,10 @@ impl Engine {
             "compile",
             ctx.key("compile:instrumented"),
             || {
-                Ok(self.clock.time(Stage::Compile, || {
-                    p.compile_stage(reach.clone(), InstrumentConfig::FULL, None)
-                }))
+                let _s = self.tracer.root_span("compile", || {
+                    format!("workload={} variant=instrumented", ctx.spec.name)
+                });
+                Ok(p.compile_stage(reach.clone(), InstrumentConfig::FULL, None))
             },
         ) {
             Ok(v) => v,
@@ -704,13 +805,14 @@ impl Engine {
             "compile",
             ctx.key("compile:optimized"),
             || {
-                Ok(self.clock.time(Stage::Compile, || {
-                    p.compile_stage(
-                        reach.clone(),
-                        InstrumentConfig::NONE,
-                        Some(&artifacts.call_counts),
-                    )
-                }))
+                let _s = self.tracer.root_span("compile", || {
+                    format!("workload={} variant=optimized", ctx.spec.name)
+                });
+                Ok(p.compile_stage(
+                    reach.clone(),
+                    InstrumentConfig::NONE,
+                    Some(&artifacts.call_counts),
+                ))
             },
         ) {
             Ok(v) => v,
@@ -732,15 +834,17 @@ impl Engine {
         ctx: &Ctx<'_, '_>,
         compile_key: CacheKey,
         compiled: &CompiledProgram,
+        variant: &'static str,
     ) -> Option<Arc<LoweredProgram>> {
         if ctx.spec.opts.vm.exec == ExecMode::Legacy {
             return None;
         }
         let key = CacheKey::for_stage("lower", &[compile_key]);
         Some(self.cache.lowered.get_or(key, || {
-            self.clock.time(Stage::Compile, || {
-                LoweredProgram::new(ctx.spec.program, compiled, ctx.spec.opts.vm.max_paths)
-            })
+            let _s = self.tracer.root_span("lower", || {
+                format!("workload={} variant={variant}", ctx.spec.name)
+            });
+            LoweredProgram::new(ctx.spec.program, compiled, ctx.spec.opts.vm.max_paths)
         }))
     }
 
@@ -759,49 +863,64 @@ impl Engine {
         lowered: &LoweredProgram,
         artifacts: &ProfiledArtifacts,
     ) {
-        let sig_to_cu: HashMap<String, nimage_compiler::CuId> = compiled
-            .cus
-            .iter()
-            .map(|cu| (ctx.spec.program.method_signature(cu.root), cu.id))
-            .collect();
-        // Profile order, already-realized shards skipped (baseline_parts
-        // re-runs per cell; the wave must not repeat disk reads).
-        let todo: Vec<nimage_compiler::CuId> = artifacts
-            .cu_profile
-            .sigs
-            .iter()
-            .filter_map(|sig| sig_to_cu.get(sig).copied())
-            .filter(|&cu| !lowered.is_cu_lowered(cu))
-            .collect();
-        if todo.is_empty() {
-            return;
-        }
-        let n = if self.opts.n_threads > 0 {
-            self.opts.n_threads
-        } else {
-            nimage_par::host_parallelism()
-        };
-        let workers = nimage_par::workers_for(n, todo.len(), nimage_par::cutoff::PRELOWER_MIN_CUS);
-        self.clock.time(Stage::Compile, || {
-            nimage_par::parallel_map(workers, todo.len(), |i| {
-                let cu = todo[i];
-                let key = CacheKey::for_stage(
-                    "lower",
-                    &[compile_key, CacheKey::of_debug("cu", &cu.index())],
-                );
-                if let Some(d) = &self.disk {
-                    if let Some(shard) = d.get::<LoweredShard>("lower", key) {
-                        if lowered.install_shard(compiled, &shard) {
-                            return;
+        // Exactly once per compiled build: every cell calls in (its runs
+        // must not start before the hot set is realized — `get_or`
+        // blocks until the winning wave finishes), but only the first
+        // derives the hot set and fans out. Also makes the wave a single
+        // deterministic `lower` span instead of one racy span per cell.
+        self.cache
+            .waves
+            .get_or(CacheKey::for_stage("prelower", &[compile_key]), || {
+                let _s = self
+                    .tracer
+                    .root_span("lower", || format!("workload={} wave=hot", ctx.spec.name));
+                let sig_to_cu: HashMap<String, nimage_compiler::CuId> = compiled
+                    .cus
+                    .iter()
+                    .map(|cu| (ctx.spec.program.method_signature(cu.root), cu.id))
+                    .collect();
+                // Profile order, already-realized shards skipped.
+                let todo: Vec<nimage_compiler::CuId> = artifacts
+                    .cu_profile
+                    .sigs
+                    .iter()
+                    .filter_map(|sig| sig_to_cu.get(sig).copied())
+                    .filter(|&cu| !lowered.is_cu_lowered(cu))
+                    .collect();
+                if todo.is_empty() {
+                    return;
+                }
+                self.tracer.count("lower.prelowered_cus", todo.len() as u64);
+                let n = if self.opts.n_threads > 0 {
+                    self.opts.n_threads
+                } else {
+                    nimage_par::host_parallelism()
+                };
+                let workers =
+                    nimage_par::workers_for(n, todo.len(), nimage_par::cutoff::PRELOWER_MIN_CUS);
+                nimage_par::parallel_map(workers, todo.len(), |i| {
+                    let cu = todo[i];
+                    let key = CacheKey::for_stage(
+                        "lower",
+                        &[compile_key, CacheKey::of_debug("cu", &cu.index())],
+                    );
+                    if let Some(d) = &self.disk {
+                        if let Some(shard) = d.get::<LoweredShard>("lower", key) {
+                            if lowered.install_shard(compiled, &shard) {
+                                self.tracer
+                                    .root_instant("disk-hit", || "stage=lower".to_string());
+                                return;
+                            }
                         }
                     }
-                }
-                let shard = lowered.extract_shard(ctx.spec.program, compiled, cu);
-                if let Some(d) = &self.disk {
-                    d.put("lower", key, &shard);
-                }
+                    let shard = lowered.extract_shard(ctx.spec.program, compiled, cu);
+                    if let Some(d) = &self.disk {
+                        d.put("lower", key, &shard);
+                        self.tracer
+                            .root_instant("disk-store", || "stage=lower".to_string());
+                    }
+                });
             });
-        });
     }
 
     /// A heap snapshot of `compiled`, disk-backed under the `snapshot`
@@ -809,14 +928,18 @@ impl Engine {
     /// `cfg` is the matching heap-build configuration.
     fn snapshot_for(
         &self,
+        ctx: &Ctx<'_, '_>,
         p: &Pipeline<'_>,
         key: CacheKey,
         compiled: &CompiledProgram,
         cfg: &nimage_heap::HeapBuildConfig,
+        variant: &'static str,
     ) -> Result<Arc<HeapSnapshot>, PipelineError> {
         self.disk_backed(&self.cache.snapshots, "snapshot", key, || {
-            self.clock
-                .time(Stage::Snapshot, || p.snapshot_stage(compiled, cfg))
+            let _s = self.tracer.root_span("snapshot", || {
+                format!("workload={} variant={variant}", ctx.spec.name)
+            });
+            p.snapshot_stage(compiled, cfg)
         })
     }
 
@@ -824,42 +947,61 @@ impl Engine {
     /// workload.
     fn profiled(&self, ctx: &Ctx<'_, '_>) -> Result<Arc<ProfiledArtifacts>, PipelineError> {
         self.disk_backed(&self.cache.profiles, "profile", ctx.key("profile"), || {
+            let _p = self
+                .tracer
+                .root_span("profile", || format!("workload={}", ctx.spec.name));
             let p = ctx.pipeline();
             let reach = self.reach(ctx, &p);
             let compiled = self.instrumented_compiled(ctx, &p, &reach);
             let snap_key = ctx.key("snapshot:instrumented");
-            let snap =
-                self.snapshot_for(&p, snap_key, &compiled, &ctx.spec.opts.heap_instrumented)?;
+            let snap = self.snapshot_for(
+                ctx,
+                &p,
+                snap_key,
+                &compiled,
+                &ctx.spec.opts.heap_instrumented,
+                "instrumented",
+            )?;
             let image = self
                 .cache
                 .images
                 .get_or_try(ctx.key("layout:instrumented"), || {
-                    self.clock.time(Stage::Layout, || {
-                        p.layout_stage(&compiled, &snap, LayoutOrders::default(), None)
-                    })
+                    let _s = self.tracer.root_span("layout", || {
+                        format!("workload={} variant=instrumented", ctx.spec.name)
+                    });
+                    p.layout_stage(&compiled, &snap, LayoutOrders::default(), None)
                 })?;
             let template =
                 self.cache
                     .heap_templates
                     .get_or(ctx.key("heap-template:instrumented"), || {
-                        self.clock.time(Stage::Snapshot, || {
-                            HeapTemplate::from_build_heap(snap.heap())
-                        })
+                        let _s = self.tracer.root_span("snapshot", || {
+                            format!("workload={} variant=template:instrumented", ctx.spec.name)
+                        });
+                        HeapTemplate::from_build_heap(snap.heap())
                     });
-            let lowered = self.lowered_for(ctx, ctx.key("compile:instrumented"), &compiled);
-            let report = self.clock.time(Stage::Run, || {
-                p.run_parts_shared(
-                    &compiled,
-                    &snap,
-                    &image,
-                    Some(template),
-                    lowered,
+            let lowered = self.lowered_for(
+                ctx,
+                ctx.key("compile:instrumented"),
+                &compiled,
+                "instrumented",
+            );
+            let report = {
+                let _s = self.tracer.span_with("run", || {
+                    format!("workload={} variant=instrumented", ctx.spec.name)
+                });
+                p.run(
+                    RunParts::new(&compiled, &snap, &image)
+                        .heap(Some(template))
+                        .lowered(lowered)
+                        .tracer(self.vm_tracer()),
                     ctx.spec.stop,
-                )
-            })?;
-            self.clock.time(Stage::Replay, || {
-                p.post_process(report, &mut |hs| self.heap_ids(ctx, snap_key, &snap, hs))
-            })
+                )?
+            };
+            let _s = self
+                .tracer
+                .span_with("replay", || format!("workload={}", ctx.spec.name));
+            p.post_process(report, &mut |hs| self.heap_ids(ctx, snap_key, &snap, hs))
         })
     }
 
@@ -874,29 +1016,33 @@ impl Engine {
         let reach = self.reach(ctx, &p);
         let compiled = self.optimized_compiled(ctx, &p, &reach, artifacts);
         let snapshot = self.snapshot_for(
+            ctx,
             &p,
             ctx.key("snapshot:optimized"),
             &compiled,
             &ctx.spec.opts.heap_optimized,
+            "optimized",
         )?;
         let template = self
             .cache
             .heap_templates
             .get_or(ctx.key("heap-template:optimized"), || {
-                self.clock.time(Stage::Snapshot, || {
-                    HeapTemplate::from_build_heap(snapshot.heap())
-                })
+                let _s = self.tracer.root_span("snapshot", || {
+                    format!("workload={} variant=template:optimized", ctx.spec.name)
+                });
+                HeapTemplate::from_build_heap(snapshot.heap())
             });
         let image: Arc<BinaryImage> =
             self.cache
                 .images
                 .get_or_try(ctx.key("layout:baseline"), || {
-                    self.clock.time(Stage::Layout, || {
-                        p.layout_stage(&compiled, &snapshot, LayoutOrders::default(), None)
-                    })
+                    let _s = self.tracer.root_span("layout", || {
+                        format!("workload={} variant=baseline", ctx.spec.name)
+                    });
+                    p.layout_stage(&compiled, &snapshot, LayoutOrders::default(), None)
                 })?;
         let compile_key = ctx.key("compile:optimized");
-        let lowered = self.lowered_for(ctx, compile_key, &compiled);
+        let lowered = self.lowered_for(ctx, compile_key, &compiled, "optimized");
         if let Some(lp) = &lowered {
             self.prelower_hot(ctx, compile_key, &compiled, lp, artifacts);
         }
@@ -905,16 +1051,16 @@ impl Engine {
             "baseline-run",
             ctx.key("run:baseline"),
             || {
-                self.clock.time(Stage::Run, || {
-                    p.run_parts_shared(
-                        &compiled,
-                        &snapshot,
-                        &image,
-                        Some(template.clone()),
-                        lowered.clone(),
-                        ctx.spec.stop,
-                    )
-                })
+                let _s = self.tracer.root_span("run", || {
+                    format!("workload={} variant=baseline", ctx.spec.name)
+                });
+                p.run(
+                    RunParts::new(&compiled, &snapshot, &image)
+                        .heap(Some(template.clone()))
+                        .lowered(lowered.clone())
+                        .tracer(self.vm_tracer()),
+                    ctx.spec.stop,
+                )
             },
         )?;
         Ok(BaselineParts {
@@ -950,24 +1096,29 @@ impl Engine {
             Some(strategy),
             &ids,
         )?;
-        let image = self.clock.time(Stage::Layout, || {
+        let image = {
+            let _s = self.tracer.span_with("layout", || {
+                format!("workload={} strategy={}", ctx.spec.name, strategy.name())
+            });
             p.layout_stage(
                 &parts.compiled,
                 &parts.snapshot,
                 orders,
                 Some(artifacts.native_pages.as_slice()),
-            )
-        })?;
-        let optimized = self.clock.time(Stage::Run, || {
-            p.run_parts_shared(
-                &parts.compiled,
-                &parts.snapshot,
-                &image,
-                Some(parts.template.clone()),
-                parts.lowered.clone(),
+            )?
+        };
+        let optimized = {
+            let _s = self.tracer.span_with("run", || {
+                format!("workload={} strategy={}", ctx.spec.name, strategy.name())
+            });
+            p.run(
+                RunParts::new(&parts.compiled, &parts.snapshot, &image)
+                    .heap(Some(parts.template.clone()))
+                    .lowered(parts.lowered.clone())
+                    .tracer(self.vm_tracer()),
                 ctx.spec.stop,
-            )
-        })?;
+            )?
+        };
         Ok(Evaluation {
             strategy,
             baseline: (*parts.run).clone(),
@@ -979,17 +1130,50 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nimage_trace::Tracer;
 
     #[test]
     fn stage_times_report_in_pipeline_order() {
-        let clock = StageClock::default();
-        clock.time(Stage::Run, || {
-            std::thread::sleep(std::time::Duration::from_millis(1))
-        });
-        let t = clock.snapshot();
-        assert!(t.ns[Stage::Run as usize] > 0);
+        let tracer = Tracer::new();
+        {
+            let _run = tracer.span("run");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let agg = nimage_trace::aggregate(&tracer.events());
+        let mut t = StageTimes::default();
+        for (i, name) in StageTimes::NAMES.iter().enumerate() {
+            if let Some(a) = agg.get(name) {
+                t.ns[i] = a.exclusive_ns;
+            }
+        }
+        assert!(t.ns[StageTimes::NAMES.iter().position(|n| *n == "run").unwrap()] > 0);
         assert_eq!(t.total_ns(), t.ns.iter().sum::<u64>());
         let names: Vec<_> = t.iter().map(|(n, _)| n).collect();
         assert_eq!(names, StageTimes::NAMES);
+    }
+
+    #[test]
+    fn nested_spans_attribute_exclusive_time_to_each_stage() {
+        // run physically containing compile: exclusive attribution must
+        // subtract the nested span, as the old per-stage clock did.
+        let tracer = Tracer::new();
+        {
+            let _run = tracer.span("run");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _compile = tracer.span("compile");
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        let agg = nimage_trace::aggregate(&tracer.events());
+        let run = agg["run"];
+        let compile = agg["compile"];
+        assert!(run.inclusive_ns > compile.inclusive_ns);
+        assert_eq!(
+            run.exclusive_ns,
+            run.inclusive_ns - compile.inclusive_ns,
+            "parent exclusive = inclusive minus nested child"
+        );
+        assert_eq!(compile.exclusive_ns, compile.inclusive_ns);
     }
 }

@@ -41,6 +41,7 @@ pub mod cache;
 pub mod diskcache;
 pub mod engine;
 mod persist;
+pub mod report;
 
 pub use cache::{ArtifactCache, CacheKey, Memo, MemoStats};
 pub use diskcache::{
@@ -48,10 +49,12 @@ pub use diskcache::{
     DISK_FORMAT_VERSION,
 };
 pub use engine::{
-    BuildParts, Engine, EngineOptions, EngineStats, MatrixCell, ShardStats, StageTimes,
-    WorkloadSpec,
+    BuildParts, BuildRequest, Engine, EngineOptions, EngineStats, MatrixCell, ShardStats,
+    StageTimes, TraceOptions, WorkloadSpec,
 };
+pub use nimage_trace::{MetricsSnapshot, TraceSummary, Tracer};
 pub use persist::{load_profiles, save_profiles, SavedProfiles};
+pub use report::{CellReport, EvalOutcome, EvalRequest, Report, StageReport, REPORT_VERSION};
 
 use std::collections::HashMap;
 use std::error::Error;
@@ -74,7 +77,7 @@ use nimage_order::{
 pub use nimage_par::Parallelism;
 use nimage_verify::{errors_of, irlint, pipeline as checks, Diagnostic};
 use nimage_vm::{
-    CostModel, HeapTemplate, LoweredProgram, RunReport, StopWhen, Vm, VmConfig, VmError,
+    CostModel, HeapTemplate, LoweredProgram, RunReport, StopWhen, VmBuilder, VmConfig, VmError,
 };
 
 /// An ordering strategy of the paper (Sec. 4, Sec. 5, and the combined
@@ -424,8 +427,8 @@ impl Evaluation {
 ///
 /// Every strategy of one workload compares against the same baseline, so
 /// callers compute it once (via [`Pipeline::baseline`]) and lend it to each
-/// [`Pipeline::evaluate_with`] call instead of paying the optimized build
-/// and baseline measurement once per strategy.
+/// [`Pipeline::evaluate_strategy`] call instead of paying the optimized
+/// build and baseline measurement once per strategy.
 #[derive(Debug)]
 pub struct Baseline {
     /// The optimized build with default layout.
@@ -505,6 +508,89 @@ fn native_order(touched: &[u32], n_pages: u32) -> Vec<u32> {
         }
     }
     position
+}
+
+/// The parts of one VM run, as a builder: the three mandatory build
+/// artifacts plus the optional shared state (heap template, pre-lowered
+/// program) and an optional [`Tracer`] for VM-level fault events.
+///
+/// Replaces the positional `run_parts_shared(compiled, snapshot, image,
+/// heap, lowered, stop)` signature, whose two adjacent `Option`s were
+/// easy to transpose:
+///
+/// ```ignore
+/// pipeline.run(
+///     RunParts::new(&compiled, &snapshot, &image)
+///         .heap(Some(template))
+///         .lowered(lowered),
+///     StopWhen::Exit,
+/// )?
+/// ```
+#[derive(Debug)]
+pub struct RunParts<'a> {
+    compiled: &'a CompiledProgram,
+    snapshot: &'a HeapSnapshot,
+    image: &'a BinaryImage,
+    heap: Option<Arc<HeapTemplate>>,
+    lowered: Option<Arc<LoweredProgram>>,
+    tracer: Tracer,
+}
+
+impl<'a> RunParts<'a> {
+    /// Starts a run description from the three mandatory build artifacts.
+    /// No heap template, no shared lowered program, tracing disabled.
+    pub fn new(
+        compiled: &'a CompiledProgram,
+        snapshot: &'a HeapSnapshot,
+        image: &'a BinaryImage,
+    ) -> Self {
+        RunParts {
+            compiled,
+            snapshot,
+            image,
+            heap: None,
+            lowered: None,
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Shares a pre-materialized heap template: the VM references the
+    /// snapshot heap copy-on-write instead of converting it again.
+    #[must_use]
+    pub fn heap(mut self, heap: Option<Arc<HeapTemplate>>) -> Self {
+        self.heap = heap;
+        self
+    }
+
+    /// Shares a pre-built [`LoweredProgram`]; without one the VM lowers on
+    /// construction (and under [`nimage_vm::ExecMode::Legacy`] skips
+    /// lowering entirely).
+    #[must_use]
+    pub fn lowered(mut self, lowered: Option<Arc<LoweredProgram>>) -> Self {
+        self.lowered = lowered;
+        self
+    }
+
+    /// Attaches a tracer for VM-level events (page-fault and shard-fault
+    /// instants). The default disabled tracer compiles down to a no-op on
+    /// the dispatch path.
+    #[must_use]
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+}
+
+/// The shared inputs every strategy cell of one workload evaluates
+/// against: the profiles collected once (steps 1–3 of Fig. 1) and the
+/// baseline built and measured once. Borrowed, so one profiling run fans
+/// out to all eight [`Strategy`] evaluations.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalInputs<'a> {
+    /// The profiling run's artifacts.
+    pub artifacts: &'a ProfiledArtifacts,
+    /// The measured PGO-optimized default-layout baseline.
+    pub baseline: &'a Baseline,
 }
 
 /// The end-to-end pipeline for one program.
@@ -621,17 +707,40 @@ impl<'p> Pipeline<'p> {
         heap: Option<Arc<HeapTemplate>>,
         stop: StopWhen,
     ) -> Result<RunReport, PipelineError> {
-        self.run_parts_shared(compiled, snapshot, image, heap, None, stop)
+        self.run(RunParts::new(compiled, snapshot, image).heap(heap), stop)
     }
 
-    /// [`Pipeline::run_parts`], additionally sharing a pre-built
-    /// [`LoweredProgram`]. The evaluation engine lowers each compiled
-    /// program once and lends the `Arc` to every run of that build;
-    /// without one the VM lowers on construction (and under
-    /// [`nimage_vm::ExecMode::Legacy`] skips lowering entirely).
+    /// Runs an image from a [`RunParts`] description.
     ///
     /// # Errors
     /// Propagates VM errors.
+    pub fn run(&self, parts: RunParts<'_>, stop: StopWhen) -> Result<RunReport, PipelineError> {
+        // Reject an invalid paging config as a pipeline error before the
+        // simulator's constructor would panic on it.
+        self.opts.vm.paging.validate().map_err(|e| {
+            PipelineError::Vm(VmError::Config {
+                detail: e.to_string(),
+            })
+        })?;
+        let vm = VmBuilder::new(
+            self.program,
+            parts.compiled,
+            parts.snapshot,
+            parts.image,
+            self.opts.vm.clone(),
+        )
+        .heap_template(parts.heap)
+        .lowered(parts.lowered)
+        .tracer(parts.tracer)
+        .build();
+        Ok(vm.run(stop)?)
+    }
+
+    /// Deprecated positional form of [`Pipeline::run`].
+    ///
+    /// # Errors
+    /// Propagates VM errors.
+    #[deprecated(since = "0.1.0", note = "use Pipeline::run with RunParts")]
     pub fn run_parts_shared(
         &self,
         compiled: &CompiledProgram,
@@ -641,23 +750,12 @@ impl<'p> Pipeline<'p> {
         lowered: Option<Arc<LoweredProgram>>,
         stop: StopWhen,
     ) -> Result<RunReport, PipelineError> {
-        // Reject an invalid paging config as a pipeline error before the
-        // simulator's constructor would panic on it.
-        self.opts.vm.paging.validate().map_err(|e| {
-            PipelineError::Vm(VmError::Config {
-                detail: e.to_string(),
-            })
-        })?;
-        let vm = Vm::with_shared(
-            self.program,
-            compiled,
-            snapshot,
-            image,
-            self.opts.vm.clone(),
-            heap,
-            lowered,
-        );
-        Ok(vm.run(stop)?)
+        self.run(
+            RunParts::new(compiled, snapshot, image)
+                .heap(heap)
+                .lowered(lowered),
+            stop,
+        )
     }
 
     /// Performs the full profiling build + run + post-processing (steps 1–3
@@ -974,12 +1072,19 @@ impl<'p> Pipeline<'p> {
     ) -> Result<Evaluation, PipelineError> {
         let artifacts = self.profiling_run(stop)?;
         let baseline = self.baseline(&artifacts, stop)?;
-        self.evaluate_with(&artifacts, &baseline, strategy, stop)
+        self.evaluate_strategy(
+            EvalInputs {
+                artifacts: &artifacts,
+                baseline: &baseline,
+            },
+            strategy,
+            stop,
+        )
     }
 
     /// Builds and measures the strategy-independent [`Baseline`] (the PGO
     /// build with default layout) exactly once, for sharing across every
-    /// strategy of the workload via [`Self::evaluate_with`].
+    /// strategy of the workload via [`Self::evaluate_strategy`].
     ///
     /// # Errors
     /// Propagates any pipeline stage failure.
@@ -993,12 +1098,36 @@ impl<'p> Pipeline<'p> {
         Ok(Baseline { built, report })
     }
 
-    /// Evaluates one strategy against an already-measured [`Baseline`],
-    /// reusing already-collected profiles (the paper profiles once and
-    /// evaluates every strategy against one baseline).
+    /// Evaluates one strategy against the shared [`EvalInputs`], reusing
+    /// already-collected profiles and the already-measured baseline (the
+    /// paper profiles once and evaluates every strategy against one
+    /// baseline).
     ///
     /// # Errors
     /// Propagates any pipeline stage failure.
+    pub fn evaluate_strategy(
+        &self,
+        inputs: EvalInputs<'_>,
+        strategy: Strategy,
+        stop: StopWhen,
+    ) -> Result<Evaluation, PipelineError> {
+        let optimized_img = self.build_optimized(inputs.artifacts, Some(strategy))?;
+        let optimized = self.run_image(&optimized_img, stop)?;
+        Ok(Evaluation {
+            strategy,
+            baseline: inputs.baseline.report.clone(),
+            optimized,
+        })
+    }
+
+    /// Deprecated positional form of [`Pipeline::evaluate_strategy`].
+    ///
+    /// # Errors
+    /// Propagates any pipeline stage failure.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Pipeline::evaluate_strategy with EvalInputs"
+    )]
     pub fn evaluate_with(
         &self,
         artifacts: &ProfiledArtifacts,
@@ -1006,13 +1135,14 @@ impl<'p> Pipeline<'p> {
         strategy: Strategy,
         stop: StopWhen,
     ) -> Result<Evaluation, PipelineError> {
-        let optimized_img = self.build_optimized(artifacts, Some(strategy))?;
-        let optimized = self.run_image(&optimized_img, stop)?;
-        Ok(Evaluation {
+        self.evaluate_strategy(
+            EvalInputs {
+                artifacts,
+                baseline,
+            },
             strategy,
-            baseline: baseline.report.clone(),
-            optimized,
-        })
+            stop,
+        )
     }
 
     /// Sec. 7.4: the execution-time overhead factor of one instrumentation

@@ -1310,7 +1310,14 @@ mod tests {
         let rehydrated = loaded.into_artifacts(artifacts.instrumented_report.clone());
         let base = pipeline.baseline(&rehydrated, StopWhen::Exit).unwrap();
         let eval = pipeline
-            .evaluate_with(&rehydrated, &base, crate::Strategy::Cu, StopWhen::Exit)
+            .evaluate_strategy(
+                crate::EvalInputs {
+                    artifacts: &rehydrated,
+                    baseline: &base,
+                },
+                crate::Strategy::Cu,
+                StopWhen::Exit,
+            )
             .unwrap();
         assert_eq!(eval.baseline.entry_return, eval.optimized.entry_return);
         std::fs::remove_dir_all(&dir).ok();

@@ -7,7 +7,7 @@
 use std::collections::HashMap;
 
 use nimage_compiler::InstrumentConfig;
-use nimage_core::{BuildOptions, Parallelism, Pipeline, Strategy};
+use nimage_core::{BuildOptions, EvalInputs, Parallelism, Pipeline, Strategy};
 use nimage_profiler::DumpMode;
 use nimage_vm::{StopWhen, VmConfig};
 use nimage_workloads::{Awfy, Microservice, RuntimeScale};
@@ -40,7 +40,14 @@ fn measure(
     .into_iter()
     .map(|s| {
         let eval = pipeline
-            .evaluate_with(&artifacts, &baseline, s, stop)
+            .evaluate_strategy(
+                EvalInputs {
+                    artifacts: &artifacts,
+                    baseline: &baseline,
+                },
+                s,
+                stop,
+            )
             .unwrap();
         (s, eval.optimized.faults.total())
     })

@@ -7,7 +7,7 @@
 use std::sync::Arc;
 
 use nimage_compiler::InstrumentConfig;
-use nimage_core::{BuildOptions, LayoutOrders, Parallelism, Pipeline, Strategy};
+use nimage_core::{BuildOptions, EvalInputs, LayoutOrders, Parallelism, Pipeline, Strategy};
 use nimage_order::assign_ids;
 use nimage_vm::StopWhen;
 use nimage_workloads::{Awfy, RuntimeScale};
@@ -121,8 +121,26 @@ fn full_pipeline_is_thread_count_invariant() {
     let b1 = serial.baseline(&a1, StopWhen::Exit).unwrap();
     let b4 = parallel.baseline(&a4, StopWhen::Exit).unwrap();
     for s in [Strategy::Cu, Strategy::CuPlusHeapPath] {
-        let e1 = serial.evaluate_with(&a1, &b1, s, StopWhen::Exit).unwrap();
-        let e4 = parallel.evaluate_with(&a4, &b4, s, StopWhen::Exit).unwrap();
+        let e1 = serial
+            .evaluate_strategy(
+                EvalInputs {
+                    artifacts: &a1,
+                    baseline: &b1,
+                },
+                s,
+                StopWhen::Exit,
+            )
+            .unwrap();
+        let e4 = parallel
+            .evaluate_strategy(
+                EvalInputs {
+                    artifacts: &a4,
+                    baseline: &b4,
+                },
+                s,
+                StopWhen::Exit,
+            )
+            .unwrap();
         assert_eq!(e1.baseline.faults, e4.baseline.faults, "{}", s.name());
         assert_eq!(e1.optimized.faults, e4.optimized.faults, "{}", s.name());
         assert_eq!(e1.optimized.ops, e4.optimized.ops, "{}", s.name());

@@ -425,10 +425,11 @@ fn engine_without_disk_options_never_touches_disk() {
     let engine = Engine::new(EngineOptions {
         n_threads: 1,
         disk: None,
+        trace: Default::default(),
     });
     let spec = WorkloadSpec::new("t", &program, BuildOptions::default(), StopWhen::Exit);
     engine
-        .evaluate_workload(&spec, &[Strategy::Cu])
+        .evaluate_matrix(std::slice::from_ref(&spec), &[Strategy::Cu])
         .expect("evaluation succeeds");
     assert!(engine.stats().disk.is_none());
 }
@@ -442,9 +443,12 @@ fn second_engine_starts_warm_with_identical_results() {
     let cold = Engine::new(EngineOptions {
         n_threads: 2,
         disk: Some(DiskCacheOptions::at(&dir)),
+        trace: Default::default(),
     });
     let spec = WorkloadSpec::new("t", &program, BuildOptions::default(), StopWhen::Exit);
-    let rows_cold = cold.evaluate_workload(&spec, &strategies).unwrap();
+    let rows_cold = cold
+        .evaluate_matrix(std::slice::from_ref(&spec), &strategies)
+        .unwrap();
     let cold_stats = cold.stats().disk.unwrap();
     assert_eq!(cold_stats.hits, 0, "first run finds an empty cache");
     assert!(cold_stats.stores > 0, "first run persists artifacts");
@@ -454,16 +458,20 @@ fn second_engine_starts_warm_with_identical_results() {
     let warm = Engine::new(EngineOptions {
         n_threads: 2,
         disk: Some(DiskCacheOptions::at(&dir)),
+        trace: Default::default(),
     });
     let spec = WorkloadSpec::new("t", &program, BuildOptions::default(), StopWhen::Exit);
-    let rows_warm = warm.evaluate_workload(&spec, &strategies).unwrap();
+    let rows_warm = warm
+        .evaluate_matrix(std::slice::from_ref(&spec), &strategies)
+        .unwrap();
     let warm_stats = warm.stats().disk.unwrap();
     assert!(warm_stats.hits > 0, "second run reads persisted artifacts");
     assert_eq!(warm_stats.stores, 0, "nothing new to persist");
 
     assert_eq!(rows_cold.len(), rows_warm.len());
-    for ((s1, e1), (s2, e2)) in rows_cold.iter().zip(&rows_warm) {
-        assert_eq!(s1, s2);
+    for (c1, c2) in rows_cold.iter().zip(&rows_warm) {
+        assert_eq!(c1.strategy, c2.strategy);
+        let (e1, e2) = (&c1.eval, &c2.eval);
         assert_eq!(e1.baseline.faults, e2.baseline.faults);
         assert_eq!(e1.optimized.faults, e2.optimized.faults);
         assert_eq!(e1.baseline.ops, e2.baseline.ops);
@@ -481,16 +489,20 @@ fn warm_run_hits_compile_and_snapshot_stages_on_disk() {
     let cold = Engine::new(EngineOptions {
         n_threads: 1,
         disk: Some(DiskCacheOptions::at(&dir)),
+        trace: Default::default(),
     });
     let spec = WorkloadSpec::new("t", &program, BuildOptions::default(), StopWhen::Exit);
-    cold.evaluate_workload(&spec, &[Strategy::Cu]).unwrap();
+    cold.evaluate_matrix(std::slice::from_ref(&spec), &[Strategy::Cu])
+        .unwrap();
 
     let warm = Engine::new(EngineOptions {
         n_threads: 1,
         disk: Some(DiskCacheOptions::at(&dir)),
+        trace: Default::default(),
     });
     let spec = WorkloadSpec::new("t", &program, BuildOptions::default(), StopWhen::Exit);
-    warm.evaluate_workload(&spec, &[Strategy::Cu]).unwrap();
+    warm.evaluate_matrix(std::slice::from_ref(&spec), &[Strategy::Cu])
+        .unwrap();
 
     // The finer-grained stages persist individually: the warm run loads
     // the compiled program and the heap snapshot back, not just the
@@ -513,9 +525,12 @@ fn engine_sweeps_capped_cache_after_storing() {
     let engine = Engine::new(EngineOptions {
         n_threads: 1,
         disk: Some(DiskCacheOptions::at(&dir).with_max_entries(2)),
+        trace: Default::default(),
     });
     let spec = WorkloadSpec::new("t", &program, BuildOptions::default(), StopWhen::Exit);
-    engine.evaluate_workload(&spec, &[Strategy::Cu]).unwrap();
+    engine
+        .evaluate_matrix(std::slice::from_ref(&spec), &[Strategy::Cu])
+        .unwrap();
 
     // The run stored more than two artifacts; the opportunistic sweep
     // after evaluation must have brought the store back under its cap.
@@ -538,9 +553,12 @@ fn gcd_then_warm_run_reproduces_cold_results() {
     let cold = Engine::new(EngineOptions {
         n_threads: 2,
         disk: Some(DiskCacheOptions::at(&dir)),
+        trace: Default::default(),
     });
     let spec = WorkloadSpec::new("t", &program, BuildOptions::default(), StopWhen::Exit);
-    let rows_cold = cold.evaluate_workload(&spec, &strategies).unwrap();
+    let rows_cold = cold
+        .evaluate_matrix(std::slice::from_ref(&spec), &strategies)
+        .unwrap();
 
     // Evict all but the two most recently written entries.
     let store = DiskStore::open(&DiskCacheOptions::at(&dir));
@@ -554,16 +572,20 @@ fn gcd_then_warm_run_reproduces_cold_results() {
     let warm = Engine::new(EngineOptions {
         n_threads: 2,
         disk: Some(DiskCacheOptions::at(&dir)),
+        trace: Default::default(),
     });
     let spec = WorkloadSpec::new("t", &program, BuildOptions::default(), StopWhen::Exit);
-    let rows_warm = warm.evaluate_workload(&spec, &strategies).unwrap();
+    let rows_warm = warm
+        .evaluate_matrix(std::slice::from_ref(&spec), &strategies)
+        .unwrap();
     let warm_stats = warm.stats().disk.unwrap();
     assert!(warm_stats.hits > 0, "surviving entries still hit");
     assert!(warm_stats.stores > 0, "evicted artifacts are re-stored");
 
     assert_eq!(rows_cold.len(), rows_warm.len());
-    for ((s1, e1), (s2, e2)) in rows_cold.iter().zip(&rows_warm) {
-        assert_eq!(s1, s2);
+    for (c1, c2) in rows_cold.iter().zip(&rows_warm) {
+        assert_eq!(c1.strategy, c2.strategy);
+        let (e1, e2) = (&c1.eval, &c2.eval);
         assert_eq!(e1.baseline.faults, e2.baseline.faults);
         assert_eq!(e1.optimized.faults, e2.optimized.faults);
         assert_eq!(e1.baseline.ops, e2.baseline.ops);

@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use nimage_compiler::InstrumentConfig;
-use nimage_core::{BuildOptions, Parallelism, Pipeline, Strategy};
+use nimage_core::{BuildOptions, EvalInputs, Parallelism, Pipeline, RunParts, Strategy};
 use nimage_ir::Program;
 use nimage_vm::{ExecMode, HeapTemplate, LoweredProgram, RunReport, StopWhen};
 use nimage_workloads::{Awfy, Microservice, RuntimeScale};
@@ -121,9 +121,11 @@ fn evaluation_matches_between_engines() {
         let artifacts = p.profiling_run(StopWhen::Exit).unwrap();
         let baseline = p.baseline(&artifacts, StopWhen::Exit).unwrap();
         let e = p
-            .evaluate_with(
-                &artifacts,
-                &baseline,
+            .evaluate_strategy(
+                EvalInputs {
+                    artifacts: &artifacts,
+                    baseline: &baseline,
+                },
                 Strategy::CuPlusHeapPath,
                 StopWhen::Exit,
             )
@@ -158,12 +160,10 @@ fn shared_lowered_program_runs_are_isolated() {
         o.vm.max_paths,
     ));
     let run_one = || {
-        p.run_parts_shared(
-            &built.compiled,
-            &built.snapshot,
-            &built.image,
-            Some(template.clone()),
-            Some(lowered.clone()),
+        p.run(
+            RunParts::new(&built.compiled, &built.snapshot, &built.image)
+                .heap(Some(template.clone()))
+                .lowered(Some(lowered.clone())),
             StopWhen::FirstResponse,
         )
         .unwrap()

@@ -5,7 +5,7 @@
 
 use nimage_compiler::InlineConfig;
 use nimage_compiler::InstrumentConfig;
-use nimage_core::{BuildOptions, Pipeline, Strategy};
+use nimage_core::{BuildOptions, EvalInputs, Pipeline, Strategy};
 use nimage_ir::{Program, ProgramBuilder, TypeRef};
 use nimage_vm::{CostModel, PagingConfig, StopWhen, VmConfig};
 
@@ -164,7 +164,14 @@ fn every_strategy_preserves_semantics_and_reduces_its_fault_metric() {
     let base = pipeline.baseline(&artifacts, StopWhen::Exit).unwrap();
     for strategy in Strategy::all() {
         let eval = pipeline
-            .evaluate_with(&artifacts, &base, strategy, StopWhen::Exit)
+            .evaluate_strategy(
+                EvalInputs {
+                    artifacts: &artifacts,
+                    baseline: &base,
+                },
+                strategy,
+                StopWhen::Exit,
+            )
             .unwrap();
         assert_eq!(
             eval.baseline.entry_return,
@@ -190,7 +197,14 @@ fn code_strategies_beat_the_baseline_clearly() {
     let artifacts = pipeline.profiling_run(StopWhen::Exit).unwrap();
     let base = pipeline.baseline(&artifacts, StopWhen::Exit).unwrap();
     let cu = pipeline
-        .evaluate_with(&artifacts, &base, Strategy::Cu, StopWhen::Exit)
+        .evaluate_strategy(
+            EvalInputs {
+                artifacts: &artifacts,
+                baseline: &base,
+            },
+            Strategy::Cu,
+            StopWhen::Exit,
+        )
         .unwrap();
     assert!(
         cu.text_fault_reduction() > 1.2,
@@ -198,7 +212,14 @@ fn code_strategies_beat_the_baseline_clearly() {
         cu.text_fault_reduction()
     );
     let method = pipeline
-        .evaluate_with(&artifacts, &base, Strategy::Method, StopWhen::Exit)
+        .evaluate_strategy(
+            EvalInputs {
+                artifacts: &artifacts,
+                baseline: &base,
+            },
+            Strategy::Method,
+            StopWhen::Exit,
+        )
         .unwrap();
     assert!(method.text_fault_reduction() > 1.0);
 }
@@ -210,7 +231,14 @@ fn heap_path_beats_the_baseline_clearly() {
     let artifacts = pipeline.profiling_run(StopWhen::Exit).unwrap();
     let base = pipeline.baseline(&artifacts, StopWhen::Exit).unwrap();
     let hp = pipeline
-        .evaluate_with(&artifacts, &base, Strategy::HeapPath, StopWhen::Exit)
+        .evaluate_strategy(
+            EvalInputs {
+                artifacts: &artifacts,
+                baseline: &base,
+            },
+            Strategy::HeapPath,
+            StopWhen::Exit,
+        )
         .unwrap();
     assert!(
         hp.heap_fault_reduction() > 1.2,
@@ -226,7 +254,14 @@ fn combined_strategy_reduces_both_sections() {
     let artifacts = pipeline.profiling_run(StopWhen::Exit).unwrap();
     let base = pipeline.baseline(&artifacts, StopWhen::Exit).unwrap();
     let both = pipeline
-        .evaluate_with(&artifacts, &base, Strategy::CuPlusHeapPath, StopWhen::Exit)
+        .evaluate_strategy(
+            EvalInputs {
+                artifacts: &artifacts,
+                baseline: &base,
+            },
+            Strategy::CuPlusHeapPath,
+            StopWhen::Exit,
+        )
         .unwrap();
     assert!(both.text_fault_reduction() > 1.0);
     assert!(both.heap_fault_reduction() > 1.0);
@@ -282,10 +317,24 @@ fn evaluation_is_deterministic() {
     let b1 = pipeline.baseline(&a1, StopWhen::Exit).unwrap();
     let b2 = pipeline.baseline(&a2, StopWhen::Exit).unwrap();
     let e1 = pipeline
-        .evaluate_with(&a1, &b1, Strategy::Cu, StopWhen::Exit)
+        .evaluate_strategy(
+            EvalInputs {
+                artifacts: &a1,
+                baseline: &b1,
+            },
+            Strategy::Cu,
+            StopWhen::Exit,
+        )
         .unwrap();
     let e2 = pipeline
-        .evaluate_with(&a2, &b2, Strategy::Cu, StopWhen::Exit)
+        .evaluate_strategy(
+            EvalInputs {
+                artifacts: &a2,
+                baseline: &b2,
+            },
+            Strategy::Cu,
+            StopWhen::Exit,
+        )
         .unwrap();
     assert_eq!(e1.baseline.faults, e2.baseline.faults);
     assert_eq!(e1.optimized.faults, e2.optimized.faults);

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use nimage_compiler::{CuId, InstrumentConfig};
-use nimage_core::{BuildOptions, Parallelism, Pipeline};
+use nimage_core::{BuildOptions, Parallelism, Pipeline, RunParts};
 use nimage_ir::Program;
 use nimage_vm::{ExecMode, HeapTemplate, LoweredProgram, StopWhen};
 use nimage_workloads::{Awfy, Microservice, RuntimeScale};
@@ -48,12 +48,10 @@ fn lazy_vs_eager(
     ));
     let run = |lp: &Arc<LoweredProgram>| {
         let r = p
-            .run_parts_shared(
-                &built.compiled,
-                &built.snapshot,
-                &built.image,
-                Some(template.clone()),
-                Some(lp.clone()),
+            .run(
+                RunParts::new(&built.compiled, &built.snapshot, &built.image)
+                    .heap(Some(template.clone()))
+                    .lowered(Some(lp.clone())),
                 stop,
             )
             .unwrap();

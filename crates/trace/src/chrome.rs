@@ -1,0 +1,142 @@
+//! Chrome-trace (Trace Event Format) export: the JSON document
+//! `chrome://tracing` and Perfetto load directly. Spans become `ph:"X"`
+//! complete events, instants become `ph:"i"`; one `tid` per recorded
+//! thread ring, in registration order.
+
+use crate::metrics::json_string;
+use crate::{Event, EventKind};
+
+/// Microseconds (the format's unit) from our nanosecond timestamps,
+/// keeping sub-µs resolution as a fraction.
+fn us(t_ns: u64) -> f64 {
+    t_ns as f64 / 1000.0
+}
+
+fn args_json(detail: &str, root: bool) -> String {
+    let mut parts = Vec::new();
+    if !detail.is_empty() {
+        parts.push(format!("\"detail\":{}", json_string(detail)));
+    }
+    if root {
+        parts.push("\"root\":true".to_string());
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!(",\"args\":{{{}}}", parts.join(","))
+    }
+}
+
+fn span_json(name: &str, detail: &str, root: bool, start: u64, end: u64, tid: usize) -> String {
+    format!(
+        "{{\"name\":{},\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{tid}{}}}",
+        json_string(name),
+        us(start),
+        us(end.saturating_sub(start)),
+        args_json(detail, root),
+    )
+}
+
+fn instant_json(name: &str, detail: &str, root: bool, t: u64, tid: usize) -> String {
+    format!(
+        "{{\"name\":{},\"ph\":\"i\",\"ts\":{},\"s\":\"t\",\"pid\":1,\"tid\":{tid}{}}}",
+        json_string(name),
+        us(t),
+        args_json(detail, root),
+    )
+}
+
+/// Renders per-thread event buffers (as returned by
+/// [`crate::Tracer::events`]) as a Chrome-trace JSON document.
+#[must_use]
+pub fn chrome_trace_json(threads: &[Vec<Event>]) -> String {
+    let mut lines: Vec<String> = Vec::new();
+    for (i, events) in threads.iter().enumerate() {
+        let tid = i + 1;
+        let last_ts = events.last().map_or(0, |e| e.t_ns);
+        // (name, detail, root, start) of currently-open spans.
+        let mut stack: Vec<(&'static str, &str, bool, u64)> = Vec::new();
+        for ev in events {
+            match ev.kind {
+                EventKind::Begin => stack.push((ev.name, &ev.detail, ev.root, ev.t_ns)),
+                EventKind::End => {
+                    if let Some((name, detail, root, start)) = stack.pop() {
+                        lines.push(span_json(name, detail, root, start, ev.t_ns, tid));
+                    }
+                }
+                EventKind::Instant => {
+                    lines.push(instant_json(ev.name, &ev.detail, ev.root, ev.t_ns, tid));
+                }
+            }
+        }
+        // Spans still open at collection close at the last timestamp.
+        while let Some((name, detail, root, start)) = stack.pop() {
+            lines.push(span_json(name, detail, root, start, last_ts, tid));
+        }
+    }
+    format!(
+        "{{\"traceEvents\":[\n{}\n],\"displayTimeUnit\":\"ms\",\
+         \"otherData\":{{\"generator\":\"nimage-trace\"}}}}",
+        lines.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_shapes_spans_and_instants() {
+        let threads = vec![vec![
+            Event {
+                kind: EventKind::Begin,
+                name: "run",
+                detail: "workload=Sieve".to_string(),
+                t_ns: 1_500,
+                root: true,
+            },
+            Event {
+                kind: EventKind::Instant,
+                name: "page-fault",
+                detail: String::new(),
+                t_ns: 2_000,
+                root: false,
+            },
+            Event {
+                kind: EventKind::End,
+                name: "run",
+                detail: String::new(),
+                t_ns: 10_500,
+                root: false,
+            },
+        ]];
+        let json = chrome_trace_json(&threads);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"run\",\"ph\":\"X\",\"ts\":1.5,\"dur\":9"));
+        assert!(json.contains("\"name\":\"page-fault\",\"ph\":\"i\",\"ts\":2"));
+        assert!(json.contains("\"args\":{\"detail\":\"workload=Sieve\",\"root\":true}"));
+        assert!(json.contains("\"tid\":1"));
+    }
+
+    #[test]
+    fn unclosed_span_still_exports() {
+        let threads = vec![vec![
+            Event {
+                kind: EventKind::Begin,
+                name: "run",
+                detail: String::new(),
+                t_ns: 0,
+                root: false,
+            },
+            Event {
+                kind: EventKind::Instant,
+                name: "tick",
+                detail: String::new(),
+                t_ns: 4_000,
+                root: false,
+            },
+        ]];
+        let json = chrome_trace_json(&threads);
+        assert!(json.contains("\"name\":\"run\",\"ph\":\"X\",\"ts\":0,\"dur\":4"));
+    }
+}

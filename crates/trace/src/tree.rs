@@ -1,0 +1,350 @@
+//! Span-tree reconstruction and the two views the engine needs:
+//!
+//! * the **physical** per-thread forest — spans nested exactly as they
+//!   executed, the basis for exclusive stage times (parent minus direct
+//!   children, the attribution `StageClock` used to hand-roll);
+//! * the **logical** root list — spans/instants flagged `root` detached
+//!   to the top level, so memoized work that physically ran under
+//!   whichever caller got there first compares identically across runs.
+//!   [`canonical_shape`] renders that list order-independently for the
+//!   determinism tests.
+
+use crate::{Event, EventKind};
+use std::collections::BTreeMap;
+
+/// What a [`SpanNode`] reconstructs: a span or a point event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A `Begin`/`End` pair (or a `Begin` left open at collection).
+    Span,
+    /// An `Instant`.
+    Instant,
+}
+
+/// One node of a reconstructed span tree.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Span/event name.
+    pub name: &'static str,
+    /// Detail string recorded with the `Begin`/`Instant`.
+    pub detail: String,
+    /// Start timestamp (ns since tracer epoch).
+    pub start_ns: u64,
+    /// End timestamp; equals `start_ns` for instants. A span whose `End`
+    /// was never recorded (collection mid-flight, ring overflow) closes
+    /// at its thread's last observed timestamp.
+    pub end_ns: u64,
+    /// Span or instant.
+    pub kind: NodeKind,
+    /// Whether the event was flagged root (logical detachment).
+    pub root: bool,
+    /// Physically nested children, in recording order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Wall-clock covered by the node, children included.
+    #[must_use]
+    pub fn inclusive_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Wall-clock net of direct child *spans* (instants have no extent).
+    #[must_use]
+    pub fn exclusive_ns(&self) -> u64 {
+        let child_ns: u64 = self
+            .children
+            .iter()
+            .filter(|c| c.kind == NodeKind::Span)
+            .map(SpanNode::inclusive_ns)
+            .sum();
+        self.inclusive_ns().saturating_sub(child_ns)
+    }
+}
+
+/// Builds one thread's physical forest. Tolerant of truncation: an
+/// unmatched `End` is dropped, an unclosed `Begin` closes at the
+/// thread's last timestamp.
+fn thread_forest(events: &[Event]) -> Vec<SpanNode> {
+    let last_ts = events.last().map_or(0, |e| e.t_ns);
+    let mut top: Vec<SpanNode> = Vec::new();
+    let mut stack: Vec<SpanNode> = Vec::new();
+    let attach = |stack: &mut Vec<SpanNode>, top: &mut Vec<SpanNode>, node: SpanNode| match stack
+        .last_mut()
+    {
+        Some(parent) => parent.children.push(node),
+        None => top.push(node),
+    };
+    for ev in events {
+        match ev.kind {
+            EventKind::Begin => stack.push(SpanNode {
+                name: ev.name,
+                detail: ev.detail.clone(),
+                start_ns: ev.t_ns,
+                end_ns: ev.t_ns,
+                kind: NodeKind::Span,
+                root: ev.root,
+                children: Vec::new(),
+            }),
+            EventKind::End => {
+                if let Some(mut node) = stack.pop() {
+                    node.end_ns = ev.t_ns;
+                    attach(&mut stack, &mut top, node);
+                }
+            }
+            EventKind::Instant => {
+                let node = SpanNode {
+                    name: ev.name,
+                    detail: ev.detail.clone(),
+                    start_ns: ev.t_ns,
+                    end_ns: ev.t_ns,
+                    kind: NodeKind::Instant,
+                    root: ev.root,
+                    children: Vec::new(),
+                };
+                attach(&mut stack, &mut top, node);
+            }
+        }
+    }
+    while let Some(mut node) = stack.pop() {
+        node.end_ns = node.end_ns.max(last_ts);
+        attach(&mut stack, &mut top, node);
+    }
+    top
+}
+
+/// The physical view: per-thread top-level nodes, nested as executed.
+#[must_use]
+pub fn physical_forest(threads: &[Vec<Event>]) -> Vec<Vec<SpanNode>> {
+    threads.iter().map(|t| thread_forest(t)).collect()
+}
+
+/// The logical view: every `root`-flagged node is detached to the top
+/// level (keeping its own subtree); non-root physical-top-level nodes
+/// stay top-level. The returned order is scheduling-dependent — compare
+/// via [`canonical_shape`].
+#[must_use]
+pub fn logical_roots(threads: &[Vec<Event>]) -> Vec<SpanNode> {
+    fn detach(node: SpanNode, out: &mut Vec<SpanNode>) -> Option<SpanNode> {
+        let mut kept = SpanNode {
+            children: Vec::new(),
+            ..node
+        };
+        for child in node.children {
+            if let Some(c) = detach(child, out) {
+                kept.children.push(c);
+            }
+        }
+        if kept.root {
+            out.push(kept);
+            None
+        } else {
+            Some(kept)
+        }
+    }
+    let mut roots = Vec::new();
+    for thread in physical_forest(threads) {
+        for node in thread {
+            if let Some(kept) = detach(node, &mut roots) {
+                roots.push(kept);
+            }
+        }
+    }
+    roots
+}
+
+/// Canonical, timestamp-free rendering of a logical root list: each node
+/// becomes `(name|detail children…)` with children (and the roots
+/// themselves) sorted lexicographically, so two traces of the same
+/// workload render identically regardless of thread placement or
+/// completion order. Two runs have the same span-tree *shape* iff their
+/// canonical strings are equal.
+#[must_use]
+pub fn canonical_shape(roots: &[SpanNode]) -> String {
+    fn render(node: &SpanNode) -> String {
+        let mut children: Vec<String> = node.children.iter().map(render).collect();
+        children.sort_unstable();
+        let tag = match node.kind {
+            NodeKind::Span => "",
+            NodeKind::Instant => "!",
+        };
+        format!("({tag}{}|{} {})", node.name, node.detail, children.join(""))
+    }
+    let mut rendered: Vec<String> = roots.iter().map(render).collect();
+    rendered.sort_unstable();
+    rendered.join("\n")
+}
+
+/// Aggregate wall-clock per event name, from the *physical* nesting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageAgg {
+    /// Σ inclusive duration over every span with this name.
+    pub inclusive_ns: u64,
+    /// Σ exclusive duration (inclusive minus direct child spans) — the
+    /// stage-time attribution: nested stages never double-count.
+    pub exclusive_ns: u64,
+    /// Number of spans (or instants) with this name.
+    pub count: u64,
+}
+
+/// Walks the physical forest and sums per-name inclusive/exclusive
+/// durations and counts. Instants contribute only to `count`.
+#[must_use]
+pub fn aggregate(threads: &[Vec<Event>]) -> BTreeMap<&'static str, StageAgg> {
+    fn walk(node: &SpanNode, out: &mut BTreeMap<&'static str, StageAgg>) {
+        let agg = out.entry(node.name).or_default();
+        agg.count += 1;
+        if node.kind == NodeKind::Span {
+            agg.inclusive_ns += node.inclusive_ns();
+            agg.exclusive_ns += node.exclusive_ns();
+        }
+        for c in &node.children {
+            walk(c, out);
+        }
+    }
+    let mut out = BTreeMap::new();
+    for thread in physical_forest(threads) {
+        for node in &thread {
+            walk(node, &mut out);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, name: &'static str, t_ns: u64) -> Event {
+        Event {
+            kind,
+            name,
+            detail: String::new(),
+            t_ns,
+            root: false,
+        }
+    }
+
+    fn root_ev(kind: EventKind, name: &'static str, detail: &str, t_ns: u64) -> Event {
+        Event {
+            kind,
+            name,
+            detail: detail.to_string(),
+            t_ns,
+            root: true,
+        }
+    }
+
+    /// run[0..100] containing compile[10..40] containing lower[20..25],
+    /// plus a page-fault instant.
+    fn nested_thread() -> Vec<Event> {
+        vec![
+            ev(EventKind::Begin, "run", 0),
+            ev(EventKind::Begin, "compile", 10),
+            ev(EventKind::Begin, "lower", 20),
+            ev(EventKind::End, "lower", 25),
+            ev(EventKind::End, "compile", 40),
+            ev(EventKind::Instant, "page-fault", 50),
+            ev(EventKind::End, "run", 100),
+        ]
+    }
+
+    #[test]
+    fn physical_nesting_and_exclusive_times_are_exact() {
+        let threads = vec![nested_thread()];
+        let forest = physical_forest(&threads);
+        assert_eq!(forest[0].len(), 1);
+        let run = &forest[0][0];
+        assert_eq!(run.name, "run");
+        assert_eq!(run.children.len(), 2); // compile + instant
+        let agg = aggregate(&threads);
+        assert_eq!(agg["run"].inclusive_ns, 100);
+        assert_eq!(agg["run"].exclusive_ns, 70); // 100 - compile's 30
+        assert_eq!(agg["compile"].inclusive_ns, 30);
+        assert_eq!(agg["compile"].exclusive_ns, 25); // 30 - lower's 5
+        assert_eq!(agg["lower"].exclusive_ns, 5);
+        assert_eq!(agg["page-fault"].count, 1);
+        assert_eq!(agg["page-fault"].inclusive_ns, 0);
+        // Invariant: Σ exclusive == Σ top-level inclusive.
+        let sum_excl: u64 = agg.values().map(|a| a.exclusive_ns).sum();
+        assert_eq!(sum_excl, 100);
+    }
+
+    #[test]
+    fn unclosed_span_closes_at_last_timestamp_and_stray_end_is_dropped() {
+        let threads = vec![vec![
+            ev(EventKind::End, "ghost", 1),
+            ev(EventKind::Begin, "run", 5),
+            ev(EventKind::Instant, "page-fault", 30),
+        ]];
+        let forest = physical_forest(&threads);
+        assert_eq!(forest[0].len(), 1);
+        assert_eq!(forest[0][0].name, "run");
+        assert_eq!(forest[0][0].end_ns, 30);
+        assert_eq!(aggregate(&threads)["run"].inclusive_ns, 25);
+    }
+
+    #[test]
+    fn root_nodes_detach_logically_but_count_physically() {
+        // cell span physically containing a memoized (root) compile span.
+        let threads = vec![vec![
+            root_ev(EventKind::Begin, "cell", "w=a", 0),
+            root_ev(EventKind::Begin, "compile", "w=a", 10),
+            ev(EventKind::End, "compile", 40),
+            ev(EventKind::End, "cell", 100),
+        ]];
+        let roots = logical_roots(&threads);
+        assert_eq!(roots.len(), 2, "compile detaches beside cell");
+        let cell = roots.iter().find(|n| n.name == "cell").unwrap();
+        assert!(cell.children.is_empty(), "detached child removed");
+        // Physical exclusive attribution still subtracts the nested span.
+        let agg = aggregate(&threads);
+        assert_eq!(agg["cell"].exclusive_ns, 70);
+    }
+
+    #[test]
+    fn canonical_shape_is_order_and_thread_independent() {
+        let a = vec![
+            vec![
+                root_ev(EventKind::Begin, "cell", "w=a s=cu", 0),
+                ev(EventKind::Instant, "page-fault", 3),
+                ev(EventKind::End, "cell", 9),
+            ],
+            vec![
+                root_ev(EventKind::Begin, "cell", "w=a s=heap", 1),
+                ev(EventKind::End, "cell", 7),
+            ],
+        ];
+        // Same logical work: opposite thread placement, different times.
+        let b = vec![
+            vec![
+                root_ev(EventKind::Begin, "cell", "w=a s=heap", 100),
+                ev(EventKind::End, "cell", 260),
+            ],
+            vec![
+                root_ev(EventKind::Begin, "cell", "w=a s=cu", 5),
+                ev(EventKind::Instant, "page-fault", 6),
+                ev(EventKind::End, "cell", 7),
+            ],
+        ];
+        assert_eq!(
+            canonical_shape(&logical_roots(&a)),
+            canonical_shape(&logical_roots(&b))
+        );
+        // A missing instant changes the shape.
+        let c = vec![
+            vec![
+                root_ev(EventKind::Begin, "cell", "w=a s=cu", 0),
+                ev(EventKind::End, "cell", 9),
+            ],
+            vec![
+                root_ev(EventKind::Begin, "cell", "w=a s=heap", 1),
+                ev(EventKind::End, "cell", 7),
+            ],
+        ];
+        assert_ne!(
+            canonical_shape(&logical_roots(&a)),
+            canonical_shape(&logical_roots(&c))
+        );
+    }
+}

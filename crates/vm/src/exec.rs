@@ -15,6 +15,7 @@ use nimage_heap::HeapSnapshot;
 use nimage_image::BinaryImage;
 use nimage_ir::{BinOp, Callee, Instr, Intrinsic, Local, MethodId, Program, Terminator, UnOp};
 use nimage_profiler::{DumpMode, ThreadHandle, TraceSession};
+use nimage_trace::Tracer;
 
 use crate::heap_rt::{RtHeap, RtObject, RtValue};
 use crate::lower::{JumpEdge, LoweredCallee, LoweredInstr, LoweredProgram};
@@ -250,6 +251,93 @@ pub struct Vm<'a> {
     /// buffer, which the paper's Sec. 7.4 shows costs roughly twice as
     /// much per event.
     probe_scale: u64,
+    /// Observability sink for page-fault and shard-fault point events.
+    /// Disabled by default (one branch per fault); never consulted on the
+    /// per-op dispatch path, so a disabled tracer costs nothing there.
+    trace: Tracer,
+}
+
+/// Builder for a [`Vm`]: the four mandatory inputs up front, everything
+/// shareable or optional — heap template, pre-lowered program, tracer —
+/// as chained setters. [`Vm::with_shared`] delegates here.
+pub struct VmBuilder<'a> {
+    program: &'a Program,
+    compiled: &'a CompiledProgram,
+    snapshot: &'a HeapSnapshot,
+    image: &'a BinaryImage,
+    config: VmConfig,
+    template: Option<Arc<crate::HeapTemplate>>,
+    lowered: Option<Arc<LoweredProgram>>,
+    trace: Tracer,
+}
+
+impl<'a> VmBuilder<'a> {
+    /// Starts a builder over the mandatory execution inputs.
+    pub fn new(
+        program: &'a Program,
+        compiled: &'a CompiledProgram,
+        snapshot: &'a HeapSnapshot,
+        image: &'a BinaryImage,
+        config: VmConfig,
+    ) -> VmBuilder<'a> {
+        VmBuilder {
+            program,
+            compiled,
+            snapshot,
+            image,
+            config,
+            template: None,
+            lowered: None,
+            trace: Tracer::disabled(),
+        }
+    }
+
+    /// Shares a pre-materialized heap template (`None`: materialize a
+    /// private heap from the snapshot).
+    #[must_use]
+    pub fn heap_template(mut self, template: Option<Arc<crate::HeapTemplate>>) -> VmBuilder<'a> {
+        self.template = template;
+        self
+    }
+
+    /// Shares a pre-lowered program (`None`: lower lazily per CU). Must
+    /// have been built from the same `(program, compiled)` pair with the
+    /// same `max_paths` as the config.
+    #[must_use]
+    pub fn lowered(mut self, lowered: Option<Arc<LoweredProgram>>) -> VmBuilder<'a> {
+        self.lowered = lowered;
+        self
+    }
+
+    /// Records page-fault and shard-fault instants into `trace`. The
+    /// default is [`Tracer::disabled`] — zero events, one branch per
+    /// fault. Tracing never changes results: the paging simulator runs
+    /// identically either way, and the report is assembled from the same
+    /// state (pinned by `core/tests/trace_neutral.rs`).
+    #[must_use]
+    pub fn tracer(mut self, trace: Tracer) -> VmBuilder<'a> {
+        self.trace = trace;
+        self
+    }
+
+    /// Builds the VM.
+    #[must_use]
+    pub fn build(self) -> Vm<'a> {
+        let heap = match self.template {
+            Some(t) => RtHeap::from_template(t),
+            None => RtHeap::from_build_heap(self.snapshot.heap()),
+        };
+        Vm::with_heap(
+            self.program,
+            self.compiled,
+            self.snapshot,
+            self.image,
+            self.config,
+            heap,
+            self.lowered,
+            self.trace,
+        )
+    }
 }
 
 impl<'a> Vm<'a> {
@@ -263,7 +351,16 @@ impl<'a> Vm<'a> {
         config: VmConfig,
     ) -> Vm<'a> {
         let heap = RtHeap::from_build_heap(snapshot.heap());
-        Vm::with_heap(program, compiled, snapshot, image, config, heap, None)
+        Vm::with_heap(
+            program,
+            compiled,
+            snapshot,
+            image,
+            config,
+            heap,
+            None,
+            Tracer::disabled(),
+        )
     }
 
     /// Creates a VM over a built image whose snapshot was materialized once
@@ -280,7 +377,16 @@ impl<'a> Vm<'a> {
         template: std::sync::Arc<crate::HeapTemplate>,
     ) -> Vm<'a> {
         let heap = RtHeap::from_template(template);
-        Vm::with_heap(program, compiled, snapshot, image, config, heap, None)
+        Vm::with_heap(
+            program,
+            compiled,
+            snapshot,
+            image,
+            config,
+            heap,
+            None,
+            Tracer::disabled(),
+        )
     }
 
     /// Creates a VM sharing both the materialized heap template and the
@@ -299,13 +405,13 @@ impl<'a> Vm<'a> {
         template: Option<Arc<crate::HeapTemplate>>,
         lowered: Option<Arc<LoweredProgram>>,
     ) -> Vm<'a> {
-        let heap = match template {
-            Some(t) => RtHeap::from_template(t),
-            None => RtHeap::from_build_heap(snapshot.heap()),
-        };
-        Vm::with_heap(program, compiled, snapshot, image, config, heap, lowered)
+        VmBuilder::new(program, compiled, snapshot, image, config)
+            .heap_template(template)
+            .lowered(lowered)
+            .build()
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn with_heap(
         program: &'a Program,
         compiled: &'a CompiledProgram,
@@ -314,6 +420,7 @@ impl<'a> Vm<'a> {
         config: VmConfig,
         heap: RtHeap,
         lowered: Option<Arc<LoweredProgram>>,
+        trace: Tracer,
     ) -> Vm<'a> {
         let session = if compiled.instrumentation.any() {
             Some(TraceSession::new(config.dump_mode, config.trace_buffer))
@@ -360,6 +467,7 @@ impl<'a> Vm<'a> {
             native_touch_pages: Vec::new(),
             heap_touch_spans: std::collections::HashMap::new(),
             probe_scale,
+            trace,
         }
     }
 
@@ -392,13 +500,29 @@ impl<'a> Vm<'a> {
         self.path_tables[i].as_deref().expect("just filled")
     }
 
+    /// Records `n` major-fault instants against `section` (no-op — one
+    /// branch — when the tracer is disabled; faults are rare next to ops,
+    /// so the enabled path never shows up on the run either).
+    #[inline]
+    fn fault_instants(&self, section: &'static str, n: u64) {
+        if n == 0 || !self.trace.is_enabled() {
+            return;
+        }
+        for _ in 0..n {
+            self.trace
+                .instant("page-fault", || format!("section={section}"));
+        }
+    }
+
     /// Touches the code bytes of an inline node.
     fn touch_code(&mut self, cu: CuId, node: u32) {
         let cu_ref = self.compiled.cu(cu);
         let n = &cu_ref.nodes[node as usize];
         let off = self.image.cu_offset(cu) + u64::from(n.offset);
-        self.paging
+        let faults = self
+            .paging
             .touch_range(self.image, off, u64::from(n.size.max(1)));
+        self.fault_instants(".text", faults);
     }
 
     /// Runtime error helper.
@@ -464,9 +588,15 @@ impl<'a> Vm<'a> {
             method: self.err_sig(method),
         })?;
         // Fault the CU's lowering shard in on first entry (no-op once
-        // realized; pre-lowered shards never hit the slow path).
+        // realized; pre-lowered shards never hit the slow path). The
+        // realizing call is unique per CU, so the instant fires exactly
+        // once per lazily lowered shard — but on whichever sharing run got
+        // there first, hence the *root* (logically detached) event.
         if let Some(lp) = &self.lowered {
-            lp.ensure_cu(self.program, self.compiled, cu);
+            if lp.ensure_cu(self.program, self.compiled, cu) {
+                self.trace
+                    .root_instant("shard-fault", || format!("cu={}", cu.index()));
+            }
         }
         if self.compiled.instrumentation.trace_cu {
             let sig = self.sig_idx(method);
@@ -566,14 +696,18 @@ impl<'a> Vm<'a> {
             }
         }
         let mapped = self.image.map_native_offset(logical_offset);
-        self.paging.touch(self.image, mapped);
+        if self.paging.touch(self.image, mapped) {
+            self.fault_instants(".text", 1);
+        }
     }
 
     /// Touches the `.svm_heap` bytes of an image object access.
     fn touch_object(&mut self, r: u32, byte_offset: u64) {
         if let Some(obj) = self.heap.as_obj_id(r) {
             if let Some(off) = self.image.object_offset(obj) {
-                self.paging.touch(self.image, off + byte_offset);
+                if self.paging.touch(self.image, off + byte_offset) {
+                    self.fault_instants(".svm_heap", 1);
+                }
                 if self.trace_heap() {
                     // Grow the last span when accesses walk forward (the
                     // common field/array scan); anything else opens a new

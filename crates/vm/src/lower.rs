@@ -474,17 +474,18 @@ impl LoweredProgram {
     /// Realizes a CU's shard exactly once, crediting `counter` when this
     /// call did the work. Concurrent callers of the same CU block on the
     /// shard guard until the winner finishes, so a shard is never observed
-    /// half-realized.
+    /// half-realized. Returns whether this call realized the shard — for
+    /// exactly one caller per CU, so callers can attribute the fault.
     fn fault_cu(
         &self,
         program: &Program,
         compiled: &CompiledProgram,
         cu: CuId,
         counter: &AtomicU64,
-    ) {
+    ) -> bool {
         let slot = &self.cus[cu.index()];
         if slot.get().is_some() {
-            return;
+            return false;
         }
         let mut fresh = false;
         slot.get_or_init(|| {
@@ -494,19 +495,22 @@ impl LoweredProgram {
         if fresh {
             counter.fetch_add(1, Ordering::Relaxed);
         }
+        fresh
     }
 
     /// The interpreter's fault-in path: realizes `cu`'s shard on first
-    /// call into the CU. Counted as a lazily lowered shard.
+    /// call into the CU. Counted as a lazily lowered shard; `true` when
+    /// this call did the lowering (the VM's shard-fault trace event).
     #[inline]
-    pub fn ensure_cu(&self, program: &Program, compiled: &CompiledProgram, cu: CuId) {
-        self.fault_cu(program, compiled, cu, &self.lazy_shards);
+    pub fn ensure_cu(&self, program: &Program, compiled: &CompiledProgram, cu: CuId) -> bool {
+        self.fault_cu(program, compiled, cu, &self.lazy_shards)
     }
 
     /// Pre-lowers `cu`'s shard ahead of execution (the engine's hot-CU
-    /// wave). Counted as an eagerly lowered shard.
-    pub fn prelower_cu(&self, program: &Program, compiled: &CompiledProgram, cu: CuId) {
-        self.fault_cu(program, compiled, cu, &self.eager_shards);
+    /// wave). Counted as an eagerly lowered shard; `true` when this call
+    /// did the lowering.
+    pub fn prelower_cu(&self, program: &Program, compiled: &CompiledProgram, cu: CuId) -> bool {
+        self.fault_cu(program, compiled, cu, &self.eager_shards)
     }
 
     /// Installs a disk-decoded shard, validating every index the

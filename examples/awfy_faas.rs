@@ -10,7 +10,7 @@
 
 use nimage::vm::{CostModel, StopWhen};
 use nimage::workloads::Awfy;
-use nimage::{BuildOptions, Pipeline, PipelineError, Strategy};
+use nimage::{BuildOptions, EvalInputs, Pipeline, PipelineError, Strategy};
 
 fn main() -> Result<(), PipelineError> {
     let wanted = std::env::args().nth(1).unwrap_or_else(|| "Bounce".into());
@@ -53,7 +53,14 @@ fn main() -> Result<(), PipelineError> {
     );
     let base = pipeline.baseline(&artifacts, StopWhen::Exit)?;
     for strategy in Strategy::all() {
-        let eval = pipeline.evaluate_with(&artifacts, &base, strategy, StopWhen::Exit)?;
+        let eval = pipeline.evaluate_strategy(
+            EvalInputs {
+                artifacts: &artifacts,
+                baseline: &base,
+            },
+            strategy,
+            StopWhen::Exit,
+        )?;
         println!(
             "{:<16} {:>12} {:>12} {:>9.2}x {:>8.2}x",
             strategy.name(),

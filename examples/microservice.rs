@@ -11,7 +11,7 @@ use nimage::compiler::InstrumentConfig;
 use nimage::profiler::DumpMode;
 use nimage::vm::{CostModel, StopWhen, VmConfig};
 use nimage::workloads::Microservice;
-use nimage::{BuildOptions, Pipeline, PipelineError, Strategy};
+use nimage::{BuildOptions, EvalInputs, Pipeline, PipelineError, Strategy};
 
 fn options(dump_mode: DumpMode) -> BuildOptions {
     BuildOptions {
@@ -67,7 +67,14 @@ fn main() -> Result<(), PipelineError> {
     println!("{} helloworld, time to first response:", service.name());
     let base = pipeline.baseline(&artifacts, StopWhen::FirstResponse)?;
     for strategy in [Strategy::Cu, Strategy::HeapPath, Strategy::CuPlusHeapPath] {
-        let eval = pipeline.evaluate_with(&artifacts, &base, strategy, StopWhen::FirstResponse)?;
+        let eval = pipeline.evaluate_strategy(
+            EvalInputs {
+                artifacts: &artifacts,
+                baseline: &base,
+            },
+            strategy,
+            StopWhen::FirstResponse,
+        )?;
         let base = eval
             .baseline
             .time_to_first_response_ns(&cm)

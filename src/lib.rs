@@ -41,9 +41,11 @@
 #![warn(missing_docs)]
 
 pub use nimage_core::{
-    ArtifactCache, Baseline, BuildOptions, BuiltImage, CacheKey, Engine, EngineOptions,
-    EngineStats, Evaluation, MatrixCell, Memo, MemoStats, Pipeline, PipelineError,
-    ProfiledArtifacts, StageTimes, Strategy, WorkloadSpec,
+    ArtifactCache, Baseline, BuildOptions, BuildRequest, BuiltImage, CacheKey, CellReport, Engine,
+    EngineOptions, EngineStats, EvalInputs, EvalOutcome, EvalRequest, Evaluation, MatrixCell, Memo,
+    MemoStats, MetricsSnapshot, Pipeline, PipelineError, ProfiledArtifacts, Report, RunParts,
+    StageReport, StageTimes, Strategy, TraceOptions, TraceSummary, Tracer, WorkloadSpec,
+    REPORT_VERSION,
 };
 
 /// The miniature object-language IR.

@@ -68,11 +68,15 @@ fn cached_engine_evaluation_is_allocator_independent() {
         let engine = Engine::new(EngineOptions {
             n_threads: 2,
             disk: None,
+            trace: Default::default(),
         });
         let spec = WorkloadSpec::new("Sieve", &program, BuildOptions::default(), StopWhen::Exit);
-        let rows = engine
-            .evaluate_workload(&spec, &Strategy::all())
-            .expect("evaluation succeeds");
+        let rows: Vec<_> = engine
+            .evaluate_matrix(std::slice::from_ref(&spec), &Strategy::all())
+            .expect("evaluation succeeds")
+            .into_iter()
+            .map(|c| (c.strategy, c.eval))
+            .collect();
         let report = |r: &nimage::vm::RunReport| {
             let mut counts: Vec<(&str, u64)> = r.call_counts.iter().collect();
             counts.sort_unstable();

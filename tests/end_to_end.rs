@@ -5,7 +5,7 @@ use nimage::compiler::InstrumentConfig;
 use nimage::profiler::{read_trace, write_trace, DumpMode};
 use nimage::vm::{CostModel, StopWhen, VmConfig};
 use nimage::workloads::{Awfy, Microservice, RuntimeScale};
-use nimage::{BuildOptions, Pipeline, Strategy};
+use nimage::{BuildOptions, EvalInputs, Pipeline, Strategy};
 
 fn options(dump: DumpMode) -> BuildOptions {
     BuildOptions {
@@ -29,7 +29,14 @@ fn awfy_pipeline_small_scale() {
         let base = pipeline.baseline(&artifacts, StopWhen::Exit).unwrap();
         for strategy in Strategy::all() {
             let eval = pipeline
-                .evaluate_with(&artifacts, &base, strategy, StopWhen::Exit)
+                .evaluate_strategy(
+                    EvalInputs {
+                        artifacts: &artifacts,
+                        baseline: &base,
+                    },
+                    strategy,
+                    StopWhen::Exit,
+                )
                 .unwrap();
             assert_eq!(
                 eval.baseline.entry_return,
@@ -70,9 +77,11 @@ fn microservice_pipeline_small_scale() {
             .baseline(&artifacts, StopWhen::FirstResponse)
             .unwrap();
         let eval = pipeline
-            .evaluate_with(
-                &artifacts,
-                &base,
+            .evaluate_strategy(
+                EvalInputs {
+                    artifacts: &artifacts,
+                    baseline: &base,
+                },
                 Strategy::CuPlusHeapPath,
                 StopWhen::FirstResponse,
             )
@@ -185,7 +194,14 @@ fn full_scale_shape_bounce() {
     let base = pipeline.baseline(&artifacts, StopWhen::Exit).unwrap();
     let get = |s: Strategy| {
         pipeline
-            .evaluate_with(&artifacts, &base, s, StopWhen::Exit)
+            .evaluate_strategy(
+                EvalInputs {
+                    artifacts: &artifacts,
+                    baseline: &base,
+                },
+                s,
+                StopWhen::Exit,
+            )
             .unwrap()
             .reported_fault_reduction()
     };
@@ -230,17 +246,21 @@ fn native_tail_extension_is_safe_and_effective() {
         .baseline(&ext_artifacts, StopWhen::Exit)
         .unwrap();
     let base = base_pipeline
-        .evaluate_with(
-            &base_artifacts,
-            &base_baseline,
+        .evaluate_strategy(
+            EvalInputs {
+                artifacts: &base_artifacts,
+                baseline: &base_baseline,
+            },
             Strategy::CuPlusHeapPath,
             StopWhen::Exit,
         )
         .unwrap();
     let ext = ext_pipeline
-        .evaluate_with(
-            &ext_artifacts,
-            &ext_baseline,
+        .evaluate_strategy(
+            EvalInputs {
+                artifacts: &ext_artifacts,
+                baseline: &ext_baseline,
+            },
             Strategy::CuPlusHeapPath,
             StopWhen::Exit,
         )

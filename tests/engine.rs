@@ -5,7 +5,7 @@
 
 use nimage::vm::StopWhen;
 use nimage::workloads::{Awfy, RuntimeScale};
-use nimage::{BuildOptions, Engine, EngineOptions, Pipeline, Strategy, WorkloadSpec};
+use nimage::{BuildOptions, Engine, EngineOptions, EvalInputs, Pipeline, Strategy, WorkloadSpec};
 
 /// Every observable field of an evaluation, rendered deterministically for
 /// comparison: plain Debug for the value-like fields, and the call-count
@@ -53,7 +53,14 @@ fn parallel_matrix_matches_serial_loop_row_for_row() {
         let base = pipeline.baseline(&artifacts, StopWhen::Exit).unwrap();
         for s in strategies {
             let eval = pipeline
-                .evaluate_with(&artifacts, &base, s, StopWhen::Exit)
+                .evaluate_strategy(
+                    EvalInputs {
+                        artifacts: &artifacts,
+                        baseline: &base,
+                    },
+                    s,
+                    StopWhen::Exit,
+                )
                 .unwrap();
             expected.push((name.to_string(), render(s, &eval)));
         }
@@ -63,6 +70,7 @@ fn parallel_matrix_matches_serial_loop_row_for_row() {
     let engine = Engine::new(EngineOptions {
         n_threads: 4,
         disk: None,
+        trace: Default::default(),
     });
     let specs: Vec<WorkloadSpec<'_>> = programs
         .iter()
@@ -90,10 +98,13 @@ fn engine_computes_shared_artifacts_once_per_workload() {
     let engine = Engine::new(EngineOptions {
         n_threads: 2,
         disk: None,
+        trace: Default::default(),
     });
     let spec = WorkloadSpec::new("Sieve", &program, BuildOptions::default(), StopWhen::Exit);
     let strategies = Strategy::all();
-    engine.evaluate_workload(&spec, &strategies).unwrap();
+    engine
+        .evaluate_matrix(std::slice::from_ref(&spec), &strategies)
+        .unwrap();
 
     let by_name = |name: &str| {
         engine
@@ -118,7 +129,9 @@ fn engine_computes_shared_artifacts_once_per_workload() {
     // A second pass over the same workload is answered from the cache:
     // no stage misses again.
     let misses_before: u64 = engine.stats().cache_misses();
-    engine.evaluate_workload(&spec, &strategies).unwrap();
+    engine
+        .evaluate_matrix(std::slice::from_ref(&spec), &strategies)
+        .unwrap();
     assert_eq!(
         engine.stats().cache_misses(),
         misses_before,
@@ -131,7 +144,9 @@ fn engine_reports_stage_times_for_computed_work() {
     let program = Awfy::Sieve.program_at(&RuntimeScale::small());
     let engine = Engine::default();
     let spec = WorkloadSpec::new("Sieve", &program, BuildOptions::default(), StopWhen::Exit);
-    engine.evaluate_workload(&spec, &Strategy::all()).unwrap();
+    engine
+        .evaluate_matrix(std::slice::from_ref(&spec), &Strategy::all())
+        .unwrap();
     let stages = engine.stats().stages;
     assert!(stages.total_ns() > 0);
     for required in ["analyze", "compile", "snapshot", "order", "layout", "run"] {
